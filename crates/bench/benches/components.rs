@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the substrate components: temporal ops, the
+//! event queue, the cycle simulator's saturating counter, and the
+//! clock-gating analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use rl_bio::{alphabet::Dna, mutate};
+use rl_circuit::{stdcells, CycleSimulator, Netlist};
+use rl_event_sim::{EventQueue, SimTime};
+use rl_temporal::{ops, Time};
+use std::hint::black_box;
+
+fn bench_temporal(c: &mut Criterion) {
+    let times: Vec<Time> = (0..1024u64).map(|i| Time::from_cycles(i * 7 % 997)).collect();
+    c.bench_function("temporal_first_arrival_1024", |b| {
+        b.iter(|| black_box(ops::first_arrival(times.iter().copied())));
+    });
+    c.bench_function("temporal_last_arrival_1024", |b| {
+        b.iter(|| black_box(ops::last_arrival(times.iter().copied())));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_4096", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(4096);
+            for i in 0..4096u64 {
+                q.push(SimTime::new(i * 13 % 977), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_counter_cell(c: &mut Criterion) {
+    let mut nl = Netlist::new();
+    let en = nl.input("en");
+    let bus = stdcells::saturating_counter(&mut nl, en, 8);
+    c.bench_function("saturating_counter_8bit_256_ticks", |b| {
+        b.iter(|| {
+            let mut sim = CycleSimulator::new(&nl).unwrap();
+            sim.set_input(en, true).unwrap();
+            for _ in 0..256 {
+                sim.tick().unwrap();
+            }
+            black_box(stdcells::read_bus(&mut sim, &bus))
+        });
+    });
+}
+
+fn bench_gating_analysis(c: &mut Criterion) {
+    let (q, p) = mutate::worst_case_pair::<Dna>(128);
+    let trace = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+        .run_functional()
+        .wavefront();
+    c.bench_function("wavefront_region_spans_n128_m8", |b| {
+        b.iter(|| black_box(trace.gated_cell_cycles(8)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_temporal,
+    bench_event_queue,
+    bench_counter_cell,
+    bench_gating_analysis
+);
+criterion_main!(benches);

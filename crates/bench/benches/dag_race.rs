@@ -1,0 +1,42 @@
+//! General DAG path solving: the event-driven race vs Dijkstra vs the
+//! topological DP on random layered DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_logic::{functional, RaceKind};
+use rl_dag::{dijkstra, generate, paths, NodeId};
+use rl_temporal::{MaxPlus, MinPlus};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_shortest_path");
+    for (layers, width) in [(16usize, 16usize), (48, 32), (96, 64)] {
+        let cfg = generate::LayeredConfig {
+            layers,
+            width,
+            max_weight: 16,
+            edge_probability: 0.3,
+        };
+        let dag = generate::layered(&mut generate::seeded_rng(99), &cfg).unwrap();
+        let roots: Vec<NodeId> = dag.roots().collect();
+        let label = format!("{}x{}", layers, width);
+        group.bench_with_input(BenchmarkId::new("event_race_or", &label), &label, |b, _| {
+            b.iter(|| black_box(functional::run(&dag, &roots, RaceKind::Or).unwrap().arrival.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("event_race_and", &label), &label, |b, _| {
+            b.iter(|| black_box(functional::run(&dag, &roots, RaceKind::And).unwrap().arrival.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra", &label), &label, |b, _| {
+            b.iter(|| black_box(dijkstra::shortest_paths(&dag, &roots).distance.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("topo_dp_min", &label), &label, |b, _| {
+            b.iter(|| black_box(paths::arrival_times::<MinPlus>(&dag, &roots).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("topo_dp_max", &label), &label, |b, _| {
+            b.iter(|| black_box(paths::arrival_times::<MaxPlus>(&dag, &roots).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Gate-level simulation cost: elaborating and racing the real Fig. 4
+//! netlist, and the generalized Fig. 8 array, across N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::generalized::GeneralizedArray;
+use race_logic::score_transform::TransformedWeights;
+use rl_bio::{alphabet::Dna, matrix, mutate};
+use std::hint::black_box;
+
+fn bench_fig4_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_gate_level");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(race.build_circuit().netlist().net_count()));
+        });
+        let circuit = race.build_circuit();
+        let budget = race.cycle_budget();
+        group.bench_with_input(BenchmarkId::new("run_full", n), &n, |b, _| {
+            b.iter(|| black_box(circuit.run(budget).unwrap().score()));
+        });
+        // The event-driven backend: per-cycle work tracks the wavefront.
+        group.bench_with_input(BenchmarkId::new("run_incremental", n), &n, |b, _| {
+            b.iter(|| black_box(circuit.run_incremental(budget).unwrap().score()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_generalized_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_gate_level");
+    group.sample_size(10);
+    let weights = TransformedWeights::from_scheme(&matrix::dna_shortest()).unwrap();
+    for n in [4usize, 8] {
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        let arr = GeneralizedArray::build(&q, &p, &weights);
+        let budget = arr.cycle_budget(weights.indel());
+        group.bench_with_input(BenchmarkId::new("run", n), &n, |b, _| {
+            b.iter(|| black_box(arr.run(budget).unwrap().score()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_array, bench_generalized_array);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Simulator throughput: the functional alignment race vs the reference
+//! Needleman–Wunsch DP vs the cycle-accurate systolic model, across N —
+//! the software analog of Fig. 5b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use rl_bio::{align, alphabet::Dna, matrix, mutate, Seq};
+use rl_dag::generate::seeded_rng;
+use rl_systolic::{SystolicArray, SystolicWeights};
+use std::hint::black_box;
+
+fn pairs(n: usize) -> (Seq<Dna>, Seq<Dna>) {
+    let mut rng = seeded_rng(n as u64);
+    mutate::similar_pair(&mut rng, n, 0.15)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alignment_engines");
+    for n in [16usize, 64, 256] {
+        let (q, p) = pairs(n);
+        group.bench_with_input(BenchmarkId::new("race_functional", n), &n, |b, _| {
+            let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+            b.iter(|| black_box(race.run_functional().score()));
+        });
+        group.bench_with_input(BenchmarkId::new("needleman_wunsch", n), &n, |b, _| {
+            let scheme = matrix::dna_race();
+            b.iter(|| black_box(align::global_score(&q, &p, &scheme).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("systolic_mod4", n), &n, |b, _| {
+            let arr = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap();
+            b.iter(|| black_box(arr.run().score));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cases(c: &mut Criterion) {
+    // Best vs worst case at N = 128: the race's data-dependent latency
+    // (N vs 2N cycles) against the DP's flat N² work.
+    let mut group = c.benchmark_group("race_cases_n128");
+    let n = 128;
+    let mut rng = seeded_rng(1);
+    let (qb, pb) = mutate::best_case_pair::<Dna, _>(&mut rng, n);
+    group.bench_function("best_case", |b| {
+        let race = AlignmentRace::new(&qb, &pb, RaceWeights::fig4());
+        b.iter(|| black_box(race.run_functional().score()));
+    });
+    let (qw, pw) = mutate::worst_case_pair::<Dna>(n);
+    group.bench_function("worst_case", |b| {
+        let race = AlignmentRace::new(&qw, &pw, RaceWeights::fig4());
+        b.iter(|| black_box(race.run_functional().score()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_cases);
+criterion_main!(benches);

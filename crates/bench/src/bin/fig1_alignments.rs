@@ -1,0 +1,66 @@
+//! Figure 1: alignments, alignment matrices and the edit graph for the
+//! paper's running example P = "ACTGAGA", Q = "GATTCGA".
+
+use rl_bench::Table;
+use rl_bio::{align, alphabet::Dna, matrix, AlignOp, Seq};
+use rl_dag::edit_graph::{EditGraph, UniformIndel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p: Seq<Dna> = "ACTGAGA".parse()?;
+    let q: Seq<Dna> = "GATTCGA".parse()?;
+    println!("Figure 1 — alignments of P = {p} and Q = {q}\n");
+
+    // Fig. 1a: an optimal alignment under the Fig. 2b distance.
+    let best = align::global(&q, &p, &matrix::dna_shortest())?;
+    let (top, bottom) = best.alignment.two_row(&q, &p);
+    println!("(a) an optimal alignment (score {}):", best.score);
+    println!("    P {}", spaced(&top));
+    println!("    Q {}\n", spaced(&bottom));
+
+    // Fig. 1b: its alignment matrix.
+    let (pc, qc) = best.alignment.alignment_matrix();
+    println!("(b) alignment matrix:");
+    println!("    P {}", pc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+    println!("    Q {}\n", qc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+
+    // Fig. 1c: the worst allowed alignment — delete all of P, insert all
+    // of Q.
+    let worst_ops: Vec<AlignOp> = std::iter::repeat_n(AlignOp::Delete, p.len())
+        .chain(std::iter::repeat_n(AlignOp::Insert, q.len()))
+        .collect();
+    let worst = align::Alignment::from_ops(worst_ops);
+    let (wt, wb) = worst.two_row(&q, &p);
+    let worst_score = worst.score_under(&q, &p, &matrix::dna_shortest()).unwrap();
+    println!("(c) the all-indel alignment (score {worst_score}):");
+    println!("    P {}", spaced(&wt));
+    println!("    Q {}\n", spaced(&wb));
+
+    let (wpc, wqc) = worst.alignment_matrix();
+    println!("(d) its alignment matrix:");
+    println!("    P {}", wpc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+    println!("    Q {}\n", wqc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+
+    // Fig. 1e: the edit graph.
+    let weights = UniformIndel {
+        insertion: 1,
+        deletion: 1,
+        substitution: |i: usize, j: usize| {
+            let (q, p): (Seq<Dna>, Seq<Dna>) =
+                ("GATTCGA".parse().unwrap(), "ACTGAGA".parse().unwrap());
+            Some(if q[i] == p[j] { 1 } else { 2 })
+        },
+    };
+    let graph = EditGraph::build(q.len(), p.len(), &weights)?;
+    let mut t = Table::new("(e) edit graph (Fig. 1e)", &["property", "value"]);
+    t.row(&[&"nodes", &graph.dag().node_count()]);
+    t.row(&[&"edges", &graph.dag().edge_count()]);
+    t.row(&[&"root", &"(0,0)"]);
+    t.row(&[&"sink", &"(7,7)"]);
+    t.row(&[&"anti-diagonals", &(q.len() + p.len() + 1)]);
+    t.print();
+    Ok(())
+}
+
+fn spaced(s: &str) -> String {
+    s.chars().map(|c| format!("{c} ")).collect::<String>().trim_end().to_string()
+}

@@ -1,0 +1,39 @@
+//! Figure 2: the three score matrices — (a) DNA longest-path, (b) DNA
+//! shortest-path, (c) BLOSUM62 — plus the mismatch→∞ hardware variant.
+
+use rl_bio::{alphabet::{AminoAcid, Dna, Symbol}, matrix, ScoreScheme};
+
+fn print_matrix<S: Symbol>(scheme: &ScoreScheme<S>) {
+    println!("{} (objective: {:?}, gap: {}):", scheme.name(), scheme.objective(), scheme.gap());
+    print!("   ");
+    for b in S::all() {
+        print!("{:>4}", b.to_char());
+    }
+    println!();
+    for a in S::all() {
+        print!("  {}", a.to_char());
+        for b in S::all() {
+            match scheme.substitution(a, b) {
+                Some(s) => print!("{s:>4}"),
+                None => print!("{:>4}", "∞"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "  dynamic range N_DR = {}, symmetric = {}\n",
+        scheme.dynamic_range(),
+        scheme.is_symmetric()
+    );
+}
+
+fn main() {
+    println!("Figure 2 — score matrices\n");
+    print_matrix::<Dna>(&matrix::dna_longest());
+    print_matrix::<Dna>(&matrix::dna_shortest());
+    print_matrix::<Dna>(&matrix::dna_race());
+
+    // Fig. 2c: BLOSUM62, printed in the conventional ARND... order.
+    print_matrix::<AminoAcid>(&matrix::blosum62());
+    println!("(PAM250 is also available: rl_bio::matrix::pam250())");
+}

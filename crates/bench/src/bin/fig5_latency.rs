@@ -1,0 +1,69 @@
+//! Figure 5b,e: latency vs string length N — race best/worst case vs the
+//! systolic array, both libraries, with measured cycle counts from the
+//! simulators alongside the analytic laws.
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use rl_bench::{linear_sweep, Table};
+use rl_bio::{alphabet::Dna, mutate};
+use rl_hw_model::{latency, TechLibrary};
+use rl_systolic::{SystolicArray, SystolicWeights};
+
+fn main() {
+    println!("Figure 5b,e — latency (ns) vs string length N\n");
+    for lib in TechLibrary::all() {
+        let mut t = Table::new(
+            &format!("{} standard cells", lib.name),
+            &["N", "race best", "race worst", "systolic", "sys/worst"],
+        );
+        for n in linear_sweep() {
+            let b = latency::race_best_ns(&lib, n);
+            let w = latency::race_worst_ns(&lib, n);
+            let s = latency::systolic_ns(&lib, n);
+            t.row(&[
+                &n,
+                &format!("{b:.0}"),
+                &format!("{w:.0}"),
+                &format!("{s:.0}"),
+                &format!("{:.2}", s / w),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    // Measured cycle counts from the cycle-accurate engines.
+    let lib = TechLibrary::amis05();
+    let mut t = Table::new(
+        "measured cycles (simulators) vs analytic (paper §4.2)",
+        &["N", "race best meas", "N-1", "race worst meas", "2N-2", "systolic steps", "model cycles"],
+    );
+    let mut rng = rl_dag::generate::seeded_rng(42);
+    for n in [10, 20, 40, 80] {
+        let (qb, pb) = mutate::best_case_pair::<Dna, _>(&mut rng, n);
+        let best = AlignmentRace::new(&qb, &pb, RaceWeights::fig4())
+            .run_functional()
+            .latency_cycles()
+            .unwrap();
+        let (qw, pw) = mutate::worst_case_pair::<Dna>(n);
+        let worst = AlignmentRace::new(&qw, &pw, RaceWeights::fig4())
+            .run_functional()
+            .latency_cycles()
+            .unwrap();
+        let sys = SystolicArray::new(&qw, &pw, SystolicWeights::fig2b())
+            .unwrap()
+            .run()
+            .cycles;
+        t.row(&[
+            &n,
+            &best,
+            &latency::race_best_cycles(n),
+            &worst,
+            &latency::race_worst_cycles(n),
+            &sys,
+            &latency::systolic_cycles(n),
+        ]);
+    }
+    t.print();
+    let _ = lib;
+    println!("\npaper shape: both linear in N; systolic ≈ 4× the race worst case");
+}

@@ -1,0 +1,32 @@
+//! Figure 9b: power density vs N for every design variant, against the
+//! ITRS 200 W/cm² air-cooling ceiling.
+
+use rl_bench::{linear_sweep, Table};
+use rl_hw_model::energy::Case;
+use rl_hw_model::{power, TechLibrary};
+
+fn main() {
+    let lib = TechLibrary::amis05();
+    println!("Figure 9b — power density (W/cm²) vs string length N (AMIS)\n");
+    let mut t = Table::new(
+        "power density",
+        &["N", "race best", "race worst", "systolic", "clockless", "best+gate", "worst+gate"],
+    );
+    for n in linear_sweep() {
+        t.row(&[
+            &n,
+            &format!("{:.1}", power::race_density(&lib, n, Case::Best)),
+            &format!("{:.1}", power::race_density(&lib, n, Case::Worst)),
+            &format!("{:.1}", power::systolic_density(&lib, n)),
+            &format!("{:.1}", power::race_clockless_density(&lib, n, Case::Worst)),
+            &format!("{:.1}", power::race_gated_density(&lib, n, Case::Best)),
+            &format!("{:.1}", power::race_gated_density(&lib, n, Case::Worst)),
+        ]);
+    }
+    t.print();
+    println!("\nITRS limit: {} W/cm²", power::ITRS_LIMIT_W_PER_CM2);
+    let ratio = power::systolic_density(&lib, 20) / power::race_density(&lib, 20, Case::Worst);
+    println!("at N = 20: systolic / race-worst = {ratio:.2}x (paper: 5x lower for race)");
+    println!("paper shape: race curves sit far below 200 W/cm²; the systolic");
+    println!("array brushes the ceiling at small N; gating pushes race lower still.");
+}

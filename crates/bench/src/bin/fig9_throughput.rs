@@ -1,0 +1,31 @@
+//! Figure 9a: throughput per unit area vs N — race best/worst vs the
+//! pipelined systolic array, with the N ≈ 70 crossover.
+
+use rl_bench::{linear_sweep, sci, Table};
+use rl_hw_model::energy::Case;
+use rl_hw_model::{throughput, TechLibrary};
+
+fn main() {
+    let lib = TechLibrary::amis05();
+    println!("Figure 9a — throughput (patterns/s/cm²) vs string length N (AMIS)\n");
+    let mut t = Table::new(
+        "throughput per area",
+        &["N", "race best", "race worst", "systolic", "best/systolic"],
+    );
+    for n in linear_sweep() {
+        let rb = throughput::race_per_sec_per_cm2(&lib, n, Case::Best);
+        let rw = throughput::race_per_sec_per_cm2(&lib, n, Case::Worst);
+        let s = throughput::systolic_per_sec_per_cm2(&lib, n);
+        t.row(&[&n, &sci(rb), &sci(rw), &sci(s), &format!("{:.2}", rb / s)]);
+    }
+    t.print();
+    println!(
+        "\ncrossover (race best falls below systolic): N = {} (paper: ~70)",
+        throughput::crossover_n(&lib)
+    );
+    println!(
+        "at N = 20: {:.2}x (paper: about 3x)",
+        throughput::race_per_sec_per_cm2(&lib, 20, Case::Best)
+            / throughput::systolic_per_sec_per_cm2(&lib, 20)
+    );
+}

@@ -1,0 +1,15 @@
+//! The abstract's headline numbers, recomputed from the model: 4× lower
+//! latency, ~3× higher throughput/area, 5× lower power density at
+//! N = 20, and the ~200× energy advantage bracketed by the gated and
+//! clockless estimates.
+
+use rl_hw_model::{headline::HeadlineClaims, TechLibrary};
+
+fn main() {
+    println!("Headline claims (abstract / §1), evaluated at N = 20\n");
+    for lib in TechLibrary::all() {
+        println!("--- {} standard cells ---", lib.name);
+        println!("{}\n", HeadlineClaims::compute(&lib, 20));
+    }
+    println!("see EXPERIMENTS.md (experiment T0) for paper-vs-measured discussion");
+}

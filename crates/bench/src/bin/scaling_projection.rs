@@ -1,0 +1,70 @@
+//! Extension: technology-scaling projection — the paper's 0.5 µm
+//! results carried to 180 nm and 65 nm under constant-field scaling with
+//! realistic (sub-Dennard) voltage floors, showing the ratios are
+//! architectural while absolute power density tightens — the
+//! dark-silicon squeeze of the paper's introduction.
+
+use rl_bench::{sci, Table};
+use rl_hw_model::energy::{self, Case};
+use rl_hw_model::scaling::{project, ProcessNode};
+use rl_hw_model::{headline::HeadlineClaims, latency, power, TechLibrary};
+
+fn main() {
+    println!("Technology scaling projection (AMIS constants, N = 20)\n");
+    let base = TechLibrary::amis05();
+    let nodes: [(&str, Option<ProcessNode>); 3] = [
+        ("0.5 µm / 5 V (paper)", None),
+        ("180 nm / 1.8 V", Some(ProcessNode::nm180())),
+        ("65 nm / 1.1 V", Some(ProcessNode::nm65())),
+    ];
+
+    let mut t = Table::new(
+        "absolute metrics per node",
+        &[
+            "node",
+            "race worst latency (ns)",
+            "race worst E (pJ)",
+            "race density (W/cm²)",
+            "systolic density (W/cm²)",
+        ],
+    );
+    for (label, node) in &nodes {
+        let lib = match node {
+            None => base.clone(),
+            Some(n) => project(&base, *n),
+        };
+        t.row(&[
+            label,
+            &format!("{:.1}", latency::race_worst_ns(&lib, 20)),
+            &sci(energy::race_pj(&lib, 20, Case::Worst)),
+            &format!("{:.0}", power::race_density(&lib, 20, Case::Worst)),
+            &format!("{:.0}", power::systolic_density(&lib, 20)),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "headline ratios per node (scale-invariant)",
+        &["node", "latency x", "T/A x", "density x", "E gated x"],
+    );
+    for (label, node) in &nodes {
+        let lib = match node {
+            None => base.clone(),
+            Some(n) => project(&base, *n),
+        };
+        let c = HeadlineClaims::compute(&lib, 20);
+        t.row(&[
+            label,
+            &format!("{:.2}", c.latency_ratio),
+            &format!("{:.2}", c.throughput_area_ratio),
+            &format!("{:.2}", c.power_density_ratio),
+            &format!("{:.0}", c.energy_ratio_gated),
+        ]);
+    }
+    t.print();
+    println!("\nreading: shrinking helps both designs equally (ratios frozen),");
+    println!("but sub-Dennard voltage floors push *absolute* power density up —");
+    println!("at 65 nm even the race array needs its clock gating to stay under");
+    println!("the ITRS ceiling, and the systolic baseline is untenable: the");
+    println!("dark-silicon argument of §1, quantified.");
+}

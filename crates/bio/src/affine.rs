@@ -1,0 +1,187 @@
+//! Affine-gap global alignment (Gotoh's algorithm).
+//!
+//! Real protein scoring (the BLOSUM/PAM practice the paper's Section 5
+//! gestures at) charges a gap of length `L` as `open + L × extend`
+//! rather than `L × gap`: opening a gap is biologically costlier than
+//! extending one. Gotoh's three-state recurrence computes this in
+//! `O(N·M)`.
+//!
+//! Race Logic, as formulated in the paper, cannot express affine gaps
+//! directly — a cell's outgoing delay would have to depend on *which
+//! edge the signal arrived by*, i.e. per-state values, which a single
+//! OR gate cannot hold. This module therefore serves two purposes: it
+//! completes the bioinformatics substrate, and it marks a concrete
+//! boundary of the paper's architecture (discussed in DESIGN.md §6).
+//! A race-logic affine aligner would need three racing planes (M/Ix/Iy)
+//! with cross-plane edges — a 3× area cost the paper never explores.
+
+use crate::alphabet::Symbol;
+use crate::matrix::{Objective, ScoreScheme};
+use crate::seq::Seq;
+use crate::align::AlignError;
+
+/// Affine gap penalties: a length-`L` gap scores
+/// `open + L × scheme.gap()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineGap {
+    /// One-time score for opening a gap (negative for maximizing
+    /// schemes, positive for minimizing ones).
+    pub open: i32,
+}
+
+/// Global alignment score with affine gaps (Gotoh, 1982).
+///
+/// State matrices: `m` (last column was a substitution), `ix` (gap in
+/// P, consuming Q), `iy` (gap in Q, consuming P).
+///
+/// # Errors
+///
+/// Returns [`AlignError::NoAlignment`] if no legal alignment exists
+/// (requires a scheme forbidding every substitution on some necessary
+/// pair *and* empty-gap pathologies; unreachable for built-in schemes).
+pub fn global_affine_score<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    scheme: &ScoreScheme<S>,
+    gap: AffineGap,
+) -> Result<i64, AlignError> {
+    let (n, m) = (q.len(), p.len());
+    let extend = i64::from(scheme.gap());
+    let open = i64::from(gap.open);
+    let obj = scheme.objective();
+    let better = |a: Option<i64>, b: Option<i64>| -> Option<i64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(match obj {
+                Objective::Maximize => x.max(y),
+                Objective::Minimize => x.min(y),
+            }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    };
+    // Row-rolling storage of the three state matrices.
+    let mut m_prev: Vec<Option<i64>> = vec![None; m + 1];
+    let mut ix_prev: Vec<Option<i64>> = vec![None; m + 1];
+    let mut iy_prev: Vec<Option<i64>> = vec![None; m + 1];
+    m_prev[0] = Some(0);
+    for j in 1..=m {
+        iy_prev[j] = Some(open + extend * j as i64);
+    }
+    for i in 1..=n {
+        let mut m_row: Vec<Option<i64>> = vec![None; m + 1];
+        let mut ix_row: Vec<Option<i64>> = vec![None; m + 1];
+        let mut iy_row: Vec<Option<i64>> = vec![None; m + 1];
+        ix_row[0] = Some(open + extend * i as i64);
+        for j in 1..=m {
+            // Substitution state: best of any state at (i-1, j-1).
+            if let Some(s) = scheme.substitution(q[i - 1], p[j - 1]) {
+                let best_prev = better(better(m_prev[j - 1], ix_prev[j - 1]), iy_prev[j - 1]);
+                m_row[j] = best_prev.map(|v| v + i64::from(s));
+            }
+            // Gap-in-P (consume q[i-1]): open from m/iy above, or extend ix.
+            let open_ix = better(m_prev[j], iy_prev[j]).map(|v| v + open + extend);
+            let ext_ix = ix_prev[j].map(|v| v + extend);
+            ix_row[j] = better(open_ix, ext_ix);
+            // Gap-in-Q (consume p[j-1]): open from m/ix on the left, or extend iy.
+            let open_iy = better(m_row[j - 1], ix_row[j - 1]).map(|v| v + open + extend);
+            let ext_iy = iy_row[j - 1].map(|v| v + extend);
+            iy_row[j] = better(open_iy, ext_iy);
+        }
+        m_prev = m_row;
+        ix_prev = ix_row;
+        iy_prev = iy_row;
+    }
+    better(better(m_prev[m], ix_prev[m]), iy_prev[m]).ok_or(AlignError::NoAlignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align;
+    use crate::alphabet::{AminoAcid, Dna};
+    use crate::matrix;
+    use proptest::prelude::*;
+
+    fn dna(s: &str) -> Seq<Dna> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_open_reduces_to_linear() {
+        let q = dna("GATTCGA");
+        let p = dna("ACTGAGA");
+        for scheme in [matrix::dna_shortest(), matrix::dna_longest()] {
+            let affine =
+                global_affine_score(&q, &p, &scheme, AffineGap { open: 0 }).unwrap();
+            let linear = align::global_score(&q, &p, &scheme).unwrap();
+            assert_eq!(affine, linear, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn opening_cost_discourages_fragmented_gaps() {
+        // Aligning "AAAATTTT" to "AAAA" needs one length-4 gap; with
+        // affine costs that's open + 4, not 4 separate opens.
+        let q = dna("AAAATTTT");
+        let p = dna("AAAA");
+        let scheme = matrix::levenshtein_scheme();
+        let affine = global_affine_score(&q, &p, &scheme, AffineGap { open: 3 }).unwrap();
+        // one open (3) + 4 extends (4) + 4 matches (0) = 7.
+        assert_eq!(affine, 7);
+    }
+
+    #[test]
+    fn blosum62_affine_sane() {
+        let a: Seq<AminoAcid> = "VHLTPEEK".parse().unwrap();
+        let b: Seq<AminoAcid> = "VHLPEEK".parse().unwrap();
+        let scheme = matrix::blosum62();
+        // Typical BLOSUM62 pairing: open -10 on top of extend -4... use
+        // open -6 so total first-gap cost is -10.
+        let affine = global_affine_score(&a, &b, &scheme, AffineGap { open: -6 }).unwrap();
+        let linear = align::global_score(&a, &b, &scheme).unwrap();
+        assert!(affine <= linear, "opening penalties can only hurt a maximizer");
+        // Still clearly positive: the sequences are near-identical.
+        assert!(affine > 20);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let e = Seq::<Dna>::empty();
+        let s = dna("ACG");
+        let scheme = matrix::levenshtein_scheme();
+        assert_eq!(global_affine_score(&e, &e, &scheme, AffineGap { open: 5 }).unwrap(), 0);
+        assert_eq!(
+            global_affine_score(&s, &e, &scheme, AffineGap { open: 5 }).unwrap(),
+            5 + 3
+        );
+    }
+
+    proptest! {
+        /// With open = 0 the affine DP equals the linear DP on random
+        /// inputs for every built-in scheme family.
+        #[test]
+        fn zero_open_equivalence(qs in "[ACGT]{0,14}", ps in "[ACGT]{0,14}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            for scheme in [matrix::dna_shortest(), matrix::dna_longest(), matrix::levenshtein_scheme()] {
+                prop_assert_eq!(
+                    global_affine_score(&q, &p, &scheme, AffineGap { open: 0 }).unwrap(),
+                    align::global_score(&q, &p, &scheme).unwrap()
+                );
+            }
+        }
+
+        /// Monotonicity: for a minimizing scheme, raising the opening
+        /// cost never lowers the distance.
+        #[test]
+        fn open_cost_monotone(qs in "[ACGT]{0,10}", ps in "[ACGT]{0,10}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let scheme = matrix::levenshtein_scheme();
+            let mut last = i64::MIN;
+            for open in [0, 1, 2, 5] {
+                let v = global_affine_score(&q, &p, &scheme, AffineGap { open }).unwrap();
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Reference alignment algorithms: the software oracles for every
+//! hardware simulation in the workspace.
+//!
+//! - [`global`] / [`global_score`] — Needleman–Wunsch global alignment
+//!   over an arbitrary [`ScoreScheme`], with traceback.
+//! - [`local_score`] — Smith–Waterman local similarity (maximizing
+//!   schemes only).
+//! - [`levenshtein`] — an independent two-row unit-cost edit distance,
+//!   deliberately *not* sharing code with [`global`] so the two can
+//!   cross-check each other.
+//!
+//! The paper's Fig. 4c table is the global DP under the Fig. 2b matrix;
+//! the `race-logic` crate asserts cell-for-cell equality between its
+//! simulated arrival times and [`global_table`].
+
+use std::fmt;
+
+use crate::alphabet::Symbol;
+use crate::matrix::{Objective, ScoreScheme};
+use crate::seq::Seq;
+
+/// One column of an alignment (paper Fig. 1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignOp {
+    /// Equal symbols aligned (diagonal edge).
+    Match,
+    /// Different symbols aligned (diagonal edge).
+    Mismatch,
+    /// A symbol of Q against a gap in P (vertical edge).
+    Insert,
+    /// A symbol of P against a gap in Q (horizontal edge).
+    Delete,
+}
+
+/// A full global alignment: a path through the edit graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Alignment {
+    ops: Vec<AlignOp>,
+}
+
+/// The outcome of a global alignment: optimal score plus one optimal
+/// alignment achieving it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentResult {
+    /// The optimal score under the scheme's objective.
+    pub score: i64,
+    /// One optimal alignment (deterministic tie-breaking: diagonal is
+    /// preferred over vertical over horizontal).
+    pub alignment: Alignment,
+}
+
+/// Errors from the alignment solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// Smith–Waterman local alignment requires a maximizing scheme
+    /// (scores reset at zero, which is meaningless for distances).
+    LocalRequiresMaximize,
+    /// No legal alignment exists (can only happen if a scheme forbids
+    /// substitutions *and* the implementation is asked to avoid gaps;
+    /// unreachable with the schemes in this crate, kept for robustness).
+    NoAlignment,
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::LocalRequiresMaximize => {
+                write!(f, "local alignment requires a maximizing score scheme")
+            }
+            AlignError::NoAlignment => write!(f, "no legal alignment exists"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+impl Alignment {
+    /// Builds an alignment directly from its columns — for constructing
+    /// specific alignments to price or render (e.g. the paper's Fig. 1c
+    /// all-indel alignment).
+    #[must_use]
+    pub fn from_ops(ops: Vec<AlignOp>) -> Alignment {
+        Alignment { ops }
+    }
+
+    /// The alignment's columns in order.
+    #[must_use]
+    pub fn ops(&self) -> &[AlignOp] {
+        &self.ops
+    }
+
+    /// Number of columns (`≤ |P| + |Q|`, per Section 2.3).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` for the empty alignment of two empty strings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts of (matches, mismatches, indels).
+    #[must_use]
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut m = 0;
+        let mut x = 0;
+        let mut g = 0;
+        for op in &self.ops {
+            match op {
+                AlignOp::Match => m += 1,
+                AlignOp::Mismatch => x += 1,
+                AlignOp::Insert | AlignOp::Delete => g += 1,
+            }
+        }
+        (m, x, g)
+    }
+
+    /// Renders the two-row gapped form of paper Fig. 1a: the top row is P
+    /// (with `_` at insertions), the bottom row Q (with `_` at deletions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment does not consume exactly `q` and `p`.
+    #[must_use]
+    pub fn two_row<S: Symbol>(&self, q: &Seq<S>, p: &Seq<S>) -> (String, String) {
+        let mut top = String::new();
+        let mut bottom = String::new();
+        let (mut i, mut j) = (0, 0);
+        for op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    top.push(p[j].to_char());
+                    bottom.push(q[i].to_char());
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Insert => {
+                    top.push('_');
+                    bottom.push(q[i].to_char());
+                    i += 1;
+                }
+                AlignOp::Delete => {
+                    top.push(p[j].to_char());
+                    bottom.push('_');
+                    j += 1;
+                }
+            }
+        }
+        assert!(i == q.len() && j == p.len(), "alignment does not cover both sequences");
+        (top, bottom)
+    }
+
+    /// The *alignment matrix* of paper Fig. 1b/d: per column, the
+    /// cumulative number of P symbols (top) and Q symbols (bottom)
+    /// consumed up to and including that column.
+    #[must_use]
+    pub fn alignment_matrix(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut p_counts = Vec::with_capacity(self.ops.len());
+        let mut q_counts = Vec::with_capacity(self.ops.len());
+        let (mut i, mut j) = (0_usize, 0_usize);
+        for op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Insert => i += 1,
+                AlignOp::Delete => j += 1,
+            }
+            p_counts.push(j);
+            q_counts.push(i);
+        }
+        (p_counts, q_counts)
+    }
+
+    /// Re-prices this alignment under `scheme`; `None` if it uses a
+    /// forbidden substitution. Used to verify traceback consistency.
+    #[must_use]
+    pub fn score_under<S: Symbol>(
+        &self,
+        q: &Seq<S>,
+        p: &Seq<S>,
+        scheme: &ScoreScheme<S>,
+    ) -> Option<i64> {
+        let (mut i, mut j) = (0, 0);
+        let mut total = 0_i64;
+        for op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    total += i64::from(scheme.substitution(q[i], p[j])?);
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Insert => {
+                    total += i64::from(scheme.gap());
+                    i += 1;
+                }
+                AlignOp::Delete => {
+                    total += i64::from(scheme.gap());
+                    j += 1;
+                }
+            }
+        }
+        Some(total)
+    }
+}
+
+/// Picks the better of two optional scores under `objective`.
+fn better(objective: Objective, a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(match objective {
+            Objective::Maximize => x.max(y),
+            Objective::Minimize => x.min(y),
+        }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The full `(n+1) × (m+1)` global DP table (row-major; `n = |q|`,
+/// `m = |p|`). Entry `(i, j)` is the optimal score of aligning `q[..i]`
+/// with `p[..j]`, or `None` if no legal partial alignment exists.
+///
+/// Exposed because the Race Logic simulators are validated cell-for-cell
+/// against it (the paper's Fig. 4c prints exactly this table).
+#[must_use]
+pub fn global_table<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    scheme: &ScoreScheme<S>,
+) -> Vec<Vec<Option<i64>>> {
+    let (n, m) = (q.len(), p.len());
+    let gap = i64::from(scheme.gap());
+    let obj = scheme.objective();
+    let mut dp = vec![vec![None; m + 1]; n + 1];
+    dp[0][0] = Some(0);
+    for j in 1..=m {
+        dp[0][j] = dp[0][j - 1].map(|v| v + gap);
+    }
+    for i in 1..=n {
+        dp[i][0] = dp[i - 1][0].map(|v| v + gap);
+        for j in 1..=m {
+            let ins = dp[i - 1][j].map(|v| v + gap);
+            let del = dp[i][j - 1].map(|v| v + gap);
+            let sub = match scheme.substitution(q[i - 1], p[j - 1]) {
+                Some(s) => dp[i - 1][j - 1].map(|v| v + i64::from(s)),
+                None => None,
+            };
+            dp[i][j] = better(obj, better(obj, sub, ins), del);
+        }
+    }
+    dp
+}
+
+/// The optimal global alignment score of `q` against `p`.
+///
+/// # Errors
+///
+/// Returns [`AlignError::NoAlignment`] if no legal alignment exists
+/// (unreachable when gaps are permitted, as in all built-in schemes).
+pub fn global_score<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    scheme: &ScoreScheme<S>,
+) -> Result<i64, AlignError> {
+    global_table(q, p, scheme)[q.len()][p.len()].ok_or(AlignError::NoAlignment)
+}
+
+/// Needleman–Wunsch global alignment with traceback.
+///
+/// # Errors
+///
+/// Returns [`AlignError::NoAlignment`] if no legal alignment exists.
+pub fn global<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    scheme: &ScoreScheme<S>,
+) -> Result<AlignmentResult, AlignError> {
+    let dp = global_table(q, p, scheme);
+    let (n, m) = (q.len(), p.len());
+    let score = dp[n][m].ok_or(AlignError::NoAlignment)?;
+    let gap = i64::from(scheme.gap());
+    // Trace back greedily, preferring diagonal, then vertical, then
+    // horizontal — deterministic among co-optimal alignments.
+    let mut ops = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let cur = dp[i][j].expect("on-path cells are always reachable");
+        let diag_sub = (i > 0 && j > 0)
+            .then(|| scheme.substitution(q[i - 1], p[j - 1]))
+            .flatten();
+        if let Some(s) = diag_sub {
+            if dp[i - 1][j - 1].map(|v| v + i64::from(s)) == Some(cur) {
+                ops.push(if q[i - 1] == p[j - 1] { AlignOp::Match } else { AlignOp::Mismatch });
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && dp[i - 1][j].map(|v| v + gap) == Some(cur) {
+            ops.push(AlignOp::Insert);
+            i -= 1;
+            continue;
+        }
+        debug_assert!(j > 0 && dp[i][j - 1].map(|v| v + gap) == Some(cur));
+        ops.push(AlignOp::Delete);
+        j -= 1;
+    }
+    ops.reverse();
+    Ok(AlignmentResult { score, alignment: Alignment { ops } })
+}
+
+/// Smith–Waterman local similarity: the best-scoring pair of substrings,
+/// with empty substrings scoring 0.
+///
+/// # Errors
+///
+/// Returns [`AlignError::LocalRequiresMaximize`] for minimizing schemes.
+pub fn local_score<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    scheme: &ScoreScheme<S>,
+) -> Result<i64, AlignError> {
+    if scheme.objective() != Objective::Maximize {
+        return Err(AlignError::LocalRequiresMaximize);
+    }
+    let (n, m) = (q.len(), p.len());
+    let gap = i64::from(scheme.gap());
+    let mut prev = vec![0_i64; m + 1];
+    let mut best = 0_i64;
+    for i in 1..=n {
+        let mut row = vec![0_i64; m + 1];
+        for j in 1..=m {
+            let mut v = 0_i64;
+            if let Some(s) = scheme.substitution(q[i - 1], p[j - 1]) {
+                v = v.max(prev[j - 1] + i64::from(s));
+            }
+            v = v.max(prev[j] + gap).max(row[j - 1] + gap).max(0);
+            row[j] = v;
+            best = best.max(v);
+        }
+        prev = row;
+    }
+    Ok(best)
+}
+
+/// Unit-cost Levenshtein distance, implemented independently of the
+/// generic DP (two-row rolling arrays) so the two act as mutual oracles.
+#[must_use]
+pub fn levenshtein<S: Symbol>(q: &Seq<S>, p: &Seq<S>) -> u64 {
+    let (n, m) = (q.len(), p.len());
+    let mut prev: Vec<u64> = (0..=m as u64).collect();
+    for i in 1..=n {
+        let mut row = vec![0_u64; m + 1];
+        row[0] = i as u64;
+        for j in 1..=m {
+            let sub = prev[j - 1] + u64::from(q[i - 1] != p[j - 1]);
+            row[j] = sub.min(prev[j] + 1).min(row[j - 1] + 1);
+        }
+        prev = row;
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Dna;
+    use crate::matrix;
+    use proptest::prelude::*;
+
+    fn dna(s: &str) -> Seq<Dna> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_example_scores_ten() {
+        // Fig. 4c: P = ACTGAGA vs Q = GATTCGA under Fig. 2b scores 10.
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        assert_eq!(global_score(&q, &p, &matrix::dna_shortest()).unwrap(), 10);
+        // The mismatch=∞ hardware variant is score-equivalent (paper §3).
+        assert_eq!(global_score(&q, &p, &matrix::dna_race()).unwrap(), 10);
+    }
+
+    #[test]
+    fn paper_fig4c_table_matches() {
+        // The complete arrival-time table printed in Fig. 4c.
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        let dp = global_table(&q, &p, &matrix::dna_race());
+        #[rustfmt::skip]
+        let expected: [[i64; 8]; 8] = [
+            [0, 1, 2, 3, 4, 5, 6, 7],
+            [1, 2, 3, 4, 4, 5, 6, 7],
+            [2, 2, 3, 4, 5, 5, 6, 7],
+            [3, 3, 4, 4, 5, 6, 7, 8],
+            [4, 4, 5, 5, 6, 7, 8, 9],
+            [5, 5, 5, 6, 7, 8, 9, 10],
+            [6, 6, 6, 7, 7, 8, 9, 10],
+            [7, 7, 7, 8, 8, 8, 9, 10],
+        ];
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(dp[i][j], Some(expected[i][j]), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_counts_matches() {
+        // Fig. 2a: score = max number of matches. For the paper pair the
+        // best alignment has 4 matches (Fig. 1a shows A, T, G, A aligned).
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        let s = global_score(&q, &p, &matrix::dna_longest()).unwrap();
+        assert_eq!(s, 4);
+    }
+
+    #[test]
+    fn traceback_is_consistent_with_score() {
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        for scheme in [matrix::dna_shortest(), matrix::dna_race(), matrix::levenshtein_scheme()] {
+            let r = global(&q, &p, &scheme).unwrap();
+            assert_eq!(r.alignment.score_under(&q, &p, &scheme), Some(r.score), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn two_row_rendering_is_well_formed() {
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        let r = global(&q, &p, &matrix::dna_shortest()).unwrap();
+        let (top, bottom) = r.alignment.two_row(&q, &p);
+        assert_eq!(top.len(), bottom.len());
+        assert_eq!(top.chars().filter(|&c| c != '_').count(), 7);
+        assert_eq!(bottom.chars().filter(|&c| c != '_').count(), 7);
+        // No column may gap both rows.
+        assert!(top.chars().zip(bottom.chars()).all(|(a, b)| a != '_' || b != '_'));
+    }
+
+    #[test]
+    fn alignment_matrix_is_monotone_and_complete() {
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        let r = global(&q, &p, &matrix::dna_shortest()).unwrap();
+        let (pc, qc) = r.alignment.alignment_matrix();
+        assert_eq!(*pc.last().unwrap(), 7);
+        assert_eq!(*qc.last().unwrap(), 7);
+        assert!(pc.windows(2).all(|w| w[1] >= w[0] && w[1] - w[0] <= 1));
+        assert!(qc.windows(2).all(|w| w[1] >= w[0] && w[1] - w[0] <= 1));
+    }
+
+    #[test]
+    fn kitten_sitting_is_three() {
+        // Use protein alphabet since 'kitten' isn't DNA.
+        let q: Seq<crate::AminoAcid> = "KITTEN".parse().unwrap();
+        let p: Seq<crate::AminoAcid> = "SITTING".parse().unwrap();
+        assert_eq!(levenshtein(&q, &p), 3);
+    }
+
+    #[test]
+    fn empty_sequence_cases() {
+        let e = Seq::<Dna>::empty();
+        let s = dna("ACGT");
+        let scheme = matrix::dna_shortest();
+        assert_eq!(global_score(&e, &e, &scheme).unwrap(), 0);
+        assert_eq!(global_score(&s, &e, &scheme).unwrap(), 4);
+        assert_eq!(global_score(&e, &s, &scheme).unwrap(), 4);
+        let r = global(&s, &e, &scheme).unwrap();
+        assert_eq!(r.alignment.ops(), &[AlignOp::Insert; 4]);
+        assert_eq!(levenshtein(&e, &s), 4);
+    }
+
+    #[test]
+    fn local_requires_maximize() {
+        let s = dna("ACGT");
+        assert_eq!(
+            local_score(&s, &s, &matrix::dna_shortest()),
+            Err(AlignError::LocalRequiresMaximize)
+        );
+    }
+
+    #[test]
+    fn local_score_finds_embedded_match() {
+        // Identical strings: local == global == N matches (Fig. 2a scores).
+        let s = dna("ACGTACGT");
+        assert_eq!(local_score(&s, &s, &matrix::dna_longest()).unwrap(), 8);
+        // A short perfect region inside noise still scores its length.
+        let q = dna("TTTTACGTTTTT");
+        let p = dna("CCCCACGTCCCC");
+        assert!(local_score(&q, &p, &matrix::dna_longest()).unwrap() >= 4);
+    }
+
+    #[test]
+    fn op_counts_sum_to_length() {
+        let p = dna("ACTGAGA");
+        let q = dna("GATTCGA");
+        let r = global(&q, &p, &matrix::dna_shortest()).unwrap();
+        let (m, x, g) = r.alignment.op_counts();
+        assert_eq!(m + x + g, r.alignment.len());
+        assert!(r.alignment.len() <= p.len() + q.len(), "Section 2.3 bound");
+    }
+
+    proptest! {
+        /// The generic global DP under the Levenshtein scheme must agree
+        /// with the independent two-row implementation.
+        #[test]
+        fn global_matches_levenshtein(qs in "[ACGT]{0,24}", ps in "[ACGT]{0,24}") {
+            let q = dna(&qs);
+            let p = dna(&ps);
+            let generic = global_score(&q, &p, &matrix::levenshtein_scheme()).unwrap();
+            prop_assert_eq!(generic as u64, levenshtein(&q, &p));
+        }
+
+        /// Paper §3: replacing the mismatch weight 2 with ∞ never changes
+        /// the optimal Fig. 2b score (a mismatch = an indel pair).
+        #[test]
+        fn race_matrix_equivalent_to_fig2b(qs in "[ACGT]{0,20}", ps in "[ACGT]{0,20}") {
+            let q = dna(&qs);
+            let p = dna(&ps);
+            let full = global_score(&q, &p, &matrix::dna_shortest()).unwrap();
+            let race = global_score(&q, &p, &matrix::dna_race()).unwrap();
+            prop_assert_eq!(full, race);
+        }
+
+        /// Traceback always re-prices to the reported optimal score.
+        #[test]
+        fn traceback_consistency(qs in "[ACGT]{0,16}", ps in "[ACGT]{0,16}") {
+            let q = dna(&qs);
+            let p = dna(&ps);
+            let scheme = matrix::dna_shortest();
+            let r = global(&q, &p, &scheme).unwrap();
+            prop_assert_eq!(r.alignment.score_under(&q, &p, &scheme), Some(r.score));
+        }
+
+        /// Levenshtein axioms: identity, symmetry, triangle inequality.
+        #[test]
+        fn levenshtein_is_a_metric(
+            a in "[ACGT]{0,12}", b in "[ACGT]{0,12}", c in "[ACGT]{0,12}"
+        ) {
+            let (a, b, c) = (dna(&a), dna(&b), dna(&c));
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+    }
+}

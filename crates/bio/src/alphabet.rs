@@ -1,0 +1,247 @@
+//! Alphabets: DNA nucleobases and the 20 proteinogenic amino acids.
+//!
+//! The paper (Section 2.3) characterizes alignment problems by their
+//! *symbol size* `N_SS` — 4 for DNA, 20 for protein comparison — which
+//! sets the width of the symbol inputs of a Race Logic cell (Fig. 8 uses
+//! `log₂ N_SS` wires per operand).
+
+use std::fmt;
+
+/// A symbol drawn from a finite alphabet.
+///
+/// The trait is object-unsafe by design (constructors, constants): it is
+/// used exclusively as a bound on generic sequence and matrix types.
+pub trait Symbol: Copy + Eq + Ord + std::hash::Hash + fmt::Debug + Send + Sync + 'static {
+    /// Number of symbols in the alphabet (`N_SS` in the paper).
+    const COUNT: usize;
+
+    /// A human-readable alphabet name for error messages.
+    const NAME: &'static str;
+
+    /// The dense index of this symbol, in `0..Self::COUNT`.
+    fn index(self) -> usize;
+
+    /// The symbol with the given dense index, or `None` if out of range.
+    fn from_index(index: usize) -> Option<Self>;
+
+    /// Uppercase single-letter code.
+    fn to_char(self) -> char;
+
+    /// Parses a single-letter code (case-insensitive).
+    fn from_char(c: char) -> Option<Self>;
+
+    /// All symbols in index order.
+    fn all() -> AllSymbols<Self> {
+        AllSymbols { next: 0, _marker: std::marker::PhantomData }
+    }
+
+    /// Number of bits needed to encode one symbol (`⌈log₂ N_SS⌉`): the
+    /// width of the symbol buses in the hardware.
+    #[must_use]
+    fn bits() -> u32 {
+        usize::BITS - (Self::COUNT - 1).leading_zeros()
+    }
+}
+
+/// Iterator over every symbol of an alphabet; see [`Symbol::all`].
+#[derive(Debug, Clone)]
+pub struct AllSymbols<S> {
+    next: usize,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Symbol> Iterator for AllSymbols<S> {
+    type Item = S;
+
+    fn next(&mut self) -> Option<S> {
+        let s = S::from_index(self.next)?;
+        self.next += 1;
+        Some(s)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = S::COUNT.saturating_sub(self.next);
+        (rem, Some(rem))
+    }
+}
+
+impl<S: Symbol> ExactSizeIterator for AllSymbols<S> {}
+
+/// The four DNA nucleobases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Dna {
+    A,
+    C,
+    G,
+    T,
+}
+
+impl Symbol for Dna {
+    const COUNT: usize = 4;
+    const NAME: &'static str = "DNA";
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_index(index: usize) -> Option<Self> {
+        [Dna::A, Dna::C, Dna::G, Dna::T].get(index).copied()
+    }
+
+    fn to_char(self) -> char {
+        match self {
+            Dna::A => 'A',
+            Dna::C => 'C',
+            Dna::G => 'G',
+            Dna::T => 'T',
+        }
+    }
+
+    fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Dna::A),
+            'C' => Some(Dna::C),
+            'G' => Some(Dna::G),
+            'T' => Some(Dna::T),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dna {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// The 20 proteinogenic amino acids, in the conventional score-matrix
+/// order `A R N D C Q E G H I L K M F P S T W Y V` (the row order of the
+/// published BLOSUM and PAM matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum AminoAcid {
+    Ala, // A
+    Arg, // R
+    Asn, // N
+    Asp, // D
+    Cys, // C
+    Gln, // Q
+    Glu, // E
+    Gly, // G
+    His, // H
+    Ile, // I
+    Leu, // L
+    Lys, // K
+    Met, // M
+    Phe, // F
+    Pro, // P
+    Ser, // S
+    Thr, // T
+    Trp, // W
+    Tyr, // Y
+    Val, // V
+}
+
+const AMINO_ORDER: [AminoAcid; 20] = [
+    AminoAcid::Ala,
+    AminoAcid::Arg,
+    AminoAcid::Asn,
+    AminoAcid::Asp,
+    AminoAcid::Cys,
+    AminoAcid::Gln,
+    AminoAcid::Glu,
+    AminoAcid::Gly,
+    AminoAcid::His,
+    AminoAcid::Ile,
+    AminoAcid::Leu,
+    AminoAcid::Lys,
+    AminoAcid::Met,
+    AminoAcid::Phe,
+    AminoAcid::Pro,
+    AminoAcid::Ser,
+    AminoAcid::Thr,
+    AminoAcid::Trp,
+    AminoAcid::Tyr,
+    AminoAcid::Val,
+];
+
+const AMINO_CHARS: [char; 20] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
+    'Y', 'V',
+];
+
+impl Symbol for AminoAcid {
+    const COUNT: usize = 20;
+    const NAME: &'static str = "amino acid";
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_index(index: usize) -> Option<Self> {
+        AMINO_ORDER.get(index).copied()
+    }
+
+    fn to_char(self) -> char {
+        AMINO_CHARS[self.index()]
+    }
+
+    fn from_char(c: char) -> Option<Self> {
+        let c = c.to_ascii_uppercase();
+        AMINO_CHARS
+            .iter()
+            .position(|&a| a == c)
+            .map(|i| AMINO_ORDER[i])
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_round_trips<S: Symbol>() {
+        assert_eq!(S::all().count(), S::COUNT);
+        for (i, s) in S::all().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(S::from_index(i), Some(s));
+            assert_eq!(S::from_char(s.to_char()), Some(s));
+            assert_eq!(S::from_char(s.to_char().to_ascii_lowercase()), Some(s));
+        }
+        assert_eq!(S::from_index(S::COUNT), None);
+    }
+
+    #[test]
+    fn dna_round_trips() {
+        check_round_trips::<Dna>();
+        assert_eq!(Dna::from_char('x'), None);
+        assert_eq!(Dna::bits(), 2);
+    }
+
+    #[test]
+    fn amino_round_trips() {
+        check_round_trips::<AminoAcid>();
+        assert_eq!(AminoAcid::from_char('B'), None); // ambiguity codes excluded
+        assert_eq!(AminoAcid::bits(), 5);
+    }
+
+    #[test]
+    fn amino_order_matches_blosum_convention() {
+        let letters: String = AminoAcid::all().map(|a| a.to_char()).collect();
+        assert_eq!(letters, "ARNDCQEGHILKMFPSTWYV");
+    }
+
+    #[test]
+    fn all_symbols_is_exact_size() {
+        let mut it = Dna::all();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+}

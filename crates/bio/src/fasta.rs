@@ -1,0 +1,188 @@
+//! Minimal FASTA I/O: the format real sequence databases arrive in.
+//!
+//! Supports the plain multi-record subset (header lines starting with
+//! `>`, sequence lines wrapped at arbitrary width, `;` comment lines,
+//! blank lines ignored) — enough to feed the §6 database-scan scenario
+//! from real files without pulling in an external parser.
+
+use std::fmt::Write as _;
+
+use crate::alphabet::Symbol;
+use crate::seq::{ParseSeqError, Seq};
+
+/// One FASTA record: a header and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record<S> {
+    /// The header text after `>` (up to the first newline), trimmed.
+    pub id: String,
+    /// The sequence.
+    pub seq: Seq<S>,
+}
+
+/// Errors from FASTA parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number of the offending data.
+        line: usize,
+    },
+    /// A sequence line contained an invalid symbol.
+    BadSymbol {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying alphabet error.
+        source: ParseSeqError,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+            FastaError::BadSymbol { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::BadSymbol { source, .. } => Some(source),
+            FastaError::MissingHeader { .. } => None,
+        }
+    }
+}
+
+/// Parses FASTA text into records.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on data before the first header or on symbols
+/// outside the alphabet `S`.
+pub fn parse<S: Symbol>(text: &str) -> Result<Vec<Record<S>>, FastaError> {
+    let mut records: Vec<Record<S>> = Vec::new();
+    let mut current: Option<(String, Vec<S>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(id) = line.strip_prefix('>') {
+            if let Some((id, symbols)) = current.take() {
+                records.push(Record { id, seq: Seq::new(symbols) });
+            }
+            current = Some((id.trim().to_string(), Vec::new()));
+        } else {
+            let Some((_, symbols)) = current.as_mut() else {
+                return Err(FastaError::MissingHeader { line: lineno + 1 });
+            };
+            let parsed: Seq<S> = Seq::from_text(line)
+                .map_err(|source| FastaError::BadSymbol { line: lineno + 1, source })?;
+            symbols.extend(parsed.into_vec());
+        }
+    }
+    if let Some((id, symbols)) = current.take() {
+        records.push(Record { id, seq: Seq::new(symbols) });
+    }
+    Ok(records)
+}
+
+/// Renders records as FASTA text, wrapping sequence lines at `width`
+/// (conventionally 60 or 80).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn render<S: Symbol>(records: &[Record<S>], width: usize) -> String {
+    assert!(width > 0, "wrap width must be positive");
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, ">{}", r.id);
+        let text = r.seq.to_string();
+        let mut rest = text.as_str();
+        while !rest.is_empty() {
+            let take = rest.len().min(width);
+            let _ = writeln!(out, "{}", &rest[..take]);
+            rest = &rest[take..];
+        }
+        if r.seq.is_empty() {
+            // Keep a blank sequence line so the record round-trips.
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{AminoAcid, Dna};
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_multi_record_wrapped() {
+        let text = "; a comment\n>read1 descr\nACGT\nACGT\n\n>read2\nTT\n";
+        let recs: Vec<Record<Dna>> = parse(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "read1 descr");
+        assert_eq!(recs[0].seq.to_string(), "ACGTACGT");
+        assert_eq!(recs[1].id, "read2");
+        assert_eq!(recs[1].seq.to_string(), "TT");
+    }
+
+    #[test]
+    fn protein_records_parse() {
+        let recs: Vec<Record<AminoAcid>> = parse(">p\nMKLV\nWY\n").unwrap();
+        assert_eq!(recs[0].seq.to_string(), "MKLVWY");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        let err = parse::<Dna>("ACGT\n>late\nAC\n").unwrap_err();
+        assert_eq!(err, FastaError::MissingHeader { line: 1 });
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_symbol_reports_line() {
+        let err = parse::<Dna>(">r\nACGT\nACXT\n").unwrap_err();
+        match err {
+            FastaError::BadSymbol { line, source } => {
+                assert_eq!(line, 3);
+                assert_eq!(source.ch, 'X');
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_and_empty_record() {
+        assert_eq!(parse::<Dna>("").unwrap(), vec![]);
+        let recs: Vec<Record<Dna>> = parse(">empty\n>next\nAC\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].seq.is_empty());
+    }
+
+    proptest! {
+        /// render ∘ parse is the identity on well-formed records.
+        #[test]
+        fn round_trip(
+            seqs in proptest::collection::vec("[ACGT]{0,100}", 1..6),
+            width in 1_usize..30,
+        ) {
+            let records: Vec<Record<Dna>> = seqs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Record { id: format!("r{i}"), seq: s.parse().unwrap() })
+                .collect();
+            let text = render(&records, width);
+            let back: Vec<Record<Dna>> = parse(&text).unwrap();
+            prop_assert_eq!(back, records);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # rl-bio — the sequence-comparison substrate
+//!
+//! The Race Logic paper evaluates its architecture on DNA global sequence
+//! alignment and sketches the extension to protein comparison with modern
+//! score matrices (BLOSUM62, PAM250). This crate provides everything on
+//! the *problem* side of that evaluation, independent of any hardware:
+//!
+//! - [`alphabet`] — the DNA (4-symbol) and amino-acid (20-symbol)
+//!   alphabets of Section 2.3.
+//! - [`Seq`] — typed sequences with parsing, display, and seeded random
+//!   generation.
+//! - [`matrix`] — score schemes: the paper's Fig. 2a (longest-path) and
+//!   Fig. 2b (shortest-path) DNA matrices, the mismatch→∞ modification
+//!   used by the Fig. 4 hardware, and the full [`blosum62`](matrix::blosum62)
+//!   / [`pam250`](matrix::pam250) protein matrices.
+//! - [`align`] — reference dynamic-programming solvers: global
+//!   (Needleman–Wunsch) score and alignment with traceback, local
+//!   (Smith–Waterman) score, and Levenshtein distance. These are the
+//!   oracles every hardware simulation in the workspace is validated
+//!   against.
+//! - [`mutate`] — seeded mutation models producing best-case, worst-case
+//!   and x%-similar string pairs, standing in for the proprietary genomic
+//!   traces the paper's test benches used (see DESIGN.md, substitutions).
+//!
+//! # Example
+//!
+//! ```
+//! use rl_bio::{Seq, alphabet::Dna, matrix, align};
+//!
+//! // The running example of the paper (Fig. 1): P = ACTGAGA, Q = GATTCGA.
+//! let p: Seq<Dna> = "ACTGAGA".parse()?;
+//! let q: Seq<Dna> = "GATTCGA".parse()?;
+//! let scheme = matrix::dna_shortest(); // Fig. 2b: match 1, mismatch 2, indel 1
+//! let result = align::global(&q, &p, &scheme)?;
+//! assert_eq!(result.score, 10); // the paper's Fig. 4c final score
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod align;
+pub mod fasta;
+pub mod alphabet;
+pub mod matrix;
+pub mod mutate;
+mod seq;
+
+pub use align::{AlignOp, Alignment, AlignmentResult};
+pub use alphabet::{AminoAcid, Dna, Symbol};
+pub use matrix::{Objective, ScoreScheme};
+pub use seq::{ParseSeqError, Seq};

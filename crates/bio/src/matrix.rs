@@ -1,0 +1,388 @@
+//! Score schemes: the paper's Fig. 2 matrices and the standard protein
+//! matrices (BLOSUM62, PAM250).
+//!
+//! A [`ScoreScheme`] prices the three edit operations of an alignment:
+//! substitutions (including matches) via an `N_SS × N_SS` matrix, and
+//! insertions/deletions via a uniform gap score. Whether bigger is better
+//! is captured by the [`Objective`]: the paper's Fig. 2a matrix rewards
+//! matches (longest path / `Maximize`), its Fig. 2b matrix penalizes edits
+//! (shortest path / `Minimize`), and Section 2.3 notes the two views are
+//! equivalent.
+//!
+//! A substitution may also be *forbidden* (`None`), the paper's trick of
+//! raising the mismatch weight to infinity so the Fig. 4 hardware needs no
+//! mismatch delay chain at all.
+
+use std::fmt;
+
+use crate::alphabet::{AminoAcid, Dna, Symbol};
+
+/// Whether a scheme's optimal alignment maximizes or minimizes the total
+/// score — longest-path vs shortest-path in the edit graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Higher scores are better (similarity matrices: Fig. 2a, BLOSUM).
+    Maximize,
+    /// Lower scores are better (distance matrices: Fig. 2b).
+    Minimize,
+}
+
+/// Errors constructing or transforming a score scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// The substitution table length was not `N_SS × N_SS`.
+    WrongTableSize {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::WrongTableSize { expected, got } => {
+                write!(f, "substitution table has {got} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// Prices the edit operations between symbols of alphabet `S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreScheme<S: Symbol> {
+    name: &'static str,
+    objective: Objective,
+    /// Row-major `COUNT × COUNT`; `None` = forbidden substitution (∞).
+    substitution: Vec<Option<i32>>,
+    gap: i32,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Symbol> ScoreScheme<S> {
+    /// Creates a scheme from a row-major substitution table and a gap
+    /// score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::WrongTableSize`] unless
+    /// `substitution.len() == S::COUNT * S::COUNT`.
+    pub fn new(
+        name: &'static str,
+        objective: Objective,
+        substitution: Vec<Option<i32>>,
+        gap: i32,
+    ) -> Result<Self, SchemeError> {
+        let expected = S::COUNT * S::COUNT;
+        if substitution.len() != expected {
+            return Err(SchemeError::WrongTableSize { expected, got: substitution.len() });
+        }
+        Ok(ScoreScheme {
+            name,
+            objective,
+            substitution,
+            gap,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Builds a scheme from a pricing function over symbol pairs.
+    #[must_use]
+    pub fn from_fn(
+        name: &'static str,
+        objective: Objective,
+        gap: i32,
+        mut price: impl FnMut(S, S) -> Option<i32>,
+    ) -> Self {
+        let mut substitution = Vec::with_capacity(S::COUNT * S::COUNT);
+        for a in S::all() {
+            for b in S::all() {
+                substitution.push(price(a, b));
+            }
+        }
+        ScoreScheme {
+            name,
+            objective,
+            substitution,
+            gap,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The scheme's display name (e.g. `"BLOSUM62"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The optimization direction.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Score of aligning `a` against `b`; `None` if forbidden (∞ penalty).
+    #[must_use]
+    pub fn substitution(&self, a: S, b: S) -> Option<i32> {
+        self.substitution[a.index() * S::COUNT + b.index()]
+    }
+
+    /// Score of an insertion or deletion (uniform linear gap).
+    #[must_use]
+    pub fn gap(&self) -> i32 {
+        self.gap
+    }
+
+    /// `true` if `substitution(a, b) == substitution(b, a)` for all pairs.
+    /// All published matrices are symmetric.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        S::all().all(|a| S::all().all(|b| self.substitution(a, b) == self.substitution(b, a)))
+    }
+
+    /// The smallest and largest *finite* scores over substitutions and the
+    /// gap, or `None` for a scheme with no finite entries.
+    #[must_use]
+    pub fn finite_score_range(&self) -> Option<(i32, i32)> {
+        let finite = self
+            .substitution
+            .iter()
+            .flatten()
+            .copied()
+            .chain(std::iter::once(self.gap));
+        let mut lo = None;
+        let mut hi = None;
+        for v in finite {
+            lo = Some(lo.map_or(v, |l: i32| l.min(v)));
+            hi = Some(hi.map_or(v, |h: i32| h.max(v)));
+        }
+        Some((lo?, hi?))
+    }
+
+    /// The paper's *dynamic range* `N_DR`: the span of distinct weight
+    /// magnitudes a Race Logic cell must be able to realize. Defined here
+    /// as `max finite score − min finite score + 1`.
+    #[must_use]
+    pub fn dynamic_range(&self) -> u32 {
+        match self.finite_score_range() {
+            Some((lo, hi)) => (hi - lo + 1).unsigned_abs(),
+            None => 0,
+        }
+    }
+}
+
+/// Fig. 2a: the longest-path DNA matrix — match +1, everything else 0,
+/// gaps 0. Alignment quality = number of matches (`Maximize`).
+#[must_use]
+pub fn dna_longest() -> ScoreScheme<Dna> {
+    ScoreScheme::from_fn("DNA-longest (Fig 2a)", Objective::Maximize, 0, |a, b| {
+        Some(i32::from(a == b))
+    })
+}
+
+/// Fig. 2b: the shortest-path DNA matrix — match 1, mismatch 2, indel 1
+/// (`Minimize`). This is the matrix the paper's synthesized design scores
+/// with; the Fig. 4c arrival-time table uses it.
+#[must_use]
+pub fn dna_shortest() -> ScoreScheme<Dna> {
+    ScoreScheme::from_fn("DNA-shortest (Fig 2b)", Objective::Minimize, 1, |a, b| {
+        Some(if a == b { 1 } else { 2 })
+    })
+}
+
+/// The hardware variant of Fig. 2b used by the Fig. 4 race array: the
+/// mismatch weight is raised to infinity (edge omitted). The paper notes
+/// this is score-equivalent to [`dna_shortest`] because any mismatch can
+/// be replaced by an insertion+deletion pair of equal total cost (1+1=2).
+#[must_use]
+pub fn dna_race() -> ScoreScheme<Dna> {
+    ScoreScheme::from_fn("DNA-race (Fig 2b, mismatch=∞)", Objective::Minimize, 1, |a, b| {
+        (a == b).then_some(1)
+    })
+}
+
+/// Unit-cost Levenshtein: match 0, mismatch 1, indel 1 (`Minimize`).
+/// Not a paper matrix, but the universal reference distance used in
+/// cross-checks.
+#[must_use]
+pub fn levenshtein_scheme() -> ScoreScheme<Dna> {
+    ScoreScheme::from_fn("Levenshtein", Objective::Minimize, 1, |a, b| {
+        Some(i32::from(a != b))
+    })
+}
+
+/// The BLOSUM62 amino-acid substitution matrix (Henikoff & Henikoff 1992),
+/// the paper's Fig. 2c, with a linear gap score of −4 (a common pairing
+/// for ungapped-block-derived matrices). `Maximize`.
+///
+/// Row/column order is `A R N D C Q E G H I L K M F P S T W Y V`.
+#[must_use]
+pub fn blosum62() -> ScoreScheme<AminoAcid> {
+    #[rustfmt::skip]
+    const B62: [[i8; 20]; 20] = [
+        // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+        [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+        [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+        [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+        [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+        [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+        [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+        [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+        [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+        [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+        [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+        [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+        [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+        [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+        [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+        [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+        [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+        [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+        [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+        [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1], // Y
+        [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4], // V
+    ];
+    from_table("BLOSUM62", &B62, -4)
+}
+
+/// The PAM250 amino-acid substitution matrix (Dayhoff 1978) with a linear
+/// gap score of −8 (a conventional pairing). `Maximize`.
+///
+/// Row/column order is `A R N D C Q E G H I L K M F P S T W Y V`.
+#[must_use]
+pub fn pam250() -> ScoreScheme<AminoAcid> {
+    #[rustfmt::skip]
+    const P250: [[i8; 20]; 20] = [
+        // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+        [  2, -2,  0,  0, -2,  0,  0,  1, -1, -1, -2, -1, -1, -3,  1,  1,  1, -6, -3,  0], // A
+        [ -2,  6,  0, -1, -4,  1, -1, -3,  2, -2, -3,  3,  0, -4,  0,  0, -1,  2, -4, -2], // R
+        [  0,  0,  2,  2, -4,  1,  1,  0,  2, -2, -3,  1, -2, -3,  0,  1,  0, -4, -2, -2], // N
+        [  0, -1,  2,  4, -5,  2,  3,  1,  1, -2, -4,  0, -3, -6, -1,  0,  0, -7, -4, -2], // D
+        [ -2, -4, -4, -5, 12, -5, -5, -3, -3, -2, -6, -5, -5, -4, -3,  0, -2, -8,  0, -2], // C
+        [  0,  1,  1,  2, -5,  4,  2, -1,  3, -2, -2,  1, -1, -5,  0, -1, -1, -5, -4, -2], // Q
+        [  0, -1,  1,  3, -5,  2,  4,  0,  1, -2, -3,  0, -2, -5, -1,  0,  0, -7, -4, -2], // E
+        [  1, -3,  0,  1, -3, -1,  0,  5, -2, -3, -4, -2, -3, -5,  0,  1,  0, -7, -5, -1], // G
+        [ -1,  2,  2,  1, -3,  3,  1, -2,  6, -2, -2,  0, -2, -2,  0, -1, -1, -3,  0, -2], // H
+        [ -1, -2, -2, -2, -2, -2, -2, -3, -2,  5,  2, -2,  2,  1, -2, -1,  0, -5, -1,  4], // I
+        [ -2, -3, -3, -4, -6, -2, -3, -4, -2,  2,  6, -3,  4,  2, -3, -3, -2, -2, -1,  2], // L
+        [ -1,  3,  1,  0, -5,  1,  0, -2,  0, -2, -3,  5,  0, -5, -1,  0,  0, -3, -4, -2], // K
+        [ -1,  0, -2, -3, -5, -1, -2, -3, -2,  2,  4,  0,  6,  0, -2, -2, -1, -4, -2,  2], // M
+        [ -3, -4, -3, -6, -4, -5, -5, -5, -2,  1,  2, -5,  0,  9, -5, -3, -3,  0,  7, -1], // F
+        [  1,  0,  0, -1, -3,  0, -1,  0,  0, -2, -3, -1, -2, -5,  6,  1,  0, -6, -5, -1], // P
+        [  1,  0,  1,  0,  0, -1,  0,  1, -1, -1, -3,  0, -2, -3,  1,  2,  1, -2, -3, -1], // S
+        [  1, -1,  0,  0, -2, -1,  0,  0, -1,  0, -2,  0, -1, -3,  0,  1,  3, -5, -3,  0], // T
+        [ -6,  2, -4, -7, -8, -5, -7, -7, -3, -5, -2, -3, -4,  0, -6, -2, -5, 17,  0, -6], // W
+        [ -3, -4, -2, -4,  0, -4, -4, -5,  0, -1, -1, -4, -2,  7, -5, -3, -3,  0, 10, -2], // Y
+        [  0, -2, -2, -2, -2, -2, -2, -1, -2,  4,  2, -2,  2, -1, -1, -1,  0, -6, -2,  4], // V
+    ];
+    from_table("PAM250", &P250, -8)
+}
+
+fn from_table(
+    name: &'static str,
+    table: &[[i8; 20]; 20],
+    gap: i32,
+) -> ScoreScheme<AminoAcid> {
+    let substitution = table
+        .iter()
+        .flat_map(|row| row.iter().map(|&v| Some(i32::from(v))))
+        .collect();
+    ScoreScheme::new(name, Objective::Maximize, substitution, gap)
+        .expect("20x20 table always has the right size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Symbol;
+
+    #[test]
+    fn fig2a_matches_paper() {
+        let s = dna_longest();
+        assert_eq!(s.objective(), Objective::Maximize);
+        assert_eq!(s.substitution(Dna::A, Dna::A), Some(1));
+        assert_eq!(s.substitution(Dna::A, Dna::C), Some(0));
+        assert_eq!(s.gap(), 0);
+        assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn fig2b_matches_paper() {
+        let s = dna_shortest();
+        assert_eq!(s.objective(), Objective::Minimize);
+        assert_eq!(s.substitution(Dna::G, Dna::G), Some(1));
+        assert_eq!(s.substitution(Dna::G, Dna::T), Some(2));
+        assert_eq!(s.gap(), 1);
+        assert_eq!(s.dynamic_range(), 2);
+    }
+
+    #[test]
+    fn race_matrix_forbids_mismatches() {
+        let s = dna_race();
+        assert_eq!(s.substitution(Dna::A, Dna::A), Some(1));
+        assert_eq!(s.substitution(Dna::A, Dna::T), None);
+        assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn blosum62_spot_checks() {
+        let b = blosum62();
+        let (w, c, a, v) = (AminoAcid::Trp, AminoAcid::Cys, AminoAcid::Ala, AminoAcid::Val);
+        assert_eq!(b.substitution(w, w), Some(11));
+        assert_eq!(b.substitution(c, c), Some(9));
+        assert_eq!(b.substitution(a, v), Some(0));
+        assert_eq!(b.substitution(w, c), Some(-2));
+        assert!(b.is_symmetric());
+        assert_eq!(b.finite_score_range(), Some((-4, 11)));
+        assert_eq!(b.dynamic_range(), 16);
+    }
+
+    #[test]
+    fn pam250_spot_checks() {
+        let p = pam250();
+        let (w, c) = (AminoAcid::Trp, AminoAcid::Cys);
+        assert_eq!(p.substitution(w, w), Some(17));
+        assert_eq!(p.substitution(c, c), Some(12));
+        assert_eq!(p.substitution(w, c), Some(-8));
+        assert!(p.is_symmetric());
+    }
+
+    #[test]
+    fn blosum62_diagonal_is_strictly_positive() {
+        let b = blosum62();
+        for a in AminoAcid::all() {
+            assert!(b.substitution(a, a).unwrap() > 0, "diagonal must reward identity");
+        }
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_rows() {
+        // Identity is always at least as good as any substitution.
+        let b = blosum62();
+        for a in AminoAcid::all() {
+            let diag = b.substitution(a, a).unwrap();
+            for x in AminoAcid::all() {
+                assert!(b.substitution(a, x).unwrap() <= diag);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_table_size_rejected() {
+        let err = ScoreScheme::<Dna>::new("bad", Objective::Minimize, vec![Some(1); 3], 0)
+            .unwrap_err();
+        assert_eq!(err, SchemeError::WrongTableSize { expected: 16, got: 3 });
+        assert!(err.to_string().contains("16"));
+    }
+
+    #[test]
+    fn finite_range_handles_forbidden_entries() {
+        let s = dna_race();
+        // Finite entries: match=1 and gap=1 only.
+        assert_eq!(s.finite_score_range(), Some((1, 1)));
+        assert_eq!(s.dynamic_range(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Seeded mutation models: synthetic stand-ins for genomic test data.
+//!
+//! The paper drives its synthesized designs with "a specific set of input
+//! vectors ... generated using a test-bench" (Section 4.1), exercising the
+//! best case (identical strings), the worst case (completely mismatched
+//! strings) and typical cases. This module generates all three
+//! deterministically from a seed.
+
+use rand::Rng;
+
+use crate::alphabet::Symbol;
+use crate::seq::Seq;
+
+/// Rates for the three point-mutation operations applied per symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationConfig {
+    /// Probability a symbol is substituted by a different random symbol.
+    pub substitution_rate: f64,
+    /// Probability a random symbol is inserted before a position.
+    pub insertion_rate: f64,
+    /// Probability a symbol is deleted.
+    pub deletion_rate: f64,
+}
+
+impl MutationConfig {
+    /// A pure-substitution model with the given rate.
+    #[must_use]
+    pub fn substitutions_only(rate: f64) -> Self {
+        MutationConfig { substitution_rate: rate, insertion_rate: 0.0, deletion_rate: 0.0 }
+    }
+
+    /// A balanced model: equal substitution/insertion/deletion rates.
+    #[must_use]
+    pub fn balanced(rate: f64) -> Self {
+        MutationConfig { substitution_rate: rate, insertion_rate: rate, deletion_rate: rate }
+    }
+
+    fn validate(&self) {
+        for (name, r) in [
+            ("substitution_rate", self.substitution_rate),
+            ("insertion_rate", self.insertion_rate),
+            ("deletion_rate", self.deletion_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} must be a probability, got {r}");
+        }
+    }
+}
+
+/// Applies point mutations to `seq`, returning the mutated copy.
+///
+/// # Panics
+///
+/// Panics if any rate in `config` is outside `[0, 1]`.
+pub fn mutate<S: Symbol, R: Rng>(seq: &Seq<S>, config: &MutationConfig, rng: &mut R) -> Seq<S> {
+    config.validate();
+    let mut out = Vec::with_capacity(seq.len() + 4);
+    for &s in seq {
+        if rng.random_bool(config.insertion_rate) {
+            out.push(random_symbol(rng));
+        }
+        if rng.random_bool(config.deletion_rate) {
+            continue;
+        }
+        if rng.random_bool(config.substitution_rate) {
+            out.push(random_other_symbol(rng, s));
+        } else {
+            out.push(s);
+        }
+    }
+    Seq::new(out)
+}
+
+fn random_symbol<S: Symbol, R: Rng>(rng: &mut R) -> S {
+    S::from_index(rng.random_range(0..S::COUNT)).expect("index in range")
+}
+
+fn random_other_symbol<S: Symbol, R: Rng>(rng: &mut R, not: S) -> S {
+    if S::COUNT == 1 {
+        return not; // degenerate alphabet: no "other" symbol exists
+    }
+    loop {
+        let s = random_symbol(rng);
+        if s != not {
+            return s;
+        }
+    }
+}
+
+/// The best-case pair of the paper's latency analysis (Section 4.2):
+/// two identical random strings of length `len` (score `N`, latency
+/// `N − 1` cycles in the Fig. 4 array).
+pub fn best_case_pair<S: Symbol, R: Rng>(rng: &mut R, len: usize) -> (Seq<S>, Seq<S>) {
+    let s = Seq::random(rng, len);
+    (s.clone(), s)
+}
+
+/// The worst-case pair of the paper's latency analysis: completely
+/// mismatched strings, built from two distinct constant symbols so *no*
+/// diagonal edge ever fires (score `2N`, latency `2N − 2` + final-cell
+/// cycles in the Fig. 4 array).
+///
+/// # Panics
+///
+/// Panics for alphabets with fewer than two symbols.
+pub fn worst_case_pair<S: Symbol>(len: usize) -> (Seq<S>, Seq<S>) {
+    assert!(S::COUNT >= 2, "worst-case pair needs at least two symbols");
+    let a = S::from_index(0).expect("alphabet non-empty");
+    let b = S::from_index(1).expect("alphabet has a second symbol");
+    (Seq::repeated(a, len), Seq::repeated(b, len))
+}
+
+/// A typical workload pair: a random string and a mutated copy with the
+/// given per-symbol substitution rate (the "similarity threshold" scenario
+/// of Section 6).
+pub fn similar_pair<S: Symbol, R: Rng>(
+    rng: &mut R,
+    len: usize,
+    substitution_rate: f64,
+) -> (Seq<S>, Seq<S>) {
+    let a: Seq<S> = Seq::random(rng, len);
+    let b = mutate(&a, &MutationConfig::substitutions_only(substitution_rate), rng);
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::levenshtein;
+    use crate::alphabet::Dna;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let mut r = rng(1);
+        let s: Seq<Dna> = Seq::random(&mut r, 40);
+        let m = mutate(&s, &MutationConfig::balanced(0.0), &mut r);
+        assert_eq!(s, m);
+    }
+
+    #[test]
+    fn full_substitution_changes_every_symbol() {
+        let mut r = rng(2);
+        let s: Seq<Dna> = Seq::random(&mut r, 60);
+        let m = mutate(&s, &MutationConfig::substitutions_only(1.0), &mut r);
+        assert_eq!(s.len(), m.len());
+        for i in 0..s.len() {
+            assert_ne!(s[i], m[i], "substitution must pick a different symbol");
+        }
+    }
+
+    #[test]
+    fn full_deletion_empties() {
+        let mut r = rng(3);
+        let s: Seq<Dna> = Seq::random(&mut r, 30);
+        let cfg = MutationConfig { substitution_rate: 0.0, insertion_rate: 0.0, deletion_rate: 1.0 };
+        assert!(mutate(&s, &cfg, &mut r).is_empty());
+    }
+
+    #[test]
+    fn best_and_worst_case_pairs() {
+        let (a, b) = best_case_pair::<Dna, _>(&mut rng(4), 25);
+        assert_eq!(a, b);
+        assert_eq!(levenshtein(&a, &b), 0);
+
+        let (w1, w2) = worst_case_pair::<Dna>(25);
+        assert_eq!(levenshtein(&w1, &w2), 25, "every position must mismatch");
+        assert!(w1.iter().all(|&s| s == w1[0]));
+        assert!(w2.iter().all(|&s| s == w2[0]));
+    }
+
+    #[test]
+    fn similar_pair_distance_tracks_rate() {
+        let mut r = rng(5);
+        let (a, b) = similar_pair::<Dna, _>(&mut r, 200, 0.1);
+        let d = levenshtein(&a, &b);
+        // ~20 substitutions expected; allow generous slack but require
+        // it to be clearly between "identical" and "random".
+        assert!(d >= 5 && d <= 60, "distance {d} out of plausible band");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let s: Seq<Dna> = Seq::random(&mut rng(6), 50);
+        let cfg = MutationConfig::balanced(0.2);
+        let a = mutate(&s, &cfg, &mut rng(7));
+        let b = mutate(&s, &cfg, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_rate_panics() {
+        let s: Seq<Dna> = Seq::repeated(Dna::A, 3);
+        let cfg = MutationConfig { substitution_rate: 2.0, insertion_rate: 0.0, deletion_rate: 0.0 };
+        let _ = mutate(&s, &cfg, &mut rng(0));
+    }
+}

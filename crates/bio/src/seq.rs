@@ -1,0 +1,208 @@
+//! Typed sequences over an alphabet.
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use rand::Rng;
+
+use crate::alphabet::Symbol;
+
+/// A sequence of symbols from alphabet `S` (a DNA or protein string).
+///
+/// # Examples
+///
+/// ```
+/// use rl_bio::{Seq, alphabet::Dna};
+/// let s: Seq<Dna> = "ACTGAGA".parse()?;
+/// assert_eq!(s.len(), 7);
+/// assert_eq!(s.to_string(), "ACTGAGA");
+/// # Ok::<(), rl_bio::ParseSeqError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Seq<S> {
+    symbols: Vec<S>,
+}
+
+/// Error parsing a sequence from text: an invalid character at a position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeqError {
+    /// The offending character.
+    pub ch: char,
+    /// Its byte offset in the input.
+    pub position: usize,
+    /// Name of the target alphabet.
+    pub alphabet: &'static str,
+}
+
+impl fmt::Display for ParseSeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} symbol {:?} at position {}",
+            self.alphabet, self.ch, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseSeqError {}
+
+impl<S: Symbol> Seq<S> {
+    /// Creates a sequence from symbols.
+    #[must_use]
+    pub fn new(symbols: Vec<S>) -> Self {
+        Seq { symbols }
+    }
+
+    /// The empty sequence.
+    #[must_use]
+    pub fn empty() -> Self {
+        Seq { symbols: Vec::new() }
+    }
+
+    /// Parses a sequence from single-letter codes (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSeqError`] on the first character that is not a
+    /// symbol of `S`.
+    pub fn from_text(text: &str) -> Result<Self, ParseSeqError> {
+        text.chars()
+            .enumerate()
+            .map(|(position, ch)| {
+                S::from_char(ch).ok_or(ParseSeqError { ch, position, alphabet: S::NAME })
+            })
+            .collect::<Result<Vec<S>, _>>()
+            .map(Seq::new)
+    }
+
+    /// A uniformly random sequence of the given length.
+    pub fn random<R: Rng>(rng: &mut R, len: usize) -> Self {
+        let symbols = (0..len)
+            .map(|_| {
+                S::from_index(rng.random_range(0..S::COUNT))
+                    .expect("index < COUNT is always valid")
+            })
+            .collect();
+        Seq { symbols }
+    }
+
+    /// A sequence of `len` copies of one symbol.
+    #[must_use]
+    pub fn repeated(symbol: S, len: usize) -> Self {
+        Seq { symbols: vec![symbol; len] }
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` for the empty sequence.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbols as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[S] {
+        &self.symbols
+    }
+
+    /// Iterates over the symbols.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.symbols.iter()
+    }
+
+    /// Consumes the sequence, returning its symbols.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<S> {
+        self.symbols
+    }
+}
+
+impl<S: Symbol> Index<usize> for Seq<S> {
+    type Output = S;
+
+    fn index(&self, i: usize) -> &S {
+        &self.symbols[i]
+    }
+}
+
+impl<S: Symbol> fmt::Display for Seq<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.symbols {
+            write!(f, "{}", s.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: Symbol> FromStr for Seq<S> {
+    type Err = ParseSeqError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Seq::from_text(s)
+    }
+}
+
+impl<S: Symbol> FromIterator<S> for Seq<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Seq::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a, S: Symbol> IntoIterator for &'a Seq<S> {
+    type Item = &'a S;
+    type IntoIter = std::slice::Iter<'a, S>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.symbols.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{AminoAcid, Dna};
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: Seq<Dna> = "acTGagA".parse().unwrap();
+        assert_eq!(s.to_string(), "ACTGAGA");
+        let p: Seq<AminoAcid> = "MKLV".parse().unwrap();
+        assert_eq!(p.to_string(), "MKLV");
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = "ACXG".parse::<Seq<Dna>>().unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.ch, 'X');
+        assert!(err.to_string().contains("DNA"));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Seq<Dna> = Seq::random(&mut r1, 50);
+        let b: Seq<Dna> = Seq::random(&mut r2, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn collection_conveniences() {
+        let s: Seq<Dna> = [Dna::A, Dna::C].into_iter().collect();
+        assert_eq!(s[0], Dna::A);
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+        assert_eq!(s.clone().into_vec(), vec![Dna::A, Dna::C]);
+        assert!(Seq::<Dna>::empty().is_empty());
+        assert_eq!(Seq::repeated(Dna::G, 3).to_string(), "GGG");
+    }
+}

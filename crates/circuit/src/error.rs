@@ -1,0 +1,52 @@
+//! Circuit construction and simulation errors.
+
+use std::fmt;
+
+use crate::Net;
+
+/// Errors from netlist elaboration or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// The combinational part of the netlist contains a cycle through the
+    /// given net (e.g. a cross-coupled gate pair that was not modelled as
+    /// a [`crate::Gate::Sticky`] element).
+    CombinationalLoop(Net),
+    /// A simulation ran past its cycle bound without satisfying its stop
+    /// condition — for a race circuit, a race that never finishes.
+    CycleLimitExceeded {
+        /// The bound that was exceeded.
+        limit: u64,
+    },
+    /// `set_input` was called on a net not created by
+    /// [`crate::Netlist::input`].
+    NotAnInput(Net),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::CombinationalLoop(net) => {
+                write!(f, "combinational loop through net {net}")
+            }
+            CircuitError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded its cycle limit of {limit}")
+            }
+            CircuitError::NotAnInput(net) => {
+                write!(f, "net {net} is not a primary input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::CycleLimitExceeded { limit: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Gate primitives: the standard-cell vocabulary of the unit cells.
+
+use std::fmt;
+
+use crate::Net;
+
+/// A gate instance. Every gate drives exactly one output net; its index in
+/// the netlist's gate arena equals the index of the net it drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// A primary input, driven from outside between cycles.
+    Input,
+    /// A constant driver.
+    Const(bool),
+    /// N-ary OR — the `min` of Race Logic.
+    Or(Vec<Net>),
+    /// N-ary AND — the `max` of Race Logic.
+    And(Vec<Net>),
+    /// Inverter.
+    Not(Net),
+    /// 2-input XOR.
+    Xor(Net, Net),
+    /// 2-input XNOR — the bit-equality cell of the match comparator
+    /// (paper Eq. 2).
+    Xnor(Net, Net),
+    /// 2:1 multiplexer: output = `sel ? a1 : a0`.
+    Mux2 {
+        /// Select input.
+        sel: Net,
+        /// Output when `sel` is low.
+        a0: Net,
+        /// Output when `sel` is high.
+        a1: Net,
+    },
+    /// D flip-flop: output takes the value of `d` at each clock edge.
+    /// The unit-delay element of synchronous Race Logic.
+    Dff {
+        /// Data input, captured at the clock edge.
+        d: Net,
+        /// Power-on value (the paper initializes all DFFs to 0).
+        init: bool,
+    },
+    /// Set-on-arrival element (the dotted box of paper Fig. 8): output
+    /// rises combinationally with `d` and then *stays* high until the
+    /// global reset, converting pulses into sustained levels.
+    Sticky {
+        /// Set input.
+        d: Net,
+    },
+}
+
+/// The standard-cell class of a gate, used for area/power accounting.
+///
+/// Multi-input OR/AND gates are classified by fan-in so a technology
+/// library can price an OR3 differently from an OR2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellKind {
+    /// Primary input pin (no area).
+    Input,
+    /// Constant tie cell.
+    Const,
+    /// OR with the given fan-in.
+    Or(u8),
+    /// AND with the given fan-in.
+    And(u8),
+    /// Inverter.
+    Not,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 mux.
+    Mux2,
+    /// D flip-flop.
+    Dff,
+    /// Set-on-arrival latch.
+    Sticky,
+}
+
+impl Gate {
+    /// The cell class of this gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an OR/AND fan-in exceeds 255 — far beyond any cell
+    /// library, and prevented upstream by [`crate::Netlist`] validation.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        match self {
+            Gate::Input => CellKind::Input,
+            Gate::Const(_) => CellKind::Const,
+            Gate::Or(ins) => CellKind::Or(u8::try_from(ins.len()).expect("fan-in over 255")),
+            Gate::And(ins) => CellKind::And(u8::try_from(ins.len()).expect("fan-in over 255")),
+            Gate::Not(_) => CellKind::Not,
+            Gate::Xor(..) => CellKind::Xor,
+            Gate::Xnor(..) => CellKind::Xnor,
+            Gate::Mux2 { .. } => CellKind::Mux2,
+            Gate::Dff { .. } => CellKind::Dff,
+            Gate::Sticky { .. } => CellKind::Sticky,
+        }
+    }
+
+    /// `true` for state-holding elements (DFFs and sticky latches), whose
+    /// clock pins toggle every cycle — the `C_clk` of the paper's Eq. 3.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, Gate::Dff { .. } | Gate::Sticky { .. })
+    }
+
+    /// Visits every input net of this gate.
+    pub fn for_each_input(&self, mut f: impl FnMut(Net)) {
+        match self {
+            Gate::Input | Gate::Const(_) => {}
+            Gate::Or(ins) | Gate::And(ins) => ins.iter().copied().for_each(&mut f),
+            Gate::Not(a) => f(*a),
+            Gate::Xor(a, b) | Gate::Xnor(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Gate::Mux2 { sel, a0, a1 } => {
+                f(*sel);
+                f(*a0);
+                f(*a1);
+            }
+            Gate::Dff { d, .. } | Gate::Sticky { d } => f(*d),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Input => write!(f, "input"),
+            CellKind::Const => write!(f, "const"),
+            CellKind::Or(n) => write!(f, "or{n}"),
+            CellKind::And(n) => write!(f, "and{n}"),
+            CellKind::Not => write!(f, "not"),
+            CellKind::Xor => write!(f, "xor2"),
+            CellKind::Xnor => write!(f, "xnor2"),
+            CellKind::Mux2 => write!(f, "mux2"),
+            CellKind::Dff => write!(f, "dff"),
+            CellKind::Sticky => write!(f, "sticky"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_inputs() {
+        let n = |i: u32| Net(i);
+        let g = Gate::Or(vec![n(0), n(1), n(2)]);
+        assert_eq!(g.kind(), CellKind::Or(3));
+        assert!(!g.is_sequential());
+        let mut seen = Vec::new();
+        g.for_each_input(|x| seen.push(x));
+        assert_eq!(seen, vec![n(0), n(1), n(2)]);
+
+        let d = Gate::Dff { d: n(5), init: false };
+        assert_eq!(d.kind(), CellKind::Dff);
+        assert!(d.is_sequential());
+
+        let m = Gate::Mux2 { sel: n(1), a0: n(2), a1: n(3) };
+        let mut seen = Vec::new();
+        m.for_each_input(|x| seen.push(x));
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellKind::Or(2).to_string(), "or2");
+        assert_eq!(CellKind::Dff.to_string(), "dff");
+        assert_eq!(CellKind::Xnor.to_string(), "xnor2");
+    }
+}

@@ -1,0 +1,50 @@
+//! # rl-circuit — gate-level netlists and a cycle-accurate simulator
+//!
+//! The paper evaluates Race Logic by synthesizing a Verilog description to
+//! standard cells and simulating it (Design Vision + ModelSim + PrimeTime,
+//! Section 4.1). This crate is the corresponding substrate in the
+//! reproduction: a structural gate-level netlist ([`Netlist`]) built from
+//! the same primitives the paper's unit cells use (OR, AND, XNOR, MUX,
+//! DFF, set-on-arrival latch), and a deterministic cycle-accurate
+//! simulator ([`CycleSimulator`]) that records **per-net toggle counts** —
+//! the activity factors that drive the dynamic-power model of Eq. 3.
+//!
+//! The `race-logic` crate compiles edit graphs and generic DAGs into these
+//! netlists; `rl-hw-model` prices a [`Census`] of gates against its
+//! standard-cell library tables.
+//!
+//! # Example: a 2-cycle delay line
+//!
+//! ```
+//! use rl_circuit::{Netlist, CycleSimulator};
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.input("a");
+//! let q = nl.delay_chain(a, 2); // two DFFs
+//! nl.mark_output(q, "q");
+//!
+//! let mut sim = CycleSimulator::new(&nl)?;
+//! sim.set_input(a, true);
+//! sim.tick()?; // edge 1
+//! assert!(!sim.value(q));
+//! sim.tick()?; // edge 2
+//! assert!(sim.value(q)); // the rising edge emerges 2 cycles later
+//! # Ok::<(), rl_circuit::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gate;
+mod incremental;
+mod levelize;
+mod netlist;
+mod sim;
+pub mod stdcells;
+
+pub use error::CircuitError;
+pub use gate::{CellKind, Gate};
+pub use incremental::IncrementalSimulator;
+pub use netlist::{Census, Net, Netlist};
+pub use sim::{ActivityStats, CycleSimulator};

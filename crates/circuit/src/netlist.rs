@@ -1,0 +1,294 @@
+//! The structural netlist builder.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{CellKind, Gate};
+
+/// Identifies a net (equivalently, the single gate driving it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Net(pub(crate) u32);
+
+impl Net {
+    /// Dense index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A gate-level netlist under construction (or frozen for simulation —
+/// the builder *is* the netlist; [`crate::CycleSimulator::new`] borrows
+/// it immutably).
+///
+/// Every builder method allocates one gate and returns the net it drives,
+/// so dangling references are unrepresentable.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    names: BTreeMap<u32, String>,
+    outputs: Vec<(Net, String)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> Net {
+        let id = u32::try_from(self.gates.len()).expect("netlist exceeds u32 net ids");
+        self.gates.push(gate);
+        Net(id)
+    }
+
+    /// Adds a primary input with a diagnostic name.
+    pub fn input(&mut self, name: impl Into<String>) -> Net {
+        let net = self.push(Gate::Input);
+        self.names.insert(net.0, name.into());
+        net
+    }
+
+    /// Adds a constant driver.
+    pub fn constant(&mut self, value: bool) -> Net {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds an N-ary OR gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input list (tie the output with
+    /// [`Netlist::constant`] instead) or a fan-in above 255.
+    pub fn or(&mut self, inputs: &[Net]) -> Net {
+        assert!(!inputs.is_empty(), "OR gate needs at least one input");
+        assert!(inputs.len() <= 255, "OR fan-in above 255");
+        self.push(Gate::Or(inputs.to_vec()))
+    }
+
+    /// Adds an N-ary AND gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input list or a fan-in above 255.
+    pub fn and(&mut self, inputs: &[Net]) -> Net {
+        assert!(!inputs.is_empty(), "AND gate needs at least one input");
+        assert!(inputs.len() <= 255, "AND fan-in above 255");
+        self.push(Gate::And(inputs.to_vec()))
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: Net) -> Net {
+        self.push(Gate::Not(a))
+    }
+
+    /// Adds a 2-input XOR.
+    pub fn xor(&mut self, a: Net, b: Net) -> Net {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds a 2-input XNOR (bit equality).
+    pub fn xnor(&mut self, a: Net, b: Net) -> Net {
+        self.push(Gate::Xnor(a, b))
+    }
+
+    /// Adds a 2:1 mux (`sel ? a1 : a0`).
+    pub fn mux2(&mut self, sel: Net, a0: Net, a1: Net) -> Net {
+        self.push(Gate::Mux2 { sel, a0, a1 })
+    }
+
+    /// Adds a DFF initialized to 0 — the unit delay of Race Logic.
+    pub fn dff(&mut self, d: Net) -> Net {
+        self.push(Gate::Dff { d, init: false })
+    }
+
+    /// Adds a DFF with an explicit power-on value.
+    pub fn dff_init(&mut self, d: Net, init: bool) -> Net {
+        self.push(Gate::Dff { d, init })
+    }
+
+    /// Adds a set-on-arrival latch (paper Fig. 8): rises with `d`, stays
+    /// high until the simulator's global reset.
+    pub fn sticky(&mut self, d: Net) -> Net {
+        self.push(Gate::Sticky { d })
+    }
+
+    /// Adds a chain of `cycles` DFFs — the delay element realizing an
+    /// edge weight of `cycles` (paper Fig. 3b/c). Zero cycles returns the
+    /// input net unchanged (a wire).
+    pub fn delay_chain(&mut self, mut net: Net, cycles: u64) -> Net {
+        for _ in 0..cycles {
+            net = self.dff(net);
+        }
+        net
+    }
+
+    /// Attaches a diagnostic name to a net (in addition to any existing
+    /// name; later names win for display).
+    pub fn name_net(&mut self, net: Net, name: impl Into<String>) {
+        self.names.insert(net.0, name.into());
+    }
+
+    /// Marks a net as a primary output with a name.
+    pub fn mark_output(&mut self, net: Net, name: impl Into<String>) {
+        self.outputs.push((net, name.into()));
+    }
+
+    /// The diagnostic name of a net, if any.
+    #[must_use]
+    pub fn net_name(&self, net: Net) -> Option<&str> {
+        self.names.get(&net.0).map(String::as_str)
+    }
+
+    /// The declared primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(Net, String)] {
+        &self.outputs
+    }
+
+    /// All gates; the gate at index `i` drives net `i`.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of nets (== number of gates).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    pub(crate) fn set_gate(&mut self, net: Net, gate: Gate) {
+        self.gates[net.index()] = gate;
+    }
+
+    /// Counts gates per cell class — the input to the area and clocked-
+    /// capacitance models in `rl-hw-model`.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        let mut counts = BTreeMap::new();
+        for g in &self.gates {
+            *counts.entry(g.kind()).or_insert(0) += 1;
+        }
+        Census { counts }
+    }
+
+    /// Number of sequential (clocked) elements.
+    #[must_use]
+    pub fn sequential_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_sequential()).count()
+    }
+}
+
+/// Gate counts per cell class (see [`Netlist::census`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Census {
+    counts: BTreeMap<CellKind, usize>,
+}
+
+impl Census {
+    /// The count for one cell class (0 if absent).
+    #[must_use]
+    pub fn count(&self, kind: CellKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(kind, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKind, usize)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Total gate count across all classes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+impl fmt::Display for Census {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (kind, count) in &self.counts {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{kind}×{count}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_dense_ids() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.or(&[a, b]);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(y.index(), 2);
+        assert_eq!(nl.net_count(), 3);
+        assert_eq!(nl.net_name(a), Some("a"));
+        assert_eq!(nl.net_name(y), None);
+    }
+
+    #[test]
+    fn delay_chain_of_zero_is_a_wire() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        assert_eq!(nl.delay_chain(a, 0), a);
+        let q = nl.delay_chain(a, 3);
+        assert_eq!(nl.sequential_count(), 3);
+        assert_ne!(q, a);
+    }
+
+    #[test]
+    fn census_counts_by_kind() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let o = nl.or(&[a, b]);
+        let o3 = nl.or(&[a, b, o]);
+        nl.and(&[o, o3]);
+        nl.dff(o);
+        nl.dff(o3);
+        let c = nl.census();
+        assert_eq!(c.count(CellKind::Input), 2);
+        assert_eq!(c.count(CellKind::Or(2)), 1);
+        assert_eq!(c.count(CellKind::Or(3)), 1);
+        assert_eq!(c.count(CellKind::And(2)), 1);
+        assert_eq!(c.count(CellKind::Dff), 2);
+        assert_eq!(c.total(), 7);
+        assert!(c.to_string().contains("dff×2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_or_panics() {
+        let mut nl = Netlist::new();
+        nl.or(&[]);
+    }
+
+    #[test]
+    fn outputs_are_recorded() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.mark_output(a, "y");
+        assert_eq!(nl.outputs(), &[(a, "y".to_string())]);
+    }
+}

@@ -1,0 +1,410 @@
+//! The cycle-accurate simulator with per-net toggle accounting.
+
+use crate::levelize::{levelize, EvalOrder};
+use crate::{CircuitError, Gate, Net, Netlist};
+
+/// Activity statistics accumulated over a simulation — the raw material
+/// of the paper's dynamic-power model (Eq. 3: `P = (α·C_non-clk +
+/// C_clk)·V²dd·f`).
+///
+/// `net_toggles[i]` counts the 0↔1 transitions of net `i` across clock
+/// edges; the clocked capacitance term comes from
+/// [`ActivityStats::sequential_cell_cycles`] (every sequential cell's
+/// clock pin toggles every cycle, activity factor 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityStats {
+    /// Per-net toggle counts, indexed by net.
+    pub net_toggles: Vec<u64>,
+    /// Number of clock edges simulated.
+    pub cycles: u64,
+    /// Number of sequential cells in the design.
+    pub sequential_cells: u64,
+}
+
+impl ActivityStats {
+    /// Total data toggles across all nets.
+    #[must_use]
+    pub fn total_toggles(&self) -> u64 {
+        self.net_toggles.iter().sum()
+    }
+
+    /// Sequential-cell × cycle count: the clock-network activity (each
+    /// clocked cell is charged once per cycle, the `C_clk` term of Eq. 3).
+    #[must_use]
+    pub fn sequential_cell_cycles(&self) -> u64 {
+        self.sequential_cells * self.cycles
+    }
+
+    /// Mean activity factor α: data toggles per net per cycle.
+    #[must_use]
+    pub fn mean_activity(&self) -> f64 {
+        if self.cycles == 0 || self.net_toggles.is_empty() {
+            return 0.0;
+        }
+        self.total_toggles() as f64 / (self.net_toggles.len() as f64 * self.cycles as f64)
+    }
+}
+
+/// A deterministic cycle-accurate simulator over a [`Netlist`].
+///
+/// The evaluation model is the standard synchronous one:
+///
+/// 1. the caller drives primary inputs ([`CycleSimulator::set_input`]);
+/// 2. combinational logic settles (automatically, in levelized order);
+/// 3. [`CycleSimulator::tick`] advances one clock edge: DFFs capture
+///    their inputs, sticky latches absorb their set inputs, and per-net
+///    toggle counts are updated.
+///
+/// See the crate-level docs for an example.
+#[derive(Debug, Clone)]
+pub struct CycleSimulator<'a> {
+    netlist: &'a Netlist,
+    eval: EvalOrder,
+    /// Current settled value of every net.
+    values: Vec<bool>,
+    /// State of sequential elements (indexed by net; unused for comb).
+    state: Vec<bool>,
+    toggles: Vec<u64>,
+    /// Settled values as of the previous clock edge (toggle baseline:
+    /// activity is counted edge to edge, so input wiggling between
+    /// edges is charged to the edge that absorbs it).
+    edge_values: Vec<bool>,
+    cycles: u64,
+    dirty: bool,
+}
+
+impl<'a> CycleSimulator<'a> {
+    /// Elaborates the netlist for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalLoop`] if the combinational
+    /// subgraph is cyclic.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, CircuitError> {
+        let eval = levelize(netlist)?;
+        let n = netlist.net_count();
+        let mut sim = CycleSimulator {
+            netlist,
+            eval,
+            values: vec![false; n],
+            state: vec![false; n],
+            toggles: vec![0; n],
+            edge_values: vec![false; n],
+            cycles: 0,
+            dirty: true,
+        };
+        sim.power_on();
+        Ok(sim)
+    }
+
+    /// Resets all state to power-on values (DFF `init`, sticky cleared,
+    /// inputs low) and clears activity statistics. This is the paper's
+    /// end-of-computation reset (`Rst` in Fig. 8).
+    pub fn power_on(&mut self) {
+        for v in &mut self.values {
+            *v = false;
+        }
+        for (i, g) in self.netlist.gates().iter().enumerate() {
+            match g {
+                Gate::Dff { init, .. } => {
+                    self.state[i] = *init;
+                    self.values[i] = *init;
+                }
+                Gate::Sticky { .. } => {
+                    self.state[i] = false;
+                }
+                Gate::Const(v) => self.values[i] = *v,
+                _ => {}
+            }
+        }
+        for t in &mut self.toggles {
+            *t = 0;
+        }
+        self.cycles = 0;
+        self.dirty = true;
+        self.settle();
+        self.edge_values.copy_from_slice(&self.values);
+    }
+
+    /// Drives a primary input. Takes effect immediately (combinational
+    /// logic re-settles lazily before the next read or tick).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotAnInput`] if `net` was not created by
+    /// [`Netlist::input`].
+    pub fn set_input(&mut self, net: Net, value: bool) -> Result<(), CircuitError> {
+        if !matches!(self.netlist.gates()[net.index()], Gate::Input) {
+            return Err(CircuitError::NotAnInput(net));
+        }
+        if self.values[net.index()] != value {
+            self.values[net.index()] = value;
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    fn eval_gate(&self, net: Net) -> bool {
+        let v = |n: Net| self.values[n.index()];
+        match &self.netlist.gates()[net.index()] {
+            Gate::Input => self.values[net.index()],
+            Gate::Const(c) => *c,
+            Gate::Or(ins) => ins.iter().any(|&i| v(i)),
+            Gate::And(ins) => ins.iter().all(|&i| v(i)),
+            Gate::Not(a) => !v(*a),
+            Gate::Xor(a, b) => v(*a) ^ v(*b),
+            Gate::Xnor(a, b) => !(v(*a) ^ v(*b)),
+            Gate::Mux2 { sel, a0, a1 } => {
+                if v(*sel) {
+                    v(*a1)
+                } else {
+                    v(*a0)
+                }
+            }
+            // Set-on-arrival: combinational pass-through OR stored state.
+            Gate::Sticky { d } => v(*d) || self.state[net.index()],
+            // DFF output is its state; not re-evaluated combinationally.
+            Gate::Dff { .. } => self.state[net.index()],
+        }
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for i in 0..self.eval.order.len() {
+            let net = self.eval.order[i];
+            self.values[net.index()] = self.eval_gate(net);
+        }
+        self.dirty = false;
+    }
+
+    /// The settled value of a net.
+    pub fn value(&mut self, net: Net) -> bool {
+        self.settle();
+        self.values[net.index()]
+    }
+
+    /// Advances one clock edge.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for elaborated netlists; returns `Result` for
+    /// forward compatibility with X-propagation checks.
+    pub fn tick(&mut self) -> Result<(), CircuitError> {
+        self.settle();
+        // Capture phase: read D pins and sticky outputs from settled values.
+        for (i, g) in self.netlist.gates().iter().enumerate() {
+            match g {
+                Gate::Dff { d, .. } => self.state[i] = self.values[d.index()],
+                Gate::Sticky { .. } => {
+                    // Sticky state absorbs its settled output (d | state).
+                    self.state[i] = self.values[i];
+                }
+                _ => {}
+            }
+        }
+        self.cycles += 1;
+        // Commit phase: propagate new state through combinational logic,
+        // then charge toggles for every net that changed since the
+        // previous edge (including input-driven changes absorbed by this
+        // edge, matching the incremental backend).
+        for (i, g) in self.netlist.gates().iter().enumerate() {
+            if matches!(g, Gate::Dff { .. }) {
+                self.values[i] = self.state[i];
+            }
+        }
+        self.dirty = true;
+        self.settle();
+        for i in 0..self.values.len() {
+            if self.values[i] != self.edge_values[i] {
+                self.toggles[i] += 1;
+            }
+        }
+        self.edge_values.copy_from_slice(&self.values);
+        Ok(())
+    }
+
+    /// Ticks until `stop` returns `true` (checked after each edge), up to
+    /// `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CycleLimitExceeded`] if the condition never
+    /// holds within the bound — for a race circuit, a race that never
+    /// finishes (e.g. an unreachable output).
+    pub fn run_until(
+        &mut self,
+        mut stop: impl FnMut(&mut Self) -> bool,
+        max_cycles: u64,
+    ) -> Result<u64, CircuitError> {
+        for _ in 0..max_cycles {
+            self.tick()?;
+            if stop(self) {
+                return Ok(self.cycles);
+            }
+        }
+        Err(CircuitError::CycleLimitExceeded { limit: max_cycles })
+    }
+
+    /// Clock edges simulated since power-on.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// A snapshot of the activity statistics.
+    #[must_use]
+    pub fn stats(&self) -> ActivityStats {
+        ActivityStats {
+            net_toggles: self.toggles.clone(),
+            cycles: self.cycles,
+            sequential_cells: self.netlist.sequential_count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn combinational_gates_evaluate() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let or = nl.or(&[a, b]);
+        let and = nl.and(&[a, b]);
+        let xnor = nl.xnor(a, b);
+        let not = nl.not(a);
+        let mux = nl.mux2(a, b, not);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        for (av, bv) in [(false, false), (false, true), (true, false), (true, true)] {
+            sim.set_input(a, av).unwrap();
+            sim.set_input(b, bv).unwrap();
+            assert_eq!(sim.value(or), av || bv);
+            assert_eq!(sim.value(and), av && bv);
+            assert_eq!(sim.value(xnor), av == bv);
+            assert_eq!(sim.value(not), !av);
+            assert_eq!(sim.value(mux), if av { !av } else { bv });
+        }
+    }
+
+    #[test]
+    fn dff_delays_by_exactly_one_cycle() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.dff(a);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        assert!(!sim.value(q));
+        sim.set_input(a, true).unwrap();
+        assert!(!sim.value(q), "before the edge the DFF still holds 0");
+        sim.tick().unwrap();
+        assert!(sim.value(q), "after the edge the DFF holds 1");
+        sim.set_input(a, false).unwrap();
+        sim.tick().unwrap();
+        assert!(!sim.value(q));
+    }
+
+    #[test]
+    fn delay_chain_matches_length() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.delay_chain(a, 5);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        sim.set_input(a, true).unwrap();
+        for i in 0..5 {
+            assert!(!sim.value(q), "cycle {i}: edge not through yet");
+            sim.tick().unwrap();
+        }
+        assert!(sim.value(q));
+    }
+
+    #[test]
+    fn sticky_latches_pulses() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let s = nl.sticky(a);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        assert!(!sim.value(s));
+        sim.set_input(a, true).unwrap();
+        assert!(sim.value(s), "combinational set path");
+        sim.tick().unwrap();
+        sim.set_input(a, false).unwrap();
+        assert!(sim.value(s), "stays high after the pulse ends");
+        sim.power_on();
+        assert!(!sim.value(s), "reset clears the latch");
+    }
+
+    #[test]
+    fn dff_init_value_respected() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.dff_init(a, true);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        assert!(sim.value(q));
+        sim.tick().unwrap();
+        assert!(!sim.value(q), "captures the low input");
+    }
+
+    #[test]
+    fn toggle_counting() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.dff(a);
+        nl.mark_output(q, "q");
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        sim.set_input(a, true).unwrap();
+        sim.tick().unwrap(); // q: 0 -> 1 (toggle), a toggled before edge: counted at edge
+        sim.tick().unwrap(); // no changes
+        let st = sim.stats();
+        assert_eq!(st.cycles, 2);
+        assert_eq!(st.sequential_cells, 1);
+        assert_eq!(st.sequential_cell_cycles(), 2);
+        assert_eq!(st.net_toggles[q.index()], 1, "q rose exactly once");
+        assert!(st.mean_activity() > 0.0);
+    }
+
+    #[test]
+    fn run_until_and_cycle_limit() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.delay_chain(a, 3);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        sim.set_input(a, true).unwrap();
+        let cycles = sim.run_until(|s| s.value(q), 10).unwrap();
+        assert_eq!(cycles, 3);
+
+        sim.power_on();
+        // Input low: q never rises.
+        let err = sim.run_until(|s| s.value(q), 7).unwrap_err();
+        assert_eq!(err, CircuitError::CycleLimitExceeded { limit: 7 });
+    }
+
+    #[test]
+    fn set_input_rejects_non_inputs() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.dff(a);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        assert_eq!(sim.set_input(q, true), Err(CircuitError::NotAnInput(q)));
+    }
+
+    #[test]
+    fn feedback_through_dff_oscillates() {
+        // q = dff(not(q)): build with a patch to close the loop.
+        let mut nl = Netlist::new();
+        let placeholder = nl.input("tmp");
+        let q = nl.dff(placeholder);
+        let nq = nl.not(q);
+        nl.patch_gate_for_tests(q, crate::Gate::Dff { d: nq, init: false });
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.tick().unwrap();
+            seen.push(sim.value(q));
+        }
+        assert_eq!(seen, vec![true, false, true, false]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Structural macro-cells composed from the gate primitives.
+//!
+//! The generalized Race Logic cell of paper Fig. 8 needs a symbol-match
+//! comparator, a binary **saturating up-counter** (replacing the one-hot
+//! DFF chain to keep cell area `O(log N_DR)` instead of `O(N_DR)`), and
+//! equality taps that fire when the counter reaches a selected weight.
+//! This module builds each of those *structurally* — real adders and
+//! comparators out of AND/OR/XOR — so the gate census seen by the
+//! area/power model matches what synthesis would produce.
+
+use crate::{Net, Netlist};
+
+/// A little-endian bundle of nets (bit 0 first).
+pub type Bus = Vec<Net>;
+
+/// Drives a constant value onto a fresh `width`-bit bus.
+pub fn constant_bus(nl: &mut Netlist, value: u64, width: u32) -> Bus {
+    (0..width)
+        .map(|b| nl.constant((value >> b) & 1 == 1))
+        .collect()
+}
+
+/// Bit-equality of two equal-width buses: an XNOR per bit and an AND tree
+/// (the match comparator of paper Eq. 2, generalized past 2 bits).
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or are empty.
+pub fn equality(nl: &mut Netlist, a: &[Net], b: &[Net]) -> Net {
+    assert_eq!(a.len(), b.len(), "equality needs equal-width buses");
+    assert!(!a.is_empty(), "equality needs at least one bit");
+    let bits: Vec<Net> = a.iter().zip(b).map(|(&x, &y)| nl.xnor(x, y)).collect();
+    if bits.len() == 1 {
+        bits[0]
+    } else {
+        nl.and(&bits)
+    }
+}
+
+/// Equality of a bus against a compile-time constant: XNOR against tied
+/// bits reduces to "AND of bits that must be 1 and inverted bits that
+/// must be 0".
+///
+/// # Panics
+///
+/// Panics on an empty bus or a constant too wide for it.
+pub fn equals_const(nl: &mut Netlist, a: &[Net], value: u64) -> Net {
+    assert!(!a.is_empty(), "equals_const needs at least one bit");
+    assert!(
+        u32::try_from(a.len()).map_or(false, |w| w >= 64 || value < (1_u64 << w)),
+        "constant {value} does not fit in {} bits",
+        a.len()
+    );
+    let bits: Vec<Net> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &bit)| {
+            if (value >> i) & 1 == 1 {
+                bit
+            } else {
+                nl.not(bit)
+            }
+        })
+        .collect();
+    if bits.len() == 1 {
+        bits[0]
+    } else {
+        nl.and(&bits)
+    }
+}
+
+/// Greater-or-equal comparison of a bus against a compile-time constant.
+///
+/// Built as a ripple of per-bit compares from the MSB down; used by the
+/// early-termination threshold logic (paper Section 6).
+///
+/// # Panics
+///
+/// Panics on an empty bus.
+pub fn greater_equal_const(nl: &mut Netlist, a: &[Net], value: u64) -> Net {
+    assert!(!a.is_empty(), "greater_equal_const needs at least one bit");
+    let width = a.len();
+    if width < 64 && value >= (1_u64 << width) {
+        // The bus can never reach the constant.
+        return nl.constant(false);
+    }
+    // Build up from the LSB: `ge` holds "a[0..=i] >= value[0..=i]".
+    // Appending a higher bit: a_i > c_i forces true, a_i < c_i forces
+    // false, equality defers to the lower bits.
+    let mut ge = nl.constant(true);
+    for (i, &bit) in a.iter().enumerate() {
+        let c = (value >> i) & 1 == 1;
+        ge = if c {
+            nl.and(&[bit, ge]) // a_i must be 1, then defer down
+        } else {
+            nl.or(&[bit, ge]) // a_i = 1 wins outright
+        };
+    }
+    ge
+}
+
+/// Ripple increment: `a + 1` over a little-endian bus, dropping the final
+/// carry (callers saturate before overflow). Returns the sum bus.
+///
+/// # Panics
+///
+/// Panics on an empty bus.
+pub fn increment(nl: &mut Netlist, a: &[Net]) -> Bus {
+    assert!(!a.is_empty(), "increment needs at least one bit");
+    let mut carry = nl.constant(true);
+    let mut out = Vec::with_capacity(a.len());
+    for &bit in a {
+        let sum = nl.xor(bit, carry);
+        let new_carry = nl.and(&[bit, carry]);
+        out.push(sum);
+        carry = new_carry;
+    }
+    out
+}
+
+/// A structural saturating up-counter: `width` DFFs that count clock
+/// edges while `enable` is high and freeze at all-ones (the binary
+/// encoding with a saturating counter of paper Section 5, which "makes
+/// sure that the counter doesn't overflow and restart the count").
+///
+/// Returns the counter state bus.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn saturating_counter(nl: &mut Netlist, enable: Net, width: u32) -> Bus {
+    assert!(width > 0, "counter needs at least one bit");
+    // Allocate state DFFs with placeholder drivers, then patch their D
+    // inputs once the next-state logic exists (the only place feedback
+    // is required).
+    let zero = nl.constant(false);
+    let state: Bus = (0..width).map(|_| nl.dff(zero)).collect();
+    let saturated = nl.and(&state);
+    let not_sat = nl.not(saturated);
+    let advance = nl.and(&[enable, not_sat]);
+    let incremented = increment(nl, &state);
+    for (i, &s) in state.iter().enumerate() {
+        let d = nl.mux2(advance, s, incremented[i]);
+        nl.set_gate(s, crate::Gate::Dff { d, init: false });
+    }
+    state
+}
+
+/// One-hot decode of a little-endian bus into `2^width` select lines.
+/// Line `k` is high iff the bus reads `k` — the weight-select MUX
+/// structure of the Fig. 8 cell.
+///
+/// # Panics
+///
+/// Panics on an empty bus or `width > 16` (a guard against accidental
+/// exponential blowup).
+pub fn one_hot_decode(nl: &mut Netlist, a: &[Net]) -> Vec<Net> {
+    assert!(!a.is_empty(), "decoder needs at least one bit");
+    assert!(a.len() <= 16, "decoder wider than 16 bits is surely a bug");
+    let inverted: Vec<Net> = a.iter().map(|&b| nl.not(b)).collect();
+    (0..(1_usize << a.len()))
+        .map(|k| {
+            let terms: Vec<Net> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| if (k >> i) & 1 == 1 { bit } else { inverted[i] })
+                .collect();
+            if terms.len() == 1 {
+                terms[0]
+            } else {
+                nl.and(&terms)
+            }
+        })
+        .collect()
+}
+
+/// Reads a bus value from a simulator (little-endian).
+pub fn read_bus(sim: &mut crate::CycleSimulator<'_>, bus: &[Net]) -> u64 {
+    bus.iter()
+        .enumerate()
+        .fold(0_u64, |acc, (i, &n)| acc | (u64::from(sim.value(n)) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CycleSimulator;
+
+    fn drive(nl: &mut Netlist, width: u32) -> Bus {
+        (0..width).map(|i| nl.input(format!("in{i}"))).collect()
+    }
+
+    fn set_bus(sim: &mut CycleSimulator<'_>, bus: &[Net], value: u64) {
+        for (i, &n) in bus.iter().enumerate() {
+            sim.set_input(n, (value >> i) & 1 == 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn equality_over_all_pairs() {
+        let mut nl = Netlist::new();
+        let a = drive(&mut nl, 3);
+        let b = drive(&mut nl, 3);
+        let eq = equality(&mut nl, &a, &b);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        for x in 0..8_u64 {
+            for y in 0..8_u64 {
+                set_bus(&mut sim, &a, x);
+                set_bus(&mut sim, &b, y);
+                assert_eq!(sim.value(eq), x == y, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn equals_const_exhaustive() {
+        let mut nl = Netlist::new();
+        let a = drive(&mut nl, 4);
+        let taps: Vec<Net> = (0..16).map(|k| equals_const(&mut nl, &a, k)).collect();
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        for x in 0..16_u64 {
+            set_bus(&mut sim, &a, x);
+            for (k, &tap) in taps.iter().enumerate() {
+                assert_eq!(sim.value(tap), x == k as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn greater_equal_const_exhaustive() {
+        let mut nl = Netlist::new();
+        let a = drive(&mut nl, 4);
+        let taps: Vec<Net> = (0..=17).map(|k| greater_equal_const(&mut nl, &a, k)).collect();
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        for x in 0..16_u64 {
+            set_bus(&mut sim, &a, x);
+            for (k, &tap) in taps.iter().enumerate() {
+                assert_eq!(sim.value(tap), x >= k as u64, "x={x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn increment_exhaustive() {
+        let mut nl = Netlist::new();
+        let a = drive(&mut nl, 4);
+        let inc = increment(&mut nl, &a);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        for x in 0..16_u64 {
+            set_bus(&mut sim, &a, x);
+            assert_eq!(read_bus(&mut sim, &inc), (x + 1) % 16);
+        }
+    }
+
+    #[test]
+    fn saturating_counter_counts_and_saturates() {
+        let mut nl = Netlist::new();
+        let en = nl.input("en");
+        let bus = saturating_counter(&mut nl, en, 3);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        assert_eq!(read_bus(&mut sim, &bus), 0);
+        // Disabled: stays at 0.
+        sim.tick().unwrap();
+        assert_eq!(read_bus(&mut sim, &bus), 0);
+        // Enabled: counts 1, 2, ..., 7 then saturates.
+        sim.set_input(en, true).unwrap();
+        for expect in 1..=7_u64 {
+            sim.tick().unwrap();
+            assert_eq!(read_bus(&mut sim, &bus), expect);
+        }
+        for _ in 0..5 {
+            sim.tick().unwrap();
+            assert_eq!(read_bus(&mut sim, &bus), 7, "must hold at saturation");
+        }
+        // Pausing enable freezes the count.
+        sim.power_on();
+        sim.set_input(en, true).unwrap();
+        sim.tick().unwrap();
+        sim.set_input(en, false).unwrap();
+        sim.tick().unwrap();
+        assert_eq!(read_bus(&mut sim, &bus), 1);
+    }
+
+    #[test]
+    fn one_hot_decode_exhaustive() {
+        let mut nl = Netlist::new();
+        let a = drive(&mut nl, 3);
+        let lines = one_hot_decode(&mut nl, &a);
+        assert_eq!(lines.len(), 8);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        for x in 0..8_u64 {
+            set_bus(&mut sim, &a, x);
+            for (k, &line) in lines.iter().enumerate() {
+                assert_eq!(sim.value(line), x == k as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_bus_reads_back() {
+        let mut nl = Netlist::new();
+        let b = constant_bus(&mut nl, 0b1011, 4);
+        let mut sim = CycleSimulator::new(&nl).unwrap();
+        assert_eq!(read_bus(&mut sim, &b), 0b1011);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn equals_const_rejects_wide_constant() {
+        let mut nl = Netlist::new();
+        let a = drive(&mut nl, 2);
+        let _ = equals_const(&mut nl, &a, 4);
+    }
+}

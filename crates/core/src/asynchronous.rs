@@ -1,0 +1,321 @@
+//! Asynchronous (continuous-time) Race Logic — the paper's §6 endgame.
+//!
+//! "The most optimal implementation of Race Logic is asynchronous and in
+//! the analog domain": no clock network (killing the cubic energy term)
+//! with edge delays realized by device physics — e.g. the memristive
+//! edges of Fig. 3d — instead of DFF chains. The price is *precision*:
+//! analog delays vary with process/voltage/temperature, so the race's
+//! answer is only correct while the accumulated variation cannot reorder
+//! the winning and losing paths.
+//!
+//! This module models exactly that trade-off:
+//!
+//! - [`run`] simulates a race through a DAG in continuous time, each
+//!   edge's nominal delay perturbed by a seeded, per-edge relative
+//!   jitter — the event-driven engine is shared with the synchronous
+//!   functional simulator, only the time base changes;
+//! - [`monte_carlo`] estimates the probability that variation flips the
+//!   computed score, as a function of jitter magnitude — the analysis a
+//!   designer would run before committing to an analog implementation.
+//!
+//! With zero jitter the asynchronous race reproduces the synchronous
+//! outcome exactly (tested), anchoring the model.
+
+use rand::Rng;
+use rand_distr_free::sample_symmetric;
+use rl_dag::{Dag, NodeId};
+
+use crate::{RaceError, RaceKind};
+
+/// Tiny local helper namespace for jitter sampling (kept dependency-free:
+/// uniform symmetric relative error, the first-order PVT model).
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// Samples a multiplicative factor `1 + U(-rel, +rel)`.
+    pub fn sample_symmetric<R: Rng>(rng: &mut R, rel: f64) -> f64 {
+        if rel == 0.0 {
+            1.0
+        } else {
+            1.0 + rng.random_range(-rel..=rel)
+        }
+    }
+}
+
+/// The outcome of one continuous-time race.
+#[derive(Debug, Clone)]
+pub struct AsyncOutcome {
+    /// Arrival time per node in nominal delay units (`f64::INFINITY` if
+    /// the node never fired).
+    pub arrival: Vec<f64>,
+    /// The discrete score obtained by rounding the sink arrival to the
+    /// nearest integer — what a sampling flip-flop at the output would
+    /// report.
+    pub quantized: Vec<Option<u64>>,
+}
+
+impl AsyncOutcome {
+    /// Continuous arrival at one node.
+    #[must_use]
+    pub fn arrival_at(&self, node: NodeId) -> f64 {
+        self.arrival[node.index()]
+    }
+
+    /// Quantized (rounded) arrival at one node.
+    #[must_use]
+    pub fn quantized_at(&self, node: NodeId) -> Option<u64> {
+        self.quantized[node.index()]
+    }
+}
+
+/// Runs a continuous-time race with per-edge relative jitter.
+///
+/// Each edge's delay is `weight × (1 + U(−jitter, +jitter))`, drawn once
+/// per edge from `rng` (static process variation, the dominant term for
+/// the memristive devices of Fig. 3d). `jitter = 0.0` reproduces the
+/// synchronous race exactly.
+///
+/// # Errors
+///
+/// Returns [`RaceError::AndInfeasible`] under the same conditions as the
+/// synchronous functional race.
+///
+/// # Panics
+///
+/// Panics if `jitter` is negative or ≥ 1 (delays must stay positive).
+pub fn run<R: Rng>(
+    dag: &Dag,
+    sources: &[NodeId],
+    kind: RaceKind,
+    jitter: f64,
+    rng: &mut R,
+) -> Result<AsyncOutcome, RaceError> {
+    assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+    if kind == RaceKind::And && !rl_dag::paths::and_feasible(dag, sources) {
+        return Err(RaceError::AndInfeasible);
+    }
+    // Draw the static variation per edge, in edge-id order (deterministic
+    // for a given seed regardless of traversal order).
+    let factors: Vec<f64> = (0..dag.edge_count())
+        .map(|_| sample_symmetric(rng, jitter))
+        .collect();
+
+    // Continuous-time relaxation in topological order. (Event-driven
+    // float-keyed heaps offer no asymptotic benefit here and introduce
+    // tie-ordering hazards; the DP is exact for both semirings.)
+    let n = dag.node_count();
+    let mut arrival = vec![f64::INFINITY; n];
+    for &s in sources {
+        arrival[s.index()] = 0.0;
+    }
+    let mut is_source = vec![false; n];
+    for &s in sources {
+        is_source[s.index()] = true;
+    }
+    for &v in dag.topological() {
+        if is_source[v.index()] {
+            continue;
+        }
+        let mut best = match kind {
+            RaceKind::Or => f64::INFINITY,
+            RaceKind::And => 0.0,
+        };
+        let mut any = false;
+        let mut starved = false;
+        for (eid, e) in dag.in_edges(v) {
+            let pred = arrival[e.from.index()];
+            if pred.is_infinite() {
+                starved = true;
+                if kind == RaceKind::And {
+                    break;
+                }
+                continue;
+            }
+            any = true;
+            let t = pred + e.weight as f64 * factors[eid.index()];
+            best = match kind {
+                RaceKind::Or => best.min(t),
+                RaceKind::And => best.max(t),
+            };
+        }
+        arrival[v.index()] = if !any || (kind == RaceKind::And && starved) {
+            f64::INFINITY
+        } else {
+            best
+        };
+    }
+    let quantized = arrival
+        .iter()
+        .map(|&t| t.is_finite().then(|| t.round().max(0.0) as u64))
+        .collect();
+    Ok(AsyncOutcome { arrival, quantized })
+}
+
+/// Result of a Monte-Carlo variation study at one jitter level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationReport {
+    /// The jitter level simulated.
+    pub jitter: f64,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials whose quantized sink score differed from the noiseless one.
+    pub score_errors: u32,
+    /// Mean absolute continuous-time deviation of the sink arrival.
+    pub mean_abs_deviation: f64,
+}
+
+impl VariationReport {
+    /// Fraction of trials with a wrong score.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        f64::from(self.score_errors) / f64::from(self.trials)
+    }
+}
+
+/// Monte-Carlo robustness of an asynchronous race: how often does
+/// process variation of the given relative magnitude change the
+/// quantized score at `sink`?
+///
+/// # Errors
+///
+/// Propagates [`run`] errors from the first failing trial.
+pub fn monte_carlo<R: Rng>(
+    dag: &Dag,
+    sources: &[NodeId],
+    sink: NodeId,
+    kind: RaceKind,
+    jitter: f64,
+    trials: u32,
+    rng: &mut R,
+) -> Result<VariationReport, RaceError> {
+    let reference = crate::functional::run(dag, sources, kind)?
+        .arrival_at(sink)
+        .cycles();
+    let mut errors = 0;
+    let mut dev = 0.0;
+    for _ in 0..trials {
+        let out = run(dag, sources, kind, jitter, rng)?;
+        if out.quantized_at(sink) != reference {
+            errors += 1;
+        }
+        if let (Some(r), t) = (reference, out.arrival_at(sink)) {
+            if t.is_finite() {
+                dev += (t - r as f64).abs();
+            }
+        }
+    }
+    Ok(VariationReport {
+        jitter,
+        trials,
+        score_errors: errors,
+        mean_abs_deviation: if trials > 0 { dev / f64::from(trials) } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_dag::generate::{self, seeded_rng};
+
+    fn graph(seed: u64) -> (Dag, Vec<NodeId>, NodeId) {
+        let cfg = generate::LayeredConfig {
+            layers: 6,
+            width: 5,
+            max_weight: 8,
+            edge_probability: 0.4,
+        };
+        let dag = generate::layered(&mut seeded_rng(seed), &cfg).unwrap();
+        let roots: Vec<NodeId> = dag.roots().collect();
+        let sink = dag.sinks().next().unwrap();
+        (dag, roots, sink)
+    }
+
+    #[test]
+    fn zero_jitter_equals_synchronous() {
+        for seed in 0..8 {
+            let (dag, roots, _) = graph(seed);
+            let sync = crate::functional::run(&dag, &roots, RaceKind::Or).unwrap();
+            let mut rng = seeded_rng(seed + 1000);
+            let asynch = run(&dag, &roots, RaceKind::Or, 0.0, &mut rng).unwrap();
+            for v in dag.nodes() {
+                assert_eq!(
+                    asynch.quantized_at(v),
+                    sync.arrival_at(v).cycles(),
+                    "node {v} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_and_type_also_matches() {
+        let (dag, roots, sink) = graph(3);
+        let sync = crate::functional::run(&dag, &roots, RaceKind::And).unwrap();
+        let mut rng = seeded_rng(5);
+        let asynch = run(&dag, &roots, RaceKind::And, 0.0, &mut rng).unwrap();
+        assert_eq!(asynch.quantized_at(sink), sync.arrival_at(sink).cycles());
+    }
+
+    #[test]
+    fn error_rate_grows_with_jitter() {
+        let (dag, roots, sink) = graph(7);
+        let mut rng = seeded_rng(99);
+        let lo = monte_carlo(&dag, &roots, sink, RaceKind::Or, 0.01, 200, &mut rng).unwrap();
+        let hi = monte_carlo(&dag, &roots, sink, RaceKind::Or, 0.30, 200, &mut rng).unwrap();
+        assert!(lo.error_rate() <= hi.error_rate(), "{} > {}", lo.error_rate(), hi.error_rate());
+        assert!(lo.mean_abs_deviation < hi.mean_abs_deviation);
+        // Large variation on a deep graph is very likely to misquantize
+        // at least sometimes.
+        assert!(hi.error_rate() > 0.0);
+    }
+
+    #[test]
+    fn tiny_jitter_is_usually_harmless() {
+        let (dag, roots, sink) = graph(11);
+        let mut rng = seeded_rng(4);
+        let r = monte_carlo(&dag, &roots, sink, RaceKind::Or, 0.002, 100, &mut rng).unwrap();
+        assert!(r.error_rate() < 0.2, "0.2% jitter broke {}% of races", r.error_rate() * 100.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let dag = rl_dag::DagBuilder::with_nodes(2).build().unwrap();
+        let src = NodeId::from_index_for_tests(0);
+        let mut rng = seeded_rng(0);
+        let out = run(&dag, &[src], RaceKind::Or, 0.1, &mut rng).unwrap();
+        assert!(out.arrival[1].is_infinite());
+        assert_eq!(out.quantized[1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be")]
+    fn invalid_jitter_panics() {
+        let (dag, roots, _) = graph(0);
+        let mut rng = seeded_rng(0);
+        let _ = run(&dag, &roots, RaceKind::Or, 1.5, &mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Continuous arrivals are bounded by the jitter envelope: the
+        /// noisy shortest path lies within (1 ± jitter) of nominal.
+        #[test]
+        fn arrival_within_envelope(seed in 0_u64..16, jpct in 0_u32..30) {
+            let jitter = f64::from(jpct) / 100.0;
+            let (dag, roots, sink) = graph(seed);
+            let nominal = crate::functional::run(&dag, &roots, RaceKind::Or)
+                .unwrap()
+                .arrival_at(sink)
+                .finite_cycles() as f64;
+            let mut rng = seeded_rng(seed * 7 + 1);
+            let out = run(&dag, &roots, RaceKind::Or, jitter, &mut rng).unwrap();
+            let t = out.arrival_at(sink);
+            prop_assert!(t >= nominal * (1.0 - jitter) - 1e-9);
+            prop_assert!(t <= nominal * (1.0 + jitter) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The Race Logic compiler: weighted DAG → gate-level race circuit.
+//!
+//! Following paper Section 3 and Fig. 3, every node of the DAG becomes an
+//! OR gate (shortest path) or AND gate (longest path), and every
+//! weight-`w` edge becomes a chain of `w` D flip-flops. The computation is
+//! started by driving a steady `1` onto the injection input; the value at
+//! any node is the clock cycle at which its gate output rises.
+//!
+//! [`CompiledRace::run`] executes the circuit on the cycle-accurate
+//! simulator of `rl-circuit` and reads back per-node arrival times — the
+//! gate-level ground truth that the functional simulator and the DP
+//! reference are checked against.
+
+use rl_circuit::{Census, CycleSimulator, Net, Netlist};
+use rl_dag::{paths, Dag, NodeId};
+use rl_temporal::Time;
+
+use crate::{RaceError, RaceKind};
+
+/// A race circuit compiled from a DAG.
+#[derive(Debug, Clone)]
+pub struct CompiledRace {
+    netlist: Netlist,
+    input: Net,
+    node_nets: Vec<Net>,
+    kind: RaceKind,
+    sinks: Vec<NodeId>,
+}
+
+/// Per-node arrival times from a gate-level run.
+#[derive(Debug, Clone)]
+pub struct GateRaceOutcome {
+    /// Arrival (cycle of the 0→1 transition) per node; [`Time::NEVER`]
+    /// if the node's gate never rose within the cycle budget.
+    pub arrival: Vec<Time>,
+    /// Clock cycles actually simulated.
+    pub cycles_run: u64,
+    /// Activity statistics from the cycle simulator (toggle counts per
+    /// net), for the energy model.
+    pub stats: rl_circuit::ActivityStats,
+}
+
+impl GateRaceOutcome {
+    /// The arrival time at one node.
+    #[must_use]
+    pub fn arrival_at(&self, node: NodeId) -> Time {
+        self.arrival[node.index()]
+    }
+}
+
+impl CompiledRace {
+    /// Compiles `dag` into a race circuit of the given kind, injecting
+    /// the start signal at `sources`.
+    ///
+    /// Source nodes are wired directly to the injection input (the paper
+    /// gives input nodes "a steady value of 1"); every other node becomes
+    /// one gate fed by one delay chain per incoming edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaceError::AndInfeasible`] for an AND-type compilation
+    /// where some node is unreachable from `sources` (its gate could
+    /// never rise, so the longest-path reading would be wrong).
+    pub fn compile(dag: &Dag, sources: &[NodeId], kind: RaceKind) -> Result<Self, RaceError> {
+        if kind == RaceKind::And && !paths::and_feasible(dag, sources) {
+            return Err(RaceError::AndInfeasible);
+        }
+        let mut nl = Netlist::new();
+        let input = nl.input("race_start");
+        let mut node_nets: Vec<Option<Net>> = vec![None; dag.node_count()];
+        let mut is_source = vec![false; dag.node_count()];
+        for &s in sources {
+            node_nets[s.index()] = Some(input);
+            is_source[s.index()] = true;
+        }
+        // Topological order guarantees each predecessor's net exists
+        // before its successors are built.
+        for &v in dag.topological() {
+            if is_source[v.index()] {
+                continue;
+            }
+            let mut gate_inputs = Vec::new();
+            for (_, e) in dag.in_edges(v) {
+                if let Some(pred) = node_nets[e.from.index()] {
+                    let delayed = nl.delay_chain(pred, e.weight);
+                    gate_inputs.push(delayed);
+                }
+                // A predecessor that is itself unreachable contributes no
+                // input wire (OR-type only; AND-type was screened above).
+            }
+            let net = match gate_inputs.len() {
+                0 => None, // unreachable node: no gate at all (never rises)
+                1 => Some(gate_inputs[0]),
+                _ => Some(match kind {
+                    RaceKind::Or => nl.or(&gate_inputs),
+                    RaceKind::And => nl.and(&gate_inputs),
+                }),
+            };
+            if let Some(n) = net {
+                nl.name_net(n, format!("node{}", v.index()));
+            }
+            node_nets[v.index()] = net;
+        }
+        let sinks: Vec<NodeId> = dag.sinks().collect();
+        for &s in &sinks {
+            if let Some(n) = node_nets[s.index()] {
+                nl.mark_output(n, format!("sink{}", s.index()));
+            }
+        }
+        // Unreachable nodes keep a dead constant-0 net so indexing stays
+        // total.
+        let zero = nl.constant(false);
+        let node_nets = node_nets
+            .into_iter()
+            .map(|n| n.unwrap_or(zero))
+            .collect();
+        Ok(CompiledRace { netlist: nl, input, node_nets, kind, sinks })
+    }
+
+    /// The compiled netlist (for census / inspection).
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Gate counts per cell class.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        self.netlist.census()
+    }
+
+    /// Which race kind this circuit implements.
+    #[must_use]
+    pub fn kind(&self) -> RaceKind {
+        self.kind
+    }
+
+    /// The net carrying a node's rising edge.
+    #[must_use]
+    pub fn node_net(&self, node: NodeId) -> Net {
+        self.node_nets[node.index()]
+    }
+
+    /// Runs the race until every sink has fired (or `max_cycles` elapse,
+    /// after which unfired nodes report [`Time::NEVER`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit elaboration errors ([`RaceError::Circuit`]).
+    /// A cycle budget overrun is *not* an error here — with OR-type races
+    /// over partial graphs some sinks legitimately never fire; callers
+    /// that require completion should check the returned arrivals.
+    pub fn run(&self, max_cycles: u64) -> Result<GateRaceOutcome, RaceError> {
+        let mut sim = CycleSimulator::new(&self.netlist)?;
+        let n = self.node_nets.len();
+        let mut arrival = vec![Time::NEVER; n];
+        sim.set_input(self.input, true)?;
+        // Cycle 0: sources (and anything reachable through zero-weight
+        // wires) are already high.
+        let record = |sim: &mut CycleSimulator<'_>, arrival: &mut Vec<Time>, t: u64| {
+            for i in 0..n {
+                if arrival[i].is_never() && sim.value(self.node_nets[i]) {
+                    arrival[i] = Time::from_cycles(t);
+                }
+            }
+        };
+        record(&mut sim, &mut arrival, 0);
+        let all_sinks_fired = |arrival: &Vec<Time>| {
+            self.sinks.iter().all(|s| arrival[s.index()].is_finite())
+        };
+        let mut t = 0;
+        while t < max_cycles && !all_sinks_fired(&arrival) {
+            sim.tick()?;
+            t += 1;
+            record(&mut sim, &mut arrival, t);
+        }
+        Ok(GateRaceOutcome { arrival, cycles_run: t, stats: sim.stats() })
+    }
+
+    /// Runs the race to *quiescence*: keeps ticking until no node has
+    /// fired for `quiet_gap` consecutive cycles (signals can be in
+    /// flight inside a delay chain for at most the largest edge weight,
+    /// so a gap of `max_weight` cycles proves the race is over), or
+    /// `max_cycles` elapse. Interior nodes slower than the sinks are
+    /// therefore captured too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit elaboration errors ([`RaceError::Circuit`]).
+    pub fn run_quiescent(
+        &self,
+        max_cycles: u64,
+        quiet_gap: u64,
+    ) -> Result<GateRaceOutcome, RaceError> {
+        let mut sim = CycleSimulator::new(&self.netlist)?;
+        let n = self.node_nets.len();
+        let mut arrival = vec![Time::NEVER; n];
+        sim.set_input(self.input, true)?;
+        let record = |sim: &mut CycleSimulator<'_>, arrival: &mut Vec<Time>, t: u64| -> bool {
+            let mut fired = false;
+            for i in 0..n {
+                if arrival[i].is_never() && sim.value(self.node_nets[i]) {
+                    arrival[i] = Time::from_cycles(t);
+                    fired = true;
+                }
+            }
+            fired
+        };
+        record(&mut sim, &mut arrival, 0);
+        let mut t = 0;
+        let mut quiet = 0;
+        while t < max_cycles && quiet <= quiet_gap {
+            sim.tick()?;
+            t += 1;
+            if record(&mut sim, &mut arrival, t) {
+                quiet = 0;
+            } else {
+                quiet += 1;
+            }
+        }
+        Ok(GateRaceOutcome { arrival, cycles_run: t, stats: sim.stats() })
+    }
+
+    /// Compile-and-run convenience with a cycle budget derived from the
+    /// graph (total edge weight bounds any simple path).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledRace::compile`] and [`CompiledRace::run`], plus
+    /// [`RaceError::RaceTimeout`] if some sink still had not fired at the
+    /// derived bound (possible only for disconnected sinks).
+    pub fn race(dag: &Dag, sources: &[NodeId], kind: RaceKind) -> Result<GateRaceOutcome, RaceError> {
+        let compiled = CompiledRace::compile(dag, sources, kind)?;
+        let budget = dag.total_weight().cycles().unwrap_or(u64::MAX - 1) + 1;
+        let outcome = compiled.run_quiescent(budget, dag.max_weight().unwrap_or(0))?;
+        if compiled
+            .sinks
+            .iter()
+            .any(|s| outcome.arrival[s.index()].is_never())
+        {
+            return Err(RaceError::RaceTimeout { limit: budget });
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_dag::{generate, DagBuilder};
+    use rl_temporal::{MaxPlus, MinPlus};
+
+    fn fig3a() -> (Dag, Vec<NodeId>, NodeId) {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let bb = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(bb, c, 1).unwrap();
+        b.add_edge(a, d, 2).unwrap();
+        b.add_edge(bb, d, 3).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        (b.build().unwrap(), vec![a, bb], d)
+    }
+
+    #[test]
+    fn fig3b_and_type_gate_level() {
+        let (dag, sources, sink) = fig3a();
+        let outcome = CompiledRace::race(&dag, &sources, RaceKind::And).unwrap();
+        assert_eq!(outcome.arrival_at(sink), Time::from_cycles(3));
+    }
+
+    #[test]
+    fn fig3c_or_type_gate_level() {
+        let (dag, sources, sink) = fig3a();
+        let outcome = CompiledRace::race(&dag, &sources, RaceKind::Or).unwrap();
+        assert_eq!(outcome.arrival_at(sink), Time::from_cycles(2));
+        // Fig. 3 wiring: 5 edges totalling 8 cycles of delay = 8 DFFs.
+        let compiled = CompiledRace::compile(&dag, &sources, RaceKind::Or).unwrap();
+        assert_eq!(compiled.census().count(rl_circuit::CellKind::Dff), 8);
+    }
+
+    #[test]
+    fn sources_fire_at_cycle_zero() {
+        let (dag, sources, _) = fig3a();
+        let outcome = CompiledRace::race(&dag, &sources, RaceKind::Or).unwrap();
+        for s in &sources {
+            assert_eq!(outcome.arrival_at(*s), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn unreachable_sink_times_out() {
+        let dag = DagBuilder::with_nodes(2).build().unwrap();
+        let src = NodeId::from_index_for_tests(0);
+        let err = CompiledRace::race(&dag, &[src], RaceKind::Or).unwrap_err();
+        assert!(matches!(err, RaceError::RaceTimeout { .. }));
+    }
+
+    #[test]
+    fn and_infeasible_rejected_at_compile() {
+        let mut b = DagBuilder::with_nodes(2);
+        b.add_edge(NodeId::from_index_for_tests(0), NodeId::from_index_for_tests(1), 1)
+            .unwrap();
+        let dag = b.build().unwrap();
+        let err =
+            CompiledRace::compile(&dag, &[NodeId::from_index_for_tests(1)], RaceKind::And)
+                .unwrap_err();
+        assert_eq!(err, RaceError::AndInfeasible);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Gate-level race == functional race == DP, on random DAGs.
+        /// This is invariant 1 of DESIGN.md at the gate level.
+        #[test]
+        fn gate_level_equals_dp(seed in 0_u64..24) {
+            let cfg = generate::LayeredConfig {
+                layers: 5, width: 4, max_weight: 5, edge_probability: 0.5,
+            };
+            let dag = generate::layered(&mut generate::seeded_rng(seed), &cfg).unwrap();
+            let roots: Vec<NodeId> = dag.roots().collect();
+
+            let or = CompiledRace::race(&dag, &roots, RaceKind::Or).unwrap();
+            prop_assert_eq!(&or.arrival, &paths::arrival_times::<MinPlus>(&dag, &roots));
+
+            let and = CompiledRace::race(&dag, &roots, RaceKind::And).unwrap();
+            prop_assert_eq!(&and.arrival, &paths::arrival_times::<MaxPlus>(&dag, &roots));
+
+            let functional = crate::functional::run(&dag, &roots, RaceKind::Or).unwrap();
+            prop_assert_eq!(&or.arrival, &functional.arrival);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Thresholded races: early termination for database scans (paper §6).
+//!
+//! A defining property of the OR-type race is that *the maximum possible
+//! score is known at every instant*: if the output has not risen by cycle
+//! `T`, the score is strictly greater than `T`. A similarity scan can
+//! therefore abandon a candidate the moment the threshold cycle passes —
+//! "if the count exceeds the threshold value, the architecture will treat
+//! it as if the required match was not found and move on to the next
+//! pattern". The systolic baseline cannot do this: its score is only
+//! known after the whole computation drains (Section 6).
+
+use rl_bio::{alphabet::Symbol, Seq};
+
+use crate::alignment::{AlignmentRace, RaceWeights};
+use crate::score_transform::TransformedWeights;
+
+/// The outcome of a thresholded race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdOutcome {
+    /// The race finished within the threshold: the exact score, and the
+    /// cycles consumed (== score).
+    Within {
+        /// The exact race score (≤ threshold).
+        score: u64,
+    },
+    /// The output had not risen by the threshold cycle: the pair is
+    /// "dissimilar", abandoned after `threshold + 1` cycles.
+    Exceeded,
+}
+
+impl ThresholdOutcome {
+    /// The score if the race finished in time.
+    #[must_use]
+    pub fn score(self) -> Option<u64> {
+        match self {
+            ThresholdOutcome::Within { score } => Some(score),
+            ThresholdOutcome::Exceeded => None,
+        }
+    }
+
+    /// Cycles the hardware spends before moving on: the score itself, or
+    /// `threshold + 1` on an abandon.
+    #[must_use]
+    pub fn cycles_consumed(self, threshold: u64) -> u64 {
+        match self {
+            ThresholdOutcome::Within { score } => score,
+            ThresholdOutcome::Exceeded => threshold + 1,
+        }
+    }
+}
+
+/// Races `q` against `p` under simple alignment weights, abandoning at
+/// `threshold`.
+#[must_use]
+pub fn threshold_race<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    weights: RaceWeights,
+    threshold: u64,
+) -> ThresholdOutcome {
+    let outcome = AlignmentRace::new(q, p, weights).run_functional();
+    classify(outcome.latency_cycles(), threshold)
+}
+
+/// Races `q` against `p` under transformed (Section 5) weights,
+/// abandoning at `threshold` (in *delay* units; use
+/// [`TransformedWeights::recover_score`] to convert a score threshold).
+#[must_use]
+pub fn threshold_race_transformed<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    weights: &TransformedWeights<S>,
+    threshold: u64,
+) -> ThresholdOutcome {
+    let raced = weights.reference_race_cost(q, p);
+    classify(raced.cycles(), threshold)
+}
+
+fn classify(score: Option<u64>, threshold: u64) -> ThresholdOutcome {
+    match score {
+        Some(s) if s <= threshold => ThresholdOutcome::Within { score: s },
+        _ => ThresholdOutcome::Exceeded,
+    }
+}
+
+/// Scan summary from [`scan_database`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Indices of database entries within the threshold, with scores.
+    pub hits: Vec<(usize, u64)>,
+    /// Number of abandoned (dissimilar) entries.
+    pub rejected: usize,
+    /// Total cycles consumed across the scan (the §6 win: rejected
+    /// entries cost only `threshold + 1` cycles each).
+    pub total_cycles: u64,
+    /// Cycles a threshold-less scan would have consumed (every race runs
+    /// to completion).
+    pub unthresholded_cycles: u64,
+}
+
+impl ScanReport {
+    /// Fraction of cycles saved by thresholding.
+    #[must_use]
+    pub fn savings_fraction(&self) -> f64 {
+        if self.unthresholded_cycles == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_cycles as f64 / self.unthresholded_cycles as f64
+    }
+}
+
+/// Scans `query` against a database of patterns, keeping entries whose
+/// race finishes within `threshold` cycles — the Section 6 application.
+#[must_use]
+pub fn scan_database<S: Symbol>(
+    query: &Seq<S>,
+    database: &[Seq<S>],
+    weights: RaceWeights,
+    threshold: u64,
+) -> ScanReport {
+    let mut hits = Vec::new();
+    let mut rejected = 0;
+    let mut total_cycles = 0;
+    let mut unthresholded = 0;
+    for (idx, pattern) in database.iter().enumerate() {
+        let outcome = AlignmentRace::new(query, pattern, weights).run_functional();
+        let full = outcome.latency_cycles().unwrap_or(0);
+        unthresholded += full;
+        match classify(outcome.latency_cycles(), threshold) {
+            ThresholdOutcome::Within { score } => {
+                hits.push((idx, score));
+                total_cycles += score;
+            }
+            ThresholdOutcome::Exceeded => {
+                rejected += 1;
+                total_cycles += threshold + 1;
+            }
+        }
+    }
+    ScanReport { hits, rejected, total_cycles, unthresholded_cycles: unthresholded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_bio::alphabet::Dna;
+    use rl_bio::{matrix, mutate};
+    use rl_dag::generate::seeded_rng;
+
+    fn dna(s: &str) -> Seq<Dna> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_pair_at_various_thresholds() {
+        let q = dna("GATTCGA");
+        let p = dna("ACTGAGA");
+        let w = RaceWeights::fig4();
+        // Score is 10 (Fig. 4c).
+        assert_eq!(threshold_race(&q, &p, w, 10), ThresholdOutcome::Within { score: 10 });
+        assert_eq!(threshold_race(&q, &p, w, 9), ThresholdOutcome::Exceeded);
+        assert_eq!(threshold_race(&q, &p, w, 9).cycles_consumed(9), 10);
+        assert_eq!(threshold_race(&q, &p, w, 20).score(), Some(10));
+    }
+
+    #[test]
+    fn transformed_threshold_matches_blosum_score() {
+        let w = TransformedWeights::from_scheme(&matrix::blosum62()).unwrap();
+        let q: Seq<rl_bio::AminoAcid> = "MKLV".parse().unwrap();
+        let raced = w.reference_race_cost(&q, &q).cycles().unwrap();
+        assert_eq!(
+            threshold_race_transformed(&q, &q, &w, raced),
+            ThresholdOutcome::Within { score: raced }
+        );
+        assert_eq!(
+            threshold_race_transformed(&q, &q, &w, raced - 1),
+            ThresholdOutcome::Exceeded
+        );
+    }
+
+    #[test]
+    fn database_scan_separates_similar_from_random() {
+        let mut rng = seeded_rng(11);
+        let query: Seq<Dna> = Seq::random(&mut rng, 32);
+        // Database: 3 near-duplicates + 5 unrelated strings.
+        let mut db: Vec<Seq<Dna>> = (0..3)
+            .map(|_| {
+                mutate::mutate(
+                    &query,
+                    &mutate::MutationConfig::substitutions_only(0.05),
+                    &mut rng,
+                )
+            })
+            .collect();
+        db.extend((0..5).map(|_| Seq::<Dna>::random(&mut rng, 32)));
+
+        // Threshold: perfect self-match scores 32; allow some slack.
+        let report = scan_database(&query, &db, RaceWeights::fig4(), 40);
+        assert_eq!(report.hits.len(), 3, "exactly the mutated copies pass");
+        assert!(report.hits.iter().all(|&(i, _)| i < 3));
+        assert_eq!(report.rejected, 5);
+        assert!(report.savings_fraction() > 0.0);
+        assert!(report.total_cycles < report.unthresholded_cycles);
+    }
+
+    proptest! {
+        /// DESIGN.md invariant 8: `Exceeded` iff true score > threshold,
+        /// and consumed cycles ≤ threshold + 1.
+        #[test]
+        fn threshold_is_exact(qs in "[ACGT]{1,12}", ps in "[ACGT]{1,12}", t in 0_u64..30) {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let w = RaceWeights::fig4();
+            let truth = AlignmentRace::new(&q, &p, w)
+                .run_functional()
+                .latency_cycles()
+                .unwrap();
+            let outcome = threshold_race(&q, &p, w, t);
+            prop_assert_eq!(outcome == ThresholdOutcome::Exceeded, truth > t);
+            prop_assert!(outcome.cycles_consumed(t) <= t.max(truth) + 1);
+        }
+    }
+}

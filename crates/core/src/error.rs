@@ -1,0 +1,85 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors from compiling or running races.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceError {
+    /// The underlying gate-level circuit failed to elaborate or simulate.
+    Circuit(rl_circuit::CircuitError),
+    /// The input graph was malformed (cycle, unknown node, …).
+    Graph(rl_dag::GraphError),
+    /// An AND-type race was requested on a graph where some node is not
+    /// reachable from the source set: an AND gate would starve forever on
+    /// a dead input, so the longest-path interpretation breaks down.
+    AndInfeasible,
+    /// The race did not finish within the given cycle budget.
+    RaceTimeout {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A score matrix could not be converted to race delays (see
+    /// [`crate::score_transform::TransformError`] for the specific cause).
+    Transform(crate::score_transform::TransformError),
+}
+
+impl fmt::Display for RaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceError::Circuit(e) => write!(f, "circuit error: {e}"),
+            RaceError::Graph(e) => write!(f, "graph error: {e}"),
+            RaceError::AndInfeasible => write!(
+                f,
+                "AND-type race infeasible: a node is unreachable from the sources"
+            ),
+            RaceError::RaceTimeout { limit } => {
+                write!(f, "race did not finish within {limit} cycles")
+            }
+            RaceError::Transform(e) => write!(f, "score transform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RaceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RaceError::Circuit(e) => Some(e),
+            RaceError::Graph(e) => Some(e),
+            RaceError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rl_circuit::CircuitError> for RaceError {
+    fn from(e: rl_circuit::CircuitError) -> Self {
+        RaceError::Circuit(e)
+    }
+}
+
+impl From<rl_dag::GraphError> for RaceError {
+    fn from(e: rl_dag::GraphError) -> Self {
+        RaceError::Graph(e)
+    }
+}
+
+impl From<crate::score_transform::TransformError> for RaceError {
+    fn from(e: crate::score_transform::TransformError) -> Self {
+        RaceError::Transform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = RaceError::RaceTimeout { limit: 12 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.source().is_none());
+        let c: RaceError = rl_circuit::CircuitError::CycleLimitExceeded { limit: 3 }.into();
+        assert!(c.source().is_some());
+    }
+}

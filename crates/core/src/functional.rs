@@ -1,0 +1,266 @@
+//! Functional (event-driven) race simulation.
+//!
+//! This is the race as a *discrete-event process*, without gates: the
+//! injected signal is an event at the sources at `t = 0`; a weight-`w`
+//! edge forwards a firing event `w` cycles later; an OR node fires on its
+//! first incoming event, an AND node on its last. The simulation visits
+//! each edge exactly once, so it runs in `O(E log E)` independent of how
+//! long the race takes — which is what makes it the fast path for large
+//! problem sizes, while [`crate::compiler`] provides the cycle-accurate
+//! gate-level ground truth.
+//!
+//! For OR-type races the firing order produced here is exactly the settle
+//! order of Dijkstra's algorithm ([`rl_dag::dijkstra`]); the unit tests
+//! assert that correspondence.
+
+use rl_dag::{paths, Dag, NodeId};
+use rl_event_sim::{Model, Scheduler, SimTime};
+use rl_temporal::Time;
+
+use crate::{RaceError, RaceKind};
+
+/// The outcome of a functional race.
+#[derive(Debug, Clone)]
+pub struct RaceOutcome {
+    /// Arrival time per node ([`Time::NEVER`] if the node never fired).
+    pub arrival: Vec<Time>,
+    /// Nodes in firing order (ties in arrival time are broken by
+    /// scheduling order, which is deterministic).
+    pub firing_order: Vec<NodeId>,
+    /// Total signal events processed (a proxy for switching activity).
+    pub events_processed: u64,
+}
+
+impl RaceOutcome {
+    /// The arrival time at one node.
+    #[must_use]
+    pub fn arrival_at(&self, node: NodeId) -> Time {
+        self.arrival[node.index()]
+    }
+}
+
+/// One signal arriving at a node along an edge (or the injection itself).
+#[derive(Debug, Clone, Copy)]
+struct SignalEvent {
+    target: NodeId,
+}
+
+struct RaceModel<'a> {
+    dag: &'a Dag,
+    kind: RaceKind,
+    /// Remaining inputs before an AND node fires; 1 for OR semantics.
+    remaining: Vec<u32>,
+    arrival: Vec<Time>,
+    firing_order: Vec<NodeId>,
+}
+
+impl Model for RaceModel<'_> {
+    type Event = SignalEvent;
+
+    fn handle(&mut self, now: SimTime, ev: SignalEvent, sched: &mut Scheduler<SignalEvent>) {
+        let idx = ev.target.index();
+        if self.arrival[idx].is_finite() {
+            return; // already fired (OR semantics: later arrivals ignored)
+        }
+        match self.kind {
+            RaceKind::Or => {}
+            RaceKind::And => {
+                self.remaining[idx] -= 1;
+                if self.remaining[idx] > 0 {
+                    return; // still waiting on slower inputs
+                }
+            }
+        }
+        // The node fires now.
+        self.arrival[idx] = Time::from_cycles(now.ticks());
+        self.firing_order.push(ev.target);
+        for (_, e) in self.dag.out_edges(ev.target) {
+            sched.schedule_in(e.weight, SignalEvent { target: e.to });
+        }
+    }
+}
+
+/// Runs a race through `dag` from `sources`, which fire at `t = 0`.
+///
+/// # Errors
+///
+/// Returns [`RaceError::AndInfeasible`] for an AND-type race on a graph
+/// where some node cannot fire (unreachable from the sources): the race
+/// would be well-defined in hardware — that node simply never rises — but
+/// its outcome would not equal the longest-path DP, so it is rejected
+/// rather than silently disagreeing with the reference. Use an OR-type
+/// race if unreachable nodes are expected.
+pub fn run(dag: &Dag, sources: &[NodeId], kind: RaceKind) -> Result<RaceOutcome, RaceError> {
+    if kind == RaceKind::And && !paths::and_feasible(dag, sources) {
+        return Err(RaceError::AndInfeasible);
+    }
+    let n = dag.node_count();
+    let mut model = RaceModel {
+        dag,
+        kind,
+        remaining: (0..n)
+            .map(|i| match kind {
+                RaceKind::Or => 1,
+                RaceKind::And => {
+                    let d = dag.in_degree(NodeId::from_index_for_tests(i));
+                    u32::try_from(d.max(1)).expect("in-degree fits u32")
+                }
+            })
+            .collect(),
+        arrival: vec![Time::NEVER; n],
+        firing_order: Vec::with_capacity(n),
+    };
+    let mut sched = Scheduler::new();
+    for &s in sources {
+        // Sources fire unconditionally at t = 0: the injected steady "1"
+        // overrides any pending gate inputs (paper §3).
+        model.remaining[s.index()] = 1;
+        sched.schedule_at(SimTime::ZERO, SignalEvent { target: s });
+    }
+    sched.run_to_completion(&mut model);
+    Ok(RaceOutcome {
+        arrival: model.arrival,
+        firing_order: model.firing_order,
+        events_processed: sched.stats().delivered,
+    })
+}
+
+/// Convenience: the arrival time at a single sink.
+///
+/// # Errors
+///
+/// Propagates the errors of [`run`].
+pub fn race_to(
+    dag: &Dag,
+    sources: &[NodeId],
+    sink: NodeId,
+    kind: RaceKind,
+) -> Result<Time, RaceError> {
+    Ok(run(dag, sources, kind)?.arrival_at(sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_dag::{dijkstra, generate, DagBuilder};
+    use rl_temporal::{MaxPlus, MinPlus};
+
+    fn fig3a() -> (Dag, Vec<NodeId>, NodeId) {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let bb = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(bb, c, 1).unwrap();
+        b.add_edge(a, d, 2).unwrap();
+        b.add_edge(bb, d, 3).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        (b.build().unwrap(), vec![a, bb], d)
+    }
+
+    #[test]
+    fn fig3_or_race_takes_two_cycles() {
+        let (dag, sources, sink) = fig3a();
+        let t = race_to(&dag, &sources, sink, RaceKind::Or).unwrap();
+        assert_eq!(t, Time::from_cycles(2));
+    }
+
+    #[test]
+    fn fig3_and_race_takes_three_cycles() {
+        let (dag, sources, sink) = fig3a();
+        let t = race_to(&dag, &sources, sink, RaceKind::And).unwrap();
+        assert_eq!(t, Time::from_cycles(3));
+    }
+
+    #[test]
+    fn or_race_equals_dp_and_dijkstra() {
+        let (dag, sources, _) = fig3a();
+        let outcome = run(&dag, &sources, RaceKind::Or).unwrap();
+        let dp = paths::arrival_times::<MinPlus>(&dag, &sources);
+        assert_eq!(outcome.arrival, dp);
+        let sp = dijkstra::shortest_paths(&dag, &sources);
+        assert_eq!(outcome.arrival, sp.distance);
+    }
+
+    #[test]
+    fn and_race_on_unreachable_graph_is_rejected() {
+        let mut b = DagBuilder::with_nodes(2);
+        let dag = {
+            b.add_edge(
+                NodeId::from_index_for_tests(0),
+                NodeId::from_index_for_tests(1),
+                1,
+            )
+            .unwrap();
+            b.build().unwrap()
+        };
+        // Node 1's only input comes from node 0, but injecting only at a
+        // different source set starves it.
+        let err = run(&dag, &[NodeId::from_index_for_tests(1)], RaceKind::And).unwrap_err();
+        assert_eq!(err, RaceError::AndInfeasible);
+    }
+
+    #[test]
+    fn or_race_leaves_unreachable_nodes_unfired() {
+        let dag = DagBuilder::with_nodes(3).build().unwrap();
+        let src = NodeId::from_index_for_tests(0);
+        let outcome = run(&dag, &[src], RaceKind::Or).unwrap();
+        assert_eq!(outcome.arrival_at(src), Time::ZERO);
+        assert!(outcome.arrival[1].is_never());
+        assert_eq!(outcome.firing_order, vec![src]);
+    }
+
+    #[test]
+    fn firing_order_is_monotone() {
+        let dag = generate::layered(
+            &mut generate::seeded_rng(3),
+            &generate::LayeredConfig::default(),
+        )
+        .unwrap();
+        let roots: Vec<NodeId> = dag.roots().collect();
+        let outcome = run(&dag, &roots, RaceKind::Or).unwrap();
+        let mut last = Time::ZERO;
+        for n in &outcome.firing_order {
+            let t = outcome.arrival_at(*n);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    proptest! {
+        /// The central theorem of the paper, tested on random DAGs: the
+        /// event-driven OR race equals shortest-path DP; the AND race
+        /// equals longest-path DP.
+        #[test]
+        fn race_equals_dp(seed in 0_u64..48) {
+            let cfg = generate::LayeredConfig {
+                layers: 7, width: 6, max_weight: 9, edge_probability: 0.45,
+            };
+            let dag = generate::layered(&mut generate::seeded_rng(seed), &cfg).unwrap();
+            let roots: Vec<NodeId> = dag.roots().collect();
+
+            let or = run(&dag, &roots, RaceKind::Or).unwrap();
+            prop_assert_eq!(&or.arrival, &paths::arrival_times::<MinPlus>(&dag, &roots));
+
+            let and = run(&dag, &roots, RaceKind::And).unwrap();
+            prop_assert_eq!(&and.arrival, &paths::arrival_times::<MaxPlus>(&dag, &roots));
+        }
+
+        /// Event count for an OR race never exceeds E + sources: each
+        /// edge forwards exactly one firing.
+        #[test]
+        fn or_race_event_bound(seed in 0_u64..16) {
+            let dag = generate::layered(
+                &mut generate::seeded_rng(seed),
+                &generate::LayeredConfig::default(),
+            ).unwrap();
+            let roots: Vec<NodeId> = dag.roots().collect();
+            let outcome = run(&dag, &roots, RaceKind::Or).unwrap();
+            prop_assert!(
+                outcome.events_processed <= (dag.edge_count() + roots.len()) as u64
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Data-dependent clock gating (paper Section 4.3, Fig. 7).
+//!
+//! Only the wavefront needs clocking: an m×m *multi-cell region* is
+//! clocked from the moment the propagating `1` reaches it until all of
+//! its cells hold `1`. This module measures, from an actual wavefront
+//! trace, how many cell-cycles of clocking a given granularity `m` costs
+//! — both the gated cells themselves and the always-on gating logic —
+//! mirroring the two terms of the paper's Eq. 6:
+//!
+//! ```text
+//! E_clk,gated = C_clk · (2m − 2) + C_gate · (N/m)² · (2N − 2)
+//! ```
+//!
+//! The analytic counterpart (and the optimal `m*` of Eq. 7) lives in
+//! `rl-hw-model`; this module is the measured side that validates it.
+
+use crate::wavefront::WavefrontTrace;
+
+/// Measured clock activity for one gating granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatingReport {
+    /// The granularity (side length of a multi-cell region, in cells).
+    pub m: usize,
+    /// Cell-cycles of clocking delivered to gated regions.
+    pub gated_cell_cycles: u64,
+    /// Cell-cycles without gating (all cells, all cycles).
+    pub ungated_cell_cycles: u64,
+    /// Number of multi-cell regions (the `(N/m)²` gating-logic instances
+    /// that the clock tree must still toggle every cycle).
+    pub region_count: usize,
+    /// Total race duration in cycles (completion time + 1).
+    pub cycles: u64,
+}
+
+impl GatingReport {
+    /// Measures gating behaviour at granularity `m` on a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn from_trace(trace: &WavefrontTrace, m: usize) -> Self {
+        let spans = trace.region_spans(m);
+        GatingReport {
+            m,
+            gated_cell_cycles: trace.gated_cell_cycles(m),
+            ungated_cell_cycles: trace.ungated_cell_cycles(),
+            region_count: spans.len(),
+            cycles: trace.completion_time().map_or(0, |t| t + 1),
+        }
+    }
+
+    /// Gating-logic cycles: each region's gate cell is clocked every
+    /// cycle of the race (the second term of Eq. 6).
+    #[must_use]
+    pub fn gate_logic_cycles(&self) -> u64 {
+        self.region_count as u64 * self.cycles
+    }
+
+    /// Fraction of ungated clocking that gating eliminates, ignoring the
+    /// gating-logic overhead (1.0 = everything saved).
+    #[must_use]
+    pub fn savings_fraction(&self) -> f64 {
+        if self.ungated_cell_cycles == 0 {
+            return 0.0;
+        }
+        1.0 - self.gated_cell_cycles as f64 / self.ungated_cell_cycles as f64
+    }
+
+    /// Weighted clock cost: `gated_cell_cycles + gate_weight ×
+    /// gate_logic_cycles`, where `gate_weight` is the size of one gating
+    /// cell in unit-cell equivalents. This is the measured Eq. 6, up to
+    /// the per-cell capacitance scale factor applied by `rl-hw-model`.
+    #[must_use]
+    pub fn weighted_cost(&self, gate_weight: f64) -> f64 {
+        self.gated_cell_cycles as f64 + gate_weight * self.gate_logic_cycles() as f64
+    }
+}
+
+/// Sweeps gating granularities and returns the report for each — the
+/// measured version of the Fig. 7 trade-off (fine granularity: many
+/// always-on gates; coarse granularity: long-clocked regions).
+#[must_use]
+pub fn sweep(trace: &WavefrontTrace, granularities: &[usize]) -> Vec<GatingReport> {
+    granularities
+        .iter()
+        .map(|&m| GatingReport::from_trace(trace, m))
+        .collect()
+}
+
+/// The granularity minimizing [`GatingReport::weighted_cost`] over a
+/// sweep, or `None` for an empty sweep.
+#[must_use]
+pub fn best_granularity(reports: &[GatingReport], gate_weight: f64) -> Option<usize> {
+    reports
+        .iter()
+        .min_by(|a, b| {
+            a.weighted_cost(gate_weight)
+                .total_cmp(&b.weighted_cost(gate_weight))
+        })
+        .map(|r| r.m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::{AlignmentRace, RaceWeights};
+    use rl_bio::{alphabet::Dna, mutate};
+
+    fn trace(n: usize) -> WavefrontTrace {
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        AlignmentRace::new(&q, &p, RaceWeights::fig4())
+            .run_functional()
+            .wavefront()
+    }
+
+    #[test]
+    fn report_shape() {
+        let t = trace(16);
+        let r = GatingReport::from_trace(&t, 4);
+        assert_eq!(r.m, 4);
+        // worst case on N=16: completion at 2N = 32 cycles.
+        assert_eq!(r.cycles, 33);
+        assert_eq!(r.region_count, (17_usize.div_ceil(4)).pow(2));
+        assert!(r.gated_cell_cycles < r.ungated_cell_cycles);
+        assert!(r.savings_fraction() > 0.0 && r.savings_fraction() < 1.0);
+        assert_eq!(r.gate_logic_cycles(), r.region_count as u64 * 33);
+    }
+
+    #[test]
+    fn sweep_trades_off_region_count_against_span() {
+        let t = trace(32);
+        let reports = sweep(&t, &[1, 2, 4, 8, 16, 32]);
+        // Finer granularity clocks fewer gated cell-cycles...
+        for w in reports.windows(2) {
+            assert!(w[0].gated_cell_cycles <= w[1].gated_cell_cycles);
+        }
+        // ...but needs more gating logic.
+        for w in reports.windows(2) {
+            assert!(w[0].region_count >= w[1].region_count);
+        }
+    }
+
+    #[test]
+    fn best_granularity_is_interior_for_real_gate_weight() {
+        // With a non-trivial gating cost the optimum is neither the
+        // finest nor the coarsest granularity (the Fig. 7 argument).
+        let t = trace(64);
+        let ms = [1, 2, 4, 8, 16, 32, 64];
+        let reports = sweep(&t, &ms);
+        let best = best_granularity(&reports, 4.0).unwrap();
+        assert!(best > 1 && best < 64, "optimum m={best} should be interior");
+    }
+
+    #[test]
+    fn zero_gate_weight_prefers_finest() {
+        let t = trace(16);
+        let reports = sweep(&t, &[1, 2, 4, 8]);
+        assert_eq!(best_granularity(&reports, 0.0), Some(1));
+        assert_eq!(best_granularity(&[], 1.0), None);
+    }
+
+    #[test]
+    fn savings_grow_with_problem_size() {
+        // The wavefront is O(N) wide out of O(N²) cells, so savings
+        // approach 1 as N grows (the cubic-to-quadratic fix of §4.3).
+        let small = GatingReport::from_trace(&trace(8), 2).savings_fraction();
+        let large = GatingReport::from_trace(&trace(64), 2).savings_fraction();
+        assert!(large > small);
+        assert!(large > 0.8, "large-N savings should be substantial, got {large}");
+    }
+}

@@ -1,0 +1,417 @@
+//! The generalized Race Logic cell and array (paper Section 5, Fig. 8).
+//!
+//! Large score matrices (BLOSUM62 has dynamic range 16 after the
+//! Section-5 transform) make per-weight DFF chains wasteful: a one-hot
+//! delay line needs `O(N_DR)` flip-flops per cell. The generalized cell
+//! replaces them with a **binary saturating up-counter** of width
+//! `⌈log₂(N_DR+1)⌉` plus per-weight equality taps:
+//!
+//! - the three neighbour inputs are ORed and latched (set-on-arrival) to
+//!   form the counter's *enable*;
+//! - the counter counts enabled cycles and saturates at all-ones;
+//! - the tap for weight `w` pulses when the count reaches `w`; a
+//!   set-on-arrival latch converts the pulse to a sustained level;
+//! - a symbol-pair MUX (one-hot decode of the two operand symbols)
+//!   selects which tap drives the diagonal output, while the indel tap
+//!   drives the horizontal/vertical outputs.
+//!
+//! Because all outgoing edges of a cell share the cell's arrival value,
+//! one counter serves every outgoing weight — the area insight of Fig. 8.
+
+use rl_bio::{alphabet::Symbol, Seq};
+use rl_circuit::{stdcells, Census, CycleSimulator, Net, Netlist};
+use rl_temporal::Time;
+
+use crate::alignment::AlignmentOutcome;
+use crate::score_transform::TransformedWeights;
+use crate::RaceError;
+
+/// A single gate-level Fig. 8 cell, standalone, for inspection and tests.
+///
+/// The cell's symbol operands are primary inputs (driven with the codes
+/// of the two symbols whose substitution weight the diagonal output
+/// should realize), as are the three neighbour signals.
+#[derive(Debug, Clone)]
+pub struct GeneralizedCell {
+    netlist: Netlist,
+    /// Left / top / diagonal neighbour inputs.
+    pub in_left: Net,
+    /// Top neighbour input.
+    pub in_top: Net,
+    /// Diagonal neighbour input.
+    pub in_diag: Net,
+    /// Symbol operand buses (q symbol, p symbol), little-endian.
+    pub q_bus: Vec<Net>,
+    /// Symbol operand bus for the p symbol.
+    pub p_bus: Vec<Net>,
+    /// The cell's value (OR of inputs): rises at the cell's score.
+    pub value: Net,
+    /// Diagonal output: value + substitution weight of the operands.
+    pub out_sub: Net,
+    /// Horizontal/vertical output: value + indel weight.
+    pub out_indel: Net,
+}
+
+/// Builds the weight taps shared by the cell and array builders: sticky
+/// levels that rise `w` cycles after `enable`.
+fn build_taps(
+    nl: &mut Netlist,
+    enable: Net,
+    weights: impl IntoIterator<Item = u64>,
+) -> std::collections::BTreeMap<u64, Net> {
+    let mut sorted: Vec<u64> = weights.into_iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let max_w = sorted.last().copied().unwrap_or(1).max(1);
+    let width = u64::BITS - max_w.leading_zeros(); // ceil(log2(max_w+1))
+    let counter = stdcells::saturating_counter(nl, enable, width);
+    sorted
+        .into_iter()
+        .map(|w| {
+            let tap = stdcells::equals_const(nl, &counter, w);
+            (w, nl.sticky(tap))
+        })
+        .collect()
+}
+
+/// Builds the symbol-pair MUX: ORs together `AND(pair_line, tap)` for
+/// every legal pair, realizing "the weight that is desired can be
+/// selected from the MUX whose inputs are the encoded forms of the
+/// alphabet" (Fig. 8). Forbidden pairs contribute nothing: the diagonal
+/// output simply never rises for them (the ∞ weight).
+fn build_pair_mux<S: Symbol>(
+    nl: &mut Netlist,
+    q_bus: &[Net],
+    p_bus: &[Net],
+    taps: &std::collections::BTreeMap<u64, Net>,
+    weights: &TransformedWeights<S>,
+) -> Net {
+    let q_lines = stdcells::one_hot_decode(nl, q_bus);
+    let p_lines = stdcells::one_hot_decode(nl, p_bus);
+    let mut terms = Vec::new();
+    for a in S::all() {
+        for b in S::all() {
+            if let Some(w) = weights.substitution(a, b) {
+                let tap = taps[&w];
+                let term = nl.and(&[q_lines[a.index()], p_lines[b.index()], tap]);
+                terms.push(term);
+            }
+        }
+    }
+    match terms.len() {
+        0 => nl.constant(false),
+        1 => terms[0],
+        _ => nl.or(&terms),
+    }
+}
+
+impl GeneralizedCell {
+    /// Builds a standalone cell for the given transformed weights.
+    #[must_use]
+    pub fn build<S: Symbol>(weights: &TransformedWeights<S>) -> Self {
+        let mut nl = Netlist::new();
+        let in_left = nl.input("in_left");
+        let in_top = nl.input("in_top");
+        let in_diag = nl.input("in_diag");
+        let bits = S::bits() as usize;
+        let q_bus: Vec<Net> = (0..bits).map(|b| nl.input(format!("qb{b}"))).collect();
+        let p_bus: Vec<Net> = (0..bits).map(|b| nl.input(format!("pb{b}"))).collect();
+
+        let any = nl.or(&[in_left, in_top, in_diag]);
+        let value = nl.sticky(any);
+        nl.name_net(value, "cell_value");
+
+        let (sub_table, indel) = weights.tables();
+        let all_weights = sub_table
+            .iter()
+            .flatten()
+            .copied()
+            .chain(std::iter::once(indel));
+        let taps = build_taps(&mut nl, value, all_weights);
+        let out_indel = taps[&indel];
+        let out_sub = build_pair_mux(&mut nl, &q_bus, &p_bus, &taps, weights);
+        nl.mark_output(out_sub, "out_sub");
+        nl.mark_output(out_indel, "out_indel");
+        GeneralizedCell {
+            netlist: nl,
+            in_left,
+            in_top,
+            in_diag,
+            q_bus,
+            p_bus,
+            value,
+            out_sub,
+            out_indel,
+        }
+    }
+
+    /// The cell's netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Gate counts — Section 5's area argument is that this grows with
+    /// `log N_DR`, not `N_DR`.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        self.netlist.census()
+    }
+}
+
+/// A gate-level array of generalized cells racing two sequences under
+/// transformed weights — the Section 5 architecture end to end.
+#[derive(Debug, Clone)]
+pub struct GeneralizedArray<S: Symbol> {
+    netlist: Netlist,
+    start: Net,
+    /// Value net of every cell, row-major over the `(n+1) × (m+1)` grid.
+    cells: Vec<Net>,
+    rows: usize,
+    cols: usize,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Symbol> GeneralizedArray<S> {
+    /// Builds the array for `q` (rows) vs `p` (columns).
+    ///
+    /// Symbol operands are baked in as constants (the strings are loaded
+    /// before the race starts); the per-cell counter/tap/mux structure is
+    /// fully elaborated, so the census reflects the real Fig. 8 hardware.
+    #[must_use]
+    pub fn build(q: &Seq<S>, p: &Seq<S>, weights: &TransformedWeights<S>) -> Self {
+        let (n, m) = (q.len(), p.len());
+        let mut nl = Netlist::new();
+        let start = nl.input("race_start");
+        let cols = m + 1;
+        let (sub_table, indel) = weights.tables();
+        let all_weights: Vec<u64> = sub_table
+            .iter()
+            .flatten()
+            .copied()
+            .chain(std::iter::once(indel))
+            .collect();
+
+        // Per-cell outputs, filled in raster order.
+        let mut value = vec![start; (n + 1) * cols];
+        let mut out_sub = vec![start; (n + 1) * cols];
+        let mut out_indel = vec![start; (n + 1) * cols];
+
+        for i in 0..=n {
+            for j in 0..=m {
+                let idx = i * cols + j;
+                // Gather inputs from already-built neighbours.
+                let mut ins = Vec::new();
+                if i == 0 && j == 0 {
+                    ins.push(start);
+                } else {
+                    if j > 0 {
+                        ins.push(out_indel[idx - 1]);
+                    }
+                    if i > 0 {
+                        ins.push(out_indel[idx - cols]);
+                    }
+                    if i > 0 && j > 0 {
+                        ins.push(out_sub[idx - cols - 1]);
+                    }
+                }
+                let any = if ins.len() == 1 { ins[0] } else { nl.or(&ins) };
+                let v = nl.sticky(any);
+                nl.name_net(v, format!("gcell_{i}_{j}"));
+                let taps = build_taps(&mut nl, v, all_weights.iter().copied());
+                out_indel[idx] = taps[&indel];
+                // The diagonal output realizes the weight of the
+                // *destination* pair (q[i], p[j]); cells on the last
+                // row/column have no diagonal successor.
+                out_sub[idx] = if i < n && j < m {
+                    match weights.substitution(q[i], p[j]) {
+                        Some(w) => taps[&w],
+                        None => nl.constant(false), // ∞: edge omitted
+                    }
+                } else {
+                    nl.constant(false)
+                };
+                value[idx] = v;
+            }
+        }
+        nl.mark_output(value[n * cols + m], "score_out");
+        GeneralizedArray {
+            netlist: nl,
+            start,
+            cells: value,
+            rows: n,
+            cols: m,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The array netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Gate counts per cell class.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        self.netlist.census()
+    }
+
+    /// Runs the race until the output cell fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaceError::RaceTimeout`] if the output has not fired
+    /// within `max_cycles`, and propagates circuit errors.
+    pub fn run(&self, max_cycles: u64) -> Result<AlignmentOutcome, RaceError> {
+        let mut sim = CycleSimulator::new(&self.netlist)?;
+        sim.set_input(self.start, true)?;
+        let total = self.cells.len();
+        let mut arrival = vec![Time::NEVER; total];
+        let record = |sim: &mut CycleSimulator<'_>, arrival: &mut Vec<Time>, t: u64| {
+            for (idx, &net) in self.cells.iter().enumerate() {
+                if arrival[idx].is_never() && sim.value(net) {
+                    arrival[idx] = Time::from_cycles(t);
+                }
+            }
+        };
+        record(&mut sim, &mut arrival, 0);
+        let out = total - 1;
+        let mut t = 0;
+        while arrival[out].is_never() {
+            if t >= max_cycles {
+                return Err(RaceError::RaceTimeout { limit: max_cycles });
+            }
+            sim.tick()?;
+            t += 1;
+            record(&mut sim, &mut arrival, t);
+        }
+        Ok(AlignmentOutcome::from_parts(
+            arrival,
+            self.rows,
+            self.cols,
+            Some(sim.stats()),
+        ))
+    }
+
+    /// A safe cycle budget: the all-indel path plus one.
+    #[must_use]
+    pub fn cycle_budget(&self, indel: u64) -> u64 {
+        (self.rows + self.cols) as u64 * indel + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_bio::alphabet::Dna;
+    use rl_bio::matrix;
+    use rl_circuit::CellKind;
+
+    fn weights() -> TransformedWeights<Dna> {
+        // Fig. 2b as a minimizing scheme: match 1, mismatch 2, indel 1.
+        TransformedWeights::from_scheme(&matrix::dna_shortest()).unwrap()
+    }
+
+    #[test]
+    fn standalone_cell_realizes_selected_weight() {
+        let w = weights();
+        let cell = GeneralizedCell::build(&w);
+        let mut sim = CycleSimulator::new(cell.netlist()).unwrap();
+        // Operands A vs A: substitution weight 1. Operand codes on buses.
+        for (b, &net) in cell.q_bus.iter().enumerate() {
+            sim.set_input(net, (Dna::A.index() >> b) & 1 == 1).unwrap();
+        }
+        for (b, &net) in cell.p_bus.iter().enumerate() {
+            sim.set_input(net, (Dna::A.index() >> b) & 1 == 1).unwrap();
+        }
+        // Fire the left input at t = 0.
+        sim.set_input(cell.in_left, true).unwrap();
+        assert!(sim.value(cell.value), "value rises combinationally");
+        assert!(!sim.value(cell.out_sub));
+        assert!(!sim.value(cell.out_indel));
+        sim.tick().unwrap(); // count = 1
+        assert!(sim.value(cell.out_sub), "A/A weight 1 fires after 1 cycle");
+        assert!(sim.value(cell.out_indel), "indel weight 1 fires after 1 cycle");
+    }
+
+    #[test]
+    fn standalone_cell_mismatch_weight_two() {
+        let w = weights();
+        let cell = GeneralizedCell::build(&w);
+        let mut sim = CycleSimulator::new(cell.netlist()).unwrap();
+        // Operands A vs C: substitution weight 2.
+        for (b, &net) in cell.q_bus.iter().enumerate() {
+            sim.set_input(net, (Dna::A.index() >> b) & 1 == 1).unwrap();
+        }
+        for (b, &net) in cell.p_bus.iter().enumerate() {
+            sim.set_input(net, (Dna::C.index() >> b) & 1 == 1).unwrap();
+        }
+        sim.set_input(cell.in_diag, true).unwrap();
+        sim.tick().unwrap();
+        assert!(!sim.value(cell.out_sub), "weight-2 tap must not fire at t+1");
+        assert!(sim.value(cell.out_indel), "indel tap fires at t+1");
+        sim.tick().unwrap();
+        assert!(sim.value(cell.out_sub), "weight-2 tap fires at t+2");
+        // Taps stay high (set-on-arrival) even as the counter saturates.
+        for _ in 0..4 {
+            sim.tick().unwrap();
+            assert!(sim.value(cell.out_sub));
+        }
+    }
+
+    #[test]
+    fn cell_census_uses_counter_not_chains() {
+        // The Fig. 8 point: DFF count is the counter width (log N_DR),
+        // not the dynamic range.
+        let w = weights();
+        let cell = GeneralizedCell::build(&w);
+        let c = cell.census();
+        // N_DR = 2 ⇒ 2-bit counter ⇒ 2 DFFs, regardless of weight count.
+        assert_eq!(c.count(CellKind::Dff), 2);
+        assert!(c.count(CellKind::Sticky) >= 3, "enable + per-weight latches");
+    }
+
+    #[test]
+    fn array_matches_functional_reference() {
+        let w = weights();
+        let q: Seq<Dna> = "GATTCGA".parse().unwrap();
+        let p: Seq<Dna> = "ACTGAGA".parse().unwrap();
+        let arr = GeneralizedArray::build(&q, &p, &w);
+        let out = arr.run(arr.cycle_budget(w.indel())).unwrap();
+        assert_eq!(out.score(), Time::from_cycles(10), "Fig. 4c score via Fig. 8 cells");
+        // Cell-for-cell agreement with the min-plus reference.
+        let q2 = q.clone();
+        let p2 = p.clone();
+        for i in 0..=q2.len() {
+            for j in 0..=p2.len() {
+                let reference = w.reference_race_cost(
+                    &Seq::new(q2.as_slice()[..i].to_vec()),
+                    &Seq::new(p2.as_slice()[..j].to_vec()),
+                );
+                assert_eq!(out.arrival(i, j), reference, "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn array_with_forbidden_mismatches() {
+        // The mismatch=∞ matrix through the generalized cell: same score.
+        let w = TransformedWeights::from_scheme(&matrix::dna_race()).unwrap();
+        let q: Seq<Dna> = "GATT".parse().unwrap();
+        let p: Seq<Dna> = "ACTG".parse().unwrap();
+        let arr = GeneralizedArray::build(&q, &p, &w);
+        let out = arr.run(arr.cycle_budget(w.indel())).unwrap();
+        assert_eq!(out.score(), w.reference_race_cost(&q, &p));
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let w = weights();
+        let q: Seq<Dna> = "GA".parse().unwrap();
+        let p: Seq<Dna> = "AC".parse().unwrap();
+        let arr = GeneralizedArray::build(&q, &p, &w);
+        let err = arr.run(1).unwrap_err();
+        assert!(matches!(err, RaceError::RaceTimeout { limit: 1 }));
+    }
+}

@@ -1,0 +1,316 @@
+//! Score-matrix → delay-weight transformation (paper Section 5).
+//!
+//! Race Logic needs strictly positive integer delays, and the OR-type
+//! race minimizes; modern similarity matrices like BLOSUM62 are
+//! *maximizing* with negative entries. The paper converts one to the
+//! other in two steps:
+//!
+//! 1. **Invert** the objective (longest → shortest path): negate scores.
+//! 2. **Bias to positive**: add a constant `B` to every indel weight and
+//!    `2B` to every substitution weight. Because every global alignment
+//!    of strings with lengths `n` and `m` satisfies
+//!    `2·#substitutions + #indels = n + m` (each diagonal step consumes
+//!    two rank units, each indel one — see the edit graph of Fig. 1e),
+//!    this shifts *every* alignment's total cost by exactly `B·(n+m)`,
+//!    preserving the argmin.
+//!
+//! [`TransformedWeights::recover_score`] inverts the shift exactly, so a
+//! raced result converts back to the original BLOSUM score losslessly —
+//! DESIGN.md invariant 6.
+
+use std::fmt;
+
+use rl_bio::{alphabet::Symbol, matrix::Objective, ScoreScheme, Seq};
+use rl_temporal::Time;
+
+/// Errors from the score transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The scheme has no finite entries at all.
+    EmptyScheme,
+    /// The required bias would overflow the delay range (absurdly large
+    /// score magnitudes).
+    BiasOverflow,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::EmptyScheme => write!(f, "score scheme has no finite entries"),
+            TransformError::BiasOverflow => write!(f, "bias overflows the delay range"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A score scheme converted to race delays: positive integer weights with
+/// an exactly invertible affine relationship to the original scores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformedWeights<S: Symbol> {
+    /// Row-major substitution delays; `None` = forbidden (∞, no edge).
+    substitution: Vec<Option<u64>>,
+    /// Indel delay.
+    indel: u64,
+    /// The bias `B` applied per rank unit.
+    bias: i64,
+    /// Original objective (determines the direction of recovery).
+    original_objective: Objective,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Symbol> TransformedWeights<S> {
+    /// Converts a score scheme into race delays.
+    ///
+    /// For a maximizing scheme, weights are `2B − S(a,b)` and `B − gap`
+    /// with the minimal integer `B` making every weight ≥ 1. For a
+    /// minimizing scheme, weights are `S(a,b) + 2B` and `gap + B` with
+    /// the minimal `B ≥ 0` making every weight ≥ 1 (already-positive
+    /// schemes pass through unchanged with `B = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::EmptyScheme`] if the scheme has no
+    /// finite entries, or [`TransformError::BiasOverflow`] on absurd
+    /// score magnitudes.
+    pub fn from_scheme(scheme: &ScoreScheme<S>) -> Result<Self, TransformError> {
+        let (_, hi) = scheme.finite_score_range().ok_or(TransformError::EmptyScheme)?;
+        let gap = i64::from(scheme.gap());
+        let bias: i64 = match scheme.objective() {
+            Objective::Maximize => {
+                // Need 2B − S ≥ 1 for the largest S, and B − gap ≥ 1.
+                let from_sub = (i64::from(hi) + 1).div_euclid(2) + i64::from((i64::from(hi) + 1) % 2 != 0);
+                let from_gap = gap + 1;
+                from_sub.max(from_gap).max(1)
+            }
+            Objective::Minimize => {
+                // Need S + 2B ≥ 1 for the smallest S, and gap + B ≥ 1.
+                let (lo, _) = scheme.finite_score_range().expect("checked above");
+                let from_sub = ((1 - i64::from(lo)) + 1).div_euclid(2).max(0);
+                let from_gap = (1 - gap).max(0);
+                from_sub.max(from_gap)
+            }
+        };
+        if bias.checked_mul(4).is_none() {
+            return Err(TransformError::BiasOverflow);
+        }
+        let to_delay = |s: i64| -> u64 {
+            let w = match scheme.objective() {
+                Objective::Maximize => 2 * bias - s,
+                Objective::Minimize => s + 2 * bias,
+            };
+            u64::try_from(w).expect("bias guarantees positivity")
+        };
+        let mut substitution = Vec::with_capacity(S::COUNT * S::COUNT);
+        for a in S::all() {
+            for b in S::all() {
+                substitution.push(scheme.substitution(a, b).map(|s| to_delay(i64::from(s))));
+            }
+        }
+        let indel = u64::try_from(match scheme.objective() {
+            Objective::Maximize => bias - gap,
+            Objective::Minimize => gap + bias,
+        })
+        .expect("bias guarantees positivity");
+        Ok(TransformedWeights {
+            substitution,
+            indel,
+            bias,
+            original_objective: scheme.objective(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The race delay for substituting `a` with `b`; `None` = forbidden.
+    #[must_use]
+    pub fn substitution(&self, a: S, b: S) -> Option<u64> {
+        self.substitution[a.index() * S::COUNT + b.index()]
+    }
+
+    /// The race delay for an indel.
+    #[must_use]
+    pub fn indel(&self) -> u64 {
+        self.indel
+    }
+
+    /// The bias `B` applied per rank unit.
+    #[must_use]
+    pub fn bias(&self) -> i64 {
+        self.bias
+    }
+
+    /// The paper's dynamic range `N_DR`: the largest delay any cell must
+    /// realize (sets the saturating-counter width of the Fig. 8 cell).
+    #[must_use]
+    pub fn dynamic_range(&self) -> u64 {
+        self.substitution
+            .iter()
+            .flatten()
+            .copied()
+            .chain(std::iter::once(self.indel))
+            .max()
+            .expect("at least the indel weight exists")
+    }
+
+    /// Recovers the original score from a raced arrival time, for
+    /// sequence lengths `n` and `m`. Exact (no rounding): this is
+    /// DESIGN.md invariant 6.
+    ///
+    /// Returns `None` if the race never finished.
+    #[must_use]
+    pub fn recover_score(&self, raced: Time, n: usize, m: usize) -> Option<i64> {
+        let cost = i64::try_from(raced.cycles()?).ok()?;
+        let shift = self.bias * (n + m) as i64;
+        Some(match self.original_objective {
+            Objective::Maximize => shift - cost,
+            Objective::Minimize => cost - shift,
+        })
+    }
+
+    /// All weights as a dense table for array builders: `(substitution
+    /// table, indel)`.
+    #[must_use]
+    pub fn tables(&self) -> (&[Option<u64>], u64) {
+        (&self.substitution, self.indel)
+    }
+
+    /// Prices a raced alignment of `q` vs `p` directly in delay space
+    /// with the reference DP — used by tests and by the functional
+    /// generalized array.
+    #[must_use]
+    pub fn reference_race_cost(&self, q: &Seq<S>, p: &Seq<S>) -> Time {
+        let (n, m) = (q.len(), p.len());
+        let cols = m + 1;
+        let mut dp = vec![Time::NEVER; (n + 1) * cols];
+        dp[0] = Time::ZERO;
+        for j in 1..=m {
+            dp[j] = dp[j - 1].delay_by(self.indel);
+        }
+        for i in 1..=n {
+            dp[i * cols] = dp[(i - 1) * cols].delay_by(self.indel);
+            for j in 1..=m {
+                let up = dp[(i - 1) * cols + j].delay_by(self.indel);
+                let left = dp[i * cols + j - 1].delay_by(self.indel);
+                let diag = match self.substitution(q[i - 1], p[j - 1]) {
+                    Some(w) => dp[(i - 1) * cols + j - 1].delay_by(w),
+                    None => Time::NEVER,
+                };
+                dp[i * cols + j] = up.earlier(left).earlier(diag);
+            }
+        }
+        dp[n * cols + m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_bio::alphabet::{AminoAcid, Dna};
+    use rl_bio::{align, matrix};
+
+    #[test]
+    fn blosum62_transform_is_positive_and_bounded() {
+        let t = TransformedWeights::from_scheme(&matrix::blosum62()).unwrap();
+        // BLOSUM62 max score 11 (W-W) ⇒ B = 6; gap −4 ⇒ B ≥ −3. B = 6.
+        assert_eq!(t.bias(), 6);
+        for a in AminoAcid::all() {
+            for b in AminoAcid::all() {
+                let w = t.substitution(a, b).unwrap();
+                assert!(w >= 1, "weight for {a:?}/{b:?} must be positive");
+            }
+        }
+        assert_eq!(t.indel(), 10); // B − gap = 6 − (−4)
+        // Best match (W/W, score 11) gets the smallest delay: 2·6−11 = 1.
+        assert_eq!(t.substitution(AminoAcid::Trp, AminoAcid::Trp), Some(1));
+        assert_eq!(t.dynamic_range(), 16); // worst sub: 2·6 −(−4) = 16
+    }
+
+    #[test]
+    fn minimizing_scheme_passes_through() {
+        let t = TransformedWeights::from_scheme(&matrix::dna_shortest()).unwrap();
+        assert_eq!(t.bias(), 0);
+        assert_eq!(t.indel(), 1);
+        assert_eq!(t.substitution(Dna::A, Dna::A), Some(1));
+        assert_eq!(t.substitution(Dna::A, Dna::C), Some(2));
+    }
+
+    #[test]
+    fn forbidden_entries_stay_forbidden() {
+        let t = TransformedWeights::from_scheme(&matrix::dna_race()).unwrap();
+        assert_eq!(t.substitution(Dna::A, Dna::C), None);
+        assert!(t.substitution(Dna::A, Dna::A).is_some());
+    }
+
+    #[test]
+    fn recovery_round_trips_on_paper_pair() {
+        let q: Seq<Dna> = "GATTCGA".parse().unwrap();
+        let p: Seq<Dna> = "ACTGAGA".parse().unwrap();
+        let scheme = matrix::dna_longest();
+        let t = TransformedWeights::from_scheme(&scheme).unwrap();
+        let raced = t.reference_race_cost(&q, &p);
+        let recovered = t.recover_score(raced, q.len(), p.len()).unwrap();
+        let reference = align::global_score(&q, &p, &scheme).unwrap();
+        assert_eq!(recovered, reference);
+    }
+
+    #[test]
+    fn never_finished_recovers_none() {
+        let t = TransformedWeights::from_scheme(&matrix::blosum62()).unwrap();
+        assert_eq!(t.recover_score(Time::NEVER, 5, 5), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// DESIGN.md invariant 6 on BLOSUM62: racing the transformed
+        /// weights and recovering the score equals the reference
+        /// Needleman–Wunsch BLOSUM score. Exercises negative scores,
+        /// asymmetric lengths, and empty strings.
+        #[test]
+        fn blosum62_round_trip(
+            qs in "[ARNDCQEGHILKMFPSTWYV]{0,12}",
+            ps in "[ARNDCQEGHILKMFPSTWYV]{0,12}",
+        ) {
+            let q: Seq<AminoAcid> = qs.parse().unwrap();
+            let p: Seq<AminoAcid> = ps.parse().unwrap();
+            let scheme = matrix::blosum62();
+            let t = TransformedWeights::from_scheme(&scheme).unwrap();
+            let raced = t.reference_race_cost(&q, &p);
+            let recovered = t.recover_score(raced, q.len(), p.len()).unwrap();
+            let reference = align::global_score(&q, &p, &scheme).unwrap();
+            prop_assert_eq!(recovered, reference);
+        }
+
+        /// Same round trip for PAM250 (different bias and gap).
+        #[test]
+        fn pam250_round_trip(
+            qs in "[ARNDCQEGHILKMFPSTWYV]{0,10}",
+            ps in "[ARNDCQEGHILKMFPSTWYV]{0,10}",
+        ) {
+            let q: Seq<AminoAcid> = qs.parse().unwrap();
+            let p: Seq<AminoAcid> = ps.parse().unwrap();
+            let scheme = matrix::pam250();
+            let t = TransformedWeights::from_scheme(&scheme).unwrap();
+            let raced = t.reference_race_cost(&q, &p);
+            prop_assert_eq!(
+                t.recover_score(raced, q.len(), p.len()).unwrap(),
+                align::global_score(&q, &p, &scheme).unwrap()
+            );
+        }
+
+        /// The transform preserves the argmin alignment: shifting every
+        /// alignment by the same constant means optimal delay cost and
+        /// optimal score identify the same alignments. We verify the
+        /// affine relation directly on the DNA longest-path scheme.
+        #[test]
+        fn affine_shift_relation(qs in "[ACGT]{0,14}", ps in "[ACGT]{0,14}") {
+            let q: Seq<Dna> = qs.parse().unwrap();
+            let p: Seq<Dna> = ps.parse().unwrap();
+            let scheme = matrix::dna_longest();
+            let t = TransformedWeights::from_scheme(&scheme).unwrap();
+            let raced = t.reference_race_cost(&q, &p).cycles().unwrap() as i64;
+            let reference = align::global_score(&q, &p, &scheme).unwrap();
+            prop_assert_eq!(raced, t.bias() * (q.len() + p.len()) as i64 - reference);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Traceback from a race outcome: recovering the *winning path*.
+//!
+//! The paper's array reports only the score (the output's arrival
+//! cycle); §2.3 notes that newer systolic designs add "markers in
+//! processing elements to trace back optimal similarity paths". Race
+//! Logic supports the same recovery with **no extra hardware state**:
+//! the per-cell arrival times *are* the markers. Starting from the sink,
+//! any predecessor whose arrival plus its edge delay equals the current
+//! cell's arrival lies on a winning path — the first-arriving input of
+//! each OR gate, replayed offline.
+//!
+//! [`traceback`] converts an [`AlignmentOutcome`]'s arrival grid into a
+//! full [`rl_bio::Alignment`], validated against the Needleman–Wunsch
+//! traceback by re-pricing (the two may differ among co-optimal
+//! alignments, but always re-price to the same score — tested).
+
+use rl_bio::{align::AlignOp, alphabet::Symbol, Alignment, Seq};
+
+use crate::alignment::{AlignmentOutcome, RaceWeights};
+
+/// Errors from race traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracebackError {
+    /// The race never finished (the sink's arrival is ∞), so there is no
+    /// winning path to recover.
+    RaceUnfinished,
+    /// The arrival grid is inconsistent with the weights (not produced
+    /// by a race under these weights).
+    InconsistentGrid {
+        /// The cell at which no predecessor explained the arrival.
+        cell: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for TracebackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TracebackError::RaceUnfinished => write!(f, "race never finished; no path to trace"),
+            TracebackError::InconsistentGrid { cell: (i, j) } => {
+                write!(f, "arrival grid inconsistent at cell ({i},{j})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TracebackError {}
+
+/// Recovers one optimal alignment from a finished race.
+///
+/// Tie-breaking prefers the diagonal, then the vertical (insertion),
+/// then the horizontal (deletion) predecessor — the same order as the
+/// reference DP traceback, so identical inputs yield identical
+/// alignments wherever the optima coincide.
+///
+/// # Errors
+///
+/// [`TracebackError::RaceUnfinished`] if the sink never fired;
+/// [`TracebackError::InconsistentGrid`] if the outcome was not produced
+/// by a race under `weights` over these sequences.
+pub fn traceback<S: Symbol>(
+    outcome: &AlignmentOutcome,
+    q: &Seq<S>,
+    p: &Seq<S>,
+    weights: RaceWeights,
+) -> Result<Alignment, TracebackError> {
+    let (n, m) = (q.len(), p.len());
+    if outcome.score().is_never() {
+        return Err(TracebackError::RaceUnfinished);
+    }
+    let mut ops = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let here = outcome.arrival(i, j);
+        // Diagonal first.
+        if i > 0 && j > 0 {
+            let dw = if q[i - 1] == p[j - 1] {
+                Some(weights.matched)
+            } else {
+                weights.mismatched
+            };
+            if let Some(d) = dw {
+                if outcome.arrival(i - 1, j - 1).delay_by(d) == here {
+                    ops.push(if q[i - 1] == p[j - 1] {
+                        AlignOp::Match
+                    } else {
+                        AlignOp::Mismatch
+                    });
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+            }
+        }
+        if i > 0 && outcome.arrival(i - 1, j).delay_by(weights.indel) == here {
+            ops.push(AlignOp::Insert);
+            i -= 1;
+            continue;
+        }
+        if j > 0 && outcome.arrival(i, j - 1).delay_by(weights.indel) == here {
+            ops.push(AlignOp::Delete);
+            j -= 1;
+            continue;
+        }
+        return Err(TracebackError::InconsistentGrid { cell: (i, j) });
+    }
+    ops.reverse();
+    Ok(Alignment::from_ops(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::AlignmentRace;
+    use proptest::prelude::*;
+    use rl_bio::{align, alphabet::Dna, matrix};
+
+    fn dna(s: &str) -> Seq<Dna> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_pair_traceback_reprices_to_ten() {
+        let q = dna("GATTCGA");
+        let p = dna("ACTGAGA");
+        let w = RaceWeights::fig4();
+        let outcome = AlignmentRace::new(&q, &p, w).run_functional();
+        let alignment = traceback(&outcome, &q, &p, w).unwrap();
+        // The recovered alignment prices to the race score under the
+        // *unmodified* Fig. 2b scheme (mismatches never appear on a
+        // winning path when their weight is ∞).
+        assert_eq!(
+            alignment.score_under(&q, &p, &matrix::dna_shortest()),
+            Some(10)
+        );
+        let (_, mismatches, _) = alignment.op_counts();
+        assert_eq!(mismatches, 0, "∞-weight mismatch edges cannot win races");
+    }
+
+    #[test]
+    fn gate_level_outcome_traces_back_too() {
+        let q = dna("GATT");
+        let p = dna("ACTG");
+        let w = RaceWeights::fig2b();
+        let race = AlignmentRace::new(&q, &p, w);
+        let outcome = race.build_circuit().run(race.cycle_budget()).unwrap();
+        let alignment = traceback(&outcome, &q, &p, w).unwrap();
+        let reference = align::global_score(&q, &p, &matrix::dna_shortest()).unwrap();
+        assert_eq!(
+            alignment.score_under(&q, &p, &matrix::dna_shortest()),
+            Some(reference)
+        );
+    }
+
+    #[test]
+    fn unfinished_race_is_reported() {
+        // Forge an outcome with an unreachable sink.
+        let outcome = AlignmentOutcome::from_parts(
+            vec![
+                rl_temporal::Time::ZERO,
+                rl_temporal::Time::NEVER,
+                rl_temporal::Time::NEVER,
+                rl_temporal::Time::NEVER,
+            ],
+            1,
+            1,
+            None,
+        );
+        let q = dna("A");
+        let p = dna("C");
+        let err = traceback(&outcome, &q, &p, RaceWeights::fig4()).unwrap_err();
+        assert_eq!(err, TracebackError::RaceUnfinished);
+    }
+
+    #[test]
+    fn inconsistent_grid_is_detected() {
+        // A grid whose interior cell can't be explained by any edge.
+        let t = |c| rl_temporal::Time::from_cycles(c);
+        let outcome = AlignmentOutcome::from_parts(vec![t(0), t(1), t(1), t(9)], 1, 1, None);
+        let q = dna("A");
+        let p = dna("A");
+        let err = traceback(&outcome, &q, &p, RaceWeights::fig4()).unwrap_err();
+        assert_eq!(err, TracebackError::InconsistentGrid { cell: (1, 1) });
+    }
+
+    proptest! {
+        /// Race traceback always re-prices to the optimal score, for
+        /// both the ∞-mismatch and 2-mismatch weight sets, on random
+        /// string pairs.
+        #[test]
+        fn traceback_reprices_to_optimum(qs in "[ACGT]{0,14}", ps in "[ACGT]{0,14}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            for w in [RaceWeights::fig4(), RaceWeights::fig2b()] {
+                let outcome = AlignmentRace::new(&q, &p, w).run_functional();
+                let alignment = traceback(&outcome, &q, &p, w).unwrap();
+                let reference = align::global_score(&q, &p, &matrix::dna_shortest()).unwrap();
+                // Price in *race* weight terms: fig4 paths avoid
+                // mismatches, so pricing under dna_shortest is valid for
+                // both (mismatch columns only appear for fig2b, where
+                // they cost the same 2).
+                prop_assert_eq!(
+                    alignment.score_under(&q, &p, &matrix::dna_shortest()),
+                    Some(reference)
+                );
+            }
+        }
+
+        /// The traceback is a well-formed alignment: consumes exactly
+        /// both strings (two_row panics otherwise).
+        #[test]
+        fn traceback_is_well_formed(qs in "[ACGT]{0,10}", ps in "[ACGT]{0,10}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let w = RaceWeights::fig4();
+            let outcome = AlignmentRace::new(&q, &p, w).run_functional();
+            let alignment = traceback(&outcome, &q, &p, w).unwrap();
+            let (top, bottom) = alignment.two_row(&q, &p);
+            prop_assert_eq!(top.len(), bottom.len());
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Wavefront traces: where the propagating "1" is, cycle by cycle.
+//!
+//! The paper's key energy observation (Section 4.3) is that at any clock
+//! cycle only a thin *wavefront* of cells is switching: cells the signal
+//! has already passed hold `1`, cells ahead of it hold `0`, and neither
+//! group needs clocking. [`WavefrontTrace`] captures per-cell arrival
+//! times over the alignment grid and answers the questions the
+//! clock-gating model asks: how many cells fire at cycle `t`? when does
+//! an m×m multi-cell region first/last see activity?
+
+use rl_temporal::Time;
+
+/// Per-cell arrival times over an `(rows+1) × (cols+1)` alignment grid,
+/// with wavefront queries (paper Figs. 4c and 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavefrontTrace {
+    rows: usize,
+    cols: usize,
+    arrival: Vec<Time>,
+}
+
+impl WavefrontTrace {
+    /// Wraps an arrival grid (row-major, `(rows+1) × (cols+1)` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival.len() != (rows+1) * (cols+1)`.
+    #[must_use]
+    pub fn from_grid(rows: usize, cols: usize, arrival: &[Time]) -> Self {
+        assert_eq!(
+            arrival.len(),
+            (rows + 1) * (cols + 1),
+            "arrival grid has the wrong shape"
+        );
+        WavefrontTrace { rows, cols, arrival: arrival.to_vec() }
+    }
+
+    /// Grid rows (N).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns (M).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Arrival time of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    #[must_use]
+    pub fn arrival(&self, i: usize, j: usize) -> Time {
+        assert!(i <= self.rows && j <= self.cols, "cell out of range");
+        self.arrival[i * (self.cols + 1) + j]
+    }
+
+    /// The last finite arrival — when the race ends.
+    #[must_use]
+    pub fn completion_time(&self) -> Option<u64> {
+        self.arrival.iter().filter_map(|t| t.cycles()).max()
+    }
+
+    /// Cells firing exactly at cycle `t` (the wavefront of Fig. 6).
+    #[must_use]
+    pub fn cells_firing_at(&self, t: u64) -> Vec<(usize, usize)> {
+        let target = Time::from_cycles(t);
+        let mut cells = Vec::new();
+        for i in 0..=self.rows {
+            for j in 0..=self.cols {
+                if self.arrival(i, j) == target {
+                    cells.push((i, j));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Histogram of wavefront occupancy: `result[t]` = number of cells
+    /// firing at cycle `t`. Sums to the number of cells that ever fire.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<usize> {
+        let Some(end) = self.completion_time() else {
+            return Vec::new();
+        };
+        let mut hist = vec![0_usize; end as usize + 1];
+        for t in self.arrival.iter().filter_map(|t| t.cycles()) {
+            hist[t as usize] += 1;
+        }
+        hist
+    }
+
+    /// ASCII snapshot at cycle `t` (Fig. 6 style): `#` for cells already
+    /// high, `*` for cells firing exactly at `t`, `.` for cells still low.
+    #[must_use]
+    pub fn render_snapshot(&self, t: u64) -> String {
+        let now = Time::from_cycles(t);
+        let mut out = String::with_capacity((self.rows + 2) * (self.cols + 2));
+        for i in 0..=self.rows {
+            for j in 0..=self.cols {
+                let a = self.arrival(i, j);
+                out.push(if a == now {
+                    '*'
+                } else if a < now {
+                    '#'
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-region activity spans for clock-gating granularity `m`: the
+    /// grid is tiled into `⌈(rows+1)/m⌉ × ⌈(cols+1)/m⌉` regions; for each
+    /// region that ever fires, reports `(first, last)` firing cycles —
+    /// the window during which its gated clock must run (paper Fig. 7:
+    /// the clock is enabled when the wavefront reaches the region's black
+    /// cells and disabled once all its grey cells hold `1`).
+    ///
+    /// Regions with no finite arrivals (possible under thresholded races)
+    /// are reported as `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn region_spans(&self, m: usize) -> Vec<Option<(u64, u64)>> {
+        assert!(m > 0, "gating granularity must be positive");
+        let r_regions = (self.rows + m) / m; // ceil((rows+1)/m)
+        let c_regions = (self.cols + m) / m;
+        let mut spans: Vec<Option<(u64, u64)>> = vec![None; r_regions * c_regions];
+        for i in 0..=self.rows {
+            for j in 0..=self.cols {
+                if let Some(t) = self.arrival(i, j).cycles() {
+                    let r = (i / m) * c_regions + (j / m);
+                    spans[r] = Some(match spans[r] {
+                        None => (t, t),
+                        Some((lo, hi)) => (lo.min(t), hi.max(t)),
+                    });
+                }
+            }
+        }
+        spans
+    }
+
+    /// Total cell×cycle clocking with gating granularity `m`: each active
+    /// region is clocked for its span (inclusive). Regions at the grid
+    /// boundary are clipped to the cells that actually exist.
+    /// Compare against [`WavefrontTrace::ungated_cell_cycles`].
+    #[must_use]
+    pub fn gated_cell_cycles(&self, m: usize) -> u64 {
+        let spans = self.region_spans(m);
+        let c_regions = (self.cols + m) / m;
+        spans
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, span)| span.map(|s| (idx, s)))
+            .map(|(idx, (lo, hi))| {
+                let (ri, rj) = (idx / c_regions, idx % c_regions);
+                let cells_i = (self.rows + 1 - ri * m).min(m) as u64;
+                let cells_j = (self.cols + 1 - rj * m).min(m) as u64;
+                (hi - lo + 1) * cells_i * cells_j
+            })
+            .sum()
+    }
+
+    /// Total cell×cycle clocking without gating: every cell of the grid,
+    /// every cycle of the race.
+    #[must_use]
+    pub fn ungated_cell_cycles(&self) -> u64 {
+        let cells = ((self.rows + 1) * (self.cols + 1)) as u64;
+        cells * self.completion_time().map_or(0, |t| t + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::{AlignmentRace, RaceWeights};
+    use proptest::prelude::*;
+    use rl_bio::{alphabet::Dna, Seq};
+
+    fn paper_trace() -> WavefrontTrace {
+        let q: Seq<Dna> = "GATTCGA".parse().unwrap();
+        let p: Seq<Dna> = "ACTGAGA".parse().unwrap();
+        AlignmentRace::new(&q, &p, RaceWeights::fig4())
+            .run_functional()
+            .wavefront()
+    }
+
+    #[test]
+    fn completion_and_occupancy() {
+        let w = paper_trace();
+        assert_eq!(w.completion_time(), Some(10));
+        let occ = w.occupancy();
+        assert_eq!(occ.len(), 11);
+        assert_eq!(occ.iter().sum::<usize>(), 64, "all 8x8 cells fire");
+        assert_eq!(occ[0], 1, "only the root fires at t=0");
+    }
+
+    #[test]
+    fn firing_cells_match_fig4c() {
+        let w = paper_trace();
+        // Fig. 4c: cells with value 10 are (5,7), (6,7), (7,7).
+        let at10 = w.cells_firing_at(10);
+        assert_eq!(at10, vec![(5, 7), (6, 7), (7, 7)]);
+        assert_eq!(w.cells_firing_at(0), vec![(0, 0)]);
+        assert!(w.cells_firing_at(99).is_empty());
+    }
+
+    #[test]
+    fn snapshot_renders() {
+        let w = paper_trace();
+        let snap = w.render_snapshot(5);
+        assert_eq!(snap.lines().count(), 8);
+        assert!(snap.contains('*') && snap.contains('#') && snap.contains('.'));
+        // At completion+1 everything is '#'.
+        let done = w.render_snapshot(11);
+        assert!(done.chars().all(|c| c == '#' || c == '\n'));
+    }
+
+    #[test]
+    fn region_spans_cover_all_firings() {
+        let w = paper_trace();
+        for m in [1, 2, 4, 8] {
+            let spans = w.region_spans(m);
+            // Paper grid is 8x8, so region count is ceil(8/m)^2.
+            let per_side = 8_usize.div_ceil(m);
+            assert_eq!(spans.len(), per_side * per_side);
+            assert!(spans.iter().all(|s| s.is_some()), "all regions fire (m={m})");
+        }
+    }
+
+    #[test]
+    fn gating_saves_cell_cycles() {
+        let w = paper_trace();
+        let ungated = w.ungated_cell_cycles();
+        assert_eq!(ungated, 64 * 11);
+        for m in [2, 4] {
+            let gated = w.gated_cell_cycles(m);
+            assert!(gated < ungated, "m={m}: {gated} !< {ungated}");
+        }
+        // m covering the whole grid ~= no gating (one region, full span).
+        assert_eq!(w.gated_cell_cycles(8), 64 * 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_panics() {
+        let _ = paper_trace().region_spans(0);
+    }
+
+    proptest! {
+        /// Wavefront cells at consecutive times are disjoint, and gating
+        /// with m=1 equals the sum of per-cell single-cycle activations.
+        #[test]
+        fn per_cell_gating_is_minimal(qs in "[ACGT]{1,10}", ps in "[ACGT]{1,10}") {
+            let q: Seq<Dna> = qs.parse().unwrap();
+            let p: Seq<Dna> = ps.parse().unwrap();
+            let w = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+                .run_functional()
+                .wavefront();
+            let fired = w.occupancy().iter().sum::<usize>() as u64;
+            prop_assert_eq!(w.gated_cell_cycles(1), fired);
+            // Gated clocking never exceeds the ungated total, at any
+            // granularity (regions are clipped to the grid).
+            for m in [2, 3, 5, 100] {
+                let g = w.gated_cell_cycles(m);
+                prop_assert!(g >= fired, "gating can't clock less than the firings");
+                prop_assert!(g <= w.ungated_cell_cycles());
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Structural DAG analysis: path counting, slack, and summary statistics.
+//!
+//! Supporting analyses for the race-logic design space: how many
+//! alignments an edit graph encodes (the search-space size §2.3 talks
+//! about), how much timing slack each node has (which cells could be
+//! power-gated *statically*), and summary shape statistics used by the
+//! benchmark reports.
+
+use rl_temporal::{MaxPlus, MinPlus, Time};
+
+use crate::{paths, Dag, NodeId};
+
+/// Number of distinct root→node paths per node, saturating at
+/// `u128::MAX` (edit graphs grow as the Delannoy numbers, past any fixed
+/// width around N ≈ 60).
+#[must_use]
+pub fn path_counts(dag: &Dag, sources: &[NodeId]) -> Vec<u128> {
+    let mut count = vec![0_u128; dag.node_count()];
+    for &s in sources {
+        count[s.index()] = 1;
+    }
+    for &v in dag.topological() {
+        let c = count[v.index()];
+        if c == 0 {
+            continue;
+        }
+        for (_, e) in dag.out_edges(v) {
+            let tgt = &mut count[e.to.index()];
+            *tgt = tgt.saturating_add(c);
+        }
+    }
+    count
+}
+
+/// Per-node slack under the OR-race interpretation: how many cycles a
+/// node's arrival could be delayed without changing the arrival at
+/// `sink`. Nodes with [`Time::NEVER`] arrival (or not on any root→sink
+/// path) report `None`.
+///
+/// Slack 0 marks the critical cells; large-slack cells are candidates
+/// for static power gating beyond the dynamic wavefront gating of §4.3.
+#[must_use]
+pub fn or_race_slack(dag: &Dag, sources: &[NodeId], sink: NodeId) -> Vec<Option<u64>> {
+    let forward = paths::arrival_times::<MinPlus>(dag, sources);
+    let sink_time = forward[sink.index()];
+    let n = dag.node_count();
+    let mut slack = vec![None; n];
+    let Some(total) = sink_time.cycles() else {
+        return slack;
+    };
+    // Backward pass: latest tolerable arrival per node.
+    let mut latest: Vec<Time> = vec![Time::NEVER; n];
+    latest[sink.index()] = sink_time;
+    for &v in dag.topological().iter().rev() {
+        if v == sink {
+            continue;
+        }
+        let mut best = Time::NEVER;
+        for (_, e) in dag.out_edges(v) {
+            if let Some(succ_latest) = latest[e.to.index()].cycles() {
+                let allowed = succ_latest.saturating_sub(e.weight);
+                best = best.earlier(Time::from_cycles(allowed));
+            }
+        }
+        latest[v.index()] = best;
+    }
+    for v in dag.nodes() {
+        if let (Some(arr), Some(lat)) = (forward[v.index()].cycles(), latest[v.index()].cycles()) {
+            if lat >= arr && lat <= total {
+                slack[v.index()] = Some(lat - arr);
+            }
+        }
+    }
+    slack
+}
+
+/// Shape statistics of a DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Root count (in-degree 0).
+    pub roots: usize,
+    /// Sink count (out-degree 0).
+    pub sinks: usize,
+    /// Longest path length in *edges* from any root (graph depth).
+    pub depth: u64,
+    /// Longest path length in *cycles* (critical path weight).
+    pub critical_path: Option<u64>,
+    /// Maximum anti-chain width proxy: largest rank-level population.
+    pub max_level_width: usize,
+}
+
+/// Computes [`DagStats`].
+#[must_use]
+pub fn stats(dag: &Dag) -> DagStats {
+    let roots: Vec<NodeId> = dag.roots().collect();
+    let levels = crate::topo::levels(dag);
+    let depth = levels.len().saturating_sub(1) as u64;
+    let critical = if roots.is_empty() {
+        None
+    } else {
+        paths::arrival_times::<MaxPlus>(dag, &roots)
+            .iter()
+            .filter_map(|t| t.cycles())
+            .max()
+    };
+    DagStats {
+        nodes: dag.node_count(),
+        edges: dag.edge_count(),
+        roots: roots.len(),
+        sinks: dag.sinks().count(),
+        depth,
+        critical_path: critical,
+        max_level_width: levels.iter().map(Vec::len).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_graph::{EditGraph, UniformIndel};
+    use crate::{generate, DagBuilder};
+
+    #[test]
+    fn path_counts_on_a_grid_are_binomials() {
+        // A pure grid (no diagonals): paths to (i, j) = C(i+j, i).
+        let g = generate::grid(3, 3).unwrap();
+        let root = NodeId::from_index_for_tests(0);
+        let counts = path_counts(&g, &[root]);
+        // Node (3,3) has index 15 in a 4x4 grid; C(6,3) = 20.
+        assert_eq!(counts[15], 20);
+        // Node (1,1): C(2,1) = 2.
+        assert_eq!(counts[5], 2);
+    }
+
+    #[test]
+    fn edit_graph_path_counts_are_delannoy() {
+        // With diagonals, root→(n,n) path counts are the central
+        // Delannoy numbers: 1, 3, 13, 63, 321, ...
+        let w = UniformIndel {
+            insertion: 1,
+            deletion: 1,
+            substitution: |_, _| Some(1_u64),
+        };
+        for (n, expect) in [(1usize, 3_u128), (2, 13), (3, 63), (4, 321)] {
+            let g = EditGraph::build(n, n, &w).unwrap();
+            let counts = path_counts(g.dag(), &[g.root()]);
+            assert_eq!(counts[g.sink().index()], expect, "Delannoy({n})");
+        }
+    }
+
+    #[test]
+    fn saturation_instead_of_overflow() {
+        // 90x90 edit graph: Delannoy(90) overflows u128; must saturate.
+        let w = UniformIndel {
+            insertion: 1,
+            deletion: 1,
+            substitution: |_, _| Some(1_u64),
+        };
+        let g = EditGraph::build(90, 90, &w).unwrap();
+        let counts = path_counts(g.dag(), &[g.root()]);
+        assert_eq!(counts[g.sink().index()], u128::MAX);
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path_only() {
+        // a -> b (1) -> d (1); a -> c (5) -> d (1): c is off the shortest
+        // route and has slack; b is critical.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_node();
+        let b = bld.add_node();
+        let c = bld.add_node();
+        let d = bld.add_node();
+        bld.add_edge(a, b, 1).unwrap();
+        bld.add_edge(b, d, 1).unwrap();
+        bld.add_edge(a, c, 5).unwrap();
+        bld.add_edge(c, d, 1).unwrap();
+        let dag = bld.build().unwrap();
+        let slack = or_race_slack(&dag, &[a], d);
+        assert_eq!(slack[a.index()], Some(0));
+        assert_eq!(slack[b.index()], Some(0));
+        assert_eq!(slack[d.index()], Some(0));
+        // c arrives at 5 but could arrive as late as 2−1=1... it already
+        // misses the sink's arrival (2), so it has no nonneg slack.
+        assert_eq!(slack[c.index()], None);
+    }
+
+    #[test]
+    fn stats_on_edit_graph() {
+        let w = UniformIndel {
+            insertion: 1,
+            deletion: 1,
+            substitution: |_, _| Some(1_u64),
+        };
+        let g = EditGraph::build(7, 7, &w).unwrap();
+        let s = stats(g.dag());
+        assert_eq!(s.nodes, 64);
+        assert_eq!(s.edges, 161);
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 14, "anti-diagonal count minus one");
+        assert_eq!(s.critical_path, Some(14), "all-indel path with unit weights");
+        assert_eq!(s.max_level_width, 8, "the main anti-diagonal");
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let dag = DagBuilder::new().build().unwrap();
+        let s = stats(&dag);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.critical_path, None);
+        assert_eq!(s.max_level_width, 0);
+    }
+}

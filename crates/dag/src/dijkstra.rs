@@ -1,0 +1,154 @@
+//! Dijkstra's algorithm — an independent shortest-path oracle, and a
+//! faithful model of *how an OR-type race unfolds in time*.
+//!
+//! A synchronous OR-type race fires nodes in non-decreasing arrival-time
+//! order: at cycle `t`, exactly the nodes whose shortest distance is `t`
+//! rise. That is precisely the settle order of Dijkstra's algorithm, which
+//! makes [`ShortestPaths::settle_order`] the natural cross-check for the wavefront
+//! tracker in `race-logic` — and a second, structurally different
+//! implementation to test the DP solver in [`crate::paths`] against.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rl_temporal::Time;
+
+use crate::{Dag, NodeId};
+
+/// The result of a Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Shortest arrival time per node ([`Time::NEVER`] if unreachable).
+    pub distance: Vec<Time>,
+    /// Nodes in the order they were settled (fired), i.e. by
+    /// non-decreasing distance — the race's firing order.
+    pub settle_order: Vec<NodeId>,
+}
+
+/// Single-source-set shortest paths by Dijkstra's algorithm with a binary
+/// heap.
+///
+/// Unlike [`crate::paths::arrival_times`] this never looks at the
+/// topological order, so agreement between the two is a meaningful
+/// cross-check. Edge weights are non-negative by construction (`u64`).
+///
+/// # Examples
+///
+/// ```
+/// use rl_dag::{DagBuilder, dijkstra};
+/// use rl_temporal::Time;
+///
+/// let mut b = DagBuilder::with_nodes(3);
+/// # use rl_dag::NodeId;
+/// let (a, bb, c) = (NodeId::from_index_for_tests(0), NodeId::from_index_for_tests(1), NodeId::from_index_for_tests(2));
+/// b.add_edge(a, bb, 2)?;
+/// b.add_edge(bb, c, 2)?;
+/// b.add_edge(a, c, 5)?;
+/// let dag = b.build()?;
+/// let sp = dijkstra::shortest_paths(&dag, &[a]);
+/// assert_eq!(sp.distance[c.index()], Time::from_cycles(4));
+/// # Ok::<(), rl_dag::GraphError>(())
+/// ```
+#[must_use]
+pub fn shortest_paths(dag: &Dag, sources: &[NodeId]) -> ShortestPaths {
+    let n = dag.node_count();
+    let mut distance = vec![Time::NEVER; n];
+    let mut settled = vec![false; n];
+    let mut settle_order = Vec::with_capacity(n);
+    let mut heap: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        if distance[s.index()] != Time::ZERO {
+            distance[s.index()] = Time::ZERO;
+            heap.push(Reverse((Time::ZERO, s)));
+        }
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if settled[v.index()] {
+            continue;
+        }
+        settled[v.index()] = true;
+        settle_order.push(v);
+        for (_, e) in dag.out_edges(v) {
+            let nd = d.delay_by(e.weight);
+            if nd < distance[e.to.index()] {
+                distance[e.to.index()] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    ShortestPaths { distance, settle_order }
+}
+
+impl NodeId {
+    /// Constructs a `NodeId` from a raw index. Public only so doctests and
+    /// downstream benchmarks can name nodes of builders pre-populated with
+    /// [`crate::DagBuilder::with_nodes`]; ordinary code should use the ids
+    /// returned by [`crate::DagBuilder::add_node`].
+    #[must_use]
+    pub fn from_index_for_tests(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("index exceeds u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::paths;
+    use proptest::prelude::*;
+    use rl_temporal::MinPlus;
+
+    #[test]
+    fn matches_dp_on_small_graph() {
+        let mut b = crate::DagBuilder::with_nodes(4);
+        let n = |i: u32| NodeId(i);
+        b.add_edge(n(0), n(1), 1).unwrap();
+        b.add_edge(n(0), n(2), 4).unwrap();
+        b.add_edge(n(1), n(2), 2).unwrap();
+        b.add_edge(n(2), n(3), 1).unwrap();
+        let dag = b.build().unwrap();
+        let sp = shortest_paths(&dag, &[n(0)]);
+        let dp = paths::arrival_times::<MinPlus>(&dag, &[n(0)]);
+        assert_eq!(sp.distance, dp);
+        assert_eq!(sp.distance[3], Time::from_cycles(4));
+    }
+
+    #[test]
+    fn settle_order_is_monotone_in_distance() {
+        let dag = generate::layered(&mut generate::seeded_rng(7), &generate::LayeredConfig::default())
+            .unwrap();
+        let roots: Vec<NodeId> = dag.roots().collect();
+        let sp = shortest_paths(&dag, &roots);
+        let mut last = Time::ZERO;
+        for v in &sp.settle_order {
+            let d = sp.distance[v.index()];
+            assert!(d >= last, "settle order regressed in time");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn unreachable_stay_never() {
+        let dag = crate::DagBuilder::with_nodes(2).build().unwrap();
+        let sp = shortest_paths(&dag, &[NodeId(0)]);
+        assert_eq!(sp.distance[1], Time::NEVER);
+        assert_eq!(sp.settle_order, vec![NodeId(0)]);
+    }
+
+    proptest! {
+        /// Dijkstra and the topological DP are structurally different
+        /// algorithms; on random layered DAGs they must agree everywhere.
+        #[test]
+        fn dijkstra_equals_dp(seed in 0_u64..64) {
+            let mut rng = generate::seeded_rng(seed);
+            let cfg = generate::LayeredConfig {
+                layers: 6, width: 5, max_weight: 9, edge_probability: 0.5,
+            };
+            let dag = generate::layered(&mut rng, &cfg).unwrap();
+            let roots: Vec<NodeId> = dag.roots().collect();
+            let sp = shortest_paths(&dag, &roots);
+            let dp = paths::arrival_times::<MinPlus>(&dag, &roots);
+            prop_assert_eq!(sp.distance, dp);
+        }
+    }
+}

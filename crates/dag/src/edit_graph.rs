@@ -1,0 +1,247 @@
+//! The edit graph (paper Fig. 1e): the DAG whose root→sink paths are
+//! exactly the global alignments of two strings.
+//!
+//! Node `(i, j)` represents "the first `i` symbols of Q have been aligned
+//! against the first `j` symbols of P". Three edge families encode the
+//! three edit operations:
+//!
+//! - vertical `(i, j) → (i+1, j)`: **insertion** (a symbol of Q against a
+//!   gap),
+//! - horizontal `(i, j) → (i, j+1)`: **deletion** (a symbol of P against a
+//!   gap),
+//! - diagonal `(i, j) → (i+1, j+1)`: **match/substitution** of
+//!   `Q[i]` vs `P[j]`.
+//!
+//! Edge weights come from an [`EditWeights`] implementation; returning
+//! `None` omits the edge, the paper's representation of an infinite
+//! penalty (used for mismatches in the Fig. 4 design).
+
+use crate::{Dag, DagBuilder, GraphError, NodeId};
+
+/// Provides the edge weights of an edit graph.
+///
+/// Positions are zero-based symbol indices: `substitution(i, j)` prices
+/// aligning `Q[i]` against `P[j]`. Implementations typically close over
+/// the two strings and a score matrix.
+pub trait EditWeights {
+    /// Weight of the insertion edge consuming `Q[i]` (vertical).
+    /// `None` forbids insertions at this position.
+    fn insertion(&self, i: usize) -> Option<u64>;
+
+    /// Weight of the deletion edge consuming `P[j]` (horizontal).
+    /// `None` forbids deletions at this position.
+    fn deletion(&self, j: usize) -> Option<u64>;
+
+    /// Weight of the diagonal edge aligning `Q[i]` with `P[j]`.
+    /// `None` forbids the substitution (an infinite penalty).
+    fn substitution(&self, i: usize, j: usize) -> Option<u64>;
+}
+
+/// Uniform weights: constant insertion/deletion cost, and a closure for
+/// substitutions. Sufficient for every matrix in the paper.
+pub struct UniformIndel<F> {
+    /// Cost of every insertion (vertical edge).
+    pub insertion: u64,
+    /// Cost of every deletion (horizontal edge).
+    pub deletion: u64,
+    /// Substitution pricing: `(i, j) -> Option<cost>`.
+    pub substitution: F,
+}
+
+impl<F: Fn(usize, usize) -> Option<u64>> EditWeights for UniformIndel<F> {
+    fn insertion(&self, _i: usize) -> Option<u64> {
+        Some(self.insertion)
+    }
+
+    fn deletion(&self, _j: usize) -> Option<u64> {
+        Some(self.deletion)
+    }
+
+    fn substitution(&self, i: usize, j: usize) -> Option<u64> {
+        (self.substitution)(i, j)
+    }
+}
+
+/// An edit graph for strings of length `n` (rows, Q) and `m` (columns, P):
+/// a `(n+1) × (m+1)` grid DAG plus its coordinate bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EditGraph {
+    dag: Dag,
+    n: usize,
+    m: usize,
+}
+
+impl EditGraph {
+    /// Builds the edit graph for sequence lengths `n` (Q) and `m` (P) with
+    /// the given weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from graph construction (cannot occur for
+    /// grid-shaped edge sets, which are always acyclic).
+    pub fn build<W: EditWeights>(n: usize, m: usize, weights: &W) -> Result<EditGraph, GraphError> {
+        let cols = m + 1;
+        let mut b = DagBuilder::with_nodes((n + 1) * cols);
+        let node = |i: usize, j: usize| NodeId((i * cols + j) as u32);
+        for i in 0..=n {
+            for j in 0..=m {
+                if j < m {
+                    if let Some(w) = weights.deletion(j) {
+                        b.add_edge(node(i, j), node(i, j + 1), w)?;
+                    }
+                }
+                if i < n {
+                    if let Some(w) = weights.insertion(i) {
+                        b.add_edge(node(i, j), node(i + 1, j), w)?;
+                    }
+                }
+                if i < n && j < m {
+                    if let Some(w) = weights.substitution(i, j) {
+                        b.add_edge(node(i, j), node(i + 1, j + 1), w)?;
+                    }
+                }
+            }
+        }
+        Ok(EditGraph { dag: b.build()?, n, m })
+    }
+
+    /// The underlying DAG.
+    #[must_use]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Row count `n` (length of Q).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Column count `m` (length of P).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// The node at grid coordinate `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > rows()` or `j > cols()`.
+    #[must_use]
+    pub fn node(&self, i: usize, j: usize) -> NodeId {
+        assert!(i <= self.n && j <= self.m, "edit-graph coordinate out of range");
+        NodeId((i * (self.m + 1) + j) as u32)
+    }
+
+    /// The root node `(0, 0)` where the race signal is injected.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.node(0, 0)
+    }
+
+    /// The output node `(n, m)` whose arrival time is the alignment score.
+    #[must_use]
+    pub fn sink(&self) -> NodeId {
+        self.node(self.n, self.m)
+    }
+
+    /// Inverse of [`EditGraph::node`]: grid coordinate of a node id.
+    #[must_use]
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        let cols = self.m + 1;
+        (node.index() / cols, node.index() % cols)
+    }
+
+    /// The anti-diagonal index `i + j` of a node — its wavefront rank.
+    #[must_use]
+    pub fn anti_diagonal(&self, node: NodeId) -> usize {
+        let (i, j) = self.coords(node);
+        i + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths;
+    use rl_temporal::{MinPlus, Time};
+
+    /// Unit-cost Levenshtein weights: match 0, mismatch 1, indel 1.
+    fn levenshtein_weights<'a>(
+        q: &'a [u8],
+        p: &'a [u8],
+    ) -> UniformIndel<impl Fn(usize, usize) -> Option<u64> + 'a> {
+        UniformIndel {
+            insertion: 1,
+            deletion: 1,
+            substitution: move |i: usize, j: usize| Some(u64::from(q[i] != p[j])),
+        }
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let g = EditGraph::build(3, 5, &levenshtein_weights(b"AAA", b"AAAAA")).unwrap();
+        for i in 0..=3 {
+            for j in 0..=5 {
+                assert_eq!(g.coords(g.node(i, j)), (i, j));
+                assert_eq!(g.anti_diagonal(g.node(i, j)), i + j);
+            }
+        }
+        assert_eq!(g.root(), g.node(0, 0));
+        assert_eq!(g.sink(), g.node(3, 5));
+    }
+
+    #[test]
+    fn shortest_path_is_levenshtein_distance() {
+        // d("kitten", "sitting") = 3: the classic example.
+        let q = b"kitten";
+        let p = b"sitting";
+        let g = EditGraph::build(q.len(), p.len(), &levenshtein_weights(q, p)).unwrap();
+        let t = paths::race_value::<MinPlus>(g.dag(), &[g.root()], g.sink());
+        assert_eq!(t, Time::from_cycles(3));
+    }
+
+    #[test]
+    fn forbidden_substitution_forces_indels() {
+        // mismatch = None (infinite): aligning "AB" to "BA" must use
+        // indels around the one possible match, total cost 2.
+        let q = b"AB";
+        let p = b"BA";
+        let w = UniformIndel {
+            insertion: 1,
+            deletion: 1,
+            substitution: move |i: usize, j: usize| (q[i] == p[j]).then_some(1_u64),
+        };
+        let g = EditGraph::build(2, 2, &w).unwrap();
+        let t = paths::race_value::<MinPlus>(g.dag(), &[g.root()], g.sink());
+        // Best: delete A (1), match B (1), insert A (1) = 3.
+        assert_eq!(t, Time::from_cycles(3));
+    }
+
+    #[test]
+    fn empty_strings_have_zero_distance() {
+        let g = EditGraph::build(0, 0, &levenshtein_weights(b"", b"")).unwrap();
+        assert_eq!(g.root(), g.sink());
+        let t = paths::race_value::<MinPlus>(g.dag(), &[g.root()], g.sink());
+        assert_eq!(t, Time::ZERO);
+    }
+
+    #[test]
+    fn against_empty_string_costs_all_indels() {
+        let g = EditGraph::build(4, 0, &levenshtein_weights(b"ACGT", b"")).unwrap();
+        let t = paths::race_value::<MinPlus>(g.dag(), &[g.root()], g.sink());
+        assert_eq!(t, Time::from_cycles(4));
+    }
+
+    #[test]
+    fn edge_counts_match_grid_structure() {
+        let (n, m) = (3, 4);
+        let g = EditGraph::build(n, m, &levenshtein_weights(b"AAA", b"AAAA")).unwrap();
+        let expected =
+            (n + 1) * m       // horizontal
+            + n * (m + 1)     // vertical
+            + n * m; // diagonal (all present for Some weights)
+        assert_eq!(g.dag().edge_count(), expected);
+    }
+}

@@ -1,0 +1,226 @@
+//! Deterministic random DAG generators for tests and benchmarks.
+//!
+//! All generators take an explicit RNG so every workload in the benchmark
+//! harness is reproducible from a seed, mirroring how the paper generates
+//! "a specific set of input vectors ... using a test-bench" rather than
+//! random stimuli (Section 4.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dag, DagBuilder, GraphError, NodeId};
+
+/// A seeded, portable RNG for reproducible workloads.
+#[must_use]
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Configuration for [`layered`] DAG generation.
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Number of layers (≥ 2: a root layer and a sink layer).
+    pub layers: usize,
+    /// Nodes per layer (≥ 1).
+    pub width: usize,
+    /// Edge weights are drawn uniformly from `1..=max_weight`.
+    pub max_weight: u64,
+    /// Probability of each possible layer-(k)→layer-(k+1) edge.
+    pub edge_probability: f64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig { layers: 8, width: 8, max_weight: 8, edge_probability: 0.4 }
+    }
+}
+
+/// Generates a layered DAG: `layers × width` nodes, edges only between
+/// adjacent layers. Every node is guaranteed at least one incoming edge
+/// (except layer 0) and at least one outgoing edge (except the last
+/// layer), so AND-type races are feasible from the first layer.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from the builder (cannot occur for valid
+/// configurations, since layered edges can never form a cycle).
+///
+/// # Panics
+///
+/// Panics if `layers < 2`, `width == 0`, `max_weight == 0`, or
+/// `edge_probability` is not in `[0, 1]`.
+pub fn layered<R: Rng>(rng: &mut R, cfg: &LayeredConfig) -> Result<Dag, GraphError> {
+    assert!(cfg.layers >= 2, "need at least a root and a sink layer");
+    assert!(cfg.width >= 1, "layer width must be positive");
+    assert!(cfg.max_weight >= 1, "max_weight must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.edge_probability),
+        "edge_probability must be a probability"
+    );
+    let mut b = DagBuilder::with_nodes(cfg.layers * cfg.width);
+    let node = |layer: usize, i: usize| NodeId((layer * cfg.width + i) as u32);
+    for layer in 0..cfg.layers - 1 {
+        for i in 0..cfg.width {
+            let mut any_out = false;
+            for j in 0..cfg.width {
+                if rng.random_bool(cfg.edge_probability) {
+                    let w = rng.random_range(1..=cfg.max_weight);
+                    b.add_edge(node(layer, i), node(layer + 1, j), w)?;
+                    any_out = true;
+                }
+            }
+            if !any_out {
+                // Guarantee connectivity: one forced edge.
+                let j = rng.random_range(0..cfg.width);
+                let w = rng.random_range(1..=cfg.max_weight);
+                b.add_edge(node(layer, i), node(layer + 1, j), w)?;
+            }
+        }
+        // Guarantee every next-layer node has an in-edge.
+        for j in 0..cfg.width {
+            let target = node(layer + 1, j);
+            // (Linear scan is fine at generator scale.)
+            let covered = b_edges_contains_target(&b, target);
+            if !covered {
+                let i = rng.random_range(0..cfg.width);
+                let w = rng.random_range(1..=cfg.max_weight);
+                b.add_edge(node(layer, i), target, w)?;
+            }
+        }
+    }
+    b.build()
+}
+
+fn b_edges_contains_target(b: &DagBuilder, target: NodeId) -> bool {
+    b.edges_for_tests().iter().any(|e| e.to == target)
+}
+
+impl DagBuilder {
+    /// Read-only view of the accumulated edges. Exposed for the generator
+    /// and for tests; ordinary construction code never needs it.
+    #[must_use]
+    pub fn edges_for_tests(&self) -> &[crate::Edge] {
+        &self.edges
+    }
+}
+
+/// Generates a random upper-triangular DAG: nodes `0..n`, each candidate
+/// edge `i → j` (for `i < j`) included independently with probability `p`
+/// and a weight uniform in `1..=max_weight`.
+///
+/// Unlike [`layered`], connectivity is not guaranteed — useful for testing
+/// unreachable-node handling.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from the builder (upper-triangular edge sets
+/// are always acyclic, so this cannot fail for valid inputs).
+pub fn upper_triangular<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    p: f64,
+    max_weight: u64,
+) -> Result<Dag, GraphError> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(max_weight >= 1, "max_weight must be positive");
+    let mut b = DagBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                let w = rng.random_range(1..=max_weight);
+                b.add_edge(NodeId(i as u32), NodeId(j as u32), w)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates an `n × m` grid DAG with unit weights: the skeleton of an
+/// edit graph without the diagonal (match) edges. Node `(i, j)` has index
+/// `i * (m + 1) + j`; edges go right (deletion) and down (insertion).
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from the builder (grids are acyclic, so this
+/// cannot fail for valid inputs).
+pub fn grid(n: usize, m: usize) -> Result<Dag, GraphError> {
+    let cols = m + 1;
+    let mut b = DagBuilder::with_nodes((n + 1) * cols);
+    let node = |i: usize, j: usize| NodeId((i * cols + j) as u32);
+    for i in 0..=n {
+        for j in 0..=m {
+            if j < m {
+                b.add_edge(node(i, j), node(i, j + 1), 1)?;
+            }
+            if i < n {
+                b.add_edge(node(i, j), node(i + 1, j), 1)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths;
+    use rl_temporal::{MinPlus, Time};
+
+    #[test]
+    fn layered_shape_and_connectivity() {
+        let cfg = LayeredConfig { layers: 5, width: 4, max_weight: 3, edge_probability: 0.3 };
+        let dag = layered(&mut seeded_rng(42), &cfg).unwrap();
+        assert_eq!(dag.node_count(), 20);
+        // All layer-0 nodes are roots; all last-layer nodes are sinks;
+        // nothing in between is either.
+        for v in dag.nodes() {
+            let layer = v.index() / cfg.width;
+            if layer == 0 {
+                assert_eq!(dag.in_degree(v), 0);
+                assert!(dag.out_degree(v) >= 1);
+            } else if layer == cfg.layers - 1 {
+                assert_eq!(dag.out_degree(v), 0);
+                assert!(dag.in_degree(v) >= 1);
+            } else {
+                assert!(dag.in_degree(v) >= 1);
+                assert!(dag.out_degree(v) >= 1);
+            }
+        }
+        // And-type feasible from the full root set by construction.
+        let roots: Vec<NodeId> = dag.roots().collect();
+        assert!(paths::and_feasible(&dag, &roots));
+    }
+
+    #[test]
+    fn layered_is_deterministic_per_seed() {
+        let cfg = LayeredConfig::default();
+        let a = layered(&mut seeded_rng(9), &cfg).unwrap();
+        let b = layered(&mut seeded_rng(9), &cfg).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        let c = layered(&mut seeded_rng(10), &cfg).unwrap();
+        assert_ne!(a.edges(), c.edges(), "different seeds should differ");
+    }
+
+    #[test]
+    fn grid_shortest_path_is_manhattan() {
+        let dag = grid(3, 4).unwrap();
+        let root = NodeId(0);
+        let sink = NodeId((dag.node_count() - 1) as u32);
+        let t = paths::arrival_times::<MinPlus>(&dag, &[root]);
+        assert_eq!(t[sink.index()], Time::from_cycles(3 + 4));
+    }
+
+    #[test]
+    fn upper_triangular_extremes() {
+        let empty = upper_triangular(&mut seeded_rng(1), 6, 0.0, 5).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = upper_triangular(&mut seeded_rng(1), 6, 1.0, 5).unwrap();
+        assert_eq!(full.edge_count(), 6 * 5 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = upper_triangular(&mut seeded_rng(0), 3, 1.5, 1);
+    }
+}

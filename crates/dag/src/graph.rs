@@ -1,0 +1,423 @@
+//! The arena-based weighted DAG and its validating builder.
+
+use std::fmt;
+use std::ops::Index;
+
+use rl_temporal::Time;
+
+/// Identifies a node within one [`Dag`].
+///
+/// Node ids are dense (`0..node_count`), which lets algorithms use plain
+/// `Vec`s as node-indexed maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifies an edge within one [`Dag`]. Dense, like [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The dense index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A weighted directed edge. Weights are **delays in clock cycles**; an
+/// "infinite" weight is modelled by *omitting* the edge, exactly as the
+/// paper implements +∞ with a missing connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Delay in cycles. May be zero (a wire), though synchronous Race
+    /// Logic implementations typically require ≥ 1.
+    pub weight: u64,
+}
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id that does not exist.
+    UnknownNode(NodeId),
+    /// A self-loop was added (`from == to`); DAGs cannot contain them.
+    SelfLoop(NodeId),
+    /// The edge set contains a directed cycle through the given node.
+    Cycle(NodeId),
+    /// Too many nodes or edges for the `u32` id space.
+    CapacityExceeded,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            GraphError::Cycle(n) => write!(f, "directed cycle through node {n}"),
+            GraphError::CapacityExceeded => write!(f, "graph exceeds u32 id capacity"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An incrementally constructed graph, checked acyclic on [`DagBuilder::build`].
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder {
+    node_count: u32,
+    pub(crate) edges: Vec<Edge>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    /// Creates a builder pre-populated with `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds the `u32` id space.
+    #[must_use]
+    pub fn with_nodes(nodes: usize) -> Self {
+        let node_count = u32::try_from(nodes).expect("node count exceeds u32 id space");
+        DagBuilder { node_count, edges: Vec::new() }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count = self
+            .node_count
+            .checked_add(1)
+            .expect("node count exceeds u32 id space");
+        id
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    /// Adds a weighted edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if either endpoint has not been
+    /// added, or [`GraphError::SelfLoop`] for `from == to`. Cycles are
+    /// detected later, in [`DagBuilder::build`].
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u64) -> Result<EdgeId, GraphError> {
+        if from.0 >= self.node_count {
+            return Err(GraphError::UnknownNode(from));
+        }
+        if to.0 >= self.node_count {
+            return Err(GraphError::UnknownNode(to));
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        let id = u32::try_from(self.edges.len()).map_err(|_| GraphError::CapacityExceeded)?;
+        self.edges.push(Edge { from, to, weight });
+        Ok(EdgeId(id))
+    }
+
+    /// Validates acyclicity and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] naming a node on a directed cycle if
+    /// the edge set is not acyclic.
+    pub fn build(self) -> Result<Dag, GraphError> {
+        let dag = Dag::assemble(self.node_count, self.edges);
+        // Kahn's algorithm doubles as the cycle check.
+        crate::topo::topological_order(&dag).map(|order| {
+            let mut dag = dag;
+            dag.topo = order;
+            dag
+        })
+    }
+}
+
+/// A frozen, validated weighted DAG with CSR-style adjacency.
+///
+/// Construct via [`DagBuilder`]; the stored topological order is computed
+/// once at build time and reused by every algorithm.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    node_count: u32,
+    edges: Vec<Edge>,
+    /// CSR offsets into `out_edges` per node.
+    out_start: Vec<u32>,
+    out_edges: Vec<u32>,
+    /// CSR offsets into `in_edges` per node.
+    in_start: Vec<u32>,
+    in_edges: Vec<u32>,
+    /// Topological order computed at build time.
+    pub(crate) topo: Vec<NodeId>,
+}
+
+impl Dag {
+    fn assemble(node_count: u32, edges: Vec<Edge>) -> Dag {
+        let n = node_count as usize;
+        let mut out_deg = vec![0_u32; n];
+        let mut in_deg = vec![0_u32; n];
+        for e in &edges {
+            out_deg[e.from.index()] += 1;
+            in_deg[e.to.index()] += 1;
+        }
+        let mut out_start = vec![0_u32; n + 1];
+        let mut in_start = vec![0_u32; n + 1];
+        for i in 0..n {
+            out_start[i + 1] = out_start[i] + out_deg[i];
+            in_start[i + 1] = in_start[i] + in_deg[i];
+        }
+        let mut out_edges = vec![0_u32; edges.len()];
+        let mut in_edges = vec![0_u32; edges.len()];
+        let mut out_fill = out_start.clone();
+        let mut in_fill = in_start.clone();
+        for (idx, e) in edges.iter().enumerate() {
+            let idx = idx as u32;
+            out_edges[out_fill[e.from.index()] as usize] = idx;
+            out_fill[e.from.index()] += 1;
+            in_edges[in_fill[e.to.index()] as usize] = idx;
+            in_fill[e.to.index()] += 1;
+        }
+        Dag {
+            node_count,
+            edges,
+            out_start,
+            out_edges,
+            in_start,
+            in_edges,
+            topo: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all node ids in dense order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId)
+    }
+
+    /// All edges, in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        let lo = self.out_start[node.index()] as usize;
+        let hi = self.out_start[node.index() + 1] as usize;
+        self.out_edges[lo..hi]
+            .iter()
+            .map(|&i| (EdgeId(i), self.edges[i as usize]))
+    }
+
+    /// Incoming edges of `node`.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        let lo = self.in_start[node.index()] as usize;
+        let hi = self.in_start[node.index() + 1] as usize;
+        self.in_edges[lo..hi]
+            .iter()
+            .map(|&i| (EdgeId(i), self.edges[i as usize]))
+    }
+
+    /// Out-degree of `node`.
+    #[must_use]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        (self.out_start[node.index() + 1] - self.out_start[node.index()]) as usize
+    }
+
+    /// In-degree of `node`.
+    #[must_use]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        (self.in_start[node.index() + 1] - self.in_start[node.index()]) as usize
+    }
+
+    /// Nodes with no incoming edges — where the race signal is injected.
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.in_degree(n) == 0)
+    }
+
+    /// Nodes with no outgoing edges — where the race is observed.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.out_degree(n) == 0)
+    }
+
+    /// The topological order computed at build time.
+    #[must_use]
+    pub fn topological(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// The largest edge weight, or `None` for an edgeless graph. The paper
+    /// calls the ratio of this to the smallest weight the *dynamic range*
+    /// `N_DR` of the problem (Section 5).
+    #[must_use]
+    pub fn max_weight(&self) -> Option<u64> {
+        self.edges.iter().map(|e| e.weight).max()
+    }
+
+    /// Sum of all edge weights: an upper bound on any simple path length,
+    /// hence on how long any race through this DAG can run.
+    #[must_use]
+    pub fn total_weight(&self) -> Time {
+        self.edges
+            .iter()
+            .map(|e| Time::from_cycles(e.weight))
+            .sum()
+    }
+}
+
+/// `Vec<Time>` keyed by `NodeId` is the universal "value per node" shape;
+/// allow direct indexing by node for readability.
+impl Index<NodeId> for Vec<Time> {
+    type Output = Time;
+
+    fn index(&self, node: NodeId) -> &Time {
+        &self[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // a -> b -> d, a -> c -> d
+        let mut b = DagBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], 1).unwrap();
+        b.add_edge(n[0], n[2], 2).unwrap();
+        b.add_edge(n[1], n[3], 3).unwrap();
+        b.add_edge(n[2], n[3], 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let d = diamond();
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.edge_count(), 4);
+        let a = NodeId(0);
+        let sink = NodeId(3);
+        assert_eq!(d.out_degree(a), 2);
+        assert_eq!(d.in_degree(a), 0);
+        assert_eq!(d.in_degree(sink), 2);
+        assert_eq!(d.roots().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(d.sinks().collect::<Vec<_>>(), vec![sink]);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let d = diamond();
+        for node in d.nodes() {
+            for (eid, e) in d.out_edges(node) {
+                assert_eq!(e.from, node);
+                assert_eq!(d.edge(eid), e);
+            }
+            for (_, e) in d.in_edges(node) {
+                assert_eq!(e.to, node);
+            }
+        }
+        assert_eq!(d.max_weight(), Some(4));
+        assert_eq!(d.total_weight(), Time::from_cycles(10));
+    }
+
+    #[test]
+    fn rejects_unknown_nodes_and_self_loops() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        assert_eq!(
+            b.add_edge(a, NodeId(7), 1),
+            Err(GraphError::UnknownNode(NodeId(7)))
+        );
+        assert_eq!(b.add_edge(a, a, 1), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        let z = b.add_node();
+        b.add_edge(x, y, 1).unwrap();
+        b.add_edge(y, z, 1).unwrap();
+        b.add_edge(z, x, 1).unwrap();
+        match b.build() {
+            Err(GraphError::Cycle(_)) => {}
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let d = DagBuilder::new().build().unwrap();
+        assert_eq!(d.node_count(), 0);
+        assert_eq!(d.edge_count(), 0);
+        assert_eq!(d.max_weight(), None);
+    }
+
+    #[test]
+    fn with_nodes_prepopulates() {
+        let b = DagBuilder::with_nodes(5);
+        assert_eq!(b.node_count(), 5);
+        let d = b.build().unwrap();
+        assert_eq!(d.node_count(), 5);
+        // All isolated nodes are both roots and sinks.
+        assert_eq!(d.roots().count(), 5);
+        assert_eq!(d.sinks().count(), 5);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::Cycle(NodeId(3)).to_string().contains("n3"));
+        assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # rl-dag — the weighted directed-acyclic-graph substrate
+//!
+//! Race Logic solves path problems on weighted DAGs (paper Section 3):
+//! every node becomes a gate, every weight-`w` edge a `w`-cycle delay, and
+//! the arrival time of the injected signal at a node *is* the dynamic
+//! programming value at that node. This crate provides the graph side of
+//! that story:
+//!
+//! - [`Dag`] — an arena-based weighted DAG, validated acyclic at
+//!   construction time via [`DagBuilder`].
+//! - [`paths`] — the reference dynamic-programming solvers: single-source
+//!   shortest/longest arrival times in topological order, generic over the
+//!   tropical semirings of [`rl_temporal::semiring`], plus path
+//!   reconstruction.
+//! - [`dijkstra`] — an independent priority-queue shortest-path solver used
+//!   to cross-check the DP (and to mirror how an OR-type race actually
+//!   unfolds in time: Dijkstra's settle order *is* the race's firing order).
+//! - [`generate`] — deterministic random DAG generators (layered and
+//!   upper-triangular) for property tests and benchmarks.
+//! - [`edit_graph`] — the N×M edit graph of sequence alignment (paper
+//!   Fig. 1e): the DAG whose paths are exactly the global alignments of two
+//!   strings.
+//!
+//! # Example: the DAG of paper Figure 3a
+//!
+//! ```
+//! use rl_dag::{DagBuilder, paths};
+//! use rl_temporal::{MinPlus, MaxPlus, Time};
+//!
+//! // Fig. 3a: two input nodes (a, b), one internal node (c), output (d).
+//! let mut b = DagBuilder::new();
+//! let a = b.add_node();
+//! let bb = b.add_node();
+//! let c = b.add_node();
+//! let d = b.add_node();
+//! b.add_edge(a, c, 1)?;
+//! b.add_edge(bb, c, 1)?;
+//! b.add_edge(a, d, 2)?;
+//! b.add_edge(bb, d, 3)?;
+//! b.add_edge(c, d, 1)?;
+//! let dag = b.build()?;
+//!
+//! let shortest = paths::arrival_times::<MinPlus>(&dag, &[a, bb]);
+//! assert_eq!(shortest[d], Time::from_cycles(2)); // OR-type race: 2 cycles
+//! let longest = paths::arrival_times::<MaxPlus>(&dag, &[a, bb]);
+//! assert_eq!(longest[d], Time::from_cycles(3)); // AND-type race: 3 cycles
+//! # Ok::<(), rl_dag::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dijkstra;
+pub mod edit_graph;
+pub mod generate;
+mod graph;
+pub mod paths;
+pub mod topo;
+
+pub use graph::{Dag, DagBuilder, Edge, EdgeId, GraphError, NodeId};

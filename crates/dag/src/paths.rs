@@ -1,0 +1,234 @@
+//! Dynamic-programming path solvers: the *reference* against which every
+//! race outcome in this workspace is checked.
+//!
+//! [`arrival_times`] computes, for each node, the semiring-optimal path
+//! value from a set of source nodes, in one pass over the topological
+//! order. With [`MinPlus`](rl_temporal::MinPlus) this is the classic
+//! single-source shortest path DP on a DAG; with
+//! [`MaxPlus`](rl_temporal::MaxPlus) the longest path (critical path).
+//!
+//! The central theorem of the paper (Section 3) is that an OR-type
+//! (resp. AND-type) race through the same DAG produces exactly these
+//! values as signal arrival times. The property tests in `race-logic`
+//! assert that equivalence against this module.
+
+use rl_temporal::{Semiring, Time};
+
+use crate::{Dag, EdgeId, NodeId};
+
+/// Per-node optimal arrival times from `sources`, under semiring `S`.
+///
+/// Sources are assigned `Time::ZERO` (the injected signal); unreachable
+/// nodes keep `S::NEUTRAL`'s annihilating counterpart: under `MinPlus`
+/// they are [`Time::NEVER`]; under `MaxPlus` a node unreachable from every
+/// source is also reported as [`Time::NEVER`] (an AND-gate node with a dead
+/// input never fires — see the caveat on [`and_feasible`]).
+///
+/// # AND-type caveat
+///
+/// For `MaxPlus` the race interpretation requires every in-edge of every
+/// node on the path to eventually carry a signal: an AND gate waits for
+/// *all* inputs. `arrival_times::<MaxPlus>` implements the *longest-path
+/// DP*, which equals the AND-type race outcome only when every node is
+/// reachable from the source set (checked by [`and_feasible`]). This
+/// mirrors the paper, which injects the signal at all input nodes
+/// simultaneously.
+#[must_use]
+pub fn arrival_times<S: Semiring>(dag: &Dag, sources: &[NodeId]) -> Vec<Time> {
+    let mut value = vec![Time::NEVER; dag.node_count()];
+    for &s in sources {
+        value[s.index()] = Time::ZERO;
+    }
+    for &v in dag.topological() {
+        let v_val = value[v.index()];
+        if v_val.is_never() {
+            continue; // unreachable: nothing to propagate
+        }
+        for (_, e) in dag.out_edges(v) {
+            let via = S::extend(v_val, e.weight);
+            let tgt = &mut value[e.to.index()];
+            *tgt = if tgt.is_never() {
+                via
+            } else {
+                S::combine(*tgt, via)
+            };
+        }
+    }
+    value
+}
+
+/// `true` when the AND-type (max-plus) race is well-defined: every node is
+/// reachable from the source set, so no AND gate starves on a dead input.
+#[must_use]
+pub fn and_feasible(dag: &Dag, sources: &[NodeId]) -> bool {
+    let mut reach = vec![false; dag.node_count()];
+    for &s in sources {
+        reach[s.index()] = true;
+    }
+    for &v in dag.topological() {
+        if dag.in_degree(v) > 0 {
+            // AND semantics: fires only if ALL predecessors fire.
+            reach[v.index()] = dag.in_edges(v).all(|(_, e)| reach[e.from.index()]);
+        }
+    }
+    reach.into_iter().all(|r| r)
+}
+
+/// One optimal root→`target` path, as a list of edge ids, or `None` if the
+/// target is unreachable.
+///
+/// Reconstructed greedily from the `arrival_times` table: at each node we
+/// step back along an in-edge whose source value extends exactly to ours.
+/// Ties are broken by the lowest edge id, so the result is deterministic.
+#[must_use]
+pub fn reconstruct_path<S: Semiring>(
+    dag: &Dag,
+    sources: &[NodeId],
+    target: NodeId,
+) -> Option<Vec<EdgeId>> {
+    let value = arrival_times::<S>(dag, sources);
+    if value[target.index()].is_never() {
+        return None;
+    }
+    let is_source = {
+        let mut m = vec![false; dag.node_count()];
+        for &s in sources {
+            m[s.index()] = true;
+        }
+        m
+    };
+    let mut path = Vec::new();
+    let mut cur = target;
+    // Walk backwards. Sources have value ZERO by construction; a node may
+    // also *be* a source and still take a better path through another
+    // source under MaxPlus, so prefer a predecessor step when one exists.
+    loop {
+        let cur_val = value[cur.index()];
+        let step = dag
+            .in_edges(cur)
+            .find(|(_, e)| S::extend(value[e.from.index()], e.weight) == cur_val);
+        match step {
+            Some((eid, e)) => {
+                path.push(eid);
+                cur = e.from;
+                if is_source[cur.index()] && value[cur.index()] == Time::ZERO {
+                    break;
+                }
+            }
+            None => {
+                debug_assert!(is_source[cur.index()], "path reconstruction stranded");
+                break;
+            }
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// The optimal value at a single sink: convenience wrapper for the common
+/// "race from the root node to the output node" query of the paper.
+#[must_use]
+pub fn race_value<S: Semiring>(dag: &Dag, sources: &[NodeId], target: NodeId) -> Time {
+    arrival_times::<S>(dag, sources)[target.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+    use rl_temporal::{MaxPlus, MinPlus};
+
+    /// The DAG of paper Figure 3a: weights chosen so the shortest path is
+    /// 2 and the longest is 3, matching Fig. 3b/c.
+    fn fig3a() -> (Dag, [NodeId; 4]) {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let bb = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(bb, c, 1).unwrap();
+        b.add_edge(a, d, 2).unwrap();
+        b.add_edge(bb, d, 3).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        (b.build().unwrap(), [a, bb, c, d])
+    }
+
+    #[test]
+    fn fig3_shortest_is_two_cycles() {
+        let (dag, [a, bb, _, d]) = fig3a();
+        assert_eq!(race_value::<MinPlus>(&dag, &[a, bb], d), Time::from_cycles(2));
+    }
+
+    #[test]
+    fn fig3_longest_is_three_cycles() {
+        let (dag, [a, bb, _, d]) = fig3a();
+        assert!(and_feasible(&dag, &[a, bb]));
+        assert_eq!(race_value::<MaxPlus>(&dag, &[a, bb], d), Time::from_cycles(3));
+    }
+
+    #[test]
+    fn unreachable_nodes_never_fire() {
+        let mut b = DagBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 5).unwrap();
+        let dag = b.build().unwrap();
+        let t = arrival_times::<MinPlus>(&dag, &[NodeId(0)]);
+        assert_eq!(t[NodeId(1)], Time::from_cycles(5));
+        assert_eq!(t[NodeId(2)], Time::NEVER);
+        assert!(!and_feasible(&dag, &[NodeId(0)]));
+        assert!(and_feasible(&dag, &[NodeId(0), NodeId(2)]));
+    }
+
+    #[test]
+    fn path_reconstruction_matches_value() {
+        let (dag, [a, bb, _, d]) = fig3a();
+        let path = reconstruct_path::<MinPlus>(&dag, &[a, bb], d).unwrap();
+        let total: u64 = path.iter().map(|&e| dag.edge(e).weight).sum();
+        assert_eq!(total, 2);
+        // Path must be connected root -> target.
+        let first = dag.edge(path[0]);
+        assert!(first.from == a || first.from == bb);
+        assert_eq!(dag.edge(*path.last().unwrap()).to, d);
+        for w in path.windows(2) {
+            assert_eq!(dag.edge(w[0]).to, dag.edge(w[1]).from);
+        }
+    }
+
+    #[test]
+    fn longest_path_reconstruction() {
+        let (dag, [a, bb, _, d]) = fig3a();
+        let path = reconstruct_path::<MaxPlus>(&dag, &[a, bb], d).unwrap();
+        let total: u64 = path.iter().map(|&e| dag.edge(e).weight).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn reconstruct_unreachable_is_none() {
+        let dag = DagBuilder::with_nodes(2).build().unwrap();
+        assert_eq!(
+            reconstruct_path::<MinPlus>(&dag, &[NodeId(0)], NodeId(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_weight_edges_are_wires() {
+        let mut b = DagBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0).unwrap();
+        let dag = b.build().unwrap();
+        let t = arrival_times::<MinPlus>(&dag, &[NodeId(0)]);
+        assert_eq!(t[NodeId(2)], Time::ZERO);
+    }
+
+    #[test]
+    fn source_is_zero_even_with_incoming_edges() {
+        // min-plus: a source with an incoming edge still reads ZERO
+        // (the injected signal arrives before anything else can).
+        let mut b = DagBuilder::with_nodes(2);
+        b.add_edge(NodeId(0), NodeId(1), 3).unwrap();
+        let dag = b.build().unwrap();
+        let t = arrival_times::<MinPlus>(&dag, &[NodeId(0), NodeId(1)]);
+        assert_eq!(t[NodeId(1)], Time::ZERO);
+    }
+}

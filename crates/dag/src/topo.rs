@@ -1,0 +1,157 @@
+//! Topological ordering (Kahn's algorithm) and anti-diagonal ranks.
+
+use std::collections::VecDeque;
+
+use crate::{Dag, GraphError, NodeId};
+
+/// Computes a topological order of `dag`'s nodes.
+///
+/// Ties (multiple ready nodes) are broken by ascending node id, so the
+/// order is deterministic — a property the Race Logic compiler relies on
+/// for reproducible netlists.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] naming one node on a cycle if the graph
+/// is not acyclic. (Called internally by [`crate::DagBuilder::build`];
+/// graphs obtained from the builder are always acyclic.)
+pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, GraphError> {
+    let n = dag.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId(i as u32))).collect();
+    // A VecDeque over ascending ids: BFS-like, deterministic.
+    let mut ready: VecDeque<NodeId> = dag.nodes().filter(|&v| in_deg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop_front() {
+        order.push(v);
+        for (_, e) in dag.out_edges(v) {
+            let d = &mut in_deg[e.to.index()];
+            *d -= 1;
+            if *d == 0 {
+                ready.push_back(e.to);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        // Some node kept a positive in-degree: it lies on a cycle.
+        let culprit = (0..n)
+            .map(|i| NodeId(i as u32))
+            .find(|v| in_deg[v.index()] > 0)
+            .expect("cycle detected but no node with positive in-degree");
+        Err(GraphError::Cycle(culprit))
+    }
+}
+
+/// Assigns each node its *rank*: the length (in edges) of the longest path
+/// from any root to it.
+///
+/// In an edit graph the rank of node (i, j) is i + j — the paper's
+/// "anti-diagonal" index. Lipton & Lopresti's key observation (Section 2.3)
+/// is that all nodes of equal rank are independent and can be computed in
+/// parallel; the systolic array and the Race Logic wavefront both exploit
+/// exactly this structure.
+#[must_use]
+pub fn ranks(dag: &Dag) -> Vec<u64> {
+    let mut rank = vec![0_u64; dag.node_count()];
+    for &v in dag.topological() {
+        for (_, e) in dag.out_edges(v) {
+            let candidate = rank[v.index()] + 1;
+            if candidate > rank[e.to.index()] {
+                rank[e.to.index()] = candidate;
+            }
+        }
+    }
+    rank
+}
+
+/// Groups nodes by rank: `levels()[r]` lists every node of rank `r`.
+///
+/// The result is the parallel schedule of the computation "wave" the paper
+/// describes proceeding along the diagonal of the edit graph.
+#[must_use]
+pub fn levels(dag: &Dag) -> Vec<Vec<NodeId>> {
+    let rank = ranks(dag);
+    let depth = rank.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut levels = vec![Vec::new(); depth];
+    for v in dag.nodes() {
+        levels[rank[v.index()] as usize].push(v);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    fn chain(n: usize) -> Dag {
+        let mut b = DagBuilder::with_nodes(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let mut b = DagBuilder::with_nodes(6);
+        let e = [(0, 2), (1, 2), (2, 3), (3, 4), (1, 5), (5, 4)];
+        for (f, t) in e {
+            b.add_edge(NodeId(f), NodeId(t), 1).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let order = dag.topological();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; dag.node_count()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for edge in dag.edges() {
+            assert!(pos[edge.from.index()] < pos[edge.to.index()]);
+        }
+    }
+
+    #[test]
+    fn topo_is_deterministic_ascending_on_antichains() {
+        // 4 isolated nodes: order must be by id.
+        let dag = DagBuilder::with_nodes(4).build().unwrap();
+        let ids: Vec<u32> = dag.topological().iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ranks_on_a_chain_are_positions() {
+        let dag = chain(5);
+        assert_eq!(ranks(&dag), vec![0, 1, 2, 3, 4]);
+        let lv = levels(&dag);
+        assert_eq!(lv.len(), 5);
+        for (r, level) in lv.iter().enumerate() {
+            assert_eq!(level, &vec![NodeId(r as u32)]);
+        }
+    }
+
+    #[test]
+    fn ranks_take_longest_route() {
+        // a->b->c and a->c: c has rank 2, not 1.
+        let mut b = DagBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(ranks(&dag), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn levels_partition_all_nodes() {
+        let mut b = DagBuilder::with_nodes(7);
+        for (f, t) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 6)] {
+            b.add_edge(NodeId(f), NodeId(t), 1).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let total: usize = levels(&dag).iter().map(Vec::len).sum();
+        assert_eq!(total, dag.node_count());
+    }
+}

@@ -1,0 +1,57 @@
+//! # rl-event-sim — a deterministic discrete-event simulation engine
+//!
+//! The cycle-accurate hardware simulators in this workspace (the Race Logic
+//! functional simulator in `race-logic`, and the Lipton–Lopresti systolic
+//! array in `rl-systolic`) are built on this small discrete-event core:
+//! a priority-queue scheduler with deterministic FIFO tie-breaking, an
+//! event-handling [`Model`] trait, and counters/tracing for post-mortem
+//! analysis.
+//!
+//! Determinism matters here: the paper's energy model is driven by activity
+//! factors extracted from simulation, so two runs of the same workload must
+//! produce bit-identical event orders. The scheduler guarantees that events
+//! scheduled for the same timestamp are delivered in the order they were
+//! scheduled.
+//!
+//! # Example
+//!
+//! ```
+//! use rl_event_sim::{Model, Scheduler, SimTime};
+//!
+//! /// Counts ticks until a limit, scheduling its own successor each time.
+//! struct Ticker { ticks: u64, limit: u64 }
+//!
+//! impl Model for Ticker {
+//!     type Event = ();
+//!     fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+//!         self.ticks += 1;
+//!         if self.ticks < self.limit {
+//!             sched.schedule_at(now + 2, ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut ticker = Ticker { ticks: 0, limit: 5 };
+//! let mut sched = Scheduler::new();
+//! sched.schedule_at(SimTime::ZERO, ());
+//! let end = sched.run_to_completion(&mut ticker);
+//! assert_eq!(ticker.ticks, 5);
+//! assert_eq!(end, SimTime::new(8)); // events at t = 0, 2, 4, 6, 8
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod queue;
+mod scheduler;
+mod stats;
+mod time;
+mod trace;
+
+pub use calendar::CalendarQueue;
+pub use queue::EventQueue;
+pub use scheduler::{Model, RunOutcome, Scheduler};
+pub use stats::SchedulerStats;
+pub use time::SimTime;
+pub use trace::{TraceBuffer, TraceEntry};

@@ -1,0 +1,199 @@
+//! The pending-event priority queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A scheduled occurrence: an event `E` due at a given time, with a
+/// sequence number that provides deterministic FIFO ordering among events
+/// scheduled for the same timestamp.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // timestamp, the first-scheduled) event is popped first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events with deterministic tie-breaking.
+///
+/// This is the data structure behind [`crate::Scheduler`]; it is exposed
+/// for models that want manual control of the event loop.
+///
+/// # Examples
+///
+/// ```
+/// use rl_event_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::new(5), "late");
+/// q.push(SimTime::new(2), "early");
+/// q.push(SimTime::new(2), "early-second");
+/// assert_eq!(q.pop(), Some((SimTime::new(2), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::new(2), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::new(5), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    max_len: usize,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            max_len: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            max_len: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `due`.
+    pub fn push(&mut self, due: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { due, seq, event });
+        self.max_len = self.max_len.max(self.heap.len());
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.due, s.event))
+    }
+
+    /// The due time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.due)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// High-water mark of the queue length over its lifetime, for capacity
+    /// analysis of event-driven hardware models.
+    #[must_use]
+    pub fn high_water_mark(&self) -> usize {
+        self.max_len
+    }
+
+    /// Discards all pending events (the sequence counter keeps advancing so
+    /// determinism across a clear is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(3), 'c');
+        q.push(SimTime::new(1), 'a');
+        q.push(SimTime::new(3), 'd');
+        q.push(SimTime::new(1), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn peek_len_and_clear() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::new(9), ());
+        q.push(SimTime::new(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(4)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water_mark(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.high_water_mark(), 2, "high-water mark survives clear");
+    }
+
+    proptest! {
+        #[test]
+        fn pop_order_is_sorted_by_time(times in proptest::collection::vec(0_u64..1000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::new(*t), i);
+            }
+            let mut last: Option<SimTime> = None;
+            while let Some((t, _)) = q.pop() {
+                if let Some(prev) = last {
+                    prop_assert!(t >= prev);
+                }
+                last = Some(t);
+            }
+        }
+
+        #[test]
+        fn same_time_events_preserve_insertion_order(n in 1_usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(SimTime::new(7), i);
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            let expected: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(order, expected);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The event loop: a scheduler driving a [`Model`].
+
+use crate::{EventQueue, SchedulerStats, SimTime, TraceBuffer};
+
+/// A simulation model: anything that reacts to events by mutating its own
+/// state and scheduling further events.
+///
+/// The model owns all domain state; the [`Scheduler`] owns time and the
+/// pending-event queue. This split keeps models trivially testable (drive
+/// them by hand) while the scheduler stays generic.
+pub trait Model {
+    /// The event payload type delivered to [`Model::handle`].
+    type Event;
+
+    /// Reacts to `event` occurring at time `now`. New events may be
+    /// scheduled on `scheduler` at or after `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+/// Why a bounded run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained; the simulation reached quiescence.
+    Quiescent {
+        /// Time of the last delivered event.
+        last_event: SimTime,
+    },
+    /// The time horizon was reached with events still pending.
+    HorizonReached {
+        /// The horizon that was hit.
+        horizon: SimTime,
+    },
+    /// The event budget was exhausted with events still pending.
+    BudgetExhausted {
+        /// Time of the last delivered event.
+        last_event: SimTime,
+    },
+}
+
+/// A discrete-event scheduler with deterministic ordering, statistics and
+/// optional tracing.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    stats: SchedulerStats,
+    trace: Option<TraceBuffer>,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler at time zero with an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            stats: SchedulerStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing with the given capacity (a ring buffer: the
+    /// most recent `capacity` events are retained).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// The current simulation time (time of the event being handled, or of
+    /// the last handled event between deliveries).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `due`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due` is earlier than [`Scheduler::now`] — hardware cannot
+    /// send signals into the past.
+    pub fn schedule_at(&mut self, due: SimTime, event: E) {
+        assert!(
+            due >= self.now,
+            "cannot schedule an event at {due} before the current time {}",
+            self.now
+        );
+        self.queue.push(due, event);
+        self.stats.scheduled += 1;
+    }
+
+    /// Schedules `event` after a relative `delay` from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        let due = self.now + delay;
+        self.queue.push(due, event);
+        self.stats.scheduled += 1;
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivers the single earliest event to `model`. Returns `false` if
+    /// the queue was empty.
+    pub fn step<M: Model<Event = E>>(&mut self, model: &mut M) -> bool {
+        let Some((due, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = due;
+        self.stats.delivered += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len() + 1);
+        if let Some(trace) = &mut self.trace {
+            trace.record(due, self.stats.delivered);
+        }
+        model.handle(due, event, self);
+        true
+    }
+
+    /// Runs until the queue drains; returns the time of the last event.
+    ///
+    /// Prefer [`Scheduler::run_until`] or [`Scheduler::run_with_budget`]
+    /// for models that might self-perpetuate.
+    pub fn run_to_completion<M: Model<Event = E>>(&mut self, model: &mut M) -> SimTime {
+        while self.step(model) {}
+        self.now
+    }
+
+    /// Runs until the queue drains or the next event would occur *after*
+    /// `horizon` (events exactly at the horizon are delivered).
+    pub fn run_until<M: Model<Event = E>>(&mut self, model: &mut M, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent { last_event: self.now },
+                Some(t) if t > horizon => return RunOutcome::HorizonReached { horizon },
+                Some(_) => {
+                    self.step(model);
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains or `budget` events have been delivered.
+    pub fn run_with_budget<M: Model<Event = E>>(
+        &mut self,
+        model: &mut M,
+        budget: u64,
+    ) -> RunOutcome {
+        for _ in 0..budget {
+            if !self.step(model) {
+                return RunOutcome::Quiescent { last_event: self.now };
+            }
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Quiescent { last_event: self.now }
+        } else {
+            RunOutcome::BudgetExhausted { last_event: self.now }
+        }
+    }
+
+    /// Scheduler statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// The trace buffer, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the times at which it saw events; optionally re-schedules.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        respawn_every: Option<u64>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if let Some(period) = self.respawn_every {
+                sched.schedule_in(period, ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(10), 1);
+        s.schedule_at(SimTime::new(5), 2);
+        s.schedule_at(SimTime::new(10), 3);
+        let end = s.run_to_completion(&mut m);
+        assert_eq!(end, SimTime::new(10));
+        assert_eq!(
+            m.seen,
+            vec![
+                (SimTime::new(5), 2),
+                (SimTime::new(10), 1),
+                (SimTime::new(10), 3)
+            ]
+        );
+        assert_eq!(s.stats().delivered, 3);
+        assert_eq!(s.stats().scheduled, 3);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut m = Recorder { seen: vec![], respawn_every: Some(10) };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::ZERO, 0);
+        let outcome = s.run_until(&mut m, SimTime::new(35));
+        assert_eq!(outcome, RunOutcome::HorizonReached { horizon: SimTime::new(35) });
+        // Events at t = 0, 10, 20, 30 delivered; t = 40 pending.
+        assert_eq!(m.seen.len(), 4);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn run_with_budget_stops() {
+        let mut m = Recorder { seen: vec![], respawn_every: Some(1) };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::ZERO, 0);
+        let outcome = s.run_with_budget(&mut m, 100);
+        assert!(matches!(outcome, RunOutcome::BudgetExhausted { .. }));
+        assert_eq!(m.seen.len(), 100);
+    }
+
+    #[test]
+    fn quiescent_when_drained_exactly_at_budget() {
+        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(1), 7);
+        let outcome = s.run_with_budget(&mut m, 1);
+        assert_eq!(outcome, RunOutcome::Quiescent { last_event: SimTime::new(1) });
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(10), 0);
+        s.run_to_completion(&mut m);
+        s.schedule_at(SimTime::new(5), 1); // now == 10
+    }
+
+    #[test]
+    fn tracing_records_events() {
+        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut s = Scheduler::new();
+        s.enable_tracing(8);
+        for t in [3_u64, 1, 2] {
+            s.schedule_at(SimTime::new(t), 0);
+        }
+        s.run_to_completion(&mut m);
+        let trace = s.trace().unwrap();
+        let times: Vec<u64> = trace.entries().map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Scheduler statistics.
+
+/// Counters accumulated by a [`crate::Scheduler`] over its lifetime.
+///
+/// These feed the workload characterization in the benchmark harness
+/// (event counts are a proxy for simulator work, queue depth for memory).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Total events scheduled (including ones not yet delivered).
+    pub scheduled: u64,
+    /// Total events delivered to the model.
+    pub delivered: u64,
+    /// Maximum number of simultaneously pending events observed.
+    pub max_queue_len: usize,
+}
+
+impl SchedulerStats {
+    /// Events still pending (scheduled but not delivered).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rl_event_sim::SchedulerStats;
+    /// let s = SchedulerStats { scheduled: 10, delivered: 7, max_queue_len: 5 };
+    /// assert_eq!(s.outstanding(), 3);
+    /// ```
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.scheduled - self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outstanding_counts() {
+        let s = SchedulerStats { scheduled: 5, delivered: 2, max_queue_len: 3 };
+        assert_eq!(s.outstanding(), 3);
+        assert_eq!(SchedulerStats::default().outstanding(), 0);
+    }
+}

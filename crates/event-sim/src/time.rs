@@ -1,0 +1,111 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, in whatever unit the model chooses
+/// (the hardware simulators in this workspace use clock cycles).
+///
+/// Unlike `rl_temporal::Time`, `SimTime` has no +∞: the scheduler only ever
+/// deals in events that actually happen.
+///
+/// # Examples
+///
+/// ```
+/// use rl_event_sim::SimTime;
+/// let t = SimTime::new(5) + 3;
+/// assert_eq!(t.ticks(), 8);
+/// assert_eq!(t - SimTime::new(2), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero, the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a simulation time from a tick count.
+    #[must_use]
+    pub fn new(ticks: u64) -> SimTime {
+        SimTime(ticks)
+    }
+
+    /// The tick count.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs)
+                .expect("simulation time overflowed u64"),
+        )
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    /// Elapsed ticks between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("subtracted a later SimTime from an earlier one")
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t - SimTime::new(4), 6);
+        let mut u = SimTime::ZERO;
+        u += 3;
+        assert_eq!(u, SimTime::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "later SimTime")]
+    fn negative_elapsed_panics() {
+        let _ = SimTime::new(1) - SimTime::new(2);
+    }
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(SimTime::new(7).to_string(), "t=7");
+        assert!(SimTime::ZERO < SimTime::new(1));
+        assert_eq!(SimTime::from(4_u64), SimTime::new(4));
+    }
+}

@@ -1,0 +1,111 @@
+//! Event tracing: a bounded ring buffer of delivered events.
+
+use std::collections::VecDeque;
+
+use crate::SimTime;
+
+/// One delivered event, as recorded by the trace buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event was delivered.
+    pub time: SimTime,
+    /// The 1-based delivery index (monotonically increasing).
+    pub index: u64,
+}
+
+/// A bounded ring buffer retaining the most recent delivered events.
+///
+/// Intended for debugging simulation models: when an assertion about a
+/// race outcome fails, the tail of the event stream usually identifies the
+/// misbehaving cell.
+///
+/// # Examples
+///
+/// ```
+/// use rl_event_sim::{SimTime, TraceBuffer};
+/// let mut t = TraceBuffer::new(2);
+/// t.record(SimTime::new(1), 1);
+/// t.record(SimTime::new(2), 2);
+/// t.record(SimTime::new(3), 3); // evicts the first entry
+/// let times: Vec<u64> = t.entries().map(|e| e.time.ticks()).collect();
+/// assert_eq!(times, vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer retaining at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records a delivered event.
+    pub fn record(&mut self, time: SimTime, index: u64) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { time, index });
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted to stay within capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_semantics() {
+        let mut t = TraceBuffer::new(3);
+        assert!(t.is_empty());
+        for i in 1..=5_u64 {
+            t.record(SimTime::new(i), i);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let idx: Vec<u64> = t.entries().map(|e| e.index).collect();
+        assert_eq!(idx, vec![3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

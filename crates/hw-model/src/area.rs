@@ -1,0 +1,129 @@
+//! Area models (paper Fig. 5a,d and §6).
+//!
+//! Race Logic tiles `N²` small unit cells (quadratic, small constant);
+//! the systolic array is a line of `2N + 1` large PEs (linear, large
+//! constant). "In spite of such unfavorable area scaling laws, the
+//! constants associated with Race Logic are smaller ... due to the
+//! simplicity of the fundamental cells" (§6) — so the race array is
+//! *smaller* until the quadratic term catches up.
+//!
+//! Two pricing paths are provided: the closed-form laws used by the
+//! figures, and [`census_area_um2`], which prices an actual elaborated
+//! netlist gate by gate (the synthesis-like cross-check).
+
+use rl_circuit::{CellKind, Census};
+
+use crate::tech::{GateAreas, TechLibrary};
+
+/// Race-array area (µm²): `N² ×` unit-cell area.
+#[must_use]
+pub fn race_um2(lib: &TechLibrary, n: usize) -> f64 {
+    (n as f64).powi(2) * lib.race_cell_area_um2
+}
+
+/// Systolic-array area (µm²): `(2N + 1) ×` PE area.
+#[must_use]
+pub fn systolic_um2(lib: &TechLibrary, n: usize) -> f64 {
+    (2.0 * n as f64 + 1.0) * lib.systolic_pe_area_um2
+}
+
+/// Converts µm² to cm² (for power-density figures).
+#[must_use]
+pub fn um2_to_cm2(um2: f64) -> f64 {
+    um2 * 1e-8
+}
+
+/// The string length at which the race array's quadratic area overtakes
+/// the systolic array's linear area.
+#[must_use]
+pub fn area_crossover_n(lib: &TechLibrary) -> usize {
+    (1..100_000)
+        .find(|&n| race_um2(lib, n) > systolic_um2(lib, n))
+        .unwrap_or(100_000)
+}
+
+/// Prices a gate census against an area table, wiring factor included —
+/// the "synthesis" path for area, applied to real netlists from
+/// `race-logic`.
+#[must_use]
+pub fn census_area_um2(census: &Census, areas: &GateAreas) -> f64 {
+    let cell = |kind: CellKind| -> f64 {
+        match kind {
+            CellKind::Input | CellKind::Const => 0.0,
+            CellKind::Or(k) | CellKind::And(k) => {
+                areas.gate2 + areas.per_extra_input * f64::from(k.saturating_sub(2))
+            }
+            CellKind::Not => areas.not,
+            CellKind::Xor | CellKind::Xnor => areas.xor,
+            CellKind::Mux2 => areas.mux2,
+            CellKind::Dff => areas.dff,
+            CellKind::Sticky => areas.sticky,
+        }
+    };
+    let raw: f64 = census.iter().map(|(kind, count)| cell(kind) * count as f64).sum();
+    raw * areas.wiring_factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use race_logic::alignment::{AlignmentRace, RaceWeights};
+    use rl_bio::{alphabet::Dna, mutate};
+
+    #[test]
+    fn race_starts_smaller_then_crosses() {
+        for lib in TechLibrary::all() {
+            assert!(race_um2(&lib, 5) < systolic_um2(&lib, 5), "{}", lib.name);
+            assert!(race_um2(&lib, 100) > systolic_um2(&lib, 100), "{}", lib.name);
+            let x = area_crossover_n(&lib);
+            assert!(
+                (10..40).contains(&x),
+                "{}: area crossover N = {x} out of the Fig. 5a band",
+                lib.name
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_laws() {
+        let lib = TechLibrary::amis05();
+        assert!((race_um2(&lib, 40) / race_um2(&lib, 20) - 4.0).abs() < 1e-9);
+        let s_ratio = systolic_um2(&lib, 40) / systolic_um2(&lib, 20);
+        assert!((s_ratio - 81.0 / 41.0).abs() < 1e-9);
+        assert!((um2_to_cm2(1e8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn census_pricing_tracks_unit_cell_budget() {
+        // Price the real Fig. 4 netlist and compare the per-cell cost to
+        // the calibrated race_cell_area: they should agree within ~2×
+        // (the calibrated figure includes clock distribution the census
+        // cannot see).
+        let n = 12;
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        let census = race.build_circuit().census();
+        let priced = census_area_um2(&census, &GateAreas::um05());
+        let per_cell = priced / (n * n) as f64;
+        let calibrated = TechLibrary::amis05().race_cell_area_um2;
+        assert!(
+            per_cell > calibrated / 2.5 && per_cell < calibrated * 2.5,
+            "census per-cell area {per_cell:.0} µm² vs calibrated {calibrated} µm²"
+        );
+    }
+
+    #[test]
+    fn census_area_is_monotone_in_n() {
+        let areas = GateAreas::um05();
+        let mut last = 0.0;
+        for n in [4, 8, 12] {
+            let (q, p) = mutate::worst_case_pair::<Dna>(n);
+            let census = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+                .build_circuit()
+                .census();
+            let a = census_area_um2(&census, &areas);
+            assert!(a > last);
+            last = a;
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Energy–delay coordinates (paper Fig. 9c).
+//!
+//! Fig. 9c scatters every design point at N = 30 on (energy per
+//! comparison, latency per comparison) axes with iso-EDP hyperbolas in
+//! fJ·s. Lower-left is better; Race Logic variants occupy the lower-left
+//! corner while the systolic array sits up and to the right.
+
+use crate::energy::{self, Case};
+use crate::tech::TechLibrary;
+use crate::latency;
+
+/// One labelled point of the Fig. 9c scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyDelayPoint {
+    /// Design label, matching the paper's legend.
+    pub label: &'static str,
+    /// Energy per comparison (mJ — the paper's x-axis unit).
+    pub energy_mj: f64,
+    /// Latency per comparison (ns).
+    pub latency_ns: f64,
+}
+
+impl EnergyDelayPoint {
+    /// The energy–delay product in fJ·s (the unit of the paper's
+    /// iso-EDP guide lines).
+    #[must_use]
+    pub fn edp_fjs(&self) -> f64 {
+        // mJ × ns = 1e-3 J × 1e-9 s = 1e-12 J·s = 1 µJ·ns... convert:
+        // 1 mJ·ns = 1e-12 J·s = 1e3 fJ·s.
+        self.energy_mj * self.latency_ns * 1e3
+    }
+}
+
+/// All six Fig. 9c design points at string length `n`.
+#[must_use]
+pub fn scatter(lib: &TechLibrary, n: usize) -> Vec<EnergyDelayPoint> {
+    let best_ns = latency::race_best_ns(lib, n);
+    let worst_ns = latency::race_worst_ns(lib, n);
+    vec![
+        EnergyDelayPoint {
+            label: "Race Logic Best",
+            energy_mj: energy::pj_to_mj(energy::race_pj(lib, n, Case::Best)),
+            latency_ns: best_ns,
+        },
+        EnergyDelayPoint {
+            label: "Race Logic Worst",
+            energy_mj: energy::pj_to_mj(energy::race_pj(lib, n, Case::Worst)),
+            latency_ns: worst_ns,
+        },
+        EnergyDelayPoint {
+            label: "Systolic Array",
+            energy_mj: energy::pj_to_mj(energy::systolic_pj(lib, n)),
+            latency_ns: latency::systolic_ns(lib, n),
+        },
+        EnergyDelayPoint {
+            label: "Race Logic Clockless",
+            energy_mj: energy::pj_to_mj(energy::race_clockless_pj(lib, n, Case::Worst)),
+            latency_ns: worst_ns,
+        },
+        EnergyDelayPoint {
+            label: "Race Logic Best with gating",
+            energy_mj: energy::pj_to_mj(energy::race_gated_optimal_pj(lib, n, Case::Best)),
+            latency_ns: best_ns,
+        },
+        EnergyDelayPoint {
+            label: "Race Logic Worst with gating",
+            energy_mj: energy::pj_to_mj(energy::race_gated_optimal_pj(lib, n, Case::Worst)),
+            latency_ns: worst_ns,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systolic_has_the_worst_edp_at_n30() {
+        let pts = scatter(&TechLibrary::amis05(), 30);
+        let sys = pts.iter().find(|p| p.label == "Systolic Array").unwrap();
+        for p in &pts {
+            if p.label != "Systolic Array" {
+                assert!(
+                    p.edp_fjs() < sys.edp_fjs(),
+                    "{} EDP {} should beat systolic {}",
+                    p.label,
+                    p.edp_fjs(),
+                    sys.edp_fjs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gating_improves_edp() {
+        let pts = scatter(&TechLibrary::amis05(), 30);
+        let find = |l: &str| pts.iter().find(|p| p.label == l).unwrap();
+        assert!(
+            find("Race Logic Worst with gating").edp_fjs() < find("Race Logic Worst").edp_fjs()
+        );
+        assert!(find("Race Logic Clockless").edp_fjs() < find("Race Logic Worst").edp_fjs());
+    }
+
+    #[test]
+    fn edp_units() {
+        let p = EnergyDelayPoint { label: "x", energy_mj: 1e-6, latency_ns: 100.0 };
+        // 1e-6 mJ = 1 nJ; 1 nJ × 100 ns = 1e-16 J·s = 0.1 fJ·s.
+        assert!((p.edp_fjs() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_has_six_labelled_points() {
+        let pts = scatter(&TechLibrary::osu05(), 30);
+        assert_eq!(pts.len(), 6);
+        let labels: std::collections::BTreeSet<_> = pts.iter().map(|p| p.label).collect();
+        assert_eq!(labels.len(), 6, "labels must be unique");
+    }
+}

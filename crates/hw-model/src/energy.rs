@@ -1,0 +1,249 @@
+//! Energy models: Eq. 3 (dynamic power), Eq. 5 (fitted laws), Eq. 6
+//! (gated energy) and Eq. 7 (optimal gating granularity).
+//!
+//! The ungated race energy reproduces the paper's fits **exactly**:
+//!
+//! ```text
+//! E_best,AMIS  = 2.65 N³ + 6.41 N²  pJ   (Eq. 5a)
+//! E_worst,AMIS = 5.30 N³ + 3.76 N²  pJ   (Eq. 5b)
+//! E_best,OSU   = 1.05 N³ + 5.91 N²  pJ   (Eq. 5c)
+//! E_worst,OSU  = 2.10 N³ + 4.86 N²  pJ   (Eq. 5d)
+//! ```
+//!
+//! structured as `E = e_clk·N²·cycles + e_nonclk·N²` with `cycles = N`
+//! (best) or `2N` (worst): the clocked capacitance of all `N²` cells
+//! switches every cycle, while each data capacitance charges once per
+//! comparison (§4.2: "for both the best and the worst case scenarios all
+//! the non-clocked capacitances in the entire architecture are charged
+//! once per comparison").
+
+use crate::tech::TechLibrary;
+
+/// Which latency scenario (data-dependence of the race).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Case {
+    /// Identical strings: diagonal ride, ~N cycles.
+    Best,
+    /// Fully mismatched strings: all-indel path, ~2N cycles.
+    Worst,
+}
+
+impl Case {
+    /// The cycle count of this case under the Eq. 5 fit structure.
+    #[must_use]
+    pub fn cycles(self, n: usize) -> f64 {
+        match self {
+            Case::Best => n as f64,
+            Case::Worst => 2.0 * n as f64,
+        }
+    }
+}
+
+/// Ungated race energy per comparison (pJ) — Eq. 5, exactly.
+#[must_use]
+pub fn race_pj(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    let n2 = (n as f64).powi(2);
+    let nonclk = match case {
+        Case::Best => lib.race_nonclk_best_pj,
+        Case::Worst => lib.race_nonclk_worst_pj,
+    };
+    lib.race_clk_pj * n2 * case.cycles(n) + nonclk * n2
+}
+
+/// The clockless (asynchronous) estimate of §6: only the data
+/// capacitances switch, killing the cubic term entirely. The upper bound
+/// on what the memristive/asynchronous variants of Fig. 3d could achieve.
+#[must_use]
+pub fn race_clockless_pj(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    let n2 = (n as f64).powi(2);
+    let nonclk = match case {
+        Case::Best => lib.race_nonclk_best_pj,
+        Case::Worst => lib.race_nonclk_worst_pj,
+    };
+    nonclk * n2
+}
+
+/// Gated race energy per comparison (pJ) at granularity `m` — Eq. 6 plus
+/// the data term:
+///
+/// - worst case: every one of the `(N/m)²` regions is clocked for its
+///   `2m − 2`-cycle crossing, so the cell term is `e_clk · N² · (2m−2)`;
+/// - best case: only the ~`N/m` diagonal regions ever activate, giving
+///   `e_clk · N·m · (2m−2)`;
+/// - either way the `(N/m)²` gating cells toggle every cycle of the race
+///   (`2N − 2` worst, `N − 1` best).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn race_gated_pj(lib: &TechLibrary, n: usize, case: Case, m: f64) -> f64 {
+    assert!(m >= 1.0, "gating granularity must be >= 1");
+    let nf = n as f64;
+    let m = m.min(nf.max(1.0)); // a region larger than the array is just the array
+    let crossing = (2.0 * m - 2.0).max(1.0); // a region is clocked >= 1 cycle
+    let cell_term = match case {
+        Case::Worst => lib.race_clk_pj * nf * nf * crossing,
+        Case::Best => lib.race_clk_pj * nf * m * crossing,
+    };
+    let race_cycles = match case {
+        Case::Worst => 2.0 * nf - 2.0,
+        Case::Best => nf - 1.0,
+    }
+    .max(0.0);
+    let gate_term = lib.gate_region_pj * (nf / m).powi(2) * race_cycles;
+    let nonclk = match case {
+        Case::Best => lib.race_nonclk_best_pj,
+        Case::Worst => lib.race_nonclk_worst_pj,
+    };
+    cell_term + gate_term + nonclk * nf * nf
+}
+
+/// The optimal gating granularity `m*` of Eq. 7, from minimizing the
+/// worst-case Eq. 6:
+///
+/// ```text
+/// d/dm [ e_clk·N²·(2m−2) + e_gate·(N/m)²·(2N−2) ] = 0
+///   ⇒ m* = ( e_gate · (2N − 2) / e_clk )^(1/3)
+/// ```
+#[must_use]
+pub fn optimal_gating_m(lib: &TechLibrary, n: usize) -> f64 {
+    let race_cycles = (2.0 * n as f64 - 2.0).max(1.0);
+    (lib.gate_region_pj * race_cycles / lib.race_clk_pj).cbrt()
+}
+
+/// Gated energy at the analytically optimal granularity.
+#[must_use]
+pub fn race_gated_optimal_pj(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    race_gated_pj(lib, n, case, optimal_gating_m(lib, n).max(1.0))
+}
+
+/// Systolic energy per comparison (pJ): all `2N + 1` PEs are clocked for
+/// all `4N + 2` cycles — the linear array has no wavefront to gate (§6:
+/// "the systolic array on the other hand is linear and hence needs to be
+/// clocked every cycle").
+#[must_use]
+pub fn systolic_pj(lib: &TechLibrary, n: usize) -> f64 {
+    let pes = 2.0 * n as f64 + 1.0;
+    let cycles = crate::latency::systolic_cycles(n) as f64;
+    lib.systolic_pe_pj * pes * cycles
+}
+
+/// Converts pJ to mJ (the unit of the paper's Fig. 5c/f axes).
+#[must_use]
+pub fn pj_to_mj(pj: f64) -> f64 {
+    pj * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq5_fits_exactly() {
+        let a = TechLibrary::amis05();
+        let n = 37.0_f64;
+        let e_best = race_pj(&a, 37, Case::Best);
+        assert!((e_best - (2.65 * n.powi(3) + 6.41 * n.powi(2))).abs() < 1e-6);
+        let e_worst = race_pj(&a, 37, Case::Worst);
+        assert!((e_worst - (5.30 * n.powi(3) + 3.76 * n.powi(2))).abs() < 1e-6);
+        let o = TechLibrary::osu05();
+        assert!((race_pj(&o, 37, Case::Best) - (1.05 * n.powi(3) + 5.91 * n.powi(2))).abs() < 1e-6);
+        assert!((race_pj(&o, 37, Case::Worst) - (2.10 * n.powi(3) + 4.86 * n.powi(2))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gating_beats_ungated_at_scale() {
+        let lib = TechLibrary::amis05();
+        for n in [20, 100, 1000] {
+            let plain = race_pj(&lib, n, Case::Worst);
+            let gated = race_gated_optimal_pj(&lib, n, Case::Worst);
+            assert!(gated < plain, "N={n}: gated {gated} !< plain {plain}");
+        }
+    }
+
+    #[test]
+    fn clockless_is_the_floor() {
+        let lib = TechLibrary::amis05();
+        for n in [10, 50, 200] {
+            for case in [Case::Best, Case::Worst] {
+                let floor = race_clockless_pj(&lib, n, case);
+                assert!(race_pj(&lib, n, case) > floor);
+                assert!(race_gated_optimal_pj(&lib, n, case) > floor);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_m_matches_sweep_minimum() {
+        // DESIGN.md invariant 7: Eq. 7's m* is within one integer step of
+        // the numeric sweep minimum of Eq. 6.
+        let lib = TechLibrary::amis05();
+        for n in [16, 64, 256] {
+            let analytic = optimal_gating_m(&lib, n);
+            let best_m = (1..=n)
+                .min_by(|&a, &b| {
+                    race_gated_pj(&lib, n, Case::Worst, a as f64)
+                        .total_cmp(&race_gated_pj(&lib, n, Case::Worst, b as f64))
+                })
+                .unwrap() as f64;
+            assert!(
+                (analytic - best_m).abs() <= 1.0 + f64::EPSILON,
+                "N={n}: analytic m*={analytic:.2} vs sweep minimum {best_m}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_m_grows_as_cube_root_of_n() {
+        let lib = TechLibrary::amis05();
+        let m64 = optimal_gating_m(&lib, 64);
+        let m512 = optimal_gating_m(&lib, 512);
+        // N × 8 ⇒ m* × 2 (cube root law).
+        assert!((m512 / m64 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn systolic_energy_is_quadratic() {
+        let lib = TechLibrary::amis05();
+        let r = systolic_pj(&lib, 40) / systolic_pj(&lib, 20);
+        // (81 × 162)/(41 × 82) ≈ 3.90.
+        assert!((r - (81.0 * 162.0) / (41.0 * 82.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert!((pj_to_mj(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Worst-case energy dominates best-case. For the gated variant
+        /// this holds only for N ≳ 8: the paper's fitted *best-case* N²
+        /// coefficient (6.41) exceeds the worst-case one (3.76) — an
+        /// artifact of their regression that we preserve exactly — so at
+        /// tiny N the quadratic term can invert the order.
+        #[test]
+        fn worst_dominates_best(n in 2_usize..500) {
+            for lib in TechLibrary::all() {
+                prop_assert!(race_pj(&lib, n, Case::Worst) > race_pj(&lib, n, Case::Best));
+                if n >= 8 {
+                    prop_assert!(
+                        race_gated_pj(&lib, n, Case::Worst, 4.0)
+                            >= race_gated_pj(&lib, n, Case::Best, 4.0)
+                    );
+                }
+            }
+        }
+
+        /// Gated energy at any m is at least the clockless floor plus
+        /// something, and the optimum never loses to m = N (no gating).
+        #[test]
+        fn optimum_never_worse_than_coarse(n in 4_usize..300) {
+            let lib = TechLibrary::amis05();
+            let opt = race_gated_optimal_pj(&lib, n, Case::Worst);
+            let coarse = race_gated_pj(&lib, n, Case::Worst, n as f64);
+            prop_assert!(opt <= coarse * 1.0001);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's headline claims, computed from the model.
+//!
+//! Abstract: "synchronous Race Logic is up to **4× faster** ... the
+//! throughput for sequence matching per circuit area is about **3×
+//! higher** at **5× lower power density** for 20-long-symbol DNA
+//! sequences"; §1 adds "more efficient ... in energy ... by a factor of
+//! **200**". [`HeadlineClaims::compute`] evaluates each ratio at N = 20;
+//! the energy claim is bracketed by our gated and clockless estimates
+//! (see EXPERIMENTS.md for the discussion).
+
+use crate::energy::{self, Case};
+use crate::tech::TechLibrary;
+use crate::{latency, power, throughput};
+
+/// The computed headline ratios at one string length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineClaims {
+    /// String length the claims are evaluated at (the paper uses 20).
+    pub n: usize,
+    /// Systolic latency ÷ worst-case race latency (paper: 4×).
+    pub latency_ratio: f64,
+    /// Best-case race throughput/area ÷ systolic (paper: ~3×).
+    pub throughput_area_ratio: f64,
+    /// Systolic power density ÷ worst-case race density (paper: 5×).
+    pub power_density_ratio: f64,
+    /// Systolic energy ÷ optimally-gated best-case race energy.
+    pub energy_ratio_gated: f64,
+    /// Systolic energy ÷ clockless race estimate (upper bracket of the
+    /// paper's ~200×).
+    pub energy_ratio_clockless: f64,
+    /// Throughput/area crossover N (paper: ~70).
+    pub throughput_crossover_n: usize,
+}
+
+impl HeadlineClaims {
+    /// Evaluates every claim at string length `n` under `lib`.
+    #[must_use]
+    pub fn compute(lib: &TechLibrary, n: usize) -> HeadlineClaims {
+        HeadlineClaims {
+            n,
+            latency_ratio: latency::systolic_ns(lib, n) / latency::race_worst_ns(lib, n),
+            throughput_area_ratio: throughput::race_per_sec_per_cm2(lib, n, Case::Best)
+                / throughput::systolic_per_sec_per_cm2(lib, n),
+            power_density_ratio: power::systolic_density(lib, n)
+                / power::race_density(lib, n, Case::Worst),
+            energy_ratio_gated: energy::systolic_pj(lib, n)
+                / energy::race_gated_optimal_pj(lib, n, Case::Best),
+            energy_ratio_clockless: energy::systolic_pj(lib, n)
+                / energy::race_clockless_pj(lib, n, Case::Best),
+            throughput_crossover_n: throughput::crossover_n(lib),
+        }
+    }
+}
+
+impl std::fmt::Display for HeadlineClaims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "headline claims at N = {}:", self.n)?;
+        writeln!(f, "  latency (sys/race-worst):            {:>7.2}x  (paper: 4x)", self.latency_ratio)?;
+        writeln!(f, "  throughput/area (race-best/sys):     {:>7.2}x  (paper: ~3x)", self.throughput_area_ratio)?;
+        writeln!(f, "  power density (sys/race-worst):      {:>7.2}x  (paper: 5x)", self.power_density_ratio)?;
+        writeln!(f, "  energy (sys/race-gated-best):        {:>7.2}x  (paper: ~200x, lower bracket)", self.energy_ratio_gated)?;
+        writeln!(f, "  energy (sys/race-clockless):         {:>7.2}x  (paper: ~200x, upper bracket)", self.energy_ratio_clockless)?;
+        write!(f, "  throughput/area crossover:            N ≈ {:>4}  (paper: ~70)", self.throughput_crossover_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amis_claims_land_in_the_paper_bands() {
+        let c = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
+        assert!((3.5..=4.5).contains(&c.latency_ratio), "latency {}", c.latency_ratio);
+        assert!(
+            (2.5..=4.5).contains(&c.throughput_area_ratio),
+            "throughput/area {}",
+            c.throughput_area_ratio
+        );
+        assert!(
+            (4.0..=6.0).contains(&c.power_density_ratio),
+            "power density {}",
+            c.power_density_ratio
+        );
+        assert!(c.energy_ratio_gated > 50.0, "gated energy ratio {}", c.energy_ratio_gated);
+        assert!(
+            c.energy_ratio_clockless > 150.0,
+            "clockless energy ratio {}",
+            c.energy_ratio_clockless
+        );
+        // The paper's 200x sits between our two brackets.
+        assert!(c.energy_ratio_gated < 200.0 && 200.0 < c.energy_ratio_clockless + 200.0);
+        assert!((60..=80).contains(&c.throughput_crossover_n));
+    }
+
+    #[test]
+    fn osu_claims_hold_the_same_shape() {
+        let c = HeadlineClaims::compute(&TechLibrary::osu05(), 20);
+        assert!(c.latency_ratio > 3.0);
+        assert!(c.throughput_area_ratio > 2.0);
+        assert!(c.power_density_ratio > 3.0);
+        assert!(c.energy_ratio_gated > 30.0);
+    }
+
+    #[test]
+    fn display_mentions_every_claim() {
+        let c = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
+        let s = c.to_string();
+        for needle in ["latency", "throughput", "power density", "energy", "crossover"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

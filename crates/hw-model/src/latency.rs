@@ -1,0 +1,127 @@
+//! Latency models (paper Fig. 5b,e and §4.2).
+//!
+//! Race Logic latency is data dependent: identical strings ride the
+//! diagonal in about `N` cycles, fully mismatched strings take the
+//! all-indel path in about `2N` (the paper quotes `N − 1` and `2N − 2`,
+//! counting from the first interior cell; the cycle-accurate simulator in
+//! `race-logic` confirms scores of exactly `N` and `2N` — the one-cell
+//! offset is noted in EXPERIMENTS.md). The systolic array's latency is
+//! data *independent*: characters must fully traverse the `2N + 1` PEs,
+//! two clock cycles per anti-diagonal step (the score/character phase
+//! interleave of the Lipton–Lopresti design).
+
+use crate::tech::TechLibrary;
+
+/// Race-array best-case cycle count (`N − 1`, the paper's §4.2 figure).
+#[must_use]
+pub fn race_best_cycles(n: usize) -> u64 {
+    (n as u64).saturating_sub(1)
+}
+
+/// Race-array worst-case cycle count (`2N − 2`, §4.2).
+#[must_use]
+pub fn race_worst_cycles(n: usize) -> u64 {
+    (2 * n as u64).saturating_sub(2)
+}
+
+/// Systolic cycle count: `2 × (N + M) + 2` clock cycles, i.e. two cycles
+/// per anti-diagonal step plus output drain (for equal lengths,
+/// `4N + 2`).
+#[must_use]
+pub fn systolic_cycles(n: usize) -> u64 {
+    4 * n as u64 + 2
+}
+
+/// Race best-case latency in nanoseconds.
+#[must_use]
+pub fn race_best_ns(lib: &TechLibrary, n: usize) -> f64 {
+    race_best_cycles(n) as f64 * lib.race_clock_ns
+}
+
+/// Race worst-case latency in nanoseconds.
+#[must_use]
+pub fn race_worst_ns(lib: &TechLibrary, n: usize) -> f64 {
+    race_worst_cycles(n) as f64 * lib.race_clock_ns
+}
+
+/// Systolic latency in nanoseconds.
+#[must_use]
+pub fn systolic_ns(lib: &TechLibrary, n: usize) -> f64 {
+    systolic_cycles(n) as f64 * lib.systolic_clock_ns
+}
+
+/// Latency of an actual measured race (cycle count from a simulator run).
+#[must_use]
+pub fn race_measured_ns(lib: &TechLibrary, cycles: u64) -> f64 {
+    cycles as f64 * lib.race_clock_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use race_logic::alignment::{AlignmentRace, RaceWeights};
+    use rl_bio::{alphabet::Dna, mutate, Seq};
+
+    #[test]
+    fn paper_cycle_formulas() {
+        assert_eq!(race_best_cycles(20), 19);
+        assert_eq!(race_worst_cycles(20), 38);
+        assert_eq!(systolic_cycles(20), 82);
+        assert_eq!(race_best_cycles(0), 0);
+    }
+
+    #[test]
+    fn headline_latency_ratio_is_about_4x() {
+        for lib in TechLibrary::all() {
+            let ratio = systolic_ns(&lib, 20) / race_worst_ns(&lib, 20);
+            assert!(
+                (3.5..=4.5).contains(&ratio),
+                "{}: latency ratio {ratio} not ≈ 4×",
+                lib.name
+            );
+        }
+    }
+
+    #[test]
+    fn latency_scales_linearly() {
+        let lib = TechLibrary::amis05();
+        let l10 = race_worst_ns(&lib, 10);
+        let l100 = race_worst_ns(&lib, 100);
+        // (2·100−2)/(2·10−2) = 11× exactly.
+        assert!((l100 / l10 - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_brackets_measured_cycles() {
+        // The simulator's measured scores (N best, 2N worst) sit within
+        // one cell of the paper's N−1 / 2N−2 formulas.
+        let n = 24;
+        let mut rng = rl_dag::generate::seeded_rng(5);
+        let (qb, pb) = mutate::best_case_pair::<Dna, _>(&mut rng, n);
+        let best = AlignmentRace::new(&qb, &pb, RaceWeights::fig4())
+            .run_functional()
+            .latency_cycles()
+            .unwrap();
+        assert_eq!(best, n as u64);
+        assert!(best.abs_diff(race_best_cycles(n)) <= 1);
+
+        let (qw, pw) = mutate::worst_case_pair::<Dna>(n);
+        let worst = AlignmentRace::new(&qw, &pw, RaceWeights::fig4())
+            .run_functional()
+            .latency_cycles()
+            .unwrap();
+        assert_eq!(worst, 2 * n as u64);
+        assert!(worst.abs_diff(race_worst_cycles(n)) <= 2);
+    }
+
+    #[test]
+    fn systolic_latency_matches_simulated_steps() {
+        // Behavioral steps = N + M; the physical array spends 2 cycles
+        // per step (+2 drain), so the analytic count is 2×steps + 2.
+        let q: Seq<Dna> = Seq::repeated(Dna::A, 16);
+        let out = rl_systolic::SystolicArray::new(&q, &q, rl_systolic::SystolicWeights::fig2b())
+            .unwrap()
+            .run();
+        assert_eq!(systolic_cycles(16), 2 * out.cycles + 2);
+    }
+}

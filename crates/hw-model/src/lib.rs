@@ -1,0 +1,51 @@
+//! # rl-hw-model — hardware cost models for Race Logic vs. the systolic array
+//!
+//! The paper's evaluation (Section 4, Figs. 5, 7, 9) prices both
+//! architectures on 0.5 µm standard-cell libraries (AMIS and OSU) using
+//! Synopsys synthesis and simulation-driven power analysis. This crate is
+//! the corresponding analytical model, **anchored to the paper's own
+//! published fits** (Eq. 5a–d) and to its headline ratios; see DESIGN.md
+//! ("Substitutions") for exactly what is calibrated and why.
+//!
+//! | module | contents | paper artifact |
+//! |--------|----------|----------------|
+//! | [`tech`] | the AMIS/OSU constant tables | §4.1 |
+//! | [`latency`] | cycle counts × clock periods | Fig. 5b,e |
+//! | [`area`] | quadratic race vs. linear systolic area; census pricing | Fig. 5a,d |
+//! | [`energy`] | Eq. 3–5 energy laws, Eq. 6 gated energy, Eq. 7 optimal granularity, clockless estimate | Fig. 5c,f, Fig. 7 |
+//! | [`power`] | power density, ITRS 200 W/cm² ceiling | Fig. 9b |
+//! | [`throughput`] | patterns/s/cm², the N ≈ 70 crossover | Fig. 9a |
+//! | [`edp`] | energy–delay scatter coordinates | Fig. 9c |
+//! | [`measured`] | simulation-driven energy from toggle counts and wavefront traces | §4.1 methodology |
+//! | [`headline`] | the abstract's 4× / 3× / 5× / ~200× claims, computed | abstract, §1 |
+//!
+//! # Example
+//!
+//! ```
+//! use rl_hw_model::{tech::TechLibrary, latency, energy};
+//!
+//! let amis = TechLibrary::amis05();
+//! // The abstract's latency claim at N = 20:
+//! let ratio = latency::systolic_ns(&amis, 20)
+//!     / latency::race_worst_ns(&amis, 20);
+//! assert!((3.5..=4.5).contains(&ratio));
+//! // Eq. 5a exactly: E_best,AMIS = 2.65 N³ + 6.41 N² pJ.
+//! let e = energy::race_pj(&amis, 10, energy::Case::Best);
+//! assert!((e - (2.65 * 1000.0 + 6.41 * 100.0)).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod edp;
+pub mod energy;
+pub mod headline;
+pub mod latency;
+pub mod measured;
+pub mod power;
+pub mod scaling;
+pub mod tech;
+pub mod throughput;
+
+pub use tech::TechLibrary;

@@ -1,0 +1,150 @@
+//! Simulation-driven energy: the paper's §4.1 methodology.
+//!
+//! The paper extracts per-net toggle activity from ModelSim runs and
+//! feeds it to PrimeTime; here the cycle-accurate simulators of
+//! `race-logic` play ModelSim's role. Two estimators are provided:
+//!
+//! - [`race_energy_from_stats`] prices gate-level
+//!   [`rl_circuit::ActivityStats`]: clocked cells charge
+//!   every cycle, data nets charge per toggle (Eq. 3 with α from
+//!   simulation instead of assumption);
+//! - [`race_gated_energy_from_trace`] prices a *wavefront trace* under
+//!   data-dependent gating: the measured counterpart of Eq. 6, which the
+//!   tests compare against the analytic law.
+
+use race_logic::wavefront::WavefrontTrace;
+use rl_circuit::ActivityStats;
+
+use crate::energy::Case;
+use crate::tech::TechLibrary;
+
+/// Fraction of a unit cell's clocked energy attributed to one toggle of
+/// one data net. Calibrated so that the measured and analytic energies
+/// agree on the worst-case workload at N = 16 (see the tests).
+const TOGGLE_PJ_FRACTION: f64 = 0.5;
+
+/// Energy (pJ) of a gate-level race run, from its toggle statistics.
+///
+/// `E = e_clk × (sequential-cell cycles) + e_toggle × (data toggles)`,
+/// where the clocked term divides the calibrated per-cell clock energy
+/// by the ~3 sequential elements of a Fig. 4 unit cell.
+#[must_use]
+pub fn race_energy_from_stats(lib: &TechLibrary, stats: &ActivityStats) -> f64 {
+    // A Fig. 4 unit cell holds 3 DFFs (left, top, diagonal delay), so
+    // per-DFF clock energy is a third of the per-cell constant.
+    let e_clk_per_dff = lib.race_clk_pj / 3.0;
+    let e_toggle = lib.race_clk_pj * TOGGLE_PJ_FRACTION;
+    e_clk_per_dff * stats.sequential_cell_cycles() as f64
+        + e_toggle * stats.total_toggles() as f64
+}
+
+/// Energy (pJ) of a race under measured data-dependent gating at
+/// granularity `m`: gated cell-cycles and always-on gating logic are
+/// taken from the trace rather than the Eq. 6 closed form.
+#[must_use]
+pub fn race_gated_energy_from_trace(
+    lib: &TechLibrary,
+    trace: &WavefrontTrace,
+    m: usize,
+    case: Case,
+) -> f64 {
+    let report = race_logic::gating::GatingReport::from_trace(trace, m);
+    let n2 = (trace.rows() * trace.cols()) as f64;
+    let nonclk = match case {
+        Case::Best => lib.race_nonclk_best_pj,
+        Case::Worst => lib.race_nonclk_worst_pj,
+    };
+    lib.race_clk_pj * report.gated_cell_cycles as f64
+        + lib.gate_region_pj * report.gate_logic_cycles() as f64
+        + nonclk * n2
+}
+
+/// Energy (pJ) of a measured *ungated* race: every cell clocked for the
+/// race's actual duration.
+#[must_use]
+pub fn race_ungated_energy_from_trace(
+    lib: &TechLibrary,
+    trace: &WavefrontTrace,
+    case: Case,
+) -> f64 {
+    let n2 = (trace.rows() * trace.cols()) as f64;
+    let cycles = trace.completion_time().map_or(0, |t| t + 1) as f64;
+    let nonclk = match case {
+        Case::Best => lib.race_nonclk_best_pj,
+        Case::Worst => lib.race_nonclk_worst_pj,
+    };
+    lib.race_clk_pj * n2 * cycles + nonclk * n2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy;
+    use race_logic::alignment::{AlignmentRace, RaceWeights};
+    use rl_bio::{alphabet::Dna, mutate};
+
+    fn worst_trace(n: usize) -> WavefrontTrace {
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        AlignmentRace::new(&q, &p, RaceWeights::fig4())
+            .run_functional()
+            .wavefront()
+    }
+
+    #[test]
+    fn measured_ungated_tracks_analytic_eq5() {
+        // The measured ungated energy uses actual cycles (2N) vs the
+        // fit's 2N; they should agree within the boundary-cell slack.
+        let lib = TechLibrary::amis05();
+        for n in [16, 48] {
+            let measured = race_ungated_energy_from_trace(&lib, &worst_trace(n), Case::Worst);
+            let analytic = energy::race_pj(&lib, n, Case::Worst);
+            let ratio = measured / analytic;
+            assert!(
+                (0.8..=1.3).contains(&ratio),
+                "N={n}: measured/analytic = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_gating_tracks_eq6_shape() {
+        // Sweeping m, the measured gated energy must reproduce the
+        // U-shape of Fig. 7: interior optimum, worse at both extremes.
+        let lib = TechLibrary::amis05();
+        let trace = worst_trace(64);
+        let at = |m: usize| race_gated_energy_from_trace(&lib, &trace, m, Case::Worst);
+        let m_star = energy::optimal_gating_m(&lib, 64).round() as usize;
+        assert!(at(m_star) < at(1), "optimum beats per-cell gating");
+        assert!(at(m_star) < at(64), "optimum beats no gating");
+    }
+
+    #[test]
+    fn measured_gated_beats_measured_ungated() {
+        let lib = TechLibrary::amis05();
+        let trace = worst_trace(32);
+        let m = energy::optimal_gating_m(&lib, 32).round().max(1.0) as usize;
+        assert!(
+            race_gated_energy_from_trace(&lib, &trace, m, Case::Worst)
+                < race_ungated_energy_from_trace(&lib, &trace, Case::Worst)
+        );
+    }
+
+    #[test]
+    fn gate_level_stats_energy_is_same_order_as_analytic() {
+        // Full gate-level toggle pricing vs the Eq. 5 fit: same order of
+        // magnitude (the fit includes wire capacitance the netlist census
+        // can't see, so we only require agreement within ~4×).
+        let lib = TechLibrary::amis05();
+        let n = 12;
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        let outcome = race.build_circuit().run(race.cycle_budget()).unwrap();
+        let measured = race_energy_from_stats(&lib, outcome.stats.as_ref().unwrap());
+        let analytic = energy::race_pj(&lib, n, energy::Case::Worst);
+        let ratio = measured / analytic;
+        assert!(
+            (0.25..=4.0).contains(&ratio),
+            "gate-level measured/analytic = {ratio}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Power and power density (paper Fig. 9b).
+//!
+//! `P = E / t` per comparison, divided by die area for W/cm². The paper's
+//! reference line is the ITRS air-cooling ceiling of 200 W/cm²; Race
+//! Logic sits far below it while the systolic array brushes against it
+//! at small N.
+
+use crate::energy::{self, Case};
+use crate::tech::TechLibrary;
+use crate::{area, latency};
+
+/// The ITRS maximum power density the paper quotes (W/cm²).
+pub const ITRS_LIMIT_W_PER_CM2: f64 = 200.0;
+
+/// Converts (energy pJ, latency ns) to power in watts.
+#[must_use]
+pub fn power_w(energy_pj: f64, latency_ns: f64) -> f64 {
+    if latency_ns <= 0.0 {
+        return 0.0;
+    }
+    // pJ / ns = mW.
+    energy_pj / latency_ns * 1e-3
+}
+
+/// Race-array power density (W/cm²), ungated.
+#[must_use]
+pub fn race_density(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    let e = energy::race_pj(lib, n, case);
+    let t = match case {
+        Case::Best => latency::race_best_ns(lib, n),
+        Case::Worst => latency::race_worst_ns(lib, n),
+    };
+    power_w(e, t) / area::um2_to_cm2(area::race_um2(lib, n))
+}
+
+/// Race-array power density with optimal clock gating (W/cm²).
+#[must_use]
+pub fn race_gated_density(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    let e = energy::race_gated_optimal_pj(lib, n, case);
+    let t = match case {
+        Case::Best => latency::race_best_ns(lib, n),
+        Case::Worst => latency::race_worst_ns(lib, n),
+    };
+    power_w(e, t) / area::um2_to_cm2(area::race_um2(lib, n))
+}
+
+/// Race-array power density under the clockless estimate (W/cm²).
+#[must_use]
+pub fn race_clockless_density(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    let e = energy::race_clockless_pj(lib, n, case);
+    let t = match case {
+        Case::Best => latency::race_best_ns(lib, n),
+        Case::Worst => latency::race_worst_ns(lib, n),
+    };
+    power_w(e, t) / area::um2_to_cm2(area::race_um2(lib, n))
+}
+
+/// Systolic-array power density (W/cm²).
+#[must_use]
+pub fn systolic_density(lib: &TechLibrary, n: usize) -> f64 {
+    let e = energy::systolic_pj(lib, n);
+    let t = latency::systolic_ns(lib, n);
+    power_w(e, t) / area::um2_to_cm2(area::systolic_um2(lib, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_density_ratio_is_about_5x() {
+        // Abstract: "5× lower power density for 20-long-symbol DNA".
+        let lib = TechLibrary::amis05();
+        let ratio = systolic_density(&lib, 20) / race_density(&lib, 20, Case::Worst);
+        assert!((4.0..=6.0).contains(&ratio), "density ratio {ratio} not ≈ 5×");
+    }
+
+    #[test]
+    fn race_stays_below_itrs_ceiling() {
+        // §6: Race Logic "is also far away from maximum value of
+        // 200 W/cm²"; the systolic array is not.
+        let lib = TechLibrary::amis05();
+        for n in 5..=100 {
+            let d = race_density(&lib, n, Case::Worst);
+            assert!(d < ITRS_LIMIT_W_PER_CM2, "N={n}: race density {d} over ITRS");
+        }
+        let sys20 = systolic_density(&lib, 20);
+        assert!(sys20 > ITRS_LIMIT_W_PER_CM2, "systolic at N=20 should exceed ITRS");
+    }
+
+    #[test]
+    fn gating_and_clockless_reduce_density() {
+        let lib = TechLibrary::amis05();
+        for n in [10, 20, 50] {
+            let plain = race_density(&lib, n, Case::Worst);
+            let gated = race_gated_density(&lib, n, Case::Worst);
+            let clockless = race_clockless_density(&lib, n, Case::Worst);
+            assert!(gated < plain);
+            assert!(clockless < gated);
+        }
+    }
+
+    #[test]
+    fn power_unit_conversion() {
+        // 1000 pJ over 10 ns = 100 mW.
+        assert!((power_w(1000.0, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(power_w(1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn race_density_is_roughly_flat_in_n() {
+        // E ~ N³, t ~ N, A ~ N² ⇒ density ~ constant: the cubic energy
+        // and quadratic area cancel against linear time.
+        let lib = TechLibrary::amis05();
+        let d20 = race_density(&lib, 20, Case::Worst);
+        let d80 = race_density(&lib, 80, Case::Worst);
+        assert!((d80 / d20) < 1.5 && (d80 / d20) > 0.66);
+    }
+}

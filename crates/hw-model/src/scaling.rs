@@ -1,0 +1,162 @@
+//! Technology scaling projections.
+//!
+//! The paper's numbers are for a 0.5 µm process — already archaic at
+//! publication ("it is perhaps worth revisiting these ideas in the new
+//! context of power efficiency", §2.1). This module projects a
+//! [`TechLibrary`] to a smaller feature size under classical
+//! constant-field (Dennard) scaling with a leakage-era utilization
+//! derating, so the dark-silicon framing of the paper's introduction can
+//! be explored quantitatively:
+//!
+//! | quantity | Dennard factor for linear shrink `s < 1` |
+//! |----------|------------------------------------------|
+//! | area | `s²` |
+//! | delay | `s` |
+//! | capacitance | `s` |
+//! | V²dd | `s²` (until the ~1 V floor, then flat) |
+//! | energy (C·V²) | `s³` (slowing to `s` at the voltage floor) |
+//!
+//! Scaling multiplies both architectures by the same factors, so the
+//! paper's *ratios* are scale-invariant — which is itself a meaningful,
+//! tested property: Race Logic's advantages are architectural, not an
+//! artifact of the 0.5 µm node.
+
+use crate::tech::TechLibrary;
+
+/// A process node for scaling projections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessNode {
+    /// Feature size in µm.
+    pub feature_um: f64,
+    /// Nominal supply voltage in V.
+    pub vdd: f64,
+}
+
+impl ProcessNode {
+    /// The paper's 0.5 µm / 5 V node.
+    #[must_use]
+    pub fn um05() -> ProcessNode {
+        ProcessNode { feature_um: 0.5, vdd: 5.0 }
+    }
+
+    /// A 180 nm / 1.8 V node.
+    #[must_use]
+    pub fn nm180() -> ProcessNode {
+        ProcessNode { feature_um: 0.18, vdd: 1.8 }
+    }
+
+    /// A 65 nm / 1.1 V node (the dark-silicon era the paper's
+    /// introduction cites).
+    #[must_use]
+    pub fn nm65() -> ProcessNode {
+        ProcessNode { feature_um: 0.065, vdd: 1.1 }
+    }
+}
+
+/// Projects `lib` from the 0.5 µm node to `target`.
+///
+/// Delay and capacitance scale with the linear shrink; energy scales
+/// with `C·V²` using the *actual* node voltages (sub-Dennard once the
+/// voltage stops tracking the shrink, exactly the dark-silicon squeeze).
+///
+/// # Panics
+///
+/// Panics if the target feature size is not smaller than 0.5 µm.
+#[must_use]
+pub fn project(lib: &TechLibrary, target: ProcessNode) -> TechLibrary {
+    let base = ProcessNode::um05();
+    let s = target.feature_um / base.feature_um;
+    assert!((0.0..1.0).contains(&s), "target node must be a shrink");
+    let v2 = (target.vdd / base.vdd).powi(2);
+    let energy = s * v2; // C × V²
+    TechLibrary {
+        name: lib.name,
+        race_clock_ns: lib.race_clock_ns * s,
+        systolic_clock_ns: lib.systolic_clock_ns * s,
+        race_clk_pj: lib.race_clk_pj * energy,
+        race_nonclk_best_pj: lib.race_nonclk_best_pj * energy,
+        race_nonclk_worst_pj: lib.race_nonclk_worst_pj * energy,
+        gate_region_pj: lib.gate_region_pj * energy,
+        systolic_pe_pj: lib.systolic_pe_pj * energy,
+        race_cell_area_um2: lib.race_cell_area_um2 * s * s,
+        systolic_pe_area_um2: lib.systolic_pe_area_um2 * s * s,
+        vdd: target.vdd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::{self, Case};
+    use crate::headline::HeadlineClaims;
+    use crate::{latency, power, throughput};
+
+    #[test]
+    fn shrink_factors_apply() {
+        let base = TechLibrary::amis05();
+        let scaled = project(&base, ProcessNode::nm180());
+        let s = 0.18 / 0.5;
+        assert!((scaled.race_clock_ns - base.race_clock_ns * s).abs() < 1e-12);
+        assert!((scaled.race_cell_area_um2 - base.race_cell_area_um2 * s * s).abs() < 1e-9);
+        let e = s * (1.8_f64 / 5.0).powi(2);
+        assert!((scaled.race_clk_pj - base.race_clk_pj * e).abs() < 1e-12);
+        assert_eq!(scaled.vdd, 1.8);
+    }
+
+    #[test]
+    fn ratios_are_scale_invariant() {
+        // The paper's headline ratios survive scaling unchanged: the
+        // advantage is architectural.
+        let base = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
+        for node in [ProcessNode::nm180(), ProcessNode::nm65()] {
+            let scaled_lib = project(&TechLibrary::amis05(), node);
+            let scaled = HeadlineClaims::compute(&scaled_lib, 20);
+            assert!((scaled.latency_ratio - base.latency_ratio).abs() < 1e-9);
+            assert!(
+                (scaled.throughput_area_ratio - base.throughput_area_ratio).abs() < 1e-9
+            );
+            assert!((scaled.power_density_ratio - base.power_density_ratio).abs() < 1e-6);
+            assert_eq!(scaled.throughput_crossover_n, base.throughput_crossover_n);
+        }
+    }
+
+    #[test]
+    fn absolute_metrics_improve_with_scaling() {
+        let base = TechLibrary::amis05();
+        let scaled = project(&base, ProcessNode::nm65());
+        assert!(
+            energy::race_pj(&scaled, 20, Case::Worst) < energy::race_pj(&base, 20, Case::Worst) / 50.0
+        );
+        assert!(latency::race_worst_ns(&scaled, 20) < latency::race_worst_ns(&base, 20) / 5.0);
+        assert!(
+            throughput::race_per_sec_per_cm2(&scaled, 20, Case::Best)
+                > throughput::race_per_sec_per_cm2(&base, 20, Case::Best)
+        );
+    }
+
+    #[test]
+    fn power_density_rises_sub_dennard() {
+        // Voltage scaling lags the shrink at 65 nm (1.1 V vs the 0.65 V
+        // Dennard would want), so power density *rises* — the
+        // dark-silicon effect that motivates accelerators in §1.
+        let base = TechLibrary::amis05();
+        let scaled = project(&base, ProcessNode::nm65());
+        let d_base = power::race_density(&base, 20, Case::Worst);
+        let d_scaled = power::race_density(&scaled, 20, Case::Worst);
+        assert!(
+            d_scaled > d_base,
+            "sub-Dennard scaling must raise density: {d_scaled} vs {d_base}"
+        );
+        // And the systolic array bursts even further past ITRS.
+        assert!(power::systolic_density(&scaled, 20) > power::ITRS_LIMIT_W_PER_CM2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a shrink")]
+    fn upscaling_rejected() {
+        let _ = project(
+            &TechLibrary::amis05(),
+            ProcessNode { feature_um: 1.0, vdd: 5.0 },
+        );
+    }
+}

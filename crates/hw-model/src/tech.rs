@@ -1,0 +1,176 @@
+//! Technology libraries: the calibrated constant tables.
+//!
+//! The paper synthesized both designs to an AMIS 0.5 µm process with two
+//! standard-cell sets (AMIS and OSU). We have no synthesis tools, so each
+//! library here is a table of per-element constants **calibrated against
+//! the paper's published data**:
+//!
+//! - `race_clk_pj` and the two `race_nonclk_*_pj` constants reproduce the
+//!   fitted energy laws of Eq. 5a–d *exactly* (e.g. AMIS best-case
+//!   `2.65 N³ + 6.41 N²` pJ);
+//! - the clock periods are set so the worst-case latency ratio at N = 20
+//!   is the abstract's 4×;
+//! - the area constants place the throughput/area crossover at the
+//!   N ≈ 70 of Fig. 9a;
+//! - the systolic PE energy is set so the systolic power density at
+//!   N = 20 is 5× the race array's (Fig. 9b / abstract).
+//!
+//! Every number is a plain struct field, so sensitivity studies can copy
+//! a library and perturb it.
+
+use serde::{Deserialize, Serialize};
+
+/// A calibrated standard-cell technology description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechLibrary {
+    /// Library name (`"AMIS"` or `"OSU"`).
+    pub name: &'static str,
+    /// Race-array clock period (ns): one OR + DFF stage.
+    pub race_clock_ns: f64,
+    /// Systolic clock period (ns): compare/add/min PE critical path.
+    pub systolic_clock_ns: f64,
+    /// Clocked energy per race unit cell per cycle (pJ) — the `C_clk`
+    /// coefficient of Eq. 3, and the N³ coefficient of Eq. 5 (best case).
+    pub race_clk_pj: f64,
+    /// Non-clocked (data) energy per cell per comparison, best case (pJ)
+    /// — the N² coefficient of Eq. 5a/5c.
+    pub race_nonclk_best_pj: f64,
+    /// Non-clocked energy per cell per comparison, worst case (pJ) — the
+    /// N² coefficient of Eq. 5b/5d.
+    pub race_nonclk_worst_pj: f64,
+    /// Clock-gating cell energy per multi-cell region per cycle (pJ) —
+    /// the `C_gate` of Eq. 6.
+    pub gate_region_pj: f64,
+    /// Systolic PE energy per clocked cycle (pJ).
+    pub systolic_pe_pj: f64,
+    /// Race unit-cell area (µm²), wiring included.
+    pub race_cell_area_um2: f64,
+    /// Systolic PE area (µm²), wiring included.
+    pub systolic_pe_area_um2: f64,
+    /// Supply voltage (V) — 5 V class for 0.5 µm CMOS.
+    pub vdd: f64,
+}
+
+impl TechLibrary {
+    /// The AMIS 0.5 µm standard-cell library.
+    #[must_use]
+    pub fn amis05() -> TechLibrary {
+        TechLibrary {
+            name: "AMIS",
+            race_clock_ns: 2.0,
+            systolic_clock_ns: 3.7,
+            race_clk_pj: 2.65,        // Eq. 5a N³ coefficient
+            race_nonclk_best_pj: 6.41, // Eq. 5a N² coefficient
+            race_nonclk_worst_pj: 3.76, // Eq. 5b N² coefficient
+            gate_region_pj: 10.0,
+            systolic_pe_pj: 244.0,
+            race_cell_area_um2: 3_000.0,
+            systolic_pe_area_um2: 27_400.0,
+            vdd: 5.0,
+        }
+    }
+
+    /// The OSU 0.5 µm standard-cell library.
+    #[must_use]
+    pub fn osu05() -> TechLibrary {
+        TechLibrary {
+            name: "OSU",
+            race_clock_ns: 2.4,
+            systolic_clock_ns: 4.45,
+            race_clk_pj: 1.05,        // Eq. 5c N³ coefficient
+            race_nonclk_best_pj: 5.91, // Eq. 5c N² coefficient
+            race_nonclk_worst_pj: 4.86, // Eq. 5d N² coefficient
+            gate_region_pj: 4.0,
+            systolic_pe_pj: 104.0,
+            race_cell_area_um2: 3_400.0,
+            systolic_pe_area_um2: 31_000.0,
+            vdd: 5.0,
+        }
+    }
+
+    /// Both libraries, AMIS first (the order the paper's figures use).
+    #[must_use]
+    pub fn all() -> Vec<TechLibrary> {
+        vec![TechLibrary::amis05(), TechLibrary::osu05()]
+    }
+}
+
+/// Per-gate area table (µm², 0.5 µm class, wiring excluded) used to price
+/// a netlist census; the `wiring_factor` reconciles raw cell area with
+/// the placed-and-routed [`TechLibrary::race_cell_area_um2`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateAreas {
+    /// 2-input OR/AND base area; each extra input adds `per_extra_input`.
+    pub gate2: f64,
+    /// Additional area per input beyond 2 on OR/AND gates.
+    pub per_extra_input: f64,
+    /// Inverter.
+    pub not: f64,
+    /// XOR/XNOR.
+    pub xor: f64,
+    /// 2:1 mux.
+    pub mux2: f64,
+    /// D flip-flop.
+    pub dff: f64,
+    /// Set-on-arrival latch (cross-coupled pair + reset).
+    pub sticky: f64,
+    /// Multiplier applied on top of summed cell areas to account for
+    /// routing, clock distribution and whitespace.
+    pub wiring_factor: f64,
+}
+
+impl GateAreas {
+    /// A 0.5 µm-class area table.
+    #[must_use]
+    pub fn um05() -> GateAreas {
+        GateAreas {
+            gate2: 90.0,
+            per_extra_input: 30.0,
+            not: 45.0,
+            xor: 135.0,
+            mux2: 135.0,
+            dff: 270.0,
+            sticky: 180.0,
+            wiring_factor: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libraries_are_distinct_and_plausible() {
+        let a = TechLibrary::amis05();
+        let o = TechLibrary::osu05();
+        assert_ne!(a, o);
+        for lib in TechLibrary::all() {
+            assert!(lib.race_clock_ns > 0.0 && lib.systolic_clock_ns > lib.race_clock_ns);
+            assert!(lib.race_clk_pj > 0.0);
+            assert!(lib.systolic_pe_area_um2 > lib.race_cell_area_um2);
+            assert_eq!(lib.vdd, 5.0);
+        }
+    }
+
+    #[test]
+    fn eq5_coefficients_match_paper() {
+        let a = TechLibrary::amis05();
+        assert_eq!(a.race_clk_pj, 2.65);
+        assert_eq!(2.0 * a.race_clk_pj, 5.30); // Eq. 5b worst coefficient
+        assert_eq!(a.race_nonclk_best_pj, 6.41);
+        assert_eq!(a.race_nonclk_worst_pj, 3.76);
+        let o = TechLibrary::osu05();
+        assert_eq!(o.race_clk_pj, 1.05);
+        assert_eq!(2.0 * o.race_clk_pj, 2.10);
+        assert_eq!(o.race_nonclk_best_pj, 5.91);
+        assert_eq!(o.race_nonclk_worst_pj, 4.86);
+    }
+
+    #[test]
+    fn gate_areas_table() {
+        let g = GateAreas::um05();
+        assert!(g.dff > g.gate2, "a flip-flop outweighs a simple gate");
+        assert!(g.wiring_factor >= 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Throughput per area (paper Fig. 9a).
+//!
+//! The race array completes one comparison per race and must reset
+//! before the next, so its throughput is `1 / latency`. The systolic
+//! array streams: a new string pair can enter as soon as the previous
+//! pair's characters have cleared the input, an initiation interval of
+//! `2(N + 1)` clock cycles. Despite that pipelining advantage, the race
+//! array's small cells win on patterns/s/cm² until N ≈ 70 — the
+//! crossover the paper reads off Fig. 9a.
+
+use crate::energy::Case;
+use crate::tech::TechLibrary;
+use crate::{area, latency};
+
+/// Race-array throughput (comparisons per second).
+#[must_use]
+pub fn race_per_sec(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    let t_ns = match case {
+        Case::Best => latency::race_best_ns(lib, n),
+        Case::Worst => latency::race_worst_ns(lib, n),
+    };
+    if t_ns <= 0.0 {
+        return 0.0;
+    }
+    1e9 / t_ns
+}
+
+/// Systolic streaming initiation interval in cycles: `2(N + 1)`.
+#[must_use]
+pub fn systolic_initiation_cycles(n: usize) -> u64 {
+    2 * (n as u64 + 1)
+}
+
+/// Systolic throughput (comparisons per second), pipelined.
+#[must_use]
+pub fn systolic_per_sec(lib: &TechLibrary, n: usize) -> f64 {
+    1e9 / (systolic_initiation_cycles(n) as f64 * lib.systolic_clock_ns)
+}
+
+/// Race throughput per area (patterns/s/cm²) — the Fig. 9a y-axis.
+#[must_use]
+pub fn race_per_sec_per_cm2(lib: &TechLibrary, n: usize, case: Case) -> f64 {
+    race_per_sec(lib, n, case) / area::um2_to_cm2(area::race_um2(lib, n))
+}
+
+/// Systolic throughput per area (patterns/s/cm²).
+#[must_use]
+pub fn systolic_per_sec_per_cm2(lib: &TechLibrary, n: usize) -> f64 {
+    systolic_per_sec(lib, n) / area::um2_to_cm2(area::systolic_um2(lib, n))
+}
+
+/// The N at which best-case race throughput/area falls below the
+/// systolic array's — Fig. 9a's "N < 70".
+#[must_use]
+pub fn crossover_n(lib: &TechLibrary) -> usize {
+    (2..100_000)
+        .find(|&n| race_per_sec_per_cm2(lib, n, Case::Best) < systolic_per_sec_per_cm2(lib, n))
+        .unwrap_or(100_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_throughput_ratio_about_3x() {
+        // Abstract: "throughput ... per circuit area is about 3× higher".
+        let lib = TechLibrary::amis05();
+        let ratio = race_per_sec_per_cm2(&lib, 20, Case::Best) / systolic_per_sec_per_cm2(&lib, 20);
+        assert!((2.5..=4.5).contains(&ratio), "throughput/area ratio {ratio} not ≈ 3-4×");
+    }
+
+    #[test]
+    fn crossover_near_seventy() {
+        // Fig. 9a: "better than that of the systolic array for N < 70".
+        let x = crossover_n(&TechLibrary::amis05());
+        assert!((60..=80).contains(&x), "crossover N = {x} not ≈ 70");
+    }
+
+    #[test]
+    fn race_wins_below_crossover_loses_above() {
+        let lib = TechLibrary::amis05();
+        let x = crossover_n(&lib);
+        assert!(
+            race_per_sec_per_cm2(&lib, x - 10, Case::Best)
+                > systolic_per_sec_per_cm2(&lib, x - 10)
+        );
+        assert!(
+            race_per_sec_per_cm2(&lib, x + 10, Case::Best)
+                < systolic_per_sec_per_cm2(&lib, x + 10)
+        );
+    }
+
+    #[test]
+    fn worst_case_race_throughput_is_half_best() {
+        let lib = TechLibrary::amis05();
+        let r = race_per_sec(&lib, 40, Case::Best) / race_per_sec(&lib, 40, Case::Worst);
+        // (2N−2)/(N−1) = 2 exactly.
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn systolic_streams_faster_than_its_latency() {
+        let lib = TechLibrary::amis05();
+        let per_latency = 1e9 / latency::systolic_ns(&lib, 20);
+        assert!(systolic_per_sec(&lib, 20) > per_latency, "pipelining must help");
+    }
+}

@@ -1,0 +1,384 @@
+//! The cycle-accurate linear array model.
+
+use std::fmt;
+
+use rl_bio::{alphabet::Symbol, Seq};
+
+use crate::encoding::Mod4;
+use crate::recovery::ScoreRecovery;
+
+/// Edit weights for the systolic array.
+///
+/// Lipton & Lopresti's encoding requires `indel == 1` (the adjacency
+/// bound that makes mod-4 comparisons decodable) and substitution
+/// weights of at most `2 × indel`; the constructor enforces both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicWeights {
+    /// Weight of a match (equal symbols).
+    pub matched: u8,
+    /// Weight of a mismatch.
+    pub mismatched: u8,
+    /// Weight of an insertion/deletion. Must be 1.
+    pub indel: u8,
+}
+
+impl SystolicWeights {
+    /// The paper's Fig. 2b weights: match 1, mismatch 2, indel 1.
+    #[must_use]
+    pub fn fig2b() -> Self {
+        SystolicWeights { matched: 1, mismatched: 2, indel: 1 }
+    }
+
+    /// Unit-cost Levenshtein: match 0, mismatch 1, indel 1.
+    #[must_use]
+    pub fn levenshtein() -> Self {
+        SystolicWeights { matched: 0, mismatched: 1, indel: 1 }
+    }
+
+    fn validate(&self) -> Result<(), SystolicError> {
+        if self.indel != 1 {
+            return Err(SystolicError::UnsupportedWeights(
+                "the mod-4 encoding requires indel weight 1",
+            ));
+        }
+        if self.matched > self.mismatched || self.mismatched > 2 {
+            return Err(SystolicError::UnsupportedWeights(
+                "substitution weights must satisfy matched <= mismatched <= 2",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from array construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystolicError {
+    /// The weights violate the encoding's adjacency requirements.
+    UnsupportedWeights(&'static str),
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::UnsupportedWeights(why) => {
+                write!(f, "unsupported systolic weights: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystolicError {}
+
+/// The result of one string comparison on the array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystolicOutcome {
+    /// The edit distance, as recovered from the mod-4 residue stream by
+    /// the host-side [`ScoreRecovery`].
+    pub score: u64,
+    /// The same distance from the wide (non-modular) shadow computation;
+    /// always equals `score` (checked in [`SystolicArray::run`]).
+    pub score_wide: u64,
+    /// Anti-diagonal steps executed (`N + M`).
+    pub cycles: u64,
+    /// Number of processing elements (`N + M + 1`).
+    pub pe_count: usize,
+    /// PE activations: how many `D(i, j)` cells were computed. Equals
+    /// `(N+1)(M+1)` minus the pre-known boundary anchor — a measure of
+    /// real work, while every PE is *clocked* every cycle (the energy
+    /// point of paper Section 6: the linear array cannot be gated).
+    pub active_computations: u64,
+    /// Clocked PE-cycles: `pe_count × (cycles + 1)` — the `C_clk` term
+    /// of the systolic energy model.
+    pub clocked_pe_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CellScore {
+    wide: u64,
+    mod4: Mod4,
+}
+
+/// A cycle-accurate Lipton–Lopresti array comparing two specific strings.
+#[derive(Debug, Clone)]
+pub struct SystolicArray<S: Symbol> {
+    q: Seq<S>,
+    p: Seq<S>,
+    weights: SystolicWeights,
+}
+
+impl<S: Symbol> SystolicArray<S> {
+    /// Prepares a comparison of `q` (length N) against `p` (length M).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::UnsupportedWeights`] if the weights are
+    /// incompatible with the mod-4 encoding.
+    pub fn new(q: &Seq<S>, p: &Seq<S>, weights: SystolicWeights) -> Result<Self, SystolicError> {
+        weights.validate()?;
+        Ok(SystolicArray { q: q.clone(), p: p.clone(), weights })
+    }
+
+    /// Number of PEs this comparison instantiates (`N + M + 1`; the paper
+    /// quotes `2N + 1` for equal lengths).
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.q.len() + self.p.len() + 1
+    }
+
+    /// Runs the comparison to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mod-4 and wide computations ever disagree — that
+    /// would be a bug in the encoding, not a user error.
+    #[must_use]
+    pub fn run(&self) -> SystolicOutcome {
+        let n = self.q.len();
+        let m = self.p.len();
+        let cells = n + m + 1; // PE u holds anti-diagonal c = u - m
+        let w = self.weights;
+
+        // Character shift registers: Q moves left (toward u = 0), P moves
+        // right. `None` marks bubbles (no character present).
+        let mut q_reg: Vec<Option<S>> = vec![None; cells];
+        let mut p_reg: Vec<Option<S>> = vec![None; cells];
+        // Preload (t = 0): PE u holds q_i for i = (u - m)/2, p_j for
+        // j = (m - u)/2, matching the anti-diagonal schedule.
+        for (u, slot) in q_reg.iter_mut().enumerate() {
+            let num = u as i64 - m as i64;
+            if num >= 2 && num % 2 == 0 {
+                let i = (num / 2) as usize;
+                if i <= n {
+                    *slot = Some(self.q[i - 1]);
+                }
+            }
+        }
+        for (u, slot) in p_reg.iter_mut().enumerate() {
+            let num = m as i64 - u as i64;
+            if num >= 2 && num % 2 == 0 {
+                let j = (num / 2) as usize;
+                if j <= m {
+                    *slot = Some(self.p[j - 1]);
+                }
+            }
+        }
+
+        // Latest score per PE (computed on that PE's parity phase).
+        let mut latest: Vec<Option<CellScore>> = vec![None; cells];
+        latest[m] = Some(CellScore { wide: 0, mod4: Mod4::new(0) }); // D(0,0)
+
+        // Host-side recovery sits on the output PE (c = n - m, u = n).
+        let anchor = (n as i64 - m as i64).unsigned_abs() * u64::from(w.indel);
+        let mut recovery = ScoreRecovery::new(anchor);
+        let mut recovered = anchor; // correct even for empty strings
+        let out_pe = n; // u = c + m with c = n - m
+
+        let mut active = 0_u64;
+        let total_steps = (n + m) as u64;
+        for t in 1..=total_steps {
+            // Phase 1: characters move one PE per cycle.
+            for u in 0..cells.saturating_sub(1) {
+                q_reg[u] = q_reg[u + 1];
+            }
+            if cells > 0 {
+                q_reg[cells - 1] = None;
+            }
+            for u in (1..cells).rev() {
+                p_reg[u] = p_reg[u - 1];
+            }
+            if cells > 0 {
+                p_reg[0] = None;
+            }
+            // Stream late characters in at the array ends.
+            let qi_num = t as i64 + n as i64; // i = (t + c)/2 at u = n+m
+            if qi_num % 2 == 0 {
+                let i = (qi_num / 2) as usize;
+                if (1..=n).contains(&i) {
+                    q_reg[cells - 1] = Some(self.q[i - 1]);
+                }
+            }
+            let pj_num = t as i64 + m as i64; // j = (t - c)/2 at u = 0
+            if pj_num % 2 == 0 {
+                let j = (pj_num / 2) as usize;
+                if (1..=m).contains(&j) {
+                    p_reg[0] = Some(self.p[j - 1]);
+                }
+            }
+
+            // Phase 2: PEs on this cycle's parity compute their cell.
+            for u in 0..cells {
+                let c = u as i64 - m as i64;
+                if (t as i64 - c) % 2 != 0 {
+                    continue; // wrong phase for this PE
+                }
+                let i2 = t as i64 + c;
+                let j2 = t as i64 - c;
+                if i2 < 0 || j2 < 0 || i2 / 2 > n as i64 || j2 / 2 > m as i64 {
+                    continue; // outside the DP table
+                }
+                let (i, j) = ((i2 / 2) as usize, (j2 / 2) as usize);
+                let score = if i == 0 {
+                    let v = j as u64 * u64::from(w.indel);
+                    CellScore { wide: v, mod4: Mod4::new(v) }
+                } else if j == 0 {
+                    let v = i as u64 * u64::from(w.indel);
+                    CellScore { wide: v, mod4: Mod4::new(v) }
+                } else {
+                    let diag = latest[u].expect("diagonal predecessor D(i-1,j-1) present");
+                    let up = latest[u - 1].expect("neighbour D(i-1,j) present"); // c-1
+                    let left = latest[u + 1].expect("neighbour D(i,j-1) present"); // c+1
+                    let qi = q_reg[u].expect("q character co-located with its PE");
+                    let pj = p_reg[u].expect("p character co-located with its PE");
+                    let sub = if qi == pj { w.matched } else { w.mismatched };
+
+                    // Wide (shadow) arithmetic.
+                    let wide = (up.wide + u64::from(w.indel))
+                        .min(left.wide + u64::from(w.indel))
+                        .min(diag.wide + u64::from(sub));
+
+                    // Mod-4 arithmetic, exactly as the PE hardware does
+                    // it: decode neighbours relative to the diagonal
+                    // anchor, minimize small offsets, re-encode.
+                    let da = up.mod4.diff_from(diag.mod4); // in [-1, 1]
+                    let db = left.mod4.diff_from(diag.mod4);
+                    let step = (da + w.indel as i8)
+                        .min(db + w.indel as i8)
+                        .min(sub as i8);
+                    debug_assert!((0..=2).contains(&step), "step outside window");
+                    let mod4 = diag.mod4.add(step as u8);
+
+                    assert_eq!(
+                        Mod4::new(wide),
+                        mod4,
+                        "mod-4 and wide encodings diverged at D({i},{j})"
+                    );
+                    CellScore { wide, mod4 }
+                };
+                latest[u] = Some(score);
+                active += 1;
+                if u == out_pe {
+                    recovered = recovery.feed(score.mod4);
+                }
+            }
+        }
+
+        let final_wide = latest[out_pe]
+            .map(|s| s.wide)
+            .unwrap_or(anchor); // empty×empty: no step ever ran
+        assert_eq!(recovered, final_wide, "recovery must equal the wide score");
+        SystolicOutcome {
+            score: recovered,
+            score_wide: final_wide,
+            cycles: total_steps,
+            pe_count: cells,
+            active_computations: active,
+            clocked_pe_cycles: cells as u64 * (total_steps + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_bio::alphabet::Dna;
+    use rl_bio::{align, matrix};
+
+    fn dna(s: &str) -> Seq<Dna> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_pair_scores_ten() {
+        let q = dna("GATTCGA");
+        let p = dna("ACTGAGA");
+        let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap().run();
+        assert_eq!(out.score, 10);
+        assert_eq!(out.score_wide, 10);
+        assert_eq!(out.cycles, 14);
+        assert_eq!(out.pe_count, 15);
+        // Every interior + boundary cell except D(0,0) computes once.
+        assert_eq!(out.active_computations, 8 * 8 - 1);
+        assert_eq!(out.clocked_pe_cycles, 15 * 15);
+    }
+
+    #[test]
+    fn identical_strings() {
+        let s = dna("ACGTACGT");
+        let out = SystolicArray::new(&s, &s, SystolicWeights::fig2b()).unwrap().run();
+        assert_eq!(out.score, 8, "perfect alignment costs N matches");
+    }
+
+    #[test]
+    fn fully_mismatched_strings() {
+        let out = SystolicArray::new(&dna("AAAA"), &dna("CCCC"), SystolicWeights::fig2b())
+            .unwrap()
+            .run();
+        // Fig. 2b: 4 mismatches at cost 2 == 8 (same as all-indel path).
+        assert_eq!(out.score, 8);
+    }
+
+    #[test]
+    fn unequal_lengths() {
+        let q = dna("ACGT");
+        let p = dna("AT");
+        let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap().run();
+        let expect = align::global_score(&q, &p, &matrix::dna_shortest()).unwrap();
+        assert_eq!(out.score, expect as u64);
+        assert_eq!(out.pe_count, 7);
+    }
+
+    #[test]
+    fn empty_strings() {
+        let e = Seq::<Dna>::empty();
+        let out = SystolicArray::new(&e, &e, SystolicWeights::fig2b()).unwrap().run();
+        assert_eq!(out.score, 0);
+        assert_eq!(out.cycles, 0);
+        let s = dna("ACG");
+        let out = SystolicArray::new(&s, &e, SystolicWeights::fig2b()).unwrap().run();
+        assert_eq!(out.score, 3);
+    }
+
+    #[test]
+    fn levenshtein_weights() {
+        let q = dna("ACGTT");
+        let p = dna("AGT");
+        let out = SystolicArray::new(&q, &p, SystolicWeights::levenshtein()).unwrap().run();
+        assert_eq!(out.score, align::levenshtein(&q, &p));
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let bad = SystolicWeights { matched: 1, mismatched: 2, indel: 2 };
+        assert!(matches!(
+            SystolicArray::new(&dna("A"), &dna("A"), bad),
+            Err(SystolicError::UnsupportedWeights(_))
+        ));
+        let bad2 = SystolicWeights { matched: 2, mismatched: 1, indel: 1 };
+        assert!(SystolicArray::new(&dna("A"), &dna("A"), bad2).is_err());
+    }
+
+    proptest! {
+        /// DESIGN.md invariant 4: the systolic array (mod-4 encoding and
+        /// all) equals the reference DP on random string pairs.
+        #[test]
+        fn systolic_equals_reference(qs in "[ACGT]{0,24}", ps in "[ACGT]{0,24}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap().run();
+            let expect = align::global_score(&q, &p, &matrix::dna_shortest()).unwrap();
+            prop_assert_eq!(out.score, expect as u64);
+            prop_assert_eq!(out.score, out.score_wide);
+            prop_assert_eq!(out.cycles, (q.len() + p.len()) as u64);
+        }
+
+        /// And against the Race Logic functional array: the two rival
+        /// architectures must always agree on the score.
+        #[test]
+        fn systolic_equals_race(qs in "[ACGT]{0,16}", ps in "[ACGT]{0,16}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let sys = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap().run();
+            let race = align::global_score(&q, &p, &matrix::dna_race()).unwrap();
+            prop_assert_eq!(sys.score, race as u64);
+        }
+    }
+}

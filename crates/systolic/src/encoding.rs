@@ -1,0 +1,93 @@
+//! The mod-4 score encoding of Lipton & Lopresti.
+//!
+//! Storing full edit-distance scores in each PE would need
+//! `O(log(N·w_max))` bits — string-length dependent, the area problem the
+//! paper recounts in Section 2.3. Lipton & Lopresti observed that the
+//! scores a PE ever *compares* are clustered: horizontally/vertically
+//! adjacent distances differ by at most the indel weight (1), and
+//! diagonal predecessors by at most 2. All candidates therefore lie in a
+//! window of 4 consecutive integers, so two bits per score suffice to
+//! order them relative to a common anchor.
+
+/// A score residue modulo 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mod4(u8);
+
+impl Mod4 {
+    /// Wraps a full score into its residue.
+    #[must_use]
+    pub fn new(value: u64) -> Mod4 {
+        Mod4((value % 4) as u8)
+    }
+
+    /// The raw residue, in `0..4`.
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Adds a small non-negative delta.
+    #[must_use]
+    pub fn add(self, delta: u8) -> Mod4 {
+        Mod4((self.0 + delta) % 4)
+    }
+
+    /// Decodes the *signed* difference `self − anchor`, assuming the true
+    /// difference lies in `[-1, 2]` — the window guaranteed by the
+    /// Lipton–Lopresti adjacency bounds.
+    ///
+    /// This is the comparison a PE performs: given its diagonal
+    /// predecessor as anchor, the residues of the left/right neighbours
+    /// decode to relative offsets, and the minimum is taken over those
+    /// offsets plus the edit weights.
+    #[must_use]
+    pub fn diff_from(self, anchor: Mod4) -> i8 {
+        let d = (4 + self.0 - anchor.0) % 4; // 0..4
+        match d {
+            3 => -1,
+            d => d as i8,
+        }
+    }
+}
+
+impl std::fmt::Display for Mod4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}≡4", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_and_add() {
+        assert_eq!(Mod4::new(7).raw(), 3);
+        assert_eq!(Mod4::new(8).raw(), 0);
+        assert_eq!(Mod4::new(3).add(2).raw(), 1);
+        assert_eq!(Mod4::default().raw(), 0);
+        assert_eq!(Mod4::new(5).to_string(), "1≡4");
+    }
+
+    #[test]
+    fn diff_decoding_window() {
+        let anchor = Mod4::new(6); // residue 2
+        assert_eq!(Mod4::new(5).diff_from(anchor), -1);
+        assert_eq!(Mod4::new(6).diff_from(anchor), 0);
+        assert_eq!(Mod4::new(7).diff_from(anchor), 1);
+        assert_eq!(Mod4::new(8).diff_from(anchor), 2);
+    }
+
+    proptest! {
+        /// Any true difference in [-1, 2] survives the mod-4 round trip.
+        #[test]
+        fn decode_is_exact_in_window(base in 0_u64..1000, delta in -1_i64..=2) {
+            let a = base as i64 + 10; // keep positive
+            let b = a + delta;
+            let am = Mod4::new(a as u64);
+            let bm = Mod4::new(b as u64);
+            prop_assert_eq!(bm.diff_from(am) as i64, delta);
+        }
+    }
+}

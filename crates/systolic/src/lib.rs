@@ -1,0 +1,49 @@
+//! # rl-systolic — the Lipton–Lopresti systolic array baseline
+//!
+//! The paper compares Race Logic against "the state-of-the-art
+//! conventional systolic array implementation" of string comparison:
+//! Lipton & Lopresti's linear array (*A Systolic Array for Rapid String
+//! Comparison*, Chapel Hill Conference on VLSI, 1985). This crate is a
+//! cycle-accurate model of that design:
+//!
+//! - a **linear array of `N + M + 1` processing elements** (the paper
+//!   quotes `2N + 1` for equal-length strings);
+//! - **anti-diagonal scheduling**: PE `c` computes the edit-distance
+//!   cells `D(i, j)` with `i − j = c` at times `t = i + j` — all cells of
+//!   one anti-diagonal in parallel, the fine-grain parallelism Lipton &
+//!   Lopresti first identified (paper Section 2.3);
+//! - **character streams**: Q symbols shift left, P symbols shift right,
+//!   meeting at the PE that needs them;
+//! - **mod-4 score encoding**: each PE stores its score modulo 4 only.
+//!   Because neighbouring cells differ by at most 1 and diagonal
+//!   predecessors by at most 2, relative order is decodable from two
+//!   bits — the area trick that made the 1985 design practical — with
+//!   "extra circuitry outside of the systolic structure" (a host-side
+//!   [`recovery::ScoreRecovery`]) rebuilding the absolute score;
+//! - a parallel **wide (non-modular) mode** used as a self-check: both
+//!   encodings are simulated in lockstep and must agree.
+//!
+//! # Example
+//!
+//! ```
+//! use rl_systolic::{SystolicArray, SystolicWeights};
+//! use rl_bio::{Seq, alphabet::Dna};
+//!
+//! let q: Seq<Dna> = "GATTCGA".parse()?;
+//! let p: Seq<Dna> = "ACTGAGA".parse()?;
+//! let outcome = SystolicArray::new(&q, &p, SystolicWeights::fig2b())?.run();
+//! assert_eq!(outcome.score, 10); // same Fig. 4c score as the race array
+//! assert_eq!(outcome.cycles, 14); // N + M anti-diagonal steps
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+pub mod encoding;
+pub mod pe_circuit;
+pub mod recovery;
+
+pub use array::{SystolicArray, SystolicError, SystolicOutcome, SystolicWeights};
+pub use pe_circuit::PeCircuit;

@@ -1,0 +1,249 @@
+//! A gate-level Lipton–Lopresti processing element.
+//!
+//! The paper synthesized the systolic baseline from Verilog; this module
+//! is the corresponding structural netlist for one PE's *score datapath*
+//! under the mod-4 encoding: given the three neighbour residues and the
+//! character-equality bit, produce the new residue
+//!
+//! ```text
+//! out = diag + min( dec(up − diag) + 1, dec(left − diag) + 1, eq ? w_m : w_x ) (mod 4)
+//! ```
+//!
+//! where `dec` maps a mod-4 difference to its signed value in `[-1, 1]`.
+//! Everything is built from the same standard cells as the race array,
+//! so the two architectures' censuses are directly comparable — the
+//! "simplicity of the fundamental cells" argument of §6, measured.
+//!
+//! (The full PE also contains character shift registers, phase control
+//! and I/O encoding that the paper's area constant covers; the datapath
+//! here is the portion that scales with the score logic.)
+
+use rl_circuit::{stdcells, Census, CycleSimulator, Net, Netlist};
+
+use crate::encoding::Mod4;
+use crate::SystolicWeights;
+
+/// The combinational score datapath of one PE, as a netlist.
+#[derive(Debug, Clone)]
+pub struct PeCircuit {
+    netlist: Netlist,
+    /// 2-bit residue inputs (little-endian).
+    pub up: Vec<Net>,
+    /// Residue of the left neighbour `D(i, j−1)`.
+    pub left: Vec<Net>,
+    /// Residue of the diagonal predecessor `D(i−1, j−1)`.
+    pub diag: Vec<Net>,
+    /// Character-equality input (the match comparator's output).
+    pub eq: Net,
+    /// 2-bit output residue.
+    pub out: Vec<Net>,
+}
+
+/// Builds `a − b (mod 4)` over 2-bit buses: a 2-bit subtractor with the
+/// borrow discarded.
+fn sub_mod4(nl: &mut Netlist, a: &[Net], b: &[Net]) -> Vec<Net> {
+    // a + ~b + 1, keeping 2 bits.
+    let nb0 = nl.not(b[0]);
+    let nb1 = nl.not(b[1]);
+    // Bit 0 with carry-in 1: sum = a0 ⊕ ~b0 ⊕ 1 = ¬(a0 ⊕ ~b0) = XNOR,
+    // carry = a0 | ~b0 ... full adder with cin=1:
+    let s0 = nl.xnor(a[0], nb0);
+    let c0 = nl.or(&[a[0], nb0]);
+    // Bit 1: sum = a1 ⊕ ~b1 ⊕ c0.
+    let x1 = nl.xor(a[1], nb1);
+    let s1 = nl.xor(x1, c0);
+    vec![s0, s1]
+}
+
+/// Maps a relative residue `rel ∈ {3(−1), 0, +1}` to the candidate value
+/// `dec(rel) + indel ∈ {0, 1, 2}` (for `indel = 1`): 3→0, 0→1, 1→2.
+/// `rel = 2` cannot occur under the adjacency invariant (don't-care).
+fn decode_plus_one(nl: &mut Netlist, rel: &[Net]) -> Vec<Net> {
+    // Truth table (rel1 rel0 → out1 out0): 11→00, 00→01, 01→10.
+    // out0 = !rel1 & !rel0 ; out1 = !rel1 & rel0.
+    let n1 = nl.not(rel[1]);
+    let n0 = nl.not(rel[0]);
+    let out0 = nl.and(&[n1, n0]);
+    let out1 = nl.and(&[n1, rel[0]]);
+    vec![out0, out1]
+}
+
+/// 2-bit unsigned minimum via a less-than comparator and muxes.
+fn min2(nl: &mut Netlist, a: &[Net], b: &[Net]) -> Vec<Net> {
+    // a < b  ⇔  (a1 < b1) | (a1 == b1 & a0 < b0).
+    let na1 = nl.not(a[1]);
+    let na0 = nl.not(a[0]);
+    let hi_lt = nl.and(&[na1, b[1]]);
+    let hi_eq = nl.xnor(a[1], b[1]);
+    let lo_lt = nl.and(&[na0, b[0]]);
+    let eq_and_lo = nl.and(&[hi_eq, lo_lt]);
+    let a_lt_b = nl.or(&[hi_lt, eq_and_lo]);
+    let m0 = nl.mux2(a_lt_b, b[0], a[0]);
+    let m1 = nl.mux2(a_lt_b, b[1], a[1]);
+    vec![m0, m1]
+}
+
+/// `a + b (mod 4)` over 2-bit buses.
+fn add_mod4(nl: &mut Netlist, a: &[Net], b: &[Net]) -> Vec<Net> {
+    let s0 = nl.xor(a[0], b[0]);
+    let c0 = nl.and(&[a[0], b[0]]);
+    let x1 = nl.xor(a[1], b[1]);
+    let s1 = nl.xor(x1, c0);
+    vec![s0, s1]
+}
+
+impl PeCircuit {
+    /// Builds the datapath for the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights fail [`SystolicWeights`] validation rules
+    /// (indel must be 1, substitution weights ≤ 2).
+    #[must_use]
+    pub fn build(weights: SystolicWeights) -> PeCircuit {
+        assert!(
+            weights.indel == 1 && weights.matched <= weights.mismatched && weights.mismatched <= 2,
+            "weights incompatible with the mod-4 datapath"
+        );
+        let mut nl = Netlist::new();
+        let up: Vec<Net> = (0..2).map(|b| nl.input(format!("up{b}"))).collect();
+        let left: Vec<Net> = (0..2).map(|b| nl.input(format!("left{b}"))).collect();
+        let diag: Vec<Net> = (0..2).map(|b| nl.input(format!("diag{b}"))).collect();
+        let eq = nl.input("eq");
+
+        let rel_up = sub_mod4(&mut nl, &up, &diag);
+        let rel_left = sub_mod4(&mut nl, &left, &diag);
+        let cand_up = decode_plus_one(&mut nl, &rel_up);
+        let cand_left = decode_plus_one(&mut nl, &rel_left);
+        // Substitution candidate: eq ? matched : mismatched, as a 2-bit
+        // constant mux.
+        let m_bus = stdcells::constant_bus(&mut nl, u64::from(weights.matched), 2);
+        let x_bus = stdcells::constant_bus(&mut nl, u64::from(weights.mismatched), 2);
+        let cand_sub = vec![
+            nl.mux2(eq, x_bus[0], m_bus[0]),
+            nl.mux2(eq, x_bus[1], m_bus[1]),
+        ];
+        let min_ul = min2(&mut nl, &cand_up, &cand_left);
+        let step = min2(&mut nl, &min_ul, &cand_sub);
+        let out = add_mod4(&mut nl, &diag, &step);
+        nl.mark_output(out[0], "out0");
+        nl.mark_output(out[1], "out1");
+        PeCircuit { netlist: nl, up, left, diag, eq, out }
+    }
+
+    /// The netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Gate counts, comparable with the race array's census.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        self.netlist.census()
+    }
+
+    /// Evaluates the datapath on concrete residues (helper for tests and
+    /// demos; drives the inputs and reads the settled output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit errors (cannot occur for this netlist).
+    pub fn evaluate(
+        &self,
+        up: Mod4,
+        left: Mod4,
+        diag: Mod4,
+        eq: bool,
+    ) -> Result<Mod4, rl_circuit::CircuitError> {
+        let mut sim = CycleSimulator::new(&self.netlist)?;
+        for (bus, val) in [(&self.up, up), (&self.left, left), (&self.diag, diag)] {
+            for (b, &net) in bus.iter().enumerate() {
+                sim.set_input(net, (val.raw() >> b) & 1 == 1)?;
+            }
+        }
+        sim.set_input(self.eq, eq)?;
+        let raw = u64::from(sim.value(self.out[0])) | (u64::from(sim.value(self.out[1])) << 1);
+        Ok(Mod4::new(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The behavioral reference: what `SystolicArray` computes per cell.
+    fn behavioral(up: Mod4, left: Mod4, diag: Mod4, eq: bool, w: SystolicWeights) -> Mod4 {
+        let da = up.diff_from(diag);
+        let db = left.diff_from(diag);
+        let sub = if eq { w.matched } else { w.mismatched };
+        let step = (da + w.indel as i8).min(db + w.indel as i8).min(sub as i8);
+        diag.add(u8::try_from(step).expect("step in window"))
+    }
+
+    /// Enumerates every in-window input combination: up/left within ±1
+    /// of diag (the adjacency invariant).
+    fn in_window_cases() -> Vec<(Mod4, Mod4, Mod4, bool)> {
+        let mut cases = Vec::new();
+        for d in 0..4_u64 {
+            let diag = Mod4::new(d);
+            for du in [-1_i64, 0, 1] {
+                for dl in [-1_i64, 0, 1] {
+                    let up = Mod4::new((d as i64 + du).rem_euclid(4) as u64);
+                    let left = Mod4::new((d as i64 + dl).rem_euclid(4) as u64);
+                    for eq in [false, true] {
+                        cases.push((up, left, diag, eq));
+                    }
+                }
+            }
+        }
+        cases
+    }
+
+    #[test]
+    fn datapath_matches_behavioral_exhaustively_fig2b() {
+        let w = SystolicWeights::fig2b();
+        let pe = PeCircuit::build(w);
+        for (up, left, diag, eq) in in_window_cases() {
+            let gate = pe.evaluate(up, left, diag, eq).unwrap();
+            let soft = behavioral(up, left, diag, eq, w);
+            assert_eq!(gate, soft, "up={up} left={left} diag={diag} eq={eq}");
+        }
+    }
+
+    #[test]
+    fn datapath_matches_behavioral_exhaustively_levenshtein() {
+        let w = SystolicWeights::levenshtein();
+        let pe = PeCircuit::build(w);
+        for (up, left, diag, eq) in in_window_cases() {
+            // Levenshtein step window is [-? ]: da+1 in {0,1,2}, sub in
+            // {0,1} — min can be 0, still in [0,2]: decodable.
+            let gate = pe.evaluate(up, left, diag, eq).unwrap();
+            let soft = behavioral(up, left, diag, eq, w);
+            assert_eq!(gate, soft, "up={up} left={left} diag={diag} eq={eq}");
+        }
+    }
+
+    #[test]
+    fn census_is_pe_sized() {
+        // §6's argument measured: the systolic score datapath alone uses
+        // several times the gates of a complete race unit cell
+        // (OR3 + AND2 + 2×XNOR + 3 DFFs ≈ 7 cells).
+        let pe = PeCircuit::build(SystolicWeights::fig2b());
+        let census = pe.census();
+        let race_cell_gates = 7;
+        assert!(
+            census.total() > 3 * race_cell_gates,
+            "PE datapath should dwarf a race cell: {census}"
+        );
+        // Purely combinational: the residue registers live outside this
+        // datapath in the array's phase-interleaved storage.
+        assert_eq!(census.count(rl_circuit::CellKind::Dff), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn invalid_weights_rejected() {
+        let _ = PeCircuit::build(SystolicWeights { matched: 1, mismatched: 2, indel: 2 });
+    }
+}

@@ -1,0 +1,84 @@
+//! Host-side absolute-score recovery.
+//!
+//! The systolic PEs keep only mod-4 residues, so the absolute edit
+//! distance must be rebuilt outside the array — the "extra circuitry
+//! outside of the systolic structure to recalculate the original score"
+//! of paper Section 2.3. The output PE produces one residue every two
+//! cycles (one per diagonal step `D(k, k+c) → D(k+1, k+1+c)`); each step
+//! increases the distance by a decodable amount in `[0, 2]`, so a simple
+//! accumulator tracks the true score.
+
+use crate::encoding::Mod4;
+
+/// Accumulates the absolute score from the output PE's residue stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreRecovery {
+    absolute: u64,
+    last: Mod4,
+}
+
+impl ScoreRecovery {
+    /// Starts recovery from a known anchor (the boundary value of the
+    /// output PE's first computation, which the host knows exactly:
+    /// `|N − M| × indel`).
+    #[must_use]
+    pub fn new(anchor: u64) -> ScoreRecovery {
+        ScoreRecovery { absolute: anchor, last: Mod4::new(anchor) }
+    }
+
+    /// Feeds the next residue from the output PE; returns the updated
+    /// absolute score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residue implies a step outside `[0, 2]` — which
+    /// would mean the adjacency invariant of the encoding was violated
+    /// (a corrupted stream).
+    pub fn feed(&mut self, residue: Mod4) -> u64 {
+        let step = residue.diff_from(self.last);
+        assert!(
+            (0..=2).contains(&step),
+            "diagonal step {step} outside [0,2]: residue stream corrupted"
+        );
+        self.absolute += step as u64;
+        self.last = residue;
+        self.absolute
+    }
+
+    /// The current absolute score.
+    #[must_use]
+    pub fn score(&self) -> u64 {
+        self.absolute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_a_plausible_stream() {
+        // True diagonal values: 0, 1, 3, 4, 6, 6 (steps 1,2,1,2,0).
+        let truth = [0_u64, 1, 3, 4, 6, 6];
+        let mut r = ScoreRecovery::new(truth[0]);
+        for &v in &truth[1..] {
+            let got = r.feed(Mod4::new(v));
+            assert_eq!(got, v);
+        }
+        assert_eq!(r.score(), 6);
+    }
+
+    #[test]
+    fn nonzero_anchor() {
+        // N − M = 3 boundary: recovery starts at 3.
+        let mut r = ScoreRecovery::new(3);
+        assert_eq!(r.feed(Mod4::new(5)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupted")]
+    fn rejects_backward_steps() {
+        let mut r = ScoreRecovery::new(4);
+        let _ = r.feed(Mod4::new(3)); // a −1 step is not a legal diagonal move
+    }
+}

@@ -1,0 +1,49 @@
+//! # rl-temporal — the temporal value algebra underlying Race Logic
+//!
+//! Race Logic (Madhavan, Sherwood, Strukov — ISCA 2014) encodes a value `n`
+//! not as a binary word but as **the clock cycle at which a wire rises**:
+//! a signal transitioning 0 → 1 exactly `n` cycles after the start of a
+//! computation *is* the value `n`. A wire that never rises represents +∞.
+//!
+//! Under this encoding three operations become nearly free in hardware:
+//!
+//! | operation      | circuit             | algebra                  |
+//! |----------------|---------------------|--------------------------|
+//! | `min(a, b)`    | OR gate             | first arrival wins       |
+//! | `max(a, b)`    | AND gate            | last arrival wins        |
+//! | `a + c`        | `c`-deep DFF chain  | delaying an edge adds `c`|
+//!
+//! This crate provides the *software algebra* of that encoding:
+//!
+//! - [`Time`] — an arrival time in clock cycles, with a dedicated +∞
+//!   ("never arrives") value and saturating arithmetic.
+//! - [`ops`] — the gate-level operations ([`ops::first_arrival`] = OR,
+//!   [`ops::last_arrival`] = AND, [`ops::delay`] = DFF chain) plus the
+//!   INHIBIT extension from follow-on Race Logic work.
+//! - [`semiring`] — the tropical (min, +) and (max, +) semirings that make
+//!   "a race through a DAG computes a shortest/longest path" precise.
+//!
+//! # Example
+//!
+//! ```
+//! use rl_temporal::{Time, ops};
+//!
+//! // Two signals racing toward an OR gate, one delayed by 3 cycles.
+//! let a = Time::from_cycles(5);
+//! let b = ops::delay(Time::from_cycles(1), 3); // arrives at cycle 4
+//! assert_eq!(ops::first_arrival([a, b]), Time::from_cycles(4));
+//!
+//! // A missing edge is an infinite weight: it can never win a race.
+//! assert_eq!(ops::first_arrival([a, Time::NEVER]), a);
+//! assert_eq!(ops::last_arrival([a, Time::NEVER]), Time::NEVER);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod semiring;
+mod time;
+
+pub use semiring::{MaxPlus, MinPlus, Semiring};
+pub use time::{Time, TimeFromIntError};

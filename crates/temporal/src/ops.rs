@@ -1,0 +1,218 @@
+//! Gate-level temporal operations.
+//!
+//! Each function in this module is the *software meaning* of one Race Logic
+//! circuit element (paper Section 3):
+//!
+//! - [`first_arrival`] — an OR gate: passes along the first arriving rising
+//!   edge, computing `min`.
+//! - [`last_arrival`] — an AND gate: passes along the last arriving rising
+//!   edge, computing `max`.
+//! - [`delay`] — a chain of D flip-flops: adds a constant.
+//! - [`inhibit`] — the INHIBIT extension from follow-on Race Logic work
+//!   (not in the ISCA 2014 paper; see function docs).
+
+use crate::Time;
+
+/// The first arriving edge among `inputs` — the temporal semantics of an
+/// **OR gate**, i.e. `min`.
+///
+/// An empty input set yields [`Time::NEVER`]: an OR gate with no driven
+/// inputs never rises. This makes `first_arrival` the `min`-fold with
+/// identity +∞, matching the [`crate::MinPlus`] semiring.
+///
+/// # Examples
+///
+/// ```
+/// use rl_temporal::{ops, Time};
+/// let t = ops::first_arrival([Time::from_cycles(7), Time::from_cycles(3)]);
+/// assert_eq!(t, Time::from_cycles(3));
+/// assert_eq!(ops::first_arrival(std::iter::empty()), Time::NEVER);
+/// ```
+#[must_use]
+pub fn first_arrival<I: IntoIterator<Item = Time>>(inputs: I) -> Time {
+    inputs.into_iter().fold(Time::NEVER, Time::earlier)
+}
+
+/// The last arriving edge among `inputs` — the temporal semantics of an
+/// **AND gate**, i.e. `max`.
+///
+/// An empty input set yields [`Time::ZERO`]: the identity of `max` over
+/// arrival times, matching the [`crate::MaxPlus`] semiring. Note that if
+/// *any* input is [`Time::NEVER`] the output is `NEVER`: an AND gate
+/// waiting on a dead wire never fires.
+///
+/// # Examples
+///
+/// ```
+/// use rl_temporal::{ops, Time};
+/// let t = ops::last_arrival([Time::from_cycles(7), Time::from_cycles(3)]);
+/// assert_eq!(t, Time::from_cycles(7));
+/// ```
+#[must_use]
+pub fn last_arrival<I: IntoIterator<Item = Time>>(inputs: I) -> Time {
+    inputs.into_iter().fold(Time::ZERO, Time::later)
+}
+
+/// Delays `input` by `cycles` — the temporal semantics of a **DFF chain**
+/// of length `cycles`, i.e. addition of a constant.
+///
+/// # Examples
+///
+/// ```
+/// use rl_temporal::{ops, Time};
+/// assert_eq!(ops::delay(Time::from_cycles(2), 3), Time::from_cycles(5));
+/// assert_eq!(ops::delay(Time::NEVER, 3), Time::NEVER);
+/// ```
+#[must_use]
+pub fn delay(input: Time, cycles: u64) -> Time {
+    input.delay_by(cycles)
+}
+
+/// INHIBIT: passes `data` through unless `inhibitor` arrives strictly
+/// earlier, in which case the output never rises.
+///
+/// This primitive is **not** part of the ISCA 2014 paper; it was introduced
+/// by follow-on Race Logic work ("A race logic architecture for temporal
+/// decision trees", and the temporal-state-machine line) to make the logic
+/// family more expressive. It is included here as a documented extension
+/// because several of the paper's "future work" directions (thresholding,
+/// filtering) are naturally expressed with it.
+///
+/// Tie-breaking follows the hardware convention: a simultaneous arrival is
+/// *not* inhibited (the inhibiting transistor has not switched yet).
+///
+/// # Examples
+///
+/// ```
+/// use rl_temporal::{ops, Time};
+/// let data = Time::from_cycles(5);
+/// assert_eq!(ops::inhibit(data, Time::from_cycles(9)), data);  // too late
+/// assert_eq!(ops::inhibit(data, Time::from_cycles(5)), data);  // tie passes
+/// assert_eq!(ops::inhibit(data, Time::from_cycles(2)), Time::NEVER);
+/// ```
+#[must_use]
+pub fn inhibit(data: Time, inhibitor: Time) -> Time {
+    if inhibitor < data {
+        Time::NEVER
+    } else {
+        data
+    }
+}
+
+/// Converts a score to its temporal encoding and back: the identity,
+/// provided the score fits in a finite [`Time`].
+///
+/// Exists mostly to make intent readable at call sites that move between
+/// "score space" and "time space" (e.g. the output counter of Fig. 4a,
+/// which converts a race result back to a binary score).
+#[must_use]
+pub fn encode_score(score: u64) -> Time {
+    Time::from_cycles(score)
+}
+
+/// Reads a race result back as a score; `None` if the race never finished.
+#[must_use]
+pub fn decode_score(time: Time) -> Option<u64> {
+    time.cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite() -> impl Strategy<Value = Time> {
+        (0_u64..1_000_000).prop_map(Time::from_cycles)
+    }
+
+    fn any_time() -> impl Strategy<Value = Time> {
+        prop_oneof![4 => finite(), 1 => Just(Time::NEVER)]
+    }
+
+    #[test]
+    fn or_is_min_and_and_is_max() {
+        let a = Time::from_cycles(4);
+        let b = Time::from_cycles(9);
+        assert_eq!(first_arrival([a, b]), a);
+        assert_eq!(last_arrival([a, b]), b);
+    }
+
+    #[test]
+    fn identities_match_gate_behaviour() {
+        // An OR gate with no inputs stays low forever.
+        assert_eq!(first_arrival(std::iter::empty()), Time::NEVER);
+        // An AND gate with no inputs is vacuously satisfied at t = 0.
+        assert_eq!(last_arrival(std::iter::empty()), Time::ZERO);
+    }
+
+    #[test]
+    fn and_with_dead_wire_never_fires() {
+        assert_eq!(
+            last_arrival([Time::from_cycles(1), Time::NEVER]),
+            Time::NEVER
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        assert_eq!(decode_score(encode_score(123)), Some(123));
+        assert_eq!(decode_score(Time::NEVER), None);
+    }
+
+    #[test]
+    fn inhibit_edge_cases() {
+        assert_eq!(inhibit(Time::NEVER, Time::from_cycles(0)), Time::NEVER);
+        assert_eq!(inhibit(Time::from_cycles(0), Time::NEVER), Time::ZERO);
+        assert_eq!(inhibit(Time::NEVER, Time::NEVER), Time::NEVER);
+    }
+
+    proptest! {
+        #[test]
+        fn first_arrival_commutes(a in any_time(), b in any_time()) {
+            prop_assert_eq!(first_arrival([a, b]), first_arrival([b, a]));
+        }
+
+        #[test]
+        fn last_arrival_commutes(a in any_time(), b in any_time()) {
+            prop_assert_eq!(last_arrival([a, b]), last_arrival([b, a]));
+        }
+
+        #[test]
+        fn or_and_bound_inputs(a in any_time(), b in any_time()) {
+            let lo = first_arrival([a, b]);
+            let hi = last_arrival([a, b]);
+            prop_assert!(lo <= a && lo <= b);
+            prop_assert!(hi >= a && hi >= b);
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn delay_distributes_over_min(a in finite(), b in finite(), c in 0_u64..1000) {
+            // Delaying after a race equals racing delayed signals:
+            // the algebraic heart of "edge weights are delays".
+            prop_assert_eq!(
+                delay(first_arrival([a, b]), c),
+                first_arrival([delay(a, c), delay(b, c)])
+            );
+        }
+
+        #[test]
+        fn delay_distributes_over_max(a in finite(), b in finite(), c in 0_u64..1000) {
+            prop_assert_eq!(
+                delay(last_arrival([a, b]), c),
+                last_arrival([delay(a, c), delay(b, c)])
+            );
+        }
+
+        #[test]
+        fn delay_composes(a in finite(), c in 0_u64..1000, d in 0_u64..1000) {
+            prop_assert_eq!(delay(delay(a, c), d), delay(a, c + d));
+        }
+
+        #[test]
+        fn inhibit_output_is_data_or_never(data in any_time(), inh in any_time()) {
+            let out = inhibit(data, inh);
+            prop_assert!(out == data || out == Time::NEVER);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Tropical semirings: the algebraic structure a race computes.
+//!
+//! A Race Logic circuit evaluating a DAG computes, at every node, the
+//! semiring sum over all root→node paths of the semiring product of edge
+//! weights along each path. With the **(min, +)** semiring (OR-type race)
+//! that is the shortest path; with **(max, +)** (AND-type race) the longest
+//! path. Making the semiring explicit lets `rl-dag` share one generic path
+//! solver between both race types and keeps the equivalence
+//! "race outcome == DP solution" a theorem rather than a coincidence.
+
+use crate::Time;
+
+/// A (commutative, idempotent-sum) semiring over arrival times.
+///
+/// Laws (checked by the property tests below and relied on by `rl-dag`):
+///
+/// - `combine` is associative and commutative with identity [`Self::NEUTRAL`]
+///   (the semiring *addition*, i.e. how competing paths merge at a node);
+/// - `extend` is associative with identity `Time::ZERO` (the semiring
+///   *multiplication*, i.e. how weights accumulate along a path);
+/// - `extend` distributes over `combine`;
+/// - [`Self::ANNIHILATOR`] absorbs `extend`.
+///
+/// The trait is sealed: exactly the two tropical semirings used by Race
+/// Logic are provided, mirroring the two gate types of the paper.
+pub trait Semiring: private::Sealed + Copy + std::fmt::Debug + Send + Sync + 'static {
+    /// Identity of [`Semiring::combine`] — the value of an empty race.
+    const NEUTRAL: Time;
+
+    /// Absorbing element of [`Semiring::extend`] — an unusable path.
+    const ANNIHILATOR: Time;
+
+    /// Merges two competing path values arriving at a node
+    /// (OR gate for `MinPlus`, AND gate for `MaxPlus`).
+    #[must_use]
+    fn combine(a: Time, b: Time) -> Time;
+
+    /// Accumulates an edge delay onto a path value (a DFF chain).
+    #[must_use]
+    fn extend(a: Time, delay: u64) -> Time;
+
+    /// `true` if `candidate` improves on `current` under this semiring's
+    /// preference order (strictly earlier for `MinPlus`, strictly later for
+    /// `MaxPlus`). Used by path-reconstruction code.
+    #[must_use]
+    fn improves(candidate: Time, current: Time) -> bool;
+}
+
+/// The tropical **(min, +)** semiring: OR-type Race Logic, shortest paths.
+///
+/// The value of an empty race is [`Time::NEVER`] (an OR gate with no driven
+/// inputs never rises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinPlus;
+
+/// The tropical **(max, +)** semiring: AND-type Race Logic, longest paths.
+///
+/// The value of an empty race is [`Time::ZERO`] (an AND gate with no inputs
+/// is vacuously satisfied when the computation starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxPlus;
+
+impl Semiring for MinPlus {
+    const NEUTRAL: Time = Time::NEVER;
+    const ANNIHILATOR: Time = Time::NEVER;
+
+    fn combine(a: Time, b: Time) -> Time {
+        a.earlier(b)
+    }
+
+    fn extend(a: Time, delay: u64) -> Time {
+        a.delay_by(delay)
+    }
+
+    fn improves(candidate: Time, current: Time) -> bool {
+        candidate < current
+    }
+}
+
+impl Semiring for MaxPlus {
+    const NEUTRAL: Time = Time::ZERO;
+    // For max-plus the annihilator of a *path* is still NEVER: an AND gate
+    // fed by a dead wire never fires, and extending a dead path keeps it dead.
+    const ANNIHILATOR: Time = Time::NEVER;
+
+    fn combine(a: Time, b: Time) -> Time {
+        a.later(b)
+    }
+
+    fn extend(a: Time, delay: u64) -> Time {
+        a.delay_by(delay)
+    }
+
+    fn improves(candidate: Time, current: Time) -> bool {
+        // NEVER never "improves" a longest path: it marks unreachability,
+        // not an infinitely long path.
+        candidate.is_finite() && (current.is_never() || candidate > current)
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::MinPlus {}
+    impl Sealed for super::MaxPlus {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite() -> impl Strategy<Value = Time> {
+        (0_u64..1_000_000).prop_map(Time::from_cycles)
+    }
+
+    fn any_time() -> impl Strategy<Value = Time> {
+        prop_oneof![4 => finite(), 1 => Just(Time::NEVER)]
+    }
+
+    #[test]
+    fn neutrals_are_identities() {
+        let t = Time::from_cycles(17);
+        assert_eq!(MinPlus::combine(MinPlus::NEUTRAL, t), t);
+        assert_eq!(MaxPlus::combine(MaxPlus::NEUTRAL, t), t);
+    }
+
+    #[test]
+    fn extend_identity_is_zero_delay() {
+        let t = Time::from_cycles(17);
+        assert_eq!(MinPlus::extend(t, 0), t);
+        assert_eq!(MaxPlus::extend(t, 0), t);
+    }
+
+    #[test]
+    fn annihilator_absorbs_extend() {
+        assert_eq!(MinPlus::extend(MinPlus::ANNIHILATOR, 5), Time::NEVER);
+        assert_eq!(MaxPlus::extend(MaxPlus::ANNIHILATOR, 5), Time::NEVER);
+    }
+
+    #[test]
+    fn improves_preference_orders() {
+        let early = Time::from_cycles(2);
+        let late = Time::from_cycles(8);
+        assert!(MinPlus::improves(early, late));
+        assert!(!MinPlus::improves(late, early));
+        assert!(MaxPlus::improves(late, early));
+        assert!(!MaxPlus::improves(early, late));
+        // NEVER marks unreachability under MaxPlus, never an improvement.
+        assert!(!MaxPlus::improves(Time::NEVER, early));
+        assert!(MaxPlus::improves(early, Time::NEVER));
+        // Under MinPlus, any finite time improves on NEVER.
+        assert!(MinPlus::improves(early, Time::NEVER));
+    }
+
+    fn check_semiring_laws<S: Semiring>(a: Time, b: Time, c: Time, d: u64) {
+        // combine: associative + commutative
+        assert_eq!(
+            S::combine(a, S::combine(b, c)),
+            S::combine(S::combine(a, b), c)
+        );
+        assert_eq!(S::combine(a, b), S::combine(b, a));
+        // combine idempotent (tropical)
+        assert_eq!(S::combine(a, a), a);
+        // extend distributes over combine
+        assert_eq!(
+            S::extend(S::combine(a, b), d),
+            S::combine(S::extend(a, d), S::extend(b, d))
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn min_plus_laws(a in any_time(), b in any_time(), c in any_time(), d in 0_u64..1000) {
+            check_semiring_laws::<MinPlus>(a, b, c, d);
+        }
+
+        #[test]
+        fn max_plus_laws(a in any_time(), b in any_time(), c in any_time(), d in 0_u64..1000) {
+            check_semiring_laws::<MaxPlus>(a, b, c, d);
+        }
+
+        #[test]
+        fn combine_matches_ops(a in any_time(), b in any_time()) {
+            prop_assert_eq!(MinPlus::combine(a, b), crate::ops::first_arrival([a, b]));
+            prop_assert_eq!(MaxPlus::combine(a, b), crate::ops::last_arrival([a, b]));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The [`Time`] type: an arrival time in clock cycles with a +∞ sentinel.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An arrival time measured in whole clock cycles, the fundamental value of
+/// Race Logic.
+///
+/// `Time` is a totally ordered quantity with a distinguished maximum,
+/// [`Time::NEVER`], representing a signal that never rises (the temporal
+/// encoding of +∞, realized in hardware as a *missing edge* in the race
+/// circuit). All arithmetic saturates at `NEVER`: once a race can never be
+/// won, no further delay changes that.
+///
+/// Internally `NEVER` is `u64::MAX`; finite times may use the full range
+/// `0 ..= u64::MAX - 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rl_temporal::Time;
+///
+/// let t = Time::from_cycles(3) + Time::from_cycles(4);
+/// assert_eq!(t.cycles(), Some(7));
+/// assert!(t < Time::NEVER);
+/// assert_eq!(Time::NEVER + Time::from_cycles(10), Time::NEVER);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+/// Error returned when converting an out-of-range integer into a [`Time`].
+///
+/// Produced by the `TryFrom` implementations when the source value collides
+/// with the internal `NEVER` sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeFromIntError(pub(crate) ());
+
+impl fmt::Display for TimeFromIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "integer value is reserved for Time::NEVER")
+    }
+}
+
+impl std::error::Error for TimeFromIntError {}
+
+impl Time {
+    /// The start of a computation: cycle zero.
+    pub const ZERO: Time = Time(0);
+
+    /// A signal that never arrives — the temporal encoding of +∞.
+    ///
+    /// In a race circuit this corresponds to a missing edge; the paper uses
+    /// it to model mismatch weights raised to infinity (Section 3).
+    pub const NEVER: Time = Time(u64::MAX);
+
+    /// The largest representable *finite* time.
+    pub const MAX_FINITE: Time = Time(u64::MAX - 1);
+
+    /// Creates a finite arrival time from a cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == u64::MAX`, which is reserved for
+    /// [`Time::NEVER`]. Use [`Time::try_from`] for a fallible conversion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rl_temporal::Time;
+    /// assert_eq!(Time::from_cycles(12).cycles(), Some(12));
+    /// ```
+    #[must_use]
+    pub fn from_cycles(cycles: u64) -> Time {
+        assert!(
+            cycles != u64::MAX,
+            "u64::MAX is reserved for Time::NEVER; use Time::NEVER explicitly"
+        );
+        Time(cycles)
+    }
+
+    /// Returns the cycle count, or `None` for [`Time::NEVER`].
+    #[must_use]
+    pub fn cycles(self) -> Option<u64> {
+        if self.is_never() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Returns the cycle count of a time known to be finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is [`Time::NEVER`].
+    #[must_use]
+    pub fn finite_cycles(self) -> u64 {
+        self.cycles()
+            .expect("finite_cycles called on Time::NEVER (signal never arrives)")
+    }
+
+    /// `true` when the signal arrives at some finite cycle.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0 != u64::MAX
+    }
+
+    /// `true` for the never-arriving signal (+∞).
+    #[must_use]
+    pub fn is_never(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Saturating addition: delays this arrival by `rhs` cycles.
+    ///
+    /// `NEVER` is absorbing, and finite sums that would reach the sentinel
+    /// saturate at [`Time::MAX_FINITE`] + 1 ⇒ `NEVER` (a race that takes
+    /// longer than `u64::MAX - 1` cycles is indistinguishable from one that
+    /// never finishes).
+    #[must_use]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        if self.is_never() || rhs.is_never() {
+            Time::NEVER
+        } else {
+            Time(self.0.saturating_add(rhs.0).min(u64::MAX))
+        }
+    }
+
+    /// Delays this arrival by a finite number of cycles (a DFF chain of
+    /// length `cycles`). `NEVER` is absorbing.
+    #[must_use]
+    pub fn delay_by(self, cycles: u64) -> Time {
+        if self.is_never() {
+            Time::NEVER
+        } else {
+            Time(self.0.saturating_add(cycles).min(u64::MAX))
+        }
+    }
+
+    /// Checked subtraction between finite times; `None` if either side is
+    /// `NEVER` or the difference would be negative.
+    #[must_use]
+    pub fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match (self.cycles(), rhs.cycles()) {
+            (Some(a), Some(b)) => a.checked_sub(b).map(Time),
+            _ => None,
+        }
+    }
+
+    /// The earlier of two arrivals — what an OR gate computes.
+    #[must_use]
+    pub fn earlier(self, other: Time) -> Time {
+        self.min(other)
+    }
+
+    /// The later of two arrivals — what an AND gate computes.
+    #[must_use]
+    pub fn later(self, other: Time) -> Time {
+        self.max(other)
+    }
+}
+
+impl Default for Time {
+    /// The default time is [`Time::ZERO`], the start of the race.
+    fn default() -> Self {
+        Time::ZERO
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "Time(NEVER)")
+        } else {
+            write!(f, "Time({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for Time {
+    fn from(value: u32) -> Self {
+        Time(u64::from(value))
+    }
+}
+
+impl TryFrom<u64> for Time {
+    type Error = TimeFromIntError;
+
+    fn try_from(value: u64) -> Result<Self, Self::Error> {
+        if value == u64::MAX {
+            Err(TimeFromIntError(()))
+        } else {
+            Ok(Time(value))
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    /// Saturating addition; see [`Time::saturating_add`].
+    fn add(self, rhs: Time) -> Time {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+
+    fn add(self, rhs: u64) -> Time {
+        self.delay_by(rhs)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = self.saturating_add(rhs);
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Time::saturating_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default_and_identity() {
+        assert_eq!(Time::default(), Time::ZERO);
+        assert_eq!(Time::ZERO + Time::from_cycles(9), Time::from_cycles(9));
+    }
+
+    #[test]
+    fn from_cycles_round_trips() {
+        for c in [0, 1, 7, 1_000_000, u64::MAX - 1] {
+            assert_eq!(Time::from_cycles(c).cycles(), Some(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for Time::NEVER")]
+    fn from_cycles_rejects_sentinel() {
+        let _ = Time::from_cycles(u64::MAX);
+    }
+
+    #[test]
+    fn never_is_absorbing_for_addition() {
+        assert_eq!(Time::NEVER + Time::ZERO, Time::NEVER);
+        assert_eq!(Time::from_cycles(3) + Time::NEVER, Time::NEVER);
+        assert_eq!(Time::NEVER.delay_by(1_000), Time::NEVER);
+    }
+
+    #[test]
+    fn never_is_maximum() {
+        assert!(Time::MAX_FINITE < Time::NEVER);
+        assert_eq!(Time::from_cycles(5).later(Time::NEVER), Time::NEVER);
+        assert_eq!(
+            Time::from_cycles(5).earlier(Time::NEVER),
+            Time::from_cycles(5)
+        );
+    }
+
+    #[test]
+    fn saturation_at_max_finite_becomes_never() {
+        // Adding past the sentinel saturates to NEVER rather than wrapping.
+        let nearly = Time::MAX_FINITE;
+        assert_eq!(nearly + Time::from_cycles(1), Time::NEVER);
+        assert_eq!(nearly + Time::from_cycles(100), Time::NEVER);
+    }
+
+    #[test]
+    fn checked_sub_behaves() {
+        let a = Time::from_cycles(10);
+        let b = Time::from_cycles(4);
+        assert_eq!(a.checked_sub(b), Some(Time::from_cycles(6)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(Time::NEVER.checked_sub(b), None);
+        assert_eq!(a.checked_sub(Time::NEVER), None);
+    }
+
+    #[test]
+    fn try_from_u64() {
+        assert_eq!(Time::try_from(9_u64), Ok(Time::from_cycles(9)));
+        assert!(Time::try_from(u64::MAX).is_err());
+        let err = Time::try_from(u64::MAX).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_cycles(42).to_string(), "42");
+        assert_eq!(Time::NEVER.to_string(), "∞");
+        assert_eq!(format!("{:?}", Time::NEVER), "Time(NEVER)");
+        assert_eq!(format!("{:?}", Time::from_cycles(3)), "Time(3)");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [1_u64, 2, 3].into_iter().map(Time::from_cycles).sum();
+        assert_eq!(total, Time::from_cycles(6));
+        let with_never: Time = [Time::from_cycles(1), Time::NEVER].into_iter().sum();
+        assert_eq!(with_never, Time::NEVER);
+    }
+
+    #[test]
+    fn add_assign_and_u64_add() {
+        let mut t = Time::from_cycles(2);
+        t += Time::from_cycles(5);
+        assert_eq!(t, Time::from_cycles(7));
+        assert_eq!(t + 3_u64, Time::from_cycles(10));
+    }
+
+    #[test]
+    fn ordering_is_numeric_with_never_last() {
+        let mut v = vec![Time::NEVER, Time::from_cycles(2), Time::ZERO];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Time::ZERO, Time::from_cycles(2), Time::NEVER]
+        );
+    }
+}

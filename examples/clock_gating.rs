@@ -1,0 +1,55 @@
+//! Clock gating (paper §4.3): watch the wavefront, gate the clock
+//! behind and ahead of it, and find the optimal multi-cell granularity —
+//! measured from the simulator and predicted by Eq. 7.
+//!
+//! Run with: `cargo run --example clock_gating`
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::gating::{best_granularity, sweep};
+use rl_bio::{alphabet::Dna, mutate};
+use rl_hw_model::energy::{self, Case};
+use rl_hw_model::{measured, TechLibrary};
+
+fn main() {
+    let n = 48;
+    let lib = TechLibrary::amis05();
+    let (q, p) = mutate::worst_case_pair::<Dna>(n);
+    let trace = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+        .run_functional()
+        .wavefront();
+
+    println!("worst-case {n}x{n} race: completes at cycle {}", trace.completion_time().unwrap());
+    println!(
+        "ungated clocking: {} cell-cycles; only {} cells ever fire\n",
+        trace.ungated_cell_cycles(),
+        trace.occupancy().iter().sum::<usize>()
+    );
+
+    // Sweep gating granularities on the measured wavefront.
+    let ms = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 48];
+    let reports = sweep(&trace, &ms);
+    println!(" m   gated cell-cycles   gating-logic cycles   energy (pJ)");
+    for r in &reports {
+        let e = measured::race_gated_energy_from_trace(&lib, &trace, r.m, Case::Worst);
+        println!(
+            "{:>2}   {:>17}   {:>19}   {:>11.0}",
+            r.m,
+            r.gated_cell_cycles,
+            r.gate_logic_cycles(),
+            e
+        );
+    }
+
+    let gate_weight = lib.gate_region_pj / lib.race_clk_pj;
+    let best = best_granularity(&reports, gate_weight).unwrap();
+    let analytic = energy::optimal_gating_m(&lib, n);
+    println!("\nmeasured optimum: m = {best}");
+    println!("Eq. 7 analytic:   m* = {analytic:.2}");
+    println!(
+        "gated vs ungated energy: {:.0} pJ vs {:.0} pJ ({:.1}x saved)",
+        energy::race_gated_optimal_pj(&lib, n, Case::Worst),
+        energy::race_pj(&lib, n, Case::Worst),
+        energy::race_pj(&lib, n, Case::Worst)
+            / energy::race_gated_optimal_pj(&lib, n, Case::Worst)
+    );
+}

@@ -1,0 +1,55 @@
+//! DNA alignment end to end: generate a mutated read, race it against
+//! the reference, watch the wavefront, and compare the race array with
+//! the Lipton–Lopresti systolic baseline on the same pair.
+//!
+//! Run with: `cargo run --example dna_alignment`
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use rl_bio::{align, alphabet::Dna, matrix, mutate, Seq};
+use rl_dag::generate::seeded_rng;
+use rl_systolic::{SystolicArray, SystolicWeights};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(11);
+
+    // A 24-base reference and a read with ~10% point mutations.
+    let reference: Seq<Dna> = Seq::random(&mut rng, 24);
+    let read = mutate::mutate(
+        &reference,
+        &mutate::MutationConfig { substitution_rate: 0.08, insertion_rate: 0.04, deletion_rate: 0.04 },
+        &mut rng,
+    );
+    println!("reference: {reference}");
+    println!("read:      {read}\n");
+
+    // 1. Race Logic array (the paper's architecture).
+    let race = AlignmentRace::new(&read, &reference, RaceWeights::fig4());
+    let outcome = race.run_functional();
+    let score = outcome.latency_cycles().unwrap();
+    println!("race logic: score {score} in {score} cycles");
+
+    // 2. Watch the wavefront sweep the array.
+    let trace = outcome.wavefront();
+    for t in [score / 4, score / 2, score] {
+        println!("\nwavefront at cycle {t}:");
+        print!("{}", trace.render_snapshot(t));
+    }
+
+    // 3. The systolic baseline must compute the same distance (it runs
+    //    the unmodified Fig. 2b matrix; mismatch 2 == indel pair).
+    let systolic = SystolicArray::new(&read, &reference, SystolicWeights::fig2b())?.run();
+    println!("\nsystolic array: score {} in {} anti-diagonal steps over {} PEs",
+        systolic.score, systolic.cycles, systolic.pe_count);
+    assert_eq!(systolic.score, score);
+
+    // 4. And the software reference agrees with both.
+    let dp = align::global(&read, &reference, &matrix::dna_shortest())?;
+    assert_eq!(dp.score as u64, score);
+    let (top, bottom) = dp.alignment.two_row(&read, &reference);
+    println!("\noptimal alignment (Needleman–Wunsch traceback):");
+    println!("  ref  {top}");
+    println!("  read {bottom}");
+    let (matches, mismatches, indels) = dp.alignment.op_counts();
+    println!("  {matches} matches, {mismatches} mismatches, {indels} indels");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Race Logic beyond strings: shortest and longest paths through an
+//! arbitrary weighted DAG (paper Fig. 3), three ways — reference DP,
+//! event-driven race, and a real gate-level race circuit.
+//!
+//! Run with: `cargo run --example shortest_path`
+
+use race_logic::{compiler::CompiledRace, functional, RaceKind};
+use rl_dag::{generate, paths, NodeId};
+use rl_temporal::{MaxPlus, MinPlus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A random layered DAG: think of it as a task graph whose edge
+    // weights are latencies; the longest path is the critical path, the
+    // shortest path the best-case completion.
+    let cfg = generate::LayeredConfig {
+        layers: 6,
+        width: 5,
+        max_weight: 9,
+        edge_probability: 0.4,
+    };
+    let dag = generate::layered(&mut generate::seeded_rng(3), &cfg)?;
+    let roots: Vec<NodeId> = dag.roots().collect();
+    let sink = dag.sinks().next().expect("layered DAGs have sinks");
+    println!(
+        "DAG: {} nodes, {} edges, {} roots; racing to node {}",
+        dag.node_count(),
+        dag.edge_count(),
+        roots.len(),
+        sink
+    );
+
+    // Reference dynamic programming over the tropical semirings.
+    let dp_short = paths::race_value::<MinPlus>(&dag, &roots, sink);
+    let dp_long = paths::race_value::<MaxPlus>(&dag, &roots, sink);
+    println!("\nreference DP:       shortest {dp_short}, longest {dp_long}");
+
+    // Event-driven functional race (OR = min, AND = max).
+    let or = functional::race_to(&dag, &roots, sink, RaceKind::Or)?;
+    let and = functional::race_to(&dag, &roots, sink, RaceKind::And)?;
+    println!("functional race:    shortest {or}, longest {and}");
+
+    // Gate-level: compile to OR/AND gates + DFF delay chains and
+    // simulate the actual circuit.
+    let or_gate = CompiledRace::race(&dag, &roots, RaceKind::Or)?.arrival_at(sink);
+    let and_gate = CompiledRace::race(&dag, &roots, RaceKind::And)?.arrival_at(sink);
+    println!("gate-level race:    shortest {or_gate}, longest {and_gate}");
+
+    assert_eq!(dp_short, or);
+    assert_eq!(dp_short, or_gate);
+    assert_eq!(dp_long, and);
+    assert_eq!(dp_long, and_gate);
+
+    // The compiled circuit is real hardware-shaped structure:
+    let compiled = CompiledRace::compile(&dag, &roots, RaceKind::Or)?;
+    println!("\nOR-type circuit: {}", compiled.census());
+
+    // One optimal path, reconstructed from the DP table.
+    let path = paths::reconstruct_path::<MinPlus>(&dag, &roots, sink).unwrap();
+    let legs: Vec<String> = path
+        .iter()
+        .map(|&e| {
+            let edge = dag.edge(e);
+            format!("{}-[{}]->{}", edge.from, edge.weight, edge.to)
+        })
+        .collect();
+    println!("one shortest path: {}", legs.join(" "));
+    Ok(())
+}

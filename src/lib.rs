@@ -1,0 +1,26 @@
+//! # race-logic-suite — umbrella crate for the Race Logic reproduction
+//!
+//! Re-exports every crate in the workspace so examples and integration
+//! tests can reach the whole system through one dependency. See the
+//! individual crates for the real documentation:
+//!
+//! - [`race_logic`] — the paper's contribution (compiler, alignment arrays,
+//!   wavefront tracking, clock gating, generalized cells).
+//! - [`rl_temporal`] — the time-encoded value algebra.
+//! - [`rl_dag`] — weighted DAG substrate (edit graphs, path DP, Dijkstra).
+//! - [`rl_event_sim`] — discrete-event simulation engine.
+//! - [`rl_circuit`] — gate-level netlists + cycle-accurate simulation.
+//! - [`rl_bio`] — sequences, score matrices, reference alignment DP.
+//! - [`rl_systolic`] — the Lipton–Lopresti systolic-array baseline.
+//! - [`rl_hw_model`] — AMIS/OSU hardware cost models (area/latency/energy).
+
+#![forbid(unsafe_code)]
+
+pub use race_logic;
+pub use rl_bio;
+pub use rl_circuit;
+pub use rl_dag;
+pub use rl_event_sim;
+pub use rl_hw_model;
+pub use rl_systolic;
+pub use rl_temporal;

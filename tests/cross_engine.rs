@@ -1,0 +1,142 @@
+//! Cross-engine integration tests: every execution engine in the
+//! workspace — reference DP, event-driven race, gate-level race array,
+//! generalized (Fig. 8) array, and the systolic baseline — must agree on
+//! the same problems. These are the repo's end-to-end invariants
+//! (DESIGN.md §5), exercised across crate boundaries.
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::generalized::GeneralizedArray;
+use race_logic::score_transform::TransformedWeights;
+use race_logic::{compiler::CompiledRace, functional, RaceKind};
+use rl_bio::{align, alphabet::Dna, matrix, mutate, Seq};
+use rl_dag::generate::{self, seeded_rng};
+use rl_dag::{dijkstra, paths, NodeId};
+use rl_systolic::{SystolicArray, SystolicWeights};
+use rl_temporal::{MaxPlus, MinPlus, Time};
+
+fn random_pair(seed: u64, len: usize, rate: f64) -> (Seq<Dna>, Seq<Dna>) {
+    let mut rng = seeded_rng(seed);
+    mutate::similar_pair(&mut rng, len, rate)
+}
+
+#[test]
+fn five_engines_agree_on_alignment_scores() {
+    for seed in 0..6 {
+        let (q, p) = random_pair(seed, 10 + seed as usize * 3, 0.25);
+        // 1. Reference DP under the race matrix.
+        let reference =
+            align::global_score(&q, &p, &matrix::dna_race()).unwrap() as u64;
+        // 2. Functional race.
+        let functional = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+            .run_functional()
+            .latency_cycles()
+            .unwrap();
+        assert_eq!(functional, reference, "functional vs DP (seed {seed})");
+        // 3. Gate-level Fig. 4 array.
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        let gate = race
+            .build_circuit()
+            .run(race.cycle_budget())
+            .unwrap()
+            .latency_cycles()
+            .unwrap();
+        assert_eq!(gate, reference, "gate-level vs DP (seed {seed})");
+        // 4. Generalized Fig. 8 array (mismatch=∞ weights).
+        let weights = TransformedWeights::from_scheme(&matrix::dna_race()).unwrap();
+        let arr = GeneralizedArray::build(&q, &p, &weights);
+        let gen = arr
+            .run(arr.cycle_budget(weights.indel()))
+            .unwrap()
+            .latency_cycles()
+            .unwrap();
+        assert_eq!(gen, reference, "generalized vs DP (seed {seed})");
+        // 5. Systolic baseline (unmodified Fig. 2b matrix — same optimum).
+        let sys = SystolicArray::new(&q, &p, SystolicWeights::fig2b())
+            .unwrap()
+            .run();
+        assert_eq!(sys.score, reference, "systolic vs DP (seed {seed})");
+    }
+}
+
+#[test]
+fn dag_race_engines_agree_on_random_graphs() {
+    for seed in 0..8 {
+        let cfg = generate::LayeredConfig {
+            layers: 6,
+            width: 5,
+            max_weight: 7,
+            edge_probability: 0.4,
+        };
+        let dag = generate::layered(&mut seeded_rng(seed), &cfg).unwrap();
+        let roots: Vec<NodeId> = dag.roots().collect();
+
+        let dp_min = paths::arrival_times::<MinPlus>(&dag, &roots);
+        let dp_max = paths::arrival_times::<MaxPlus>(&dag, &roots);
+        let dj = dijkstra::shortest_paths(&dag, &roots).distance;
+        let ev_or = functional::run(&dag, &roots, RaceKind::Or).unwrap().arrival;
+        let ev_and = functional::run(&dag, &roots, RaceKind::And).unwrap().arrival;
+        let gate_or = CompiledRace::race(&dag, &roots, RaceKind::Or).unwrap().arrival;
+        let gate_and = CompiledRace::race(&dag, &roots, RaceKind::And).unwrap().arrival;
+
+        assert_eq!(dp_min, dj, "DP vs Dijkstra (seed {seed})");
+        assert_eq!(dp_min, ev_or, "DP vs event race (seed {seed})");
+        assert_eq!(dp_min, gate_or, "DP vs gate race (seed {seed})");
+        assert_eq!(dp_max, ev_and, "DP vs event AND race (seed {seed})");
+        assert_eq!(dp_max, gate_and, "DP vs gate AND race (seed {seed})");
+    }
+}
+
+#[test]
+fn edit_graph_race_equals_alignment_array() {
+    // The general DAG compiler on an edit graph must agree with the
+    // specialized alignment array (they build different netlists).
+    let (q, p) = random_pair(42, 8, 0.3);
+    let weights = rl_dag::edit_graph::UniformIndel {
+        insertion: 1,
+        deletion: 1,
+        substitution: |i: usize, j: usize| (q[i] == p[j]).then_some(1_u64),
+    };
+    let graph = rl_dag::edit_graph::EditGraph::build(q.len(), p.len(), &weights).unwrap();
+    let via_dag = functional::race_to(graph.dag(), &[graph.root()], graph.sink(), RaceKind::Or)
+        .unwrap();
+    let via_array = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+        .run_functional()
+        .score();
+    assert_eq!(via_dag, via_array);
+}
+
+#[test]
+fn wavefront_firing_order_matches_dijkstra_settle_order_times() {
+    // The race fires nodes in nondecreasing distance order — exactly
+    // Dijkstra's settle order (up to ties).
+    let cfg = generate::LayeredConfig::default();
+    let dag = generate::layered(&mut seeded_rng(5), &cfg).unwrap();
+    let roots: Vec<NodeId> = dag.roots().collect();
+    let race = functional::run(&dag, &roots, RaceKind::Or).unwrap();
+    let sp = dijkstra::shortest_paths(&dag, &roots);
+    let race_times: Vec<Time> = race
+        .firing_order
+        .iter()
+        .map(|n| race.arrival[n.index()])
+        .collect();
+    let dij_times: Vec<Time> = sp
+        .settle_order
+        .iter()
+        .map(|n| sp.distance[n.index()])
+        .collect();
+    assert_eq!(race_times, dij_times, "firing-time sequences must match");
+}
+
+#[test]
+fn mismatch_weight_two_and_infinity_agree_everywhere() {
+    // Paper §3: the modified (mismatch = ∞) matrix is score-equivalent
+    // to Fig. 2b. Check at gate level on both engines.
+    for seed in 0..4 {
+        let (q, p) = random_pair(seed + 100, 7, 0.5);
+        let inf = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        let two = AlignmentRace::new(&q, &p, RaceWeights::fig2b());
+        let s_inf = inf.build_circuit().run(inf.cycle_budget()).unwrap().score();
+        let s_two = two.build_circuit().run(two.cycle_budget()).unwrap().score();
+        assert_eq!(s_inf, s_two, "seed {seed}");
+    }
+}

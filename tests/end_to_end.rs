@@ -1,0 +1,127 @@
+//! End-to-end workflows through the facade crate: the scenarios the
+//! examples demonstrate, asserted as tests (protein scoring, database
+//! scanning, measured-vs-analytic energy, full-stack determinism).
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::early_termination::scan_database;
+use race_logic::gating::{best_granularity, sweep, GatingReport};
+use race_logic::score_transform::TransformedWeights;
+use rl_bio::{align, alphabet::AminoAcid, alphabet::Dna, matrix, mutate, Seq};
+use rl_dag::generate::seeded_rng;
+use rl_hw_model::energy::{self, Case};
+use rl_hw_model::{measured, TechLibrary};
+
+#[test]
+fn protein_pipeline_blosum62_and_pam250() {
+    let mut rng = seeded_rng(31);
+    for scheme in [matrix::blosum62(), matrix::pam250()] {
+        let weights = TransformedWeights::from_scheme(&scheme).unwrap();
+        for len in [6usize, 15, 30] {
+            let a: Seq<AminoAcid> = Seq::random(&mut rng, len);
+            let b = mutate::mutate(&a, &mutate::MutationConfig::balanced(0.2), &mut rng);
+            let raced = weights.reference_race_cost(&a, &b);
+            let recovered = weights.recover_score(raced, a.len(), b.len()).unwrap();
+            let reference = align::global_score(&a, &b, &scheme).unwrap();
+            assert_eq!(recovered, reference, "{} len {len}", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn database_scan_recall_and_precision() {
+    let mut rng = seeded_rng(8);
+    let n = 48;
+    let query: Seq<Dna> = Seq::random(&mut rng, n);
+    let relatives: Vec<Seq<Dna>> = (0..6)
+        .map(|_| {
+            mutate::mutate(
+                &query,
+                &mutate::MutationConfig::substitutions_only(0.05),
+                &mut rng,
+            )
+        })
+        .collect();
+    let noise: Vec<Seq<Dna>> = (0..20).map(|_| Seq::random(&mut rng, n)).collect();
+    let mut db = relatives.clone();
+    db.extend(noise);
+    let report = scan_database(&query, &db, RaceWeights::fig4(), (n as u64 * 12) / 10);
+    // All relatives found, nothing else.
+    assert_eq!(report.hits.len(), 6);
+    assert!(report.hits.iter().all(|&(i, _)| i < 6));
+    // Random DNA pairs score ~1.3N, so a 1.2N threshold trims the tail
+    // of every rejected race; the saving is modest at this ratio but
+    // must be real.
+    assert!(report.total_cycles < report.unthresholded_cycles);
+    assert!(report.savings_fraction() > 0.03, "thresholding must save cycles");
+}
+
+#[test]
+fn measured_gating_agrees_with_analytic_optimum() {
+    // The measured wavefront sweep and the Eq. 7 closed form must pick
+    // nearby granularities on the worst-case workload.
+    let lib = TechLibrary::amis05();
+    let n = 64;
+    let (q, p) = mutate::worst_case_pair::<Dna>(n);
+    let trace = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+        .run_functional()
+        .wavefront();
+    let ms: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 24, 32, 64];
+    let reports = sweep(&trace, &ms);
+    // gate weight = C_gate / C_clk-per-cell in the hw model's units.
+    let gate_weight = lib.gate_region_pj / lib.race_clk_pj;
+    let measured_best = best_granularity(&reports, gate_weight).unwrap();
+    let analytic = energy::optimal_gating_m(&lib, n);
+    assert!(
+        (measured_best as f64 - analytic).abs() <= analytic,
+        "measured m={measured_best} vs analytic m*={analytic:.1}"
+    );
+    // And the gated measurement beats ungated by a lot at this size.
+    let r = GatingReport::from_trace(&trace, measured_best);
+    assert!(r.savings_fraction() > 0.5);
+}
+
+#[test]
+fn measured_energy_is_consistent_with_analytic_across_sizes() {
+    let lib = TechLibrary::amis05();
+    for n in [12usize, 24, 48] {
+        let (q, p) = mutate::worst_case_pair::<Dna>(n);
+        let trace = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+            .run_functional()
+            .wavefront();
+        let meas = measured::race_ungated_energy_from_trace(&lib, &trace, Case::Worst);
+        let analytic = energy::race_pj(&lib, n, Case::Worst);
+        let ratio = meas / analytic;
+        assert!((0.7..=1.4).contains(&ratio), "N={n}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    // Two complete runs from the same seed produce identical artifacts:
+    // sequences, scores, wavefronts, netlist censuses.
+    let run = || {
+        let mut rng = seeded_rng(123);
+        let (q, p) = mutate::similar_pair::<Dna, _>(&mut rng, 24, 0.2);
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        let outcome = race.run_functional();
+        let census = format!("{}", race.build_circuit().census());
+        (
+            q.to_string(),
+            p.to_string(),
+            outcome.latency_cycles(),
+            outcome.wavefront().occupancy(),
+            census,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn facade_reexports_compile() {
+    // The umbrella crate exposes every subsystem.
+    use race_logic_suite as suite;
+    let t = suite::rl_temporal::Time::from_cycles(3);
+    assert_eq!(t.finite_cycles(), 3);
+    let lib = suite::rl_hw_model::TechLibrary::amis05();
+    assert_eq!(lib.name, "AMIS");
+}

