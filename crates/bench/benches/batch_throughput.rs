@@ -1,0 +1,77 @@
+//! Batch alignment throughput: the engine's reason to exist.
+//!
+//! Compares, on 1,000 random DNA pairs of length 256:
+//! - the allocating baseline (an `AlignmentRace::run_functional` loop:
+//!   same kernel since PR 1, but a fresh `(N+1)·(M+1)` `Time` grid and
+//!   code buffers per pair),
+//! - the zero-allocation engine driven sequentially (scratch reuse +
+//!   rolling rows), and
+//! - `align_batch` (the same engine fanned out across cores).
+//!
+//! The acceptance target (≥ 5× pairs/sec for `align_batch` over the
+//! `run_functional` loop) needs multiple cores for the parallel part;
+//! the printed thread count shows how much parallelism was available.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::engine::{align_batch, AlignConfig, AlignEngine};
+use rl_bio::{alphabet::Dna, PackedSeq, Seq};
+use rl_dag::generate::seeded_rng;
+use std::hint::black_box;
+
+const PAIRS: usize = 1_000;
+const LEN: usize = 256;
+
+fn random_pairs() -> Vec<(Seq<Dna>, Seq<Dna>)> {
+    let mut rng = seeded_rng(0xBA7C4);
+    (0..PAIRS)
+        .map(|_| (Seq::random(&mut rng, LEN), Seq::random(&mut rng, LEN)))
+        .collect()
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let seqs = random_pairs();
+    let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
+        .iter()
+        .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
+        .collect();
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+
+    let mut group = c.benchmark_group(format!(
+        "batch_throughput/{PAIRS}x{LEN}bp/threads={}",
+        rayon::current_num_threads()
+    ));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PAIRS as u64));
+
+    group.bench_function("sequential_run_functional", |b| {
+        b.iter(|| {
+            let mut acc = 0_u64;
+            for (q, p) in &seqs {
+                let out = AlignmentRace::new(q, p, RaceWeights::fig4()).run_functional();
+                acc += out.latency_cycles().unwrap_or(0);
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("engine_sequential", |b| {
+        let mut engine = AlignEngine::new(cfg);
+        b.iter(|| {
+            let mut acc = 0_u64;
+            for (q, p) in &packed {
+                acc += engine.align(q, p).score.cycles().unwrap_or(0);
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("engine_align_batch", |b| {
+        b.iter(|| black_box(align_batch(&cfg, &packed)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -11,7 +11,9 @@ use rl_temporal::{ops, Time};
 use std::hint::black_box;
 
 fn bench_temporal(c: &mut Criterion) {
-    let times: Vec<Time> = (0..1024u64).map(|i| Time::from_cycles(i * 7 % 997)).collect();
+    let times: Vec<Time> = (0..1024u64)
+        .map(|i| Time::from_cycles(i * 7 % 997))
+        .collect();
     c.bench_function("temporal_first_arrival_1024", |b| {
         b.iter(|| black_box(ops::first_arrival(times.iter().copied())));
     });

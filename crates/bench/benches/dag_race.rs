@@ -20,11 +20,29 @@ fn bench_solvers(c: &mut Criterion) {
         let roots: Vec<NodeId> = dag.roots().collect();
         let label = format!("{}x{}", layers, width);
         group.bench_with_input(BenchmarkId::new("event_race_or", &label), &label, |b, _| {
-            b.iter(|| black_box(functional::run(&dag, &roots, RaceKind::Or).unwrap().arrival.len()));
+            b.iter(|| {
+                black_box(
+                    functional::run(&dag, &roots, RaceKind::Or)
+                        .unwrap()
+                        .arrival
+                        .len(),
+                )
+            });
         });
-        group.bench_with_input(BenchmarkId::new("event_race_and", &label), &label, |b, _| {
-            b.iter(|| black_box(functional::run(&dag, &roots, RaceKind::And).unwrap().arrival.len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("event_race_and", &label),
+            &label,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        functional::run(&dag, &roots, RaceKind::And)
+                            .unwrap()
+                            .arrival
+                            .len(),
+                    )
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("dijkstra", &label), &label, |b, _| {
             b.iter(|| black_box(dijkstra::shortest_paths(&dag, &roots).distance.len()));
         });

@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ablation — asynchronous Race Logic vs delay variation\n");
 
     // 1. Random layered DAGs (generic shortest-path workload).
-    let cfg = generate::LayeredConfig { layers: 8, width: 6, max_weight: 9, edge_probability: 0.4 };
+    let cfg = generate::LayeredConfig {
+        layers: 8,
+        width: 6,
+        max_weight: 9,
+        edge_probability: 0.4,
+    };
     let dag = generate::layered(&mut seeded_rng(21), &cfg)?;
     let roots: Vec<NodeId> = dag.roots().collect();
     let sink = dag.sinks().next().unwrap();
@@ -45,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let graph = EditGraph::build(q.len(), p.len(), &weights)?;
     let nominal = functional::race_to(graph.dag(), &[graph.root()], graph.sink(), RaceKind::Or)?;
-    println!("\nalignment edit graph ({} vs {}), nominal score {nominal}:", seq_str(&q), seq_str(&p));
+    println!(
+        "\nalignment edit graph ({} vs {}), nominal score {nominal}:",
+        seq_str(&q),
+        seq_str(&p)
+    );
     let mut t = Table::new(
         "alignment race: error rate vs jitter",
         &["jitter", "error rate", "mean |Δt| (cycles)"],

@@ -19,7 +19,14 @@ fn main() {
     let full_cells = (q.len() + 1) * (p.len() + 1);
     let mut t = Table::new(
         "band sweep",
-        &["band", "cells built", "% of full", "score", "certified", "exact?"],
+        &[
+            "band",
+            "cells built",
+            "% of full",
+            "score",
+            "certified",
+            "exact?",
+        ],
     );
     for band in [1usize, 2, 4, 8, 16, 32, 64] {
         let out = banded_race(&q, &p, w, band);

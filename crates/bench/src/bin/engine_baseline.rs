@@ -1,0 +1,128 @@
+//! Engine throughput baseline: measures the score-only alignment engine
+//! against a `run_functional` loop and writes `BENCH_engine.json` so the
+//! perf trajectory is tracked from PR 1 onward.
+//!
+//! Note the baseline is *today's* `run_functional` — which since PR 1
+//! delegates to the same engine kernel but allocates a full
+//! `(N+1)·(M+1)` grid (plus code buffers) per pair. The measured gap is
+//! therefore exactly the value of buffer reuse + rolling rows, not a
+//! comparison against the slower pre-PR-1 implementation.
+//!
+//! Run with `cargo run --release -p rl-bench --bin engine_baseline`.
+//! The workload is deterministic (seeded), so numbers move only when the
+//! code or the machine does.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::engine::{align_batch, AlignConfig, AlignEngine};
+use rl_bio::{alphabet::Dna, PackedSeq, Seq};
+use rl_dag::generate::seeded_rng;
+
+const PAIRS: usize = 1_000;
+const LEN: usize = 256;
+/// Timed repetitions per measurement; the median is reported.
+const REPS: usize = 5;
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_reps(mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut checksum = 0;
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        checksum = f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    (median_secs(samples), checksum)
+}
+
+fn main() {
+    let mut rng = seeded_rng(0xBA7C4);
+    let seqs: Vec<(Seq<Dna>, Seq<Dna>)> = (0..PAIRS)
+        .map(|_| (Seq::random(&mut rng, LEN), Seq::random(&mut rng, LEN)))
+        .collect();
+    let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
+        .iter()
+        .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
+        .collect();
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Baseline: the allocating per-pair full-grid path (run_functional,
+    // which shares the engine kernel but pays a grid allocation + Time
+    // conversion per pair).
+    let (t_funcional, sum_a) = time_reps(|| {
+        seqs.iter()
+            .map(|(q, p)| {
+                AlignmentRace::new(q, p, RaceWeights::fig4())
+                    .run_functional()
+                    .latency_cycles()
+                    .unwrap_or(0)
+            })
+            .sum()
+    });
+
+    // Engine, one pair at a time (zero allocations after warm-up).
+    let mut engine = AlignEngine::new(cfg);
+    let (t_engine_seq, sum_b) = time_reps(|| {
+        packed
+            .iter()
+            .map(|(q, p)| engine.align(q, p).score.cycles().unwrap_or(0))
+            .sum()
+    });
+
+    // Engine, batched across cores.
+    let (t_batch, sum_c) = time_reps(|| {
+        align_batch(&cfg, &packed)
+            .iter()
+            .map(|o| o.score.cycles().unwrap_or(0))
+            .sum()
+    });
+
+    assert_eq!(sum_a, sum_b, "engine disagrees with run_functional");
+    assert_eq!(sum_a, sum_c, "align_batch disagrees with run_functional");
+
+    let pps = |t: f64| PAIRS as f64 / t;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"engine_baseline\",");
+    let _ = writeln!(json, "  \"workload\": {{\"pairs\": {PAIRS}, \"length\": {LEN}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"reps_median_of\": {REPS},");
+    let _ = writeln!(json, "  \"score_checksum\": {sum_a},");
+    let _ = writeln!(
+        json,
+        "  \"run_functional_loop\": {{\"seconds\": {t_funcional:.6}, \"pairs_per_sec\": {:.1}}},",
+        pps(t_funcional)
+    );
+    let _ = writeln!(
+        json,
+        "  \"engine_sequential\": {{\"seconds\": {t_engine_seq:.6}, \"pairs_per_sec\": {:.1}}},",
+        pps(t_engine_seq)
+    );
+    let _ = writeln!(
+        json,
+        "  \"engine_align_batch\": {{\"seconds\": {t_batch:.6}, \"pairs_per_sec\": {:.1}}},",
+        pps(t_batch)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_engine_seq_vs_run_functional\": {:.2},",
+        t_funcional / t_engine_seq
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_batch_vs_run_functional\": {:.2}",
+        t_funcional / t_batch
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_engine.json ({threads} thread(s) available)");
+}

@@ -20,8 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 1b: its alignment matrix.
     let (pc, qc) = best.alignment.alignment_matrix();
     println!("(b) alignment matrix:");
-    println!("    P {}", pc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
-    println!("    Q {}\n", qc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+    println!(
+        "    P {}",
+        pc.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "    Q {}\n",
+        qc.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     // Fig. 1c: the worst allowed alignment — delete all of P, insert all
     // of Q.
@@ -37,8 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (wpc, wqc) = worst.alignment_matrix();
     println!("(d) its alignment matrix:");
-    println!("    P {}", wpc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
-    println!("    Q {}\n", wqc.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+    println!(
+        "    P {}",
+        wpc.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "    Q {}\n",
+        wqc.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     // Fig. 1e: the edit graph.
     let weights = UniformIndel {
@@ -62,5 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn spaced(s: &str) -> String {
-    s.chars().map(|c| format!("{c} ")).collect::<String>().trim_end().to_string()
+    s.chars()
+        .map(|c| format!("{c} "))
+        .collect::<String>()
+        .trim_end()
+        .to_string()
 }

@@ -1,10 +1,18 @@
 //! Figure 2: the three score matrices — (a) DNA longest-path, (b) DNA
 //! shortest-path, (c) BLOSUM62 — plus the mismatch→∞ hardware variant.
 
-use rl_bio::{alphabet::{AminoAcid, Dna, Symbol}, matrix, ScoreScheme};
+use rl_bio::{
+    alphabet::{AminoAcid, Dna, Symbol},
+    matrix, ScoreScheme,
+};
 
 fn print_matrix<S: Symbol>(scheme: &ScoreScheme<S>) {
-    println!("{} (objective: {:?}, gap: {}):", scheme.name(), scheme.objective(), scheme.gap());
+    println!(
+        "{} (objective: {:?}, gap: {}):",
+        scheme.name(),
+        scheme.objective(),
+        scheme.gap()
+    );
     print!("   ");
     for b in S::all() {
         print!("{:>4}", b.to_char());

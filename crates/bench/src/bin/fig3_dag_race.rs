@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sources = [a, bb];
 
     println!("Figure 3 — a weighted DAG as a race circuit\n");
-    println!("DAG: {} nodes, {} edges, total delay {} cycles", dag.node_count(), dag.edge_count(), dag.total_weight());
+    println!(
+        "DAG: {} nodes, {} edges, total delay {} cycles",
+        dag.node_count(),
+        dag.edge_count(),
+        dag.total_weight()
+    );
 
     let mut t = Table::new(
         "race outcomes at the output node",

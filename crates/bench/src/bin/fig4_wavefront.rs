@@ -24,11 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check every cell against the reference DP.
     let dp = align::global_table(&q, &p, &matrix::dna_race());
     let mut mismatches = 0;
+    #[allow(clippy::needless_range_loop)] // dp and both arrival grids are co-indexed
     for i in 0..=q.len() {
         for j in 0..=p.len() {
             let expect = dp[i][j].map(|v| v as u64);
-            if functional.arrival(i, j).cycles() != expect
-                || gate.arrival(i, j).cycles() != expect
+            if functional.arrival(i, j).cycles() != expect || gate.arrival(i, j).cycles() != expect
             {
                 mismatches += 1;
             }

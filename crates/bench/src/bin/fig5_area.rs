@@ -41,5 +41,7 @@ fn main() {
         t.row(&[&n, &sci(c), &sci(m), &format!("{:.2}", c / m)]);
     }
     t.print();
-    println!("\npaper shape: race starts smaller, crosses systolic, stays within ~2x of census pricing");
+    println!(
+        "\npaper shape: race starts smaller, crosses systolic, stays within ~2x of census pricing"
+    );
 }

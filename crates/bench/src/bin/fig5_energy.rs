@@ -27,9 +27,21 @@ fn main() {
                 &sci(energy::pj_to_mj(energy::race_pj(&lib, n, Case::Best))),
                 &sci(energy::pj_to_mj(energy::race_pj(&lib, n, Case::Worst))),
                 &sci(energy::pj_to_mj(energy::systolic_pj(&lib, n))),
-                &sci(energy::pj_to_mj(energy::race_clockless_pj(&lib, n, Case::Worst))),
-                &sci(energy::pj_to_mj(energy::race_gated_optimal_pj(&lib, n, Case::Best))),
-                &sci(energy::pj_to_mj(energy::race_gated_optimal_pj(&lib, n, Case::Worst))),
+                &sci(energy::pj_to_mj(energy::race_clockless_pj(
+                    &lib,
+                    n,
+                    Case::Worst,
+                ))),
+                &sci(energy::pj_to_mj(energy::race_gated_optimal_pj(
+                    &lib,
+                    n,
+                    Case::Best,
+                ))),
+                &sci(energy::pj_to_mj(energy::race_gated_optimal_pj(
+                    &lib,
+                    n,
+                    Case::Worst,
+                ))),
             ]);
         }
         t.print();

@@ -35,7 +35,15 @@ fn main() {
     let lib = TechLibrary::amis05();
     let mut t = Table::new(
         "measured cycles (simulators) vs analytic (paper §4.2)",
-        &["N", "race best meas", "N-1", "race worst meas", "2N-2", "systolic steps", "model cycles"],
+        &[
+            "N",
+            "race best meas",
+            "N-1",
+            "race worst meas",
+            "2N-2",
+            "systolic steps",
+            "model cycles",
+        ],
     );
     let mut rng = rl_dag::generate::seeded_rng(42);
     for n in [10, 20, 40, 80] {

@@ -9,7 +9,10 @@ fn show(label: &str, q: &Seq<Dna>, p: &Seq<Dna>, cycles: &[u64]) {
     let trace = AlignmentRace::new(q, p, RaceWeights::fig4())
         .run_functional()
         .wavefront();
-    println!("{label} (completion at cycle {}):", trace.completion_time().unwrap());
+    println!(
+        "{label} (completion at cycle {}):",
+        trace.completion_time().unwrap()
+    );
     for &t in cycles {
         println!("  cycle {t}  ('#' fired earlier, '*' firing now, '.' still low)");
         for line in trace.render_snapshot(t).lines() {
@@ -17,10 +20,7 @@ fn show(label: &str, q: &Seq<Dna>, p: &Seq<Dna>, cycles: &[u64]) {
         }
     }
     let occ = trace.occupancy();
-    println!(
-        "  occupancy per cycle: {:?}",
-        occ
-    );
+    println!("  occupancy per cycle: {:?}", occ);
     println!(
         "  peak wavefront width: {} cells\n",
         occ.iter().max().unwrap()
@@ -30,7 +30,12 @@ fn show(label: &str, q: &Seq<Dna>, p: &Seq<Dna>, cycles: &[u64]) {
 fn main() {
     println!("Figure 6 — wavefront propagation, N = 8\n");
     let (qw, pw) = mutate::worst_case_pair::<Dna>(8);
-    show("(a) worst case: fully mismatched strings", &qw, &pw, &[2, 5, 8, 12]);
+    show(
+        "(a) worst case: fully mismatched strings",
+        &qw,
+        &pw,
+        &[2, 5, 8, 12],
+    );
 
     let mut rng = rl_dag::generate::seeded_rng(9);
     let (qb, pb) = mutate::best_case_pair::<Dna, _>(&mut rng, 8);

@@ -40,9 +40,7 @@ fn main() {
                 )
             })
             .unwrap();
-        println!(
-            "Eq. 7 optimal m* = {m_star:.2}; measured sweep minimum at m = {sweep_best}"
-        );
+        println!("Eq. 7 optimal m* = {m_star:.2}; measured sweep minimum at m = {sweep_best}");
         println!(
             "ungated energy: {} pJ -> gated at m*: {} pJ ({}x better)\n",
             sci(energy::race_pj(&lib, n, Case::Worst)),

@@ -16,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // show that DFF count grows with log(N_DR), not N_DR.
     let mut t = Table::new(
         "cell census vs dynamic range",
-        &["matrix", "N_DR", "dffs (counter width)", "stickies", "total gates"],
+        &[
+            "matrix",
+            "N_DR",
+            "dffs (counter width)",
+            "stickies",
+            "total gates",
+        ],
     );
     let fig2b = TransformedWeights::from_scheme(&matrix::dna_shortest())?;
     let cell = GeneralizedCell::build(&fig2b);
@@ -50,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "counter width for BLOSUM62: {} bits (one-hot chains would need {} DFFs)",
-        64 - u64::from(blosum.dynamic_range()).leading_zeros(),
+        64 - blosum.dynamic_range().leading_zeros(),
         blosum.dynamic_range()
     );
 

@@ -10,7 +10,15 @@ fn main() {
     println!("Figure 9b — power density (W/cm²) vs string length N (AMIS)\n");
     let mut t = Table::new(
         "power density",
-        &["N", "race best", "race worst", "systolic", "clockless", "best+gate", "worst+gate"],
+        &[
+            "N",
+            "race best",
+            "race worst",
+            "systolic",
+            "clockless",
+            "best+gate",
+            "worst+gate",
+        ],
     );
     for n in linear_sweep() {
         t.row(&[

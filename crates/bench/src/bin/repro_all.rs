@@ -41,19 +41,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let or = CompiledRace::race(&dag, &sources, RaceKind::Or)?.arrival_at(sink);
     let and = CompiledRace::race(&dag, &sources, RaceKind::And)?.arrival_at(sink);
-    check("Fig3 OR-type race", "2".into(), or.to_string(), or.cycles() == Some(2));
-    check("Fig3 AND-type race", "3".into(), and.to_string(), and.cycles() == Some(3));
+    check(
+        "Fig3 OR-type race",
+        "2".into(),
+        or.to_string(),
+        or.cycles() == Some(2),
+    );
+    check(
+        "Fig3 AND-type race",
+        "3".into(),
+        and.to_string(),
+        and.cycles() == Some(3),
+    );
 
     // F4: the Fig. 4c score from all engines.
     let q: Seq<Dna> = "GATTCGA".parse()?;
     let p: Seq<Dna> = "ACTGAGA".parse()?;
     let race = AlignmentRace::new(&q, &p, RaceWeights::fig4());
     let functional = race.run_functional().latency_cycles();
-    let gate = race.build_circuit().run(race.cycle_budget())?.latency_cycles();
-    let sys = SystolicArray::new(&q, &p, SystolicWeights::fig2b())?.run().score;
-    check("Fig4c functional score", "10".into(), format!("{functional:?}"), functional == Some(10));
-    check("Fig4c gate-level score", "10".into(), format!("{gate:?}"), gate == Some(10));
-    check("Fig4c systolic score", "10".into(), sys.to_string(), sys == 10);
+    let gate = race
+        .build_circuit()
+        .run(race.cycle_budget())?
+        .latency_cycles();
+    let sys = SystolicArray::new(&q, &p, SystolicWeights::fig2b())?
+        .run()
+        .score;
+    check(
+        "Fig4c functional score",
+        "10".into(),
+        format!("{functional:?}"),
+        functional == Some(10),
+    );
+    check(
+        "Fig4c gate-level score",
+        "10".into(),
+        format!("{gate:?}"),
+        gate == Some(10),
+    );
+    check(
+        "Fig4c systolic score",
+        "10".into(),
+        sys.to_string(),
+        sys == 10,
+    );
 
     // §4.2 latency laws.
     let n = 32;
@@ -62,36 +92,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run_functional()
         .latency_cycles()
         .unwrap();
-    check("worst-case cycles (≈2N)", format!("{}", 2 * n - 2), worst.to_string(), worst == 2 * n as u64);
+    check(
+        "worst-case cycles (≈2N)",
+        format!("{}", 2 * n),
+        worst.to_string(),
+        worst == 2 * n as u64,
+    );
 
     // T0: headline ratios.
     let c = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
-    check("latency ratio @20", "4x".into(), format!("{:.2}x", c.latency_ratio), (3.5..=4.5).contains(&c.latency_ratio));
-    check("throughput/area @20", "~3x".into(), format!("{:.2}x", c.throughput_area_ratio), (2.5..=4.5).contains(&c.throughput_area_ratio));
-    check("power density @20", "5x".into(), format!("{:.2}x", c.power_density_ratio), (4.0..=6.0).contains(&c.power_density_ratio));
+    check(
+        "latency ratio @20",
+        "4x".into(),
+        format!("{:.2}x", c.latency_ratio),
+        (3.5..=4.5).contains(&c.latency_ratio),
+    );
+    check(
+        "throughput/area @20",
+        "~3x".into(),
+        format!("{:.2}x", c.throughput_area_ratio),
+        (2.5..=4.5).contains(&c.throughput_area_ratio),
+    );
+    check(
+        "power density @20",
+        "5x".into(),
+        format!("{:.2}x", c.power_density_ratio),
+        (4.0..=6.0).contains(&c.power_density_ratio),
+    );
     check(
         "energy bracket @20",
         "~200x".into(),
-        format!("{:.0}x..{:.0}x", c.energy_ratio_gated, c.energy_ratio_clockless),
+        format!(
+            "{:.0}x..{:.0}x",
+            c.energy_ratio_gated, c.energy_ratio_clockless
+        ),
         c.energy_ratio_gated > 50.0 && c.energy_ratio_clockless > 200.0,
     );
     let x = throughput::crossover_n(&TechLibrary::amis05());
-    check("Fig9a crossover", "N<70".into(), format!("N={x}"), (60..=80).contains(&x));
+    check(
+        "Fig9a crossover",
+        "N<70".into(),
+        format!("N={x}"),
+        (60..=80).contains(&x),
+    );
 
     // Eq. 5 fits.
     let e = energy::race_pj(&TechLibrary::amis05(), 100, Case::Best);
     let expect = 2.65 * 100.0_f64.powi(3) + 6.41 * 100.0_f64.powi(2);
-    check("Eq5a fit @N=100", format!("{expect:.0} pJ"), format!("{e:.0} pJ"), (e - expect).abs() < 1e-3);
+    check(
+        "Eq5a fit @N=100",
+        format!("{expect:.0} pJ"),
+        format!("{e:.0} pJ"),
+        (e - expect).abs() < 1e-3,
+    );
 
     // Eq. 7 optimum vs sweep at N = 64.
     let m_star = energy::optimal_gating_m(&TechLibrary::amis05(), 64);
     let sweep_best = (1..=64)
         .min_by(|&a, &b| {
-            energy::race_gated_pj(&TechLibrary::amis05(), 64, Case::Worst, a as f64)
-                .total_cmp(&energy::race_gated_pj(&TechLibrary::amis05(), 64, Case::Worst, b as f64))
+            energy::race_gated_pj(&TechLibrary::amis05(), 64, Case::Worst, a as f64).total_cmp(
+                &energy::race_gated_pj(&TechLibrary::amis05(), 64, Case::Worst, b as f64),
+            )
         })
         .unwrap();
-    check("Eq7 m* @N=64", format!("sweep={sweep_best}"), format!("{m_star:.2}"), (m_star - sweep_best as f64).abs() <= 1.0);
+    check(
+        "Eq7 m* @N=64",
+        format!("sweep={sweep_best}"),
+        format!("{m_star:.2}"),
+        (m_star - sweep_best as f64).abs() <= 1.0,
+    );
 
     // §5: BLOSUM62 round trip.
     let scheme = matrix::blosum62();
@@ -101,10 +170,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raced = w.reference_race_cost(&a, &b);
     let rec = w.recover_score(raced, a.len(), b.len()).unwrap();
     let reference = align::global_score(&a, &b, &scheme)?;
-    check("§5 BLOSUM62 recovery", reference.to_string(), rec.to_string(), rec == reference);
+    check(
+        "§5 BLOSUM62 recovery",
+        reference.to_string(),
+        rec.to_string(),
+        rec == reference,
+    );
 
     t.print();
-    println!("\noverall: {}", if all_ok { "ALL CHECKS PASS" } else { "SOME CHECKS FAILED" });
+    println!(
+        "\noverall: {}",
+        if all_ok {
+            "ALL CHECKS PASS"
+        } else {
+            "SOME CHECKS FAILED"
+        }
+    );
     assert!(all_ok);
     Ok(())
 }

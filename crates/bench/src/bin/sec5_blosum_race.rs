@@ -19,21 +19,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         weights.indel(),
         weights.dynamic_range()
     );
-    println!("best substitution (W/W, score 11) -> delay {}\n", weights.substitution(AminoAcid::Trp, AminoAcid::Trp).unwrap());
+    println!(
+        "best substitution (W/W, score 11) -> delay {}\n",
+        weights
+            .substitution(AminoAcid::Trp, AminoAcid::Trp)
+            .unwrap()
+    );
 
     let mut rng = seeded_rng(2024);
     let mut t = Table::new(
         "raced vs reference Needleman–Wunsch (BLOSUM62, gap -4)",
-        &["len Q", "len P", "raced delay", "recovered score", "reference", "ok"],
+        &[
+            "len Q",
+            "len P",
+            "raced delay",
+            "recovered score",
+            "reference",
+            "ok",
+        ],
     );
     let mut all_ok = true;
     for len in [5usize, 10, 20, 40] {
         let q: Seq<AminoAcid> = Seq::random(&mut rng, len);
-        let p = mutate::mutate(
-            &q,
-            &mutate::MutationConfig::balanced(0.15),
-            &mut rng,
-        );
+        let p = mutate::mutate(&q, &mutate::MutationConfig::balanced(0.15), &mut rng);
         let raced = weights.reference_race_cost(&q, &p);
         let recovered = weights.recover_score(raced, q.len(), p.len()).unwrap();
         let reference = align::global_score(&q, &p, &scheme)?;
@@ -53,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .recover_score(out.score(), q.len(), p.len())
         .unwrap();
     println!("\ngate-level generalized array: {q} vs {p}");
-    println!("  raced {} cycles -> BLOSUM62 score {recovered}", out.score());
+    println!(
+        "  raced {} cycles -> BLOSUM62 score {recovered}",
+        out.score()
+    );
     println!("  reference: {}", align::global_score(&q, &p, &scheme)?);
     println!("  array census: {}", arr.census());
     assert_eq!(recovered, align::global_score(&q, &p, &scheme)?);

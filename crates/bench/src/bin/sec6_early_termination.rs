@@ -29,7 +29,14 @@ fn main() {
 
     let mut t = Table::new(
         "scan outcomes vs threshold (N = 64, 40-entry database)",
-        &["threshold", "hits", "rejected", "cycles", "unthresholded", "saved"],
+        &[
+            "threshold",
+            "hits",
+            "rejected",
+            "cycles",
+            "unthresholded",
+            "saved",
+        ],
     );
     for threshold in [70u64, 80, 90, 100, 128] {
         let report = scan_database(&query, &db, RaceWeights::fig4(), threshold);

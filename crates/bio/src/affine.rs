@@ -15,10 +15,10 @@
 //! A race-logic affine aligner would need three racing planes (M/Ix/Iy)
 //! with cross-plane edges — a 3× area cost the paper never explores.
 
+use crate::align::AlignError;
 use crate::alphabet::Symbol;
 use crate::matrix::{Objective, ScoreScheme};
 use crate::seq::Seq;
-use crate::align::AlignError;
 
 /// Affine gap penalties: a length-`L` gap scores
 /// `open + L × scheme.gap()`.
@@ -64,8 +64,8 @@ pub fn global_affine_score<S: Symbol>(
     let mut ix_prev: Vec<Option<i64>> = vec![None; m + 1];
     let mut iy_prev: Vec<Option<i64>> = vec![None; m + 1];
     m_prev[0] = Some(0);
-    for j in 1..=m {
-        iy_prev[j] = Some(open + extend * j as i64);
+    for (j, slot) in iy_prev.iter_mut().enumerate().skip(1) {
+        *slot = Some(open + extend * j as i64);
     }
     for i in 1..=n {
         let mut m_row: Vec<Option<i64>> = vec![None; m + 1];
@@ -111,8 +111,7 @@ mod tests {
         let q = dna("GATTCGA");
         let p = dna("ACTGAGA");
         for scheme in [matrix::dna_shortest(), matrix::dna_longest()] {
-            let affine =
-                global_affine_score(&q, &p, &scheme, AffineGap { open: 0 }).unwrap();
+            let affine = global_affine_score(&q, &p, &scheme, AffineGap { open: 0 }).unwrap();
             let linear = align::global_score(&q, &p, &scheme).unwrap();
             assert_eq!(affine, linear, "{}", scheme.name());
         }
@@ -139,7 +138,10 @@ mod tests {
         // open -6 so total first-gap cost is -10.
         let affine = global_affine_score(&a, &b, &scheme, AffineGap { open: -6 }).unwrap();
         let linear = align::global_score(&a, &b, &scheme).unwrap();
-        assert!(affine <= linear, "opening penalties can only hurt a maximizer");
+        assert!(
+            affine <= linear,
+            "opening penalties can only hurt a maximizer"
+        );
         // Still clearly positive: the sequences are near-identical.
         assert!(affine > 20);
     }
@@ -149,7 +151,10 @@ mod tests {
         let e = Seq::<Dna>::empty();
         let s = dna("ACG");
         let scheme = matrix::levenshtein_scheme();
-        assert_eq!(global_affine_score(&e, &e, &scheme, AffineGap { open: 5 }).unwrap(), 0);
+        assert_eq!(
+            global_affine_score(&e, &e, &scheme, AffineGap { open: 5 }).unwrap(),
+            0
+        );
         assert_eq!(
             global_affine_score(&s, &e, &scheme, AffineGap { open: 5 }).unwrap(),
             5 + 3

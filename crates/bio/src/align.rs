@@ -148,7 +148,10 @@ impl Alignment {
                 }
             }
         }
-        assert!(i == q.len() && j == p.len(), "alignment does not cover both sequences");
+        assert!(
+            i == q.len() && j == p.len(),
+            "alignment does not cover both sequences"
+        );
         (top, bottom)
     }
 
@@ -293,7 +296,11 @@ pub fn global<S: Symbol>(
             .flatten();
         if let Some(s) = diag_sub {
             if dp[i - 1][j - 1].map(|v| v + i64::from(s)) == Some(cur) {
-                ops.push(if q[i - 1] == p[j - 1] { AlignOp::Match } else { AlignOp::Mismatch });
+                ops.push(if q[i - 1] == p[j - 1] {
+                    AlignOp::Match
+                } else {
+                    AlignOp::Mismatch
+                });
                 i -= 1;
                 j -= 1;
                 continue;
@@ -309,7 +316,10 @@ pub fn global<S: Symbol>(
         j -= 1;
     }
     ops.reverse();
-    Ok(AlignmentResult { score, alignment: Alignment { ops } })
+    Ok(AlignmentResult {
+        score,
+        alignment: Alignment { ops },
+    })
 }
 
 /// Smith–Waterman local similarity: the best-scoring pair of substrings,
@@ -423,9 +433,18 @@ mod tests {
     fn traceback_is_consistent_with_score() {
         let p = dna("ACTGAGA");
         let q = dna("GATTCGA");
-        for scheme in [matrix::dna_shortest(), matrix::dna_race(), matrix::levenshtein_scheme()] {
+        for scheme in [
+            matrix::dna_shortest(),
+            matrix::dna_race(),
+            matrix::levenshtein_scheme(),
+        ] {
             let r = global(&q, &p, &scheme).unwrap();
-            assert_eq!(r.alignment.score_under(&q, &p, &scheme), Some(r.score), "{}", scheme.name());
+            assert_eq!(
+                r.alignment.score_under(&q, &p, &scheme),
+                Some(r.score),
+                "{}",
+                scheme.name()
+            );
         }
     }
 
@@ -439,7 +458,10 @@ mod tests {
         assert_eq!(top.chars().filter(|&c| c != '_').count(), 7);
         assert_eq!(bottom.chars().filter(|&c| c != '_').count(), 7);
         // No column may gap both rows.
-        assert!(top.chars().zip(bottom.chars()).all(|(a, b)| a != '_' || b != '_'));
+        assert!(top
+            .chars()
+            .zip(bottom.chars())
+            .all(|(a, b)| a != '_' || b != '_'));
     }
 
     #[test]

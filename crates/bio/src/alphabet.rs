@@ -32,7 +32,10 @@ pub trait Symbol: Copy + Eq + Ord + std::hash::Hash + fmt::Debug + Send + Sync +
 
     /// All symbols in index order.
     fn all() -> AllSymbols<Self> {
-        AllSymbols { next: 0, _marker: std::marker::PhantomData }
+        AllSymbols {
+            next: 0,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Number of bits needed to encode one symbol (`⌈log₂ N_SS⌉`): the
@@ -167,8 +170,8 @@ const AMINO_ORDER: [AminoAcid; 20] = [
 ];
 
 const AMINO_CHARS: [char; 20] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 impl Symbol for AminoAcid {

@@ -74,20 +74,28 @@ pub fn parse<S: Symbol>(text: &str) -> Result<Vec<Record<S>>, FastaError> {
         }
         if let Some(id) = line.strip_prefix('>') {
             if let Some((id, symbols)) = current.take() {
-                records.push(Record { id, seq: Seq::new(symbols) });
+                records.push(Record {
+                    id,
+                    seq: Seq::new(symbols),
+                });
             }
             current = Some((id.trim().to_string(), Vec::new()));
         } else {
             let Some((_, symbols)) = current.as_mut() else {
                 return Err(FastaError::MissingHeader { line: lineno + 1 });
             };
-            let parsed: Seq<S> = Seq::from_text(line)
-                .map_err(|source| FastaError::BadSymbol { line: lineno + 1, source })?;
+            let parsed: Seq<S> = Seq::from_text(line).map_err(|source| FastaError::BadSymbol {
+                line: lineno + 1,
+                source,
+            })?;
             symbols.extend(parsed.into_vec());
         }
     }
     if let Some((id, symbols)) = current.take() {
-        records.push(Record { id, seq: Seq::new(symbols) });
+        records.push(Record {
+            id,
+            seq: Seq::new(symbols),
+        });
     }
     Ok(records)
 }

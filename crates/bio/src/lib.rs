@@ -18,6 +18,8 @@
 //!   (Smith–Waterman) score, and Levenshtein distance. These are the
 //!   oracles every hardware simulation in the workspace is validated
 //!   against.
+//! - [`packed`] — bit-packed sequence views (2 bits per DNA base): the
+//!   wire format consumed by `race_logic::engine`'s branch-free kernel.
 //! - [`mutate`] — seeded mutation models producing best-case, worst-case
 //!   and x%-similar string pairs, standing in for the proprietary genomic
 //!   traces the paper's test benches used (see DESIGN.md, substitutions).
@@ -41,13 +43,15 @@
 
 pub mod affine;
 pub mod align;
-pub mod fasta;
 pub mod alphabet;
+pub mod fasta;
 pub mod matrix;
 pub mod mutate;
+pub mod packed;
 mod seq;
 
 pub use align::{AlignOp, Alignment, AlignmentResult};
 pub use alphabet::{AminoAcid, Dna, Symbol};
 pub use matrix::{Objective, ScoreScheme};
+pub use packed::PackedSeq;
 pub use seq::{ParseSeqError, Seq};

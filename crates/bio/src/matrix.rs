@@ -43,7 +43,10 @@ impl fmt::Display for SchemeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemeError::WrongTableSize { expected, got } => {
-                write!(f, "substitution table has {got} entries, expected {expected}")
+                write!(
+                    f,
+                    "substitution table has {got} entries, expected {expected}"
+                )
             }
         }
     }
@@ -78,7 +81,10 @@ impl<S: Symbol> ScoreScheme<S> {
     ) -> Result<Self, SchemeError> {
         let expected = S::COUNT * S::COUNT;
         if substitution.len() != expected {
-            return Err(SchemeError::WrongTableSize { expected, got: substitution.len() });
+            return Err(SchemeError::WrongTableSize {
+                expected,
+                got: substitution.len(),
+            });
         }
         Ok(ScoreScheme {
             name,
@@ -199,9 +205,12 @@ pub fn dna_shortest() -> ScoreScheme<Dna> {
 /// be replaced by an insertion+deletion pair of equal total cost (1+1=2).
 #[must_use]
 pub fn dna_race() -> ScoreScheme<Dna> {
-    ScoreScheme::from_fn("DNA-race (Fig 2b, mismatch=∞)", Objective::Minimize, 1, |a, b| {
-        (a == b).then_some(1)
-    })
+    ScoreScheme::from_fn(
+        "DNA-race (Fig 2b, mismatch=∞)",
+        Objective::Minimize,
+        1,
+        |a, b| (a == b).then_some(1),
+    )
 }
 
 /// Unit-cost Levenshtein: match 0, mismatch 1, indel 1 (`Minimize`).
@@ -281,11 +290,7 @@ pub fn pam250() -> ScoreScheme<AminoAcid> {
     from_table("PAM250", &P250, -8)
 }
 
-fn from_table(
-    name: &'static str,
-    table: &[[i8; 20]; 20],
-    gap: i32,
-) -> ScoreScheme<AminoAcid> {
+fn from_table(name: &'static str, table: &[[i8; 20]; 20], gap: i32) -> ScoreScheme<AminoAcid> {
     let substitution = table
         .iter()
         .flat_map(|row| row.iter().map(|&v| Some(i32::from(v))))
@@ -330,7 +335,12 @@ mod tests {
     #[test]
     fn blosum62_spot_checks() {
         let b = blosum62();
-        let (w, c, a, v) = (AminoAcid::Trp, AminoAcid::Cys, AminoAcid::Ala, AminoAcid::Val);
+        let (w, c, a, v) = (
+            AminoAcid::Trp,
+            AminoAcid::Cys,
+            AminoAcid::Ala,
+            AminoAcid::Val,
+        );
         assert_eq!(b.substitution(w, w), Some(11));
         assert_eq!(b.substitution(c, c), Some(9));
         assert_eq!(b.substitution(a, v), Some(0));
@@ -354,7 +364,10 @@ mod tests {
     fn blosum62_diagonal_is_strictly_positive() {
         let b = blosum62();
         for a in AminoAcid::all() {
-            assert!(b.substitution(a, a).unwrap() > 0, "diagonal must reward identity");
+            assert!(
+                b.substitution(a, a).unwrap() > 0,
+                "diagonal must reward identity"
+            );
         }
     }
 
@@ -372,9 +385,15 @@ mod tests {
 
     #[test]
     fn wrong_table_size_rejected() {
-        let err = ScoreScheme::<Dna>::new("bad", Objective::Minimize, vec![Some(1); 3], 0)
-            .unwrap_err();
-        assert_eq!(err, SchemeError::WrongTableSize { expected: 16, got: 3 });
+        let err =
+            ScoreScheme::<Dna>::new("bad", Objective::Minimize, vec![Some(1); 3], 0).unwrap_err();
+        assert_eq!(
+            err,
+            SchemeError::WrongTableSize {
+                expected: 16,
+                got: 3
+            }
+        );
         assert!(err.to_string().contains("16"));
     }
 

@@ -26,13 +26,21 @@ impl MutationConfig {
     /// A pure-substitution model with the given rate.
     #[must_use]
     pub fn substitutions_only(rate: f64) -> Self {
-        MutationConfig { substitution_rate: rate, insertion_rate: 0.0, deletion_rate: 0.0 }
+        MutationConfig {
+            substitution_rate: rate,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        }
     }
 
     /// A balanced model: equal substitution/insertion/deletion rates.
     #[must_use]
     pub fn balanced(rate: f64) -> Self {
-        MutationConfig { substitution_rate: rate, insertion_rate: rate, deletion_rate: rate }
+        MutationConfig {
+            substitution_rate: rate,
+            insertion_rate: rate,
+            deletion_rate: rate,
+        }
     }
 
     fn validate(&self) {
@@ -41,7 +49,10 @@ impl MutationConfig {
             ("insertion_rate", self.insertion_rate),
             ("deletion_rate", self.deletion_rate),
         ] {
-            assert!((0.0..=1.0).contains(&r), "{name} must be a probability, got {r}");
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "{name} must be a probability, got {r}"
+            );
         }
     }
 }
@@ -118,7 +129,11 @@ pub fn similar_pair<S: Symbol, R: Rng>(
     substitution_rate: f64,
 ) -> (Seq<S>, Seq<S>) {
     let a: Seq<S> = Seq::random(rng, len);
-    let b = mutate(&a, &MutationConfig::substitutions_only(substitution_rate), rng);
+    let b = mutate(
+        &a,
+        &MutationConfig::substitutions_only(substitution_rate),
+        rng,
+    );
     (a, b)
 }
 
@@ -156,7 +171,11 @@ mod tests {
     fn full_deletion_empties() {
         let mut r = rng(3);
         let s: Seq<Dna> = Seq::random(&mut r, 30);
-        let cfg = MutationConfig { substitution_rate: 0.0, insertion_rate: 0.0, deletion_rate: 1.0 };
+        let cfg = MutationConfig {
+            substitution_rate: 0.0,
+            insertion_rate: 0.0,
+            deletion_rate: 1.0,
+        };
         assert!(mutate(&s, &cfg, &mut r).is_empty());
     }
 
@@ -179,7 +198,7 @@ mod tests {
         let d = levenshtein(&a, &b);
         // ~20 substitutions expected; allow generous slack but require
         // it to be clearly between "identical" and "random".
-        assert!(d >= 5 && d <= 60, "distance {d} out of plausible band");
+        assert!((5..=60).contains(&d), "distance {d} out of plausible band");
     }
 
     #[test]
@@ -195,7 +214,11 @@ mod tests {
     #[should_panic(expected = "must be a probability")]
     fn invalid_rate_panics() {
         let s: Seq<Dna> = Seq::repeated(Dna::A, 3);
-        let cfg = MutationConfig { substitution_rate: 2.0, insertion_rate: 0.0, deletion_rate: 0.0 };
+        let cfg = MutationConfig {
+            substitution_rate: 2.0,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        };
         let _ = mutate(&s, &cfg, &mut rng(0));
     }
 }

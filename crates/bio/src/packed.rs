@@ -1,0 +1,229 @@
+//! Bit-packed sequence views: the wire format of the alignment engine.
+//!
+//! The Race Logic cell compares two symbol codes each cycle (paper
+//! Fig. 4b: an XNOR pair per bit plus an AND). Software that wants to
+//! match the hardware's economy packs each symbol into its minimal
+//! `⌈log₂ N_SS⌉`-bit code — 2 bits per DNA base, 32 bases per `u64`
+//! word — and the match test becomes a branch-free packed-code compare.
+//!
+//! [`PackedSeq`] is that representation: an immutable, densely packed
+//! copy of a [`Seq`] with O(1) random access to symbol codes and a bulk
+//! [`PackedSeq::unpack_into`] for kernels that want a flat byte view in
+//! reused scratch memory (e.g. `race_logic::engine::AlignEngine`).
+
+use std::marker::PhantomData;
+
+use crate::alphabet::Symbol;
+use crate::Seq;
+
+/// A bit-packed, immutable view of a sequence: `S::bits()` bits per
+/// symbol, little-endian within each `u64` word.
+///
+/// # Examples
+///
+/// ```
+/// use rl_bio::{PackedSeq, Seq, alphabet::Dna};
+///
+/// let s: Seq<Dna> = "ACTGAGA".parse()?;
+/// let packed = PackedSeq::from_seq(&s);
+/// assert_eq!(packed.len(), 7);
+/// assert_eq!(packed.bits_per_symbol(), 2);
+/// assert_eq!(packed.code(2), 3); // T
+/// assert_eq!(packed.to_seq(), s);
+/// # Ok::<(), rl_bio::ParseSeqError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedSeq<S: Symbol> {
+    words: Vec<u64>,
+    len: usize,
+    _marker: PhantomData<S>,
+}
+
+impl<S: Symbol> PackedSeq<S> {
+    /// Symbols per 64-bit word for this alphabet.
+    #[must_use]
+    pub fn symbols_per_word() -> usize {
+        (64 / S::bits()) as usize
+    }
+
+    /// Packs a sequence.
+    #[must_use]
+    pub fn from_seq(seq: &Seq<S>) -> Self {
+        Self::from_codes(seq.codes(), seq.len())
+    }
+
+    /// Packs an iterator of symbol codes (each `< S::COUNT`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a code is out of range for the alphabet.
+    pub fn from_codes(codes: impl IntoIterator<Item = u8>, len: usize) -> Self {
+        let bits = S::bits();
+        let per_word = Self::symbols_per_word();
+        let mut words = vec![0_u64; len.div_ceil(per_word)];
+        let mut n = 0;
+        for (i, code) in codes.into_iter().enumerate() {
+            assert!(
+                (code as usize) < S::COUNT,
+                "symbol code {code} out of range for {}",
+                S::NAME
+            );
+            words[i / per_word] |= u64::from(code) << ((i % per_word) as u32 * bits);
+            n += 1;
+        }
+        assert_eq!(n, len, "code iterator length mismatch");
+        PackedSeq {
+            words,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for the empty sequence.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per symbol (2 for DNA, 5 for amino acids).
+    #[must_use]
+    pub fn bits_per_symbol(&self) -> u32 {
+        S::bits()
+    }
+
+    /// The packed words (little-endian codes within each word).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The code of symbol `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    #[must_use]
+    pub fn code(&self, i: usize) -> u8 {
+        assert!(i < self.len, "symbol index out of range");
+        let bits = S::bits();
+        let per_word = Self::symbols_per_word();
+        let word = self.words[i / per_word];
+        let shift = (i % per_word) as u32 * bits;
+        ((word >> shift) & ((1 << bits) - 1)) as u8
+    }
+
+    /// Iterates over all symbol codes.
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        let bits = S::bits();
+        let per_word = Self::symbols_per_word();
+        let mask = (1_u64 << bits) - 1;
+        (0..self.len).map(move |i| {
+            let word = self.words[i / per_word];
+            ((word >> ((i % per_word) as u32 * bits)) & mask) as u8
+        })
+    }
+
+    /// Unpacks all codes into `out` (cleared first, capacity reused) —
+    /// the zero-allocation path for kernels with scratch buffers.
+    pub fn unpack_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(self.codes());
+    }
+
+    /// Expands back to a symbol sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed data is corrupt (a code out of alphabet
+    /// range), which cannot happen for views built by this module.
+    #[must_use]
+    pub fn to_seq(&self) -> Seq<S> {
+        self.codes()
+            .map(|c| S::from_index(c as usize).expect("packed code in alphabet range"))
+            .collect()
+    }
+}
+
+impl<S: Symbol> From<&Seq<S>> for PackedSeq<S> {
+    fn from(seq: &Seq<S>) -> Self {
+        PackedSeq::from_seq(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{AminoAcid, Dna};
+    use proptest::prelude::*;
+
+    #[test]
+    fn dna_packs_32_per_word() {
+        assert_eq!(PackedSeq::<Dna>::symbols_per_word(), 32);
+        let s: Seq<Dna> = "ACGTACGTACGTACGTACGTACGTACGTACGTA".parse().unwrap(); // 33 symbols
+        let p = PackedSeq::from_seq(&s);
+        assert_eq!(p.words().len(), 2, "33 bases need two words");
+        assert_eq!(p.to_seq(), s);
+    }
+
+    #[test]
+    fn amino_packs_12_per_word() {
+        assert_eq!(PackedSeq::<AminoAcid>::symbols_per_word(), 12);
+        let s: Seq<AminoAcid> = "MKLVARNDCQEGH".parse().unwrap(); // 13 symbols
+        let p = PackedSeq::from_seq(&s);
+        assert_eq!(p.words().len(), 2);
+        assert_eq!(p.to_seq(), s);
+    }
+
+    #[test]
+    fn unpack_into_reuses_capacity() {
+        let s: Seq<Dna> = "ACGTACGT".parse().unwrap();
+        let p = PackedSeq::from_seq(&s);
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        p.unpack_into(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(buf.capacity(), cap, "no reallocation for fitting input");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let p = PackedSeq::<Dna>::from_seq(&Seq::empty());
+        assert!(p.is_empty());
+        assert_eq!(p.words().len(), 0);
+        assert_eq!(p.to_seq(), Seq::<Dna>::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_code_rejected() {
+        let _ = PackedSeq::<Dna>::from_codes([7_u8], 1);
+    }
+
+    proptest! {
+        /// Packing is lossless for both alphabets.
+        #[test]
+        fn dna_round_trip(s in "[ACGT]{0,100}") {
+            let seq: Seq<Dna> = s.parse().unwrap();
+            let p = PackedSeq::from_seq(&seq);
+            prop_assert_eq!(p.len(), seq.len());
+            prop_assert_eq!(p.to_seq(), seq.clone());
+            for (i, sym) in seq.iter().enumerate() {
+                prop_assert_eq!(p.code(i) as usize, sym.index());
+            }
+        }
+
+        #[test]
+        fn amino_round_trip(s in "[ARNDCQEGHILKMFPSTWYV]{0,40}") {
+            let seq: Seq<AminoAcid> = s.parse().unwrap();
+            let p = PackedSeq::from_seq(&seq);
+            prop_assert_eq!(p.to_seq(), seq);
+        }
+    }
+}

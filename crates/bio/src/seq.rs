@@ -57,7 +57,9 @@ impl<S: Symbol> Seq<S> {
     /// The empty sequence.
     #[must_use]
     pub fn empty() -> Self {
-        Seq { symbols: Vec::new() }
+        Seq {
+            symbols: Vec::new(),
+        }
     }
 
     /// Parses a sequence from single-letter codes (case-insensitive).
@@ -70,7 +72,11 @@ impl<S: Symbol> Seq<S> {
         text.chars()
             .enumerate()
             .map(|(position, ch)| {
-                S::from_char(ch).ok_or(ParseSeqError { ch, position, alphabet: S::NAME })
+                S::from_char(ch).ok_or(ParseSeqError {
+                    ch,
+                    position,
+                    alphabet: S::NAME,
+                })
             })
             .collect::<Result<Vec<S>, _>>()
             .map(Seq::new)
@@ -80,8 +86,7 @@ impl<S: Symbol> Seq<S> {
     pub fn random<R: Rng>(rng: &mut R, len: usize) -> Self {
         let symbols = (0..len)
             .map(|_| {
-                S::from_index(rng.random_range(0..S::COUNT))
-                    .expect("index < COUNT is always valid")
+                S::from_index(rng.random_range(0..S::COUNT)).expect("index < COUNT is always valid")
             })
             .collect();
         Seq { symbols }
@@ -90,7 +95,9 @@ impl<S: Symbol> Seq<S> {
     /// A sequence of `len` copies of one symbol.
     #[must_use]
     pub fn repeated(symbol: S, len: usize) -> Self {
-        Seq { symbols: vec![symbol; len] }
+        Seq {
+            symbols: vec![symbol; len],
+        }
     }
 
     /// Number of symbols.
@@ -114,6 +121,13 @@ impl<S: Symbol> Seq<S> {
     /// Iterates over the symbols.
     pub fn iter(&self) -> std::slice::Iter<'_, S> {
         self.symbols.iter()
+    }
+
+    /// Iterates over the dense symbol codes (each `< S::COUNT`, so they
+    /// fit a `u8` for every supported alphabet) — the lowering shared by
+    /// the packed views and the alignment kernels.
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        self.symbols.iter().map(|s| s.index() as u8)
     }
 
     /// Consumes the sequence, returning its symbols.

@@ -158,11 +158,18 @@ mod tests {
         g.for_each_input(|x| seen.push(x));
         assert_eq!(seen, vec![n(0), n(1), n(2)]);
 
-        let d = Gate::Dff { d: n(5), init: false };
+        let d = Gate::Dff {
+            d: n(5),
+            init: false,
+        };
         assert_eq!(d.kind(), CellKind::Dff);
         assert!(d.is_sequential());
 
-        let m = Gate::Mux2 { sel: n(1), a0: n(2), a1: n(3) };
+        let m = Gate::Mux2 {
+            sel: n(1),
+            a0: n(2),
+            a1: n(3),
+        };
         let mut seen = Vec::new();
         m.for_each_input(|x| seen.push(x));
         assert_eq!(seen.len(), 3);

@@ -12,8 +12,8 @@
 //! statistics); the equivalence is property-tested here and exercised on
 //! full alignment arrays by the `race-logic` crate's tests.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::levelize::levelize;
 use crate::sim::ActivityStats;
@@ -327,15 +327,12 @@ mod tests {
         for _ in 0..20 {
             full.tick().unwrap();
             inc.tick().unwrap();
-            assert_eq!(
-                stdcells::read_bus(&mut full, &bus),
-                {
-                    // read via incremental backend
-                    bus.iter().enumerate().fold(0_u64, |acc, (i, &n)| {
-                        acc | (u64::from(inc.value(n)) << i)
-                    })
-                }
-            );
+            assert_eq!(stdcells::read_bus(&mut full, &bus), {
+                // read via incremental backend
+                bus.iter()
+                    .enumerate()
+                    .fold(0_u64, |acc, (i, &n)| acc | (u64::from(inc.value(n)) << i))
+            });
         }
     }
 

@@ -25,9 +25,7 @@ pub(crate) fn levelize(netlist: &Netlist) -> Result<EvalOrder, CircuitError> {
     let n = netlist.net_count();
     // Combinational gates are everything except Input/Const/Dff.
     // (Sticky is combinational from d to output.)
-    let is_comb = |g: &Gate| {
-        !matches!(g, Gate::Input | Gate::Const(_) | Gate::Dff { .. })
-    };
+    let is_comb = |g: &Gate| !matches!(g, Gate::Input | Gate::Const(_) | Gate::Dff { .. });
     let gates = netlist.gates();
     let mut pending = vec![0_u32; n]; // unresolved comb inputs per comb gate
     let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -63,6 +61,16 @@ pub(crate) fn levelize(netlist: &Netlist) -> Result<EvalOrder, CircuitError> {
             .find(|&i| is_comb(&gates[i]) && pending[i] > 0)
             .expect("loop detected but no pending gate");
         Err(CircuitError::CombinationalLoop(Net(culprit as u32)))
+    }
+}
+
+impl Netlist {
+    /// Replaces a gate in place. Test-only hook used to construct
+    /// pathological netlists (combinational loops) that the safe builder
+    /// API cannot express.
+    #[doc(hidden)]
+    pub fn patch_gate_for_tests(&mut self, net: Net, gate: Gate) {
+        self.set_gate(net, gate);
     }
 }
 
@@ -117,15 +125,5 @@ mod tests {
             Err(CircuitError::CombinationalLoop(_)) => {}
             other => panic!("expected loop error, got {other:?}"),
         }
-    }
-}
-
-impl Netlist {
-    /// Replaces a gate in place. Test-only hook used to construct
-    /// pathological netlists (combinational loops) that the safe builder
-    /// API cannot express.
-    #[doc(hidden)]
-    pub fn patch_gate_for_tests(&mut self, net: Net, gate: Gate) {
-        self.set_gate(net, gate);
     }
 }

@@ -47,7 +47,7 @@ pub fn equality(nl: &mut Netlist, a: &[Net], b: &[Net]) -> Net {
 pub fn equals_const(nl: &mut Netlist, a: &[Net], value: u64) -> Net {
     assert!(!a.is_empty(), "equals_const needs at least one bit");
     assert!(
-        u32::try_from(a.len()).map_or(false, |w| w >= 64 || value < (1_u64 << w)),
+        u32::try_from(a.len()).is_ok_and(|w| w >= 64 || value < (1_u64 << w)),
         "constant {value} does not fit in {} bits",
         a.len()
     );
@@ -230,7 +230,9 @@ mod tests {
     fn greater_equal_const_exhaustive() {
         let mut nl = Netlist::new();
         let a = drive(&mut nl, 4);
-        let taps: Vec<Net> = (0..=17).map(|k| greater_equal_const(&mut nl, &a, k)).collect();
+        let taps: Vec<Net> = (0..=17)
+            .map(|k| greater_equal_const(&mut nl, &a, k))
+            .collect();
         let mut sim = CycleSimulator::new(&nl).unwrap();
         for x in 0..16_u64 {
             set_bus(&mut sim, &a, x);

@@ -44,13 +44,21 @@ impl RaceWeights {
     /// mismatch ∞, indel 1 (the modified Fig. 2b matrix).
     #[must_use]
     pub fn fig4() -> Self {
-        RaceWeights { matched: 1, mismatched: None, indel: 1 }
+        RaceWeights {
+            matched: 1,
+            mismatched: None,
+            indel: 1,
+        }
     }
 
     /// The unmodified Fig. 2b matrix: match 1, mismatch 2, indel 1.
     #[must_use]
     pub fn fig2b() -> Self {
-        RaceWeights { matched: 1, mismatched: Some(2), indel: 1 }
+        RaceWeights {
+            matched: 1,
+            mismatched: Some(2),
+            indel: 1,
+        }
     }
 
     /// Unit-cost Levenshtein weights: match 0, mismatch 1, indel 1.
@@ -59,7 +67,11 @@ impl RaceWeights {
     /// for deep synchronous implementations (long combinational paths).
     #[must_use]
     pub fn levenshtein() -> Self {
-        RaceWeights { matched: 0, mismatched: Some(1), indel: 1 }
+        RaceWeights {
+            matched: 0,
+            mismatched: Some(1),
+            indel: 1,
+        }
     }
 
     fn validate(&self) {
@@ -95,8 +107,17 @@ impl AlignmentOutcome {
         cols: usize,
         stats: Option<rl_circuit::ActivityStats>,
     ) -> Self {
-        assert_eq!(arrival.len(), (rows + 1) * (cols + 1), "grid shape mismatch");
-        AlignmentOutcome { arrival, rows, cols, stats }
+        assert_eq!(
+            arrival.len(),
+            (rows + 1) * (cols + 1),
+            "grid shape mismatch"
+        );
+        AlignmentOutcome {
+            arrival,
+            rows,
+            cols,
+            stats,
+        }
     }
 
     /// Arrival time of cell `(i, j)` (row `i` of Q, column `j` of P),
@@ -164,7 +185,11 @@ impl<S: Symbol> AlignmentRace<S> {
     #[must_use]
     pub fn new(q: &Seq<S>, p: &Seq<S>, weights: RaceWeights) -> Self {
         weights.validate();
-        AlignmentRace { q: q.clone(), p: p.clone(), weights }
+        AlignmentRace {
+            q: q.clone(),
+            p: p.clone(),
+            weights,
+        }
     }
 
     /// The configured weights.
@@ -174,35 +199,24 @@ impl<S: Symbol> AlignmentRace<S> {
     }
 
     /// Runs the race functionally: computes every cell's arrival time by
-    /// the min-plus fixed point (`O(N·M)`, no gates).
+    /// the min-plus fixed point (`O(N·M)`, no gates). Delegates to the
+    /// [`crate::engine`] kernel; for score-only or batched workloads use
+    /// [`crate::engine::AlignEngine`] directly, which skips this method's
+    /// per-call grid allocation.
     #[must_use]
     pub fn run_functional(&self) -> AlignmentOutcome {
         let (n, m) = (self.q.len(), self.p.len());
-        let w = self.weights;
-        let cols = m + 1;
-        let mut arrival = vec![Time::NEVER; (n + 1) * cols];
-        arrival[0] = Time::ZERO;
-        for j in 1..=m {
-            arrival[j] = arrival[j - 1].delay_by(w.indel);
+        let q_codes: Vec<u8> = self.q.codes().collect();
+        let p_codes: Vec<u8> = self.p.codes().collect();
+        let mut grid = Vec::new();
+        crate::engine::fill_grid(&q_codes, &p_codes, self.weights, None, &mut grid);
+        let arrival = grid.into_iter().map(crate::engine::raw_to_time).collect();
+        AlignmentOutcome {
+            arrival,
+            rows: n,
+            cols: m,
+            stats: None,
         }
-        for i in 1..=n {
-            arrival[i * cols] = arrival[(i - 1) * cols].delay_by(w.indel);
-            for j in 1..=m {
-                let up = arrival[(i - 1) * cols + j].delay_by(w.indel);
-                let left = arrival[i * cols + j - 1].delay_by(w.indel);
-                let diag_w = if self.q[i - 1] == self.p[j - 1] {
-                    Some(w.matched)
-                } else {
-                    w.mismatched
-                };
-                let diag = match diag_w {
-                    Some(d) => arrival[(i - 1) * cols + j - 1].delay_by(d),
-                    None => Time::NEVER,
-                };
-                arrival[i * cols + j] = up.earlier(left).earlier(diag);
-            }
-        }
-        AlignmentOutcome { arrival, rows: n, cols: m, stats: None }
     }
 
     /// Builds the gate-level Fig. 4 array.
@@ -330,15 +344,14 @@ impl GateLevelAlignment {
         sim.set_input(self.start, true)?;
         let total = self.cells.len();
         let mut arrival = vec![Time::NEVER; total];
-        let record = |sim: &mut rl_circuit::IncrementalSimulator<'_>,
-                      arrival: &mut Vec<Time>,
-                      t: u64| {
-            for (idx, &net) in self.cells.iter().enumerate() {
-                if arrival[idx].is_never() && sim.value(net) {
-                    arrival[idx] = Time::from_cycles(t);
+        let record =
+            |sim: &mut rl_circuit::IncrementalSimulator<'_>, arrival: &mut Vec<Time>, t: u64| {
+                for (idx, &net) in self.cells.iter().enumerate() {
+                    if arrival[idx].is_never() && sim.value(net) {
+                        arrival[idx] = Time::from_cycles(t);
+                    }
                 }
-            }
-        };
+            };
         record(&mut sim, &mut arrival, 0);
         let out_idx = total - 1;
         let mut t = 0;
@@ -458,7 +471,11 @@ mod tests {
         let gate = circuit.run(race.cycle_budget()).unwrap();
         for i in 0..=7 {
             for j in 0..=7 {
-                assert_eq!(gate.arrival(i, j), functional.arrival(i, j), "cell ({i},{j})");
+                assert_eq!(
+                    gate.arrival(i, j),
+                    functional.arrival(i, j),
+                    "cell ({i},{j})"
+                );
             }
         }
         assert!(gate.stats.is_some());
@@ -489,9 +506,10 @@ mod tests {
         let out = AlignmentRace::new(&q, &p, RaceWeights::fig4()).run_functional();
         let table = out.render_table();
         let first = table.lines().next().unwrap();
-        assert_eq!(first.split_whitespace().collect::<Vec<_>>(), vec![
-            "0", "1", "2", "3", "4", "5", "6", "7"
-        ]);
+        assert_eq!(
+            first.split_whitespace().collect::<Vec<_>>(),
+            vec!["0", "1", "2", "3", "4", "5", "6", "7"]
+        );
     }
 
     #[test]
@@ -541,7 +559,11 @@ mod tests {
         let _ = AlignmentRace::new(
             &s,
             &s,
-            RaceWeights { matched: 1, mismatched: None, indel: 0 },
+            RaceWeights {
+                matched: 1,
+                mismatched: None,
+                indel: 0,
+            },
         );
     }
 
@@ -558,6 +580,7 @@ mod tests {
         /// Invariant 3 of DESIGN.md: the functional race equals the
         /// Needleman–Wunsch reference under the race matrix.
         #[test]
+        #[allow(clippy::needless_range_loop)] // dp and arrival are co-indexed
         fn functional_race_equals_reference(qs in "[ACGT]{0,20}", ps in "[ACGT]{0,20}") {
             let (q, p) = (dna(&qs), dna(&ps));
             let out = AlignmentRace::new(&q, &p, RaceWeights::fig4()).run_functional();

@@ -211,7 +211,11 @@ pub fn monte_carlo<R: Rng>(
         jitter,
         trials,
         score_errors: errors,
-        mean_abs_deviation: if trials > 0 { dev / f64::from(trials) } else { 0.0 },
+        mean_abs_deviation: if trials > 0 {
+            dev / f64::from(trials)
+        } else {
+            0.0
+        },
     })
 }
 
@@ -266,7 +270,12 @@ mod tests {
         let mut rng = seeded_rng(99);
         let lo = monte_carlo(&dag, &roots, sink, RaceKind::Or, 0.01, 200, &mut rng).unwrap();
         let hi = monte_carlo(&dag, &roots, sink, RaceKind::Or, 0.30, 200, &mut rng).unwrap();
-        assert!(lo.error_rate() <= hi.error_rate(), "{} > {}", lo.error_rate(), hi.error_rate());
+        assert!(
+            lo.error_rate() <= hi.error_rate(),
+            "{} > {}",
+            lo.error_rate(),
+            hi.error_rate()
+        );
         assert!(lo.mean_abs_deviation < hi.mean_abs_deviation);
         // Large variation on a deep graph is very likely to misquantize
         // at least sometimes.
@@ -278,7 +287,11 @@ mod tests {
         let (dag, roots, sink) = graph(11);
         let mut rng = seeded_rng(4);
         let r = monte_carlo(&dag, &roots, sink, RaceKind::Or, 0.002, 100, &mut rng).unwrap();
-        assert!(r.error_rate() < 0.2, "0.2% jitter broke {}% of races", r.error_rate() * 100.0);
+        assert!(
+            r.error_rate() < 0.2,
+            "0.2% jitter broke {}% of races",
+            r.error_rate() * 100.0
+        );
     }
 
     #[test]

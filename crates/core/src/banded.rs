@@ -91,42 +91,17 @@ pub fn banded_race<S: Symbol>(
 ) -> BandedOutcome {
     assert!(weights.indel > 0, "indel weight must be positive");
     let (n, m) = (q.len(), p.len());
-    let cols = m + 1;
-    let in_band = |i: usize, j: usize| i.abs_diff(j) <= band;
-    let mut arrival = vec![Time::NEVER; (n + 1) * cols];
-    let mut cells_built = 0;
-    for i in 0..=n {
-        for j in 0..=m {
-            if !in_band(i, j) {
-                continue;
-            }
-            cells_built += 1;
-            let idx = i * cols + j;
-            if i == 0 && j == 0 {
-                arrival[idx] = Time::ZERO;
-                continue;
-            }
-            let mut best = Time::NEVER;
-            if j > 0 && in_band(i, j - 1) {
-                best = best.earlier(arrival[idx - 1].delay_by(weights.indel));
-            }
-            if i > 0 && in_band(i - 1, j) {
-                best = best.earlier(arrival[idx - cols].delay_by(weights.indel));
-            }
-            if i > 0 && j > 0 {
-                let dw = if q[i - 1] == p[j - 1] {
-                    Some(weights.matched)
-                } else {
-                    weights.mismatched
-                };
-                if let Some(d) = dw {
-                    best = best.earlier(arrival[idx - cols - 1].delay_by(d));
-                }
-            }
-            arrival[idx] = best;
-        }
+    let q_codes: Vec<u8> = q.codes().collect();
+    let p_codes: Vec<u8> = p.codes().collect();
+    let mut grid = Vec::new();
+    let cells_built = crate::engine::fill_grid(&q_codes, &p_codes, weights, Some(band), &mut grid);
+    BandedOutcome {
+        score: crate::engine::raw_to_time(grid[n * (m + 1) + m]),
+        band,
+        cells_built: cells_built as usize,
+        rows: n,
+        cols: m,
     }
-    BandedOutcome { score: arrival[n * cols + m], band, cells_built, rows: n, cols: m }
 }
 
 /// Doubles the band until the result is certified exact (or the band

@@ -110,11 +110,14 @@ impl CompiledRace {
         // Unreachable nodes keep a dead constant-0 net so indexing stays
         // total.
         let zero = nl.constant(false);
-        let node_nets = node_nets
-            .into_iter()
-            .map(|n| n.unwrap_or(zero))
-            .collect();
-        Ok(CompiledRace { netlist: nl, input, node_nets, kind, sinks })
+        let node_nets = node_nets.into_iter().map(|n| n.unwrap_or(zero)).collect();
+        Ok(CompiledRace {
+            netlist: nl,
+            input,
+            node_nets,
+            kind,
+            sinks,
+        })
     }
 
     /// The compiled netlist (for census / inspection).
@@ -158,23 +161,26 @@ impl CompiledRace {
         // Cycle 0: sources (and anything reachable through zero-weight
         // wires) are already high.
         let record = |sim: &mut CycleSimulator<'_>, arrival: &mut Vec<Time>, t: u64| {
-            for i in 0..n {
-                if arrival[i].is_never() && sim.value(self.node_nets[i]) {
-                    arrival[i] = Time::from_cycles(t);
+            for (a, &net) in arrival.iter_mut().zip(&self.node_nets) {
+                if a.is_never() && sim.value(net) {
+                    *a = Time::from_cycles(t);
                 }
             }
         };
         record(&mut sim, &mut arrival, 0);
-        let all_sinks_fired = |arrival: &Vec<Time>| {
-            self.sinks.iter().all(|s| arrival[s.index()].is_finite())
-        };
+        let all_sinks_fired =
+            |arrival: &Vec<Time>| self.sinks.iter().all(|s| arrival[s.index()].is_finite());
         let mut t = 0;
         while t < max_cycles && !all_sinks_fired(&arrival) {
             sim.tick()?;
             t += 1;
             record(&mut sim, &mut arrival, t);
         }
-        Ok(GateRaceOutcome { arrival, cycles_run: t, stats: sim.stats() })
+        Ok(GateRaceOutcome {
+            arrival,
+            cycles_run: t,
+            stats: sim.stats(),
+        })
     }
 
     /// Runs the race to *quiescence*: keeps ticking until no node has
@@ -198,9 +204,9 @@ impl CompiledRace {
         sim.set_input(self.input, true)?;
         let record = |sim: &mut CycleSimulator<'_>, arrival: &mut Vec<Time>, t: u64| -> bool {
             let mut fired = false;
-            for i in 0..n {
-                if arrival[i].is_never() && sim.value(self.node_nets[i]) {
-                    arrival[i] = Time::from_cycles(t);
+            for (a, &net) in arrival.iter_mut().zip(&self.node_nets) {
+                if a.is_never() && sim.value(net) {
+                    *a = Time::from_cycles(t);
                     fired = true;
                 }
             }
@@ -218,7 +224,11 @@ impl CompiledRace {
                 quiet += 1;
             }
         }
-        Ok(GateRaceOutcome { arrival, cycles_run: t, stats: sim.stats() })
+        Ok(GateRaceOutcome {
+            arrival,
+            cycles_run: t,
+            stats: sim.stats(),
+        })
     }
 
     /// Compile-and-run convenience with a cycle budget derived from the
@@ -229,7 +239,11 @@ impl CompiledRace {
     /// As [`CompiledRace::compile`] and [`CompiledRace::run`], plus
     /// [`RaceError::RaceTimeout`] if some sink still had not fired at the
     /// derived bound (possible only for disconnected sinks).
-    pub fn race(dag: &Dag, sources: &[NodeId], kind: RaceKind) -> Result<GateRaceOutcome, RaceError> {
+    pub fn race(
+        dag: &Dag,
+        sources: &[NodeId],
+        kind: RaceKind,
+    ) -> Result<GateRaceOutcome, RaceError> {
         let compiled = CompiledRace::compile(dag, sources, kind)?;
         let budget = dag.total_weight().cycles().unwrap_or(u64::MAX - 1) + 1;
         let outcome = compiled.run_quiescent(budget, dag.max_weight().unwrap_or(0))?;
@@ -302,12 +316,15 @@ mod tests {
     #[test]
     fn and_infeasible_rejected_at_compile() {
         let mut b = DagBuilder::with_nodes(2);
-        b.add_edge(NodeId::from_index_for_tests(0), NodeId::from_index_for_tests(1), 1)
-            .unwrap();
+        b.add_edge(
+            NodeId::from_index_for_tests(0),
+            NodeId::from_index_for_tests(1),
+            1,
+        )
+        .unwrap();
         let dag = b.build().unwrap();
-        let err =
-            CompiledRace::compile(&dag, &[NodeId::from_index_for_tests(1)], RaceKind::And)
-                .unwrap_err();
+        let err = CompiledRace::compile(&dag, &[NodeId::from_index_for_tests(1)], RaceKind::And)
+            .unwrap_err();
         assert_eq!(err, RaceError::AndInfeasible);
     }
 

@@ -11,7 +11,8 @@
 
 use rl_bio::{alphabet::Symbol, Seq};
 
-use crate::alignment::{AlignmentRace, RaceWeights};
+use crate::alignment::RaceWeights;
+use crate::engine::{AlignConfig, AlignEngine};
 use crate::score_transform::TransformedWeights;
 
 /// The outcome of a thresholded race.
@@ -50,7 +51,10 @@ impl ThresholdOutcome {
 }
 
 /// Races `q` against `p` under simple alignment weights, abandoning at
-/// `threshold`.
+/// `threshold`. Runs on the [`crate::engine`] kernel with the threshold
+/// *fused into the row sweep*: the race stops computing the moment a
+/// whole arrival frontier exceeds the threshold, just as the hardware
+/// moves on the moment the threshold cycle passes.
 #[must_use]
 pub fn threshold_race<S: Symbol>(
     q: &Seq<S>,
@@ -58,8 +62,9 @@ pub fn threshold_race<S: Symbol>(
     weights: RaceWeights,
     threshold: u64,
 ) -> ThresholdOutcome {
-    let outcome = AlignmentRace::new(q, p, weights).run_functional();
-    classify(outcome.latency_cycles(), threshold)
+    let cfg = AlignConfig::new(weights).with_threshold(threshold);
+    let outcome = AlignEngine::new(cfg).align_seqs(q, p);
+    classify(outcome.finished_score(), threshold)
 }
 
 /// Races `q` against `p` under transformed (Section 5) weights,
@@ -122,11 +127,15 @@ pub fn scan_database<S: Symbol>(
     let mut rejected = 0;
     let mut total_cycles = 0;
     let mut unthresholded = 0;
+    // One engine for the whole scan: scratch buffers are reused across
+    // patterns. The race runs to completion (no fused threshold) because
+    // the report also prices the hypothetical threshold-less scan.
+    let mut engine = AlignEngine::new(AlignConfig::new(weights));
     for (idx, pattern) in database.iter().enumerate() {
-        let outcome = AlignmentRace::new(query, pattern, weights).run_functional();
-        let full = outcome.latency_cycles().unwrap_or(0);
+        let outcome = engine.align_seqs(query, pattern);
+        let full = outcome.score.cycles().unwrap_or(0);
         unthresholded += full;
-        match classify(outcome.latency_cycles(), threshold) {
+        match classify(outcome.score.cycles(), threshold) {
             ThresholdOutcome::Within { score } => {
                 hits.push((idx, score));
                 total_cycles += score;
@@ -137,12 +146,18 @@ pub fn scan_database<S: Symbol>(
             }
         }
     }
-    ScanReport { hits, rejected, total_cycles, unthresholded_cycles: unthresholded }
+    ScanReport {
+        hits,
+        rejected,
+        total_cycles,
+        unthresholded_cycles: unthresholded,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alignment::AlignmentRace;
     use proptest::prelude::*;
     use rl_bio::alphabet::Dna;
     use rl_bio::{matrix, mutate};
@@ -158,7 +173,10 @@ mod tests {
         let p = dna("ACTGAGA");
         let w = RaceWeights::fig4();
         // Score is 10 (Fig. 4c).
-        assert_eq!(threshold_race(&q, &p, w, 10), ThresholdOutcome::Within { score: 10 });
+        assert_eq!(
+            threshold_race(&q, &p, w, 10),
+            ThresholdOutcome::Within { score: 10 }
+        );
         assert_eq!(threshold_race(&q, &p, w, 9), ThresholdOutcome::Exceeded);
         assert_eq!(threshold_race(&q, &p, w, 9).cycles_consumed(9), 10);
         assert_eq!(threshold_race(&q, &p, w, 20).score(), Some(10));

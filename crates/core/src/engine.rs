@@ -1,0 +1,597 @@
+//! The batched, zero-allocation alignment engine — the throughput spine
+//! of the reproduction.
+//!
+//! [`crate::alignment::AlignmentRace::run_functional`] is the paper's
+//! semantics; this module is the same min-plus arrival fixed point
+//! engineered for sustained throughput:
+//!
+//! - **One kernel.** [`fill_grid`] is the single implementation of the
+//!   arrival recurrence. The full-grid paths (`run_functional`,
+//!   `banded::banded_race`) and the score-only rolling-row path
+//!   ([`AlignEngine::align`]) both call into the same per-row update, so
+//!   banding and early termination are *fused into the kernel* instead of
+//!   living as separate passes.
+//! - **Zero allocations per alignment.** An [`AlignEngine`] owns its
+//!   scratch (two rolling rows plus two unpacked code buffers). After the
+//!   first call at a given problem size, [`AlignEngine::align`] performs
+//!   no heap allocation — verified by a buffer-reuse test.
+//! - **Packed operands.** Sequences arrive as
+//!   [`rl_bio::PackedSeq`] 2-bit views (DNA); the inner loop
+//!   compares raw codes branch-free, exactly the XNOR-compare of the
+//!   paper's Fig. 4b cell.
+//! - **Raw saturating `u64` arithmetic.** Inside the kernel, `+∞` is
+//!   `u64::MAX` and every add saturates — bit-identical to
+//!   [`Time`]'s semantics (`Time::NEVER` is `u64::MAX` and
+//!   `delay_by` saturates), so conversion happens only at the boundary.
+//! - **Fused banding** (Ukkonen `|i − j| ≤ k`) and **fused early
+//!   termination** (abandon once a whole row's frontier exceeds the
+//!   threshold — sound because weights are non-negative, so any
+//!   root→sink path costs at least the minimum of the row it crosses).
+//! - **Batching.** [`align_batch`] aligns many pairs in parallel with
+//!   rayon, one engine (one scratch set) per worker chunk, and returns
+//!   results in input order.
+//!
+//! ```
+//! use race_logic::engine::{AlignConfig, AlignEngine};
+//! use race_logic::alignment::RaceWeights;
+//! use rl_bio::{PackedSeq, Seq, alphabet::Dna};
+//!
+//! let q: Seq<Dna> = "GATTCGA".parse()?;
+//! let p: Seq<Dna> = "ACTGAGA".parse()?;
+//! let mut engine = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
+//! let out = engine.align(&PackedSeq::from_seq(&q), &PackedSeq::from_seq(&p));
+//! assert_eq!(out.score.cycles(), Some(10)); // Fig. 4c
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use rayon::prelude::*;
+use rl_bio::{alphabet::Symbol, PackedSeq};
+use rl_temporal::Time;
+
+use crate::alignment::RaceWeights;
+
+/// `+∞` in the kernel's raw representation (identical to the bit pattern
+/// of [`Time::NEVER`]).
+pub const NEVER: u64 = u64::MAX;
+
+/// Alignment weights lowered to raw saturating-`u64` form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RawWeights {
+    matched: u64,
+    /// `NEVER` encodes the paper's mismatch → ∞ modification.
+    mismatched: u64,
+    indel: u64,
+}
+
+impl RawWeights {
+    fn from_weights(w: RaceWeights) -> Self {
+        RawWeights {
+            matched: w.matched,
+            mismatched: w.mismatched.unwrap_or(NEVER),
+            indel: w.indel,
+        }
+    }
+}
+
+/// Configuration of an alignment engine: weights plus the fused kernel
+/// options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignConfig {
+    /// The three delay weights of the race array.
+    pub weights: RaceWeights,
+    /// Ukkonen band half-width: cells with `|i − j| > band` are never
+    /// built (their value is `+∞`). `None` runs the full grid.
+    pub band: Option<usize>,
+    /// Early-termination threshold in cycles: the race is abandoned as
+    /// soon as the score provably exceeds it (paper §6). `None` runs
+    /// every race to completion.
+    pub threshold: Option<u64>,
+}
+
+impl AlignConfig {
+    /// A full-grid, run-to-completion configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.indel == 0` (see [`RaceWeights`]).
+    #[must_use]
+    pub fn new(weights: RaceWeights) -> Self {
+        assert!(weights.indel > 0, "indel weight must be positive");
+        AlignConfig {
+            weights,
+            band: None,
+            threshold: None,
+        }
+    }
+
+    /// Fuses a Ukkonen band of half-width `band` into the kernel.
+    #[must_use]
+    pub fn with_band(mut self, band: usize) -> Self {
+        self.band = Some(band);
+        self
+    }
+
+    /// Fuses an early-termination threshold into the kernel.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: u64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+}
+
+/// The outcome of one engine alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineOutcome {
+    /// The race score: arrival time of the sink cell. [`Time::NEVER`]
+    /// when the band disconnects the grid or the race was abandoned.
+    pub score: Time,
+    /// Grid cells actually computed (boundary included) — the area /
+    /// work saving of banding and early termination.
+    pub cells_computed: u64,
+    /// `true` when a configured threshold was provably exceeded and the
+    /// race abandoned (the score is then a lower-bound witness, reported
+    /// as [`Time::NEVER`]).
+    pub early_terminated: bool,
+}
+
+impl EngineOutcome {
+    /// The exact score when the race finished within the threshold.
+    #[must_use]
+    pub fn finished_score(&self) -> Option<u64> {
+        if self.early_terminated {
+            None
+        } else {
+            self.score.cycles()
+        }
+    }
+}
+
+/// The banded column range of row `i`: `lo..=hi` over `0..=m`, empty when
+/// the band excludes the whole row.
+#[inline]
+fn band_range(i: usize, m: usize, band: Option<usize>) -> (usize, usize) {
+    match band {
+        None => (0, m),
+        Some(k) => (i.saturating_sub(k), (i + k).min(m)),
+    }
+}
+
+/// The fused inner row update, shared by every execution path.
+///
+/// Computes `curr[lo..=hi]` (row `i > 0`, `span = (lo, hi)`) from `prev`
+/// (row `i − 1`). `curr` must be pre-filled with `NEVER` outside the
+/// band; entries at `lo..=hi` are overwritten. Returns the row minimum
+/// (for fused early termination).
+#[inline]
+fn row_update(
+    i: usize,
+    qc: u8,
+    p_codes: &[u8],
+    w: RawWeights,
+    prev: &[u64],
+    curr: &mut [u64],
+    span: (usize, usize),
+) -> u64 {
+    let (lo, hi) = span;
+    debug_assert!(lo <= hi);
+    let mut row_min = NEVER;
+    let mut j = lo;
+    if j == 0 {
+        // Boundary column: a pure indel chain from the root.
+        curr[0] = (i as u64).saturating_mul(w.indel);
+        row_min = curr[0];
+        j = 1;
+    }
+    // `left` carries curr[j-1] through the sweep so the loop reads each
+    // cell exactly once. Out-of-band left neighbours are NEVER.
+    let mut left_val = if j >= 1 { curr[j - 1] } else { NEVER };
+    for jj in j..=hi {
+        let up = prev[jj].saturating_add(w.indel);
+        let left = left_val.saturating_add(w.indel);
+        // Branch-free packed-code compare (the Fig. 4b XNOR tree): one
+        // of the two products is always zero, so the sum cannot wrap.
+        let eq = u64::from(qc == p_codes[jj - 1]);
+        let diag_w = eq * w.matched + (1 - eq) * w.mismatched;
+        let diag = prev[jj - 1].saturating_add(diag_w);
+        let cell = up.min(left).min(diag);
+        curr[jj] = cell;
+        left_val = cell;
+        row_min = row_min.min(cell);
+    }
+    row_min
+}
+
+/// Fills `grid` (row-major, `(n+1) × (m+1)`, raw `u64` with
+/// [`NEVER`] = +∞) with the arrival fixed point of racing `q_codes`
+/// against `p_codes` — **the** kernel behind `run_functional` and
+/// `banded_race`. Returns the number of cells computed.
+///
+/// `grid` is cleared and resized in place, so a caller that reuses the
+/// same buffer allocates nothing after warm-up.
+///
+/// # Panics
+///
+/// Panics if `weights.indel == 0`.
+pub fn fill_grid(
+    q_codes: &[u8],
+    p_codes: &[u8],
+    weights: RaceWeights,
+    band: Option<usize>,
+    grid: &mut Vec<u64>,
+) -> u64 {
+    assert!(weights.indel > 0, "indel weight must be positive");
+    let w = RawWeights::from_weights(weights);
+    let (n, m) = (q_codes.len(), p_codes.len());
+    let cols = m + 1;
+    grid.clear();
+    grid.resize((n + 1) * cols, NEVER);
+    let mut cells = 0_u64;
+
+    // Row 0: indel chain along the top boundary, clipped to the band.
+    let (lo0, hi0) = band_range(0, m, band);
+    debug_assert_eq!(lo0, 0);
+    for (j, cell) in grid.iter_mut().enumerate().take(hi0 + 1) {
+        *cell = (j as u64).saturating_mul(w.indel);
+    }
+    cells += (hi0 - lo0 + 1) as u64;
+
+    for i in 1..=n {
+        let (lo, hi) = band_range(i, m, band);
+        if lo > hi {
+            continue; // band excludes the entire row
+        }
+        let (prev_rows, curr_rows) = grid.split_at_mut(i * cols);
+        let prev = &prev_rows[(i - 1) * cols..];
+        let curr = &mut curr_rows[..cols];
+        row_update(i, q_codes[i - 1], p_codes, w, prev, curr, (lo, hi));
+        cells += (hi - lo + 1) as u64;
+    }
+    cells
+}
+
+/// Converts a raw kernel value to a [`Time`].
+#[inline]
+#[must_use]
+pub fn raw_to_time(raw: u64) -> Time {
+    if raw == NEVER {
+        Time::NEVER
+    } else {
+        Time::from_cycles(raw)
+    }
+}
+
+/// A reusable alignment engine: configuration plus owned scratch
+/// buffers. Create once, call [`AlignEngine::align`] many times — after
+/// warm-up no call allocates.
+#[derive(Debug, Clone)]
+pub struct AlignEngine {
+    cfg: AlignConfig,
+    prev: Vec<u64>,
+    curr: Vec<u64>,
+    q_codes: Vec<u8>,
+    p_codes: Vec<u8>,
+}
+
+impl AlignEngine {
+    /// An engine with the given configuration and empty scratch.
+    #[must_use]
+    pub fn new(cfg: AlignConfig) -> Self {
+        AlignEngine {
+            cfg,
+            prev: Vec::new(),
+            curr: Vec::new(),
+            q_codes: Vec::new(),
+            p_codes: Vec::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &AlignConfig {
+        &self.cfg
+    }
+
+    /// Current scratch capacities `(row, row, q, p)` — stable across
+    /// repeated same-size alignments; exposed so tests can assert the
+    /// zero-allocation contract.
+    #[must_use]
+    pub fn scratch_capacities(&self) -> (usize, usize, usize, usize) {
+        (
+            self.prev.capacity(),
+            self.curr.capacity(),
+            self.q_codes.capacity(),
+            self.p_codes.capacity(),
+        )
+    }
+
+    /// Aligns packed `q` (rows) against packed `p` (columns) with the
+    /// score-only rolling-row kernel: banding and early termination are
+    /// applied inside the row sweep, and only two rows of state exist.
+    pub fn align<S: Symbol>(&mut self, q: &PackedSeq<S>, p: &PackedSeq<S>) -> EngineOutcome {
+        q.unpack_into(&mut self.q_codes);
+        p.unpack_into(&mut self.p_codes);
+        self.align_codes()
+    }
+
+    /// Aligns plain sequences (convenience wrapper that packs nothing:
+    /// codes are read straight into the scratch buffers).
+    pub fn align_seqs<S: Symbol>(
+        &mut self,
+        q: &rl_bio::Seq<S>,
+        p: &rl_bio::Seq<S>,
+    ) -> EngineOutcome {
+        self.q_codes.clear();
+        self.q_codes.extend(q.codes());
+        self.p_codes.clear();
+        self.p_codes.extend(p.codes());
+        self.align_codes()
+    }
+
+    fn align_codes(&mut self) -> EngineOutcome {
+        let w = RawWeights::from_weights(self.cfg.weights);
+        let (n, m) = (self.q_codes.len(), self.p_codes.len());
+        let cols = m + 1;
+        self.prev.clear();
+        self.prev.resize(cols, NEVER);
+        self.curr.clear();
+        self.curr.resize(cols, NEVER);
+        let mut cells = 0_u64;
+
+        // Row 0.
+        let (lo0, hi0) = band_range(0, m, self.cfg.band);
+        for (j, cell) in self.prev.iter_mut().enumerate().take(hi0 + 1) {
+            *cell = (j as u64).saturating_mul(w.indel);
+        }
+        cells += (hi0 - lo0 + 1) as u64;
+        let mut frontier_min = self.prev[lo0];
+        let threshold = self.cfg.threshold.unwrap_or(NEVER);
+
+        for i in 1..=n {
+            // Sound abandon: every root→sink path crosses each computed
+            // row, and all weights are ≥ 0, so score ≥ min(frontier).
+            if frontier_min > threshold {
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    early_terminated: true,
+                };
+            }
+            let (lo, hi) = band_range(i, m, self.cfg.band);
+            if lo > hi {
+                // The band excludes this whole row, and `lo` only grows
+                // with `i`: no in-band path can reach the sink.
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    // With a threshold configured, `∞ > threshold` is the
+                    // same verdict the end-of-run classification gives.
+                    early_terminated: self.cfg.threshold.is_some(),
+                };
+            }
+            // Reset the incoming row only when banded: cells outside the
+            // band must read as +∞ to the next sweep. Unbanded sweeps
+            // overwrite every cell, so the fill would be wasted stores.
+            if self.cfg.band.is_some() {
+                self.curr.fill(NEVER);
+            }
+            frontier_min = row_update(
+                i,
+                self.q_codes[i - 1],
+                &self.p_codes,
+                w,
+                &self.prev,
+                &mut self.curr,
+                (lo, hi),
+            );
+            cells += (hi - lo + 1) as u64;
+            std::mem::swap(&mut self.prev, &mut self.curr);
+        }
+
+        let score_raw = self.prev[m];
+        let exceeded = match self.cfg.threshold {
+            Some(t) => score_raw > t,
+            None => false,
+        };
+        EngineOutcome {
+            score: if exceeded {
+                Time::NEVER
+            } else {
+                raw_to_time(score_raw)
+            },
+            cells_computed: cells,
+            early_terminated: exceeded,
+        }
+    }
+}
+
+/// Aligns every `(q, p)` pair under `cfg`, in parallel, with results in
+/// input order. Each worker chunk owns one [`AlignEngine`], so scratch
+/// buffers are reused across the pairs of a chunk and the whole batch
+/// performs O(#threads) allocations regardless of batch size.
+#[must_use]
+pub fn align_batch<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(PackedSeq<S>, PackedSeq<S>)],
+) -> Vec<EngineOutcome> {
+    let mut out = vec![EngineOutcome::default(); pairs.len()];
+    if pairs.is_empty() {
+        return out;
+    }
+    let chunk = pairs.len().div_ceil(rayon::current_num_threads());
+    out.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, out_chunk)| {
+            let mut engine = AlignEngine::new(*cfg);
+            let base = ci * chunk;
+            for (k, slot) in out_chunk.iter_mut().enumerate() {
+                let (q, p) = &pairs[base + k];
+                *slot = engine.align(q, p);
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::AlignmentRace;
+    use crate::banded::banded_race;
+    use crate::early_termination::{threshold_race, ThresholdOutcome};
+    use proptest::prelude::*;
+    use rl_bio::alphabet::Dna;
+    use rl_bio::Seq;
+
+    fn dna(s: &str) -> Seq<Dna> {
+        s.parse().unwrap()
+    }
+
+    fn packed(s: &str) -> PackedSeq<Dna> {
+        PackedSeq::from_seq(&dna(s))
+    }
+
+    #[test]
+    fn paper_pair_scores_ten() {
+        let mut e = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
+        let out = e.align(&packed("GATTCGA"), &packed("ACTGAGA"));
+        assert_eq!(out.score, Time::from_cycles(10));
+        assert_eq!(out.cells_computed, 64);
+        assert!(!out.early_terminated);
+        assert_eq!(out.finished_score(), Some(10));
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let mut e = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
+        let out = e.align(&packed(""), &packed(""));
+        assert_eq!(out.score, Time::ZERO);
+        let out = e.align(&packed("ACG"), &packed(""));
+        assert_eq!(out.score, Time::from_cycles(3));
+        let out = e.align(&packed(""), &packed("ACGT"));
+        assert_eq!(out.score, Time::from_cycles(4));
+    }
+
+    #[test]
+    fn band_disconnect_returns_never() {
+        let cfg = AlignConfig::new(RaceWeights::fig4()).with_band(3);
+        let mut e = AlignEngine::new(cfg);
+        let out = e.align(&packed("ACGTACGT"), &packed("AC"));
+        assert!(out.score.is_never(), "|n-m| = 6 > band 3");
+        assert!(!out.early_terminated);
+    }
+
+    #[test]
+    fn threshold_abandons_and_saves_cells() {
+        let q = packed("AAAAAAAAAAAAAAAA");
+        let p = packed("CCCCCCCCCCCCCCCC");
+        let full = AlignEngine::new(AlignConfig::new(RaceWeights::fig4())).align(&q, &p);
+        assert_eq!(full.score, Time::from_cycles(32), "all-indel worst case");
+        let cfg = AlignConfig::new(RaceWeights::fig4()).with_threshold(8);
+        let out = AlignEngine::new(cfg).align(&q, &p);
+        assert!(out.early_terminated);
+        assert!(out.score.is_never());
+        assert_eq!(out.finished_score(), None);
+        assert!(
+            out.cells_computed < full.cells_computed,
+            "abandon must skip rows: {} !< {}",
+            out.cells_computed,
+            full.cells_computed
+        );
+    }
+
+    #[test]
+    fn scratch_is_reused_after_warmup() {
+        let mut e = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
+        let q = packed("ACGTACGTACGTACGT");
+        let p = packed("TGCATGCATGCATGCA");
+        let _ = e.align(&q, &p);
+        let caps = e.scratch_capacities();
+        for _ in 0..100 {
+            let _ = e.align(&q, &p);
+            assert_eq!(e.scratch_capacities(), caps, "align must not reallocate");
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let pairs: Vec<_> = ["A", "AC", "ACG", "ACGT", "ACGTA"]
+            .iter()
+            .map(|s| (packed(s), packed("ACGTACG")))
+            .collect();
+        let batch = align_batch(&cfg, &pairs);
+        let mut engine = AlignEngine::new(cfg);
+        let seq: Vec<_> = pairs.iter().map(|(q, p)| engine.align(q, p)).collect();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn batch_of_nothing() {
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        assert!(align_batch::<Dna>(&cfg, &[]).is_empty());
+    }
+
+    proptest! {
+        /// The rolling-row engine equals the allocating fixed point of
+        /// `run_functional` on random pairs, for every weight scheme.
+        #[test]
+        fn engine_equals_run_functional(qs in "[ACGT]{0,20}", ps in "[ACGT]{0,20}") {
+            let (q, p) = (dna(&qs), dna(&ps));
+            for w in [RaceWeights::fig4(), RaceWeights::fig2b(), RaceWeights::levenshtein()] {
+                let reference = AlignmentRace::new(&q, &p, w).run_functional().score();
+                let mut e = AlignEngine::new(AlignConfig::new(w));
+                let out = e.align(&PackedSeq::from_seq(&q), &PackedSeq::from_seq(&p));
+                prop_assert_eq!(out.score, reference);
+            }
+        }
+
+        /// The fused band equals the standalone banded race, score and
+        /// cell count alike.
+        #[test]
+        fn fused_band_equals_banded_race(
+            qs in "[ACGT]{0,16}", ps in "[ACGT]{0,16}", band in 0_usize..18
+        ) {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let w = RaceWeights::fig4();
+            let reference = banded_race(&q, &p, w, band);
+            let cfg = AlignConfig::new(w).with_band(band);
+            let out = AlignEngine::new(cfg)
+                .align(&PackedSeq::from_seq(&q), &PackedSeq::from_seq(&p));
+            prop_assert_eq!(out.score, reference.score);
+            prop_assert_eq!(out.cells_computed, reference.cells_built as u64);
+        }
+
+        /// The fused threshold classifies exactly like `threshold_race`:
+        /// abandoned iff the true score exceeds the threshold.
+        #[test]
+        fn fused_threshold_is_exact(qs in "[ACGT]{1,14}", ps in "[ACGT]{1,14}", t in 0_u64..30) {
+            let (q, p) = (dna(&qs), dna(&ps));
+            let w = RaceWeights::fig4();
+            let reference = threshold_race(&q, &p, w, t);
+            let cfg = AlignConfig::new(w).with_threshold(t);
+            let out = AlignEngine::new(cfg)
+                .align(&PackedSeq::from_seq(&q), &PackedSeq::from_seq(&p));
+            match reference {
+                ThresholdOutcome::Within { score } => {
+                    prop_assert!(!out.early_terminated);
+                    prop_assert_eq!(out.score.cycles(), Some(score));
+                }
+                ThresholdOutcome::Exceeded => prop_assert!(out.early_terminated),
+            }
+        }
+
+        /// Batch output equals the sequential loop on random batches.
+        #[test]
+        fn batch_equals_sequential(seqs in collection::vec("[ACGT]{0,12}", 0..12)) {
+            let cfg = AlignConfig::new(RaceWeights::fig4());
+            let pairs: Vec<_> = seqs
+                .iter()
+                .map(|s| (packed(s), packed("GATTCGA")))
+                .collect();
+            let batch = align_batch(&cfg, &pairs);
+            let mut engine = AlignEngine::new(cfg);
+            for (i, (q, p)) in pairs.iter().enumerate() {
+                prop_assert_eq!(batch[i], engine.align(q, p));
+            }
+        }
+    }
+}

@@ -110,7 +110,21 @@ pub fn run(dag: &Dag, sources: &[NodeId], kind: RaceKind) -> Result<RaceOutcome,
         arrival: vec![Time::NEVER; n],
         firing_order: Vec::with_capacity(n),
     };
-    let mut sched = Scheduler::new();
+    // A race never schedules further ahead than its largest edge weight,
+    // so the O(1) calendar queue (window = max weight + 1) replaces the
+    // binary heap on this hot path; ordering is identical (see
+    // `rl_event_sim::CalendarQueue`'s equivalence property test). The
+    // window is clamped: the ring costs O(window) memory up front, and
+    // beyond-window events just take the overflow-heap slow path, so
+    // pathologically large edge weights must not translate into
+    // pathologically large allocations.
+    const MAX_CALENDAR_WINDOW: u64 = 4096;
+    let window = dag
+        .max_weight()
+        .unwrap_or(0)
+        .saturating_add(1)
+        .min(MAX_CALENDAR_WINDOW) as usize;
+    let mut sched = Scheduler::with_calendar_window(window);
     for &s in sources {
         // Sources fire unconditionally at t = 0: the injected steady "1"
         // overrides any pending gate inputs (paper §3).

@@ -167,6 +167,9 @@ mod tests {
         let small = GatingReport::from_trace(&trace(8), 2).savings_fraction();
         let large = GatingReport::from_trace(&trace(64), 2).savings_fraction();
         assert!(large > small);
-        assert!(large > 0.8, "large-N savings should be substantial, got {large}");
+        assert!(
+            large > 0.8,
+            "large-N savings should be substantial, got {large}"
+        );
     }
 }

@@ -332,7 +332,10 @@ mod tests {
         assert!(!sim.value(cell.out_indel));
         sim.tick().unwrap(); // count = 1
         assert!(sim.value(cell.out_sub), "A/A weight 1 fires after 1 cycle");
-        assert!(sim.value(cell.out_indel), "indel weight 1 fires after 1 cycle");
+        assert!(
+            sim.value(cell.out_indel),
+            "indel weight 1 fires after 1 cycle"
+        );
     }
 
     #[test]
@@ -349,7 +352,10 @@ mod tests {
         }
         sim.set_input(cell.in_diag, true).unwrap();
         sim.tick().unwrap();
-        assert!(!sim.value(cell.out_sub), "weight-2 tap must not fire at t+1");
+        assert!(
+            !sim.value(cell.out_sub),
+            "weight-2 tap must not fire at t+1"
+        );
         assert!(sim.value(cell.out_indel), "indel tap fires at t+1");
         sim.tick().unwrap();
         assert!(sim.value(cell.out_sub), "weight-2 tap fires at t+2");
@@ -369,7 +375,10 @@ mod tests {
         let c = cell.census();
         // N_DR = 2 ⇒ 2-bit counter ⇒ 2 DFFs, regardless of weight count.
         assert_eq!(c.count(CellKind::Dff), 2);
-        assert!(c.count(CellKind::Sticky) >= 3, "enable + per-weight latches");
+        assert!(
+            c.count(CellKind::Sticky) >= 3,
+            "enable + per-weight latches"
+        );
     }
 
     #[test]
@@ -379,7 +388,11 @@ mod tests {
         let p: Seq<Dna> = "ACTGAGA".parse().unwrap();
         let arr = GeneralizedArray::build(&q, &p, &w);
         let out = arr.run(arr.cycle_budget(w.indel())).unwrap();
-        assert_eq!(out.score(), Time::from_cycles(10), "Fig. 4c score via Fig. 8 cells");
+        assert_eq!(
+            out.score(),
+            Time::from_cycles(10),
+            "Fig. 4c score via Fig. 8 cells"
+        );
         // Cell-for-cell agreement with the min-plus reference.
         let q2 = q.clone();
         let p2 = p.clone();

@@ -20,6 +20,7 @@
 //! | [`compiler`] | §3, Fig. 3 | weighted DAG → gate-level race circuit (OR/AND type), plus execution |
 //! | [`functional`] | §3 | fast event-driven race simulation (no gates), the race as a discrete-event process |
 //! | [`alignment`] | §4, Fig. 4 | the DNA global-alignment race array, gate-level and functional |
+//! | [`engine`] | throughput | the batched zero-allocation alignment engine: one fused kernel (banding + early termination) over packed sequences, plus `align_batch` |
 //! | [`wavefront`] | §4.3, Fig. 6 | per-cycle wavefront traces of the propagating signal |
 //! | [`gating`] | §4.3, Fig. 7 | data-dependent clock gating over m×m multi-cell regions |
 //! | [`score_transform`] | §5 | arbitrary score matrices (BLOSUM62…) → positive delay weights, and exact score recovery |
@@ -53,6 +54,7 @@ pub mod asynchronous;
 pub mod banded;
 pub mod compiler;
 pub mod early_termination;
+pub mod engine;
 mod error;
 pub mod functional;
 pub mod gating;

@@ -74,12 +74,15 @@ impl<S: Symbol> TransformedWeights<S> {
     /// finite entries, or [`TransformError::BiasOverflow`] on absurd
     /// score magnitudes.
     pub fn from_scheme(scheme: &ScoreScheme<S>) -> Result<Self, TransformError> {
-        let (_, hi) = scheme.finite_score_range().ok_or(TransformError::EmptyScheme)?;
+        let (_, hi) = scheme
+            .finite_score_range()
+            .ok_or(TransformError::EmptyScheme)?;
         let gap = i64::from(scheme.gap());
         let bias: i64 = match scheme.objective() {
             Objective::Maximize => {
                 // Need 2B − S ≥ 1 for the largest S, and B − gap ≥ 1.
-                let from_sub = (i64::from(hi) + 1).div_euclid(2) + i64::from((i64::from(hi) + 1) % 2 != 0);
+                let from_sub =
+                    (i64::from(hi) + 1).div_euclid(2) + i64::from((i64::from(hi) + 1) % 2 != 0);
                 let from_gap = gap + 1;
                 from_sub.max(from_gap).max(1)
             }
@@ -221,7 +224,7 @@ mod tests {
             }
         }
         assert_eq!(t.indel(), 10); // B − gap = 6 − (−4)
-        // Best match (W/W, score 11) gets the smallest delay: 2·6−11 = 1.
+                                   // Best match (W/W, score 11) gets the smallest delay: 2·6−11 = 1.
         assert_eq!(t.substitution(AminoAcid::Trp, AminoAcid::Trp), Some(1));
         assert_eq!(t.dynamic_range(), 16); // worst sub: 2·6 −(−4) = 16
     }

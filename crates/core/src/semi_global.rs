@@ -48,9 +48,7 @@ pub fn semi_global_race<S: Symbol>(
     let cols = m + 1;
     let mut arrival = vec![Time::NEVER; (n + 1) * cols];
     // Free leading gaps: the whole top row is a source.
-    for j in 0..=m {
-        arrival[j] = Time::ZERO;
-    }
+    arrival[..=m].fill(Time::ZERO);
     for i in 1..=n {
         arrival[i * cols] = arrival[(i - 1) * cols].delay_by(weights.indel);
         for j in 1..=m {
@@ -74,7 +72,11 @@ pub fn semi_global_race<S: Symbol>(
         .enumerate()
         .min_by_key(|&(_, t)| *t)
         .expect("bottom row is non-empty");
-    SemiGlobalOutcome { score, end_column, bottom_row }
+    SemiGlobalOutcome {
+        score,
+        end_column,
+        bottom_row,
+    }
 }
 
 /// Reference semi-global DP (free gaps in `p` at both ends), for

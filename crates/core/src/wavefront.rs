@@ -17,10 +17,22 @@ pub struct WavefrontTrace {
     rows: usize,
     cols: usize,
     arrival: Vec<Time>,
+    /// Time-bucketed firing index: one `(t, cells)` entry per *distinct*
+    /// firing cycle, sorted by `t`, cells in row-major order. Built once
+    /// at construction so per-cycle queries
+    /// ([`WavefrontTrace::cells_firing_at`],
+    /// [`WavefrontTrace::occupancy`]) cost O(answer · log buckets)
+    /// instead of rescanning the whole grid — callers like
+    /// `fig6_wavefront` iterate over every cycle, which used to make
+    /// them O(grid²). Sparse (keyed by distinct times, not a dense
+    /// per-cycle vector) so huge delay weights cannot blow up the
+    /// index's memory.
+    firing: Vec<(u64, Vec<(usize, usize)>)>,
 }
 
 impl WavefrontTrace {
-    /// Wraps an arrival grid (row-major, `(rows+1) × (cols+1)` entries).
+    /// Wraps an arrival grid (row-major, `(rows+1) × (cols+1)` entries)
+    /// and builds the per-cycle firing index.
     ///
     /// # Panics
     ///
@@ -32,7 +44,29 @@ impl WavefrontTrace {
             (rows + 1) * (cols + 1),
             "arrival grid has the wrong shape"
         );
-        WavefrontTrace { rows, cols, arrival: arrival.to_vec() }
+        // Sort cell indices by (arrival, row-major position); row-major
+        // position == linear index, so a stable sort by time alone keeps
+        // each bucket in row-major order.
+        let mut fired: Vec<(u64, usize)> = arrival
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, t)| t.cycles().map(|c| (c, idx)))
+            .collect();
+        fired.sort_by_key(|&(c, _)| c);
+        let mut firing: Vec<(u64, Vec<(usize, usize)>)> = Vec::new();
+        for (c, idx) in fired {
+            let cell = (idx / (cols + 1), idx % (cols + 1));
+            match firing.last_mut() {
+                Some((t, bucket)) if *t == c => bucket.push(cell),
+                _ => firing.push((c, vec![cell])),
+            }
+        }
+        WavefrontTrace {
+            rows,
+            cols,
+            arrival: arrival.to_vec(),
+            firing,
+        }
     }
 
     /// Grid rows (N).
@@ -61,34 +95,39 @@ impl WavefrontTrace {
     /// The last finite arrival — when the race ends.
     #[must_use]
     pub fn completion_time(&self) -> Option<u64> {
-        self.arrival.iter().filter_map(|t| t.cycles()).max()
+        self.firing.last().map(|(t, _)| *t)
     }
 
-    /// Cells firing exactly at cycle `t` (the wavefront of Fig. 6).
+    /// Cells firing exactly at cycle `t` (the wavefront of Fig. 6), in
+    /// row-major order. O(answer + log buckets) via the prebuilt firing
+    /// index; use [`WavefrontTrace::cells_firing_at_ref`] to avoid even
+    /// the copy.
     #[must_use]
     pub fn cells_firing_at(&self, t: u64) -> Vec<(usize, usize)> {
-        let target = Time::from_cycles(t);
-        let mut cells = Vec::new();
-        for i in 0..=self.rows {
-            for j in 0..=self.cols {
-                if self.arrival(i, j) == target {
-                    cells.push((i, j));
-                }
-            }
-        }
-        cells
+        self.cells_firing_at_ref(t).to_vec()
+    }
+
+    /// Borrowed view of the cells firing exactly at cycle `t`.
+    #[must_use]
+    pub fn cells_firing_at_ref(&self, t: u64) -> &[(usize, usize)] {
+        self.firing
+            .binary_search_by_key(&t, |&(c, _)| c)
+            .map_or(&[], |i| self.firing[i].1.as_slice())
     }
 
     /// Histogram of wavefront occupancy: `result[t]` = number of cells
     /// firing at cycle `t`. Sums to the number of cells that ever fire.
+    /// Dense over `0..=completion_time()`, so for enormous delay weights
+    /// prefer iterating the sparse index via
+    /// [`WavefrontTrace::cells_firing_at_ref`].
     #[must_use]
     pub fn occupancy(&self) -> Vec<usize> {
         let Some(end) = self.completion_time() else {
             return Vec::new();
         };
         let mut hist = vec![0_usize; end as usize + 1];
-        for t in self.arrival.iter().filter_map(|t| t.cycles()) {
-            hist[t as usize] += 1;
+        for (t, bucket) in &self.firing {
+            hist[*t as usize] = bucket.len();
         }
         hist
     }
@@ -232,7 +271,10 @@ mod tests {
             // Paper grid is 8x8, so region count is ceil(8/m)^2.
             let per_side = 8_usize.div_ceil(m);
             assert_eq!(spans.len(), per_side * per_side);
-            assert!(spans.iter().all(|s| s.is_some()), "all regions fire (m={m})");
+            assert!(
+                spans.iter().all(|s| s.is_some()),
+                "all regions fire (m={m})"
+            );
         }
     }
 
@@ -256,6 +298,29 @@ mod tests {
     }
 
     proptest! {
+        /// The time-bucketed firing index agrees with a brute-force grid
+        /// scan at every cycle (including cycles past completion).
+        #[test]
+        fn firing_index_equals_brute_force(qs in "[ACGT]{0,10}", ps in "[ACGT]{0,10}") {
+            let q: Seq<Dna> = qs.parse().unwrap();
+            let p: Seq<Dna> = ps.parse().unwrap();
+            let w = AlignmentRace::new(&q, &p, RaceWeights::fig4())
+                .run_functional()
+                .wavefront();
+            let end = w.completion_time().unwrap();
+            for t in 0..=end + 2 {
+                let mut brute = Vec::new();
+                for i in 0..=w.rows() {
+                    for j in 0..=w.cols() {
+                        if w.arrival(i, j) == Time::from_cycles(t) {
+                            brute.push((i, j));
+                        }
+                    }
+                }
+                prop_assert_eq!(w.cells_firing_at(t), brute);
+            }
+        }
+
         /// Wavefront cells at consecutive times are disjoint, and gating
         /// with m=1 equals the sum of per-cell single-cycle activations.
         #[test]

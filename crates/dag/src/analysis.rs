@@ -202,7 +202,11 @@ mod tests {
         assert_eq!(s.roots, 1);
         assert_eq!(s.sinks, 1);
         assert_eq!(s.depth, 14, "anti-diagonal count minus one");
-        assert_eq!(s.critical_path, Some(14), "all-indel path with unit weights");
+        assert_eq!(
+            s.critical_path,
+            Some(14),
+            "all-indel path with unit weights"
+        );
         assert_eq!(s.max_level_width, 8, "the main anti-diagonal");
     }
 

@@ -76,7 +76,10 @@ pub fn shortest_paths(dag: &Dag, sources: &[NodeId]) -> ShortestPaths {
             }
         }
     }
-    ShortestPaths { distance, settle_order }
+    ShortestPaths {
+        distance,
+        settle_order,
+    }
 }
 
 impl NodeId {
@@ -115,8 +118,11 @@ mod tests {
 
     #[test]
     fn settle_order_is_monotone_in_distance() {
-        let dag = generate::layered(&mut generate::seeded_rng(7), &generate::LayeredConfig::default())
-            .unwrap();
+        let dag = generate::layered(
+            &mut generate::seeded_rng(7),
+            &generate::LayeredConfig::default(),
+        )
+        .unwrap();
         let roots: Vec<NodeId> = dag.roots().collect();
         let sp = shortest_paths(&dag, &roots);
         let mut last = Time::ZERO;

@@ -102,7 +102,11 @@ impl EditGraph {
                 }
             }
         }
-        Ok(EditGraph { dag: b.build()?, n, m })
+        Ok(EditGraph {
+            dag: b.build()?,
+            n,
+            m,
+        })
     }
 
     /// The underlying DAG.
@@ -130,7 +134,10 @@ impl EditGraph {
     /// Panics if `i > rows()` or `j > cols()`.
     #[must_use]
     pub fn node(&self, i: usize, j: usize) -> NodeId {
-        assert!(i <= self.n && j <= self.m, "edit-graph coordinate out of range");
+        assert!(
+            i <= self.n && j <= self.m,
+            "edit-graph coordinate out of range"
+        );
         NodeId((i * (self.m + 1) + j) as u32)
     }
 
@@ -238,8 +245,7 @@ mod tests {
     fn edge_counts_match_grid_structure() {
         let (n, m) = (3, 4);
         let g = EditGraph::build(n, m, &levenshtein_weights(b"AAA", b"AAAA")).unwrap();
-        let expected =
-            (n + 1) * m       // horizontal
+        let expected = (n + 1) * m       // horizontal
             + n * (m + 1)     // vertical
             + n * m; // diagonal (all present for Some weights)
         assert_eq!(g.dag().edge_count(), expected);

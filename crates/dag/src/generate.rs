@@ -31,7 +31,12 @@ pub struct LayeredConfig {
 
 impl Default for LayeredConfig {
     fn default() -> Self {
-        LayeredConfig { layers: 8, width: 8, max_weight: 8, edge_probability: 0.4 }
+        LayeredConfig {
+            layers: 8,
+            width: 8,
+            max_weight: 8,
+            edge_probability: 0.4,
+        }
     }
 }
 
@@ -168,7 +173,12 @@ mod tests {
 
     #[test]
     fn layered_shape_and_connectivity() {
-        let cfg = LayeredConfig { layers: 5, width: 4, max_weight: 3, edge_probability: 0.3 };
+        let cfg = LayeredConfig {
+            layers: 5,
+            width: 4,
+            max_weight: 3,
+            edge_probability: 0.3,
+        };
         let dag = layered(&mut seeded_rng(42), &cfg).unwrap();
         assert_eq!(dag.node_count(), 20);
         // All layer-0 nodes are roots; all last-layer nodes are sinks;

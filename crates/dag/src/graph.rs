@@ -108,7 +108,10 @@ impl DagBuilder {
     #[must_use]
     pub fn with_nodes(nodes: usize) -> Self {
         let node_count = u32::try_from(nodes).expect("node count exceeds u32 id space");
-        DagBuilder { node_count, edges: Vec::new() }
+        DagBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a node and returns its id.
@@ -134,7 +137,12 @@ impl DagBuilder {
     /// Returns [`GraphError::UnknownNode`] if either endpoint has not been
     /// added, or [`GraphError::SelfLoop`] for `from == to`. Cycles are
     /// detected later, in [`DagBuilder::build`].
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: u64,
+    ) -> Result<EdgeId, GraphError> {
         if from.0 >= self.node_count {
             return Err(GraphError::UnknownNode(from));
         }
@@ -308,10 +316,7 @@ impl Dag {
     /// hence on how long any race through this DAG can run.
     #[must_use]
     pub fn total_weight(&self) -> Time {
-        self.edges
-            .iter()
-            .map(|e| Time::from_cycles(e.weight))
-            .sum()
+        self.edges.iter().map(|e| Time::from_cycles(e.weight)).sum()
     }
 }
 
@@ -418,6 +423,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(GraphError::Cycle(NodeId(3)).to_string().contains("n3"));
-        assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains("self-loop"));
+        assert!(GraphError::SelfLoop(NodeId(1))
+            .to_string()
+            .contains("self-loop"));
     }
 }

@@ -157,14 +157,20 @@ mod tests {
     #[test]
     fn fig3_shortest_is_two_cycles() {
         let (dag, [a, bb, _, d]) = fig3a();
-        assert_eq!(race_value::<MinPlus>(&dag, &[a, bb], d), Time::from_cycles(2));
+        assert_eq!(
+            race_value::<MinPlus>(&dag, &[a, bb], d),
+            Time::from_cycles(2)
+        );
     }
 
     #[test]
     fn fig3_longest_is_three_cycles() {
         let (dag, [a, bb, _, d]) = fig3a();
         assert!(and_feasible(&dag, &[a, bb]));
-        assert_eq!(race_value::<MaxPlus>(&dag, &[a, bb], d), Time::from_cycles(3));
+        assert_eq!(
+            race_value::<MaxPlus>(&dag, &[a, bb], d),
+            Time::from_cycles(3)
+        );
     }
 
     #[test]

@@ -88,7 +88,8 @@ mod tests {
     fn chain(n: usize) -> Dag {
         let mut b = DagBuilder::with_nodes(n);
         for i in 0..n.saturating_sub(1) {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1)
+                .unwrap();
         }
         b.build().unwrap()
     }

@@ -60,7 +60,11 @@ impl<E> CalendarQueue<E> {
     /// scheduled into the past once that time has been drained).
     pub fn push(&mut self, due: SimTime, event: E) {
         let t = due.ticks();
-        assert!(t >= self.cursor, "cannot schedule at {t} before cursor {}", self.cursor);
+        assert!(
+            t >= self.cursor,
+            "cannot schedule at {t} before cursor {}",
+            self.cursor
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         if t < self.cursor + self.window() {
@@ -105,6 +109,29 @@ impl<E> CalendarQueue<E> {
                 self.buckets[idx].push_back((self.next_seq, event));
                 self.next_seq += 1;
             }
+        }
+    }
+
+    /// The due time of the earliest pending event without removing it.
+    ///
+    /// Costs O(gap) where `gap` is the distance from the cursor to the
+    /// next occupied tick (≤ the window). In a peek-then-pop loop (e.g.
+    /// [`crate::Scheduler::run_until`]) the following pop advances the
+    /// cursor across that same gap, so the scan amortizes to O(1) per
+    /// event plus O(total time span) per run — the ring is never
+    /// re-scanned from scratch unless the queue goes idle.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        let window = self.window();
+        let in_ring = (self.cursor..self.cursor + window)
+            .find(|t| !self.buckets[(t % window) as usize].is_empty());
+        match (in_ring, self.overflow.peek_time()) {
+            (Some(a), Some(b)) => Some(SimTime::new(a.min(b.ticks()))),
+            (Some(a), None) => Some(SimTime::new(a)),
+            (None, overflow) => overflow,
         }
     }
 
@@ -161,6 +188,18 @@ mod tests {
         assert_eq!(q.pop().unwrap(), (SimTime::new(5), 1));
         assert_eq!(q.pop().unwrap(), (SimTime::new(5), 3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_sees_ring_and_overflow() {
+        let mut q = CalendarQueue::new(4);
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::new(9), 'o'); // overflow (>= window)
+        assert_eq!(q.peek_time(), Some(SimTime::new(9)));
+        q.push(SimTime::new(2), 'r'); // ring
+        assert_eq!(q.peek_time(), Some(SimTime::new(2)));
+        assert_eq!(q.pop().unwrap(), (SimTime::new(2), 'r'));
+        assert_eq!(q.peek_time(), Some(SimTime::new(9)));
     }
 
     #[test]

@@ -1,6 +1,51 @@
 //! The event loop: a scheduler driving a [`Model`].
 
-use crate::{EventQueue, SchedulerStats, SimTime, TraceBuffer};
+use crate::{CalendarQueue, EventQueue, SchedulerStats, SimTime, TraceBuffer};
+
+/// The scheduler's pending-event store: a general-purpose binary heap, or
+/// a calendar queue for dense bounded-horizon workloads (synchronous race
+/// simulation schedules at most `max edge weight` ticks ahead, the
+/// calendar queue's sweet spot). Both deliver identical (time, FIFO)
+/// orders — verified by a property test in [`crate::CalendarQueue`].
+#[derive(Debug)]
+enum PendingQueue<E> {
+    Heap(EventQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> PendingQueue<E> {
+    fn push(&mut self, due: SimTime, event: E) {
+        match self {
+            PendingQueue::Heap(q) => q.push(due, event),
+            PendingQueue::Calendar(q) => q.push(due, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            PendingQueue::Heap(q) => q.pop(),
+            PendingQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            PendingQueue::Heap(q) => q.peek_time(),
+            PendingQueue::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PendingQueue::Heap(q) => q.len(),
+            PendingQueue::Calendar(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A simulation model: anything that reacts to events by mutating its own
 /// state and scheduling further events.
@@ -43,18 +88,36 @@ pub enum RunOutcome {
 /// See the crate-level docs for a complete example.
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    queue: EventQueue<E>,
+    queue: PendingQueue<E>,
     now: SimTime,
     stats: SchedulerStats,
     trace: Option<TraceBuffer>,
 }
 
 impl<E> Scheduler<E> {
-    /// Creates a scheduler at time zero with an empty queue.
+    /// Creates a scheduler at time zero with an empty binary-heap queue.
     #[must_use]
     pub fn new() -> Self {
         Scheduler {
-            queue: EventQueue::new(),
+            queue: PendingQueue::Heap(EventQueue::new()),
+            now: SimTime::ZERO,
+            stats: SchedulerStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Creates a scheduler backed by a [`CalendarQueue`] with the given
+    /// sliding window (in ticks): O(1) scheduling when no event is ever
+    /// scheduled more than `window − 1` ticks ahead, as in synchronous
+    /// race simulation where the bound is the largest edge weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_calendar_window(window: usize) -> Self {
+        Scheduler {
+            queue: PendingQueue::Calendar(CalendarQueue::new(window)),
             now: SimTime::ZERO,
             stats: SchedulerStats::default(),
             trace: None,
@@ -130,10 +193,18 @@ impl<E> Scheduler<E> {
 
     /// Runs until the queue drains or the next event would occur *after*
     /// `horizon` (events exactly at the horizon are delivered).
-    pub fn run_until<M: Model<Event = E>>(&mut self, model: &mut M, horizon: SimTime) -> RunOutcome {
+    pub fn run_until<M: Model<Event = E>>(
+        &mut self,
+        model: &mut M,
+        horizon: SimTime,
+    ) -> RunOutcome {
         loop {
             match self.queue.peek_time() {
-                None => return RunOutcome::Quiescent { last_event: self.now },
+                None => {
+                    return RunOutcome::Quiescent {
+                        last_event: self.now,
+                    }
+                }
                 Some(t) if t > horizon => return RunOutcome::HorizonReached { horizon },
                 Some(_) => {
                     self.step(model);
@@ -150,13 +221,19 @@ impl<E> Scheduler<E> {
     ) -> RunOutcome {
         for _ in 0..budget {
             if !self.step(model) {
-                return RunOutcome::Quiescent { last_event: self.now };
+                return RunOutcome::Quiescent {
+                    last_event: self.now,
+                };
             }
         }
         if self.queue.is_empty() {
-            RunOutcome::Quiescent { last_event: self.now }
+            RunOutcome::Quiescent {
+                last_event: self.now,
+            }
         } else {
-            RunOutcome::BudgetExhausted { last_event: self.now }
+            RunOutcome::BudgetExhausted {
+                last_event: self.now,
+            }
         }
     }
 
@@ -202,7 +279,10 @@ mod tests {
 
     #[test]
     fn events_delivered_in_time_order() {
-        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: None,
+        };
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::new(10), 1);
         s.schedule_at(SimTime::new(5), 2);
@@ -222,12 +302,59 @@ mod tests {
     }
 
     #[test]
+    fn calendar_backed_scheduler_matches_heap_backed() {
+        let run = |mut s: Scheduler<u32>| {
+            let mut m = Recorder {
+                seen: vec![],
+                respawn_every: None,
+            };
+            for (t, e) in [(10_u64, 1_u32), (5, 2), (10, 3), (40, 4)] {
+                s.schedule_at(SimTime::new(t), e);
+            }
+            s.run_to_completion(&mut m);
+            m.seen
+        };
+        // Window 4 forces overflow traffic; behavior must be identical.
+        assert_eq!(
+            run(Scheduler::new()),
+            run(Scheduler::with_calendar_window(4))
+        );
+    }
+
+    #[test]
+    fn calendar_backed_run_until_respects_horizon() {
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: Some(10),
+        };
+        let mut s = Scheduler::with_calendar_window(16);
+        s.schedule_at(SimTime::ZERO, 0);
+        let outcome = s.run_until(&mut m, SimTime::new(35));
+        assert_eq!(
+            outcome,
+            RunOutcome::HorizonReached {
+                horizon: SimTime::new(35)
+            }
+        );
+        assert_eq!(m.seen.len(), 4);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
     fn run_until_respects_horizon() {
-        let mut m = Recorder { seen: vec![], respawn_every: Some(10) };
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: Some(10),
+        };
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::ZERO, 0);
         let outcome = s.run_until(&mut m, SimTime::new(35));
-        assert_eq!(outcome, RunOutcome::HorizonReached { horizon: SimTime::new(35) });
+        assert_eq!(
+            outcome,
+            RunOutcome::HorizonReached {
+                horizon: SimTime::new(35)
+            }
+        );
         // Events at t = 0, 10, 20, 30 delivered; t = 40 pending.
         assert_eq!(m.seen.len(), 4);
         assert_eq!(s.pending(), 1);
@@ -235,7 +362,10 @@ mod tests {
 
     #[test]
     fn run_with_budget_stops() {
-        let mut m = Recorder { seen: vec![], respawn_every: Some(1) };
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: Some(1),
+        };
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::ZERO, 0);
         let outcome = s.run_with_budget(&mut m, 100);
@@ -245,17 +375,28 @@ mod tests {
 
     #[test]
     fn quiescent_when_drained_exactly_at_budget() {
-        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: None,
+        };
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::new(1), 7);
         let outcome = s.run_with_budget(&mut m, 1);
-        assert_eq!(outcome, RunOutcome::Quiescent { last_event: SimTime::new(1) });
+        assert_eq!(
+            outcome,
+            RunOutcome::Quiescent {
+                last_event: SimTime::new(1)
+            }
+        );
     }
 
     #[test]
     #[should_panic(expected = "before the current time")]
     fn scheduling_into_the_past_panics() {
-        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: None,
+        };
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::new(10), 0);
         s.run_to_completion(&mut m);
@@ -264,7 +405,10 @@ mod tests {
 
     #[test]
     fn tracing_records_events() {
-        let mut m = Recorder { seen: vec![], respawn_every: None };
+        let mut m = Recorder {
+            seen: vec![],
+            respawn_every: None,
+        };
         let mut s = Scheduler::new();
         s.enable_tracing(8);
         for t in [3_u64, 1, 2] {

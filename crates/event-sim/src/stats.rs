@@ -36,7 +36,11 @@ mod tests {
 
     #[test]
     fn outstanding_counts() {
-        let s = SchedulerStats { scheduled: 5, delivered: 2, max_queue_len: 3 };
+        let s = SchedulerStats {
+            scheduled: 5,
+            delivered: 2,
+            max_queue_len: 3,
+        };
         assert_eq!(s.outstanding(), 3);
         assert_eq!(SchedulerStats::default().outstanding(), 0);
     }

@@ -60,7 +60,10 @@ pub fn census_area_um2(census: &Census, areas: &GateAreas) -> f64 {
             CellKind::Sticky => areas.sticky,
         }
     };
-    let raw: f64 = census.iter().map(|(kind, count)| cell(kind) * count as f64).sum();
+    let raw: f64 = census
+        .iter()
+        .map(|(kind, count)| cell(kind) * count as f64)
+        .sum();
     raw * areas.wiring_factor
 }
 
@@ -74,7 +77,11 @@ mod tests {
     fn race_starts_smaller_then_crosses() {
         for lib in TechLibrary::all() {
             assert!(race_um2(&lib, 5) < systolic_um2(&lib, 5), "{}", lib.name);
-            assert!(race_um2(&lib, 100) > systolic_um2(&lib, 100), "{}", lib.name);
+            assert!(
+                race_um2(&lib, 100) > systolic_um2(&lib, 100),
+                "{}",
+                lib.name
+            );
             let x = area_crossover_n(&lib);
             assert!(
                 (10..40).contains(&x),

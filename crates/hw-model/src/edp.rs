@@ -6,8 +6,8 @@
 //! corner while the systolic array sits up and to the right.
 
 use crate::energy::{self, Case};
-use crate::tech::TechLibrary;
 use crate::latency;
+use crate::tech::TechLibrary;
 
 /// One labelled point of the Fig. 9c scatter.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,7 +103,11 @@ mod tests {
 
     #[test]
     fn edp_units() {
-        let p = EnergyDelayPoint { label: "x", energy_mj: 1e-6, latency_ns: 100.0 };
+        let p = EnergyDelayPoint {
+            label: "x",
+            energy_mj: 1e-6,
+            latency_ns: 100.0,
+        };
         // 1e-6 mJ = 1 nJ; 1 nJ × 100 ns = 1e-16 J·s = 0.1 fJ·s.
         assert!((p.edp_fjs() - 0.1).abs() < 1e-12);
     }

@@ -150,7 +150,9 @@ mod tests {
         assert!((e_worst - (5.30 * n.powi(3) + 3.76 * n.powi(2))).abs() < 1e-6);
         let o = TechLibrary::osu05();
         assert!((race_pj(&o, 37, Case::Best) - (1.05 * n.powi(3) + 5.91 * n.powi(2))).abs() < 1e-6);
-        assert!((race_pj(&o, 37, Case::Worst) - (2.10 * n.powi(3) + 4.86 * n.powi(2))).abs() < 1e-6);
+        assert!(
+            (race_pj(&o, 37, Case::Worst) - (2.10 * n.powi(3) + 4.86 * n.powi(2))).abs() < 1e-6
+        );
     }
 
     #[test]
@@ -184,8 +186,12 @@ mod tests {
             let analytic = optimal_gating_m(&lib, n);
             let best_m = (1..=n)
                 .min_by(|&a, &b| {
-                    race_gated_pj(&lib, n, Case::Worst, a as f64)
-                        .total_cmp(&race_gated_pj(&lib, n, Case::Worst, b as f64))
+                    race_gated_pj(&lib, n, Case::Worst, a as f64).total_cmp(&race_gated_pj(
+                        &lib,
+                        n,
+                        Case::Worst,
+                        b as f64,
+                    ))
                 })
                 .unwrap() as f64;
             assert!(

@@ -55,12 +55,36 @@ impl HeadlineClaims {
 impl std::fmt::Display for HeadlineClaims {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "headline claims at N = {}:", self.n)?;
-        writeln!(f, "  latency (sys/race-worst):            {:>7.2}x  (paper: 4x)", self.latency_ratio)?;
-        writeln!(f, "  throughput/area (race-best/sys):     {:>7.2}x  (paper: ~3x)", self.throughput_area_ratio)?;
-        writeln!(f, "  power density (sys/race-worst):      {:>7.2}x  (paper: 5x)", self.power_density_ratio)?;
-        writeln!(f, "  energy (sys/race-gated-best):        {:>7.2}x  (paper: ~200x, lower bracket)", self.energy_ratio_gated)?;
-        writeln!(f, "  energy (sys/race-clockless):         {:>7.2}x  (paper: ~200x, upper bracket)", self.energy_ratio_clockless)?;
-        write!(f, "  throughput/area crossover:            N ≈ {:>4}  (paper: ~70)", self.throughput_crossover_n)
+        writeln!(
+            f,
+            "  latency (sys/race-worst):            {:>7.2}x  (paper: 4x)",
+            self.latency_ratio
+        )?;
+        writeln!(
+            f,
+            "  throughput/area (race-best/sys):     {:>7.2}x  (paper: ~3x)",
+            self.throughput_area_ratio
+        )?;
+        writeln!(
+            f,
+            "  power density (sys/race-worst):      {:>7.2}x  (paper: 5x)",
+            self.power_density_ratio
+        )?;
+        writeln!(
+            f,
+            "  energy (sys/race-gated-best):        {:>7.2}x  (paper: ~200x, lower bracket)",
+            self.energy_ratio_gated
+        )?;
+        writeln!(
+            f,
+            "  energy (sys/race-clockless):         {:>7.2}x  (paper: ~200x, upper bracket)",
+            self.energy_ratio_clockless
+        )?;
+        write!(
+            f,
+            "  throughput/area crossover:            N ≈ {:>4}  (paper: ~70)",
+            self.throughput_crossover_n
+        )
     }
 }
 
@@ -71,7 +95,11 @@ mod tests {
     #[test]
     fn amis_claims_land_in_the_paper_bands() {
         let c = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
-        assert!((3.5..=4.5).contains(&c.latency_ratio), "latency {}", c.latency_ratio);
+        assert!(
+            (3.5..=4.5).contains(&c.latency_ratio),
+            "latency {}",
+            c.latency_ratio
+        );
         assert!(
             (2.5..=4.5).contains(&c.throughput_area_ratio),
             "throughput/area {}",
@@ -82,7 +110,11 @@ mod tests {
             "power density {}",
             c.power_density_ratio
         );
-        assert!(c.energy_ratio_gated > 50.0, "gated energy ratio {}", c.energy_ratio_gated);
+        assert!(
+            c.energy_ratio_gated > 50.0,
+            "gated energy ratio {}",
+            c.energy_ratio_gated
+        );
         assert!(
             c.energy_ratio_clockless > 150.0,
             "clockless energy ratio {}",
@@ -106,7 +138,13 @@ mod tests {
     fn display_mentions_every_claim() {
         let c = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
         let s = c.to_string();
-        for needle in ["latency", "throughput", "power density", "energy", "crossover"] {
+        for needle in [
+            "latency",
+            "throughput",
+            "power density",
+            "energy",
+            "crossover",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

@@ -34,8 +34,7 @@ pub fn race_energy_from_stats(lib: &TechLibrary, stats: &ActivityStats) -> f64 {
     // per-DFF clock energy is a third of the per-cell constant.
     let e_clk_per_dff = lib.race_clk_pj / 3.0;
     let e_toggle = lib.race_clk_pj * TOGGLE_PJ_FRACTION;
-    e_clk_per_dff * stats.sequential_cell_cycles() as f64
-        + e_toggle * stats.total_toggles() as f64
+    e_clk_per_dff * stats.sequential_cell_cycles() as f64 + e_toggle * stats.total_toggles() as f64
 }
 
 /// Energy (pJ) of a race under measured data-dependent gating at

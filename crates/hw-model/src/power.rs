@@ -72,7 +72,10 @@ mod tests {
         // Abstract: "5× lower power density for 20-long-symbol DNA".
         let lib = TechLibrary::amis05();
         let ratio = systolic_density(&lib, 20) / race_density(&lib, 20, Case::Worst);
-        assert!((4.0..=6.0).contains(&ratio), "density ratio {ratio} not ≈ 5×");
+        assert!(
+            (4.0..=6.0).contains(&ratio),
+            "density ratio {ratio} not ≈ 5×"
+        );
     }
 
     #[test]
@@ -82,10 +85,16 @@ mod tests {
         let lib = TechLibrary::amis05();
         for n in 5..=100 {
             let d = race_density(&lib, n, Case::Worst);
-            assert!(d < ITRS_LIMIT_W_PER_CM2, "N={n}: race density {d} over ITRS");
+            assert!(
+                d < ITRS_LIMIT_W_PER_CM2,
+                "N={n}: race density {d} over ITRS"
+            );
         }
         let sys20 = systolic_density(&lib, 20);
-        assert!(sys20 > ITRS_LIMIT_W_PER_CM2, "systolic at N=20 should exceed ITRS");
+        assert!(
+            sys20 > ITRS_LIMIT_W_PER_CM2,
+            "systolic at N=20 should exceed ITRS"
+        );
     }
 
     #[test]

@@ -36,20 +36,29 @@ impl ProcessNode {
     /// The paper's 0.5 µm / 5 V node.
     #[must_use]
     pub fn um05() -> ProcessNode {
-        ProcessNode { feature_um: 0.5, vdd: 5.0 }
+        ProcessNode {
+            feature_um: 0.5,
+            vdd: 5.0,
+        }
     }
 
     /// A 180 nm / 1.8 V node.
     #[must_use]
     pub fn nm180() -> ProcessNode {
-        ProcessNode { feature_um: 0.18, vdd: 1.8 }
+        ProcessNode {
+            feature_um: 0.18,
+            vdd: 1.8,
+        }
     }
 
     /// A 65 nm / 1.1 V node (the dark-silicon era the paper's
     /// introduction cites).
     #[must_use]
     pub fn nm65() -> ProcessNode {
-        ProcessNode { feature_um: 0.065, vdd: 1.1 }
+        ProcessNode {
+            feature_um: 0.065,
+            vdd: 1.1,
+        }
     }
 }
 
@@ -112,9 +121,7 @@ mod tests {
             let scaled_lib = project(&TechLibrary::amis05(), node);
             let scaled = HeadlineClaims::compute(&scaled_lib, 20);
             assert!((scaled.latency_ratio - base.latency_ratio).abs() < 1e-9);
-            assert!(
-                (scaled.throughput_area_ratio - base.throughput_area_ratio).abs() < 1e-9
-            );
+            assert!((scaled.throughput_area_ratio - base.throughput_area_ratio).abs() < 1e-9);
             assert!((scaled.power_density_ratio - base.power_density_ratio).abs() < 1e-6);
             assert_eq!(scaled.throughput_crossover_n, base.throughput_crossover_n);
         }
@@ -125,7 +132,8 @@ mod tests {
         let base = TechLibrary::amis05();
         let scaled = project(&base, ProcessNode::nm65());
         assert!(
-            energy::race_pj(&scaled, 20, Case::Worst) < energy::race_pj(&base, 20, Case::Worst) / 50.0
+            energy::race_pj(&scaled, 20, Case::Worst)
+                < energy::race_pj(&base, 20, Case::Worst) / 50.0
         );
         assert!(latency::race_worst_ns(&scaled, 20) < latency::race_worst_ns(&base, 20) / 5.0);
         assert!(
@@ -156,7 +164,10 @@ mod tests {
     fn upscaling_rejected() {
         let _ = project(
             &TechLibrary::amis05(),
-            ProcessNode { feature_um: 1.0, vdd: 5.0 },
+            ProcessNode {
+                feature_um: 1.0,
+                vdd: 5.0,
+            },
         );
     }
 }

@@ -18,10 +18,8 @@
 //! Every number is a plain struct field, so sensitivity studies can copy
 //! a library and perturb it.
 
-use serde::{Deserialize, Serialize};
-
 /// A calibrated standard-cell technology description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechLibrary {
     /// Library name (`"AMIS"` or `"OSU"`).
     pub name: &'static str,
@@ -59,8 +57,8 @@ impl TechLibrary {
             name: "AMIS",
             race_clock_ns: 2.0,
             systolic_clock_ns: 3.7,
-            race_clk_pj: 2.65,        // Eq. 5a N³ coefficient
-            race_nonclk_best_pj: 6.41, // Eq. 5a N² coefficient
+            race_clk_pj: 2.65,          // Eq. 5a N³ coefficient
+            race_nonclk_best_pj: 6.41,  // Eq. 5a N² coefficient
             race_nonclk_worst_pj: 3.76, // Eq. 5b N² coefficient
             gate_region_pj: 10.0,
             systolic_pe_pj: 244.0,
@@ -77,8 +75,8 @@ impl TechLibrary {
             name: "OSU",
             race_clock_ns: 2.4,
             systolic_clock_ns: 4.45,
-            race_clk_pj: 1.05,        // Eq. 5c N³ coefficient
-            race_nonclk_best_pj: 5.91, // Eq. 5c N² coefficient
+            race_clk_pj: 1.05,          // Eq. 5c N³ coefficient
+            race_nonclk_best_pj: 5.91,  // Eq. 5c N² coefficient
             race_nonclk_worst_pj: 4.86, // Eq. 5d N² coefficient
             gate_region_pj: 4.0,
             systolic_pe_pj: 104.0,
@@ -98,7 +96,7 @@ impl TechLibrary {
 /// Per-gate area table (µm², 0.5 µm class, wiring excluded) used to price
 /// a netlist census; the `wiring_factor` reconciles raw cell area with
 /// the placed-and-routed [`TechLibrary::race_cell_area_um2`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GateAreas {
     /// 2-input OR/AND base area; each extra input adds `per_extra_input`.
     pub gate2: f64,

@@ -67,7 +67,10 @@ mod tests {
         // Abstract: "throughput ... per circuit area is about 3× higher".
         let lib = TechLibrary::amis05();
         let ratio = race_per_sec_per_cm2(&lib, 20, Case::Best) / systolic_per_sec_per_cm2(&lib, 20);
-        assert!((2.5..=4.5).contains(&ratio), "throughput/area ratio {ratio} not ≈ 3-4×");
+        assert!(
+            (2.5..=4.5).contains(&ratio),
+            "throughput/area ratio {ratio} not ≈ 3-4×"
+        );
     }
 
     #[test]
@@ -82,12 +85,10 @@ mod tests {
         let lib = TechLibrary::amis05();
         let x = crossover_n(&lib);
         assert!(
-            race_per_sec_per_cm2(&lib, x - 10, Case::Best)
-                > systolic_per_sec_per_cm2(&lib, x - 10)
+            race_per_sec_per_cm2(&lib, x - 10, Case::Best) > systolic_per_sec_per_cm2(&lib, x - 10)
         );
         assert!(
-            race_per_sec_per_cm2(&lib, x + 10, Case::Best)
-                < systolic_per_sec_per_cm2(&lib, x + 10)
+            race_per_sec_per_cm2(&lib, x + 10, Case::Best) < systolic_per_sec_per_cm2(&lib, x + 10)
         );
     }
 
@@ -103,6 +104,9 @@ mod tests {
     fn systolic_streams_faster_than_its_latency() {
         let lib = TechLibrary::amis05();
         let per_latency = 1e9 / latency::systolic_ns(&lib, 20);
-        assert!(systolic_per_sec(&lib, 20) > per_latency, "pipelining must help");
+        assert!(
+            systolic_per_sec(&lib, 20) > per_latency,
+            "pipelining must help"
+        );
     }
 }

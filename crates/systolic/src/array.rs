@@ -26,13 +26,21 @@ impl SystolicWeights {
     /// The paper's Fig. 2b weights: match 1, mismatch 2, indel 1.
     #[must_use]
     pub fn fig2b() -> Self {
-        SystolicWeights { matched: 1, mismatched: 2, indel: 1 }
+        SystolicWeights {
+            matched: 1,
+            mismatched: 2,
+            indel: 1,
+        }
     }
 
     /// Unit-cost Levenshtein: match 0, mismatch 1, indel 1.
     #[must_use]
     pub fn levenshtein() -> Self {
-        SystolicWeights { matched: 0, mismatched: 1, indel: 1 }
+        SystolicWeights {
+            matched: 0,
+            mismatched: 1,
+            indel: 1,
+        }
     }
 
     fn validate(&self) -> Result<(), SystolicError> {
@@ -115,7 +123,11 @@ impl<S: Symbol> SystolicArray<S> {
     /// incompatible with the mod-4 encoding.
     pub fn new(q: &Seq<S>, p: &Seq<S>, weights: SystolicWeights) -> Result<Self, SystolicError> {
         weights.validate()?;
-        Ok(SystolicArray { q: q.clone(), p: p.clone(), weights })
+        Ok(SystolicArray {
+            q: q.clone(),
+            p: p.clone(),
+            weights,
+        })
     }
 
     /// Number of PEs this comparison instantiates (`N + M + 1`; the paper
@@ -165,7 +177,10 @@ impl<S: Symbol> SystolicArray<S> {
 
         // Latest score per PE (computed on that PE's parity phase).
         let mut latest: Vec<Option<CellScore>> = vec![None; cells];
-        latest[m] = Some(CellScore { wide: 0, mod4: Mod4::new(0) }); // D(0,0)
+        latest[m] = Some(CellScore {
+            wide: 0,
+            mod4: Mod4::new(0),
+        }); // D(0,0)
 
         // Host-side recovery sits on the output PE (c = n - m, u = n).
         let anchor = (n as i64 - m as i64).unsigned_abs() * u64::from(w.indel);
@@ -219,10 +234,16 @@ impl<S: Symbol> SystolicArray<S> {
                 let (i, j) = ((i2 / 2) as usize, (j2 / 2) as usize);
                 let score = if i == 0 {
                     let v = j as u64 * u64::from(w.indel);
-                    CellScore { wide: v, mod4: Mod4::new(v) }
+                    CellScore {
+                        wide: v,
+                        mod4: Mod4::new(v),
+                    }
                 } else if j == 0 {
                     let v = i as u64 * u64::from(w.indel);
-                    CellScore { wide: v, mod4: Mod4::new(v) }
+                    CellScore {
+                        wide: v,
+                        mod4: Mod4::new(v),
+                    }
                 } else {
                     let diag = latest[u].expect("diagonal predecessor D(i-1,j-1) present");
                     let up = latest[u - 1].expect("neighbour D(i-1,j) present"); // c-1
@@ -241,9 +262,7 @@ impl<S: Symbol> SystolicArray<S> {
                     // anchor, minimize small offsets, re-encode.
                     let da = up.mod4.diff_from(diag.mod4); // in [-1, 1]
                     let db = left.mod4.diff_from(diag.mod4);
-                    let step = (da + w.indel as i8)
-                        .min(db + w.indel as i8)
-                        .min(sub as i8);
+                    let step = (da + w.indel as i8).min(db + w.indel as i8).min(sub as i8);
                     debug_assert!((0..=2).contains(&step), "step outside window");
                     let mod4 = diag.mod4.add(step as u8);
 
@@ -262,9 +281,7 @@ impl<S: Symbol> SystolicArray<S> {
             }
         }
 
-        let final_wide = latest[out_pe]
-            .map(|s| s.wide)
-            .unwrap_or(anchor); // empty×empty: no step ever ran
+        let final_wide = latest[out_pe].map(|s| s.wide).unwrap_or(anchor); // empty×empty: no step ever ran
         assert_eq!(recovered, final_wide, "recovery must equal the wide score");
         SystolicOutcome {
             score: recovered,
@@ -292,7 +309,9 @@ mod tests {
     fn paper_pair_scores_ten() {
         let q = dna("GATTCGA");
         let p = dna("ACTGAGA");
-        let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap().run();
+        let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b())
+            .unwrap()
+            .run();
         assert_eq!(out.score, 10);
         assert_eq!(out.score_wide, 10);
         assert_eq!(out.cycles, 14);
@@ -305,7 +324,9 @@ mod tests {
     #[test]
     fn identical_strings() {
         let s = dna("ACGTACGT");
-        let out = SystolicArray::new(&s, &s, SystolicWeights::fig2b()).unwrap().run();
+        let out = SystolicArray::new(&s, &s, SystolicWeights::fig2b())
+            .unwrap()
+            .run();
         assert_eq!(out.score, 8, "perfect alignment costs N matches");
     }
 
@@ -322,7 +343,9 @@ mod tests {
     fn unequal_lengths() {
         let q = dna("ACGT");
         let p = dna("AT");
-        let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b()).unwrap().run();
+        let out = SystolicArray::new(&q, &p, SystolicWeights::fig2b())
+            .unwrap()
+            .run();
         let expect = align::global_score(&q, &p, &matrix::dna_shortest()).unwrap();
         assert_eq!(out.score, expect as u64);
         assert_eq!(out.pe_count, 7);
@@ -331,11 +354,15 @@ mod tests {
     #[test]
     fn empty_strings() {
         let e = Seq::<Dna>::empty();
-        let out = SystolicArray::new(&e, &e, SystolicWeights::fig2b()).unwrap().run();
+        let out = SystolicArray::new(&e, &e, SystolicWeights::fig2b())
+            .unwrap()
+            .run();
         assert_eq!(out.score, 0);
         assert_eq!(out.cycles, 0);
         let s = dna("ACG");
-        let out = SystolicArray::new(&s, &e, SystolicWeights::fig2b()).unwrap().run();
+        let out = SystolicArray::new(&s, &e, SystolicWeights::fig2b())
+            .unwrap()
+            .run();
         assert_eq!(out.score, 3);
     }
 
@@ -343,18 +370,28 @@ mod tests {
     fn levenshtein_weights() {
         let q = dna("ACGTT");
         let p = dna("AGT");
-        let out = SystolicArray::new(&q, &p, SystolicWeights::levenshtein()).unwrap().run();
+        let out = SystolicArray::new(&q, &p, SystolicWeights::levenshtein())
+            .unwrap()
+            .run();
         assert_eq!(out.score, align::levenshtein(&q, &p));
     }
 
     #[test]
     fn invalid_weights_rejected() {
-        let bad = SystolicWeights { matched: 1, mismatched: 2, indel: 2 };
+        let bad = SystolicWeights {
+            matched: 1,
+            mismatched: 2,
+            indel: 2,
+        };
         assert!(matches!(
             SystolicArray::new(&dna("A"), &dna("A"), bad),
             Err(SystolicError::UnsupportedWeights(_))
         ));
-        let bad2 = SystolicWeights { matched: 2, mismatched: 1, indel: 1 };
+        let bad2 = SystolicWeights {
+            matched: 2,
+            mismatched: 1,
+            indel: 1,
+        };
         assert!(SystolicArray::new(&dna("A"), &dna("A"), bad2).is_err());
     }
 

@@ -28,6 +28,7 @@ impl Mod4 {
 
     /// Adds a small non-negative delta.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // modular add, deliberately not ops::Add
     pub fn add(self, delta: u8) -> Mod4 {
         Mod4((self.0 + delta) % 4)
     }

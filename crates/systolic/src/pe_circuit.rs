@@ -128,7 +128,14 @@ impl PeCircuit {
         let out = add_mod4(&mut nl, &diag, &step);
         nl.mark_output(out[0], "out0");
         nl.mark_output(out[1], "out1");
-        PeCircuit { netlist: nl, up, left, diag, eq, out }
+        PeCircuit {
+            netlist: nl,
+            up,
+            left,
+            diag,
+            eq,
+            out,
+        }
     }
 
     /// The netlist.
@@ -244,6 +251,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "incompatible")]
     fn invalid_weights_rejected() {
-        let _ = PeCircuit::build(SystolicWeights { matched: 1, mismatched: 2, indel: 2 });
+        let _ = PeCircuit::build(SystolicWeights {
+            matched: 1,
+            mismatched: 2,
+            indel: 2,
+        });
     }
 }

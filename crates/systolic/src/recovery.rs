@@ -23,7 +23,10 @@ impl ScoreRecovery {
     /// `|N − M| × indel`).
     #[must_use]
     pub fn new(anchor: u64) -> ScoreRecovery {
-        ScoreRecovery { absolute: anchor, last: Mod4::new(anchor) }
+        ScoreRecovery {
+            absolute: anchor,
+            last: Mod4::new(anchor),
+        }
     }
 
     /// Feeds the next residue from the output PE; returns the updated

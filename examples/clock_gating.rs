@@ -18,7 +18,10 @@ fn main() {
         .run_functional()
         .wavefront();
 
-    println!("worst-case {n}x{n} race: completes at cycle {}", trace.completion_time().unwrap());
+    println!(
+        "worst-case {n}x{n} race: completes at cycle {}",
+        trace.completion_time().unwrap()
+    );
     println!(
         "ungated clocking: {} cell-cycles; only {} cells ever fire\n",
         trace.ungated_cell_cycles(),
@@ -49,7 +52,6 @@ fn main() {
         "gated vs ungated energy: {:.0} pJ vs {:.0} pJ ({:.1}x saved)",
         energy::race_gated_optimal_pj(&lib, n, Case::Worst),
         energy::race_pj(&lib, n, Case::Worst),
-        energy::race_pj(&lib, n, Case::Worst)
-            / energy::race_gated_optimal_pj(&lib, n, Case::Worst)
+        energy::race_pj(&lib, n, Case::Worst) / energy::race_gated_optimal_pj(&lib, n, Case::Worst)
     );
 }

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference: Seq<Dna> = Seq::random(&mut rng, 24);
     let read = mutate::mutate(
         &reference,
-        &mutate::MutationConfig { substitution_rate: 0.08, insertion_rate: 0.04, deletion_rate: 0.04 },
+        &mutate::MutationConfig {
+            substitution_rate: 0.08,
+            insertion_rate: 0.04,
+            deletion_rate: 0.04,
+        },
         &mut rng,
     );
     println!("reference: {reference}");
@@ -38,8 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The systolic baseline must compute the same distance (it runs
     //    the unmodified Fig. 2b matrix; mismatch 2 == indel pair).
     let systolic = SystolicArray::new(&read, &reference, SystolicWeights::fig2b())?.run();
-    println!("\nsystolic array: score {} in {} anti-diagonal steps over {} PEs",
-        systolic.score, systolic.cycles, systolic.pe_count);
+    println!(
+        "\nsystolic array: score {} in {} anti-diagonal steps over {} PEs",
+        systolic.score, systolic.cycles, systolic.pe_count
+    );
     assert_eq!(systolic.score, score);
 
     // 4. And the software reference agrees with both.

@@ -7,8 +7,8 @@
 //! Run with: `cargo run --example early_termination`
 
 use race_logic::alignment::RaceWeights;
-use race_logic::early_termination::{scan_database, ThresholdOutcome};
 use race_logic::early_termination::threshold_race;
+use race_logic::early_termination::{scan_database, ThresholdOutcome};
 use rl_bio::{alphabet::Dna, mutate, Seq};
 use rl_dag::generate::seeded_rng;
 
@@ -39,7 +39,10 @@ fn main() {
         let outcome = threshold_race(&query, entry, RaceWeights::fig4(), threshold);
         match outcome {
             ThresholdOutcome::Within { score } => {
-                println!("entry {i:>2}: HIT    score {score:>3} ({} cycles spent)", score);
+                println!(
+                    "entry {i:>2}: HIT    score {score:>3} ({} cycles spent)",
+                    score
+                );
             }
             ThresholdOutcome::Exceeded => {
                 println!("entry {i:>2}: reject ({} cycles spent)", threshold + 1);

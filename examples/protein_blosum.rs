@@ -27,8 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "examples: W/W (score 11) -> {} cycles, W/C (score -2) -> {} cycles",
-        weights.substitution(AminoAcid::Trp, AminoAcid::Trp).unwrap(),
-        weights.substitution(AminoAcid::Trp, AminoAcid::Cys).unwrap(),
+        weights
+            .substitution(AminoAcid::Trp, AminoAcid::Trp)
+            .unwrap(),
+        weights
+            .substitution(AminoAcid::Trp, AminoAcid::Cys)
+            .unwrap(),
     );
 
     // Race and recover.

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // injected signal needs to reach the output cell.
     let outcome = race.run_functional();
     println!("aligning P = {p} against Q = {q}");
-    println!("race finished at cycle {} -> edit score {}", outcome.score(), outcome.score());
+    println!(
+        "race finished at cycle {} -> edit score {}",
+        outcome.score(),
+        outcome.score()
+    );
 
     // The same race at gate level: a real netlist of OR/AND/XNOR/DFF
     // cells, simulated cycle by cycle.

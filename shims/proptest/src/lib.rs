@@ -1,0 +1,359 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro, integer/float
+//! range strategies, character-class string patterns (`"[ACGT]{0,20}"`),
+//! [`collection::vec`], [`Strategy::prop_map`], [`prop_oneof!`] and
+//! [`Just`]. Cases are generated from a deterministic per-test seed, so
+//! failures reproduce; there is **no shrinking** — a failing case panics
+//! with the generated inputs printed via the assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (the used subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; this workspace trims to 64 to
+        // keep the single-core CI budget reasonable. Tests that need more
+        // (or fewer) cases say so via `#![proptest_config(..)]`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking, so a
+/// strategy is just a cloneable sampling function.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by [`prop_oneof!`] to mix arms of
+    /// different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| inner.sample(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Character-class string patterns: `"[ACGT]{0,20}"` draws a string of
+/// 0..=20 symbols uniformly from `ACGT`. Only the `[class]{lo,hi}` shape
+/// (with an optional plain-literal prefix) is supported — that is the
+/// entire regex dialect this workspace uses.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (class, lo, hi) = parse_pattern(self);
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| class[rng.random_range(0..class.len())])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let open = pattern
+        .find('[')
+        .unwrap_or_else(|| panic!("unsupported pattern {pattern:?}: expected [class]{{lo,hi}}"));
+    let close = pattern[open..]
+        .find(']')
+        .map(|i| open + i)
+        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+    let class: Vec<char> = pattern[open + 1..close].chars().collect();
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+    let rest = &pattern[close + 1..];
+    let (lo, hi) = if let Some(body) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        match body.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("bad repetition lower bound"),
+                b.trim().parse().expect("bad repetition upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad repetition count");
+                (n, n)
+            }
+        }
+    } else if rest.is_empty() {
+        (1, 1)
+    } else {
+        panic!("unsupported pattern tail {rest:?} in {pattern:?}");
+    };
+    assert!(lo <= hi, "empty repetition range in {pattern:?}");
+    (class, lo, hi)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// A strategy for vectors whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Derives the deterministic base seed for one named property test.
+#[must_use]
+pub fn test_seed(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds the RNG for one case of a property test.
+#[must_use]
+pub fn case_rng(base: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {{
+        let arms = vec![$(($weight as u32, $crate::Strategy::boxed($strategy))),+];
+        $crate::one_of_weighted(arms)
+    }};
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms = vec![$((1u32, $crate::Strategy::boxed($strategy))),+];
+        $crate::one_of_weighted(arms)
+    }};
+}
+
+/// Implementation detail of [`prop_oneof!`].
+#[must_use]
+pub fn one_of_weighted<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+    assert!(total > 0, "prop_oneof! weights must not all be zero");
+    let arms = Rc::new(arms);
+    BoxedStrategy(Rc::new(move |rng: &mut StdRng| {
+        let mut pick = rng.random_range(0..total);
+        for (w, s) in arms.iter() {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weighted pick out of range")
+    }))
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal rules first: the public entry rule below is a catch-all,
+    // so `@config` continuations must be matched before it.
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let base = $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(base, case);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (@config ($config:expr)) => {};
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_parsing() {
+        let (class, lo, hi) = super::parse_pattern("[ACGT]{0,20}");
+        assert_eq!(class, vec!['A', 'C', 'G', 'T']);
+        assert_eq!((lo, hi), (0, 20));
+        let (_, lo, hi) = super::parse_pattern("[AB]{5}");
+        assert_eq!((lo, hi), (5, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn string_strategy_respects_pattern(s in "[ACGT]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| "ACGT".contains(c)));
+        }
+
+        #[test]
+        fn range_and_vec_strategies(x in 3_u64..10, v in collection::vec(0_u8..4, 0..16)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() < 16);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn map_and_oneof(t in prop_oneof![3 => (0_u64..5).prop_map(|v| v * 2), 1 => Just(99_u64)]) {
+            prop_assert!(t == 99 || (t % 2 == 0 && t < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_is_respected(_x in 0_u64..2) {
+            // Runs are bounded by the config; nothing to assert per case.
+        }
+    }
+}

@@ -24,8 +24,7 @@ fn five_engines_agree_on_alignment_scores() {
     for seed in 0..6 {
         let (q, p) = random_pair(seed, 10 + seed as usize * 3, 0.25);
         // 1. Reference DP under the race matrix.
-        let reference =
-            align::global_score(&q, &p, &matrix::dna_race()).unwrap() as u64;
+        let reference = align::global_score(&q, &p, &matrix::dna_race()).unwrap() as u64;
         // 2. Functional race.
         let functional = AlignmentRace::new(&q, &p, RaceWeights::fig4())
             .run_functional()
@@ -74,9 +73,15 @@ fn dag_race_engines_agree_on_random_graphs() {
         let dp_max = paths::arrival_times::<MaxPlus>(&dag, &roots);
         let dj = dijkstra::shortest_paths(&dag, &roots).distance;
         let ev_or = functional::run(&dag, &roots, RaceKind::Or).unwrap().arrival;
-        let ev_and = functional::run(&dag, &roots, RaceKind::And).unwrap().arrival;
-        let gate_or = CompiledRace::race(&dag, &roots, RaceKind::Or).unwrap().arrival;
-        let gate_and = CompiledRace::race(&dag, &roots, RaceKind::And).unwrap().arrival;
+        let ev_and = functional::run(&dag, &roots, RaceKind::And)
+            .unwrap()
+            .arrival;
+        let gate_or = CompiledRace::race(&dag, &roots, RaceKind::Or)
+            .unwrap()
+            .arrival;
+        let gate_and = CompiledRace::race(&dag, &roots, RaceKind::And)
+            .unwrap()
+            .arrival;
 
         assert_eq!(dp_min, dj, "DP vs Dijkstra (seed {seed})");
         assert_eq!(dp_min, ev_or, "DP vs event race (seed {seed})");
@@ -97,8 +102,8 @@ fn edit_graph_race_equals_alignment_array() {
         substitution: |i: usize, j: usize| (q[i] == p[j]).then_some(1_u64),
     };
     let graph = rl_dag::edit_graph::EditGraph::build(q.len(), p.len(), &weights).unwrap();
-    let via_dag = functional::race_to(graph.dag(), &[graph.root()], graph.sink(), RaceKind::Or)
-        .unwrap();
+    let via_dag =
+        functional::race_to(graph.dag(), &[graph.root()], graph.sink(), RaceKind::Or).unwrap();
     let via_array = AlignmentRace::new(&q, &p, RaceWeights::fig4())
         .run_functional()
         .score();

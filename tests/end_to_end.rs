@@ -52,7 +52,10 @@ fn database_scan_recall_and_precision() {
     // of every rejected race; the saving is modest at this ratio but
     // must be real.
     assert!(report.total_cycles < report.unthresholded_cycles);
-    assert!(report.savings_fraction() > 0.03, "thresholding must save cycles");
+    assert!(
+        report.savings_fraction() > 0.03,
+        "thresholding must save cycles"
+    );
 }
 
 #[test]

@@ -1,0 +1,188 @@
+//! Integration tests for the `race_logic::engine` subsystem: the engine
+//! must agree with the paper-semantics fixed point
+//! (`AlignmentRace::run_functional`), with `rl_bio`'s reference
+//! Needleman–Wunsch DP, and with itself across the batched and
+//! sequential paths — under unbanded, banded and early-terminating
+//! configurations, on DNA and protein alphabets.
+
+use proptest::prelude::*;
+use race_logic::alignment::{AlignmentRace, RaceWeights};
+use race_logic::banded::banded_race;
+use race_logic::early_termination::{threshold_race, ThresholdOutcome};
+use race_logic::engine::{align_batch, AlignConfig, AlignEngine};
+use rl_bio::alphabet::Symbol;
+use rl_bio::{align, Objective, PackedSeq, ScoreScheme, Seq};
+use rl_bio::{AminoAcid, Dna};
+
+/// A reference DP scheme equivalent to `RaceWeights`, for any alphabet.
+fn race_scheme<S: Symbol>(w: RaceWeights) -> ScoreScheme<S> {
+    ScoreScheme::from_fn(
+        "race-weights",
+        Objective::Minimize,
+        w.indel as i32,
+        move |a, b| {
+            if a == b {
+                Some(w.matched as i32)
+            } else {
+                w.mismatched.map(|m| m as i32)
+            }
+        },
+    )
+}
+
+fn engine_score<S: Symbol>(
+    cfg: AlignConfig,
+    q: &Seq<S>,
+    p: &Seq<S>,
+) -> race_logic::engine::EngineOutcome {
+    AlignEngine::new(cfg).align(&PackedSeq::from_seq(q), &PackedSeq::from_seq(p))
+}
+
+proptest! {
+    /// Unbanded engine == run_functional == reference DP, DNA.
+    #[test]
+    fn engine_matches_fixed_point_and_reference_dna(
+        qs in "[ACGT]{0,24}", ps in "[ACGT]{0,24}"
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        for w in [RaceWeights::fig4(), RaceWeights::fig2b(), RaceWeights::levenshtein()] {
+            let fixed = AlignmentRace::new(&q, &p, w).run_functional().score();
+            let out = engine_score(AlignConfig::new(w), &q, &p);
+            prop_assert_eq!(out.score, fixed);
+            // The race weights always admit an all-indel path, so the
+            // reference DP must agree and be finite.
+            let dp = align::global_score(&q, &p, &race_scheme(w)).unwrap();
+            prop_assert_eq!(out.score.cycles(), Some(dp as u64));
+        }
+    }
+
+    /// Unbanded engine == run_functional == reference DP, protein.
+    #[test]
+    fn engine_matches_fixed_point_and_reference_protein(
+        qs in "[ARNDCQEGHILKMFPSTWYV]{0,12}",
+        ps in "[ARNDCQEGHILKMFPSTWYV]{0,12}"
+    ) {
+        let (q, p): (Seq<AminoAcid>, Seq<AminoAcid>) =
+            (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig2b();
+        let fixed = AlignmentRace::new(&q, &p, w).run_functional().score();
+        let out = engine_score(AlignConfig::new(w), &q, &p);
+        prop_assert_eq!(out.score, fixed);
+        let dp = align::global_score(&q, &p, &race_scheme(w)).unwrap();
+        prop_assert_eq!(out.score.cycles(), Some(dp as u64));
+    }
+
+    /// Banded engine == standalone banded race (score and cell count),
+    /// and certified-exact bands equal the unbanded engine.
+    #[test]
+    fn banded_engine_matches_banded_race(
+        qs in "[ACGT]{0,18}", ps in "[ACGT]{0,18}", band in 0_usize..20
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig4();
+        let reference = banded_race(&q, &p, w, band);
+        let out = engine_score(AlignConfig::new(w).with_band(band), &q, &p);
+        prop_assert_eq!(out.score, reference.score);
+        prop_assert_eq!(out.cells_computed, reference.cells_built as u64);
+        if reference.certified_exact(w) {
+            let exact = engine_score(AlignConfig::new(w), &q, &p);
+            prop_assert_eq!(out.score, exact.score);
+        }
+    }
+
+    /// Early-terminating engine classifies exactly like threshold_race,
+    /// which itself matches the true score.
+    #[test]
+    fn early_termination_is_exact(
+        qs in "[ACGT]{1,16}", ps in "[ACGT]{1,16}", t in 0_u64..36
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig4();
+        let truth = AlignmentRace::new(&q, &p, w).run_functional().latency_cycles().unwrap();
+        let out = engine_score(AlignConfig::new(w).with_threshold(t), &q, &p);
+        prop_assert_eq!(out.early_terminated, truth > t);
+        prop_assert_eq!(out.finished_score(), (truth <= t).then_some(truth));
+        // And the public threshold_race API (now engine-backed) agrees.
+        match threshold_race(&q, &p, w, t) {
+            ThresholdOutcome::Within { score } => prop_assert_eq!(score, truth),
+            ThresholdOutcome::Exceeded => prop_assert!(truth > t),
+        }
+    }
+
+    /// align_batch equals the sequential engine loop for every config
+    /// shape, with results in input order.
+    #[test]
+    fn batch_equals_sequential_loop(
+        seqs in collection::vec("[ACGT]{0,16}", 0..10), band in 1_usize..8, t in 4_u64..40
+    ) {
+        let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
+            .iter()
+            .map(|s| {
+                let q: Seq<Dna> = s.parse().unwrap();
+                let p: Seq<Dna> = "GATTCGAGATTCGA".parse().unwrap();
+                (PackedSeq::from_seq(&q), PackedSeq::from_seq(&p))
+            })
+            .collect();
+        let w = RaceWeights::fig4();
+        for cfg in [
+            AlignConfig::new(w),
+            AlignConfig::new(w).with_band(band),
+            AlignConfig::new(w).with_threshold(t),
+        ] {
+            let batch = align_batch(&cfg, &pairs);
+            let mut engine = AlignEngine::new(cfg);
+            let sequential: Vec<_> =
+                pairs.iter().map(|(q, p)| engine.align(q, p)).collect();
+            prop_assert_eq!(&batch, &sequential);
+        }
+    }
+}
+
+/// Acceptance criterion: after warm-up the single-pair engine path
+/// allocates nothing per alignment — its scratch capacities are stable
+/// across many alignments, including smaller follow-up inputs.
+#[test]
+fn engine_scratch_capacity_is_stable_after_warmup() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let big: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..4)
+        .map(|_| {
+            (
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 256)),
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 256)),
+            )
+        })
+        .collect();
+    let small = (
+        PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 31)),
+        PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 57)),
+    );
+
+    let mut engine = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
+    let (q0, p0) = &big[0];
+    let _ = engine.align(q0, p0); // warm-up at the working-set size
+    let caps = engine.scratch_capacities();
+    for _ in 0..50 {
+        for (q, p) in &big {
+            let _ = engine.align(q, p);
+        }
+        let _ = engine.align(&small.0, &small.1);
+        assert_eq!(
+            engine.scratch_capacities(),
+            caps,
+            "engine scratch must not grow or shrink after warm-up"
+        );
+    }
+}
+
+/// The engine reproduces the paper's running example end to end.
+#[test]
+fn engine_reproduces_fig4c() {
+    let q: Seq<Dna> = "GATTCGA".parse().unwrap();
+    let p: Seq<Dna> = "ACTGAGA".parse().unwrap();
+    let out = engine_score(AlignConfig::new(RaceWeights::fig4()), &q, &p);
+    assert_eq!(out.score.cycles(), Some(10));
+    assert_eq!(out.cells_computed, 64);
+}

@@ -30,7 +30,11 @@ fn fig4c_complete_table() {
     ];
     for (i, row) in expected.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
-            assert_eq!(out.arrival(i, j), Time::from_cycles(v), "Fig. 4c cell ({i},{j})");
+            assert_eq!(
+                out.arrival(i, j),
+                Time::from_cycles(v),
+                "Fig. 4c cell ({i},{j})"
+            );
         }
     }
 }
@@ -65,8 +69,7 @@ fn eq5_energy_fits_are_exact() {
     for n in [1usize, 10, 100, 1000] {
         let nf = n as f64;
         assert!(
-            (energy::race_pj(&amis, n, Case::Best) - (2.65 * nf.powi(3) + 6.41 * nf.powi(2)))
-                .abs()
+            (energy::race_pj(&amis, n, Case::Best) - (2.65 * nf.powi(3) + 6.41 * nf.powi(2))).abs()
                 < 1e-6 * nf.powi(3).max(1.0)
         );
         assert!(
@@ -75,13 +78,11 @@ fn eq5_energy_fits_are_exact() {
                 < 1e-6 * nf.powi(3).max(1.0)
         );
         assert!(
-            (energy::race_pj(&osu, n, Case::Best) - (1.05 * nf.powi(3) + 5.91 * nf.powi(2)))
-                .abs()
+            (energy::race_pj(&osu, n, Case::Best) - (1.05 * nf.powi(3) + 5.91 * nf.powi(2))).abs()
                 < 1e-6 * nf.powi(3).max(1.0)
         );
         assert!(
-            (energy::race_pj(&osu, n, Case::Worst) - (2.10 * nf.powi(3) + 4.86 * nf.powi(2)))
-                .abs()
+            (energy::race_pj(&osu, n, Case::Worst) - (2.10 * nf.powi(3) + 4.86 * nf.powi(2))).abs()
                 < 1e-6 * nf.powi(3).max(1.0)
         );
     }
@@ -90,7 +91,11 @@ fn eq5_energy_fits_are_exact() {
 #[test]
 fn abstract_headline_claims() {
     let c = HeadlineClaims::compute(&TechLibrary::amis05(), 20);
-    assert!((3.5..=4.5).contains(&c.latency_ratio), "4x latency: {}", c.latency_ratio);
+    assert!(
+        (3.5..=4.5).contains(&c.latency_ratio),
+        "4x latency: {}",
+        c.latency_ratio
+    );
     assert!(
         (2.5..=4.5).contains(&c.throughput_area_ratio),
         "~3x throughput/area: {}",
@@ -163,7 +168,9 @@ fn section6_latency_independent_of_dynamic_range_with_threshold() {
 fn fig5b_latency_tables_are_linear() {
     let lib = TechLibrary::amis05();
     // Second differences of a linear law are zero.
-    let series: Vec<f64> = (1..=10).map(|k| latency::systolic_ns(&lib, 10 * k)).collect();
+    let series: Vec<f64> = (1..=10)
+        .map(|k| latency::systolic_ns(&lib, 10 * k))
+        .collect();
     for w in series.windows(3) {
         let second_diff = (w[2] - w[1]) - (w[1] - w[0]);
         assert!(second_diff.abs() < 1e-9);
