@@ -2,19 +2,20 @@
 //!
 //! Compares, on 1,000 random DNA pairs of length 256:
 //! - the allocating baseline (an `AlignmentRace::run_functional` loop:
-//!   same kernel since PR 1, but a fresh `(N+1)·(M+1)` `Time` grid and
+//!   same rolling-row kernel, but a fresh `(N+1)·(M+1)` `Time` grid and
 //!   code buffers per pair),
-//! - the zero-allocation engine driven sequentially (scratch reuse +
-//!   rolling rows), and
-//! - `align_batch` (the same engine fanned out across cores).
+//! - the zero-allocation engine driven sequentially on each explicit
+//!   `KernelStrategy` (rolling-row: scratch reuse + rolling rows;
+//!   wavefront: anti-diagonal SIMD lanes on top of that), and
+//! - `align_batch` (the auto-strategy engine fanned out across cores).
 //!
-//! The acceptance target (≥ 5× pairs/sec for `align_batch` over the
-//! `run_functional` loop) needs multiple cores for the parallel part;
-//! the printed thread count shows how much parallelism was available.
+//! `cargo run --release -p rl-bench --bin engine_baseline` writes the
+//! same comparison to `BENCH_engine.json`; the committed numbers and
+//! their interpretation live in `docs/KERNELS.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use race_logic::alignment::{AlignmentRace, RaceWeights};
-use race_logic::engine::{align_batch, AlignConfig, AlignEngine};
+use race_logic::engine::{align_batch, AlignConfig, AlignEngine, KernelStrategy};
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
 use rl_dag::generate::seeded_rng;
 use std::hint::black_box;
@@ -55,18 +56,20 @@ fn bench_batch_throughput(c: &mut Criterion) {
         });
     });
 
-    group.bench_function("engine_sequential", |b| {
-        let mut engine = AlignEngine::new(cfg);
-        b.iter(|| {
-            let mut acc = 0_u64;
-            for (q, p) in &packed {
-                acc += engine.align(q, p).score.cycles().unwrap_or(0);
-            }
-            black_box(acc)
+    for strategy in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+        group.bench_function(format!("engine_sequential/{strategy}"), |b| {
+            let mut engine = AlignEngine::new(cfg.with_strategy(strategy));
+            b.iter(|| {
+                let mut acc = 0_u64;
+                for (q, p) in &packed {
+                    acc += engine.align(q, p).score.cycles().unwrap_or(0);
+                }
+                black_box(acc)
+            });
         });
-    });
+    }
 
-    group.bench_function("engine_align_batch", |b| {
+    group.bench_function("engine_align_batch/auto", |b| {
         b.iter(|| black_box(align_batch(&cfg, &packed)));
     });
 

@@ -1,12 +1,15 @@
 //! Engine throughput baseline: measures the score-only alignment engine
-//! against a `run_functional` loop and writes `BENCH_engine.json` so the
-//! perf trajectory is tracked from PR 1 onward.
+//! — per [`race_logic::engine::KernelStrategy`] — against a
+//! `run_functional` loop and writes `BENCH_engine.json` so the perf
+//! trajectory is tracked from PR 1 onward.
 //!
-//! Note the baseline is *today's* `run_functional` — which since PR 1
-//! delegates to the same engine kernel but allocates a full
-//! `(N+1)·(M+1)` grid (plus code buffers) per pair. The measured gap is
-//! therefore exactly the value of buffer reuse + rolling rows, not a
-//! comparison against the slower pre-PR-1 implementation.
+//! Note the `run_functional` baseline delegates to the same rolling-row
+//! kernel but allocates a full `(N+1)·(M+1)` grid (plus code buffers)
+//! per pair, so its gap to `engine_rolling_row` is exactly the value of
+//! buffer reuse + rolling rows. The `engine_wavefront` row is the PR 2
+//! anti-diagonal SIMD kernel; its gap to `engine_rolling_row` is the
+//! value of lane-parallel cell evaluation (the paper's hardware
+//! wavefront, in software). See `docs/KERNELS.md`.
 //!
 //! Run with `cargo run --release -p rl-bench --bin engine_baseline`.
 //! The workload is deterministic (seeded), so numbers move only when the
@@ -16,7 +19,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use race_logic::alignment::{AlignmentRace, RaceWeights};
-use race_logic::engine::{align_batch, AlignConfig, AlignEngine};
+use race_logic::engine::{align_batch, AlignConfig, AlignEngine, KernelStrategy};
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
 use rl_dag::generate::seeded_rng;
 
@@ -51,12 +54,12 @@ fn main() {
         .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
         .collect();
     let cfg = AlignConfig::new(RaceWeights::fig4());
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     // Baseline: the allocating per-pair full-grid path (run_functional,
-    // which shares the engine kernel but pays a grid allocation + Time
-    // conversion per pair).
-    let (t_funcional, sum_a) = time_reps(|| {
+    // which shares the rolling-row kernel but pays a grid allocation +
+    // Time conversion per pair).
+    let (t_functional, sum_a) = time_reps(|| {
         seqs.iter()
             .map(|(q, p)| {
                 AlignmentRace::new(q, p, RaceWeights::fig4())
@@ -67,62 +70,77 @@ fn main() {
             .sum()
     });
 
-    // Engine, one pair at a time (zero allocations after warm-up).
-    let mut engine = AlignEngine::new(cfg);
-    let (t_engine_seq, sum_b) = time_reps(|| {
-        packed
-            .iter()
-            .map(|(q, p)| engine.align(q, p).score.cycles().unwrap_or(0))
-            .sum()
-    });
+    // Engine, one pair at a time, per explicit kernel strategy (zero
+    // allocations after warm-up in both cases).
+    let time_engine = |strategy: KernelStrategy| {
+        let mut engine = AlignEngine::new(cfg.with_strategy(strategy));
+        time_reps(|| {
+            packed
+                .iter()
+                .map(|(q, p)| engine.align(q, p).score.cycles().unwrap_or(0))
+                .sum()
+        })
+    };
+    let (t_rolling, sum_b) = time_engine(KernelStrategy::RollingRow);
+    let (t_wavefront, sum_c) = time_engine(KernelStrategy::Wavefront);
 
-    // Engine, batched across cores.
-    let (t_batch, sum_c) = time_reps(|| {
+    // Engine, batched across cores (auto strategy — wavefront at this
+    // length).
+    let (t_batch, sum_d) = time_reps(|| {
         align_batch(&cfg, &packed)
             .iter()
             .map(|o| o.score.cycles().unwrap_or(0))
             .sum()
     });
 
-    assert_eq!(sum_a, sum_b, "engine disagrees with run_functional");
-    assert_eq!(sum_a, sum_c, "align_batch disagrees with run_functional");
+    assert_eq!(sum_a, sum_b, "rolling-row disagrees with run_functional");
+    assert_eq!(sum_a, sum_c, "wavefront disagrees with run_functional");
+    assert_eq!(sum_a, sum_d, "align_batch disagrees with run_functional");
 
     let pps = |t: f64| PAIRS as f64 / t;
+    let entry = |json: &mut String, key: &str, strategy: &str, t: f64| {
+        // Every entry is followed by the speedup lines, so a trailing
+        // comma is always correct.
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {{\"strategy\": \"{strategy}\", \"seconds\": {t:.6}, \"pairs_per_sec\": {:.1}}},",
+            pps(t),
+        );
+    };
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"engine_baseline\",");
     let _ = writeln!(json, "  \"workload\": {{\"pairs\": {PAIRS}, \"length\": {LEN}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"reps_median_of\": {REPS},");
     let _ = writeln!(json, "  \"score_checksum\": {sum_a},");
+    entry(
+        &mut json,
+        "run_functional_loop",
+        "rolling-row (allocating full grid)",
+        t_functional,
+    );
+    entry(&mut json, "engine_rolling_row", "rolling-row", t_rolling);
+    entry(&mut json, "engine_wavefront", "wavefront", t_wavefront);
+    entry(&mut json, "engine_align_batch", "auto", t_batch);
     let _ = writeln!(
         json,
-        "  \"run_functional_loop\": {{\"seconds\": {t_funcional:.6}, \"pairs_per_sec\": {:.1}}},",
-        pps(t_funcional)
+        "  \"speedup_rolling_row_vs_run_functional\": {:.2},",
+        t_functional / t_rolling
     );
     let _ = writeln!(
         json,
-        "  \"engine_sequential\": {{\"seconds\": {t_engine_seq:.6}, \"pairs_per_sec\": {:.1}}},",
-        pps(t_engine_seq)
-    );
-    let _ = writeln!(
-        json,
-        "  \"engine_align_batch\": {{\"seconds\": {t_batch:.6}, \"pairs_per_sec\": {:.1}}},",
-        pps(t_batch)
-    );
-    let _ = writeln!(
-        json,
-        "  \"speedup_engine_seq_vs_run_functional\": {:.2},",
-        t_funcional / t_engine_seq
+        "  \"speedup_wavefront_vs_rolling_row\": {:.2},",
+        t_rolling / t_wavefront
     );
     let _ = writeln!(
         json,
         "  \"speedup_batch_vs_run_functional\": {:.2}",
-        t_funcional / t_batch
+        t_functional / t_batch
     );
     let _ = writeln!(json, "}}");
 
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     print!("{json}");
-    eprintln!("wrote BENCH_engine.json ({threads} thread(s) available)");
+    eprintln!("wrote BENCH_engine.json ({host_cores} core(s) available)");
 }

@@ -137,6 +137,40 @@ impl<S: Symbol> PackedSeq<S> {
         out.extend(self.codes());
     }
 
+    /// Unpacks all codes into `out` in **reverse** order (cleared
+    /// first, capacity reused) — the diagonal gather helper for
+    /// anti-diagonal (wavefront) kernels.
+    ///
+    /// Along an anti-diagonal `i + j = d` of the alignment grid, the
+    /// query index `i` grows while the pattern index `j = d − i`
+    /// shrinks; with the pattern stored reversed, *both* symbol streams
+    /// are read forward (`q[i − 1]` pairs with `rev[len − d + i]`), so a
+    /// SIMD kernel gets two contiguous loads instead of a backward
+    /// gather. See `race_logic::engine`'s wavefront kernel.
+    ///
+    /// ```
+    /// use rl_bio::{PackedSeq, Seq, alphabet::Dna};
+    ///
+    /// let s: Seq<Dna> = "ACGT".parse()?;
+    /// let p = PackedSeq::from_seq(&s);
+    /// let (mut fwd, mut rev) = (Vec::new(), Vec::new());
+    /// p.unpack_into(&mut fwd);
+    /// p.unpack_reversed_into(&mut rev);
+    /// rev.reverse();
+    /// assert_eq!(fwd, rev);
+    /// # Ok::<(), rl_bio::ParseSeqError>(())
+    /// ```
+    pub fn unpack_reversed_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let bits = S::bits();
+        let per_word = Self::symbols_per_word();
+        let mask = (1_u64 << bits) - 1;
+        out.extend((0..self.len).rev().map(|i| {
+            let word = self.words[i / per_word];
+            ((word >> ((i % per_word) as u32 * bits)) & mask) as u8
+        }));
+    }
+
     /// Expands back to a symbol sequence.
     ///
     /// # Panics
@@ -206,7 +240,43 @@ mod tests {
         let _ = PackedSeq::<Dna>::from_codes([7_u8], 1);
     }
 
+    #[test]
+    fn unpack_reversed_reuses_capacity_and_reverses() {
+        let s: Seq<Dna> = "ACGTTGCA".parse().unwrap();
+        let p = PackedSeq::from_seq(&s);
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        p.unpack_reversed_into(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3, 3, 2, 1, 0]);
+        assert_eq!(buf.capacity(), cap, "no reallocation for fitting input");
+        p.unpack_reversed_into(&mut buf); // idempotent, still no realloc
+        assert_eq!(buf.capacity(), cap);
+    }
+
     proptest! {
+        /// Reversed unpacking is exactly forward unpacking, reversed —
+        /// across word boundaries and for both alphabets.
+        #[test]
+        fn unpack_reversed_is_reverse_of_forward(s in "[ACGT]{0,100}") {
+            let seq: Seq<Dna> = s.parse().unwrap();
+            let p = PackedSeq::from_seq(&seq);
+            let (mut fwd, mut rev) = (Vec::new(), Vec::new());
+            p.unpack_into(&mut fwd);
+            p.unpack_reversed_into(&mut rev);
+            fwd.reverse();
+            prop_assert_eq!(fwd, rev);
+        }
+
+        #[test]
+        fn unpack_reversed_amino(s in "[ARNDCQEGHILKMFPSTWYV]{0,40}") {
+            let seq: Seq<AminoAcid> = s.parse().unwrap();
+            let p = PackedSeq::from_seq(&seq);
+            let mut rev = Vec::new();
+            p.unpack_reversed_into(&mut rev);
+            let fwd: Vec<u8> = p.codes().collect();
+            prop_assert_eq!(rev.iter().rev().copied().collect::<Vec<u8>>(), fwd);
+        }
+
         /// Packing is lossless for both alphabets.
         #[test]
         fn dna_round_trip(s in "[ACGT]{0,100}") {

@@ -200,16 +200,27 @@ impl<S: Symbol> AlignmentRace<S> {
 
     /// Runs the race functionally: computes every cell's arrival time by
     /// the min-plus fixed point (`O(N·M)`, no gates). Delegates to the
-    /// [`crate::engine`] kernel; for score-only or batched workloads use
-    /// [`crate::engine::AlignEngine`] directly, which skips this method's
-    /// per-call grid allocation.
+    /// [`crate::engine`] kernel under
+    /// [`crate::engine::KernelStrategy::Auto`]; for score-only or
+    /// batched workloads use [`crate::engine::AlignEngine`] directly,
+    /// which skips this method's per-call grid allocation.
     #[must_use]
     pub fn run_functional(&self) -> AlignmentOutcome {
+        self.run_functional_with(crate::engine::KernelStrategy::Auto)
+    }
+
+    /// [`AlignmentRace::run_functional`] on an explicit kernel
+    /// traversal order. Both orders produce the identical arrival grid
+    /// (property-tested); [`crate::engine::KernelStrategy::Wavefront`]
+    /// fills it anti-diagonal by anti-diagonal — the order the hardware
+    /// wavefront of Fig. 6 actually evaluates cells in.
+    #[must_use]
+    pub fn run_functional_with(&self, strategy: crate::engine::KernelStrategy) -> AlignmentOutcome {
         let (n, m) = (self.q.len(), self.p.len());
         let q_codes: Vec<u8> = self.q.codes().collect();
         let p_codes: Vec<u8> = self.p.codes().collect();
         let mut grid = Vec::new();
-        crate::engine::fill_grid(&q_codes, &p_codes, self.weights, None, &mut grid);
+        crate::engine::fill_grid_with(&q_codes, &p_codes, self.weights, None, strategy, &mut grid);
         let arrival = grid.into_iter().map(crate::engine::raw_to_time).collect();
         AlignmentOutcome {
             arrival,

@@ -77,7 +77,8 @@ impl BandedOutcome {
     }
 }
 
-/// Races `q` against `p` restricted to the diagonal band `|i − j| ≤ band`.
+/// Races `q` against `p` restricted to the diagonal band `|i − j| ≤ band`,
+/// on the kernel [`crate::engine::KernelStrategy::Auto`] selects.
 ///
 /// # Panics
 ///
@@ -89,12 +90,30 @@ pub fn banded_race<S: Symbol>(
     weights: RaceWeights,
     band: usize,
 ) -> BandedOutcome {
+    banded_race_with(q, p, weights, band, crate::engine::KernelStrategy::Auto)
+}
+
+/// [`banded_race`] on an explicit kernel traversal order — same score,
+/// same in-band cell set and count for both orders (property-tested).
+///
+/// # Panics
+///
+/// Panics if `weights.indel == 0`.
+#[must_use]
+pub fn banded_race_with<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    weights: RaceWeights,
+    band: usize,
+    strategy: crate::engine::KernelStrategy,
+) -> BandedOutcome {
     assert!(weights.indel > 0, "indel weight must be positive");
     let (n, m) = (q.len(), p.len());
     let q_codes: Vec<u8> = q.codes().collect();
     let p_codes: Vec<u8> = p.codes().collect();
     let mut grid = Vec::new();
-    let cells_built = crate::engine::fill_grid(&q_codes, &p_codes, weights, Some(band), &mut grid);
+    let cells_built =
+        crate::engine::fill_grid_with(&q_codes, &p_codes, weights, Some(band), strategy, &mut grid);
     BandedOutcome {
         score: crate::engine::raw_to_time(grid[n * (m + 1) + m]),
         band,

@@ -51,10 +51,12 @@ impl ThresholdOutcome {
 }
 
 /// Races `q` against `p` under simple alignment weights, abandoning at
-/// `threshold`. Runs on the [`crate::engine`] kernel with the threshold
-/// *fused into the row sweep*: the race stops computing the moment a
-/// whole arrival frontier exceeds the threshold, just as the hardware
-/// moves on the moment the threshold cycle passes.
+/// `threshold`. Runs on the [`crate::engine`] kernel
+/// ([`crate::engine::KernelStrategy::Auto`]-selected) with the
+/// threshold *fused into the sweep*: the race stops computing the
+/// moment a whole arrival frontier (a row, or an anti-diagonal pair)
+/// exceeds the threshold, just as the hardware moves on the moment the
+/// threshold cycle passes.
 #[must_use]
 pub fn threshold_race<S: Symbol>(
     q: &Seq<S>,
@@ -62,7 +64,30 @@ pub fn threshold_race<S: Symbol>(
     weights: RaceWeights,
     threshold: u64,
 ) -> ThresholdOutcome {
-    let cfg = AlignConfig::new(weights).with_threshold(threshold);
+    threshold_race_with(
+        q,
+        p,
+        weights,
+        threshold,
+        crate::engine::KernelStrategy::Auto,
+    )
+}
+
+/// [`threshold_race`] on an explicit kernel traversal order. The
+/// classification is identical for both orders (each abandons only when
+/// the score provably exceeds the threshold, and classifies exactly at
+/// completion otherwise — property-tested).
+#[must_use]
+pub fn threshold_race_with<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    weights: RaceWeights,
+    threshold: u64,
+    strategy: crate::engine::KernelStrategy,
+) -> ThresholdOutcome {
+    let cfg = AlignConfig::new(weights)
+        .with_threshold(threshold)
+        .with_strategy(strategy);
     let outcome = AlignEngine::new(cfg).align_seqs(q, p);
     classify(outcome.finished_score(), threshold)
 }

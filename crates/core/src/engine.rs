@@ -5,31 +5,44 @@
 //! semantics; this module is the same min-plus arrival fixed point
 //! engineered for sustained throughput:
 //!
-//! - **One kernel.** [`fill_grid`] is the single implementation of the
-//!   arrival recurrence. The full-grid paths (`run_functional`,
-//!   `banded::banded_race`) and the score-only rolling-row path
-//!   ([`AlignEngine::align`]) both call into the same per-row update, so
-//!   banding and early termination are *fused into the kernel* instead of
-//!   living as separate passes.
+//! - **Two kernels, one recurrence.** [`KernelStrategy`] selects between
+//!   the row-major *rolling-row* sweep (two rows of state,
+//!   cache-friendly, but serialized by the in-row `left` dependency)
+//!   and the *wavefront* sweep (anti-diagonal order: every
+//!   cell of a diagonal is independent, exactly the parallelism the
+//!   Race Logic array exploits in hardware, vectorized through
+//!   [`crate::simd`]). [`KernelStrategy::Auto`] picks by problem shape.
 //! - **Zero allocations per alignment.** An [`AlignEngine`] owns its
-//!   scratch (two rolling rows plus two unpacked code buffers). After the
-//!   first call at a given problem size, [`AlignEngine::align`] performs
-//!   no heap allocation — verified by a buffer-reuse test.
+//!   scratch (rolling rows, anti-diagonal buffers, and unpacked code
+//!   buffers). After the first call at a given problem size,
+//!   [`AlignEngine::align`] performs no heap allocation — verified by a
+//!   buffer-reuse test.
 //! - **Packed operands.** Sequences arrive as
 //!   [`rl_bio::PackedSeq`] 2-bit views (DNA); the inner loop
 //!   compares raw codes branch-free, exactly the XNOR-compare of the
-//!   paper's Fig. 4b cell.
-//! - **Raw saturating `u64` arithmetic.** Inside the kernel, `+∞` is
-//!   `u64::MAX` and every add saturates — bit-identical to
+//!   paper's Fig. 4b cell. The wavefront kernel walks `p` *backwards*
+//!   (via [`rl_bio::PackedSeq::unpack_reversed_into`]) so that both
+//!   symbol streams advance forward along an anti-diagonal —
+//!   contiguous, vectorizable loads instead of a gather.
+//! - **Raw saturating `u64` arithmetic.** Inside the kernels, `+∞` is
+//!   [`NEVER`] and every add saturates — bit-identical to
 //!   [`Time`]'s semantics (`Time::NEVER` is `u64::MAX` and
 //!   `delay_by` saturates), so conversion happens only at the boundary.
+//!   When the problem is small enough that no finite cell value can
+//!   reach `u32::MAX / 2`, the wavefront kernel drops to `u32` lanes —
+//!   twice the SIMD width, provably the same scores (see
+//!   [`crate::simd::KernelWord`]).
 //! - **Fused banding** (Ukkonen `|i − j| ≤ k`) and **fused early
-//!   termination** (abandon once a whole row's frontier exceeds the
+//!   termination** (abandon once a whole frontier exceeds the
 //!   threshold — sound because weights are non-negative, so any
-//!   root→sink path costs at least the minimum of the row it crosses).
+//!   root→sink path costs at least the minimum of the frontier it
+//!   crosses). Both are fused into both kernels.
 //! - **Batching.** [`align_batch`] aligns many pairs in parallel with
 //!   rayon, one engine (one scratch set) per worker chunk, and returns
 //!   results in input order.
+//!
+//! See `docs/KERNELS.md` in the repository root for memory layouts, the
+//! auto-selection policy, and how to reproduce `BENCH_engine.json`.
 //!
 //! ```
 //! use race_logic::engine::{AlignConfig, AlignEngine};
@@ -49,10 +62,57 @@ use rl_bio::{alphabet::Symbol, PackedSeq};
 use rl_temporal::Time;
 
 use crate::alignment::RaceWeights;
+use crate::simd::{self, KernelWord, LaneWeights};
 
 /// `+∞` in the kernel's raw representation (identical to the bit pattern
 /// of [`Time::NEVER`]).
 pub const NEVER: u64 = u64::MAX;
+
+/// Smallest `min(n, m)` at which [`KernelStrategy::Auto`] picks the
+/// wavefront kernel: below this, anti-diagonals are too short to fill
+/// SIMD lanes and the rolling row's cache behaviour wins.
+pub const WAVEFRONT_MIN_LEN: usize = 32;
+
+/// Smallest Ukkonen band half-width at which [`KernelStrategy::Auto`]
+/// picks the wavefront kernel: a band of half-width `k` caps the
+/// anti-diagonal span at `k + 1` cells, so narrow bands leave the lanes
+/// mostly empty.
+pub const WAVEFRONT_MIN_BAND: usize = 8;
+
+/// Which traversal order the engine's fused kernel uses.
+///
+/// Both strategies compute the identical min-plus fixed point — same
+/// scores, same banded cell set, same early-termination classification
+/// (property-tested in `tests/engine.rs`). They differ in memory layout
+/// and in what the hardware can do with the inner loop; see
+/// `docs/KERNELS.md` for the full comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelStrategy {
+    /// Pick per problem: wavefront for long, un- or widely-banded pairs
+    /// (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`], band ≥
+    /// [`WAVEFRONT_MIN_BAND`] if any), rolling-row otherwise. This is
+    /// the default.
+    #[default]
+    Auto,
+    /// Row-major sweep with two rolling rows. Minimal state, best cache
+    /// behaviour, but each cell waits on its left neighbour — a serial
+    /// dependency chain the CPU cannot vectorize away.
+    RollingRow,
+    /// Anti-diagonal sweep: all cells of a diagonal are mutually
+    /// independent (the paper's hardware wavefront) and are computed as
+    /// SIMD lanes over three rotating diagonal buffers.
+    Wavefront,
+}
+
+impl std::fmt::Display for KernelStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelStrategy::Auto => write!(f, "auto"),
+            KernelStrategy::RollingRow => write!(f, "rolling-row"),
+            KernelStrategy::Wavefront => write!(f, "wavefront"),
+        }
+    }
+}
 
 /// Alignment weights lowered to raw saturating-`u64` form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +131,34 @@ impl RawWeights {
             indel: w.indel,
         }
     }
+
+    /// Lowers further into a lane representation.
+    fn lanes<W: KernelWord>(self) -> LaneWeights<W> {
+        LaneWeights {
+            matched: W::clamp_raw(self.matched),
+            mismatched: W::clamp_raw(self.mismatched),
+            indel: W::clamp_raw(self.indel),
+        }
+    }
+}
+
+/// `true` when no finite cell value of an `n × m` race under `w` can
+/// reach the `u32` kernel's `+∞` sentinel, so the wavefront kernel may
+/// run in `u32` lanes with exactly the same scores.
+///
+/// Bound: every finite cell value is the cost of a path with at most
+/// `n + m` steps, each costing at most the largest finite weight; the
+/// `+ 2` leaves headroom for the one add performed on a value before it
+/// is clamped.
+fn fits_u32(n: usize, m: usize, w: RawWeights) -> bool {
+    let max_finite = w.indel.max(w.matched).max(if w.mismatched == NEVER {
+        0
+    } else {
+        w.mismatched
+    });
+    ((n + m + 2) as u64)
+        .checked_mul(max_finite)
+        .is_some_and(|v| v < u64::from(<u32 as KernelWord>::INF))
 }
 
 /// Configuration of an alignment engine: weights plus the fused kernel
@@ -86,10 +174,13 @@ pub struct AlignConfig {
     /// soon as the score provably exceeds it (paper §6). `None` runs
     /// every race to completion.
     pub threshold: Option<u64>,
+    /// Kernel traversal order; [`KernelStrategy::Auto`] (the default)
+    /// resolves per pair via [`AlignConfig::resolve_strategy`].
+    pub strategy: KernelStrategy,
 }
 
 impl AlignConfig {
-    /// A full-grid, run-to-completion configuration.
+    /// A full-grid, run-to-completion, auto-strategy configuration.
     ///
     /// # Panics
     ///
@@ -101,6 +192,7 @@ impl AlignConfig {
             weights,
             band: None,
             threshold: None,
+            strategy: KernelStrategy::Auto,
         }
     }
 
@@ -116,6 +208,36 @@ impl AlignConfig {
     pub fn with_threshold(mut self, threshold: u64) -> Self {
         self.threshold = Some(threshold);
         self
+    }
+
+    /// Pins the kernel traversal order (overriding auto-selection).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: KernelStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The concrete kernel an `n × m` alignment under this configuration
+    /// runs on. [`KernelStrategy::Auto`] resolves to
+    /// [`KernelStrategy::Wavefront`] when the pair is long enough to
+    /// fill SIMD lanes (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`]) and any
+    /// band is wide enough (≥ [`WAVEFRONT_MIN_BAND`]) to leave the
+    /// anti-diagonals SIMD-wide; otherwise to
+    /// [`KernelStrategy::RollingRow`]. Explicit strategies resolve to
+    /// themselves.
+    #[must_use]
+    pub fn resolve_strategy(&self, n: usize, m: usize) -> KernelStrategy {
+        match self.strategy {
+            KernelStrategy::Auto => {
+                let wide_band = self.band.is_none_or(|k| k >= WAVEFRONT_MIN_BAND);
+                if n.min(m) >= WAVEFRONT_MIN_LEN && wide_band {
+                    KernelStrategy::Wavefront
+                } else {
+                    KernelStrategy::RollingRow
+                }
+            }
+            s => s,
+        }
     }
 }
 
@@ -156,7 +278,39 @@ fn band_range(i: usize, m: usize, band: Option<usize>) -> (usize, usize) {
     }
 }
 
-/// The fused inner row update, shared by every execution path.
+/// The in-band row range of anti-diagonal `d` (cells `(i, d − i)`):
+/// `lo..=hi` over rows, **empty when `lo > hi`**. Combines the grid
+/// bounds `max(0, d − m) ≤ i ≤ min(n, d)` with the band constraint
+/// `|i − (d − i)| ≤ k ⇔ ⌈(d − k)/2⌉ ≤ i ≤ ⌊(d + k)/2⌋`.
+#[inline]
+fn diag_range(d: usize, n: usize, m: usize, band: Option<usize>) -> (usize, usize) {
+    let mut lo = d.saturating_sub(m);
+    let mut hi = d.min(n);
+    if let Some(k) = band {
+        lo = lo.max(d.saturating_sub(k).div_ceil(2));
+        hi = hi.min((d + k) / 2);
+    }
+    (lo, hi)
+}
+
+/// One interior cell of the min-plus recurrence in raw `u64` form —
+/// **the** scalar definition of the cell update. Both traversal orders
+/// call it (the SIMD kernel's lane arithmetic in
+/// [`crate::simd::diag_update`] is the lane-typed restatement, tested
+/// equal), so a future change to the recurrence has one home.
+#[inline]
+fn scalar_cell(up: u64, left: u64, diag: u64, codes_equal: bool, w: RawWeights) -> u64 {
+    // Branch-free packed-code compare (the Fig. 4b XNOR tree): one of
+    // the two products is always zero, so the sum cannot wrap.
+    let eq = u64::from(codes_equal);
+    let diag_w = eq * w.matched + (1 - eq) * w.mismatched;
+    up.saturating_add(w.indel)
+        .min(left.saturating_add(w.indel))
+        .min(diag.saturating_add(diag_w))
+}
+
+/// The fused inner row update, shared by every rolling-row execution
+/// path.
 ///
 /// Computes `curr[lo..=hi]` (row `i > 0`, `span = (lo, hi)`) from `prev`
 /// (row `i − 1`). `curr` must be pre-filled with `NEVER` outside the
@@ -186,14 +340,7 @@ fn row_update(
     // cell exactly once. Out-of-band left neighbours are NEVER.
     let mut left_val = if j >= 1 { curr[j - 1] } else { NEVER };
     for jj in j..=hi {
-        let up = prev[jj].saturating_add(w.indel);
-        let left = left_val.saturating_add(w.indel);
-        // Branch-free packed-code compare (the Fig. 4b XNOR tree): one
-        // of the two products is always zero, so the sum cannot wrap.
-        let eq = u64::from(qc == p_codes[jj - 1]);
-        let diag_w = eq * w.matched + (1 - eq) * w.mismatched;
-        let diag = prev[jj - 1].saturating_add(diag_w);
-        let cell = up.min(left).min(diag);
+        let cell = scalar_cell(prev[jj], left_val, prev[jj - 1], qc == p_codes[jj - 1], w);
         curr[jj] = cell;
         left_val = cell;
         row_min = row_min.min(cell);
@@ -203,8 +350,10 @@ fn row_update(
 
 /// Fills `grid` (row-major, `(n+1) × (m+1)`, raw `u64` with
 /// [`NEVER`] = +∞) with the arrival fixed point of racing `q_codes`
-/// against `p_codes` — **the** kernel behind `run_functional` and
-/// `banded_race`. Returns the number of cells computed.
+/// against `p_codes` in **row-major (rolling-row) order** — the
+/// historical kernel behind `run_functional` and `banded_race`.
+/// Equivalent to [`fill_grid_with`] with
+/// [`KernelStrategy::RollingRow`]. Returns the number of cells computed.
 ///
 /// `grid` is cleared and resized in place, so a caller that reuses the
 /// same buffer allocates nothing after warm-up.
@@ -219,6 +368,40 @@ pub fn fill_grid(
     band: Option<usize>,
     grid: &mut Vec<u64>,
 ) -> u64 {
+    fill_grid_with(
+        q_codes,
+        p_codes,
+        weights,
+        band,
+        KernelStrategy::RollingRow,
+        grid,
+    )
+}
+
+/// [`fill_grid`] with an explicit traversal order.
+///
+/// Both orders produce the **identical** grid (same cell set, same
+/// values, same count — property-tested); they differ only in memory
+/// access pattern. [`KernelStrategy::Auto`] resolves to row-major here:
+/// materializing a full row-major grid is exactly the workload the
+/// rolling row is cache-optimal for, while the wavefront order pays a
+/// `cols − 1` stride per step. The wavefront variant exists for
+/// verification and for callers that want arrival grids in the
+/// hardware's evaluation order; the *fast* wavefront path is the
+/// score-only [`AlignEngine::align`], which keeps only three diagonals
+/// of state.
+///
+/// # Panics
+///
+/// Panics if `weights.indel == 0`.
+pub fn fill_grid_with(
+    q_codes: &[u8],
+    p_codes: &[u8],
+    weights: RaceWeights,
+    band: Option<usize>,
+    strategy: KernelStrategy,
+    grid: &mut Vec<u64>,
+) -> u64 {
     assert!(weights.indel > 0, "indel weight must be positive");
     let w = RawWeights::from_weights(weights);
     let (n, m) = (q_codes.len(), p_codes.len());
@@ -226,6 +409,37 @@ pub fn fill_grid(
     grid.clear();
     grid.resize((n + 1) * cols, NEVER);
     let mut cells = 0_u64;
+
+    if strategy == KernelStrategy::Wavefront {
+        // Anti-diagonal order straight over the row-major grid. Cells
+        // outside the band keep their NEVER pre-fill, which is exactly
+        // the +∞ every in-band neighbour read expects.
+        for d in 0..=(n + m) {
+            let (lo, hi) = diag_range(d, n, m, band);
+            if lo > hi {
+                continue;
+            }
+            for i in lo..=hi {
+                let j = d - i;
+                let idx = i * cols + j;
+                grid[idx] = if i == 0 {
+                    (j as u64).saturating_mul(w.indel)
+                } else if j == 0 {
+                    (i as u64).saturating_mul(w.indel)
+                } else {
+                    scalar_cell(
+                        grid[idx - cols],
+                        grid[idx - 1],
+                        grid[idx - cols - 1],
+                        q_codes[i - 1] == p_codes[j - 1],
+                        w,
+                    )
+                };
+            }
+            cells += (hi - lo + 1) as u64;
+        }
+        return cells;
+    }
 
     // Row 0: indel chain along the top boundary, clipped to the band.
     let (lo0, hi0) = band_range(0, m, band);
@@ -260,9 +474,144 @@ pub fn raw_to_time(raw: u64) -> Time {
     }
 }
 
+/// The score-only wavefront kernel: three rotating anti-diagonal
+/// buffers indexed by absolute row `i`, inner loop vectorized through
+/// [`crate::simd::diag_update`].
+///
+/// `p_rev` is `p`'s code sequence **reversed**: along an anti-diagonal
+/// `i + j = d`, the cell at row `i` compares `q[i − 1]` against
+/// `p[d − i − 1] = p_rev[m − d + i]`, so both streams are read forward
+/// and contiguously.
+///
+/// Buffer hygiene: a buffer holds diagonal `d` and is read while
+/// computing diagonals `d + 1` (rows `lo(d+1) − 1 ..= hi(d+1)`) and
+/// `d + 2` (rows `lo(d+2) − 1 ..= hi(d+2) − 1`). Because `lo` and `hi`
+/// are non-decreasing in `d` and grow by at most one per diagonal,
+/// every such read lands in `lo(d) − 1 ..= hi(d) + 1` — so it suffices
+/// to reset that one-cell padding around the written span to `+∞`
+/// (stale values further out are never read).
+fn wavefront_score<W: KernelWord>(
+    q_codes: &[u8],
+    p_rev: &[u8],
+    w: RawWeights,
+    band: Option<usize>,
+    threshold: Option<u64>,
+    bufs: &mut [Vec<W>; 3],
+) -> EngineOutcome {
+    let (n, m) = (q_codes.len(), p_rev.len());
+    let lw: LaneWeights<W> = w.lanes();
+    let t_w = threshold.map(W::clamp_raw);
+    for b in bufs.iter_mut() {
+        b.clear();
+        b.resize(n + 1, W::INF);
+    }
+
+    // Diagonal 0 is the root cell (0, 0), always in band.
+    bufs[0][0] = W::ZERO;
+    let mut cells = 1_u64;
+    let mut min1 = W::ZERO; // min over diagonal d − 1
+    let mut min2 = W::INF; // min over diagonal d − 2
+
+    for d in 1..=(n + m) {
+        // Sound abandon: a root→sink path's cell indices i + j step by 1
+        // (indel) or 2 (diagonal), so every path visits a computed cell
+        // on diagonal d − 1 or d − 2; with non-negative weights its cost
+        // is at least that cell's value ≥ min(min1, min2).
+        if let Some(t) = t_w {
+            if min1.min(min2) > t {
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    early_terminated: true,
+                };
+            }
+        }
+        let [a, b, c] = bufs;
+        let (cur, d1, d2) = match d % 3 {
+            0 => (a, c, b),
+            1 => (b, a, c),
+            _ => (c, b, a),
+        };
+        let (lo, hi) = diag_range(d, n, m, band);
+        if lo > hi {
+            // Band-excluded diagonal: reset the cells later diagonals
+            // may read so they see +∞, then move on.
+            let clo = lo.saturating_sub(1).min(n);
+            let chi = (hi + 1).min(n);
+            if clo <= chi {
+                cur[clo..=chi].fill(W::INF);
+            }
+            min2 = min1;
+            min1 = W::INF;
+            continue;
+        }
+        // One-cell +∞ padding around the written span (see above).
+        if lo > 0 {
+            cur[lo - 1] = W::INF;
+        }
+        if hi < n {
+            cur[hi + 1] = W::INF;
+        }
+
+        let mut dmin = W::INF;
+        // Boundary cells: pure indel chains from the root.
+        let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        if lo == 0 {
+            cur[0] = boundary; // cell (0, d), d ≤ m guaranteed by lo == 0
+            dmin = dmin.min(boundary);
+        }
+        if hi == d {
+            cur[d] = boundary; // cell (d, 0), d ≤ n guaranteed by hi == d
+            dmin = dmin.min(boundary);
+        }
+        // Interior cells (i ≥ 1, j = d − i ≥ 1): the SIMD segment.
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        if ilo <= ihi {
+            let len = ihi - ilo + 1;
+            let seg_min = simd::diag_update(
+                &d1[ilo - 1..ilo - 1 + len], // up: (i − 1, j) on d − 1
+                &d1[ilo..ilo + len],         // left: (i, j − 1) on d − 1
+                &d2[ilo - 1..ilo - 1 + len], // diag: (i − 1, j − 1) on d − 2
+                &q_codes[ilo - 1..ilo - 1 + len],
+                &p_rev[m + ilo - d..m + ilo - d + len],
+                lw,
+                &mut cur[ilo..ilo + len],
+            );
+            dmin = dmin.min(seg_min);
+        }
+        cells += (hi - lo + 1) as u64;
+        min2 = min1;
+        min1 = dmin;
+    }
+
+    let (flo, fhi) = diag_range(n + m, n, m, band);
+    let score_raw = if flo <= fhi {
+        bufs[(n + m) % 3][n].to_raw()
+    } else {
+        NEVER // the band excludes the sink cell itself
+    };
+    let exceeded = threshold.is_some_and(|t| score_raw > t);
+    EngineOutcome {
+        score: if exceeded {
+            Time::NEVER
+        } else {
+            raw_to_time(score_raw)
+        },
+        cells_computed: cells,
+        early_terminated: exceeded,
+    }
+}
+
 /// A reusable alignment engine: configuration plus owned scratch
 /// buffers. Create once, call [`AlignEngine::align`] many times — after
 /// warm-up no call allocates.
+///
+/// The scratch covers both kernels: two rolling rows plus forward code
+/// buffers for [`KernelStrategy::RollingRow`]; three anti-diagonal
+/// buffers (in both `u64` and `u32` widths) plus a reversed-`p` code
+/// buffer for [`KernelStrategy::Wavefront`]. Only the buffers of the
+/// kernel actually selected for a call are touched.
 #[derive(Debug, Clone)]
 pub struct AlignEngine {
     cfg: AlignConfig,
@@ -270,6 +619,9 @@ pub struct AlignEngine {
     curr: Vec<u64>,
     q_codes: Vec<u8>,
     p_codes: Vec<u8>,
+    p_rev: Vec<u8>,
+    diag64: [Vec<u64>; 3],
+    diag32: [Vec<u32>; 3],
 }
 
 impl AlignEngine {
@@ -282,6 +634,9 @@ impl AlignEngine {
             curr: Vec::new(),
             q_codes: Vec::new(),
             p_codes: Vec::new(),
+            p_rev: Vec::new(),
+            diag64: [Vec::new(), Vec::new(), Vec::new()],
+            diag32: [Vec::new(), Vec::new(), Vec::new()],
         }
     }
 
@@ -291,26 +646,43 @@ impl AlignEngine {
         &self.cfg
     }
 
-    /// Current scratch capacities `(row, row, q, p)` — stable across
-    /// repeated same-size alignments; exposed so tests can assert the
-    /// zero-allocation contract.
+    /// Current capacities of every scratch buffer the engine owns —
+    /// stable across repeated alignments once each kernel path has been
+    /// warmed up at the working-set size; exposed so tests can assert
+    /// the zero-allocation contract.
     #[must_use]
-    pub fn scratch_capacities(&self) -> (usize, usize, usize, usize) {
-        (
+    pub fn scratch_capacities(&self) -> Vec<usize> {
+        let mut caps = vec![
             self.prev.capacity(),
             self.curr.capacity(),
             self.q_codes.capacity(),
             self.p_codes.capacity(),
-        )
+            self.p_rev.capacity(),
+        ];
+        caps.extend(self.diag64.iter().map(Vec::capacity));
+        caps.extend(self.diag32.iter().map(Vec::capacity));
+        caps
     }
 
-    /// Aligns packed `q` (rows) against packed `p` (columns) with the
-    /// score-only rolling-row kernel: banding and early termination are
-    /// applied inside the row sweep, and only two rows of state exist.
+    /// Aligns packed `q` (rows) against packed `p` (columns) on the
+    /// kernel [`AlignConfig::resolve_strategy`] selects: banding and
+    /// early termination are applied inside the sweep, and only O(rows)
+    /// state exists (two rows or three anti-diagonals).
     pub fn align<S: Symbol>(&mut self, q: &PackedSeq<S>, p: &PackedSeq<S>) -> EngineOutcome {
-        q.unpack_into(&mut self.q_codes);
-        p.unpack_into(&mut self.p_codes);
-        self.align_codes()
+        match self.cfg.resolve_strategy(q.len(), p.len()) {
+            KernelStrategy::Wavefront => {
+                q.unpack_into(&mut self.q_codes);
+                // The wavefront kernel wants p backwards (contiguous
+                // anti-diagonal reads); unpack it reversed directly.
+                p.unpack_reversed_into(&mut self.p_rev);
+                self.wavefront_codes()
+            }
+            _ => {
+                q.unpack_into(&mut self.q_codes);
+                p.unpack_into(&mut self.p_codes);
+                self.rolling_row_codes()
+            }
+        }
     }
 
     /// Aligns plain sequences (convenience wrapper that packs nothing:
@@ -322,12 +694,47 @@ impl AlignEngine {
     ) -> EngineOutcome {
         self.q_codes.clear();
         self.q_codes.extend(q.codes());
-        self.p_codes.clear();
-        self.p_codes.extend(p.codes());
-        self.align_codes()
+        match self.cfg.resolve_strategy(q.len(), p.len()) {
+            KernelStrategy::Wavefront => {
+                self.p_rev.clear();
+                self.p_rev.extend(p.codes());
+                self.p_rev.reverse();
+                self.wavefront_codes()
+            }
+            _ => {
+                self.p_codes.clear();
+                self.p_codes.extend(p.codes());
+                self.rolling_row_codes()
+            }
+        }
     }
 
-    fn align_codes(&mut self) -> EngineOutcome {
+    /// Dispatches the wavefront kernel at the widest exact lane type.
+    fn wavefront_codes(&mut self) -> EngineOutcome {
+        let w = RawWeights::from_weights(self.cfg.weights);
+        let (n, m) = (self.q_codes.len(), self.p_rev.len());
+        if fits_u32(n, m, w) {
+            wavefront_score::<u32>(
+                &self.q_codes,
+                &self.p_rev,
+                w,
+                self.cfg.band,
+                self.cfg.threshold,
+                &mut self.diag32,
+            )
+        } else {
+            wavefront_score::<u64>(
+                &self.q_codes,
+                &self.p_rev,
+                w,
+                self.cfg.band,
+                self.cfg.threshold,
+                &mut self.diag64,
+            )
+        }
+    }
+
+    fn rolling_row_codes(&mut self) -> EngineOutcome {
         let w = RawWeights::from_weights(self.cfg.weights);
         let (n, m) = (self.q_codes.len(), self.p_codes.len());
         let cols = m + 1;
@@ -460,23 +867,57 @@ mod tests {
     }
 
     #[test]
+    fn paper_pair_scores_ten_on_both_explicit_strategies() {
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let cfg = AlignConfig::new(RaceWeights::fig4()).with_strategy(s);
+            let out = AlignEngine::new(cfg).align(&packed("GATTCGA"), &packed("ACTGAGA"));
+            assert_eq!(out.score, Time::from_cycles(10), "{s}");
+            assert_eq!(out.cells_computed, 64, "{s}");
+        }
+    }
+
+    #[test]
     fn empty_sequences() {
-        let mut e = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
-        let out = e.align(&packed(""), &packed(""));
-        assert_eq!(out.score, Time::ZERO);
-        let out = e.align(&packed("ACG"), &packed(""));
-        assert_eq!(out.score, Time::from_cycles(3));
-        let out = e.align(&packed(""), &packed("ACGT"));
-        assert_eq!(out.score, Time::from_cycles(4));
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let cfg = AlignConfig::new(RaceWeights::fig4()).with_strategy(s);
+            let mut e = AlignEngine::new(cfg);
+            let out = e.align(&packed(""), &packed(""));
+            assert_eq!(out.score, Time::ZERO, "{s}");
+            let out = e.align(&packed("ACG"), &packed(""));
+            assert_eq!(out.score, Time::from_cycles(3), "{s}");
+            let out = e.align(&packed(""), &packed("ACGT"));
+            assert_eq!(out.score, Time::from_cycles(4), "{s}");
+        }
+    }
+
+    #[test]
+    fn auto_selection_follows_shape() {
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        assert_eq!(cfg.resolve_strategy(256, 256), KernelStrategy::Wavefront);
+        assert_eq!(cfg.resolve_strategy(8, 256), KernelStrategy::RollingRow);
+        assert_eq!(cfg.resolve_strategy(8, 8), KernelStrategy::RollingRow);
+        let narrow = cfg.with_band(4);
+        assert_eq!(
+            narrow.resolve_strategy(256, 256),
+            KernelStrategy::RollingRow
+        );
+        let wide = cfg.with_band(64);
+        assert_eq!(wide.resolve_strategy(256, 256), KernelStrategy::Wavefront);
+        let pinned = cfg.with_band(4).with_strategy(KernelStrategy::Wavefront);
+        assert_eq!(pinned.resolve_strategy(4, 4), KernelStrategy::Wavefront);
     }
 
     #[test]
     fn band_disconnect_returns_never() {
-        let cfg = AlignConfig::new(RaceWeights::fig4()).with_band(3);
-        let mut e = AlignEngine::new(cfg);
-        let out = e.align(&packed("ACGTACGT"), &packed("AC"));
-        assert!(out.score.is_never(), "|n-m| = 6 > band 3");
-        assert!(!out.early_terminated);
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let cfg = AlignConfig::new(RaceWeights::fig4())
+                .with_band(3)
+                .with_strategy(s);
+            let mut e = AlignEngine::new(cfg);
+            let out = e.align(&packed("ACGTACGT"), &packed("AC"));
+            assert!(out.score.is_never(), "|n-m| = 6 > band 3 ({s})");
+            assert!(!out.early_terminated, "{s}");
+        }
     }
 
     #[test]
@@ -485,29 +926,39 @@ mod tests {
         let p = packed("CCCCCCCCCCCCCCCC");
         let full = AlignEngine::new(AlignConfig::new(RaceWeights::fig4())).align(&q, &p);
         assert_eq!(full.score, Time::from_cycles(32), "all-indel worst case");
-        let cfg = AlignConfig::new(RaceWeights::fig4()).with_threshold(8);
-        let out = AlignEngine::new(cfg).align(&q, &p);
-        assert!(out.early_terminated);
-        assert!(out.score.is_never());
-        assert_eq!(out.finished_score(), None);
-        assert!(
-            out.cells_computed < full.cells_computed,
-            "abandon must skip rows: {} !< {}",
-            out.cells_computed,
-            full.cells_computed
-        );
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let cfg = AlignConfig::new(RaceWeights::fig4())
+                .with_threshold(8)
+                .with_strategy(s);
+            let out = AlignEngine::new(cfg).align(&q, &p);
+            assert!(out.early_terminated, "{s}");
+            assert!(out.score.is_never(), "{s}");
+            assert_eq!(out.finished_score(), None, "{s}");
+            assert!(
+                out.cells_computed < full.cells_computed,
+                "abandon must skip work ({s}): {} !< {}",
+                out.cells_computed,
+                full.cells_computed
+            );
+        }
     }
 
     #[test]
     fn scratch_is_reused_after_warmup() {
-        let mut e = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
-        let q = packed("ACGTACGTACGTACGT");
-        let p = packed("TGCATGCATGCATGCA");
-        let _ = e.align(&q, &p);
-        let caps = e.scratch_capacities();
-        for _ in 0..100 {
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let mut e = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()).with_strategy(s));
+            let q = packed("ACGTACGTACGTACGT");
+            let p = packed("TGCATGCATGCATGCA");
             let _ = e.align(&q, &p);
-            assert_eq!(e.scratch_capacities(), caps, "align must not reallocate");
+            let caps = e.scratch_capacities();
+            for _ in 0..100 {
+                let _ = e.align(&q, &p);
+                assert_eq!(
+                    e.scratch_capacities(),
+                    caps,
+                    "align must not reallocate ({s})"
+                );
+            }
         }
     }
 
@@ -530,6 +981,26 @@ mod tests {
         assert!(align_batch::<Dna>(&cfg, &[]).is_empty());
     }
 
+    #[test]
+    fn huge_weights_use_the_u64_lane_path_exactly() {
+        // Weights too large for u32 lanes: the wavefront kernel must
+        // fall back to saturating u64 lanes and still agree.
+        let w = RaceWeights {
+            matched: 1 << 40,
+            mismatched: Some(1 << 41),
+            indel: 1 << 40,
+        };
+        assert!(!fits_u32(16, 16, RawWeights::from_weights(w)));
+        let q = packed("GATTCGAGATTCGAGA");
+        let p = packed("ACTGAGAACTGAGAAC");
+        let rolling =
+            AlignEngine::new(AlignConfig::new(w).with_strategy(KernelStrategy::RollingRow))
+                .align(&q, &p);
+        let wave = AlignEngine::new(AlignConfig::new(w).with_strategy(KernelStrategy::Wavefront))
+            .align(&q, &p);
+        assert_eq!(rolling, wave);
+    }
+
     proptest! {
         /// The rolling-row engine equals the allocating fixed point of
         /// `run_functional` on random pairs, for every weight scheme.
@@ -542,6 +1013,84 @@ mod tests {
                 let out = e.align(&PackedSeq::from_seq(&q), &PackedSeq::from_seq(&p));
                 prop_assert_eq!(out.score, reference);
             }
+        }
+
+        /// Wavefront == rolling-row on random pairs: score, cell count
+        /// and early-termination flag alike, for every weight scheme.
+        #[test]
+        fn wavefront_equals_rolling_row(qs in "[ACGT]{0,40}", ps in "[ACGT]{0,40}") {
+            let (q, p) = (packed(&qs), packed(&ps));
+            for w in [RaceWeights::fig4(), RaceWeights::fig2b(), RaceWeights::levenshtein()] {
+                let rolling = AlignEngine::new(
+                    AlignConfig::new(w).with_strategy(KernelStrategy::RollingRow),
+                ).align(&q, &p);
+                let wave = AlignEngine::new(
+                    AlignConfig::new(w).with_strategy(KernelStrategy::Wavefront),
+                ).align(&q, &p);
+                prop_assert_eq!(rolling, wave);
+            }
+        }
+
+        /// Banded wavefront == banded rolling-row, including the exact
+        /// in-band cell count, across band widths (empty and
+        /// single-cell diagonals included).
+        #[test]
+        fn banded_wavefront_equals_rolling_row(
+            qs in "[ACGT]{0,24}", ps in "[ACGT]{0,24}", band in 0_usize..26
+        ) {
+            let (q, p) = (packed(&qs), packed(&ps));
+            let w = RaceWeights::fig4();
+            let rolling = AlignEngine::new(
+                AlignConfig::new(w).with_band(band).with_strategy(KernelStrategy::RollingRow),
+            ).align(&q, &p);
+            let wave = AlignEngine::new(
+                AlignConfig::new(w).with_band(band).with_strategy(KernelStrategy::Wavefront),
+            ).align(&q, &p);
+            prop_assert_eq!(rolling.score, wave.score);
+            prop_assert_eq!(rolling.cells_computed, wave.cells_computed);
+            prop_assert_eq!(rolling.early_terminated, wave.early_terminated);
+        }
+
+        /// Thresholded wavefront classifies identically to thresholded
+        /// rolling-row (both are exact: abandoned iff score > t).
+        #[test]
+        fn thresholded_wavefront_equals_rolling_row(
+            qs in "[ACGT]{1,24}", ps in "[ACGT]{1,24}", t in 0_u64..40
+        ) {
+            let (q, p) = (packed(&qs), packed(&ps));
+            let w = RaceWeights::fig4();
+            let rolling = AlignEngine::new(
+                AlignConfig::new(w).with_threshold(t).with_strategy(KernelStrategy::RollingRow),
+            ).align(&q, &p);
+            let wave = AlignEngine::new(
+                AlignConfig::new(w).with_threshold(t).with_strategy(KernelStrategy::Wavefront),
+            ).align(&q, &p);
+            prop_assert_eq!(rolling.score, wave.score);
+            prop_assert_eq!(rolling.early_terminated, wave.early_terminated);
+        }
+
+        /// The wavefront full-grid fill produces the identical grid to
+        /// the rolling-row fill (same values, same cell count).
+        #[test]
+        fn wavefront_grid_equals_rolling_grid(
+            qs in "[ACGT]{0,16}", ps in "[ACGT]{0,16}", band_raw in 0_usize..19
+        ) {
+            // band_raw == 18 encodes "unbanded" (the shim has no option strategy).
+            let band = (band_raw < 18).then_some(band_raw);
+            let (q, p) = (dna(&qs), dna(&ps));
+            let w = RaceWeights::fig2b();
+            let q_codes: Vec<u8> = q.codes().collect();
+            let p_codes: Vec<u8> = p.codes().collect();
+            let mut g_row = Vec::new();
+            let mut g_wave = Vec::new();
+            let c_row = fill_grid_with(
+                &q_codes, &p_codes, w, band, KernelStrategy::RollingRow, &mut g_row,
+            );
+            let c_wave = fill_grid_with(
+                &q_codes, &p_codes, w, band, KernelStrategy::Wavefront, &mut g_wave,
+            );
+            prop_assert_eq!(g_row, g_wave);
+            prop_assert_eq!(c_row, c_wave);
         }
 
         /// The fused band equals the standalone banded race, score and

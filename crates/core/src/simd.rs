@@ -1,0 +1,368 @@
+//! Portable SIMD-style lane operations for the wavefront kernel.
+//!
+//! The Race Logic array evaluates every cell of an anti-diagonal in the
+//! same clock cycle — the cells are mutually independent, which is the
+//! whole hardware win. The software twin of that claim is this module:
+//! fixed-width blocks of [`LANES`] kernel words updated by straight-line,
+//! branch-free code with **no loop-carried dependency**, which LLVM
+//! auto-vectorizes on every target that has vector registers and
+//! compiles to plain scalar code everywhere else. That scalar fallback
+//! is not a separate path: the lane loops *are* the fallback, so the
+//! offline-shim build (no nightly `std::simd`, no `unsafe`, no
+//! intrinsics) stays green by construction. If/when `std::simd`
+//! stabilizes, only the bodies of the block helpers below need to change.
+//!
+//! Two kernel word types implement [`KernelWord`]:
+//!
+//! - [`u64`] — the engine's native representation: `+∞` is `u64::MAX`
+//!   (the bit pattern of `rl_temporal::Time::NEVER`) and every add
+//!   saturates. Always correct, twice as many instructions per vector
+//!   register.
+//! - [`u32`] — the throughput representation, used when the caller
+//!   proves no finite cell value can reach [`u32::INF`] (see
+//!   `race_logic::engine`'s eligibility bound). `+∞` is `u32::MAX / 2`,
+//!   adds are plain wrapping-free adds, and every stored cell is clamped
+//!   back to `INF`, so the invariant `value ≤ INF` is maintained without
+//!   saturating arithmetic. Twice the lanes per register.
+//!
+//! The only compound operation kernels need is [`diag_update`]: one
+//! anti-diagonal segment of the min-plus alignment recurrence, reading
+//! three neighbour slices and two symbol-code slices, writing one output
+//! slice, and returning the segment minimum (for fused early
+//! termination).
+
+/// Lanes per block. Eight `u32` words fill one AVX2 register; on
+/// narrower targets LLVM splits the block into several vector ops.
+pub const LANES: usize = 8;
+
+/// A fixed-width block of kernel words.
+pub type Block<W> = [W; LANES];
+
+/// An unsigned word the wavefront kernel can do min-plus arithmetic in.
+///
+/// Implementors must uphold: `INF` is an absorbing "unreachable" value,
+/// `add_weight` never wraps for operands `≤ INF` with weights `≤ INF`,
+/// and `min(x, INF) == x` for every representable cell value the kernel
+/// stores.
+pub trait KernelWord: Copy + Ord + std::fmt::Debug {
+    /// The `+∞` sentinel of this representation.
+    const INF: Self;
+    /// The additive identity.
+    const ZERO: Self;
+    /// Lowers a raw `u64` kernel value (where `u64::MAX` is `+∞`) into
+    /// this representation, clamping to [`KernelWord::INF`].
+    fn clamp_raw(raw: u64) -> Self;
+    /// Raises a value back to the raw `u64` representation
+    /// ([`KernelWord::INF`] maps to `u64::MAX`).
+    fn to_raw(self) -> u64;
+    /// `self + weight` without wrapping: saturating for `u64`, a plain
+    /// add for `u32` (whose caller-guaranteed domain makes wrapping
+    /// impossible: both operands are `≤ INF = u32::MAX / 2`).
+    fn add_weight(self, weight: Self) -> Self;
+}
+
+impl KernelWord for u64 {
+    const INF: Self = u64::MAX;
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn clamp_raw(raw: u64) -> Self {
+        raw
+    }
+
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        self
+    }
+
+    #[inline(always)]
+    fn add_weight(self, weight: Self) -> Self {
+        self.saturating_add(weight)
+    }
+}
+
+impl KernelWord for u32 {
+    const INF: Self = u32::MAX / 2;
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn clamp_raw(raw: u64) -> Self {
+        if raw >= u64::from(Self::INF) {
+            Self::INF
+        } else {
+            // Cast is lossless: the value is below u32::MAX / 2.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                raw as u32
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        if self >= Self::INF {
+            u64::MAX
+        } else {
+            u64::from(self)
+        }
+    }
+
+    #[inline(always)]
+    fn add_weight(self, weight: Self) -> Self {
+        // Both operands ≤ INF = u32::MAX / 2, so the sum fits; the
+        // caller clamps results back to INF before storing them.
+        self + weight
+    }
+}
+
+/// Lane-wise minimum of two blocks.
+#[inline(always)]
+fn min_block<W: KernelWord>(a: Block<W>, b: Block<W>) -> Block<W> {
+    let mut out = a;
+    for l in 0..LANES {
+        out[l] = if b[l] < out[l] { b[l] } else { out[l] };
+    }
+    out
+}
+
+/// Adds a uniform weight to every lane (`add_weight` semantics).
+#[inline(always)]
+fn add_splat_block<W: KernelWord>(a: Block<W>, w: W) -> Block<W> {
+    let mut out = a;
+    for lane in &mut out {
+        *lane = lane.add_weight(w);
+    }
+    out
+}
+
+/// Per-lane `if q == p { matched } else { mismatched }` — the Fig. 4b
+/// XNOR comparator as a branch-free select over symbol codes.
+#[inline(always)]
+fn select_eq_block<W: KernelWord>(
+    q: &[u8; LANES],
+    p: &[u8; LANES],
+    matched: W,
+    mismatched: W,
+) -> Block<W> {
+    let mut out = [matched; LANES];
+    for l in 0..LANES {
+        out[l] = if q[l] == p[l] { matched } else { mismatched };
+    }
+    out
+}
+
+/// Horizontal minimum of a block.
+#[inline(always)]
+fn hmin_block<W: KernelWord>(a: Block<W>) -> W {
+    let mut m = a[0];
+    for &x in &a[1..] {
+        m = m.min(x);
+    }
+    m
+}
+
+/// The three alignment weights lowered to one kernel word type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneWeights<W> {
+    /// Diagonal weight when the symbol codes match.
+    pub matched: W,
+    /// Diagonal weight when they differ ([`KernelWord::INF`] encodes the
+    /// paper's mismatch → ∞ modification).
+    pub mismatched: W,
+    /// Horizontal/vertical (insertion/deletion) weight.
+    pub indel: W,
+}
+
+/// One anti-diagonal segment of the alignment recurrence:
+///
+/// ```text
+/// out[x] = min(up[x] + indel, left[x] + indel,
+///              diag[x] + (q[x] == p[x] ? matched : mismatched))
+/// ```
+///
+/// clamped to [`KernelWord::INF`], for `x` in `0..out.len()`. Full
+/// [`LANES`]-wide blocks run through the branch-free lane helpers above;
+/// the remainder (a short diagonal, a banded diagonal narrower than a
+/// block, or the odd tail of a long one) runs the same arithmetic one
+/// lane at a time. Returns the minimum value written — the frontier
+/// minimum the engine's fused early termination tests against.
+///
+/// The five input slices must all have exactly `out.len()` elements;
+/// this is debug-asserted and relied on by the block loads.
+#[inline]
+pub fn diag_update<W: KernelWord>(
+    up: &[W],
+    left: &[W],
+    diag: &[W],
+    q: &[u8],
+    p: &[u8],
+    w: LaneWeights<W>,
+    out: &mut [W],
+) -> W {
+    let LaneWeights {
+        matched,
+        mismatched,
+        indel,
+    } = w;
+    let len = out.len();
+    debug_assert_eq!(up.len(), len);
+    debug_assert_eq!(left.len(), len);
+    debug_assert_eq!(diag.len(), len);
+    debug_assert_eq!(q.len(), len);
+    debug_assert_eq!(p.len(), len);
+
+    let mut seg_min = W::INF;
+    // Lane-wise running minimum: the horizontal reduction happens once
+    // per call instead of once per block, keeping it off the hot path.
+    let mut acc = [W::INF; LANES];
+    let mut x = 0;
+    while x + LANES <= len {
+        let u: Block<W> = up[x..x + LANES].try_into().expect("block width");
+        let lf: Block<W> = left[x..x + LANES].try_into().expect("block width");
+        let dg: Block<W> = diag[x..x + LANES].try_into().expect("block width");
+        let qb: &[u8; LANES] = q[x..x + LANES].try_into().expect("block width");
+        let pb: &[u8; LANES] = p[x..x + LANES].try_into().expect("block width");
+
+        let dw = select_eq_block(qb, pb, matched, mismatched);
+        let mut cell = min_block(add_splat_block(u, indel), add_splat_block(lf, indel));
+        let mut dsum = dg;
+        for l in 0..LANES {
+            dsum[l] = dsum[l].add_weight(dw[l]);
+        }
+        cell = min_block(cell, dsum);
+        cell = min_block(cell, [W::INF; LANES]);
+        out[x..x + LANES].copy_from_slice(&cell);
+        acc = min_block(acc, cell);
+        x += LANES;
+    }
+    if x > 0 {
+        seg_min = seg_min.min(hmin_block(acc));
+    }
+    // Scalar tail: identical arithmetic, one lane at a time.
+    for i in x..len {
+        let dw = if q[i] == p[i] { matched } else { mismatched };
+        let cell = up[i]
+            .add_weight(indel)
+            .min(left[i].add_weight(indel))
+            .min(diag[i].add_weight(dw))
+            .min(W::INF);
+        out[i] = cell;
+        seg_min = seg_min.min(cell);
+    }
+    seg_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference for `diag_update`, shared by both word types.
+    fn reference<W: KernelWord>(
+        up: &[W],
+        left: &[W],
+        diag: &[W],
+        q: &[u8],
+        p: &[u8],
+        w: LaneWeights<W>,
+    ) -> (Vec<W>, W) {
+        let mut out = Vec::with_capacity(up.len());
+        let mut m = W::INF;
+        for i in 0..up.len() {
+            let dw = if q[i] == p[i] {
+                w.matched
+            } else {
+                w.mismatched
+            };
+            let cell = up[i]
+                .add_weight(w.indel)
+                .min(left[i].add_weight(w.indel))
+                .min(diag[i].add_weight(dw))
+                .min(W::INF);
+            m = m.min(cell);
+            out.push(cell);
+        }
+        (out, m)
+    }
+
+    #[test]
+    fn u32_roundtrip_and_clamp() {
+        assert_eq!(u32::clamp_raw(0), 0);
+        assert_eq!(u32::clamp_raw(41), 41);
+        assert_eq!(u32::clamp_raw(u64::MAX), u32::INF);
+        assert_eq!(u32::clamp_raw(u64::from(u32::INF) + 7), u32::INF);
+        assert_eq!(u32::INF.to_raw(), u64::MAX);
+        assert_eq!(77_u32.to_raw(), 77);
+    }
+
+    #[test]
+    fn u64_is_the_identity_representation() {
+        assert_eq!(u64::clamp_raw(u64::MAX), u64::MAX);
+        assert_eq!(u64::MAX.to_raw(), u64::MAX);
+        assert_eq!(u64::MAX.add_weight(3), u64::MAX, "saturates at +∞");
+    }
+
+    #[test]
+    fn u32_inf_is_absorbing_under_add_and_clamp() {
+        // INF + INF must not wrap, and min(·, INF) restores the invariant.
+        let x = u32::INF.add_weight(u32::INF);
+        assert!(x >= u32::INF);
+        assert_eq!(x.min(u32::INF), u32::INF);
+    }
+
+    #[test]
+    fn diag_update_matches_reference_across_lengths() {
+        // Lengths straddling the block width: tails of every size.
+        for len in [0, 1, 3, LANES - 1, LANES, LANES + 1, 3 * LANES + 5] {
+            let up: Vec<u64> = (0..len).map(|i| (i as u64 * 7) % 23).collect();
+            let left: Vec<u64> = (0..len)
+                .map(|i| if i % 5 == 0 { u64::MAX } else { i as u64 })
+                .collect();
+            let diag: Vec<u64> = (0..len).map(|i| (i as u64 * 3) % 17).collect();
+            let q: Vec<u8> = (0..len).map(|i| (i % 4) as u8).collect();
+            let p: Vec<u8> = (0..len).map(|i| ((i / 2) % 4) as u8).collect();
+            let w = LaneWeights {
+                matched: 1,
+                mismatched: u64::MAX,
+                indel: 1,
+            };
+            let (want, want_min) = reference(&up, &left, &diag, &q, &p, w);
+            let mut out = vec![0_u64; len];
+            let got_min = diag_update(&up, &left, &diag, &q, &p, w, &mut out);
+            assert_eq!(out, want, "len {len}");
+            assert_eq!(got_min, want_min, "len {len}");
+        }
+    }
+
+    #[test]
+    fn diag_update_u32_matches_u64_in_domain() {
+        let len = 2 * LANES + 3;
+        let up: Vec<u64> = (0..len).map(|i| i as u64).collect();
+        let left: Vec<u64> = (0..len).map(|i| (i as u64 * 2) % 31).collect();
+        let diag: Vec<u64> = (0..len).map(|i| (i as u64 * 5) % 29).collect();
+        let q: Vec<u8> = (0..len).map(|i| (i % 4) as u8).collect();
+        let p: Vec<u8> = (0..len).map(|i| ((i * 3) % 4) as u8).collect();
+
+        let w64 = LaneWeights {
+            matched: 1_u64,
+            mismatched: 2,
+            indel: 1,
+        };
+        let mut out64 = vec![0_u64; len];
+        let m64 = diag_update(&up, &left, &diag, &q, &p, w64, &mut out64);
+
+        let up32: Vec<u32> = up.iter().map(|&x| u32::clamp_raw(x)).collect();
+        let left32: Vec<u32> = left.iter().map(|&x| u32::clamp_raw(x)).collect();
+        let diag32: Vec<u32> = diag.iter().map(|&x| u32::clamp_raw(x)).collect();
+        let w32 = LaneWeights {
+            matched: 1_u32,
+            mismatched: 2,
+            indel: 1,
+        };
+        let mut out32 = vec![0_u32; len];
+        let m32 = diag_update(&up32, &left32, &diag32, &q, &p, w32, &mut out32);
+
+        let raised: Vec<u64> = out32.iter().map(|&x| x.to_raw()).collect();
+        assert_eq!(raised, out64);
+        assert_eq!(m32.to_raw(), m64.to_raw());
+    }
+}

@@ -161,8 +161,13 @@ fn engine_scratch_capacity_is_stable_after_warmup() {
     );
 
     let mut engine = AlignEngine::new(AlignConfig::new(RaceWeights::fig4()));
+    // Warm up BOTH kernel paths at their working-set sizes: under
+    // KernelStrategy::Auto the big pairs run the wavefront kernel
+    // (anti-diagonal scratch) and the small pair runs the rolling-row
+    // kernel (row scratch). Each path allocates on its first call only.
     let (q0, p0) = &big[0];
-    let _ = engine.align(q0, p0); // warm-up at the working-set size
+    let _ = engine.align(q0, p0);
+    let _ = engine.align(&small.0, &small.1);
     let caps = engine.scratch_capacities();
     for _ in 0..50 {
         for (q, p) in &big {
@@ -185,4 +190,182 @@ fn engine_reproduces_fig4c() {
     let out = engine_score(AlignConfig::new(RaceWeights::fig4()), &q, &p);
     assert_eq!(out.score.cycles(), Some(10));
     assert_eq!(out.cells_computed, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Wavefront (anti-diagonal SIMD) kernel vs rolling-row vs reference DP.
+// ---------------------------------------------------------------------------
+
+use race_logic::banded::banded_race_with;
+use race_logic::early_termination::threshold_race_with;
+use race_logic::engine::KernelStrategy;
+
+fn both_strategies(cfg: AlignConfig) -> [AlignConfig; 2] {
+    [
+        cfg.with_strategy(KernelStrategy::RollingRow),
+        cfg.with_strategy(KernelStrategy::Wavefront),
+    ]
+}
+
+proptest! {
+    /// Wavefront == rolling-row == reference DP on DNA, every weight
+    /// scheme, unbanded.
+    #[test]
+    fn wavefront_matches_rolling_and_reference_dna(
+        qs in "[ACGT]{0,48}", ps in "[ACGT]{0,48}"
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        for w in [RaceWeights::fig4(), RaceWeights::fig2b(), RaceWeights::levenshtein()] {
+            let [row_cfg, wave_cfg] = both_strategies(AlignConfig::new(w));
+            let rolling = engine_score(row_cfg, &q, &p);
+            let wave = engine_score(wave_cfg, &q, &p);
+            prop_assert_eq!(rolling, wave);
+            let dp = align::global_score(&q, &p, &race_scheme(w)).unwrap();
+            prop_assert_eq!(wave.score.cycles(), Some(dp as u64));
+        }
+    }
+
+    /// Wavefront == rolling-row == reference DP on protein (5-bit
+    /// codes: the kernel is alphabet-agnostic over unpacked codes).
+    #[test]
+    fn wavefront_matches_rolling_and_reference_protein(
+        qs in "[ARNDCQEGHILKMFPSTWYV]{0,20}",
+        ps in "[ARNDCQEGHILKMFPSTWYV]{0,20}"
+    ) {
+        let (q, p): (Seq<AminoAcid>, Seq<AminoAcid>) =
+            (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig2b();
+        let [row_cfg, wave_cfg] = both_strategies(AlignConfig::new(w));
+        let rolling = engine_score(row_cfg, &q, &p);
+        let wave = engine_score(wave_cfg, &q, &p);
+        prop_assert_eq!(rolling, wave);
+        let dp = align::global_score(&q, &p, &race_scheme(w)).unwrap();
+        prop_assert_eq!(wave.score.cycles(), Some(dp as u64));
+    }
+
+    /// Banded wavefront == banded rolling-row == standalone banded race
+    /// (which itself is checked against the reference DP elsewhere):
+    /// same score, same in-band cell count. Also covers both grid-fill
+    /// orders via `banded_race_with`.
+    #[test]
+    fn banded_wavefront_matches_rolling(
+        qs in "[ACGT]{0,32}", ps in "[ACGT]{0,32}", band in 0_usize..34
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig4();
+        let [row_cfg, wave_cfg] = both_strategies(AlignConfig::new(w).with_band(band));
+        let rolling = engine_score(row_cfg, &q, &p);
+        let wave = engine_score(wave_cfg, &q, &p);
+        prop_assert_eq!(rolling.score, wave.score);
+        prop_assert_eq!(rolling.cells_computed, wave.cells_computed);
+        prop_assert_eq!(rolling.early_terminated, wave.early_terminated);
+        let grid_row = banded_race_with(&q, &p, w, band, KernelStrategy::RollingRow);
+        let grid_wave = banded_race_with(&q, &p, w, band, KernelStrategy::Wavefront);
+        prop_assert_eq!(&grid_row, &grid_wave);
+        prop_assert_eq!(grid_wave.score, wave.score);
+        prop_assert_eq!(grid_wave.cells_built as u64, wave.cells_computed);
+    }
+
+    /// Early-terminating wavefront classifies identically to rolling-row
+    /// and to the truth, including banded+thresholded combinations.
+    #[test]
+    fn thresholded_wavefront_matches_rolling(
+        qs in "[ACGT]{1,32}", ps in "[ACGT]{1,32}", t in 0_u64..40, band in 8_usize..34
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig4();
+        for base in [
+            AlignConfig::new(w).with_threshold(t),
+            AlignConfig::new(w).with_threshold(t).with_band(band),
+        ] {
+            let [row_cfg, wave_cfg] = both_strategies(base);
+            let rolling = engine_score(row_cfg, &q, &p);
+            let wave = engine_score(wave_cfg, &q, &p);
+            prop_assert_eq!(rolling.score, wave.score);
+            prop_assert_eq!(rolling.early_terminated, wave.early_terminated);
+        }
+        // The public thresholded API agrees across orders too.
+        prop_assert_eq!(
+            threshold_race_with(&q, &p, w, t, KernelStrategy::RollingRow),
+            threshold_race_with(&q, &p, w, t, KernelStrategy::Wavefront)
+        );
+    }
+
+    /// The full arrival grid is identical in both traversal orders.
+    #[test]
+    fn functional_grid_identical_across_orders(
+        qs in "[ACGT]{0,24}", ps in "[ACGT]{0,24}"
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let race = AlignmentRace::new(&q, &p, RaceWeights::fig2b());
+        let by_rows = race.run_functional_with(KernelStrategy::RollingRow);
+        let by_diagonals = race.run_functional_with(KernelStrategy::Wavefront);
+        for i in 0..=q.len() {
+            for j in 0..=p.len() {
+                prop_assert_eq!(by_rows.arrival(i, j), by_diagonals.arrival(i, j));
+            }
+        }
+    }
+}
+
+/// Regression: odd and short lengths that don't fill a full SIMD lane
+/// block (the wavefront kernel runs 8-lane blocks plus a scalar tail;
+/// every `n × m` below exercises some combination of empty interior,
+/// tail-only diagonals, and block+tail diagonals). Deterministic, not
+/// property-based, so a lane-boundary bug cannot hide behind shrinking.
+#[test]
+fn wavefront_lane_boundary_regression() {
+    let w = RaceWeights::fig4();
+    let bases = ['A', 'C', 'G', 'T'];
+    let make = |len: usize, phase: usize| -> Seq<Dna> {
+        (0..len)
+            .map(|i| bases[(i * 7 + phase) % 4])
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    // Straddle the 8-lane block width from both sides, plus asymmetric
+    // shapes whose early/late diagonals are shorter than a block.
+    let lens = [0, 1, 2, 3, 5, 7, 8, 9, 13, 15, 16, 17, 23, 24, 25, 31, 33];
+    for &n in &lens {
+        for &m in &lens {
+            let (q, p) = (make(n, 0), make(m, 1));
+            let rolling = engine_score(
+                AlignConfig::new(w).with_strategy(KernelStrategy::RollingRow),
+                &q,
+                &p,
+            );
+            let wave = engine_score(
+                AlignConfig::new(w).with_strategy(KernelStrategy::Wavefront),
+                &q,
+                &p,
+            );
+            assert_eq!(rolling, wave, "strategy mismatch at {n}x{m}");
+            let dp = align::global_score(&q, &p, &race_scheme(w)).unwrap();
+            assert_eq!(
+                wave.score.cycles(),
+                Some(dp as u64),
+                "reference mismatch at {n}x{m}"
+            );
+        }
+    }
+}
+
+/// Auto-selection sanity at the public API level: both auto-picked
+/// kernels agree with each other on the shapes that straddle the
+/// selection boundary.
+#[test]
+fn auto_boundary_shapes_agree() {
+    use rand::SeedableRng;
+
+    let w = RaceWeights::fig4();
+    let cfg = AlignConfig::new(w);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for (n, m) in [(31, 31), (32, 32), (31, 200), (32, 200), (200, 200)] {
+        let q = Seq::<Dna>::random(&mut rng, n);
+        let p = Seq::<Dna>::random(&mut rng, m);
+        let auto = engine_score(cfg, &q, &p);
+        let rolling = engine_score(cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
+        assert_eq!(auto, rolling, "auto disagrees at {n}x{m}");
+    }
 }
