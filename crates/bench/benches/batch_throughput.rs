@@ -1,17 +1,20 @@
 //! Batch alignment throughput: the engine's reason to exist.
 //!
-//! Compares, on 1,000 random DNA pairs of length 256:
+//! Two workloads — long reads (length 256) and short reads (length 64),
+//! 1,000 random DNA pairs each — comparing:
 //! - the allocating baseline (an `AlignmentRace::run_functional` loop:
 //!   same rolling-row kernel, but a fresh `(N+1)·(M+1)` `Time` grid and
 //!   code buffers per pair),
 //! - the zero-allocation engine driven sequentially on each explicit
 //!   `KernelStrategy` (rolling-row: scratch reuse + rolling rows;
-//!   wavefront: anti-diagonal SIMD lanes on top of that), and
-//! - `align_batch` (the auto-strategy engine fanned out across cores).
+//!   wavefront: anti-diagonal SIMD lanes at the auto-picked width), and
+//! - `align_batch`: the inter-pair **striped batch kernel** (each SIMD
+//!   lane a different pair) fanned out across cores.
 //!
 //! `cargo run --release -p rl-bench --bin engine_baseline` writes the
-//! same comparison to `BENCH_engine.json`; the committed numbers and
-//! their interpretation live in `docs/KERNELS.md`.
+//! same comparison (plus the narrow-band workload) to
+//! `BENCH_engine.json`; the committed numbers and their interpretation
+//! live in `docs/KERNELS.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use race_logic::alignment::{AlignmentRace, RaceWeights};
@@ -21,59 +24,60 @@ use rl_dag::generate::seeded_rng;
 use std::hint::black_box;
 
 const PAIRS: usize = 1_000;
-const LEN: usize = 256;
 
-fn random_pairs() -> Vec<(Seq<Dna>, Seq<Dna>)> {
+fn random_pairs(len: usize) -> Vec<(Seq<Dna>, Seq<Dna>)> {
     let mut rng = seeded_rng(0xBA7C4);
     (0..PAIRS)
-        .map(|_| (Seq::random(&mut rng, LEN), Seq::random(&mut rng, LEN)))
+        .map(|_| (Seq::random(&mut rng, len), Seq::random(&mut rng, len)))
         .collect()
 }
 
 fn bench_batch_throughput(c: &mut Criterion) {
-    let seqs = random_pairs();
-    let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
-        .iter()
-        .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
-        .collect();
-    let cfg = AlignConfig::new(RaceWeights::fig4());
+    for len in [256_usize, 64] {
+        let seqs = random_pairs(len);
+        let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
+            .iter()
+            .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
+            .collect();
+        let cfg = AlignConfig::new(RaceWeights::fig4());
 
-    let mut group = c.benchmark_group(format!(
-        "batch_throughput/{PAIRS}x{LEN}bp/threads={}",
-        rayon::current_num_threads()
-    ));
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(PAIRS as u64));
+        let mut group = c.benchmark_group(format!(
+            "batch_throughput/{PAIRS}x{len}bp/threads={}",
+            rayon::current_num_threads()
+        ));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(PAIRS as u64));
 
-    group.bench_function("sequential_run_functional", |b| {
-        b.iter(|| {
-            let mut acc = 0_u64;
-            for (q, p) in &seqs {
-                let out = AlignmentRace::new(q, p, RaceWeights::fig4()).run_functional();
-                acc += out.latency_cycles().unwrap_or(0);
-            }
-            black_box(acc)
-        });
-    });
-
-    for strategy in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
-        group.bench_function(format!("engine_sequential/{strategy}"), |b| {
-            let mut engine = AlignEngine::new(cfg.with_strategy(strategy));
+        group.bench_function("sequential_run_functional", |b| {
             b.iter(|| {
                 let mut acc = 0_u64;
-                for (q, p) in &packed {
-                    acc += engine.align(q, p).score.cycles().unwrap_or(0);
+                for (q, p) in &seqs {
+                    let out = AlignmentRace::new(q, p, RaceWeights::fig4()).run_functional();
+                    acc += out.latency_cycles().unwrap_or(0);
                 }
                 black_box(acc)
             });
         });
+
+        for strategy in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            group.bench_function(format!("engine_sequential/{strategy}"), |b| {
+                let mut engine = AlignEngine::new(cfg.with_strategy(strategy));
+                b.iter(|| {
+                    let mut acc = 0_u64;
+                    for (q, p) in &packed {
+                        acc += engine.align(q, p).score.cycles().unwrap_or(0);
+                    }
+                    black_box(acc)
+                });
+            });
+        }
+
+        group.bench_function("engine_align_batch/striped", |b| {
+            b.iter(|| black_box(align_batch(&cfg, &packed)));
+        });
+
+        group.finish();
     }
-
-    group.bench_function("engine_align_batch/auto", |b| {
-        b.iter(|| black_box(align_batch(&cfg, &packed)));
-    });
-
-    group.finish();
 }
 
 criterion_group!(benches, bench_batch_throughput);

@@ -1,17 +1,32 @@
 //! Engine throughput baseline: measures the score-only alignment engine
-//! — per [`race_logic::engine::KernelStrategy`] — against a
-//! `run_functional` loop and writes `BENCH_engine.json` so the perf
-//! trajectory is tracked from PR 1 onward.
+//! — per kernel path — against a `run_functional` loop and writes
+//! `BENCH_engine.json` so the perf trajectory is tracked from PR 1
+//! onward.
 //!
-//! Note the `run_functional` baseline delegates to the same rolling-row
-//! kernel but allocates a full `(N+1)·(M+1)` grid (plus code buffers)
-//! per pair, so its gap to `engine_rolling_row` is exactly the value of
-//! buffer reuse + rolling rows. The `engine_wavefront` row is the PR 2
-//! anti-diagonal SIMD kernel; its gap to `engine_rolling_row` is the
-//! value of lane-parallel cell evaluation (the paper's hardware
-//! wavefront, in software). See `docs/KERNELS.md`.
+//! Paths measured per workload:
 //!
-//! Run with `cargo run --release -p rl-bench --bin engine_baseline`.
+//! - `run_functional_loop` — the allocating per-pair full-grid baseline
+//!   (same rolling-row kernel, but a fresh `(N+1)·(M+1)` grid per pair).
+//! - `engine_rolling_row` — zero-alloc rolling row.
+//! - `engine_wavefront_u32` — the PR 2 anti-diagonal SIMD kernel with
+//!   the lane floor pinned at `u32`: the pre-`u16` baseline, kept so the
+//!   lane-width and striping wins are measured against a fixed ruler.
+//! - `engine_wavefront` — the wavefront kernel at its auto-selected
+//!   (narrowest exact) lane width, compacted layout on narrow bands.
+//! - `engine_align_batch` — `align_batch`: the inter-pair **striped
+//!   batch kernel** (each SIMD lane a different pair) plus rayon across
+//!   cores.
+//!
+//! Run with no arguments to reproduce the committed three-workload sweep
+//! (long reads, short reads, narrow band) and rewrite
+//! `BENCH_engine.json`. Flags narrow the run to one configuration and
+//! print its JSON to stdout without touching the committed file:
+//!
+//! ```text
+//! engine_baseline [--pairs N] [--length N] [--band K]
+//!                 [--strategy rolling-row|wavefront|batch|all]
+//! ```
+//!
 //! The workload is deterministic (seeded), so numbers move only when the
 //! code or the machine does.
 
@@ -19,14 +34,35 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use race_logic::alignment::{AlignmentRace, RaceWeights};
-use race_logic::engine::{align_batch, AlignConfig, AlignEngine, KernelStrategy};
+use race_logic::engine::{align_batch, AlignConfig, AlignEngine, KernelStrategy, LaneWidth};
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
 use rl_dag::generate::seeded_rng;
 
-const PAIRS: usize = 1_000;
-const LEN: usize = 256;
 /// Timed repetitions per measurement; the median is reported.
 const REPS: usize = 5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StrategyFilter {
+    RollingRow,
+    Wavefront,
+    Batch,
+    All,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Workload {
+    pairs: usize,
+    len: usize,
+    band: Option<usize>,
+}
+
+struct Entry {
+    key: &'static str,
+    strategy: String,
+    lane_width: String,
+    seconds: f64,
+    checksum: u64,
+}
 
 fn median_secs(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(f64::total_cmp);
@@ -44,36 +80,50 @@ fn time_reps(mut f: impl FnMut() -> u64) -> (f64, u64) {
     (median_secs(samples), checksum)
 }
 
-fn main() {
+fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
     let mut rng = seeded_rng(0xBA7C4);
-    let seqs: Vec<(Seq<Dna>, Seq<Dna>)> = (0..PAIRS)
-        .map(|_| (Seq::random(&mut rng, LEN), Seq::random(&mut rng, LEN)))
+    let seqs: Vec<(Seq<Dna>, Seq<Dna>)> = (0..wl.pairs)
+        .map(|_| (Seq::random(&mut rng, wl.len), Seq::random(&mut rng, wl.len)))
         .collect();
     let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
         .iter()
         .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
         .collect();
-    let cfg = AlignConfig::new(RaceWeights::fig4());
-    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut cfg = AlignConfig::new(RaceWeights::fig4());
+    if let Some(k) = wl.band {
+        cfg = cfg.with_band(k);
+    }
+    let wave_lanes = cfg
+        .with_strategy(KernelStrategy::Wavefront)
+        .resolve_kernel(wl.len, wl.len)
+        .lanes;
 
-    // Baseline: the allocating per-pair full-grid path (run_functional,
-    // which shares the rolling-row kernel but pays a grid allocation +
-    // Time conversion per pair).
-    let (t_functional, sum_a) = time_reps(|| {
-        seqs.iter()
-            .map(|(q, p)| {
-                AlignmentRace::new(q, p, RaceWeights::fig4())
-                    .run_functional()
-                    .latency_cycles()
-                    .unwrap_or(0)
-            })
-            .sum()
-    });
+    let mut entries: Vec<Entry> = Vec::new();
+    let wants = |f: StrategyFilter| filter == StrategyFilter::All || filter == f;
 
-    // Engine, one pair at a time, per explicit kernel strategy (zero
-    // allocations after warm-up in both cases).
-    let time_engine = |strategy: KernelStrategy| {
-        let mut engine = AlignEngine::new(cfg.with_strategy(strategy));
+    // The allocating full-grid loop only covers the unbanded recurrence.
+    if wants(StrategyFilter::RollingRow) && wl.band.is_none() {
+        let (t, sum) = time_reps(|| {
+            seqs.iter()
+                .map(|(q, p)| {
+                    AlignmentRace::new(q, p, RaceWeights::fig4())
+                        .run_functional()
+                        .latency_cycles()
+                        .unwrap_or(0)
+                })
+                .sum()
+        });
+        entries.push(Entry {
+            key: "run_functional_loop",
+            strategy: "rolling-row (allocating full grid)".into(),
+            lane_width: "u64".into(),
+            seconds: t,
+            checksum: sum,
+        });
+    }
+
+    let time_engine = |cfg: AlignConfig| {
+        let mut engine = AlignEngine::new(cfg);
         time_reps(|| {
             packed
                 .iter()
@@ -81,66 +131,204 @@ fn main() {
                 .sum()
         })
     };
-    let (t_rolling, sum_b) = time_engine(KernelStrategy::RollingRow);
-    let (t_wavefront, sum_c) = time_engine(KernelStrategy::Wavefront);
 
-    // Engine, batched across cores (auto strategy — wavefront at this
-    // length).
-    let (t_batch, sum_d) = time_reps(|| {
-        align_batch(&cfg, &packed)
-            .iter()
-            .map(|o| o.score.cycles().unwrap_or(0))
-            .sum()
-    });
+    if wants(StrategyFilter::RollingRow) {
+        let (t, sum) = time_engine(cfg.with_strategy(KernelStrategy::RollingRow));
+        entries.push(Entry {
+            key: "engine_rolling_row",
+            strategy: "rolling-row".into(),
+            lane_width: "u64".into(),
+            seconds: t,
+            checksum: sum,
+        });
+    }
+    if wants(StrategyFilter::Wavefront) {
+        if wave_lanes < LaneWidth::U32 {
+            // The fixed pre-u16 ruler, only distinct when auto picks u16.
+            let (t, sum) = time_engine(
+                cfg.with_strategy(KernelStrategy::Wavefront)
+                    .with_lane_floor(LaneWidth::U32),
+            );
+            entries.push(Entry {
+                key: "engine_wavefront_u32",
+                strategy: "wavefront".into(),
+                lane_width: "u32".into(),
+                seconds: t,
+                checksum: sum,
+            });
+        }
+        let (t, sum) = time_engine(cfg.with_strategy(KernelStrategy::Wavefront));
+        entries.push(Entry {
+            key: "engine_wavefront",
+            strategy: "wavefront".into(),
+            lane_width: wave_lanes.to_string(),
+            seconds: t,
+            checksum: sum,
+        });
+    }
+    if wants(StrategyFilter::Batch) {
+        let (t, sum) = time_reps(|| {
+            align_batch(&cfg, &packed)
+                .iter()
+                .map(|o| o.score.cycles().unwrap_or(0))
+                .sum()
+        });
+        entries.push(Entry {
+            key: "engine_align_batch",
+            strategy: "striped-batch (auto)".into(),
+            lane_width: cfg.resolve_stripe_lanes(wl.len, wl.len).to_string(),
+            seconds: t,
+            checksum: sum,
+        });
+    }
 
-    assert_eq!(sum_a, sum_b, "rolling-row disagrees with run_functional");
-    assert_eq!(sum_a, sum_c, "wavefront disagrees with run_functional");
-    assert_eq!(sum_a, sum_d, "align_batch disagrees with run_functional");
+    for e in &entries[1..] {
+        assert_eq!(
+            e.checksum, entries[0].checksum,
+            "{} disagrees with {}",
+            e.key, entries[0].key
+        );
+    }
 
-    let pps = |t: f64| PAIRS as f64 / t;
-    let entry = |json: &mut String, key: &str, strategy: &str, t: f64| {
-        // Every entry is followed by the speedup lines, so a trailing
-        // comma is always correct.
+    let pps = |t: f64| wl.pairs as f64 / t;
+    let mut json = String::new();
+    let _ = writeln!(json, "    {{");
+    let band_json = wl.band.map_or("null".into(), |k| k.to_string());
+    let _ = writeln!(
+        json,
+        "      \"workload\": {{\"pairs\": {}, \"length\": {}, \"band\": {band_json}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},",
+        wl.pairs, wl.len
+    );
+    let _ = writeln!(json, "      \"score_checksum\": {},", entries[0].checksum);
+    let by_key = |k: &str| entries.iter().find(|e| e.key == k);
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    if let (Some(a), Some(b)) = (by_key("engine_rolling_row"), by_key("engine_wavefront")) {
+        speedups.push((
+            "speedup_wavefront_vs_rolling_row".into(),
+            a.seconds / b.seconds,
+        ));
+    }
+    if let (Some(a), Some(b)) = (by_key("engine_wavefront_u32"), by_key("engine_wavefront")) {
+        speedups.push(("speedup_u16_lanes_vs_u32".into(), a.seconds / b.seconds));
+    }
+    if let (Some(a), Some(b)) = (by_key("engine_wavefront_u32"), by_key("engine_align_batch")) {
+        speedups.push((
+            "speedup_batch_vs_wavefront_u32".into(),
+            a.seconds / b.seconds,
+        ));
+    }
+    if let (Some(a), Some(b)) = (by_key("engine_wavefront"), by_key("engine_align_batch")) {
+        speedups.push(("speedup_batch_vs_wavefront".into(), a.seconds / b.seconds));
+    }
+    if let (Some(a), Some(b)) = (by_key("run_functional_loop"), by_key("engine_align_batch")) {
+        speedups.push((
+            "speedup_batch_vs_run_functional".into(),
+            a.seconds / b.seconds,
+        ));
+    }
+    let _ = writeln!(json, "      \"entries\": {{");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "  \"{key}\": {{\"strategy\": \"{strategy}\", \"seconds\": {t:.6}, \"pairs_per_sec\": {:.1}}},",
-            pps(t),
+            "        \"{}\": {{\"strategy\": \"{}\", \"lane_width\": \"{}\", \"seconds\": {:.6}, \"pairs_per_sec\": {:.1}}}{comma}",
+            e.key, e.strategy, e.lane_width, e.seconds, pps(e.seconds)
         );
+    }
+    // Single-strategy runs may have no speedup pairs: the comma after
+    // "entries" is only valid when something follows it.
+    let entries_comma = if speedups.is_empty() { "" } else { "," };
+    let _ = writeln!(json, "      }}{entries_comma}");
+    for (i, (k, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(json, "      \"{k}\": {v:.2}{comma}");
+    }
+    let _ = write!(json, "    }}");
+    (entries, json)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: engine_baseline [--pairs N] [--length N] [--band K] \
+         [--strategy rolling-row|wavefront|batch|all]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut pairs: Option<usize> = None;
+    let mut length: Option<usize> = None;
+    let mut band: Option<usize> = None;
+    let mut filter = StrategyFilter::All;
+    let mut custom = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        custom = true;
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--pairs" => pairs = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--length" => length = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--band" => band = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--strategy" => {
+                filter = match value().as_str() {
+                    "rolling-row" => StrategyFilter::RollingRow,
+                    "wavefront" => StrategyFilter::Wavefront,
+                    "batch" => StrategyFilter::Batch,
+                    "all" => StrategyFilter::All,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workloads: Vec<Workload> = if custom {
+        vec![Workload {
+            pairs: pairs.unwrap_or(1_000),
+            len: length.unwrap_or(256),
+            band,
+        }]
+    } else {
+        // The committed sweep: long reads, short reads, narrow band.
+        vec![
+            Workload {
+                pairs: 1_000,
+                len: 256,
+                band: None,
+            },
+            Workload {
+                pairs: 1_000,
+                len: 64,
+                band: None,
+            },
+            Workload {
+                pairs: 1_000,
+                len: 256,
+                band: Some(4),
+            },
+        ]
     };
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"engine_baseline\",");
-    let _ = writeln!(json, "  \"workload\": {{\"pairs\": {PAIRS}, \"length\": {LEN}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"reps_median_of\": {REPS},");
-    let _ = writeln!(json, "  \"score_checksum\": {sum_a},");
-    entry(
-        &mut json,
-        "run_functional_loop",
-        "rolling-row (allocating full grid)",
-        t_functional,
-    );
-    entry(&mut json, "engine_rolling_row", "rolling-row", t_rolling);
-    entry(&mut json, "engine_wavefront", "wavefront", t_wavefront);
-    entry(&mut json, "engine_align_batch", "auto", t_batch);
-    let _ = writeln!(
-        json,
-        "  \"speedup_rolling_row_vs_run_functional\": {:.2},",
-        t_functional / t_rolling
-    );
-    let _ = writeln!(
-        json,
-        "  \"speedup_wavefront_vs_rolling_row\": {:.2},",
-        t_rolling / t_wavefront
-    );
-    let _ = writeln!(
-        json,
-        "  \"speedup_batch_vs_run_functional\": {:.2}",
-        t_functional / t_batch
-    );
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, wl) in workloads.iter().enumerate() {
+        let (_, section) = run_workload(*wl, filter);
+        let comma = if i + 1 < workloads.len() { "," } else { "" };
+        let _ = writeln!(json, "{section}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     print!("{json}");
-    eprintln!("wrote BENCH_engine.json ({host_cores} core(s) available)");
+    if custom {
+        eprintln!("custom configuration: BENCH_engine.json left untouched ({host_cores} core(s))");
+    } else {
+        std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+        eprintln!("wrote BENCH_engine.json ({host_cores} core(s) available)");
+    }
 }

@@ -191,6 +191,148 @@ impl<S: Symbol> From<&Seq<S>> for PackedSeq<S> {
     }
 }
 
+/// An interleaved (structure-of-arrays) code plane for a *cohort* of
+/// sequences — the operand layout of inter-pair striped SIMD kernels.
+///
+/// Where [`PackedSeq::unpack_into`] produces one flat code stream per
+/// sequence, `StripedCodes` transposes up to `lanes` sequences into a
+/// single plane in which **position is the major axis and lane the minor
+/// one**: the codes of symbol position `pos` of every sequence sit
+/// contiguously at `plane[pos * lanes ..][.. lanes]`. A kernel sweeping
+/// all cohort members in lock-step (each SIMD lane a different pair)
+/// then reads one contiguous lane block per step — the software
+/// equivalent of tiling many small alignments onto one Race Logic array.
+///
+/// Sequences shorter than the padded length, and lanes beyond the cohort
+/// size, are filled with a caller-chosen sentinel code. Kernels pick
+/// sentinels outside every alphabet's code range (and distinct per
+/// plane) so a padding cell can never masquerade as a symbol match.
+///
+/// The struct is reusable scratch: each `pack_*` call clears and
+/// re-fills it, re-using the allocation.
+///
+/// ```
+/// use rl_bio::{PackedSeq, Seq, StripedCodes, alphabet::Dna};
+///
+/// let a: Seq<Dna> = "ACG".parse()?;
+/// let b: Seq<Dna> = "TT".parse()?;
+/// let mut plane = StripedCodes::new();
+/// plane.pack_forward(&[&PackedSeq::from_seq(&a), &PackedSeq::from_seq(&b)], 4, 3, 0xFE);
+/// assert_eq!(plane.lane_block(0), &[0, 3, 0xFE, 0xFE]); // A, T, pad, pad
+/// assert_eq!(plane.lane_block(2), &[2, 0xFE, 0xFE, 0xFE]); // G, pad, pad, pad
+/// # Ok::<(), rl_bio::ParseSeqError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StripedCodes {
+    lanes: usize,
+    positions: usize,
+    codes: Vec<u8>,
+}
+
+impl StripedCodes {
+    /// Empty scratch; the layout is chosen per `pack_*` call.
+    #[must_use]
+    pub fn new() -> Self {
+        StripedCodes::default()
+    }
+
+    /// Lanes per position of the current packing.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Padded positions of the current packing.
+    #[must_use]
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// The whole plane, position-major (`positions × lanes` codes).
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The `lanes` codes at symbol position `pos`, one per cohort member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.positions()`.
+    #[inline]
+    #[must_use]
+    pub fn lane_block(&self, pos: usize) -> &[u8] {
+        &self.codes[pos * self.lanes..][..self.lanes]
+    }
+
+    fn reset(&mut self, count: usize, lanes: usize, positions: usize, fill: u8) {
+        assert!(lanes > 0, "striped plane needs at least one lane");
+        assert!(count <= lanes, "cohort larger than the lane count");
+        self.lanes = lanes;
+        self.positions = positions;
+        self.codes.clear();
+        self.codes.resize(positions * lanes, fill);
+    }
+
+    /// Re-packs `seqs` **forward**: lane `l`, position `i` holds
+    /// `seqs[l].code(i)`; positions past a sequence's end (and lanes past
+    /// the cohort) hold `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs.len() > lanes` or any sequence is longer than
+    /// `positions`.
+    pub fn pack_forward<S: Symbol>(
+        &mut self,
+        seqs: &[&PackedSeq<S>],
+        lanes: usize,
+        positions: usize,
+        fill: u8,
+    ) {
+        self.reset(seqs.len(), lanes, positions, fill);
+        for (l, s) in seqs.iter().enumerate() {
+            assert!(s.len() <= positions, "sequence longer than the plane");
+            for (i, code) in s.codes().enumerate() {
+                self.codes[i * lanes + l] = code;
+            }
+        }
+    }
+
+    /// Re-packs `seqs` **reversed and right-aligned**: lane `l`'s codes
+    /// occupy the *last* `seqs[l].len()` positions in reverse symbol
+    /// order, with `fill` in front.
+    ///
+    /// This is the cohort analogue of [`PackedSeq::unpack_reversed_into`]
+    /// with one extra trick: right-aligning each reversed sequence to the
+    /// shared padded length makes the anti-diagonal read index
+    /// *lane-independent*. Along diagonal `i + j = d`, lane `l` needs
+    /// `p_l[d − i − 1]`, which lands at plane position
+    /// `positions − d + i` for **every** lane regardless of its own
+    /// length — so the striped kernel issues one block load where a
+    /// left-aligned layout would need a per-lane gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs.len() > lanes` or any sequence is longer than
+    /// `positions`.
+    pub fn pack_reversed<S: Symbol>(
+        &mut self,
+        seqs: &[&PackedSeq<S>],
+        lanes: usize,
+        positions: usize,
+        fill: u8,
+    ) {
+        self.reset(seqs.len(), lanes, positions, fill);
+        for (l, s) in seqs.iter().enumerate() {
+            assert!(s.len() <= positions, "sequence longer than the plane");
+            let offset = positions - s.len();
+            for (i, code) in s.codes().enumerate() {
+                self.codes[(offset + s.len() - 1 - i) * lanes + l] = code;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,7 +395,94 @@ mod tests {
         assert_eq!(buf.capacity(), cap);
     }
 
+    #[test]
+    fn striped_forward_interleaves_and_pads() {
+        let a: Seq<Dna> = "ACGT".parse().unwrap();
+        let b: Seq<Dna> = "TG".parse().unwrap();
+        let mut plane = StripedCodes::new();
+        plane.pack_forward(
+            &[&PackedSeq::from_seq(&a), &PackedSeq::from_seq(&b)],
+            4,
+            5,
+            0xFE,
+        );
+        assert_eq!(plane.lanes(), 4);
+        assert_eq!(plane.positions(), 5);
+        assert_eq!(plane.lane_block(0), &[0, 3, 0xFE, 0xFE]);
+        assert_eq!(plane.lane_block(1), &[1, 2, 0xFE, 0xFE]);
+        assert_eq!(plane.lane_block(2), &[2, 0xFE, 0xFE, 0xFE]);
+        assert_eq!(plane.lane_block(4), &[0xFE; 4]);
+    }
+
+    #[test]
+    fn striped_reversed_right_aligns() {
+        let a: Seq<Dna> = "ACG".parse().unwrap(); // codes 0 1 2
+        let b: Seq<Dna> = "T".parse().unwrap(); // code 3
+        let mut plane = StripedCodes::new();
+        plane.pack_reversed(
+            &[&PackedSeq::from_seq(&a), &PackedSeq::from_seq(&b)],
+            2,
+            4,
+            0xFF,
+        );
+        // Lane 0: pad, then ACG reversed = G C A at positions 1..4.
+        // Lane 1: pad pad pad, then T at position 3.
+        assert_eq!(plane.lane_block(0), &[0xFF, 0xFF]);
+        assert_eq!(plane.lane_block(1), &[2, 0xFF]);
+        assert_eq!(plane.lane_block(2), &[1, 0xFF]);
+        assert_eq!(plane.lane_block(3), &[0, 3]);
+    }
+
+    #[test]
+    fn striped_scratch_is_reused() {
+        let s: Seq<Dna> = "ACGTACGT".parse().unwrap();
+        let p = PackedSeq::from_seq(&s);
+        let mut plane = StripedCodes::new();
+        plane.pack_forward(&[&p], 8, 64, 0xFE);
+        let cap = plane.codes.capacity();
+        for _ in 0..10 {
+            plane.pack_forward(&[&p], 8, 64, 0xFE);
+            plane.pack_reversed(&[&p], 8, 64, 0xFF);
+            assert_eq!(plane.codes.capacity(), cap, "pack must not reallocate");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort larger")]
+    fn striped_rejects_oversized_cohort() {
+        let s: Seq<Dna> = "AC".parse().unwrap();
+        let p = PackedSeq::from_seq(&s);
+        StripedCodes::new().pack_forward(&[&p, &p, &p], 2, 4, 0xFE);
+    }
+
     proptest! {
+        /// Striping then reading each lane back recovers exactly the
+        /// forward (resp. reversed, right-aligned) code streams.
+        #[test]
+        fn striped_roundtrip(seqs in collection::vec("[ACGT]{0,20}", 1..6)) {
+            let packed: Vec<PackedSeq<Dna>> = seqs
+                .iter()
+                .map(|s| PackedSeq::from_seq(&s.parse::<Seq<Dna>>().unwrap()))
+                .collect();
+            let refs: Vec<&PackedSeq<Dna>> = packed.iter().collect();
+            let positions = packed.iter().map(PackedSeq::len).max().unwrap();
+            let lanes = refs.len().next_power_of_two();
+            let mut fwd = StripedCodes::new();
+            let mut rev = StripedCodes::new();
+            fwd.pack_forward(&refs, lanes, positions, 0xFE);
+            rev.pack_reversed(&refs, lanes, positions, 0xFF);
+            for (l, p) in packed.iter().enumerate() {
+                let codes: Vec<u8> = p.codes().collect();
+                for i in 0..positions {
+                    let want_f = codes.get(i).copied().unwrap_or(0xFE);
+                    prop_assert_eq!(fwd.lane_block(i)[l], want_f);
+                    // Right-aligned reversed: position positions-1-i holds codes[i].
+                    let want_r = codes.get(i).copied().unwrap_or(0xFF);
+                    prop_assert_eq!(rev.lane_block(positions - 1 - i)[l], want_r);
+                }
+            }
+        }
+
         /// Reversed unpacking is exactly forward unpacking, reversed —
         /// across word boundaries and for both alphabets.
         #[test]

@@ -19,6 +19,7 @@ use rl_bio::{alphabet::Symbol, Seq};
 use rl_temporal::Time;
 
 use crate::alignment::RaceWeights;
+use crate::engine::{AlignConfig, AlignEngine};
 
 /// The outcome of a banded race.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,12 +127,31 @@ pub fn banded_race_with<S: Symbol>(
 /// Doubles the band until the result is certified exact (or the band
 /// covers the whole grid): the adaptive driver a thresholded scanner
 /// would use. Returns the final outcome, always exact.
+///
+/// Runs on the score-only [`AlignEngine`] rather than a full grid fill:
+/// one engine (one scratch set) serves every attempt via
+/// [`AlignEngine::set_config`], and the narrow early attempts — where
+/// the adaptive driver spends most of its time on similar pairs — ride
+/// the compacted banded wavefront kernel, O(band) state instead of
+/// O(n·m) grid.
 #[must_use]
 pub fn adaptive_race<S: Symbol>(q: &Seq<S>, p: &Seq<S>, weights: RaceWeights) -> BandedOutcome {
+    use rl_bio::PackedSeq;
+
     let full = q.len().max(p.len());
     let mut band = q.len().abs_diff(p.len()).max(1);
+    let (pq, pp) = (PackedSeq::from_seq(q), PackedSeq::from_seq(p));
+    let mut engine = AlignEngine::new(AlignConfig::new(weights));
     loop {
-        let out = banded_race(q, p, weights, band);
+        engine.set_config(AlignConfig::new(weights).with_band(band));
+        let raced = engine.align(&pq, &pp);
+        let out = BandedOutcome {
+            score: raced.score,
+            band,
+            cells_built: raced.cells_computed as usize,
+            rows: q.len(),
+            cols: p.len(),
+        };
         if out.certified_exact(weights) || band >= full {
             return out;
         }

@@ -141,6 +141,13 @@ impl ScanReport {
 
 /// Scans `query` against a database of patterns, keeping entries whose
 /// race finishes within `threshold` cycles — the Section 6 application.
+///
+/// The scan runs through [`crate::engine::align_batch`], so same-length
+/// patterns are swept by the inter-pair striped SIMD kernel (each lane
+/// one pattern, the §6 many-patterns-one-array tiling) and the batch
+/// fans out across cores. The races run to completion (no fused
+/// threshold) because the report also prices the hypothetical
+/// threshold-less scan.
 #[must_use]
 pub fn scan_database<S: Symbol>(
     query: &Seq<S>,
@@ -148,16 +155,18 @@ pub fn scan_database<S: Symbol>(
     weights: RaceWeights,
     threshold: u64,
 ) -> ScanReport {
+    use rl_bio::PackedSeq;
+
+    let q = PackedSeq::from_seq(query);
+    let patterns: Vec<PackedSeq<S>> = database.iter().map(PackedSeq::from_seq).collect();
+    let pairs: Vec<(&PackedSeq<S>, &PackedSeq<S>)> = patterns.iter().map(|p| (&q, p)).collect();
+    let outcomes = crate::engine::align_batch_refs(&AlignConfig::new(weights), &pairs);
+
     let mut hits = Vec::new();
     let mut rejected = 0;
     let mut total_cycles = 0;
     let mut unthresholded = 0;
-    // One engine for the whole scan: scratch buffers are reused across
-    // patterns. The race runs to completion (no fused threshold) because
-    // the report also prices the hypothetical threshold-less scan.
-    let mut engine = AlignEngine::new(AlignConfig::new(weights));
-    for (idx, pattern) in database.iter().enumerate() {
-        let outcome = engine.align_seqs(query, pattern);
+    for (idx, outcome) in outcomes.iter().enumerate() {
         let full = outcome.score.cycles().unwrap_or(0);
         unthresholded += full;
         match classify(outcome.score.cycles(), threshold) {

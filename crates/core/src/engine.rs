@@ -5,13 +5,20 @@
 //! semantics; this module is the same min-plus arrival fixed point
 //! engineered for sustained throughput:
 //!
-//! - **Two kernels, one recurrence.** [`KernelStrategy`] selects between
-//!   the row-major *rolling-row* sweep (two rows of state,
-//!   cache-friendly, but serialized by the in-row `left` dependency)
-//!   and the *wavefront* sweep (anti-diagonal order: every
+//! - **One recurrence, several execution shapes.** [`KernelStrategy`]
+//!   selects between the row-major *rolling-row* sweep (two rows of
+//!   state, cache-friendly, but serialized by the in-row `left`
+//!   dependency) and the *wavefront* sweep (anti-diagonal order: every
 //!   cell of a diagonal is independent, exactly the parallelism the
 //!   Race Logic array exploits in hardware, vectorized through
-//!   [`crate::simd`]). [`KernelStrategy::Auto`] picks by problem shape.
+//!   [`crate::simd`]). The wavefront comes in two layouts — absolute
+//!   row indexing, and a *compacted* banded layout that stores only the
+//!   in-band span per diagonal (O(band) state, how narrow bands stay on
+//!   the wavefront) — and [`align_batch`] adds a third axis: the
+//!   *striped batch kernel*, one wavefront sweep whose SIMD lanes are
+//!   *different pairs* of a shape-compatible cohort.
+//!   [`KernelStrategy::Auto`] picks by problem shape; the full decision
+//!   is [`AlignConfig::resolve_kernel`].
 //! - **Zero allocations per alignment.** An [`AlignEngine`] owns its
 //!   scratch (rolling rows, anti-diagonal buffers, and unpacked code
 //!   buffers). After the first call at a given problem size,
@@ -29,17 +36,21 @@
 //!   [`Time`]'s semantics (`Time::NEVER` is `u64::MAX` and
 //!   `delay_by` saturates), so conversion happens only at the boundary.
 //!   When the problem is small enough that no finite cell value can
-//!   reach `u32::MAX / 2`, the wavefront kernel drops to `u32` lanes —
-//!   twice the SIMD width, provably the same scores (see
+//!   reach a narrower word's `+∞` sentinel, the wavefront kernels drop
+//!   to `u32` — or, for short reads, `u16` — lanes: two or four times
+//!   the SIMD width, provably the same scores (see [`LaneWidth`] and
 //!   [`crate::simd::KernelWord`]).
 //! - **Fused banding** (Ukkonen `|i − j| ≤ k`) and **fused early
 //!   termination** (abandon once a whole frontier exceeds the
 //!   threshold — sound because weights are non-negative, so any
 //!   root→sink path costs at least the minimum of the frontier it
 //!   crosses). Both are fused into both kernels.
-//! - **Batching.** [`align_batch`] aligns many pairs in parallel with
-//!   rayon, one engine (one scratch set) per worker chunk, and returns
-//!   results in input order.
+//! - **Batching.** [`align_batch`] groups pairs into length-bucketed
+//!   cohorts and sweeps each stripe with the inter-pair striped kernel
+//!   (every SIMD lane a different pair, per-lane banding masks and
+//!   early-termination flags, lanes retiring independently), fanned out
+//!   across cores with rayon, one scratch set per worker chunk, results
+//!   in input order — and byte-identical to the sequential loop.
 //!
 //! See `docs/KERNELS.md` in the repository root for memory layouts, the
 //! auto-selection policy, and how to reproduce `BENCH_engine.json`.
@@ -57,7 +68,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use rayon::prelude::*;
 use rl_bio::{alphabet::Symbol, PackedSeq};
 use rl_temporal::Time;
 
@@ -73,11 +83,42 @@ pub const NEVER: u64 = u64::MAX;
 /// SIMD lanes and the rolling row's cache behaviour wins.
 pub const WAVEFRONT_MIN_LEN: usize = 32;
 
-/// Smallest Ukkonen band half-width at which [`KernelStrategy::Auto`]
-/// picks the wavefront kernel: a band of half-width `k` caps the
-/// anti-diagonal span at `k + 1` cells, so narrow bands leave the lanes
-/// mostly empty.
+/// Ukkonen band half-widths **below** this run the wavefront kernel on
+/// the *compacted* diagonal layout (three `band + 3`-cell buffers with
+/// relative in-band indexing, resident in L1 at any sequence length);
+/// wider bands keep the absolute-row layout, whose spans are long enough
+/// to fill SIMD blocks without the per-diagonal re-indexing shifts.
+/// Before the compacted layout existed this constant was the band below
+/// which [`KernelStrategy::Auto`] fell back to the rolling row; narrow
+/// bands now stay on the wavefront.
 pub const WAVEFRONT_MIN_BAND: usize = 8;
+
+/// Smallest **effective segment length** — `min(n, m)`, further capped
+/// at `band + 1` when banded — at which the per-pair wavefront kernel
+/// drops to `u16` lanes when eligible. Below this, anti-diagonal spans
+/// sit under the flat-loop vector threshold
+/// ([`crate::simd::FLAT_MIN_LEN`]) where the `u16` block codegen is no
+/// faster than `u32` (measured crossover ≈ 128 on x86-64-v2), so Auto
+/// keeps `u32`. The *striped* batch kernel ignores this gate: its
+/// interior segments are `span × lanes` long, deep inside flat-loop
+/// territory at any pair length, so stripes always take the narrowest
+/// exact width.
+pub const U16_MIN_LEN: usize = 128;
+
+/// Smallest number of same-cohort pairs worth launching as one striped
+/// (inter-pair SIMD) sweep in [`align_batch`]: a stripe's cost is nearly
+/// independent of how many of its lanes are live, so below this
+/// occupancy the per-pair wavefront kernel is cheaper. Leftover pairs
+/// of a partially filled stripe run per pair.
+pub const STRIPE_MIN_PAIRS: usize = 4;
+
+/// Length quantum of [`align_batch`]'s cohort grouping: pairs whose
+/// `(n, m)` round up to the same multiple of this share a cohort, and
+/// each stripe is padded to the cohort ceiling with sentinel cells. A
+/// coarser quantum fills stripes faster on ragged batches; a finer one
+/// wastes fewer padded cells. 16 keeps worst-case padding below ~25% at
+/// the shortest striped lengths (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`]).
+pub const COHORT_LEN_BUCKET: usize = 16;
 
 /// Which traversal order the engine's fused kernel uses.
 ///
@@ -116,15 +157,15 @@ impl std::fmt::Display for KernelStrategy {
 
 /// Alignment weights lowered to raw saturating-`u64` form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct RawWeights {
-    matched: u64,
+pub(crate) struct RawWeights {
+    pub(crate) matched: u64,
     /// `NEVER` encodes the paper's mismatch → ∞ modification.
-    mismatched: u64,
-    indel: u64,
+    pub(crate) mismatched: u64,
+    pub(crate) indel: u64,
 }
 
 impl RawWeights {
-    fn from_weights(w: RaceWeights) -> Self {
+    pub(crate) fn from_weights(w: RaceWeights) -> Self {
         RawWeights {
             matched: w.matched,
             mismatched: w.mismatched.unwrap_or(NEVER),
@@ -133,7 +174,7 @@ impl RawWeights {
     }
 
     /// Lowers further into a lane representation.
-    fn lanes<W: KernelWord>(self) -> LaneWeights<W> {
+    pub(crate) fn lanes<W: KernelWord>(self) -> LaneWeights<W> {
         LaneWeights {
             matched: W::clamp_raw(self.matched),
             mismatched: W::clamp_raw(self.mismatched),
@@ -142,15 +183,75 @@ impl RawWeights {
     }
 }
 
+/// The SIMD lane word a wavefront-family kernel runs in. Narrower words
+/// mean more lanes per vector register — `U16` updates twice the cells
+/// per instruction of `U32`, which updates twice those of `U64` — and
+/// every width is **exact**: a width is only eligible when the
+/// `(n + m + 2) · max_finite_weight` bound proves no finite cell value
+/// can reach that word's `+∞` sentinel (see [`crate::simd::KernelWord`]).
+///
+/// The `Ord` instance orders by width (`U16 < U32 < U64`), which is
+/// what [`AlignConfig::with_lane_floor`] clamps against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum LaneWidth {
+    /// 16-bit lanes: short-read workloads (up to ~16 kbp of combined
+    /// length at unit weights).
+    #[default]
+    U16,
+    /// 32-bit lanes: every realistic biological workload.
+    U32,
+    /// 64-bit saturating lanes: always eligible, the correctness anchor.
+    U64,
+}
+
+impl LaneWidth {
+    /// Lane width in bits (for benchmark records).
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            LaneWidth::U16 => 16,
+            LaneWidth::U32 => 32,
+            LaneWidth::U64 => 64,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneWidth::U16 => write!(f, "u16"),
+            LaneWidth::U32 => write!(f, "u32"),
+            LaneWidth::U64 => write!(f, "u64"),
+        }
+    }
+}
+
+/// The fully resolved execution recipe for one `n × m` alignment:
+/// what [`AlignConfig::resolve_kernel`] returns once
+/// [`KernelStrategy::Auto`] and the lane-width/layout eligibility rules
+/// have been applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPlan {
+    /// The concrete traversal order (never [`KernelStrategy::Auto`]).
+    pub strategy: KernelStrategy,
+    /// `true` when the wavefront kernel uses the compacted banded
+    /// layout (relative in-band indexing over `band + 3`-cell buffers).
+    /// Always `false` for the rolling row.
+    pub compact: bool,
+    /// The narrowest exact lane word the problem admits (≥ the
+    /// configured floor). The rolling row always computes in `u64`.
+    pub lanes: LaneWidth,
+}
+
 /// `true` when no finite cell value of an `n × m` race under `w` can
-/// reach the `u32` kernel's `+∞` sentinel, so the wavefront kernel may
-/// run in `u32` lanes with exactly the same scores.
+/// reach a kernel word whose `+∞` sentinel is `inf`, so the wavefront
+/// kernel may run in that word with exactly the same scores.
 ///
 /// Bound: every finite cell value is the cost of a path with at most
 /// `n + m` steps, each costing at most the largest finite weight; the
 /// `+ 2` leaves headroom for the one add performed on a value before it
 /// is clamped.
-fn fits_u32(n: usize, m: usize, w: RawWeights) -> bool {
+fn fits_word(n: usize, m: usize, w: RawWeights, inf: u64) -> bool {
     let max_finite = w.indel.max(w.matched).max(if w.mismatched == NEVER {
         0
     } else {
@@ -158,7 +259,36 @@ fn fits_u32(n: usize, m: usize, w: RawWeights) -> bool {
     });
     ((n + m + 2) as u64)
         .checked_mul(max_finite)
-        .is_some_and(|v| v < u64::from(<u32 as KernelWord>::INF))
+        .is_some_and(|v| v < inf)
+}
+
+/// The narrowest exact lane word an `n × m` problem admits under `w`,
+/// clamped from below by `floor` — eligibility only, no profitability
+/// heuristics (the striped batch kernel uses this directly;
+/// [`AlignConfig::resolve_kernel`] layers the per-pair
+/// [`U16_MIN_LEN`] gate on top).
+///
+/// A configured early-termination `threshold` is part of the
+/// eligibility: the fused abandon rule compares frontier minima against
+/// the threshold *in the lane word*, so the threshold itself must sit
+/// strictly below the word's `+∞` sentinel — otherwise the clamped
+/// comparison `min > INF` could never fire and a width-dependent sweep
+/// would abandon later than the `u64` semantics require.
+pub(crate) fn exact_lane_width(
+    n: usize,
+    m: usize,
+    w: RawWeights,
+    threshold: Option<u64>,
+    floor: LaneWidth,
+) -> LaneWidth {
+    let admits = |inf: u64| fits_word(n, m, w, inf) && threshold.is_none_or(|t| t < inf);
+    if floor <= LaneWidth::U16 && admits(u64::from(<u16 as KernelWord>::INF)) {
+        LaneWidth::U16
+    } else if floor <= LaneWidth::U32 && admits(u64::from(<u32 as KernelWord>::INF)) {
+        LaneWidth::U32
+    } else {
+        LaneWidth::U64
+    }
 }
 
 /// Configuration of an alignment engine: weights plus the fused kernel
@@ -175,8 +305,14 @@ pub struct AlignConfig {
     /// every race to completion.
     pub threshold: Option<u64>,
     /// Kernel traversal order; [`KernelStrategy::Auto`] (the default)
-    /// resolves per pair via [`AlignConfig::resolve_strategy`].
+    /// resolves per pair via [`AlignConfig::resolve_kernel`].
     pub strategy: KernelStrategy,
+    /// Narrowest SIMD lane word the wavefront kernels may pick. The
+    /// default ([`LaneWidth::U16`]) means "narrowest exact width";
+    /// raising the floor forces wider lanes — an A/B knob for
+    /// benchmarking the lane-width win, never needed for correctness
+    /// (every eligible width computes identical scores).
+    pub lane_floor: LaneWidth,
 }
 
 impl AlignConfig {
@@ -193,6 +329,7 @@ impl AlignConfig {
             band: None,
             threshold: None,
             strategy: KernelStrategy::Auto,
+            lane_floor: LaneWidth::U16,
         }
     }
 
@@ -217,27 +354,94 @@ impl AlignConfig {
         self
     }
 
-    /// The concrete kernel an `n × m` alignment under this configuration
-    /// runs on. [`KernelStrategy::Auto`] resolves to
-    /// [`KernelStrategy::Wavefront`] when the pair is long enough to
-    /// fill SIMD lanes (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`]) and any
-    /// band is wide enough (≥ [`WAVEFRONT_MIN_BAND`]) to leave the
-    /// anti-diagonals SIMD-wide; otherwise to
-    /// [`KernelStrategy::RollingRow`]. Explicit strategies resolve to
-    /// themselves.
+    /// Forbids SIMD lane words narrower than `floor` — an A/B
+    /// benchmarking knob (e.g. pin [`LaneWidth::U32`] to reproduce the
+    /// pre-`u16` kernel); scores are identical at every eligible width.
     #[must_use]
-    pub fn resolve_strategy(&self, n: usize, m: usize) -> KernelStrategy {
-        match self.strategy {
+    pub fn with_lane_floor(mut self, floor: LaneWidth) -> Self {
+        self.lane_floor = floor;
+        self
+    }
+
+    /// The complete execution recipe for an `n × m` alignment under this
+    /// configuration — strategy, diagonal layout, and lane width:
+    ///
+    /// - [`KernelStrategy::Auto`] resolves to
+    ///   [`KernelStrategy::Wavefront`] when the pair is long enough to
+    ///   fill SIMD lanes (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`]),
+    ///   otherwise to [`KernelStrategy::RollingRow`]. Explicit
+    ///   strategies resolve to themselves. (Bands no longer force the
+    ///   rolling row: narrow bands ride the compacted diagonal layout.)
+    /// - A wavefront runs **compacted** when a band narrower than
+    ///   [`WAVEFRONT_MIN_BAND`] is configured.
+    /// - The lane word is the narrowest width whose `+∞` sentinel no
+    ///   finite cell value can reach (clamped from below by
+    ///   [`AlignConfig::with_lane_floor`]); the rolling row always
+    ///   computes in `u64`.
+    #[must_use]
+    pub fn resolve_kernel(&self, n: usize, m: usize) -> KernelPlan {
+        let strategy = match self.strategy {
             KernelStrategy::Auto => {
-                let wide_band = self.band.is_none_or(|k| k >= WAVEFRONT_MIN_BAND);
-                if n.min(m) >= WAVEFRONT_MIN_LEN && wide_band {
+                if n.min(m) >= WAVEFRONT_MIN_LEN {
                     KernelStrategy::Wavefront
                 } else {
                     KernelStrategy::RollingRow
                 }
             }
             s => s,
+        };
+        if strategy != KernelStrategy::Wavefront {
+            return KernelPlan {
+                strategy,
+                compact: false,
+                lanes: LaneWidth::U64,
+            };
         }
+        let mut lanes = exact_lane_width(
+            n,
+            m,
+            RawWeights::from_weights(self.weights),
+            self.threshold,
+            self.lane_floor,
+        );
+        // A band caps the anti-diagonal span at k + 1 cells, so the
+        // per-pair SIMD segments are never longer than that.
+        let eff_len = n.min(m).min(self.band.map_or(usize::MAX, |k| k + 1));
+        if lanes == LaneWidth::U16 && eff_len < U16_MIN_LEN {
+            // Exact but unprofitable per pair at this segment length
+            // (see U16_MIN_LEN); the striped batch kernel makes its own
+            // call.
+            lanes = LaneWidth::U32;
+        }
+        KernelPlan {
+            strategy,
+            compact: self.band.is_some_and(|k| k < WAVEFRONT_MIN_BAND),
+            lanes,
+        }
+    }
+
+    /// The concrete traversal order an `n × m` alignment under this
+    /// configuration runs on — [`AlignConfig::resolve_kernel`] without
+    /// the layout/lane detail.
+    #[must_use]
+    pub fn resolve_strategy(&self, n: usize, m: usize) -> KernelStrategy {
+        self.resolve_kernel(n, m).strategy
+    }
+
+    /// The lane word the **striped batch kernel** picks for a cohort
+    /// whose ceiling shape is `n × m`: the narrowest exact width above
+    /// the floor, with no per-pair profitability gate (stripe segments
+    /// are `span × lanes` long, so narrow lanes always pay there).
+    /// Exposed for benchmark records.
+    #[must_use]
+    pub fn resolve_stripe_lanes(&self, n: usize, m: usize) -> LaneWidth {
+        exact_lane_width(
+            n,
+            m,
+            RawWeights::from_weights(self.weights),
+            self.threshold,
+            self.lane_floor,
+        )
     }
 }
 
@@ -268,6 +472,19 @@ impl EngineOutcome {
     }
 }
 
+/// The three-buffer rotation shared by every wavefront-family kernel:
+/// `(cur, d1, d2)` for diagonal `d` — `cur` receives diagonal `d`,
+/// `d1` holds `d − 1`, `d2` holds `d − 2`.
+#[inline]
+pub(crate) fn rotate_bufs<T>(bufs: &mut [T; 3], d: usize) -> (&mut T, &mut T, &mut T) {
+    let [a, b, c] = bufs;
+    match d % 3 {
+        0 => (a, c, b),
+        1 => (b, a, c),
+        _ => (c, b, a),
+    }
+}
+
 /// The banded column range of row `i`: `lo..=hi` over `0..=m`, empty when
 /// the band excludes the whole row.
 #[inline]
@@ -283,7 +500,7 @@ fn band_range(i: usize, m: usize, band: Option<usize>) -> (usize, usize) {
 /// bounds `max(0, d − m) ≤ i ≤ min(n, d)` with the band constraint
 /// `|i − (d − i)| ≤ k ⇔ ⌈(d − k)/2⌉ ≤ i ≤ ⌊(d + k)/2⌋`.
 #[inline]
-fn diag_range(d: usize, n: usize, m: usize, band: Option<usize>) -> (usize, usize) {
+pub(crate) fn diag_range(d: usize, n: usize, m: usize, band: Option<usize>) -> (usize, usize) {
     let mut lo = d.saturating_sub(m);
     let mut hi = d.min(n);
     if let Some(k) = band {
@@ -526,12 +743,7 @@ fn wavefront_score<W: KernelWord>(
                 };
             }
         }
-        let [a, b, c] = bufs;
-        let (cur, d1, d2) = match d % 3 {
-            0 => (a, c, b),
-            1 => (b, a, c),
-            _ => (c, b, a),
-        };
+        let (cur, d1, d2) = rotate_bufs(bufs, d);
         let (lo, hi) = diag_range(d, n, m, band);
         if lo > hi {
             // Band-excluded diagonal: reset the cells later diagonals
@@ -591,6 +803,19 @@ fn wavefront_score<W: KernelWord>(
     } else {
         NEVER // the band excludes the sink cell itself
     };
+    classify_outcome(score_raw, threshold, cells)
+}
+
+/// The end-of-sweep classification every kernel shares: a raw sink value
+/// above the threshold is reported as an abandon ([`Time::NEVER`] +
+/// `early_terminated`), identical to the verdict a mid-sweep frontier
+/// abandon would have produced.
+#[inline]
+pub(crate) fn classify_outcome(
+    score_raw: u64,
+    threshold: Option<u64>,
+    cells_computed: u64,
+) -> EngineOutcome {
     let exceeded = threshold.is_some_and(|t| score_raw > t);
     EngineOutcome {
         score: if exceeded {
@@ -598,9 +823,129 @@ fn wavefront_score<W: KernelWord>(
         } else {
             raw_to_time(score_raw)
         },
-        cells_computed: cells,
+        cells_computed,
         early_terminated: exceeded,
     }
+}
+
+/// The score-only **compacted** banded wavefront kernel: the same
+/// anti-diagonal sweep as [`wavefront_score`], but each diagonal stores
+/// only its in-band span, relative to the span's first row, in three
+/// rotating buffers of `min(n, m, k) + 4` cells — L1-resident at any
+/// sequence length, which is what lets [`KernelStrategy::Auto`] route
+/// narrow bands (`k <` [`WAVEFRONT_MIN_BAND`]) to the wavefront instead
+/// of the rolling row.
+///
+/// **Indexing.** Cell `(i, d − i)` of diagonal `d` lives at buffer index
+/// `i − lo(d) + 1`, where `lo(d)` is the span's first row; index 0 and
+/// index `span + 1` are permanent `+∞` guard cells. A neighbour on
+/// diagonal `d − a` (`a ∈ {1, 2}`) at row `i − b` then sits at relative
+/// index `(i − lo(d) + 1) + s_a − b` with `s_a = lo(d) − lo(d − a)`;
+/// because `lo` is non-decreasing and grows by at most one per diagonal,
+/// `s_1 ∈ {0, 1}` and `s_2 ∈ {0, 1, 2}`, and every neighbour read lands
+/// inside the previous spans or on their guards (proof mirrors the
+/// absolute kernel's hygiene argument, shifted into span space).
+/// Band-empty diagonals reset their whole (tiny) buffer to `+∞`.
+fn wavefront_score_compact<W: KernelWord>(
+    q_codes: &[u8],
+    p_rev: &[u8],
+    w: RawWeights,
+    k: usize,
+    threshold: Option<u64>,
+    bufs: &mut [Vec<W>; 3],
+) -> EngineOutcome {
+    let (n, m) = (q_codes.len(), p_rev.len());
+    let band = Some(k);
+    let lw: LaneWeights<W> = w.lanes();
+    let t_w = threshold.map(W::clamp_raw);
+    // Span bound: hi − lo + 1 ≤ min(n, m, k) + 1; +1 guard on each side
+    // and +1 slack for the widest `s_2 = 2` read.
+    let cap = k.min(n).min(m) + 4;
+    for b in bufs.iter_mut() {
+        b.clear();
+        b.resize(cap, W::INF);
+    }
+
+    // Diagonal 0: the root cell (0, 0) at relative index 1 (lo(0) = 0).
+    bufs[0][1] = W::ZERO;
+    let mut cells = 1_u64;
+    let mut min1 = W::ZERO;
+    let mut min2 = W::INF;
+    // lo of the two previous diagonals, tracked even across band-empty
+    // diagonals (the formula stays monotone there, keeping the shifts
+    // in range).
+    let (mut lo_prev1, mut lo_prev2) = (0_usize, 0_usize);
+
+    for d in 1..=(n + m) {
+        // Identical abandon rule to the absolute kernel.
+        if let Some(t) = t_w {
+            if min1.min(min2) > t {
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    early_terminated: true,
+                };
+            }
+        }
+        let (cur, d1, d2) = rotate_bufs(bufs, d);
+        let (lo, hi) = diag_range(d, n, m, band);
+        if lo > hi {
+            // Band-empty diagonal: everything later diagonals could read
+            // from this buffer must be +∞. The buffer is tiny — reset it
+            // wholesale.
+            cur.fill(W::INF);
+            min2 = min1;
+            min1 = W::INF;
+            (lo_prev2, lo_prev1) = (lo_prev1, lo);
+            continue;
+        }
+        let span = hi - lo + 1;
+        let s1 = lo - lo_prev1;
+        let s2 = lo - lo_prev2;
+        debug_assert!(s1 <= 1 && s2 <= 2, "lo grows by at most one per diagonal");
+        // Guard cells around the span about to be written.
+        cur[0] = W::INF;
+        cur[span + 1] = W::INF;
+
+        let mut dmin = W::INF;
+        let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        if lo == 0 {
+            cur[1] = boundary; // cell (0, d)
+            dmin = dmin.min(boundary);
+        }
+        if hi == d {
+            cur[d - lo + 1] = boundary; // cell (d, 0)
+            dmin = dmin.min(boundary);
+        }
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        if ilo <= ihi {
+            let len = ihi - ilo + 1;
+            let base = ilo - lo + 1;
+            let seg_min = simd::diag_update(
+                &d1[base + s1 - 1..base + s1 - 1 + len], // up: (i − 1, j) on d − 1
+                &d1[base + s1..base + s1 + len],         // left: (i, j − 1) on d − 1
+                &d2[base + s2 - 1..base + s2 - 1 + len], // diag: (i − 1, j − 1) on d − 2
+                &q_codes[ilo - 1..ilo - 1 + len],
+                &p_rev[m + ilo - d..m + ilo - d + len],
+                lw,
+                &mut cur[base..base + len],
+            );
+            dmin = dmin.min(seg_min);
+        }
+        cells += span as u64;
+        min2 = min1;
+        min1 = dmin;
+        (lo_prev2, lo_prev1) = (lo_prev1, lo);
+    }
+
+    let (flo, fhi) = diag_range(n + m, n, m, band);
+    let score_raw = if flo <= fhi {
+        bufs[(n + m) % 3][n - flo + 1].to_raw()
+    } else {
+        NEVER // the band excludes the sink cell itself
+    };
+    classify_outcome(score_raw, threshold, cells)
 }
 
 /// A reusable alignment engine: configuration plus owned scratch
@@ -609,9 +954,10 @@ fn wavefront_score<W: KernelWord>(
 ///
 /// The scratch covers both kernels: two rolling rows plus forward code
 /// buffers for [`KernelStrategy::RollingRow`]; three anti-diagonal
-/// buffers (in both `u64` and `u32` widths) plus a reversed-`p` code
-/// buffer for [`KernelStrategy::Wavefront`]. Only the buffers of the
-/// kernel actually selected for a call are touched.
+/// buffers (in `u64`, `u32` and `u16` widths, shared between the
+/// absolute and compacted layouts) plus a reversed-`p` code buffer for
+/// [`KernelStrategy::Wavefront`]. Only the buffers of the kernel
+/// actually selected for a call are touched.
 #[derive(Debug, Clone)]
 pub struct AlignEngine {
     cfg: AlignConfig,
@@ -622,6 +968,7 @@ pub struct AlignEngine {
     p_rev: Vec<u8>,
     diag64: [Vec<u64>; 3],
     diag32: [Vec<u32>; 3],
+    diag16: [Vec<u16>; 3],
 }
 
 impl AlignEngine {
@@ -637,6 +984,7 @@ impl AlignEngine {
             p_rev: Vec::new(),
             diag64: [Vec::new(), Vec::new(), Vec::new()],
             diag32: [Vec::new(), Vec::new(), Vec::new()],
+            diag16: [Vec::new(), Vec::new(), Vec::new()],
         }
     }
 
@@ -644,6 +992,16 @@ impl AlignEngine {
     #[must_use]
     pub fn config(&self) -> &AlignConfig {
         &self.cfg
+    }
+
+    /// Swaps the configuration while keeping every scratch buffer — the
+    /// re-tuning path for drivers that sweep a parameter over the same
+    /// pair (e.g. [`crate::banded::adaptive_race`] doubling its band):
+    /// follow-up alignments at the same problem size stay
+    /// allocation-free.
+    pub fn set_config(&mut self, cfg: AlignConfig) {
+        assert!(cfg.weights.indel > 0, "indel weight must be positive");
+        self.cfg = cfg;
     }
 
     /// Current capacities of every scratch buffer the engine owns —
@@ -661,21 +1019,23 @@ impl AlignEngine {
         ];
         caps.extend(self.diag64.iter().map(Vec::capacity));
         caps.extend(self.diag32.iter().map(Vec::capacity));
+        caps.extend(self.diag16.iter().map(Vec::capacity));
         caps
     }
 
     /// Aligns packed `q` (rows) against packed `p` (columns) on the
-    /// kernel [`AlignConfig::resolve_strategy`] selects: banding and
+    /// kernel [`AlignConfig::resolve_kernel`] selects: banding and
     /// early termination are applied inside the sweep, and only O(rows)
-    /// state exists (two rows or three anti-diagonals).
+    /// (or, compacted, O(band)) state exists.
     pub fn align<S: Symbol>(&mut self, q: &PackedSeq<S>, p: &PackedSeq<S>) -> EngineOutcome {
-        match self.cfg.resolve_strategy(q.len(), p.len()) {
+        let plan = self.cfg.resolve_kernel(q.len(), p.len());
+        match plan.strategy {
             KernelStrategy::Wavefront => {
                 q.unpack_into(&mut self.q_codes);
                 // The wavefront kernel wants p backwards (contiguous
                 // anti-diagonal reads); unpack it reversed directly.
                 p.unpack_reversed_into(&mut self.p_rev);
-                self.wavefront_codes()
+                self.wavefront_codes(plan)
             }
             _ => {
                 q.unpack_into(&mut self.q_codes);
@@ -694,12 +1054,13 @@ impl AlignEngine {
     ) -> EngineOutcome {
         self.q_codes.clear();
         self.q_codes.extend(q.codes());
-        match self.cfg.resolve_strategy(q.len(), p.len()) {
+        let plan = self.cfg.resolve_kernel(q.len(), p.len());
+        match plan.strategy {
             KernelStrategy::Wavefront => {
                 self.p_rev.clear();
                 self.p_rev.extend(p.codes());
                 self.p_rev.reverse();
-                self.wavefront_codes()
+                self.wavefront_codes(plan)
             }
             _ => {
                 self.p_codes.clear();
@@ -709,28 +1070,53 @@ impl AlignEngine {
         }
     }
 
-    /// Dispatches the wavefront kernel at the widest exact lane type.
-    fn wavefront_codes(&mut self) -> EngineOutcome {
+    /// Dispatches the wavefront kernel at the planned lane width and
+    /// diagonal layout.
+    fn wavefront_codes(&mut self, plan: KernelPlan) -> EngineOutcome {
         let w = RawWeights::from_weights(self.cfg.weights);
-        let (n, m) = (self.q_codes.len(), self.p_rev.len());
-        if fits_u32(n, m, w) {
-            wavefront_score::<u32>(
+        let (band, threshold) = (self.cfg.band, self.cfg.threshold);
+        fn run<W: KernelWord>(
+            q: &[u8],
+            p_rev: &[u8],
+            w: RawWeights,
+            band: Option<usize>,
+            threshold: Option<u64>,
+            compact: bool,
+            bufs: &mut [Vec<W>; 3],
+        ) -> EngineOutcome {
+            match (compact, band) {
+                (true, Some(k)) => wavefront_score_compact(q, p_rev, w, k, threshold, bufs),
+                _ => wavefront_score(q, p_rev, w, band, threshold, bufs),
+            }
+        }
+        match plan.lanes {
+            LaneWidth::U16 => run(
                 &self.q_codes,
                 &self.p_rev,
                 w,
-                self.cfg.band,
-                self.cfg.threshold,
+                band,
+                threshold,
+                plan.compact,
+                &mut self.diag16,
+            ),
+            LaneWidth::U32 => run(
+                &self.q_codes,
+                &self.p_rev,
+                w,
+                band,
+                threshold,
+                plan.compact,
                 &mut self.diag32,
-            )
-        } else {
-            wavefront_score::<u64>(
+            ),
+            LaneWidth::U64 => run(
                 &self.q_codes,
                 &self.p_rev,
                 w,
-                self.cfg.band,
-                self.cfg.threshold,
+                band,
+                threshold,
+                plan.compact,
                 &mut self.diag64,
-            )
+            ),
         }
     }
 
@@ -812,30 +1198,41 @@ impl AlignEngine {
 }
 
 /// Aligns every `(q, p)` pair under `cfg`, in parallel, with results in
-/// input order. Each worker chunk owns one [`AlignEngine`], so scratch
-/// buffers are reused across the pairs of a chunk and the whole batch
-/// performs O(#threads) allocations regardless of batch size.
+/// input order.
+///
+/// Two levels of parallelism are fused. Across cores, work is chunked
+/// with rayon, one scratch set per worker chunk. Within a core, pairs
+/// whose plan resolves to the wavefront kernel are grouped into
+/// shape-compatible cohorts (lengths rounded up to
+/// [`COHORT_LEN_BUCKET`]) and swept by the **striped batch kernel**
+/// (`race_logic`'s inter-pair SIMD path): each SIMD lane of one
+/// anti-diagonal sweep is a *different pair*, with per-lane banding
+/// masks and per-lane early termination, lanes retiring independently —
+/// the software analogue of tiling many small alignments onto one Race
+/// Logic array. Stripes with fewer than [`STRIPE_MIN_PAIRS`] live lanes,
+/// and pairs that resolve to the rolling row, run per pair as before.
+///
+/// Every outcome is **identical** to what a sequential
+/// [`AlignEngine::align`] loop would produce — scores, cell counts and
+/// early-termination verdicts alike (property-tested).
 #[must_use]
 pub fn align_batch<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(PackedSeq<S>, PackedSeq<S>)],
 ) -> Vec<EngineOutcome> {
-    let mut out = vec![EngineOutcome::default(); pairs.len()];
-    if pairs.is_empty() {
-        return out;
-    }
-    let chunk = pairs.len().div_ceil(rayon::current_num_threads());
-    out.par_chunks_mut(chunk)
-        .enumerate()
-        .for_each(|(ci, out_chunk)| {
-            let mut engine = AlignEngine::new(*cfg);
-            let base = ci * chunk;
-            for (k, slot) in out_chunk.iter_mut().enumerate() {
-                let (q, p) = &pairs[base + k];
-                *slot = engine.align(q, p);
-            }
-        });
-    out
+    let refs: Vec<(&PackedSeq<S>, &PackedSeq<S>)> = pairs.iter().map(|(q, p)| (q, p)).collect();
+    crate::striped::align_batch_impl(cfg, &refs)
+}
+
+/// [`align_batch`] over borrowed operands — for callers whose pairs
+/// share sequences (e.g. one query against a whole database), where an
+/// owned pair slice would clone the shared side once per pair.
+#[must_use]
+pub fn align_batch_refs<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+) -> Vec<EngineOutcome> {
+    crate::striped::align_batch_impl(cfg, pairs)
 }
 
 #[cfg(test)]
@@ -896,15 +1293,121 @@ mod tests {
         assert_eq!(cfg.resolve_strategy(256, 256), KernelStrategy::Wavefront);
         assert_eq!(cfg.resolve_strategy(8, 256), KernelStrategy::RollingRow);
         assert_eq!(cfg.resolve_strategy(8, 8), KernelStrategy::RollingRow);
+        // Narrow bands no longer force the rolling row: they ride the
+        // compacted wavefront.
         let narrow = cfg.with_band(4);
-        assert_eq!(
-            narrow.resolve_strategy(256, 256),
-            KernelStrategy::RollingRow
-        );
+        assert_eq!(narrow.resolve_strategy(256, 256), KernelStrategy::Wavefront);
         let wide = cfg.with_band(64);
         assert_eq!(wide.resolve_strategy(256, 256), KernelStrategy::Wavefront);
         let pinned = cfg.with_band(4).with_strategy(KernelStrategy::Wavefront);
         assert_eq!(pinned.resolve_strategy(4, 4), KernelStrategy::Wavefront);
+    }
+
+    /// The full Auto decision table — strategy, layout, and lane width —
+    /// pinned in one place so re-tuning a threshold is a conscious,
+    /// single-constant change.
+    #[test]
+    fn auto_decision_table_is_pinned() {
+        let plan = |cfg: AlignConfig, n: usize, m: usize| cfg.resolve_kernel(n, m);
+        let base = AlignConfig::new(RaceWeights::fig4());
+
+        // Strategy: min(n, m) against WAVEFRONT_MIN_LEN, band-independent.
+        for (n, m, want) in [
+            (
+                WAVEFRONT_MIN_LEN,
+                WAVEFRONT_MIN_LEN,
+                KernelStrategy::Wavefront,
+            ),
+            (WAVEFRONT_MIN_LEN - 1, 256, KernelStrategy::RollingRow),
+            (256, WAVEFRONT_MIN_LEN - 1, KernelStrategy::RollingRow),
+            (256, 256, KernelStrategy::Wavefront),
+            (0, 0, KernelStrategy::RollingRow),
+        ] {
+            assert_eq!(plan(base, n, m).strategy, want, "{n}x{m}");
+            assert_eq!(
+                plan(base.with_band(4), n, m).strategy,
+                want,
+                "{n}x{m} band 4"
+            );
+        }
+
+        // Layout: bands below WAVEFRONT_MIN_BAND compact, others don't.
+        assert!(plan(base.with_band(WAVEFRONT_MIN_BAND - 1), 256, 256).compact);
+        assert!(!plan(base.with_band(WAVEFRONT_MIN_BAND), 256, 256).compact);
+        assert!(!plan(base, 256, 256).compact);
+        assert!(
+            !plan(base.with_band(1), 8, 8).compact,
+            "rolling row never compacts"
+        );
+
+        // Lane width: narrowest exact word. fig4's max finite weight is 1,
+        // so u16 needs n + m + 2 < u16::MAX / 2 = 32767.
+        assert_eq!(plan(base, 256, 256).lanes, LaneWidth::U16);
+        assert_eq!(plan(base, 16_382, 16_382).lanes, LaneWidth::U16);
+        assert_eq!(plan(base, 16_382, 16_383).lanes, LaneWidth::U32);
+        // ... and, per pair, only at shapes long enough for the flat
+        // vector loop (U16_MIN_LEN); stripes bypass this gate.
+        assert_eq!(plan(base, U16_MIN_LEN - 1, 256).lanes, LaneWidth::U32);
+        assert_eq!(plan(base, U16_MIN_LEN, U16_MIN_LEN).lanes, LaneWidth::U16);
+        assert_eq!(
+            exact_lane_width(
+                64,
+                64,
+                RawWeights::from_weights(RaceWeights::fig4()),
+                None,
+                LaneWidth::U16
+            ),
+            LaneWidth::U16,
+            "stripes take the ungated narrowest width"
+        );
+        let wide = AlignConfig::new(RaceWeights {
+            matched: 1 << 20,
+            mismatched: Some(1 << 20),
+            indel: 1 << 20,
+        });
+        assert_eq!(plan(wide, 256, 256).lanes, LaneWidth::U32);
+        let huge = AlignConfig::new(RaceWeights {
+            matched: 1 << 40,
+            mismatched: None,
+            indel: 1 << 40,
+        });
+        assert_eq!(plan(huge, 256, 256).lanes, LaneWidth::U64);
+
+        // The rolling row always reports its native u64.
+        assert_eq!(plan(base, 8, 8).lanes, LaneWidth::U64);
+
+        // A configured threshold must be representable in the lane word
+        // (the fused abandon rule compares in W), so it is part of the
+        // eligibility bound.
+        assert_eq!(
+            plan(base.with_threshold(32_766), 256, 256).lanes,
+            LaneWidth::U16
+        );
+        assert_eq!(
+            plan(base.with_threshold(32_767), 256, 256).lanes,
+            LaneWidth::U32,
+            "t ≥ u16::INF must exclude u16 lanes"
+        );
+        assert_eq!(
+            plan(base.with_threshold(u64::from(u32::MAX)), 256, 256).lanes,
+            LaneWidth::U64,
+            "t ≥ u32::INF must exclude u32 lanes"
+        );
+        assert_eq!(
+            base.with_threshold(32_767).resolve_stripe_lanes(64, 64),
+            LaneWidth::U32,
+            "stripes obey the threshold bound too"
+        );
+
+        // The lane floor clamps from below (A/B benchmarking knob).
+        assert_eq!(
+            plan(base.with_lane_floor(LaneWidth::U32), 256, 256).lanes,
+            LaneWidth::U32
+        );
+        assert_eq!(
+            plan(base.with_lane_floor(LaneWidth::U64), 256, 256).lanes,
+            LaneWidth::U64
+        );
     }
 
     #[test]
@@ -990,7 +1493,12 @@ mod tests {
             mismatched: Some(1 << 41),
             indel: 1 << 40,
         };
-        assert!(!fits_u32(16, 16, RawWeights::from_weights(w)));
+        assert!(!fits_word(
+            16,
+            16,
+            RawWeights::from_weights(w),
+            u64::from(<u32 as KernelWord>::INF)
+        ));
         let q = packed("GATTCGAGATTCGAGA");
         let p = packed("ACTGAGAACTGAGAAC");
         let rolling =

@@ -20,8 +20,8 @@
 //! | [`compiler`] | §3, Fig. 3 | weighted DAG → gate-level race circuit (OR/AND type), plus execution |
 //! | [`functional`] | §3 | fast event-driven race simulation (no gates), the race as a discrete-event process |
 //! | [`alignment`] | §4, Fig. 4 | the DNA global-alignment race array, gate-level and functional |
-//! | [`engine`] | throughput | the batched zero-allocation alignment engine: two fused kernels (rolling-row and SIMD wavefront, banding + early termination) over packed sequences, plus `align_batch` |
-//! | [`simd`] | throughput | portable lane operations (`u32`/`u64` kernel words) behind the wavefront kernel's inner loop |
+//! | [`engine`] | throughput | the batched zero-allocation alignment engine: fused kernels (rolling-row; SIMD wavefront in absolute and compacted-band layouts; banding + early termination) over packed sequences, plus `align_batch` with its inter-pair striped batch kernel |
+//! | [`simd`] | throughput | portable lane operations (`u16`/`u32`/`u64` kernel words) behind the wavefront kernels' inner loops |
 //! | [`wavefront`] | §4.3, Fig. 6 | per-cycle wavefront traces of the propagating signal |
 //! | [`gating`] | §4.3, Fig. 7 | data-dependent clock gating over m×m multi-cell regions |
 //! | [`score_transform`] | §5 | arbitrary score matrices (BLOSUM62…) → positive delay weights, and exact score recovery |
@@ -63,6 +63,7 @@ pub mod generalized;
 pub mod score_transform;
 pub mod semi_global;
 pub mod simd;
+mod striped;
 pub mod traceback;
 pub mod wavefront;
 

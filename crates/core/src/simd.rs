@@ -12,18 +12,24 @@
 //! intrinsics) stays green by construction. If/when `std::simd`
 //! stabilizes, only the bodies of the block helpers below need to change.
 //!
-//! Two kernel word types implement [`KernelWord`]:
+//! Three kernel word types implement [`KernelWord`]:
 //!
 //! - [`u64`] — the engine's native representation: `+∞` is `u64::MAX`
 //!   (the bit pattern of `rl_temporal::Time::NEVER`) and every add
 //!   saturates. Always correct, twice as many instructions per vector
 //!   register.
-//! - [`u32`] — the throughput representation, used when the caller
+//! - [`u32`] — the first throughput representation, used when the caller
 //!   proves no finite cell value can reach [`u32::INF`] (see
 //!   `race_logic::engine`'s eligibility bound). `+∞` is `u32::MAX / 2`,
 //!   adds are plain wrapping-free adds, and every stored cell is clamped
 //!   back to `INF`, so the invariant `value ≤ INF` is maintained without
 //!   saturating arithmetic. Twice the lanes per register.
+//! - [`u16`] — the short-read representation, same clamp discipline with
+//!   `+∞` at `u16::MAX / 2`: another 2× lane width when
+//!   `(n + m + 2) · max_finite_weight < 2¹⁵`, which holds for every
+//!   read-length workload up to ~16 kbp at unit weights. Like the `u32`
+//!   path it is exact, not an approximation — the eligibility bound
+//!   guarantees no finite cell value ever meets the clamp.
 //!
 //! The only compound operation kernels need is [`diag_update`]: one
 //! anti-diagonal segment of the min-plus alignment recurrence, reading
@@ -34,6 +40,13 @@
 /// Lanes per block. Eight `u32` words fill one AVX2 register; on
 /// narrower targets LLVM splits the block into several vector ops.
 pub const LANES: usize = 8;
+
+/// Shortest segment routed to the flat-loop form of [`diag_update`]
+/// for word types with [`KernelWord::FLAT_LOOP`]: the loop vectorizer's
+/// generated code only enters its vector body past roughly this trip
+/// count (below it, the flat form degrades to scalar, while the block
+/// form still uses vectors for every full [`LANES`] block).
+pub const FLAT_MIN_LEN: usize = 32;
 
 /// A fixed-width block of kernel words.
 pub type Block<W> = [W; LANES];
@@ -49,6 +62,14 @@ pub trait KernelWord: Copy + Ord + std::fmt::Debug {
     const INF: Self;
     /// The additive identity.
     const ZERO: Self;
+    /// `true` when [`diag_update`] should use the plain indexed loop
+    /// (LLVM's *loop* vectorizer) instead of the explicit
+    /// [`LANES`]-block form (the SLP vectorizer). Measured per word
+    /// type: the loop vectorizer produces the best `u16` code (clean
+    /// widening compare + `pminuw`), but refuses the `u8 → u32`
+    /// widening select, where the block form wins; `u64` has no vector
+    /// `min` on the x86-64-v2 floor either way.
+    const FLAT_LOOP: bool;
     /// Lowers a raw `u64` kernel value (where `u64::MAX` is `+∞`) into
     /// this representation, clamping to [`KernelWord::INF`].
     fn clamp_raw(raw: u64) -> Self;
@@ -64,6 +85,7 @@ pub trait KernelWord: Copy + Ord + std::fmt::Debug {
 impl KernelWord for u64 {
     const INF: Self = u64::MAX;
     const ZERO: Self = 0;
+    const FLAT_LOOP: bool = false;
 
     #[inline(always)]
     fn clamp_raw(raw: u64) -> Self {
@@ -84,6 +106,7 @@ impl KernelWord for u64 {
 impl KernelWord for u32 {
     const INF: Self = u32::MAX / 2;
     const ZERO: Self = 0;
+    const FLAT_LOOP: bool = false;
 
     #[inline(always)]
     fn clamp_raw(raw: u64) -> Self {
@@ -111,6 +134,41 @@ impl KernelWord for u32 {
     fn add_weight(self, weight: Self) -> Self {
         // Both operands ≤ INF = u32::MAX / 2, so the sum fits; the
         // caller clamps results back to INF before storing them.
+        self + weight
+    }
+}
+
+impl KernelWord for u16 {
+    const INF: Self = u16::MAX / 2;
+    const ZERO: Self = 0;
+    const FLAT_LOOP: bool = true;
+
+    #[inline(always)]
+    fn clamp_raw(raw: u64) -> Self {
+        if raw >= u64::from(Self::INF) {
+            Self::INF
+        } else {
+            // Cast is lossless: the value is below u16::MAX / 2.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                raw as u16
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        if self >= Self::INF {
+            u64::MAX
+        } else {
+            u64::from(self)
+        }
+    }
+
+    #[inline(always)]
+    fn add_weight(self, weight: Self) -> Self {
+        // Both operands ≤ INF = u16::MAX / 2, so the sum fits in u16;
+        // the caller clamps results back to INF before storing them.
         self + weight
     }
 }
@@ -212,6 +270,22 @@ pub fn diag_update<W: KernelWord>(
     debug_assert_eq!(p.len(), len);
 
     let mut seg_min = W::INF;
+    if W::FLAT_LOOP && len >= FLAT_MIN_LEN {
+        // Plain indexed loop: identical arithmetic, shaped for LLVM's
+        // loop vectorizer (which emits the clean widened compare +
+        // vector-min code for u16 that the SLP vectorizer misses).
+        for i in 0..len {
+            let dw = if q[i] == p[i] { matched } else { mismatched };
+            let cell = up[i]
+                .add_weight(indel)
+                .min(left[i].add_weight(indel))
+                .min(diag[i].add_weight(dw))
+                .min(W::INF);
+            out[i] = cell;
+            seg_min = seg_min.min(cell);
+        }
+        return seg_min;
+    }
     // Lane-wise running minimum: the horizontal reduction happens once
     // per call instead of once per block, keeping it off the hot path.
     let mut acc = [W::INF; LANES];
@@ -307,6 +381,54 @@ mod tests {
         let x = u32::INF.add_weight(u32::INF);
         assert!(x >= u32::INF);
         assert_eq!(x.min(u32::INF), u32::INF);
+    }
+
+    #[test]
+    fn u16_roundtrip_clamp_and_absorption() {
+        assert_eq!(u16::clamp_raw(0), 0);
+        assert_eq!(u16::clamp_raw(41), 41);
+        assert_eq!(u16::clamp_raw(u64::MAX), u16::INF);
+        assert_eq!(u16::clamp_raw(u64::from(u16::INF) + 7), u16::INF);
+        assert_eq!(u16::INF.to_raw(), u64::MAX);
+        assert_eq!(77_u16.to_raw(), 77);
+        // INF + INF must not wrap in u16, and min(·, INF) restores the
+        // invariant — the whole safety argument of the plain-add path.
+        let x = u16::INF.add_weight(u16::INF);
+        assert!(x >= u16::INF);
+        assert_eq!(x.min(u16::INF), u16::INF);
+    }
+
+    #[test]
+    fn diag_update_u16_matches_u64_in_domain() {
+        let len = 2 * LANES + 3;
+        let up: Vec<u64> = (0..len).map(|i| i as u64).collect();
+        let left: Vec<u64> = (0..len).map(|i| (i as u64 * 2) % 31).collect();
+        let diag: Vec<u64> = (0..len).map(|i| (i as u64 * 5) % 29).collect();
+        let q: Vec<u8> = (0..len).map(|i| (i % 4) as u8).collect();
+        let p: Vec<u8> = (0..len).map(|i| ((i * 3) % 4) as u8).collect();
+
+        let w64 = LaneWeights {
+            matched: 1_u64,
+            mismatched: 2,
+            indel: 1,
+        };
+        let mut out64 = vec![0_u64; len];
+        let m64 = diag_update(&up, &left, &diag, &q, &p, w64, &mut out64);
+
+        let up16: Vec<u16> = up.iter().map(|&x| u16::clamp_raw(x)).collect();
+        let left16: Vec<u16> = left.iter().map(|&x| u16::clamp_raw(x)).collect();
+        let diag16: Vec<u16> = diag.iter().map(|&x| u16::clamp_raw(x)).collect();
+        let w16 = LaneWeights {
+            matched: 1_u16,
+            mismatched: 2,
+            indel: 1,
+        };
+        let mut out16 = vec![0_u16; len];
+        let m16 = diag_update(&up16, &left16, &diag16, &q, &p, w16, &mut out16);
+
+        let raised: Vec<u64> = out16.iter().map(|&x| x.to_raw()).collect();
+        assert_eq!(raised, out64);
+        assert_eq!(m16.to_raw(), m64.to_raw());
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! The inter-pair **striped batch kernel** behind
+//! [`crate::engine::align_batch`].
+//!
+//! The Race Logic array's economics come from evaluating many
+//! independent race cells per clock. The per-pair wavefront kernel
+//! ([`crate::engine`]) captures the *intra*-pair version of that claim —
+//! the cells of one anti-diagonal are SIMD lanes. This module captures
+//! the *inter*-pair version: a cohort of shape-compatible pairs is
+//! transposed into interleaved code planes
+//! ([`rl_bio::StripedCodes`]) and swept by **one** wavefront in which
+//! each SIMD lane is a *different pair* — exactly how the hardware would
+//! tile many small alignments onto one array.
+//!
+//! Why this wins on short reads: the per-pair wavefront pays its
+//! per-diagonal overhead (range computation, buffer rotation, padding
+//! stores, the horizontal min reduction) once per pair per diagonal, and
+//! its blocks fray into scalar tails whenever a diagonal's span is not a
+//! multiple of the block width. The striped sweep pays the overhead once
+//! per *cohort* per diagonal, and its lane dimension is always exactly
+//! full — every vector op updates `L` pairs, no tails, contiguous loads
+//! from the planes by construction.
+//!
+//! Correctness is *mirroring*, not approximation: each lane runs the
+//! per-pair wavefront recurrence over its own `(n, m)` geometry —
+//! per-lane frontier minima (masked to the lane's own in-band cells),
+//! per-lane early-termination checks at the same diagonal the per-pair
+//! kernel checks, per-lane cell counting over the lane's own band
+//! ranges, and independent lane retirement at each lane's final
+//! diagonal. The batch outcome is therefore **byte-identical** to a
+//! sequential [`crate::engine::AlignEngine::align`] loop (scores, cell
+//! counts and verdicts alike — property-tested in `tests/engine.rs`).
+//! Padded cells (shorter lanes inside a shared sweep) are harmless by
+//! construction: a lane's real cells only ever read real cells (cell
+//! dependencies never increase indices), padding codes are sentinels
+//! outside every alphabet, and padded positions are masked out of the
+//! lane's minima and counts.
+
+use rayon::prelude::*;
+use rl_bio::{alphabet::Symbol, PackedSeq, StripedCodes};
+use rl_temporal::Time;
+
+use crate::engine::{
+    classify_outcome, diag_range, rotate_bufs, AlignConfig, EngineOutcome, KernelStrategy,
+    LaneWidth, RawWeights, COHORT_LEN_BUCKET, NEVER, STRIPE_MIN_PAIRS,
+};
+use crate::simd::{self, KernelWord, LaneWeights};
+
+/// Sentinel code for padded query-plane cells; outside every alphabet's
+/// code range, and distinct from [`P_PAD`] so a padded position can
+/// never read as a symbol match.
+const Q_PAD: u8 = 0xFE;
+/// Sentinel code for padded pattern-plane cells.
+const P_PAD: u8 = 0xFF;
+
+/// Lanes per stripe at each kernel word width: one stripe fills vector
+/// registers at every width (16 × u16 = 8 × u32 = 256 bits), so the
+/// narrower the word, the more pairs ride one sweep.
+const fn stripe_lanes(width: LaneWidth) -> usize {
+    match width {
+        LaneWidth::U16 => 16,
+        LaneWidth::U32 | LaneWidth::U64 => 8,
+    }
+}
+
+/// One schedulable unit of batch work: either a striped cohort sweep or
+/// a run of per-pair alignments. `members` are indices into the batch;
+/// `results` is filled by the worker and scattered back afterwards.
+struct WorkUnit {
+    striped: bool,
+    /// Stripe lane width, resolved **once** by the planner from the
+    /// cohort's bucket ceiling — `run_stripe` must not re-resolve from
+    /// the members' actual maxima, or a cohort near an eligibility
+    /// boundary would be chunked at one width and swept at another
+    /// (half-occupied stripes).
+    width: LaneWidth,
+    members: Vec<usize>,
+    results: Vec<EngineOutcome>,
+}
+
+/// The batch entry point behind [`crate::engine::align_batch`] and
+/// [`crate::engine::align_batch_refs`]. Operands are borrowed so
+/// shared-sequence batches (one query × many patterns) need no clones.
+pub(crate) fn align_batch_impl<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+) -> Vec<EngineOutcome> {
+    let mut out = vec![EngineOutcome::default(); pairs.len()];
+    if pairs.is_empty() {
+        return out;
+    }
+    let units = plan_units(cfg, pairs);
+    // Round-robin units across workers: the planner emits all striped
+    // units first and the (at most one-per-worker) per-pair units last,
+    // so contiguous chunking would pile every per-pair unit onto the
+    // final worker. Round-robin spreads both kinds.
+    let n_workers = rayon::current_num_threads().min(units.len()).max(1);
+    let mut worker_units: Vec<Vec<WorkUnit>> = (0..n_workers).map(|_| Vec::new()).collect();
+    for (i, unit) in units.into_iter().enumerate() {
+        worker_units[i % n_workers].push(unit);
+    }
+    worker_units.par_chunks_mut(1).for_each(|slot| {
+        let mut engine = crate::engine::AlignEngine::new(*cfg);
+        let mut scratch = StripeScratch::new();
+        for unit in &mut slot[0] {
+            unit.results
+                .resize(unit.members.len(), EngineOutcome::default());
+            if unit.striped {
+                run_stripe(
+                    cfg,
+                    pairs,
+                    &unit.members,
+                    unit.width,
+                    &mut scratch,
+                    &mut unit.results,
+                );
+            } else {
+                for (slot, &i) in unit.results.iter_mut().zip(&unit.members) {
+                    let (q, p) = &pairs[i];
+                    *slot = engine.align(q, p);
+                }
+            }
+        }
+    });
+    for unit in worker_units.iter().flatten() {
+        for (&i, &r) in unit.members.iter().zip(&unit.results) {
+            out[i] = r;
+        }
+    }
+    out
+}
+
+/// Groups the batch into work units: wavefront-resolved pairs are
+/// bucketed by `(⌈n⌉, ⌈m⌉)` cohort (lengths rounded up to
+/// [`COHORT_LEN_BUCKET`]), each cohort chunked into stripes of the
+/// width its ceiling shape admits; stripes with fewer than
+/// [`STRIPE_MIN_PAIRS`] members, and rolling-row pairs, fall back to
+/// per-pair runs split evenly across workers.
+fn plan_units<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+) -> Vec<WorkUnit> {
+    let bucket = |len: usize| len.div_ceil(COHORT_LEN_BUCKET) * COHORT_LEN_BUCKET;
+    let mut cohorts: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for (i, (q, p)) in pairs.iter().enumerate() {
+        let plan = cfg.resolve_kernel(q.len(), p.len());
+        if plan.strategy == KernelStrategy::Wavefront {
+            cohorts
+                .entry((bucket(q.len()), bucket(p.len())))
+                .or_default()
+                .push(i);
+        } else {
+            singles.push(i);
+        }
+    }
+    let mut units = Vec::new();
+    for ((bn, bm), members) in cohorts {
+        let width = cfg.resolve_stripe_lanes(bn, bm);
+        for chunk in members.chunks(stripe_lanes(width)) {
+            if chunk.len() >= STRIPE_MIN_PAIRS {
+                units.push(WorkUnit {
+                    striped: true,
+                    width,
+                    members: chunk.to_vec(),
+                    results: Vec::new(),
+                });
+            } else {
+                singles.extend_from_slice(chunk);
+            }
+        }
+    }
+    if !singles.is_empty() {
+        singles.sort_unstable();
+        let per = singles.len().div_ceil(rayon::current_num_threads());
+        for chunk in singles.chunks(per) {
+            units.push(WorkUnit {
+                striped: false,
+                width: LaneWidth::U64,
+                members: chunk.to_vec(),
+                results: Vec::new(),
+            });
+        }
+    }
+    units
+}
+
+/// Reusable per-worker scratch for striped sweeps: the two interleaved
+/// code planes, diagonal buffers at every lane width, and the per-stripe
+/// gather lists — so steady-state striping allocates nothing per stripe.
+struct StripeScratch<'p, S: Symbol> {
+    q_plane: StripedCodes,
+    p_plane: StripedCodes,
+    qs: Vec<&'p PackedSeq<S>>,
+    ps: Vec<&'p PackedSeq<S>>,
+    shapes: Vec<(usize, usize)>,
+    b16: [Vec<u16>; 3],
+    b32: [Vec<u32>; 3],
+    b64: [Vec<u64>; 3],
+}
+
+impl<S: Symbol> StripeScratch<'_, S> {
+    fn new() -> Self {
+        StripeScratch {
+            q_plane: StripedCodes::new(),
+            p_plane: StripedCodes::new(),
+            qs: Vec::new(),
+            ps: Vec::new(),
+            shapes: Vec::new(),
+            b16: Default::default(),
+            b32: Default::default(),
+            b64: Default::default(),
+        }
+    }
+}
+
+/// Packs one stripe's planes and dispatches the sweep at the stripe's
+/// lane width.
+fn run_stripe<'p, S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&'p PackedSeq<S>, &'p PackedSeq<S>)],
+    members: &[usize],
+    width: LaneWidth,
+    scratch: &mut StripeScratch<'p, S>,
+    results: &mut [EngineOutcome],
+) {
+    scratch.qs.clear();
+    scratch.ps.clear();
+    scratch.shapes.clear();
+    for &i in members {
+        let (q, p) = pairs[i];
+        scratch.qs.push(q);
+        scratch.ps.push(p);
+        scratch.shapes.push((q.len(), p.len()));
+    }
+    let nn = scratch.qs.iter().map(|q| q.len()).max().unwrap_or(0);
+    let mm = scratch.ps.iter().map(|p| p.len()).max().unwrap_or(0);
+    let lanes = stripe_lanes(width);
+    debug_assert!(members.len() <= lanes, "stripe wider than its lane count");
+    scratch.q_plane.pack_forward(&scratch.qs, lanes, nn, Q_PAD);
+    scratch.p_plane.pack_reversed(&scratch.ps, lanes, mm, P_PAD);
+    let w = RawWeights::from_weights(cfg.weights);
+    match width {
+        LaneWidth::U16 => stripe_sweep::<u16, 16>(
+            &scratch.shapes,
+            scratch.q_plane.as_slice(),
+            scratch.p_plane.as_slice(),
+            (nn, mm),
+            w,
+            cfg.band,
+            cfg.threshold,
+            &mut scratch.b16,
+            results,
+        ),
+        LaneWidth::U32 => stripe_sweep::<u32, 8>(
+            &scratch.shapes,
+            scratch.q_plane.as_slice(),
+            scratch.p_plane.as_slice(),
+            (nn, mm),
+            w,
+            cfg.band,
+            cfg.threshold,
+            &mut scratch.b32,
+            results,
+        ),
+        LaneWidth::U64 => stripe_sweep::<u64, 8>(
+            &scratch.shapes,
+            scratch.q_plane.as_slice(),
+            scratch.p_plane.as_slice(),
+            (nn, mm),
+            w,
+            cfg.band,
+            cfg.threshold,
+            &mut scratch.b64,
+            results,
+        ),
+    }
+}
+
+/// One striped anti-diagonal sweep over a cohort: lane `l` of every
+/// vector op is pair `l`. The sweep runs the **union** geometry (the
+/// ceiling shape `nn × mm` under the shared band); each lane mirrors
+/// the per-pair wavefront kernel over its own `(n_l, m_l)` via masks:
+///
+/// - **Values**: the diagonal buffers hold `(nn + 1) × L` words,
+///   row-major by absolute row `i` with lanes interleaved, so a lane's
+///   cell `(i, j)` neighbours sit at the same lane offset one row over —
+///   the same three-buffer rotation as the per-pair kernel, vectorized
+///   across pairs instead of rows.
+/// - **Minima**: a lane's frontier minimum includes exactly its own
+///   in-band cells (`i ≤ n_l ∧ d − i ≤ m_l`, band shared); padded and
+///   out-of-shape cells contribute `+∞`.
+/// - **Early termination**: before each diagonal `d`, every live lane
+///   applies the per-pair abandon rule to its own two-diagonal minima
+///   and retires independently (the stripe stops early only when *all*
+///   lanes have retired).
+/// - **Retirement**: at `d = n_l + m_l` the lane's sink cell is read
+///   from the current diagonal and the lane classifies exactly like the
+///   per-pair kernel's epilogue.
+#[allow(clippy::too_many_arguments)]
+fn stripe_sweep<W: KernelWord, const L: usize>(
+    shapes: &[(usize, usize)],
+    q_plane: &[u8],
+    p_plane: &[u8],
+    (nn, mm): (usize, usize),
+    w: RawWeights,
+    band: Option<usize>,
+    threshold: Option<u64>,
+    bufs: &mut [Vec<W>; 3],
+    out: &mut [EngineOutcome],
+) {
+    let lanes = shapes.len();
+    assert!(lanes <= L && lanes == out.len());
+    let lw: LaneWeights<W> = w.lanes();
+    let t_w = threshold.map(W::clamp_raw);
+    for b in bufs.iter_mut() {
+        b.clear();
+        b.resize((nn + 1) * L, W::INF);
+    }
+
+    // Per-lane shape masks as u32 (vectorizes the validity compares).
+    let mut n_arr = [0_u32; L];
+    let mut m_arr = [0_u32; L];
+    for (l, &(n, m)) in shapes.iter().enumerate() {
+        n_arr[l] = u32::try_from(n).expect("sequence fits u32");
+        m_arr[l] = u32::try_from(m).expect("sequence fits u32");
+    }
+    // Inactive lanes keep (0, 0) but start retired.
+
+    // Diagonal 0: the root cell (0, 0), real for every pair.
+    bufs[0][..L].fill(W::ZERO);
+    let mut min1 = [W::ZERO; L]; // per-lane min over diagonal d − 1
+    let mut min2 = [W::INF; L]; // per-lane min over diagonal d − 2
+    let mut cells = [1_u64; L];
+    let mut done = [true; L];
+    let mut live = 0_usize;
+    for (l, &(n, m)) in shapes.iter().enumerate() {
+        if n + m == 0 {
+            // Root-only pair: the per-pair kernel's loop body never runs.
+            out[l] = classify_outcome(0, threshold, 1);
+        } else {
+            done[l] = false;
+            live += 1;
+        }
+    }
+
+    for d in 1..=(nn + mm) {
+        if live == 0 {
+            break; // every lane retired — nothing left to sweep
+        }
+        // Per-lane abandon check, before computing diagonal d (the
+        // per-pair kernel's order).
+        if let Some(t) = t_w {
+            for l in 0..lanes {
+                if !done[l] && min1[l].min(min2[l]) > t {
+                    out[l] = EngineOutcome {
+                        score: Time::NEVER,
+                        cells_computed: cells[l],
+                        early_terminated: true,
+                    };
+                    done[l] = true;
+                    live -= 1;
+                }
+            }
+            if live == 0 {
+                break;
+            }
+        }
+        let (cur, d1, d2) = rotate_bufs(bufs, d);
+        let (lo, hi) = diag_range(d, nn, mm, band);
+        if lo > hi {
+            // Band-empty union diagonal (empty for every lane, since
+            // lane ranges are subsets): reset the cells later diagonals
+            // may read, exactly like the per-pair kernel.
+            let clo = lo.saturating_sub(1).min(nn);
+            let chi = (hi + 1).min(nn);
+            if clo <= chi {
+                cur[clo * L..(chi + 1) * L].fill(W::INF);
+            }
+            min2 = min1;
+            min1 = [W::INF; L];
+            // A lane whose final diagonal this was still retires: its
+            // sink range is empty too, so its score is the per-pair
+            // kernel's band-excluded-sink verdict.
+            for (l, &(n, m)) in shapes.iter().enumerate() {
+                if !done[l] && d == n + m {
+                    out[l] = classify_outcome(NEVER, threshold, cells[l]);
+                    done[l] = true;
+                    live -= 1;
+                }
+            }
+            continue;
+        }
+        // One-row +∞ padding around the written span.
+        if lo > 0 {
+            cur[(lo - 1) * L..lo * L].fill(W::INF);
+        }
+        if hi < nn {
+            cur[(hi + 1) * L..(hi + 2) * L].fill(W::INF);
+        }
+
+        let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        if lo == 0 {
+            cur[..L].fill(boundary); // cell (0, d) — real where d ≤ m_l
+        }
+        if hi == d {
+            cur[d * L..(d + 1) * L].fill(boundary); // cell (d, 0) — real where d ≤ n_l
+        }
+        // Interior rows: lane-interleaved storage makes the whole
+        // `(rows × lanes)` interior one *flat contiguous* recurrence in
+        // `t = i·L + l` — every operand of cell `t` sits at a fixed
+        // offset (`up`/`diag`/`q` at `t − L`, `left` at `t`, `p` at
+        // `t + (mm − d)·L`), so the interior is literally one
+        // [`crate::simd::diag_update`] call over `(ihi − ilo + 1)·L`
+        // lanes, with no per-row temporaries and no tails.
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        if ilo <= ihi {
+            let (a, b) = (ilo * L, (ihi + 1) * L);
+            simd::diag_update(
+                &d1[a - L..b - L],                                    // up: (i − 1, j)
+                &d1[a..b],                                            // left: (i, j − 1)
+                &d2[a - L..b - L],                                    // diag: (i − 1, j − 1)
+                &q_plane[a - L..b - L],                               // q[i − 1], lane-major
+                &p_plane[(mm + ilo - d) * L..(mm + ihi + 1 - d) * L], // p[j − 1], right-aligned reversed
+                lw,
+                &mut cur[a..b],
+            );
+        }
+
+        // Per-lane frontier minima are only consumed by the abandon
+        // rule; without a threshold the whole accumulation is skipped.
+        if t_w.is_some() {
+            let mut dmin = [W::INF; L];
+            let du = u32::try_from(d).expect("diagonal fits u32");
+            if lo == 0 {
+                for l in 0..L {
+                    if du <= m_arr[l] {
+                        dmin[l] = dmin[l].min(boundary);
+                    }
+                }
+            }
+            if hi == d {
+                for l in 0..L {
+                    if du <= n_arr[l] {
+                        dmin[l] = dmin[l].min(boundary);
+                    }
+                }
+            }
+            // Accumulation over the interior: only a lane's own in-band
+            // cells count (i ≤ n_l and j = d − i ≤ m_l; the band test is
+            // shared and already satisfied by every swept row). Rows
+            // valid for *every live* lane — all of them, for same-shape
+            // cohorts — take a branch-free vector min; only the edge
+            // rows of ragged cohorts pay the per-lane mask. (Retired
+            // lanes may accumulate junk in the core region; their
+            // minima are never read again.)
+            let mut core_lo = ilo;
+            let mut core_hi = ihi;
+            for (l, &(n, m)) in shapes.iter().enumerate() {
+                if !done[l] {
+                    core_lo = core_lo.max(d.saturating_sub(m));
+                    core_hi = core_hi.min(n);
+                }
+            }
+            let masked = |rows: std::ops::RangeInclusive<usize>, dmin: &mut [W; L]| {
+                for i in rows {
+                    let block = &cur[i * L..(i + 1) * L];
+                    let iu = i as u32;
+                    let ju = (d - i) as u32;
+                    for l in 0..L {
+                        let v = if iu <= n_arr[l] && ju <= m_arr[l] {
+                            block[l]
+                        } else {
+                            W::INF
+                        };
+                        dmin[l] = dmin[l].min(v);
+                    }
+                }
+            };
+            if core_lo <= core_hi {
+                masked(ilo..=core_lo.saturating_sub(1).min(ihi), &mut dmin);
+                for i in core_lo..=core_hi {
+                    let block = &cur[i * L..(i + 1) * L];
+                    for l in 0..L {
+                        dmin[l] = dmin[l].min(block[l]);
+                    }
+                }
+                masked((core_hi + 1).max(ilo)..=ihi, &mut dmin);
+            } else {
+                masked(ilo..=ihi, &mut dmin);
+            }
+            min2 = min1;
+            min1 = dmin;
+        }
+
+        // Per-lane cell accounting over the lane's *own* band range.
+        for (l, &(n, m)) in shapes.iter().enumerate() {
+            if !done[l] && d <= n + m {
+                let (llo, lhi) = diag_range(d, n, m, band);
+                if llo <= lhi {
+                    cells[l] += (lhi - llo + 1) as u64;
+                }
+            }
+        }
+
+        // Retire lanes whose final diagonal this was.
+        for (l, &(n, m)) in shapes.iter().enumerate() {
+            if !done[l] && d == n + m {
+                let (flo, fhi) = diag_range(d, n, m, band);
+                let raw = if flo <= fhi {
+                    cur[n * L + l].to_raw()
+                } else {
+                    NEVER // the band excludes the lane's sink cell
+                };
+                out[l] = classify_outcome(raw, threshold, cells[l]);
+                done[l] = true;
+                live -= 1;
+            }
+        }
+    }
+    debug_assert_eq!(live, 0, "every lane must retire by the last diagonal");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::RaceWeights;
+    use crate::engine::{align_batch, AlignEngine};
+    use rl_bio::alphabet::Dna;
+    use rl_bio::Seq;
+
+    fn pack(s: &Seq<Dna>) -> PackedSeq<Dna> {
+        PackedSeq::from_seq(s)
+    }
+
+    fn random_pairs(
+        count: usize,
+        len_lo: usize,
+        len_hi: usize,
+    ) -> Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> {
+        let mut rng = rl_dag::generate::seeded_rng(0x57121);
+        (0..count)
+            .map(|i| {
+                let span = len_hi - len_lo;
+                let ln = len_lo + if span == 0 { 0 } else { (i * 7) % (span + 1) };
+                let lm = len_lo + if span == 0 { 0 } else { (i * 11) % (span + 1) };
+                (
+                    pack(&Seq::random(&mut rng, ln)),
+                    pack(&Seq::random(&mut rng, lm)),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_batch_matches_sequential(
+        cfg: &AlignConfig,
+        pairs: &[(PackedSeq<Dna>, PackedSeq<Dna>)],
+    ) {
+        let batch = align_batch(cfg, pairs);
+        let mut engine = AlignEngine::new(*cfg);
+        for (i, (q, p)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], engine.align(q, p), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn striped_full_stripe_matches_sequential() {
+        let pairs = random_pairs(16, 64, 64);
+        assert_batch_matches_sequential(&AlignConfig::new(RaceWeights::fig4()), &pairs);
+    }
+
+    #[test]
+    fn striped_mixed_lengths_match_sequential() {
+        // Lengths spread over several cohorts, ragged stripes included.
+        let pairs = random_pairs(37, 32, 80);
+        for w in [
+            RaceWeights::fig4(),
+            RaceWeights::fig2b(),
+            RaceWeights::levenshtein(),
+        ] {
+            assert_batch_matches_sequential(&AlignConfig::new(w), &pairs);
+        }
+    }
+
+    #[test]
+    fn striped_banded_and_thresholded_match_sequential() {
+        let pairs = random_pairs(21, 48, 64);
+        let w = RaceWeights::fig4();
+        for cfg in [
+            AlignConfig::new(w).with_band(4),
+            AlignConfig::new(w).with_band(12),
+            AlignConfig::new(w).with_threshold(20),
+            AlignConfig::new(w).with_band(6).with_threshold(30),
+            AlignConfig::new(w).with_threshold(0),
+        ] {
+            assert_batch_matches_sequential(&cfg, &pairs);
+        }
+    }
+
+    #[test]
+    fn striped_u64_width_matches_sequential() {
+        // Huge weights force the u64 stripe.
+        let w = RaceWeights {
+            matched: 1 << 40,
+            mismatched: Some(1 << 41),
+            indel: 1 << 40,
+        };
+        let pairs = random_pairs(9, 32, 40);
+        assert_batch_matches_sequential(&AlignConfig::new(w), &pairs);
+    }
+
+    fn ref_pairs(
+        pairs: &[(PackedSeq<Dna>, PackedSeq<Dna>)],
+    ) -> Vec<(&PackedSeq<Dna>, &PackedSeq<Dna>)> {
+        pairs.iter().map(|(q, p)| (q, p)).collect()
+    }
+
+    #[test]
+    fn small_cohorts_fall_back_to_per_pair() {
+        // Three same-shape pairs < STRIPE_MIN_PAIRS: planner must not stripe.
+        let pairs = random_pairs(STRIPE_MIN_PAIRS - 1, 64, 64);
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let units = plan_units(&cfg, &ref_pairs(&pairs));
+        assert!(units.iter().all(|u| !u.striped));
+        assert_batch_matches_sequential(&cfg, &pairs);
+    }
+
+    #[test]
+    fn planner_buckets_and_stripes() {
+        // 20 pairs of one shape at u16 width → one full 16-lane stripe +
+        // 4 leftovers (≥ STRIPE_MIN_PAIRS → second stripe).
+        let pairs = random_pairs(20, 64, 64);
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let units = plan_units(&cfg, &ref_pairs(&pairs));
+        let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
+        assert_eq!(striped.len(), 2);
+        assert_eq!(striped[0].members.len(), 16);
+        assert_eq!(striped[1].members.len(), 4);
+        // Short pairs resolve to the rolling row and never stripe.
+        let short = random_pairs(16, 8, 8);
+        assert!(plan_units(&cfg, &ref_pairs(&short))
+            .iter()
+            .all(|u| !u.striped));
+    }
+
+    #[test]
+    fn huge_threshold_stays_byte_identical() {
+        // Review regression: a threshold at/above a narrow word's +∞
+        // sentinel must push lane-width eligibility wider, or the
+        // clamped abandon comparison `min > INF` could never fire and
+        // the striped sweep would abandon later than the sequential
+        // engine (diverging cells_computed). The leading mismatch under
+        // fig4 (mismatch = ∞) with band 0 makes every frontier infinite
+        // almost immediately, so an exact kernel abandons right away.
+        let q: Seq<Dna> = ("C".to_string() + &"A".repeat(63)).parse().unwrap();
+        let p: Seq<Dna> = "A".repeat(64).parse().unwrap();
+        let pairs: Vec<_> = (0..8).map(|_| (pack(&q), pack(&p))).collect();
+        for t in [32_766, 32_767, 40_000, u64::from(u32::MAX)] {
+            let cfg = AlignConfig::new(RaceWeights::fig4())
+                .with_band(0)
+                .with_threshold(t);
+            assert_batch_matches_sequential(&cfg, &pairs);
+            let out = align_batch(&cfg, &pairs);
+            assert!(out[0].early_terminated, "t = {t}");
+            assert!(
+                out[0].cells_computed < 10,
+                "abandon must fire within the first diagonals (t = {t}, cells = {})",
+                out[0].cells_computed
+            );
+        }
+    }
+
+    #[test]
+    fn striped_handles_disconnecting_band() {
+        // |n − m| > band for some lanes: their sinks are unreachable.
+        let mut rng = rl_dag::generate::seeded_rng(3);
+        let pairs: Vec<_> = (0..8)
+            .map(|i| {
+                (
+                    pack(&Seq::random(&mut rng, 64)),
+                    pack(&Seq::random(&mut rng, 40 + 3 * i)),
+                )
+            })
+            .collect();
+        let w = RaceWeights::fig4();
+        for cfg in [
+            AlignConfig::new(w).with_band(5),
+            AlignConfig::new(w).with_band(5).with_threshold(100),
+        ] {
+            assert_batch_matches_sequential(&cfg, &pairs);
+        }
+    }
+}

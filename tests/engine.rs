@@ -369,3 +369,206 @@ fn auto_boundary_shapes_agree() {
         assert_eq!(auto, rolling, "auto disagrees at {n}x{m}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Striped (inter-pair SIMD) batch kernel, u16 lanes, compacted bands.
+// ---------------------------------------------------------------------------
+
+use race_logic::engine::{EngineOutcome, LaneWidth, WAVEFRONT_MIN_BAND};
+
+proptest! {
+    /// The striped batch kernel is byte-identical to the sequential
+    /// engine loop — scores, cell counts AND early-termination /
+    /// threshold verdicts — across mixed-length cohorts (every pair is
+    /// wavefront-eligible, so the batch actually stripes), with and
+    /// without bands and thresholds.
+    #[test]
+    fn striped_batch_equals_sequential(
+        seqs in collection::vec("[ACGT]{32,72}", 1..24),
+        band in 3_usize..16,
+        t in 10_u64..90
+    ) {
+        let packed: Vec<PackedSeq<Dna>> = seqs
+            .iter()
+            .map(|s| PackedSeq::from_seq(&s.parse::<Seq<Dna>>().unwrap()))
+            .collect();
+        // Ragged pairs: each sequence against its cyclic successor, so
+        // cohorts mix shapes and stripes pad to their bucket ceiling.
+        let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..packed.len())
+            .map(|i| (packed[i].clone(), packed[(i + 1) % packed.len()].clone()))
+            .collect();
+        let w = RaceWeights::fig4();
+        for cfg in [
+            AlignConfig::new(w),
+            AlignConfig::new(w).with_band(band),
+            AlignConfig::new(w).with_threshold(t),
+            AlignConfig::new(w).with_band(band).with_threshold(t),
+        ] {
+            let batch = align_batch(&cfg, &pairs);
+            let mut engine = AlignEngine::new(cfg);
+            let sequential: Vec<EngineOutcome> =
+                pairs.iter().map(|(q, p)| engine.align(q, p)).collect();
+            prop_assert_eq!(&batch, &sequential);
+        }
+    }
+
+    /// Verdict mirror under aggressive thresholds: abandoning lanes
+    /// retire at the same diagonal as the per-pair kernel (same cell
+    /// count), and classification is exact in both paths.
+    #[test]
+    fn striped_batch_verdicts_are_exact(
+        seqs in collection::vec("[ACGT]{32,48}", 4..12),
+        t in 0_u64..40
+    ) {
+        let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
+            .iter()
+            .map(|s| {
+                let q: Seq<Dna> = s.parse().unwrap();
+                let p: Seq<Dna> = "GATTCGAGATTCGAGATTCGAGATTCGAGATTCGA".parse().unwrap();
+                (PackedSeq::from_seq(&q), PackedSeq::from_seq(&p))
+            })
+            .collect();
+        let w = RaceWeights::fig4();
+        let cfg = AlignConfig::new(w).with_threshold(t);
+        let batch = align_batch(&cfg, &pairs);
+        let mut engine = AlignEngine::new(cfg);
+        for (i, (q, p)) in pairs.iter().enumerate() {
+            let seq_out = engine.align(q, p);
+            prop_assert_eq!(batch[i], seq_out);
+            // And the verdict itself is the exact classification.
+            let truth = engine_score(
+                AlignConfig::new(w),
+                &q.to_seq(),
+                &p.to_seq(),
+            ).score.cycles().unwrap();
+            prop_assert_eq!(batch[i].early_terminated, truth > t);
+        }
+    }
+}
+
+/// Deterministic regression straddling the u16/u32 lane-eligibility
+/// boundary: weights scaled so the eligibility bound
+/// `(n + m + 2) · max_weight < u16::MAX / 2` flips between two adjacent
+/// weight values at a fixed u16-profitable shape, and between adjacent
+/// shapes at a fixed weight. Outcomes must agree with the rolling row
+/// on both sides of every flip.
+#[test]
+fn u16_u32_eligibility_boundary_regression() {
+    let bases = ['A', 'C', 'G', 'T'];
+    let make = |len: usize, phase: usize| -> Seq<Dna> {
+        (0..len)
+            .map(|i| bases[(i * 5 + phase) % 4])
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    // At 150 × 150 (≥ U16_MIN_LEN): (302) · 108 = 32616 < 32767 ⇒ u16,
+    // (302) · 109 = 32918 ⇒ u32.
+    for (weight, want) in [(108, LaneWidth::U16), (109, LaneWidth::U32)] {
+        let w = RaceWeights {
+            matched: weight,
+            mismatched: Some(weight),
+            indel: weight,
+        };
+        let cfg = AlignConfig::new(w);
+        assert_eq!(cfg.resolve_kernel(150, 150).lanes, want, "weight {weight}");
+        let (q, p) = (make(150, 0), make(150, 1));
+        let wave = engine_score(cfg.with_strategy(KernelStrategy::Wavefront), &q, &p);
+        let rolling = engine_score(cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
+        assert_eq!(wave, rolling, "weight {weight}");
+    }
+    // At weight 100 the flip sits at n + m = 325: shapes 160+164 (u16)
+    // and 160+166 (u32) straddle it.
+    let w = RaceWeights {
+        matched: 100,
+        mismatched: Some(100),
+        indel: 100,
+    };
+    let cfg = AlignConfig::new(w);
+    for (m, want) in [(164, LaneWidth::U16), (166, LaneWidth::U32)] {
+        assert_eq!(cfg.resolve_kernel(160, m).lanes, want, "160x{m}");
+        let (q, p) = (make(160, 0), make(m, 3));
+        let wave = engine_score(cfg.with_strategy(KernelStrategy::Wavefront), &q, &p);
+        let rolling = engine_score(cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
+        assert_eq!(wave, rolling, "160x{m}");
+    }
+}
+
+/// Deterministic regression for the band-compaction edge: every band
+/// half-width from 0 through just past the compaction threshold
+/// (`WAVEFRONT_MIN_BAND`), on shapes that exercise empty diagonals,
+/// alternating spans (band 0/1 parity) and the compact buffers' guard
+/// cells. The compacted wavefront must match the rolling row in score,
+/// cell count and verdict, and `Auto` must route the narrow bands to
+/// the wavefront.
+#[test]
+fn band_compaction_edge_regression() {
+    let w = RaceWeights::fig4();
+    let bases = ['A', 'C', 'G', 'T'];
+    let make = |len: usize, phase: usize| -> Seq<Dna> {
+        (0..len)
+            .map(|i| bases[(i * 3 + phase) % 4])
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    for band in 0..=(WAVEFRONT_MIN_BAND + 1) {
+        for (n, m) in [(40, 40), (40, 37), (33, 48), (64, 64), (35, 32)] {
+            let (q, p) = (make(n, 0), make(m, 2));
+            let cfg = AlignConfig::new(w).with_band(band);
+            assert_eq!(
+                cfg.resolve_strategy(n, m),
+                KernelStrategy::Wavefront,
+                "Auto must keep banded long pairs on the wavefront"
+            );
+            assert_eq!(
+                cfg.resolve_kernel(n, m).compact,
+                band < WAVEFRONT_MIN_BAND,
+                "compaction routing at band {band}"
+            );
+            let wave = engine_score(cfg.with_strategy(KernelStrategy::Wavefront), &q, &p);
+            let rolling = engine_score(cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
+            assert_eq!(wave.score, rolling.score, "band {band}, {n}x{m}");
+            assert_eq!(
+                wave.cells_computed, rolling.cells_computed,
+                "band {band}, {n}x{m}"
+            );
+            assert_eq!(
+                wave.early_terminated, rolling.early_terminated,
+                "band {band}, {n}x{m}"
+            );
+            // And against the standalone banded reference.
+            let reference = banded_race(&q, &p, w, band);
+            assert_eq!(wave.score, reference.score, "band {band}, {n}x{m}");
+            // Thresholded + banded, same edge.
+            let t_cfg = cfg.with_threshold(12);
+            let wave_t = engine_score(t_cfg.with_strategy(KernelStrategy::Wavefront), &q, &p);
+            let roll_t = engine_score(t_cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
+            assert_eq!(
+                wave_t.score, roll_t.score,
+                "banded+threshold {band}, {n}x{m}"
+            );
+            assert_eq!(
+                wave_t.early_terminated, roll_t.early_terminated,
+                "banded+threshold {band}, {n}x{m}"
+            );
+        }
+    }
+}
+
+/// The lane floor is purely an A/B knob: every width computes the same
+/// outcome.
+#[test]
+fn lane_floor_does_not_change_outcomes() {
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let q = Seq::<Dna>::random(&mut rng, 100);
+    let p = Seq::<Dna>::random(&mut rng, 90);
+    let base = AlignConfig::new(RaceWeights::fig2b());
+    let reference = engine_score(base, &q, &p);
+    for floor in [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64] {
+        let out = engine_score(base.with_lane_floor(floor), &q, &p);
+        assert_eq!(out, reference, "{floor}");
+    }
+}
