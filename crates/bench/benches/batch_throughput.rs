@@ -80,5 +80,50 @@ fn bench_batch_throughput(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_batch_throughput);
+/// The ragged counterpart: log-normal lengths (the `engine_baseline
+/// --ragged` construction), length-aware packer vs the PR 3
+/// exact-bucket ruler at equal thread count.
+fn bench_ragged_packers(c: &mut Criterion) {
+    use race_logic::engine::PackerPolicy;
+    use rand::Rng;
+    use rl_bench::lognormal_len;
+
+    let mut rng = seeded_rng(0xBA7C4);
+    let lens: Vec<usize> = (0..PAIRS)
+        .map(|_| lognormal_len(&mut rng, 96.0, 1.2, 8, 768))
+        .collect();
+    let mut rng = seeded_rng(0xBA7C4 ^ 0x5EED);
+    let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = lens
+        .iter()
+        .map(|&n| {
+            let m = ((n as f64) * rng.random_range(0.85..=1.15))
+                .round()
+                .max(1.0) as usize;
+            (
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, n)),
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, m)),
+            )
+        })
+        .collect();
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+
+    let mut group = c.benchmark_group(format!(
+        "batch_throughput/{PAIRS}x~96bp-lognormal/threads={}",
+        rayon::current_num_threads()
+    ));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PAIRS as u64));
+    for (name, packer) in [
+        ("length_aware", PackerPolicy::LengthAware),
+        ("exact_bucket", PackerPolicy::ExactBucket),
+    ] {
+        let cfg = cfg.with_packer(packer);
+        group.bench_function(format!("engine_align_batch/{name}"), |b| {
+            b.iter(|| black_box(align_batch(&cfg, &packed)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput, bench_ragged_packers);
 criterion_main!(benches);

@@ -8,24 +8,40 @@
 //! - `run_functional_loop` — the allocating per-pair full-grid baseline
 //!   (same rolling-row kernel, but a fresh `(N+1)·(M+1)` grid per pair).
 //! - `engine_rolling_row` — zero-alloc rolling row.
-//! - `engine_wavefront_u32` — the PR 2 anti-diagonal SIMD kernel with
-//!   the lane floor pinned at `u32`: the pre-`u16` baseline, kept so the
-//!   lane-width and striping wins are measured against a fixed ruler.
-//! - `engine_wavefront` — the wavefront kernel at its auto-selected
-//!   (narrowest exact) lane width, compacted layout on narrow bands.
+//! - `engine_wavefront` — the per-pair anti-diagonal SIMD kernel at its
+//!   auto-selected (narrowest profitable) lane width, compacted layout
+//!   on narrow bands.
+//! - `engine_wavefront_u32` — the wavefront with the lane floor pinned
+//!   at `u32`, emitted when auto picks a different width: the fixed
+//!   ruler for the lane-width win (and, since the u32 kernel moved to
+//!   its flat-loop form, the entry that pins that codegen choice).
 //! - `engine_align_batch` — `align_batch`: the inter-pair **striped
-//!   batch kernel** (each SIMD lane a different pair) plus rayon across
-//!   cores.
+//!   batch kernel** (each SIMD lane a different pair) under the
+//!   length-aware packer, plus rayon across cores.
+//! - `engine_align_batch_exact_bucket` — the same batch under the
+//!   legacy PR 3 exact-bucket planner: the packer ruler (only emitted
+//!   on ragged workloads, where the planners differ).
+//! - `engine_align_batch_mt` — `align_batch` with `RAYON_NUM_THREADS`
+//!   forced to 4: rayon scaling on record (honest on a 1-core host —
+//!   compare against `host_cores`).
 //!
-//! Run with no arguments to reproduce the committed three-workload sweep
-//! (long reads, short reads, narrow band) and rewrite
+//! Run with no arguments to reproduce the committed sweep (long reads,
+//! short reads, narrow band, ragged log-normal, top-k scan) and rewrite
 //! `BENCH_engine.json`. Flags narrow the run to one configuration and
 //! print its JSON to stdout without touching the committed file:
 //!
 //! ```text
-//! engine_baseline [--pairs N] [--length N] [--band K]
+//! engine_baseline [--pairs N] [--length N] [--band K] [--ragged]
+//!                 [--occupancy] [--scan K]
 //!                 [--strategy rolling-row|wavefront|batch|all]
 //! ```
+//!
+//! `--ragged` draws pair lengths from a seed-pinned log-normal
+//! distribution (median = `--length`, σ = [`RAGGED_SIGMA`] = 1.2, pattern jittered ±15%)
+//! instead of fixed lengths; `--occupancy` adds the batch planner's
+//! stripe occupancy and striped-vs-fallback counts (for both packer
+//! policies) to the JSON; `--scan K` benchmarks the threshold-ratcheted
+//! top-k database scan against the unratcheted batch scan.
 //!
 //! The workload is deterministic (seeded), so numbers move only when the
 //! code or the machine does.
@@ -34,12 +50,26 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use race_logic::alignment::{AlignmentRace, RaceWeights};
-use race_logic::engine::{align_batch, AlignConfig, AlignEngine, KernelStrategy, LaneWidth};
+use race_logic::early_termination::scan_packed_topk;
+use race_logic::engine::{
+    align_batch, batch_plan_stats, AlignConfig, AlignEngine, BatchPlanStats, KernelStrategy,
+    LaneWidth, PackerPolicy,
+};
+use rl_bench::lognormal_len;
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
 use rl_dag::generate::seeded_rng;
 
 /// Timed repetitions per measurement; the median is reported.
 const REPS: usize = 5;
+
+/// Seed of every committed workload.
+const SEED: u64 = 0xBA7C4;
+
+/// σ of the ragged workload's log-normal length distribution: wide
+/// enough that a 1000-pair batch leaves most exact 16-rounded `(n, m)`
+/// buckets below `STRIPE_MIN_PAIRS` — the regime the length-aware
+/// packer exists for.
+const RAGGED_SIGMA: f64 = 1.2;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StrategyFilter {
@@ -54,12 +84,16 @@ struct Workload {
     pairs: usize,
     len: usize,
     band: Option<usize>,
+    /// Log-normal lengths (median `len`, σ = [`RAGGED_SIGMA`], clamp
+    /// `[8, 8·len]`, pattern ±15%) instead of fixed `len × len`.
+    ragged: bool,
 }
 
 struct Entry {
     key: &'static str,
     strategy: String,
     lane_width: String,
+    threads: usize,
     seconds: f64,
     checksum: u64,
 }
@@ -80,11 +114,42 @@ fn time_reps(mut f: impl FnMut() -> u64) -> (f64, u64) {
     (median_secs(samples), checksum)
 }
 
-fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
-    let mut rng = seeded_rng(0xBA7C4);
-    let seqs: Vec<(Seq<Dna>, Seq<Dna>)> = (0..wl.pairs)
-        .map(|_| (Seq::random(&mut rng, wl.len), Seq::random(&mut rng, wl.len)))
-        .collect();
+fn build_pairs(wl: Workload) -> Vec<(Seq<Dna>, Seq<Dna>)> {
+    use rand::Rng;
+    let mut rng = seeded_rng(SEED);
+    (0..wl.pairs)
+        .map(|_| {
+            let (n, m) = if wl.ragged {
+                let n = lognormal_len(&mut rng, wl.len as f64, RAGGED_SIGMA, 8, wl.len * 8);
+                let m = ((n as f64) * rng.random_range(0.85..=1.15))
+                    .round()
+                    .max(1.0) as usize;
+                (n, m)
+            } else {
+                (wl.len, wl.len)
+            };
+            (Seq::random(&mut rng, n), Seq::random(&mut rng, m))
+        })
+        .collect()
+}
+
+fn plan_json(label: &str, stats: BatchPlanStats) -> String {
+    format!(
+        "\"{label}\": {{\"wavefront_eligible\": {}, \"striped_pairs\": {}, \"stripes\": {}, \
+         \"striped_fraction\": {:.3}, \"useful_cells\": {}, \"swept_cells\": {}, \
+         \"occupancy\": {:.3}}}",
+        stats.wavefront_eligible,
+        stats.striped_pairs,
+        stats.stripes,
+        stats.striped_fraction(),
+        stats.useful_cells,
+        stats.swept_cells,
+        stats.occupancy()
+    )
+}
+
+fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String {
+    let seqs = build_pairs(wl);
     let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
         .iter()
         .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
@@ -117,6 +182,7 @@ fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
             key: "run_functional_loop",
             strategy: "rolling-row (allocating full grid)".into(),
             lane_width: "u64".into(),
+            threads: 1,
             seconds: t,
             checksum: sum,
         });
@@ -138,13 +204,16 @@ fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
             key: "engine_rolling_row",
             strategy: "rolling-row".into(),
             lane_width: "u64".into(),
+            threads: 1,
             seconds: t,
             checksum: sum,
         });
     }
     if wants(StrategyFilter::Wavefront) {
-        if wave_lanes < LaneWidth::U32 {
-            // The fixed pre-u16 ruler, only distinct when auto picks u16.
+        if wave_lanes == LaneWidth::U16 {
+            // The fixed u32 ruler, emitted when auto picks the narrower
+            // u16 (the lane floor clamps from below, so it cannot
+            // produce a u32 entry when auto already needs u64).
             let (t, sum) = time_engine(
                 cfg.with_strategy(KernelStrategy::Wavefront)
                     .with_lane_floor(LaneWidth::U32),
@@ -153,6 +222,7 @@ fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
                 key: "engine_wavefront_u32",
                 strategy: "wavefront".into(),
                 lane_width: "u32".into(),
+                threads: 1,
                 seconds: t,
                 checksum: sum,
             });
@@ -162,21 +232,58 @@ fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
             key: "engine_wavefront",
             strategy: "wavefront".into(),
             lane_width: wave_lanes.to_string(),
+            threads: 1,
             seconds: t,
             checksum: sum,
         });
     }
     if wants(StrategyFilter::Batch) {
-        let (t, sum) = time_reps(|| {
-            align_batch(&cfg, &packed)
-                .iter()
-                .map(|o| o.score.cycles().unwrap_or(0))
-                .sum()
-        });
+        let time_batch = |cfg: AlignConfig| {
+            time_reps(|| {
+                align_batch(&cfg, &packed)
+                    .iter()
+                    .map(|o| o.score.cycles().unwrap_or(0))
+                    .sum()
+            })
+        };
+        let threads = rayon::current_num_threads();
+        let (t, sum) = time_batch(cfg);
         entries.push(Entry {
             key: "engine_align_batch",
-            strategy: "striped-batch (auto)".into(),
+            strategy: "striped-batch (length-aware)".into(),
             lane_width: cfg.resolve_stripe_lanes(wl.len, wl.len).to_string(),
+            threads,
+            seconds: t,
+            checksum: sum,
+        });
+        if wl.ragged {
+            // The packer ruler: identical batch under the PR 3 planner.
+            let (t, sum) = time_batch(cfg.with_packer(PackerPolicy::ExactBucket));
+            entries.push(Entry {
+                key: "engine_align_batch_exact_bucket",
+                strategy: "striped-batch (exact-bucket)".into(),
+                lane_width: cfg.resolve_stripe_lanes(wl.len, wl.len).to_string(),
+                threads,
+                seconds: t,
+                checksum: sum,
+            });
+        }
+        // Rayon scaling on record: force 4 workers (honest on a 1-core
+        // host — the entry carries its own thread count). Restore any
+        // caller-set override afterwards.
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let mt_threads = rayon::current_num_threads();
+        let (t, sum) = time_batch(cfg);
+        match prev {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        entries.push(Entry {
+            key: "engine_align_batch_mt",
+            strategy: "striped-batch (length-aware)".into(),
+            lane_width: cfg.resolve_stripe_lanes(wl.len, wl.len).to_string(),
+            threads: mt_threads,
             seconds: t,
             checksum: sum,
         });
@@ -194,45 +301,67 @@ fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
     let mut json = String::new();
     let _ = writeln!(json, "    {{");
     let band_json = wl.band.map_or("null".into(), |k| k.to_string());
+    let lengths = if wl.ragged {
+        format!(
+            "\"lognormal(median={}, sigma={RAGGED_SIGMA}, jitter=0.15)\"",
+            wl.len
+        )
+    } else {
+        format!("\"fixed({})\"", wl.len)
+    };
     let _ = writeln!(
         json,
-        "      \"workload\": {{\"pairs\": {}, \"length\": {}, \"band\": {band_json}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},",
-        wl.pairs, wl.len
+        "      \"workload\": {{\"pairs\": {}, \"lengths\": {lengths}, \"band\": {band_json}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},",
+        wl.pairs
     );
     let _ = writeln!(json, "      \"score_checksum\": {},", entries[0].checksum);
+    if occupancy || wl.ragged {
+        let aware = batch_plan_stats(&cfg, &packed);
+        let exact = batch_plan_stats(&cfg.with_packer(PackerPolicy::ExactBucket), &packed);
+        let _ = writeln!(json, "      \"plan\": {{");
+        let _ = writeln!(json, "        {},", plan_json("length_aware", aware));
+        let _ = writeln!(json, "        {}", plan_json("exact_bucket", exact));
+        let _ = writeln!(json, "      }},");
+    }
     let by_key = |k: &str| entries.iter().find(|e| e.key == k);
     let mut speedups: Vec<(String, f64)> = Vec::new();
-    if let (Some(a), Some(b)) = (by_key("engine_rolling_row"), by_key("engine_wavefront")) {
-        speedups.push((
-            "speedup_wavefront_vs_rolling_row".into(),
-            a.seconds / b.seconds,
-        ));
-    }
-    if let (Some(a), Some(b)) = (by_key("engine_wavefront_u32"), by_key("engine_wavefront")) {
-        speedups.push(("speedup_u16_lanes_vs_u32".into(), a.seconds / b.seconds));
-    }
-    if let (Some(a), Some(b)) = (by_key("engine_wavefront_u32"), by_key("engine_align_batch")) {
-        speedups.push((
-            "speedup_batch_vs_wavefront_u32".into(),
-            a.seconds / b.seconds,
-        ));
-    }
-    if let (Some(a), Some(b)) = (by_key("engine_wavefront"), by_key("engine_align_batch")) {
-        speedups.push(("speedup_batch_vs_wavefront".into(), a.seconds / b.seconds));
-    }
-    if let (Some(a), Some(b)) = (by_key("run_functional_loop"), by_key("engine_align_batch")) {
-        speedups.push((
-            "speedup_batch_vs_run_functional".into(),
-            a.seconds / b.seconds,
-        ));
-    }
+    let mut speedup = |name: &str, a: Option<&Entry>, b: Option<&Entry>| {
+        if let (Some(a), Some(b)) = (a, b) {
+            speedups.push((name.into(), a.seconds / b.seconds));
+        }
+    };
+    speedup(
+        "speedup_wavefront_vs_rolling_row",
+        by_key("engine_rolling_row"),
+        by_key("engine_wavefront"),
+    );
+    speedup(
+        "speedup_auto_lanes_vs_u32",
+        by_key("engine_wavefront_u32"),
+        by_key("engine_wavefront"),
+    );
+    speedup(
+        "speedup_batch_vs_wavefront",
+        by_key("engine_wavefront"),
+        by_key("engine_align_batch"),
+    );
+    speedup(
+        "speedup_packer_vs_exact_bucket",
+        by_key("engine_align_batch_exact_bucket"),
+        by_key("engine_align_batch"),
+    );
+    speedup(
+        "speedup_batch_vs_run_functional",
+        by_key("run_functional_loop"),
+        by_key("engine_align_batch"),
+    );
     let _ = writeln!(json, "      \"entries\": {{");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "        \"{}\": {{\"strategy\": \"{}\", \"lane_width\": \"{}\", \"seconds\": {:.6}, \"pairs_per_sec\": {:.1}}}{comma}",
-            e.key, e.strategy, e.lane_width, e.seconds, pps(e.seconds)
+            "        \"{}\": {{\"strategy\": \"{}\", \"lane_width\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"pairs_per_sec\": {:.1}}}{comma}",
+            e.key, e.strategy, e.lane_width, e.threads, e.seconds, pps(e.seconds)
         );
     }
     // Single-strategy runs may have no speedup pairs: the comma after
@@ -244,13 +373,82 @@ fn run_workload(wl: Workload, filter: StrategyFilter) -> (Vec<Entry>, String) {
         let _ = writeln!(json, "      \"{k}\": {v:.2}{comma}");
     }
     let _ = write!(json, "    }}");
-    (entries, json)
+    json
+}
+
+/// The top-k scan workload: one query against a ragged log-normal
+/// database, ratcheted pipeline vs unratcheted batch scan + selection.
+/// Both must select the identical hits (asserted), so the speedup is
+/// pure early-termination win.
+fn run_scan(db_size: usize, median_len: usize, k: usize, workers: usize) -> String {
+    let mut rng = seeded_rng(SEED ^ 0x5CA9);
+    let query = Seq::<Dna>::random(&mut rng, median_len);
+    let db: Vec<Seq<Dna>> = (0..db_size)
+        .map(|_| {
+            let len = lognormal_len(&mut rng, median_len as f64, 0.5, 8, median_len * 4);
+            Seq::random(&mut rng, len)
+        })
+        .collect();
+    let w = RaceWeights::fig4();
+
+    // Both sides scan the same pre-packed database: the comparison is
+    // ratcheted pipeline vs full batch + selection, nothing else.
+    let q = PackedSeq::from_seq(&query);
+    let patterns: Vec<PackedSeq<Dna>> = db.iter().map(PackedSeq::from_seq).collect();
+
+    let (t_ratchet, _) = time_reps(|| {
+        let scan = scan_packed_topk(&q, &patterns, w, k, None, None);
+        scan.hits.iter().map(|&(_, s)| s).sum()
+    });
+    let ratcheted = scan_packed_topk(&q, &patterns, w, k, None, None);
+
+    let pairs: Vec<(&PackedSeq<Dna>, &PackedSeq<Dna>)> = patterns.iter().map(|p| (&q, p)).collect();
+    let cfg = AlignConfig::new(w);
+    let full_topk = || {
+        let outcomes = race_logic::engine::align_batch_refs(&cfg, &pairs);
+        let mut hits: Vec<(usize, u64)> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.score.cycles().map(|s| (i, s)))
+            .collect();
+        hits.sort_unstable_by_key(|&(idx, score)| (score, idx));
+        hits.truncate(k);
+        hits
+    };
+    let (t_full, _) = time_reps(|| full_topk().iter().map(|&(_, s)| s).sum());
+    // The determinism contract, enforced at bench time too.
+    assert_eq!(ratcheted.hits, full_topk(), "ratcheted top-k must be exact");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "  \"scan_topk\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": {{\"database\": {db_size}, \"lengths\": \"lognormal(median={median_len}, sigma=0.5)\", \"k\": {k}, \"workers\": {workers}, \"weights\": \"fig4\", \"seed\": \"0xBA7C4^0x5CA9\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"ratcheted_seconds\": {t_ratchet:.6}, \"ratcheted_entries_per_sec\": {:.1}, \"abandoned\": {},",
+        db_size as f64 / t_ratchet,
+        ratcheted.abandoned
+    );
+    let _ = writeln!(
+        json,
+        "    \"unratcheted_seconds\": {t_full:.6}, \"unratcheted_entries_per_sec\": {:.1},",
+        db_size as f64 / t_full
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_ratchet_vs_batch_scan\": {:.2}",
+        t_full / t_ratchet
+    );
+    let _ = write!(json, "  }}");
+    json
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: engine_baseline [--pairs N] [--length N] [--band K] \
-         [--strategy rolling-row|wavefront|batch|all]"
+        "usage: engine_baseline [--pairs N] [--length N] [--band K] [--ragged] \
+         [--occupancy] [--scan K] [--strategy rolling-row|wavefront|batch|all]"
     );
     std::process::exit(2);
 }
@@ -259,6 +457,9 @@ fn main() {
     let mut pairs: Option<usize> = None;
     let mut length: Option<usize> = None;
     let mut band: Option<usize> = None;
+    let mut ragged = false;
+    let mut occupancy = false;
+    let mut scan_k: Option<usize> = None;
     let mut filter = StrategyFilter::All;
     let mut custom = false;
     let mut args = std::env::args().skip(1);
@@ -269,6 +470,9 @@ fn main() {
             "--pairs" => pairs = Some(value().parse().unwrap_or_else(|_| usage())),
             "--length" => length = Some(value().parse().unwrap_or_else(|_| usage())),
             "--band" => band = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--ragged" => ragged = true,
+            "--occupancy" => occupancy = true,
+            "--scan" => scan_k = Some(value().parse().unwrap_or_else(|_| usage())),
             "--strategy" => {
                 filter = match value().as_str() {
                     "rolling-row" => StrategyFilter::RollingRow,
@@ -288,24 +492,35 @@ fn main() {
             pairs: pairs.unwrap_or(1_000),
             len: length.unwrap_or(256),
             band,
+            ragged,
         }]
     } else {
-        // The committed sweep: long reads, short reads, narrow band.
+        // The committed sweep: long reads, short reads, narrow band,
+        // ragged log-normal.
         vec![
             Workload {
                 pairs: 1_000,
                 len: 256,
                 band: None,
+                ragged: false,
             },
             Workload {
                 pairs: 1_000,
                 len: 64,
                 band: None,
+                ragged: false,
             },
             Workload {
                 pairs: 1_000,
                 len: 256,
                 band: Some(4),
+                ragged: false,
+            },
+            Workload {
+                pairs: 1_000,
+                len: 96,
+                band: None,
+                ragged: true,
             },
         ]
     };
@@ -317,12 +532,30 @@ fn main() {
     let _ = writeln!(json, "  \"reps_median_of\": {REPS},");
     let _ = writeln!(json, "  \"workloads\": [");
     for (i, wl) in workloads.iter().enumerate() {
-        let (_, section) = run_workload(*wl, filter);
+        let section = run_workload(*wl, filter, occupancy);
         let comma = if i + 1 < workloads.len() { "," } else { "" };
         let _ = writeln!(json, "{section}{comma}");
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let scan_section = if custom {
+        scan_k.map(|k| {
+            run_scan(
+                pairs.unwrap_or(1_000),
+                length.unwrap_or(96),
+                k,
+                rayon::current_num_threads(),
+            )
+        })
+    } else {
+        Some(run_scan(1_000, 192, 10, rayon::current_num_threads()))
+    };
+    if let Some(scan) = scan_section {
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(json, "{scan}");
+        let _ = writeln!(json, "}}");
+    } else {
+        let _ = writeln!(json, "  ]");
+        let _ = writeln!(json, "}}");
+    }
 
     print!("{json}");
     if custom {

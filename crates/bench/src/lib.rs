@@ -117,6 +117,29 @@ pub fn log_sweep() -> Vec<usize> {
     vec![1, 10, 100, 1_000, 10_000, 100_000, 1_000_000]
 }
 
+/// Box–Muller over the shim rng: one standard-normal draw. Shared by
+/// the ragged-workload generators of `engine_baseline --ragged` and the
+/// `batch_throughput` criterion bench, so both draw from the identical
+/// construction.
+pub fn normal(rng: &mut impl rand::Rng) -> f64 {
+    let u1 = rng.unit_f64().max(1e-12);
+    let u2 = rng.unit_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Seed-pinned log-normal length: `exp(ln median + σ·z)`, rounded and
+/// clamped to `[lo, hi]`.
+pub fn lognormal_len(
+    rng: &mut impl rand::Rng,
+    median: f64,
+    sigma: f64,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    let len = (median.ln() + sigma * normal(rng)).exp().round() as i64;
+    (len.max(lo as i64) as usize).min(hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -265,9 +265,8 @@ impl StripedCodes {
         &self.codes[pos * self.lanes..][..self.lanes]
     }
 
-    fn reset(&mut self, count: usize, lanes: usize, positions: usize, fill: u8) {
+    fn reset(&mut self, lanes: usize, positions: usize, fill: u8) {
         assert!(lanes > 0, "striped plane needs at least one lane");
-        assert!(count <= lanes, "cohort larger than the lane count");
         self.lanes = lanes;
         self.positions = positions;
         self.codes.clear();
@@ -289,8 +288,30 @@ impl StripedCodes {
         positions: usize,
         fill: u8,
     ) {
-        self.reset(seqs.len(), lanes, positions, fill);
-        for (l, s) in seqs.iter().enumerate() {
+        self.pack_lanes_forward(seqs.iter().copied(), lanes, positions, fill);
+    }
+
+    /// [`StripedCodes::pack_forward`] over an iterator of sequence views
+    /// — the gather-free form for callers whose cohort members are
+    /// scattered (e.g. selected by index from a batch) or repeated (one
+    /// query replicated across every lane of a many-vs-one scan stripe),
+    /// where materializing a `&[&PackedSeq]` slice would need a
+    /// per-stripe side allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than `lanes` sequences or any
+    /// sequence is longer than `positions`.
+    pub fn pack_lanes_forward<'a, S: Symbol>(
+        &mut self,
+        seqs: impl Iterator<Item = &'a PackedSeq<S>>,
+        lanes: usize,
+        positions: usize,
+        fill: u8,
+    ) {
+        self.reset(lanes, positions, fill);
+        for (l, s) in seqs.enumerate() {
+            assert!(l < lanes, "cohort larger than the lane count");
             assert!(s.len() <= positions, "sequence longer than the plane");
             for (i, code) in s.codes().enumerate() {
                 self.codes[i * lanes + l] = code;
@@ -322,8 +343,26 @@ impl StripedCodes {
         positions: usize,
         fill: u8,
     ) {
-        self.reset(seqs.len(), lanes, positions, fill);
-        for (l, s) in seqs.iter().enumerate() {
+        self.pack_lanes_reversed(seqs.iter().copied(), lanes, positions, fill);
+    }
+
+    /// [`StripedCodes::pack_reversed`] over an iterator of sequence views
+    /// (see [`StripedCodes::pack_lanes_forward`] for when that form pays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than `lanes` sequences or any
+    /// sequence is longer than `positions`.
+    pub fn pack_lanes_reversed<'a, S: Symbol>(
+        &mut self,
+        seqs: impl Iterator<Item = &'a PackedSeq<S>>,
+        lanes: usize,
+        positions: usize,
+        fill: u8,
+    ) {
+        self.reset(lanes, positions, fill);
+        for (l, s) in seqs.enumerate() {
+            assert!(l < lanes, "cohort larger than the lane count");
             assert!(s.len() <= positions, "sequence longer than the plane");
             let offset = positions - s.len();
             for (i, code) in s.codes().enumerate() {

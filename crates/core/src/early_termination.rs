@@ -188,6 +188,128 @@ pub fn scan_database<S: Symbol>(
     }
 }
 
+/// Result of a ratcheted top-k database scan ([`scan_database_topk`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKScan {
+    /// The `k` best database entries as `(index, score)`, sorted by
+    /// `(score, index)` ascending (fewer when the database is smaller
+    /// than `k` or a configured threshold rejects the rest).
+    /// **Deterministic**: identical for every worker count and
+    /// interleaving, and identical to what a sequential full scan
+    /// followed by top-k selection produces (property-tested).
+    pub hits: Vec<(usize, u64)>,
+    /// Entries the ratchet abandoned early (provably outside the final
+    /// top-k). **Advisory**: depends on worker interleaving — a lucky
+    /// schedule tightens the ratchet sooner and abandons more.
+    pub abandoned: usize,
+    /// Total grid cells computed across the scan. **Advisory**, like
+    /// `abandoned` — the determinism guarantee covers `hits` only.
+    pub cells_computed: u64,
+}
+
+/// Scans `query` against a database for the `k` **best** (lowest-score)
+/// entries, with the early-termination threshold *ratcheting down* as
+/// hits land — the §6 "move on to the next pattern" rule, sharpened
+/// into a top-k race: once `k` candidates have finished, every further
+/// race runs under "beat the current k-th best or be abandoned", so the
+/// scan accelerates as it goes.
+///
+/// Execution: the batch planner packs the database into stripes (the
+/// fixed query is transposed into the stripe plane once and reused, not
+/// re-packed per stripe) and streams them through rayon workers that
+/// share the score ratchet. An optional `threshold` seeds the ratchet —
+/// entries scoring above it are never hits, exactly as in
+/// [`scan_database`].
+///
+/// The returned [`TopKScan::hits`] is **deterministic** regardless of
+/// worker interleaving: abandons only ever fire on a strict
+/// `score > current-k-th-best` proof, and the ratchet is always at
+/// least the true k-th best, so every true top-k entry finishes with
+/// its exact score.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn scan_database_topk<S: Symbol>(
+    query: &Seq<S>,
+    database: &[Seq<S>],
+    weights: RaceWeights,
+    k: usize,
+    threshold: Option<u64>,
+) -> TopKScan {
+    scan_database_topk_with_workers(query, database, weights, k, threshold, None)
+}
+
+/// [`scan_database_topk`] with an explicit worker count (`None` = one
+/// per available thread) — exposed so the determinism guarantee is
+/// directly testable across worker counts.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn scan_database_topk_with_workers<S: Symbol>(
+    query: &Seq<S>,
+    database: &[Seq<S>],
+    weights: RaceWeights,
+    k: usize,
+    threshold: Option<u64>,
+    workers: Option<usize>,
+) -> TopKScan {
+    use rl_bio::PackedSeq;
+
+    let q = PackedSeq::from_seq(query);
+    let patterns: Vec<PackedSeq<S>> = database.iter().map(PackedSeq::from_seq).collect();
+    scan_packed_topk(&q, &patterns, weights, k, threshold, workers)
+}
+
+/// [`scan_database_topk`] over an already-packed database — the
+/// steady-state form for callers that keep their database in
+/// [`rl_bio::PackedSeq`] form and scan it repeatedly (no per-scan
+/// packing or cloning; the fixed query is transposed into each stripe
+/// plane once and reused).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn scan_packed_topk<S: Symbol>(
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    weights: RaceWeights,
+    k: usize,
+    threshold: Option<u64>,
+    workers: Option<usize>,
+) -> TopKScan {
+    let mut cfg = AlignConfig::new(weights);
+    cfg.threshold = threshold;
+    let pairs: Vec<_> = database.iter().map(|p| (query, p)).collect();
+    let mut scratch = crate::striped::BatchScratch::default();
+    let outcomes = crate::striped::scan_topk_impl(&cfg, &pairs, k, workers, &mut scratch);
+
+    let mut hits: Vec<(usize, u64)> = Vec::new();
+    let mut abandoned = 0_usize;
+    let mut cells_computed = 0_u64;
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        cells_computed += outcome.cells_computed;
+        match outcome.finished_score() {
+            Some(score) => hits.push((idx, score)),
+            None => abandoned += 1,
+        }
+    }
+    // Deterministic selection: k smallest by (score, index). Survivors
+    // beyond k were simply never abandoned before the ratchet tightened
+    // past them.
+    hits.sort_unstable_by_key(|&(idx, score)| (score, idx));
+    hits.truncate(k);
+    TopKScan {
+        hits,
+        abandoned,
+        cells_computed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,12 +45,17 @@
 //!   threshold — sound because weights are non-negative, so any
 //!   root→sink path costs at least the minimum of the frontier it
 //!   crosses). Both are fused into both kernels.
-//! - **Batching.** [`align_batch`] groups pairs into length-bucketed
-//!   cohorts and sweeps each stripe with the inter-pair striped kernel
-//!   (every SIMD lane a different pair, per-lane banding masks and
-//!   early-termination flags, lanes retiring independently), fanned out
-//!   across cores with rayon, one scratch set per worker chunk, results
-//!   in input order — and byte-identical to the sequential loop.
+//! - **Batching.** [`align_batch`] packs wavefront-eligible pairs into
+//!   stripes — sorted by `(n, m)`, greedily merged across lengths under
+//!   a padding budget ([`PackerPolicy::LengthAware`]) — and sweeps each
+//!   stripe with the inter-pair striped kernel (every SIMD lane a
+//!   different pair, per-lane banding masks and early-termination
+//!   flags, lanes retiring independently), fanned out across cores
+//!   with rayon, one persistent scratch arena per worker
+//!   ([`BatchEngine`]), results in input order — and byte-identical to
+//!   the sequential loop. The §6 database scan sharpens this into
+//!   [`crate::early_termination::scan_database_topk`], whose shared
+//!   top-k ratchet tightens the fused threshold as hits land.
 //!
 //! See `docs/KERNELS.md` in the repository root for memory layouts, the
 //! auto-selection policy, and how to reproduce `BENCH_engine.json`.
@@ -95,15 +100,18 @@ pub const WAVEFRONT_MIN_BAND: usize = 8;
 
 /// Smallest **effective segment length** — `min(n, m)`, further capped
 /// at `band + 1` when banded — at which the per-pair wavefront kernel
-/// drops to `u16` lanes when eligible. Below this, anti-diagonal spans
-/// sit under the flat-loop vector threshold
-/// ([`crate::simd::FLAT_MIN_LEN`]) where the `u16` block codegen is no
-/// faster than `u32` (measured crossover ≈ 128 on x86-64-v2), so Auto
-/// keeps `u32`. The *striped* batch kernel ignores this gate: its
-/// interior segments are `span × lanes` long, deep inside flat-loop
-/// territory at any pair length, so stripes always take the narrowest
-/// exact width.
-pub const U16_MIN_LEN: usize = 128;
+/// drops to `u16` lanes when eligible. The crossover moved when the
+/// `u32` kernel gained its flat-loop form
+/// ([`crate::simd::KernelWord::FLAT_LOOP`]): flat `u32` now beats `u16`
+/// per pair up to roughly this length (measured on x86-64-v2: `u32`
+/// ≈ 1.3× at 256, parity at 512, `u16` 1.36× ahead at 1024 — the
+/// per-diagonal overhead amortizes across `u16`'s doubled lanes only
+/// once spans are long), so Auto keeps `u32` below it. The *striped*
+/// batch kernel ignores this gate: its interior segments are
+/// `span × lanes` long, deep inside flat-loop territory at any pair
+/// length, and its lane dimension doubles at `u16` — stripes always
+/// take the narrowest exact width.
+pub const U16_MIN_LEN: usize = 512;
 
 /// Smallest number of same-cohort pairs worth launching as one striped
 /// (inter-pair SIMD) sweep in [`align_batch`]: a stripe's cost is nearly
@@ -112,13 +120,26 @@ pub const U16_MIN_LEN: usize = 128;
 /// of a partially filled stripe run per pair.
 pub const STRIPE_MIN_PAIRS: usize = 4;
 
-/// Length quantum of [`align_batch`]'s cohort grouping: pairs whose
-/// `(n, m)` round up to the same multiple of this share a cohort, and
-/// each stripe is padded to the cohort ceiling with sentinel cells. A
-/// coarser quantum fills stripes faster on ragged batches; a finer one
-/// wastes fewer padded cells. 16 keeps worst-case padding below ~25% at
-/// the shortest striped lengths (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`]).
+/// Length quantum of the **legacy** [`PackerPolicy::ExactBucket`]
+/// cohort grouping: pairs whose `(n, m)` round up to the same multiple
+/// of this share a cohort, and each stripe is padded to the cohort
+/// ceiling with sentinel cells. A coarser quantum fills stripes faster
+/// on ragged batches; a finer one wastes fewer padded cells. 16 keeps
+/// worst-case padding below ~25% at the shortest striped lengths
+/// (`min(n, m) ≥` [`WAVEFRONT_MIN_LEN`]). The default
+/// [`PackerPolicy::LengthAware`] packer replaces the quantum with a
+/// per-stripe padding budget ([`STRIPE_PAD_BUDGET_PCT`]).
 pub const COHORT_LEN_BUCKET: usize = 16;
+
+/// Padding budget of the [`PackerPolicy::LengthAware`] stripe packer,
+/// in percent: a stripe may accept a further pair only while
+/// `padded cells ≤ budget% · useful cells`, where *useful* is the sum
+/// of each member's own (banded) cell count and *padded* is what the
+/// members' lanes additionally sweep when padded to the stripe's union
+/// shape. 25% mirrors the worst-case padding the legacy 16-quantum
+/// bucketing tolerated, but is now spent where it buys occupancy
+/// instead of wherever bucket boundaries happen to fall.
+pub const STRIPE_PAD_BUDGET_PCT: u64 = 25;
 
 /// Which traversal order the engine's fused kernel uses.
 ///
@@ -151,6 +172,37 @@ impl std::fmt::Display for KernelStrategy {
             KernelStrategy::Auto => write!(f, "auto"),
             KernelStrategy::RollingRow => write!(f, "rolling-row"),
             KernelStrategy::Wavefront => write!(f, "wavefront"),
+        }
+    }
+}
+
+/// How [`align_batch`] groups wavefront-eligible pairs into stripes.
+///
+/// Both policies produce **identical outcomes** (each stripe's lanes
+/// mirror the per-pair kernel exactly, whatever the grouping); they
+/// differ only in how many pairs end up riding stripes on ragged
+/// batches, i.e. in throughput. The A/B knob exists so the packer win
+/// is benchmarkable against a fixed ruler and so a packing regression
+/// shows up as a number, not a vibe (`batch_plan_stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PackerPolicy {
+    /// Sort pairs by `(n, m)` and greedily pack consecutive pairs into
+    /// stripes while the padding stays under
+    /// [`STRIPE_PAD_BUDGET_PCT`] — cross-length stripes, padded lanes
+    /// retiring early. The default.
+    #[default]
+    LengthAware,
+    /// The PR 3 planner: only pairs sharing an exact 16-rounded
+    /// `(⌈n⌉₁₆, ⌈m⌉₁₆)` bucket ([`COHORT_LEN_BUCKET`]) share a stripe.
+    /// Kept as the benchmark ruler for the length-aware packer.
+    ExactBucket,
+}
+
+impl std::fmt::Display for PackerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackerPolicy::LengthAware => write!(f, "length-aware"),
+            PackerPolicy::ExactBucket => write!(f, "exact-bucket"),
         }
     }
 }
@@ -313,6 +365,11 @@ pub struct AlignConfig {
     /// benchmarking the lane-width win, never needed for correctness
     /// (every eligible width computes identical scores).
     pub lane_floor: LaneWidth,
+    /// How [`align_batch`] packs pairs into stripes
+    /// ([`PackerPolicy::LengthAware`] by default; the legacy
+    /// [`PackerPolicy::ExactBucket`] is the benchmarking ruler). Pure
+    /// throughput knob — outcomes are identical under either policy.
+    pub packer: PackerPolicy,
 }
 
 impl AlignConfig {
@@ -330,6 +387,7 @@ impl AlignConfig {
             threshold: None,
             strategy: KernelStrategy::Auto,
             lane_floor: LaneWidth::U16,
+            packer: PackerPolicy::default(),
         }
     }
 
@@ -360,6 +418,15 @@ impl AlignConfig {
     #[must_use]
     pub fn with_lane_floor(mut self, floor: LaneWidth) -> Self {
         self.lane_floor = floor;
+        self
+    }
+
+    /// Pins the batch stripe-packing policy — an A/B benchmarking knob
+    /// ([`PackerPolicy::ExactBucket`] reproduces the PR 3 planner);
+    /// outcomes are identical under either policy.
+    #[must_use]
+    pub fn with_packer(mut self, packer: PackerPolicy) -> Self {
+        self.packer = packer;
         self
     }
 
@@ -1197,14 +1264,145 @@ impl AlignEngine {
     }
 }
 
+/// A reusable **batch** alignment engine: configuration plus the
+/// plan-level scratch arena of the striped batch kernel (per-worker
+/// code planes, diagonal buffers at every lane width, per-pair fallback
+/// engines). Create once, call [`BatchEngine::align_batch`] many times —
+/// after warm-up at a working-set size, batching re-transposes planes
+/// and rotates buffers in place instead of reallocating per call, the
+/// batch analogue of [`AlignEngine`]'s zero-allocation contract.
+///
+/// The free functions [`align_batch`] / [`align_batch_refs`] are
+/// one-shot wrappers over a transient `BatchEngine`.
+pub struct BatchEngine {
+    cfg: AlignConfig,
+    scratch: crate::striped::BatchScratch,
+}
+
+impl BatchEngine {
+    /// A batch engine with the given configuration and empty scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.weights.indel == 0` (see [`RaceWeights`]).
+    #[must_use]
+    pub fn new(cfg: AlignConfig) -> Self {
+        assert!(cfg.weights.indel > 0, "indel weight must be positive");
+        BatchEngine {
+            cfg,
+            scratch: crate::striped::BatchScratch::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &AlignConfig {
+        &self.cfg
+    }
+
+    /// Swaps the configuration while keeping every scratch buffer (the
+    /// batch analogue of [`AlignEngine::set_config`]).
+    pub fn set_config(&mut self, cfg: AlignConfig) {
+        assert!(cfg.weights.indel > 0, "indel weight must be positive");
+        self.cfg = cfg;
+    }
+
+    /// Aligns every `(q, p)` pair, in parallel, with results in input
+    /// order — see [`align_batch`] for the execution model. Outcomes
+    /// are **identical** to a sequential [`AlignEngine::align`] loop.
+    #[must_use]
+    pub fn align_batch<S: Symbol>(
+        &mut self,
+        pairs: &[(PackedSeq<S>, PackedSeq<S>)],
+    ) -> Vec<EngineOutcome> {
+        let refs: Vec<(&PackedSeq<S>, &PackedSeq<S>)> = pairs.iter().map(|(q, p)| (q, p)).collect();
+        self.align_batch_refs(&refs)
+    }
+
+    /// [`BatchEngine::align_batch`] over borrowed operands — for
+    /// callers whose pairs share sequences (e.g. one query against a
+    /// whole database), where an owned pair slice would clone the
+    /// shared side once per pair. Stripes whose lanes all share one
+    /// query operand additionally reuse the packed query plane across
+    /// stripes instead of re-transposing it per stripe.
+    #[must_use]
+    pub fn align_batch_refs<S: Symbol>(
+        &mut self,
+        pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    ) -> Vec<EngineOutcome> {
+        crate::striped::align_batch_impl(&self.cfg, pairs, &mut self.scratch)
+    }
+}
+
+/// Static occupancy accounting of a batch plan — how well
+/// [`align_batch`] would pack `pairs` under `cfg`, before running
+/// anything. The numbers behind `engine_baseline --occupancy`, exposed
+/// so packer regressions are visible as numbers, not vibes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchPlanStats {
+    /// Pairs in the batch.
+    pub pairs: usize,
+    /// Pairs whose kernel plan resolves to the wavefront (the striping
+    /// candidates; the rest run the rolling row per pair).
+    pub wavefront_eligible: usize,
+    /// Wavefront-eligible pairs actually placed on stripes (the rest
+    /// fall back to per-pair wavefront runs).
+    pub striped_pairs: usize,
+    /// Planned stripe count.
+    pub stripes: usize,
+    /// Σ over striped pairs of each pair's own (banded) cell count.
+    pub useful_cells: u64,
+    /// Σ over stripes of the union shape's (banded) cell count × the
+    /// stripe's full lane count — what the sweeps will actually touch,
+    /// empty lanes included.
+    pub swept_cells: u64,
+}
+
+impl BatchPlanStats {
+    /// Fraction of wavefront-eligible pairs riding stripes (1.0 when
+    /// there are none).
+    #[must_use]
+    pub fn striped_fraction(&self) -> f64 {
+        if self.wavefront_eligible == 0 {
+            1.0
+        } else {
+            self.striped_pairs as f64 / self.wavefront_eligible as f64
+        }
+    }
+
+    /// Useful cells per swept cell across all stripes (1.0 when nothing
+    /// stripes): the padding *and* empty-lane overhead in one number.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        if self.swept_cells == 0 {
+            1.0
+        } else {
+            self.useful_cells as f64 / self.swept_cells as f64
+        }
+    }
+}
+
+/// Computes [`BatchPlanStats`] for `pairs` under `cfg` (plan only — no
+/// alignment work is done).
+#[must_use]
+pub fn batch_plan_stats<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(PackedSeq<S>, PackedSeq<S>)],
+) -> BatchPlanStats {
+    let refs: Vec<(&PackedSeq<S>, &PackedSeq<S>)> = pairs.iter().map(|(q, p)| (q, p)).collect();
+    crate::striped::plan_stats_impl(cfg, &refs)
+}
+
 /// Aligns every `(q, p)` pair under `cfg`, in parallel, with results in
 /// input order.
 ///
 /// Two levels of parallelism are fused. Across cores, work is chunked
 /// with rayon, one scratch set per worker chunk. Within a core, pairs
-/// whose plan resolves to the wavefront kernel are grouped into
-/// shape-compatible cohorts (lengths rounded up to
-/// [`COHORT_LEN_BUCKET`]) and swept by the **striped batch kernel**
+/// whose plan resolves to the wavefront kernel are packed into stripes
+/// by the configured [`PackerPolicy`] — by default the length-aware
+/// packer: pairs sorted by `(n, m)`, consecutive pairs greedily sharing
+/// a stripe while padding stays under [`STRIPE_PAD_BUDGET_PCT`] — and
+/// each stripe is swept by the **striped batch kernel**
 /// (`race_logic`'s inter-pair SIMD path): each SIMD lane of one
 /// anti-diagonal sweep is a *different pair*, with per-lane banding
 /// masks and per-lane early termination, lanes retiring independently —
@@ -1214,14 +1412,14 @@ impl AlignEngine {
 ///
 /// Every outcome is **identical** to what a sequential
 /// [`AlignEngine::align`] loop would produce — scores, cell counts and
-/// early-termination verdicts alike (property-tested).
+/// early-termination verdicts alike (property-tested), under either
+/// packer policy.
 #[must_use]
 pub fn align_batch<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(PackedSeq<S>, PackedSeq<S>)],
 ) -> Vec<EngineOutcome> {
-    let refs: Vec<(&PackedSeq<S>, &PackedSeq<S>)> = pairs.iter().map(|(q, p)| (q, p)).collect();
-    crate::striped::align_batch_impl(cfg, &refs)
+    BatchEngine::new(*cfg).align_batch(pairs)
 }
 
 /// [`align_batch`] over borrowed operands — for callers whose pairs
@@ -1232,7 +1430,7 @@ pub fn align_batch_refs<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
 ) -> Vec<EngineOutcome> {
-    crate::striped::align_batch_impl(cfg, pairs)
+    BatchEngine::new(*cfg).align_batch_refs(pairs)
 }
 
 #[cfg(test)]
@@ -1342,12 +1540,13 @@ mod tests {
 
         // Lane width: narrowest exact word. fig4's max finite weight is 1,
         // so u16 needs n + m + 2 < u16::MAX / 2 = 32767.
-        assert_eq!(plan(base, 256, 256).lanes, LaneWidth::U16);
         assert_eq!(plan(base, 16_382, 16_382).lanes, LaneWidth::U16);
         assert_eq!(plan(base, 16_382, 16_383).lanes, LaneWidth::U32);
-        // ... and, per pair, only at shapes long enough for the flat
-        // vector loop (U16_MIN_LEN); stripes bypass this gate.
-        assert_eq!(plan(base, U16_MIN_LEN - 1, 256).lanes, LaneWidth::U32);
+        // ... and, per pair, only past the u16/u32 crossover length
+        // (U16_MIN_LEN — flat-loop u32 wins below it); stripes bypass
+        // this gate.
+        assert_eq!(plan(base, 256, 256).lanes, LaneWidth::U32);
+        assert_eq!(plan(base, U16_MIN_LEN - 1, 16_000).lanes, LaneWidth::U32);
         assert_eq!(plan(base, U16_MIN_LEN, U16_MIN_LEN).lanes, LaneWidth::U16);
         assert_eq!(
             exact_lane_width(
@@ -1380,16 +1579,16 @@ mod tests {
         // (the fused abandon rule compares in W), so it is part of the
         // eligibility bound.
         assert_eq!(
-            plan(base.with_threshold(32_766), 256, 256).lanes,
+            plan(base.with_threshold(32_766), 600, 600).lanes,
             LaneWidth::U16
         );
         assert_eq!(
-            plan(base.with_threshold(32_767), 256, 256).lanes,
+            plan(base.with_threshold(32_767), 600, 600).lanes,
             LaneWidth::U32,
             "t ≥ u16::INF must exclude u16 lanes"
         );
         assert_eq!(
-            plan(base.with_threshold(u64::from(u32::MAX)), 256, 256).lanes,
+            plan(base.with_threshold(u64::from(u32::MAX)), 600, 600).lanes,
             LaneWidth::U64,
             "t ≥ u32::INF must exclude u32 lanes"
         );

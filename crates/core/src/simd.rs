@@ -65,10 +65,17 @@ pub trait KernelWord: Copy + Ord + std::fmt::Debug {
     /// `true` when [`diag_update`] should use the plain indexed loop
     /// (LLVM's *loop* vectorizer) instead of the explicit
     /// [`LANES`]-block form (the SLP vectorizer). Measured per word
-    /// type: the loop vectorizer produces the best `u16` code (clean
-    /// widening compare + `pminuw`), but refuses the `u8 → u32`
-    /// widening select, where the block form wins; `u64` has no vector
-    /// `min` on the x86-64-v2 floor either way.
+    /// type: the loop vectorizer produces the best `u16` **and** `u32`
+    /// code (clean widening compare + `pminuw`/`pminud`). The `u32`
+    /// flat loop was originally rejected — PR 3's LLVM refused the
+    /// `u8 → u32` widening select and fell back to scalar — but the
+    /// ROADMAP retry on the current toolchain vectorizes it cleanly:
+    /// per-pair wavefront at length 256 went 13.2k → 24.5k pairs/s
+    /// (≈ 1.9×) and at length 64 165k → 214k (≈ 1.3×) on the 1-core
+    /// bench container, so `u32` now keeps the flat form (the
+    /// `engine_wavefront_u32` entry in `BENCH_engine.json` pins it).
+    /// `u64` has no unsigned vector `min` on the x86-64-v2 floor, so
+    /// neither vectorizer helps and it stays on the block form.
     const FLAT_LOOP: bool;
     /// Lowers a raw `u64` kernel value (where `u64::MAX` is `+∞`) into
     /// this representation, clamping to [`KernelWord::INF`].
@@ -106,7 +113,7 @@ impl KernelWord for u64 {
 impl KernelWord for u32 {
     const INF: Self = u32::MAX / 2;
     const ZERO: Self = 0;
-    const FLAT_LOOP: bool = false;
+    const FLAT_LOOP: bool = true;
 
     #[inline(always)]
     fn clamp_raw(raw: u64) -> Self {

@@ -20,6 +20,15 @@
 //! full — every vector op updates `L` pairs, no tails, contiguous loads
 //! from the planes by construction.
 //!
+//! **Packing** is the throughput lever on ragged batches. The default
+//! [`PackerPolicy::LengthAware`] packer sorts wavefront-eligible pairs
+//! by `(n, m)` and greedily grows each stripe while the padding stays
+//! under [`STRIPE_PAD_BUDGET_PCT`] of the members' own (banded) cell
+//! counts — so pairs of *different* lengths share a sweep, shorter
+//! lanes retiring early instead of padding to a bucket ceiling. The
+//! PR 3 exact-bucket planner survives as
+//! [`PackerPolicy::ExactBucket`], the benchmarking ruler.
+//!
 //! Correctness is *mirroring*, not approximation: each lane runs the
 //! per-pair wavefront recurrence over its own `(n, m)` geometry —
 //! per-lane frontier minima (masked to the lane's own in-band cells),
@@ -28,20 +37,24 @@
 //! ranges, and independent lane retirement at each lane's final
 //! diagonal. The batch outcome is therefore **byte-identical** to a
 //! sequential [`crate::engine::AlignEngine::align`] loop (scores, cell
-//! counts and verdicts alike — property-tested in `tests/engine.rs`).
-//! Padded cells (shorter lanes inside a shared sweep) are harmless by
-//! construction: a lane's real cells only ever read real cells (cell
-//! dependencies never increase indices), padding codes are sentinels
-//! outside every alphabet, and padded positions are masked out of the
-//! lane's minima and counts.
+//! counts and verdicts alike — property-tested in `tests/engine.rs`)
+//! under **either** packer policy. Padded cells (shorter lanes inside a
+//! shared sweep) are harmless by construction: a lane's real cells only
+//! ever read real cells (cell dependencies never increase indices),
+//! padding codes are sentinels outside every alphabet, and padded
+//! positions are masked out of the lane's minima and counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use rayon::prelude::*;
 use rl_bio::{alphabet::Symbol, PackedSeq, StripedCodes};
 use rl_temporal::Time;
 
 use crate::engine::{
-    classify_outcome, diag_range, rotate_bufs, AlignConfig, EngineOutcome, KernelStrategy,
-    LaneWidth, RawWeights, COHORT_LEN_BUCKET, NEVER, STRIPE_MIN_PAIRS,
+    classify_outcome, diag_range, rotate_bufs, AlignConfig, AlignEngine, BatchPlanStats,
+    EngineOutcome, KernelStrategy, LaneWidth, PackerPolicy, RawWeights, COHORT_LEN_BUCKET, NEVER,
+    STRIPE_MIN_PAIRS, STRIPE_PAD_BUDGET_PCT,
 };
 use crate::simd::{self, KernelWord, LaneWeights};
 
@@ -62,19 +75,71 @@ const fn stripe_lanes(width: LaneWidth) -> usize {
     }
 }
 
+/// Cells of an `(n + 1) × (m + 1)` grid inside a Ukkonen band of
+/// half-width `k` (all cells when unbanded) — the packer's padding
+/// currency. Matches the engine's `band_range` row clipping exactly
+/// (tested against the per-diagonal sum), in O(1): the full grid minus
+/// the two clipped corner triangles `j − i > k` and `i − j > k`.
+fn grid_cells(n: usize, m: usize, band: Option<usize>) -> u64 {
+    let full = (n as u64 + 1) * (m as u64 + 1);
+    let Some(k) = band else { return full };
+    // Σ_{r=0}^{rows} max(0, excess − r): the corner triangle, clipped
+    // to the grid (`c` nonzero terms, arithmetic series).
+    let triangle = |excess: usize, rows: usize| -> u64 {
+        if excess == 0 {
+            return 0;
+        }
+        let c = excess.min(rows + 1) as u64;
+        c * excess as u64 - c * (c - 1) / 2
+    };
+    full - triangle(m.saturating_sub(k), n) - triangle(n.saturating_sub(k), m)
+}
+
 /// One schedulable unit of batch work: either a striped cohort sweep or
 /// a run of per-pair alignments. `members` are indices into the batch;
 /// `results` is filled by the worker and scattered back afterwards.
 struct WorkUnit {
     striped: bool,
     /// Stripe lane width, resolved **once** by the planner from the
-    /// cohort's bucket ceiling — `run_stripe` must not re-resolve from
-    /// the members' actual maxima, or a cohort near an eligibility
-    /// boundary would be chunked at one width and swept at another
-    /// (half-occupied stripes).
+    /// members' union shape — `run_stripe` must not re-resolve, so the
+    /// shape the stripe was budgeted and chunked at is the shape it is
+    /// swept at.
     width: LaneWidth,
     members: Vec<usize>,
     results: Vec<EngineOutcome>,
+}
+
+/// Reusable per-worker scratch: a per-pair fallback engine plus the
+/// striped-sweep arena. Owned by [`BatchScratch`] so both survive
+/// across stripes *and* across `align_batch` calls on one
+/// [`crate::engine::BatchEngine`].
+struct WorkerScratch {
+    engine: AlignEngine,
+    stripe: StripeScratch,
+}
+
+/// The plan-level scratch arena of [`crate::engine::BatchEngine`]: one
+/// [`WorkerScratch`] per rayon worker slot, grown on demand and reused
+/// across batch calls — steady-state batching re-transposes planes and
+/// rotates diagonal buffers in place, allocating nothing.
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    workers: Vec<WorkerScratch>,
+}
+
+impl BatchScratch {
+    fn ensure(&mut self, n_workers: usize, cfg: &AlignConfig) {
+        for w in &mut self.workers {
+            w.engine.set_config(*cfg);
+            w.stripe.q_key = None; // operand pointers are only stable per call
+        }
+        while self.workers.len() < n_workers {
+            self.workers.push(WorkerScratch {
+                engine: AlignEngine::new(*cfg),
+                stripe: StripeScratch::new(),
+            });
+        }
+    }
 }
 
 /// The batch entry point behind [`crate::engine::align_batch`] and
@@ -83,76 +148,365 @@ struct WorkUnit {
 pub(crate) fn align_batch_impl<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    scratch: &mut BatchScratch,
 ) -> Vec<EngineOutcome> {
     let mut out = vec![EngineOutcome::default(); pairs.len()];
     if pairs.is_empty() {
         return out;
     }
     let units = plan_units(cfg, pairs);
+    run_units(cfg, pairs, units, scratch, None, None, &mut out);
+    out
+}
+
+/// The ratcheted scan pipeline behind
+/// [`crate::early_termination::scan_database_topk`]: stripes stream
+/// through the workers with a shared top-`k` score ratchet that
+/// tightens each unit's fused early-termination threshold as hits land
+/// — the scan accelerates as it goes. Score-only: abandoned entries
+/// report [`Time::NEVER`] with `early_terminated` set.
+///
+/// The *final top-k* (the `k` smallest `(score, index)` pairs among
+/// finished entries) is deterministic regardless of worker
+/// interleaving: the ratchet is always at least the true k-th smallest
+/// score, and the fused abandon rule is a strict `score > threshold`
+/// proof, so every true top-k entry finishes with its exact score.
+/// Which *non*-hits get abandoned (and therefore per-entry
+/// `cells_computed`) does depend on interleaving.
+pub(crate) fn scan_topk_impl<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    k: usize,
+    workers: Option<usize>,
+    scratch: &mut BatchScratch,
+) -> Vec<EngineOutcome> {
+    assert!(k > 0, "top-k scan needs k >= 1");
+    let mut out = vec![EngineOutcome::default(); pairs.len()];
+    if pairs.is_empty() {
+        return out;
+    }
+    let units = plan_units(cfg, pairs);
+    let ratchet = Ratchet::new(k, cfg.threshold);
+    run_units(
+        cfg,
+        pairs,
+        units,
+        scratch,
+        Some(&ratchet),
+        workers,
+        &mut out,
+    );
+    out
+}
+
+/// Shared top-k score ratchet: a bounded worst-first heap of the best
+/// `(score, index)` pairs seen so far, plus an atomic cache of the
+/// abandon threshold it implies (the k-th best score once `k` hits have
+/// landed; the configured threshold — or `+∞` — before that). The
+/// threshold only ever tightens, and an entry is only ever abandoned on
+/// a strict `score > threshold` proof, so no true top-k entry can be
+/// lost to any interleaving.
+struct Ratchet {
+    k: usize,
+    limit: AtomicU64,
+    /// Max-heap on `(score, index)`: the root is the *worst* of the
+    /// current best-k, i.e. exactly the entry the next hit must beat.
+    heap: Mutex<std::collections::BinaryHeap<(u64, usize)>>,
+}
+
+impl Ratchet {
+    fn new(k: usize, initial: Option<u64>) -> Self {
+        Ratchet {
+            k,
+            limit: AtomicU64::new(initial.unwrap_or(NEVER)),
+            heap: Mutex::new(std::collections::BinaryHeap::with_capacity(k + 1)),
+        }
+    }
+
+    /// The threshold units should currently run under (`None` = no
+    /// abandoning yet).
+    fn current(&self) -> Option<u64> {
+        let t = self.limit.load(Ordering::Relaxed);
+        (t != NEVER).then_some(t)
+    }
+
+    /// Folds a finished entry into the best-k and tightens the cached
+    /// threshold when the k-th best improves.
+    fn observe(&self, score: u64, index: usize) {
+        let mut heap = self.heap.lock().expect("ratchet heap poisoned");
+        if heap.len() < self.k {
+            heap.push((score, index));
+        } else if let Some(&worst) = heap.peek() {
+            if (score, index) < worst {
+                heap.pop();
+                heap.push((score, index));
+            }
+        }
+        if heap.len() == self.k {
+            if let Some(&(kth, _)) = heap.peek() {
+                self.limit.fetch_min(kth, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// How a striped sweep applies an early-termination threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StripeThreshold {
+    /// No abandoning; every lane runs to its final diagonal.
+    None,
+    /// The byte-identical contract: per-lane frontier minima masked to
+    /// each lane's own in-band cells, per-lane abandon at exactly the
+    /// diagonal the per-pair kernel would. Costs a second pass over
+    /// every interior cell each diagonal.
+    Exact(u64),
+    /// The ratchet's mode: one **whole-stripe** lower bound per
+    /// diagonal — the unmasked interior minimum [`simd::diag_update`]
+    /// already returns (a min over a *superset* of every lane's in-band
+    /// cells, so it is ≤ every lane's true frontier minimum and
+    /// `bound > t` soundly proves `score > t` for **all** live lanes at
+    /// once), plus the shared boundary value. Near-zero overhead; the
+    /// trade is that the stripe only abandons when *every* lane is
+    /// provably out, and retired-lane residue (which keeps growing
+    /// under positive weights, but can stall under a zero matched
+    /// weight) can delay that further — fine for the ratchet, whose
+    /// abandons are an optimization, never a correctness requirement.
+    Coarse(u64),
+}
+
+impl StripeThreshold {
+    /// The raw threshold for end-of-lane classification (`score > t` ⇒
+    /// reported as exceeded), identical in both thresholded modes.
+    fn classify_raw(self) -> Option<u64> {
+        match self {
+            StripeThreshold::None => None,
+            StripeThreshold::Exact(t) | StripeThreshold::Coarse(t) => Some(t),
+        }
+    }
+}
+
+/// Executes planned units across workers (round-robin, one scratch set
+/// per worker) and scatters results back into input order. With a
+/// `ratchet`, each unit runs under the ratchet's threshold at the
+/// moment the unit starts, and finished scores feed back into it.
+fn run_units<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    units: Vec<WorkUnit>,
+    scratch: &mut BatchScratch,
+    ratchet: Option<&Ratchet>,
+    workers: Option<usize>,
+    out: &mut [EngineOutcome],
+) {
+    let n_workers = workers
+        .unwrap_or_else(rayon::current_num_threads)
+        .min(units.len())
+        .max(1);
+    scratch.ensure(n_workers, cfg);
     // Round-robin units across workers: the planner emits all striped
     // units first and the (at most one-per-worker) per-pair units last,
     // so contiguous chunking would pile every per-pair unit onto the
     // final worker. Round-robin spreads both kinds.
-    let n_workers = rayon::current_num_threads().min(units.len()).max(1);
-    let mut worker_units: Vec<Vec<WorkUnit>> = (0..n_workers).map(|_| Vec::new()).collect();
-    for (i, unit) in units.into_iter().enumerate() {
-        worker_units[i % n_workers].push(unit);
+    struct WorkSlot<'w> {
+        units: Vec<WorkUnit>,
+        scratch: &'w mut WorkerScratch,
     }
-    worker_units.par_chunks_mut(1).for_each(|slot| {
-        let mut engine = crate::engine::AlignEngine::new(*cfg);
-        let mut scratch = StripeScratch::new();
-        for unit in &mut slot[0] {
+    let mut slots: Vec<WorkSlot<'_>> = scratch.workers[..n_workers]
+        .iter_mut()
+        .map(|scratch| WorkSlot {
+            units: Vec::new(),
+            scratch,
+        })
+        .collect();
+    for (i, unit) in units.into_iter().enumerate() {
+        slots[i % n_workers].units.push(unit);
+    }
+    slots.par_chunks_mut(1).for_each(|slot| {
+        let slot = &mut slot[0];
+        let worker = &mut *slot.scratch;
+        for unit in &mut slot.units {
             unit.results
                 .resize(unit.members.len(), EngineOutcome::default());
+            let threshold = match ratchet {
+                Some(r) => match r.current() {
+                    Some(t) => StripeThreshold::Coarse(t),
+                    None => StripeThreshold::None,
+                },
+                None => match cfg.threshold {
+                    Some(t) => StripeThreshold::Exact(t),
+                    None => StripeThreshold::None,
+                },
+            };
+            // Every finished score is observed exactly once — a repeat
+            // observation of the same (score, index) would occupy two
+            // of the heap's k slots and tighten the ratchet below the
+            // true k-th best, which would break the abandon proof.
             if unit.striped {
                 run_stripe(
                     cfg,
                     pairs,
                     &unit.members,
                     unit.width,
-                    &mut scratch,
+                    threshold,
+                    &mut worker.stripe,
                     &mut unit.results,
                 );
+                if let Some(r) = ratchet {
+                    for (&i, res) in unit.members.iter().zip(&unit.results) {
+                        if let Some(score) = res.finished_score() {
+                            r.observe(score, i);
+                        }
+                    }
+                }
+            } else if let Some(r) = ratchet {
+                // Per-pair units can hold a large share of the batch
+                // (e.g. short-read databases where nothing stripes), so
+                // the ratchet is re-read per pair, not per unit — the
+                // threshold keeps tightening while the unit drains. The
+                // per-pair plan re-resolves lane width from the live
+                // threshold, so the fused abandon stays exact.
+                for (slot, &i) in unit.results.iter_mut().zip(&unit.members) {
+                    let mut tuned = *cfg;
+                    tuned.threshold = r.current();
+                    worker.engine.set_config(tuned);
+                    let (q, p) = &pairs[i];
+                    *slot = worker.engine.align(q, p);
+                    if let Some(score) = slot.finished_score() {
+                        r.observe(score, i);
+                    }
+                }
             } else {
                 for (slot, &i) in unit.results.iter_mut().zip(&unit.members) {
                     let (q, p) = &pairs[i];
-                    *slot = engine.align(q, p);
+                    *slot = worker.engine.align(q, p);
                 }
             }
         }
     });
-    for unit in worker_units.iter().flatten() {
+    for unit in slots.iter().flat_map(|s| &s.units) {
         for (&i, &r) in unit.members.iter().zip(&unit.results) {
             out[i] = r;
         }
     }
-    out
 }
 
-/// Groups the batch into work units: wavefront-resolved pairs are
-/// bucketed by `(⌈n⌉, ⌈m⌉)` cohort (lengths rounded up to
-/// [`COHORT_LEN_BUCKET`]), each cohort chunked into stripes of the
-/// width its ceiling shape admits; stripes with fewer than
-/// [`STRIPE_MIN_PAIRS`] members, and rolling-row pairs, fall back to
+/// Groups the batch into work units under the configured
+/// [`PackerPolicy`]; pairs the kernel plan resolves to the rolling row,
+/// and stripes left under [`STRIPE_MIN_PAIRS`] members, fall back to
 /// per-pair runs split evenly across workers.
 fn plan_units<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
 ) -> Vec<WorkUnit> {
-    let bucket = |len: usize| len.div_ceil(COHORT_LEN_BUCKET) * COHORT_LEN_BUCKET;
-    let mut cohorts: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
-        std::collections::BTreeMap::new();
+    let mut eligible: Vec<(usize, usize, usize)> = Vec::new();
     let mut singles: Vec<usize> = Vec::new();
     for (i, (q, p)) in pairs.iter().enumerate() {
         let plan = cfg.resolve_kernel(q.len(), p.len());
         if plan.strategy == KernelStrategy::Wavefront {
-            cohorts
-                .entry((bucket(q.len()), bucket(p.len())))
-                .or_default()
-                .push(i);
+            eligible.push((q.len(), p.len(), i));
         } else {
             singles.push(i);
         }
+    }
+    let mut units = match cfg.packer {
+        PackerPolicy::LengthAware => pack_length_aware(cfg, &mut eligible, &mut singles),
+        PackerPolicy::ExactBucket => pack_exact_bucket(cfg, &eligible, &mut singles),
+    };
+    if !singles.is_empty() {
+        singles.sort_unstable();
+        let per = singles.len().div_ceil(rayon::current_num_threads());
+        for chunk in singles.chunks(per) {
+            units.push(WorkUnit {
+                striped: false,
+                width: LaneWidth::U64,
+                members: chunk.to_vec(),
+                results: Vec::new(),
+            });
+        }
+    }
+    units
+}
+
+/// The length-aware greedy packer (the default). Pairs sorted by
+/// `(n, m)` are packed into consecutive stripes; a stripe accepts its
+/// next pair while
+///
+/// 1. the member count stays within the lane count of the union shape's
+///    lane width (adding a pair can *widen* the union's kernel word and
+///    thereby halve the lane count), and
+/// 2. the padding stays within budget:
+///    `Σ swept − Σ useful ≤ (STRIPE_PAD_BUDGET_PCT/100) · Σ useful`,
+///    where `useful` is each member's own banded cell count and
+///    `swept` is the union shape's banded cell count per member lane.
+///
+/// Sorting makes neighbours shape-similar, so realistic ragged batches
+/// pack nearly full stripes; the budget bounds the worst case. Either
+/// way the sweep itself is unchanged — per-lane geometry masks and
+/// early lane retirement (PR 3) are what make cross-length stripes
+/// cheap.
+fn pack_length_aware(
+    cfg: &AlignConfig,
+    eligible: &mut [(usize, usize, usize)],
+    singles: &mut Vec<usize>,
+) -> Vec<WorkUnit> {
+    eligible.sort_unstable();
+    let mut units = Vec::new();
+    let mut start = 0;
+    while start < eligible.len() {
+        let (n0, m0, _) = eligible[start];
+        let (mut nn, mut mm) = (n0, m0);
+        let mut width = cfg.resolve_stripe_lanes(nn, mm);
+        let mut useful = u128::from(grid_cells(n0, m0, cfg.band));
+        let mut count = 1_usize;
+        while start + count < eligible.len() {
+            let (n2, m2, _) = eligible[start + count];
+            let cand_nn = nn.max(n2);
+            let cand_mm = mm.max(m2);
+            let cand_width = cfg.resolve_stripe_lanes(cand_nn, cand_mm);
+            if count + 1 > stripe_lanes(cand_width) {
+                break;
+            }
+            let cand_useful = useful + u128::from(grid_cells(n2, m2, cfg.band));
+            let swept = u128::from(grid_cells(cand_nn, cand_mm, cfg.band)) * (count as u128 + 1);
+            if (swept - cand_useful) * 100 > cand_useful * u128::from(STRIPE_PAD_BUDGET_PCT) {
+                break;
+            }
+            (nn, mm, width, useful) = (cand_nn, cand_mm, cand_width, cand_useful);
+            count += 1;
+        }
+        let members: Vec<usize> = eligible[start..start + count]
+            .iter()
+            .map(|&(_, _, i)| i)
+            .collect();
+        if count >= STRIPE_MIN_PAIRS {
+            units.push(WorkUnit {
+                striped: true,
+                width,
+                members,
+                results: Vec::new(),
+            });
+        } else {
+            singles.extend(members);
+        }
+        start += count;
+    }
+    units
+}
+
+/// The legacy PR 3 planner ([`PackerPolicy::ExactBucket`]): pairs are
+/// bucketed by `(⌈n⌉, ⌈m⌉)` cohort (lengths rounded up to
+/// [`COHORT_LEN_BUCKET`]) and each cohort chunked into stripes of the
+/// width its ceiling shape admits. Kept as the packer benchmark ruler.
+fn pack_exact_bucket(
+    cfg: &AlignConfig,
+    eligible: &[(usize, usize, usize)],
+    singles: &mut Vec<usize>,
+) -> Vec<WorkUnit> {
+    let bucket = |len: usize| len.div_ceil(COHORT_LEN_BUCKET) * COHORT_LEN_BUCKET;
+    let mut cohorts: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for &(n, m, i) in eligible {
+        cohorts.entry((bucket(n), bucket(m))).or_default().push(i);
     }
     let mut units = Vec::new();
     for ((bn, bm), members) in cohorts {
@@ -170,42 +524,73 @@ fn plan_units<S: Symbol>(
             }
         }
     }
-    if !singles.is_empty() {
-        singles.sort_unstable();
-        let per = singles.len().div_ceil(rayon::current_num_threads());
-        for chunk in singles.chunks(per) {
-            units.push(WorkUnit {
-                striped: false,
-                width: LaneWidth::U64,
-                members: chunk.to_vec(),
-                results: Vec::new(),
-            });
-        }
-    }
     units
 }
 
-/// Reusable per-worker scratch for striped sweeps: the two interleaved
-/// code planes, diagonal buffers at every lane width, and the per-stripe
-/// gather lists — so steady-state striping allocates nothing per stripe.
-struct StripeScratch<'p, S: Symbol> {
+/// Static occupancy accounting for a batch plan (the numbers behind
+/// `engine_baseline --occupancy`); see
+/// [`crate::engine::batch_plan_stats`].
+pub(crate) fn plan_stats_impl<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+) -> BatchPlanStats {
+    let mut stats = BatchPlanStats {
+        pairs: pairs.len(),
+        ..BatchPlanStats::default()
+    };
+    for (q, p) in pairs {
+        if cfg.resolve_kernel(q.len(), p.len()).strategy == KernelStrategy::Wavefront {
+            stats.wavefront_eligible += 1;
+        }
+    }
+    for unit in plan_units(cfg, pairs) {
+        if !unit.striped {
+            continue;
+        }
+        stats.stripes += 1;
+        stats.striped_pairs += unit.members.len();
+        let (mut nn, mut mm) = (0_usize, 0_usize);
+        for &i in &unit.members {
+            let (q, p) = &pairs[i];
+            nn = nn.max(q.len());
+            mm = mm.max(p.len());
+            stats.useful_cells += grid_cells(q.len(), p.len(), cfg.band);
+        }
+        // Swept cells count every lane of the stripe, members or not:
+        // the sweep's vector ops are full-width regardless, so empty
+        // lanes are honest waste.
+        stats.swept_cells += grid_cells(nn, mm, cfg.band) * stripe_lanes(unit.width) as u64;
+    }
+    stats
+}
+
+/// Reusable striped-sweep scratch: the two interleaved code planes,
+/// diagonal buffers at every lane width, and the shape gather list — so
+/// steady-state striping allocates nothing per stripe. `q_key`
+/// identifies the query plane's current contents for many-vs-one scans
+/// (one fixed query across every lane): when consecutive stripes share
+/// the query and the plane geometry, the forward plane is packed once
+/// and reused, not re-transposed per stripe.
+struct StripeScratch {
     q_plane: StripedCodes,
     p_plane: StripedCodes,
-    qs: Vec<&'p PackedSeq<S>>,
-    ps: Vec<&'p PackedSeq<S>>,
+    /// `(query address, lanes, positions)` of the query plane's current
+    /// packing, valid only within one batch call (cleared by
+    /// [`BatchScratch::ensure`] — operand addresses are not stable
+    /// across calls).
+    q_key: Option<(usize, usize, usize)>,
     shapes: Vec<(usize, usize)>,
     b16: [Vec<u16>; 3],
     b32: [Vec<u32>; 3],
     b64: [Vec<u64>; 3],
 }
 
-impl<S: Symbol> StripeScratch<'_, S> {
+impl StripeScratch {
     fn new() -> Self {
         StripeScratch {
             q_plane: StripedCodes::new(),
             p_plane: StripedCodes::new(),
-            qs: Vec::new(),
-            ps: Vec::new(),
+            q_key: None,
             shapes: Vec::new(),
             b16: Default::default(),
             b32: Default::default(),
@@ -216,29 +601,47 @@ impl<S: Symbol> StripeScratch<'_, S> {
 
 /// Packs one stripe's planes and dispatches the sweep at the stripe's
 /// lane width.
-fn run_stripe<'p, S: Symbol>(
+fn run_stripe<S: Symbol>(
     cfg: &AlignConfig,
-    pairs: &[(&'p PackedSeq<S>, &'p PackedSeq<S>)],
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
     members: &[usize],
     width: LaneWidth,
-    scratch: &mut StripeScratch<'p, S>,
+    threshold: StripeThreshold,
+    scratch: &mut StripeScratch,
     results: &mut [EngineOutcome],
 ) {
-    scratch.qs.clear();
-    scratch.ps.clear();
     scratch.shapes.clear();
+    let (mut nn, mut mm) = (0_usize, 0_usize);
     for &i in members {
-        let (q, p) = pairs[i];
-        scratch.qs.push(q);
-        scratch.ps.push(p);
+        let (q, p) = &pairs[i];
         scratch.shapes.push((q.len(), p.len()));
+        nn = nn.max(q.len());
+        mm = mm.max(p.len());
     }
-    let nn = scratch.qs.iter().map(|q| q.len()).max().unwrap_or(0);
-    let mm = scratch.ps.iter().map(|p| p.len()).max().unwrap_or(0);
     let lanes = stripe_lanes(width);
     debug_assert!(members.len() <= lanes, "stripe wider than its lane count");
-    scratch.q_plane.pack_forward(&scratch.qs, lanes, nn, Q_PAD);
-    scratch.p_plane.pack_reversed(&scratch.ps, lanes, mm, P_PAD);
+    let q0 = pairs[members[0]].0;
+    if members.iter().all(|&i| std::ptr::eq(pairs[i].0, q0)) {
+        // Many-vs-one: every lane is the same query. Pack it into every
+        // lane once (inactive lanes holding real codes are harmless —
+        // they start retired and are masked from minima and counts) and
+        // reuse the plane for every stripe with the same geometry.
+        let key = (std::ptr::from_ref(q0) as usize, lanes, nn);
+        if scratch.q_key != Some(key) {
+            scratch
+                .q_plane
+                .pack_lanes_forward((0..lanes).map(|_| q0), lanes, nn, Q_PAD);
+            scratch.q_key = Some(key);
+        }
+    } else {
+        scratch
+            .q_plane
+            .pack_lanes_forward(members.iter().map(|&i| pairs[i].0), lanes, nn, Q_PAD);
+        scratch.q_key = None;
+    }
+    scratch
+        .p_plane
+        .pack_lanes_reversed(members.iter().map(|&i| pairs[i].1), lanes, mm, P_PAD);
     let w = RawWeights::from_weights(cfg.weights);
     match width {
         LaneWidth::U16 => stripe_sweep::<u16, 16>(
@@ -248,7 +651,7 @@ fn run_stripe<'p, S: Symbol>(
             (nn, mm),
             w,
             cfg.band,
-            cfg.threshold,
+            threshold,
             &mut scratch.b16,
             results,
         ),
@@ -259,7 +662,7 @@ fn run_stripe<'p, S: Symbol>(
             (nn, mm),
             w,
             cfg.band,
-            cfg.threshold,
+            threshold,
             &mut scratch.b32,
             results,
         ),
@@ -270,7 +673,7 @@ fn run_stripe<'p, S: Symbol>(
             (nn, mm),
             w,
             cfg.band,
-            cfg.threshold,
+            threshold,
             &mut scratch.b64,
             results,
         ),
@@ -279,8 +682,9 @@ fn run_stripe<'p, S: Symbol>(
 
 /// One striped anti-diagonal sweep over a cohort: lane `l` of every
 /// vector op is pair `l`. The sweep runs the **union** geometry (the
-/// ceiling shape `nn × mm` under the shared band); each lane mirrors
-/// the per-pair wavefront kernel over its own `(n_l, m_l)` via masks:
+/// members' max shape `nn × mm` under the shared band); each lane
+/// mirrors the per-pair wavefront kernel over its own `(n_l, m_l)` via
+/// masks:
 ///
 /// - **Values**: the diagonal buffers hold `(nn + 1) × L` words,
 ///   row-major by absolute row `i` with lanes interleaved, so a lane's
@@ -297,6 +701,15 @@ fn run_stripe<'p, S: Symbol>(
 /// - **Retirement**: at `d = n_l + m_l` the lane's sink cell is read
 ///   from the current diagonal and the lane classifies exactly like the
 ///   per-pair kernel's epilogue.
+///
+/// A `threshold` at or above the lane word's `+∞` sentinel is clamped
+/// to it, which makes the in-lane abandon comparison `min > INF`
+/// unsatisfiable — the sweep simply never abandons, while the `u64`
+/// end-of-lane classification stays exact. Callers that need the
+/// abandon to *fire* exactly (the fixed-threshold batch path) plan lane
+/// widths with the threshold folded into eligibility; the ratcheted
+/// scan instead starts from `+∞` and relies on this conservative
+/// clamping until the ratchet tightens into range.
 #[allow(clippy::too_many_arguments)]
 fn stripe_sweep<W: KernelWord, const L: usize>(
     shapes: &[(usize, usize)],
@@ -305,14 +718,22 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
     (nn, mm): (usize, usize),
     w: RawWeights,
     band: Option<usize>,
-    threshold: Option<u64>,
+    threshold: StripeThreshold,
     bufs: &mut [Vec<W>; 3],
     out: &mut [EngineOutcome],
 ) {
     let lanes = shapes.len();
     assert!(lanes <= L && lanes == out.len());
     let lw: LaneWeights<W> = w.lanes();
-    let t_w = threshold.map(W::clamp_raw);
+    let t_raw = threshold.classify_raw();
+    let t_w = match threshold {
+        StripeThreshold::Exact(t) => Some(W::clamp_raw(t)),
+        _ => None,
+    };
+    let t_c = match threshold {
+        StripeThreshold::Coarse(t) => Some(W::clamp_raw(t)),
+        _ => None,
+    };
     for b in bufs.iter_mut() {
         b.clear();
         b.resize((nn + 1) * L, W::INF);
@@ -331,13 +752,15 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
     bufs[0][..L].fill(W::ZERO);
     let mut min1 = [W::ZERO; L]; // per-lane min over diagonal d − 1
     let mut min2 = [W::INF; L]; // per-lane min over diagonal d − 2
+    let mut gmin1 = W::ZERO; // whole-stripe lower bound, diagonal d − 1
+    let mut gmin2 = W::INF; // whole-stripe lower bound, diagonal d − 2
     let mut cells = [1_u64; L];
     let mut done = [true; L];
     let mut live = 0_usize;
     for (l, &(n, m)) in shapes.iter().enumerate() {
         if n + m == 0 {
             // Root-only pair: the per-pair kernel's loop body never runs.
-            out[l] = classify_outcome(0, threshold, 1);
+            out[l] = classify_outcome(0, t_raw, 1);
         } else {
             done[l] = false;
             live += 1;
@@ -366,6 +789,25 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
                 break;
             }
         }
+        // Coarse whole-stripe abandon: the two-diagonal lower bound is
+        // ≤ every live lane's true frontier minimum, so exceeding the
+        // threshold proves score > t for every lane at once.
+        if let Some(t) = t_c {
+            if gmin1.min(gmin2) > t {
+                for l in 0..lanes {
+                    if !done[l] {
+                        out[l] = EngineOutcome {
+                            score: Time::NEVER,
+                            cells_computed: cells[l],
+                            early_terminated: true,
+                        };
+                        done[l] = true;
+                        live -= 1;
+                    }
+                }
+                break;
+            }
+        }
         let (cur, d1, d2) = rotate_bufs(bufs, d);
         let (lo, hi) = diag_range(d, nn, mm, band);
         if lo > hi {
@@ -379,12 +821,13 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             }
             min2 = min1;
             min1 = [W::INF; L];
+            (gmin2, gmin1) = (gmin1, W::INF);
             // A lane whose final diagonal this was still retires: its
             // sink range is empty too, so its score is the per-pair
             // kernel's band-excluded-sink verdict.
             for (l, &(n, m)) in shapes.iter().enumerate() {
                 if !done[l] && d == n + m {
-                    out[l] = classify_outcome(NEVER, threshold, cells[l]);
+                    out[l] = classify_outcome(NEVER, t_raw, cells[l]);
                     done[l] = true;
                     live -= 1;
                 }
@@ -415,9 +858,10 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
         // lanes, with no per-row temporaries and no tails.
         let ilo = lo.max(1);
         let ihi = hi.min(d - 1);
+        let mut interior_min = W::INF;
         if ilo <= ihi {
             let (a, b) = (ilo * L, (ihi + 1) * L);
-            simd::diag_update(
+            interior_min = simd::diag_update(
                 &d1[a - L..b - L],                                    // up: (i − 1, j)
                 &d1[a..b],                                            // left: (i, j − 1)
                 &d2[a - L..b - L],                                    // diag: (i − 1, j − 1)
@@ -426,6 +870,17 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
                 lw,
                 &mut cur[a..b],
             );
+        }
+        if t_c.is_some() {
+            // The whole-stripe bound: the unmasked interior minimum
+            // (padding, out-of-shape cells and retired-lane residue
+            // included — a superset, so only ever conservative) plus
+            // the shared boundary value when any boundary cell exists.
+            let mut gdmin = interior_min;
+            if lo == 0 || hi == d {
+                gdmin = gdmin.min(boundary);
+            }
+            (gmin2, gmin1) = (gmin1, gdmin);
         }
 
         // Per-lane frontier minima are only consumed by the abandon
@@ -513,7 +968,7 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
                 } else {
                     NEVER // the band excludes the lane's sink cell
                 };
-                out[l] = classify_outcome(raw, threshold, cells[l]);
+                out[l] = classify_outcome(raw, t_raw, cells[l]);
                 done[l] = true;
                 live -= 1;
             }
@@ -557,10 +1012,12 @@ mod tests {
         cfg: &AlignConfig,
         pairs: &[(PackedSeq<Dna>, PackedSeq<Dna>)],
     ) {
-        let batch = align_batch(cfg, pairs);
-        let mut engine = AlignEngine::new(*cfg);
-        for (i, (q, p)) in pairs.iter().enumerate() {
-            assert_eq!(batch[i], engine.align(q, p), "pair {i}");
+        for cfg in [*cfg, cfg.with_packer(PackerPolicy::ExactBucket)] {
+            let batch = align_batch(&cfg, pairs);
+            let mut engine = AlignEngine::new(cfg);
+            for (i, (q, p)) in pairs.iter().enumerate() {
+                assert_eq!(batch[i], engine.align(q, p), "pair {i} ({})", cfg.packer);
+            }
         }
     }
 
@@ -629,19 +1086,124 @@ mod tests {
     #[test]
     fn planner_buckets_and_stripes() {
         // 20 pairs of one shape at u16 width → one full 16-lane stripe +
-        // 4 leftovers (≥ STRIPE_MIN_PAIRS → second stripe).
+        // 4 leftovers (≥ STRIPE_MIN_PAIRS → second stripe), under both
+        // packers — identical lengths are the degenerate case where the
+        // length-aware packer reduces to the PR 3 plan.
         let pairs = random_pairs(20, 64, 64);
+        let base = AlignConfig::new(RaceWeights::fig4());
+        for cfg in [base, base.with_packer(PackerPolicy::ExactBucket)] {
+            let units = plan_units(&cfg, &ref_pairs(&pairs));
+            let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
+            assert_eq!(striped.len(), 2, "{}", cfg.packer);
+            assert_eq!(striped[0].members.len(), 16, "{}", cfg.packer);
+            assert_eq!(striped[1].members.len(), 4, "{}", cfg.packer);
+            // Short pairs resolve to the rolling row and never stripe.
+            let short = random_pairs(16, 8, 8);
+            assert!(plan_units(&cfg, &ref_pairs(&short))
+                .iter()
+                .all(|u| !u.striped));
+        }
+    }
+
+    #[test]
+    fn length_aware_packer_crosses_buckets_within_budget() {
+        // Lengths 200 + 7i, one pair each: every 16-rounded bucket holds
+        // at most 3 pairs (< STRIPE_MIN_PAIRS), so the exact-bucket
+        // planner stripes *nothing* — while neighbours differ by only
+        // ~3.5%, so the length-aware packer fills ~8-lane stripes well
+        // within the 25% budget.
+        let mut rng = rl_dag::generate::seeded_rng(0xACE);
+        let pairs: Vec<_> = (0..40)
+            .map(|i| {
+                let len = 200 + 7 * i;
+                (
+                    pack(&Seq::random(&mut rng, len)),
+                    pack(&Seq::random(&mut rng, len)),
+                )
+            })
+            .collect();
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let aware = plan_stats_impl(&cfg, &ref_pairs(&pairs));
+        let exact = plan_stats_impl(
+            &cfg.with_packer(PackerPolicy::ExactBucket),
+            &ref_pairs(&pairs),
+        );
+        assert_eq!(aware.wavefront_eligible, pairs.len());
+        assert_eq!(
+            exact.striped_pairs, 0,
+            "exact buckets of ≤ 3 pairs must all fall back"
+        );
+        assert!(
+            aware.striped_pairs * 10 >= pairs.len() * 8,
+            "≥ 80% of eligible pairs must ride stripes (got {}/{})",
+            aware.striped_pairs,
+            pairs.len()
+        );
+        // Sanity on the occupancy accounting itself (swept counts every
+        // lane, so it can only exceed the members' useful cells).
+        assert!(aware.swept_cells >= aware.useful_cells);
+        assert_batch_matches_sequential(&cfg, &pairs);
+    }
+
+    #[test]
+    fn padding_budget_boundary_is_exact() {
+        // Unbanded areas: a 39×39 stripe member is (40·40) = 1600 useful
+        // cells. Mixing one 49×49 pair (2500 cells) with seven 39×39:
+        // useful = 7·1600 + 2500 = 13700, swept = 8·2500 = 20000,
+        // padded = 6300 > 25% · 13700 = 3425 → must split. With 44×44
+        // (2025): useful = 7·1600 + 2025 = 13225, swept = 8·2025 =
+        // 16200, padded = 2975 ≤ 3306 → may merge.
+        let mut rng = rl_dag::generate::seeded_rng(0xB0B);
+        let mut mk = |len: usize| {
+            (
+                pack(&Seq::random(&mut rng, len)),
+                pack(&Seq::random(&mut rng, len)),
+            )
+        };
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+
+        let mut over: Vec<_> = (0..7).map(|_| mk(39)).collect();
+        over.push(mk(49));
+        let units = plan_units(&cfg, &ref_pairs(&over));
+        let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
+        assert_eq!(striped.len(), 1, "over-budget outlier must not merge");
+        assert_eq!(striped[0].members.len(), 7);
+        assert_batch_matches_sequential(&cfg, &over);
+
+        let mut under: Vec<_> = (0..7).map(|_| mk(39)).collect();
+        under.push(mk(44));
+        let units = plan_units(&cfg, &ref_pairs(&under));
+        let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
+        assert_eq!(striped.len(), 1, "within-budget outlier must merge");
+        assert_eq!(striped[0].members.len(), 8);
+        assert_batch_matches_sequential(&cfg, &under);
+    }
+
+    #[test]
+    fn single_pair_overflow_falls_back_to_per_pair() {
+        // One giant outlier after a full stripe: it can never share a
+        // stripe within budget, and alone it is below STRIPE_MIN_PAIRS —
+        // the planner must route it per-pair, not force a 1-lane stripe.
+        let mut rng = rl_dag::generate::seeded_rng(0xD0E);
+        let mut pairs: Vec<_> = (0..16)
+            .map(|_| {
+                (
+                    pack(&Seq::random(&mut rng, 40)),
+                    pack(&Seq::random(&mut rng, 40)),
+                )
+            })
+            .collect();
+        pairs.push((
+            pack(&Seq::random(&mut rng, 300)),
+            pack(&Seq::random(&mut rng, 300)),
+        ));
         let cfg = AlignConfig::new(RaceWeights::fig4());
         let units = plan_units(&cfg, &ref_pairs(&pairs));
         let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
-        assert_eq!(striped.len(), 2);
+        assert_eq!(striped.len(), 1);
         assert_eq!(striped[0].members.len(), 16);
-        assert_eq!(striped[1].members.len(), 4);
-        // Short pairs resolve to the rolling row and never stripe.
-        let short = random_pairs(16, 8, 8);
-        assert!(plan_units(&cfg, &ref_pairs(&short))
-            .iter()
-            .all(|u| !u.striped));
+        assert!(units.iter().any(|u| !u.striped && u.members.contains(&16)));
+        assert_batch_matches_sequential(&cfg, &pairs);
     }
 
     #[test]
@@ -689,6 +1251,28 @@ mod tests {
             AlignConfig::new(w).with_band(5).with_threshold(100),
         ] {
             assert_batch_matches_sequential(&cfg, &pairs);
+        }
+    }
+
+    #[test]
+    fn grid_cells_matches_diag_range_sum() {
+        // The closed form (full grid minus corner triangles) must equal
+        // the kernel's own per-diagonal ranges for every clipping shape:
+        // band wider than either dimension, band 0, degenerate grids.
+        for (n, m) in [(0, 0), (0, 9), (5, 3), (12, 12), (7, 20), (31, 2)] {
+            for band in [None, Some(0), Some(1), Some(2), Some(8), Some(25), Some(40)] {
+                let by_diag: u64 = (0..=(n + m))
+                    .map(|d| {
+                        let (lo, hi) = diag_range(d, n, m, band);
+                        if lo <= hi {
+                            (hi - lo + 1) as u64
+                        } else {
+                            0
+                        }
+                    })
+                    .sum();
+                assert_eq!(grid_cells(n, m, band), by_diag, "{n}x{m} band {band:?}");
+            }
         }
     }
 }

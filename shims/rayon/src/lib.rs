@@ -10,9 +10,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Number of hardware threads available to parallel operations.
+/// Number of threads available to parallel operations: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer (mirroring real rayon's global-pool override — read per
+/// call, since this shim has no pool to pin), otherwise the hardware
+/// parallelism.
 #[must_use]
 pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 

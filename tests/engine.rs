@@ -462,35 +462,35 @@ fn u16_u32_eligibility_boundary_regression() {
             .parse()
             .unwrap()
     };
-    // At 150 × 150 (≥ U16_MIN_LEN): (302) · 108 = 32616 < 32767 ⇒ u16,
-    // (302) · 109 = 32918 ⇒ u32.
-    for (weight, want) in [(108, LaneWidth::U16), (109, LaneWidth::U32)] {
+    // At 600 × 600 (≥ U16_MIN_LEN = 512): (1202) · 27 = 32454 < 32767
+    // ⇒ u16, (1202) · 28 = 33656 ⇒ u32.
+    for (weight, want) in [(27, LaneWidth::U16), (28, LaneWidth::U32)] {
         let w = RaceWeights {
             matched: weight,
             mismatched: Some(weight),
             indel: weight,
         };
         let cfg = AlignConfig::new(w);
-        assert_eq!(cfg.resolve_kernel(150, 150).lanes, want, "weight {weight}");
-        let (q, p) = (make(150, 0), make(150, 1));
+        assert_eq!(cfg.resolve_kernel(600, 600).lanes, want, "weight {weight}");
+        let (q, p) = (make(600, 0), make(600, 1));
         let wave = engine_score(cfg.with_strategy(KernelStrategy::Wavefront), &q, &p);
         let rolling = engine_score(cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
         assert_eq!(wave, rolling, "weight {weight}");
     }
-    // At weight 100 the flip sits at n + m = 325: shapes 160+164 (u16)
-    // and 160+166 (u32) straddle it.
+    // At weight 20 the flip sits at n + m = 1636: shapes 600+1036 (u16)
+    // and 600+1037 (u32) straddle it.
     let w = RaceWeights {
-        matched: 100,
-        mismatched: Some(100),
-        indel: 100,
+        matched: 20,
+        mismatched: Some(20),
+        indel: 20,
     };
     let cfg = AlignConfig::new(w);
-    for (m, want) in [(164, LaneWidth::U16), (166, LaneWidth::U32)] {
-        assert_eq!(cfg.resolve_kernel(160, m).lanes, want, "160x{m}");
-        let (q, p) = (make(160, 0), make(m, 3));
+    for (m, want) in [(1036, LaneWidth::U16), (1037, LaneWidth::U32)] {
+        assert_eq!(cfg.resolve_kernel(600, m).lanes, want, "600x{m}");
+        let (q, p) = (make(600, 0), make(m, 3));
         let wave = engine_score(cfg.with_strategy(KernelStrategy::Wavefront), &q, &p);
         let rolling = engine_score(cfg.with_strategy(KernelStrategy::RollingRow), &q, &p);
-        assert_eq!(wave, rolling, "160x{m}");
+        assert_eq!(wave, rolling, "600x{m}");
     }
 }
 
@@ -554,6 +554,242 @@ fn band_compaction_edge_regression() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Ragged batches (length-aware packer) and the ratcheted top-k scan.
+// ---------------------------------------------------------------------------
+
+use race_logic::early_termination::{scan_database, scan_database_topk_with_workers};
+use race_logic::engine::{batch_plan_stats, BatchEngine, PackerPolicy};
+
+/// Seed-pinned log-normal lengths clamped to `[lo, hi]` — the shape of
+/// realistic read-length distributions (same construction as
+/// `engine_baseline --ragged`, independently seeded here).
+fn lognormal_lengths(
+    seed: u64,
+    count: usize,
+    median: f64,
+    sigma: f64,
+    lo: usize,
+    hi: usize,
+) -> Vec<usize> {
+    use rand::Rng;
+    let mut rng = rl_dag::generate::seeded_rng(seed);
+    (0..count)
+        .map(|_| {
+            let u1 = rng.unit_f64().max(1e-12);
+            let u2 = rng.unit_f64();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let len = (median.ln() + sigma * z).exp().round() as i64;
+            (len.max(lo as i64) as usize).min(hi)
+        })
+        .collect()
+}
+
+fn ragged_pairs(seed: u64, count: usize) -> Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> {
+    use rand::Rng;
+    let lens = lognormal_lengths(seed, count, 96.0, 0.5, 8, 320);
+    let mut rng = rl_dag::generate::seeded_rng(seed ^ 0x5EED);
+    lens.iter()
+        .map(|&n| {
+            // Pattern length jittered ±15% around the query's: the
+            // read-vs-candidate shape of a real scan.
+            let m = ((n as f64) * rng.random_range(0.85..=1.15))
+                .round()
+                .max(1.0) as usize;
+            (
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, n)),
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, m)),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// The length-aware packer's batches are byte-identical to the
+    /// sequential engine over ragged log-normal length mixes — scores,
+    /// cell counts and verdicts — across bands, thresholds, and both
+    /// packer policies (and a reused `BatchEngine` matches the one-shot
+    /// free function).
+    #[test]
+    fn ragged_lognormal_batch_equals_sequential(
+        seed in 0_u64..1_000, band in 3_usize..24, t in 20_u64..120
+    ) {
+        let pairs = ragged_pairs(seed, 24);
+        let w = RaceWeights::fig4();
+        for cfg in [
+            AlignConfig::new(w),
+            AlignConfig::new(w).with_band(band),
+            AlignConfig::new(w).with_threshold(t),
+            AlignConfig::new(w).with_band(band).with_threshold(t),
+        ] {
+            for cfg in [cfg, cfg.with_packer(PackerPolicy::ExactBucket)] {
+                let batch = align_batch(&cfg, &pairs);
+                let mut engine = AlignEngine::new(cfg);
+                let sequential: Vec<EngineOutcome> =
+                    pairs.iter().map(|(q, p)| engine.align(q, p)).collect();
+                prop_assert_eq!(&batch, &sequential, "packer {}", cfg.packer);
+            }
+        }
+    }
+
+    /// The ratcheted top-k scan returns exactly the k best `(score,
+    /// index)` hits a sequential full scan would select — for every
+    /// seed, k, and optional seed threshold — and is identical across
+    /// worker counts.
+    #[test]
+    fn ratcheted_topk_equals_sequential_selection(
+        seed in 0_u64..500, k in 1_usize..12, with_threshold in 0_u8..2
+    ) {
+        use rand::Rng;
+        let mut rng = rl_dag::generate::seeded_rng(seed.wrapping_mul(0x9E37));
+        let query = Seq::<Dna>::random(&mut rng, 48);
+        let db: Vec<Seq<Dna>> = (0..30)
+            .map(|_| {
+                let len = rng.random_range(32_usize..=72);
+                Seq::<Dna>::random(&mut rng, len)
+            })
+            .collect();
+        let w = RaceWeights::fig4();
+        let threshold = (with_threshold == 1).then_some(90_u64);
+
+        // Reference: sequential full scan, k smallest (score, idx).
+        let mut engine = AlignEngine::new(AlignConfig::new(w));
+        let qp = PackedSeq::from_seq(&query);
+        let mut expected: Vec<(usize, u64)> = db
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let score = engine.align(&qp, &PackedSeq::from_seq(p)).score.cycles()?;
+                (threshold.is_none_or(|t| score <= t)).then_some((i, score))
+            })
+            .collect();
+        expected.sort_unstable_by_key(|&(idx, score)| (score, idx));
+        expected.truncate(k);
+
+        for workers in [Some(1), Some(4), None] {
+            let scan = scan_database_topk_with_workers(&query, &db, w, k, threshold, workers);
+            prop_assert_eq!(&scan.hits, &expected, "workers {:?}", workers);
+        }
+    }
+}
+
+/// The ratcheted scan is deterministic across worker counts on a ragged
+/// log-normal database (the ISSUE's `RAYON_NUM_THREADS ∈ {1, 4}`
+/// contract, driven through the explicit worker-count API so the test
+/// does not mutate process-global environment), and the ratchet
+/// actually saves work relative to the unratcheted full scan.
+#[test]
+fn ratcheted_topk_deterministic_across_worker_counts() {
+    let mut rng = rl_dag::generate::seeded_rng(0x70CC);
+    let query = Seq::<Dna>::random(&mut rng, 64);
+    // A few near-duplicates (the true hits) buried in ragged noise.
+    let mut db: Vec<Seq<Dna>> = (0..6)
+        .map(|_| {
+            rl_bio::mutate::mutate(
+                &query,
+                &rl_bio::mutate::MutationConfig::substitutions_only(0.05),
+                &mut rng,
+            )
+        })
+        .collect();
+    for &len in &lognormal_lengths(0xD15C, 120, 72.0, 0.45, 32, 200) {
+        db.push(Seq::<Dna>::random(&mut rng, len));
+    }
+    let w = RaceWeights::fig4();
+
+    let single = scan_database_topk_with_workers(&query, &db, w, 8, None, Some(1));
+    let quad = scan_database_topk_with_workers(&query, &db, w, 8, None, Some(4));
+    assert_eq!(
+        single.hits, quad.hits,
+        "top-k must not depend on worker count"
+    );
+    assert_eq!(single.hits.len(), 8);
+    assert!(
+        single.hits.iter().take(3).all(|&(i, _)| i < 6),
+        "mutated near-duplicates must lead the ranking: {:?}",
+        single.hits
+    );
+    // The ratchet abandons provably-outside entries; the full batch
+    // scan computes every cell. (Cells are advisory/interleaving-
+    // dependent, so only the direction is asserted.)
+    let full: u64 = {
+        let pairs: Vec<_> = db
+            .iter()
+            .map(|p| (PackedSeq::from_seq(&query), PackedSeq::from_seq(p)))
+            .collect();
+        align_batch(&AlignConfig::new(w), &pairs)
+            .iter()
+            .map(|o| o.cells_computed)
+            .sum()
+    };
+    assert!(
+        single.abandoned > 0,
+        "the ratchet must abandon dissimilar entries"
+    );
+    assert!(
+        single.cells_computed < full,
+        "ratcheting must save cells ({} !< {full})",
+        single.cells_computed
+    );
+}
+
+/// On a ragged log-normal workload most wavefront-eligible pairs must
+/// ride stripes under the length-aware packer (the acceptance-criterion
+/// floor, pinned well below the measured value), and a reused
+/// `BatchEngine` stays byte-identical to the free function.
+#[test]
+fn ragged_workload_stripes_most_pairs() {
+    let pairs = ragged_pairs(0xBADC0DE, 400);
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let aware = batch_plan_stats(&cfg, &pairs);
+    let exact = batch_plan_stats(&cfg.with_packer(PackerPolicy::ExactBucket), &pairs);
+    assert!(
+        aware.striped_pairs * 10 >= aware.wavefront_eligible * 8,
+        "length-aware packer must stripe ≥ 80% of eligible pairs: {}/{}",
+        aware.striped_pairs,
+        aware.wavefront_eligible
+    );
+    assert!(
+        aware.striped_fraction() > exact.striped_fraction(),
+        "length-aware ({:.2}) must beat exact-bucket ({:.2}) on ragged lengths",
+        aware.striped_fraction(),
+        exact.striped_fraction()
+    );
+    assert!(
+        aware.occupancy() > 0.5,
+        "occupancy {:.2}",
+        aware.occupancy()
+    );
+
+    let mut batcher = BatchEngine::new(cfg);
+    let first = batcher.align_batch(&pairs);
+    let second = batcher.align_batch(&pairs); // scratch reuse path
+    assert_eq!(first, second);
+    assert_eq!(first, align_batch(&cfg, &pairs));
+}
+
+/// `scan_database` (the §6 report) and the ratcheted top-k agree on who
+/// the hits are when k covers every within-threshold entry.
+#[test]
+fn topk_agrees_with_scan_database_hits() {
+    use rand::Rng;
+    let mut rng = rl_dag::generate::seeded_rng(42);
+    let query = Seq::<Dna>::random(&mut rng, 40);
+    let db: Vec<Seq<Dna>> = (0..40)
+        .map(|_| {
+            let len = rng.random_range(32_usize..=56);
+            Seq::<Dna>::random(&mut rng, len)
+        })
+        .collect();
+    let w = RaceWeights::fig4();
+    let threshold = 45_u64;
+    let report = scan_database(&query, &db, w, threshold);
+    let topk = scan_database_topk_with_workers(&query, &db, w, db.len(), Some(threshold), Some(2));
+    let mut expected = report.hits.clone();
+    expected.sort_unstable_by_key(|&(idx, score)| (score, idx));
+    assert_eq!(topk.hits, expected);
 }
 
 /// The lane floor is purely an A/B knob: every width computes the same
