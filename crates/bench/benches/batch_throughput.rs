@@ -125,5 +125,43 @@ fn bench_ragged_packers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_throughput, bench_ragged_packers);
+/// Mode sweep: the striped batch kernel under every alignment mode at
+/// one fixed shape — how much the free-end bookkeeping (semi-global
+/// best registers), the max-plus dual (local), and the three-plane
+/// per-pair fallback (affine) cost relative to global.
+fn bench_mode_sweep(c: &mut Criterion) {
+    use race_logic::engine::{AffineWeights, AlignMode, LocalScores};
+
+    let seqs = random_pairs(64);
+    let packed: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = seqs
+        .iter()
+        .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
+        .collect();
+
+    let mut group = c.benchmark_group(format!(
+        "batch_throughput/{PAIRS}x64bp-modes/threads={}",
+        rayon::current_num_threads()
+    ));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PAIRS as u64));
+    for mode in [
+        AlignMode::Global,
+        AlignMode::SemiGlobal,
+        AlignMode::Local(LocalScores::blast()),
+        AlignMode::GlobalAffine(AffineWeights { open: 2 }),
+    ] {
+        let cfg = AlignConfig::new(RaceWeights::fig4()).with_mode(mode);
+        group.bench_function(format!("engine_align_batch/{mode}"), |b| {
+            b.iter(|| black_box(align_batch(&cfg, &packed)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_throughput,
+    bench_ragged_packers,
+    bench_mode_sweep
+);
 criterion_main!(benches);

@@ -26,13 +26,15 @@
 //!   compare against `host_cores`).
 //!
 //! Run with no arguments to reproduce the committed sweep (long reads,
-//! short reads, narrow band, ragged log-normal, top-k scan) and rewrite
+//! short reads, narrow band, ragged log-normal, the alignment-mode
+//! sweep, and the global + semi-global top-k scans) and rewrite
 //! `BENCH_engine.json`. Flags narrow the run to one configuration and
 //! print its JSON to stdout without touching the committed file:
 //!
 //! ```text
 //! engine_baseline [--pairs N] [--length N] [--band K] [--ragged]
 //!                 [--occupancy] [--scan K]
+//!                 [--mode global|semi|local|affine]
 //!                 [--strategy rolling-row|wavefront|batch|all]
 //! ```
 //!
@@ -41,7 +43,11 @@
 //! instead of fixed lengths; `--occupancy` adds the batch planner's
 //! stripe occupancy and striped-vs-fallback counts (for both packer
 //! policies) to the JSON; `--scan K` benchmarks the threshold-ratcheted
-//! top-k database scan against the unratcheted batch scan.
+//! top-k database scan against the unratcheted batch scan; `--mode`
+//! runs the whole workload (scan included) in an alignment mode —
+//! `semi` and `affine` race the configured weights with free ends /
+//! affine gaps, `local` races BLAST-ish similarity scores
+//! ([`race_logic::engine::LocalScores::blast`]) on the max-plus dual.
 //!
 //! The workload is deterministic (seeded), so numbers move only when the
 //! code or the machine does.
@@ -50,10 +56,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use race_logic::alignment::{AlignmentRace, RaceWeights};
-use race_logic::early_termination::scan_packed_topk;
+use race_logic::early_termination::scan_packed_topk_with;
 use race_logic::engine::{
-    align_batch, batch_plan_stats, AlignConfig, AlignEngine, BatchPlanStats, KernelStrategy,
-    LaneWidth, PackerPolicy,
+    align_batch, batch_plan_stats, AffineWeights, AlignConfig, AlignEngine, AlignMode,
+    BatchPlanStats, KernelStrategy, LaneWidth, LocalScores, PackerPolicy,
 };
 use rl_bench::lognormal_len;
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
@@ -87,6 +93,8 @@ struct Workload {
     /// Log-normal lengths (median `len`, σ = [`RAGGED_SIGMA`], clamp
     /// `[8, 8·len]`, pattern ±15%) instead of fixed `len × len`.
     ragged: bool,
+    /// Alignment mode the whole workload runs in (`--mode`).
+    mode: AlignMode,
 }
 
 struct Entry {
@@ -136,11 +144,12 @@ fn build_pairs(wl: Workload) -> Vec<(Seq<Dna>, Seq<Dna>)> {
 fn plan_json(label: &str, stats: BatchPlanStats) -> String {
     format!(
         "\"{label}\": {{\"wavefront_eligible\": {}, \"striped_pairs\": {}, \"stripes\": {}, \
-         \"striped_fraction\": {:.3}, \"useful_cells\": {}, \"swept_cells\": {}, \
-         \"occupancy\": {:.3}}}",
+         \"half_width_stripes\": {}, \"striped_fraction\": {:.3}, \"useful_cells\": {}, \
+         \"swept_cells\": {}, \"occupancy\": {:.3}}}",
         stats.wavefront_eligible,
         stats.striped_pairs,
         stats.stripes,
+        stats.half_width_stripes,
         stats.striped_fraction(),
         stats.useful_cells,
         stats.swept_cells,
@@ -154,7 +163,7 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
         .iter()
         .map(|(q, p)| (PackedSeq::from_seq(q), PackedSeq::from_seq(p)))
         .collect();
-    let mut cfg = AlignConfig::new(RaceWeights::fig4());
+    let mut cfg = AlignConfig::new(RaceWeights::fig4()).with_mode(wl.mode);
     if let Some(k) = wl.band {
         cfg = cfg.with_band(k);
     }
@@ -166,8 +175,9 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
     let mut entries: Vec<Entry> = Vec::new();
     let wants = |f: StrategyFilter| filter == StrategyFilter::All || filter == f;
 
-    // The allocating full-grid loop only covers the unbanded recurrence.
-    if wants(StrategyFilter::RollingRow) && wl.band.is_none() {
+    // The allocating full-grid loop only covers the unbanded global
+    // recurrence.
+    if wants(StrategyFilter::RollingRow) && wl.band.is_none() && wl.mode == AlignMode::Global {
         let (t, sum) = time_reps(|| {
             seqs.iter()
                 .map(|(q, p)| {
@@ -311,8 +321,8 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
     };
     let _ = writeln!(
         json,
-        "      \"workload\": {{\"pairs\": {}, \"lengths\": {lengths}, \"band\": {band_json}, \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},",
-        wl.pairs
+        "      \"workload\": {{\"pairs\": {}, \"lengths\": {lengths}, \"band\": {band_json}, \"mode\": \"{}\", \"alphabet\": \"DNA\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4\"}},",
+        wl.pairs, wl.mode
     );
     let _ = writeln!(json, "      \"score_checksum\": {},", entries[0].checksum);
     if occupancy || wl.ragged {
@@ -380,16 +390,39 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
 /// database, ratcheted pipeline vs unratcheted batch scan + selection.
 /// Both must select the identical hits (asserted), so the speedup is
 /// pure early-termination win.
-fn run_scan(db_size: usize, median_len: usize, k: usize, workers: usize) -> String {
+///
+/// In semi-global mode — the paper's literal §6 question, "does Q occur
+/// anywhere in this entry?" — the query is a *read* a third the entry
+/// length and the weights are Levenshtein (a zero match cost, so
+/// occurrences race to low scores; under fig4 skipping the query is as
+/// cheap as matching it).
+fn run_scan(
+    db_size: usize,
+    median_len: usize,
+    k: usize,
+    workers: usize,
+    mode: AlignMode,
+) -> String {
+    let semi = mode == AlignMode::SemiGlobal;
     let mut rng = seeded_rng(SEED ^ 0x5CA9);
-    let query = Seq::<Dna>::random(&mut rng, median_len);
+    let query_len = if semi {
+        (median_len / 3).max(16)
+    } else {
+        median_len
+    };
+    let query = Seq::<Dna>::random(&mut rng, query_len);
     let db: Vec<Seq<Dna>> = (0..db_size)
         .map(|_| {
             let len = lognormal_len(&mut rng, median_len as f64, 0.5, 8, median_len * 4);
             Seq::random(&mut rng, len)
         })
         .collect();
-    let w = RaceWeights::fig4();
+    let w = if semi {
+        RaceWeights::levenshtein()
+    } else {
+        RaceWeights::fig4()
+    };
+    let cfg = AlignConfig::new(w).with_mode(mode);
 
     // Both sides scan the same pre-packed database: the comparison is
     // ratcheted pipeline vs full batch + selection, nothing else.
@@ -397,13 +430,12 @@ fn run_scan(db_size: usize, median_len: usize, k: usize, workers: usize) -> Stri
     let patterns: Vec<PackedSeq<Dna>> = db.iter().map(PackedSeq::from_seq).collect();
 
     let (t_ratchet, _) = time_reps(|| {
-        let scan = scan_packed_topk(&q, &patterns, w, k, None, None);
+        let scan = scan_packed_topk_with(&cfg, &q, &patterns, k, None);
         scan.hits.iter().map(|&(_, s)| s).sum()
     });
-    let ratcheted = scan_packed_topk(&q, &patterns, w, k, None, None);
+    let ratcheted = scan_packed_topk_with(&cfg, &q, &patterns, k, None);
 
     let pairs: Vec<(&PackedSeq<Dna>, &PackedSeq<Dna>)> = patterns.iter().map(|p| (&q, p)).collect();
-    let cfg = AlignConfig::new(w);
     let full_topk = || {
         let outcomes = race_logic::engine::align_batch_refs(&cfg, &pairs);
         let mut hits: Vec<(usize, u64)> = outcomes
@@ -420,10 +452,12 @@ fn run_scan(db_size: usize, median_len: usize, k: usize, workers: usize) -> Stri
     assert_eq!(ratcheted.hits, full_topk(), "ratcheted top-k must be exact");
 
     let mut json = String::new();
-    let _ = writeln!(json, "  \"scan_topk\": {{");
+    let key = if semi { "scan_topk_semi" } else { "scan_topk" };
+    let _ = writeln!(json, "  \"{key}\": {{");
     let _ = writeln!(
         json,
-        "    \"workload\": {{\"database\": {db_size}, \"lengths\": \"lognormal(median={median_len}, sigma=0.5)\", \"k\": {k}, \"workers\": {workers}, \"weights\": \"fig4\", \"seed\": \"0xBA7C4^0x5CA9\"}},"
+        "    \"workload\": {{\"database\": {db_size}, \"query_len\": {query_len}, \"lengths\": \"lognormal(median={median_len}, sigma=0.5)\", \"k\": {k}, \"workers\": {workers}, \"mode\": \"{mode}\", \"weights\": \"{}\", \"seed\": \"0xBA7C4^0x5CA9\"}},",
+        if semi { "levenshtein" } else { "fig4" }
     );
     let _ = writeln!(
         json,
@@ -448,7 +482,8 @@ fn run_scan(db_size: usize, median_len: usize, k: usize, workers: usize) -> Stri
 fn usage() -> ! {
     eprintln!(
         "usage: engine_baseline [--pairs N] [--length N] [--band K] [--ragged] \
-         [--occupancy] [--scan K] [--strategy rolling-row|wavefront|batch|all]"
+         [--occupancy] [--scan K] [--mode global|semi|local|affine] \
+         [--strategy rolling-row|wavefront|batch|all]"
     );
     std::process::exit(2);
 }
@@ -460,6 +495,7 @@ fn main() {
     let mut ragged = false;
     let mut occupancy = false;
     let mut scan_k: Option<usize> = None;
+    let mut mode = AlignMode::Global;
     let mut filter = StrategyFilter::All;
     let mut custom = false;
     let mut args = std::env::args().skip(1);
@@ -473,6 +509,15 @@ fn main() {
             "--ragged" => ragged = true,
             "--occupancy" => occupancy = true,
             "--scan" => scan_k = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--mode" => {
+                mode = match value().as_str() {
+                    "global" => AlignMode::Global,
+                    "semi" => AlignMode::SemiGlobal,
+                    "local" => AlignMode::Local(LocalScores::blast()),
+                    "affine" => AlignMode::GlobalAffine(AffineWeights { open: 2 }),
+                    _ => usage(),
+                }
+            }
             "--strategy" => {
                 filter = match value().as_str() {
                     "rolling-row" => StrategyFilter::RollingRow,
@@ -485,6 +530,10 @@ fn main() {
             _ => usage(),
         }
     }
+    if scan_k.is_some() && !mode.is_min_plus() {
+        eprintln!("--scan races min-plus modes only (local has no ratchet)");
+        std::process::exit(2);
+    }
 
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let workloads: Vec<Workload> = if custom {
@@ -493,36 +542,39 @@ fn main() {
             len: length.unwrap_or(256),
             band,
             ragged,
+            mode,
         }]
     } else {
         // The committed sweep: long reads, short reads, narrow band,
-        // ragged log-normal.
-        vec![
-            Workload {
-                pairs: 1_000,
-                len: 256,
-                band: None,
-                ragged: false,
-            },
-            Workload {
-                pairs: 1_000,
+        // ragged log-normal — all global — plus the short-read shape in
+        // every other alignment mode (the mode sweep).
+        let global = |pairs, len, band, ragged| Workload {
+            pairs,
+            len,
+            band,
+            ragged,
+            mode: AlignMode::Global,
+        };
+        let mut w = vec![
+            global(1_000, 256, None, false),
+            global(1_000, 64, None, false),
+            global(1_000, 256, Some(4), false),
+            global(1_000, 96, None, true),
+        ];
+        for mode in [
+            AlignMode::SemiGlobal,
+            AlignMode::Local(LocalScores::blast()),
+            AlignMode::GlobalAffine(AffineWeights { open: 2 }),
+        ] {
+            w.push(Workload {
+                pairs: 500,
                 len: 64,
                 band: None,
                 ragged: false,
-            },
-            Workload {
-                pairs: 1_000,
-                len: 256,
-                band: Some(4),
-                ragged: false,
-            },
-            Workload {
-                pairs: 1_000,
-                len: 96,
-                band: None,
-                ragged: true,
-            },
-        ]
+                mode,
+            });
+        }
+        w
     };
 
     let mut json = String::new();
@@ -536,24 +588,45 @@ fn main() {
         let comma = if i + 1 < workloads.len() { "," } else { "" };
         let _ = writeln!(json, "{section}{comma}");
     }
-    let scan_section = if custom {
-        scan_k.map(|k| {
-            run_scan(
-                pairs.unwrap_or(1_000),
-                length.unwrap_or(96),
-                k,
-                rayon::current_num_threads(),
-            )
-        })
+    let scan_sections: Vec<String> = if custom {
+        scan_k
+            .map(|k| {
+                vec![run_scan(
+                    pairs.unwrap_or(1_000),
+                    length.unwrap_or(96),
+                    k,
+                    rayon::current_num_threads(),
+                    mode,
+                )]
+            })
+            .unwrap_or_default()
     } else {
-        Some(run_scan(1_000, 192, 10, rayon::current_num_threads()))
+        vec![
+            run_scan(
+                1_000,
+                192,
+                10,
+                rayon::current_num_threads(),
+                AlignMode::Global,
+            ),
+            run_scan(
+                1_000,
+                192,
+                10,
+                rayon::current_num_threads(),
+                AlignMode::SemiGlobal,
+            ),
+        ]
     };
-    if let Some(scan) = scan_section {
-        let _ = writeln!(json, "  ],");
-        let _ = writeln!(json, "{scan}");
+    if scan_sections.is_empty() {
+        let _ = writeln!(json, "  ]");
         let _ = writeln!(json, "}}");
     } else {
-        let _ = writeln!(json, "  ]");
+        let _ = writeln!(json, "  ],");
+        for (i, scan) in scan_sections.iter().enumerate() {
+            let comma = if i + 1 < scan_sections.len() { "," } else { "" };
+            let _ = writeln!(json, "{scan}{comma}");
+        }
         let _ = writeln!(json, "}}");
     }
 

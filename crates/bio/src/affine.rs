@@ -9,11 +9,16 @@
 //! Race Logic, as formulated in the paper, cannot express affine gaps
 //! directly — a cell's outgoing delay would have to depend on *which
 //! edge the signal arrived by*, i.e. per-state values, which a single
-//! OR gate cannot hold. This module therefore serves two purposes: it
-//! completes the bioinformatics substrate, and it marks a concrete
-//! boundary of the paper's architecture (discussed in DESIGN.md §6).
-//! A race-logic affine aligner would need three racing planes (M/Ix/Iy)
-//! with cross-plane edges — a 3× area cost the paper never explores.
+//! OR gate cannot hold. The fix is three racing planes (M/Ix/Iy) with
+//! cross-plane edges — a 3× area cost the paper never explores, but
+//! which the engine now implements in software: `race_logic`'s
+//! `AlignMode::GlobalAffine` races all three planes on the SIMD
+//! wavefront, and `race_logic::score_transform::global_affine_race`
+//! wraps it for uniform (match/mismatch) score schemes. This module
+//! remains the **scheme-generic scalar oracle**: it prices arbitrary
+//! substitution matrices (BLOSUM62 and friends, which a code-equality
+//! comparator cannot express) and is the property-test reference the
+//! engine path is validated against.
 
 use crate::align::AlignError;
 use crate::alphabet::Symbol;

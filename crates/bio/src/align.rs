@@ -325,6 +325,10 @@ pub fn global<S: Symbol>(
 /// Smith–Waterman local similarity: the best-scoring pair of substrings,
 /// with empty substrings scoring 0.
 ///
+/// For uniform match/mismatch/gap scores this is the oracle the
+/// `race_logic` engine's local mode (`AlignMode::Local`, the max-plus
+/// AND-race dual) is property-tested against.
+///
 /// # Errors
 ///
 /// Returns [`AlignError::LocalRequiresMaximize`] for minimizing schemes.

@@ -178,6 +178,42 @@ impl<S: Symbol> ScoreScheme<S> {
             None => 0,
         }
     }
+
+    /// The scheme's `(match, mismatch)` scores if it is **uniform** —
+    /// every on-diagonal substitution scores the same finite value and
+    /// every off-diagonal substitution scores the same value (or is
+    /// uniformly forbidden, `mismatch = None`). Uniform schemes are
+    /// exactly the ones a code-equality comparator (the Fig. 4b XNOR
+    /// cell, and therefore the `race_logic` engine's packed-code
+    /// kernels) can express; matrix-valued schemes like BLOSUM62 need
+    /// the generalized per-symbol cell. `None` if the scheme is not
+    /// uniform.
+    #[must_use]
+    pub fn as_uniform(&self) -> Option<(i32, Option<i32>)> {
+        let mut matched: Option<i32> = None;
+        let mut mismatched: Option<Option<i32>> = None;
+        for a in S::all() {
+            for b in S::all() {
+                let s = self.substitution(a, b);
+                if a == b {
+                    match (matched, s) {
+                        (None, Some(v)) => matched = Some(v),
+                        (Some(prev), Some(v)) if prev == v => {}
+                        _ => return None, // forbidden or non-uniform match
+                    }
+                } else {
+                    match &mismatched {
+                        None => mismatched = Some(s),
+                        Some(prev) if *prev == s => {}
+                        _ => return None,
+                    }
+                }
+            }
+        }
+        // Single-symbol alphabets have no off-diagonal pairs: treat the
+        // mismatch as uniformly forbidden (it can never occur).
+        Some((matched?, mismatched.unwrap_or(None)))
+    }
 }
 
 /// Fig. 2a: the longest-path DNA matrix — match +1, everything else 0,
@@ -312,6 +348,22 @@ mod tests {
         assert_eq!(s.substitution(Dna::A, Dna::C), Some(0));
         assert_eq!(s.gap(), 0);
         assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn uniform_detection() {
+        // Every built-in DNA scheme is uniform; BLOSUM62 is not.
+        assert_eq!(dna_longest().as_uniform(), Some((1, Some(0))));
+        assert_eq!(dna_shortest().as_uniform(), Some((1, Some(2))));
+        assert_eq!(dna_race().as_uniform(), Some((1, None)));
+        assert_eq!(levenshtein_scheme().as_uniform(), Some((0, Some(1))));
+        assert_eq!(blosum62().as_uniform(), None);
+        assert_eq!(pam250().as_uniform(), None);
+        // A scheme with a forbidden on-diagonal entry is not uniform.
+        let weird = ScoreScheme::<Dna>::from_fn("weird", Objective::Minimize, 1, |a, b| {
+            (a != b || a != Dna::G).then_some(1)
+        });
+        assert_eq!(weird.as_uniform(), None);
     }
 
     #[test]

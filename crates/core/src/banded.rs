@@ -136,14 +136,52 @@ pub fn banded_race_with<S: Symbol>(
 /// O(n·m) grid.
 #[must_use]
 pub fn adaptive_race<S: Symbol>(q: &Seq<S>, p: &Seq<S>, weights: RaceWeights) -> BandedOutcome {
+    adaptive_race_mode(q, p, weights, crate::engine::AlignMode::Global)
+}
+
+/// [`adaptive_race`] under an explicit [`crate::engine::AlignMode`].
+///
+/// The band-doubling certificate applies to the **global-shaped** modes
+/// ([`crate::engine::AlignMode::Global`] and
+/// [`crate::engine::AlignMode::GlobalAffine`] — an affine
+/// path costs at least its linear step costs when `open ≥ 0`, so the
+/// same outside-path lower bound certifies). The free-end modes run
+/// **unbanded**: a `|i − j| ≤ k` band restricts semi-global *placements*
+/// (a start at column `j₀ > k` is excluded at cost 0, which no score
+/// bound can rescue) and local starting cells likewise, so there is no
+/// sound certificate to double toward — the driver reports the exact
+/// full-grid race with a whole-grid band instead of a silently wrong
+/// certificate.
+///
+/// # Panics
+///
+/// Panics if `weights.indel == 0`.
+#[must_use]
+pub fn adaptive_race_mode<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    weights: RaceWeights,
+    mode: crate::engine::AlignMode,
+) -> BandedOutcome {
+    use crate::engine::AlignMode;
     use rl_bio::PackedSeq;
 
     let full = q.len().max(p.len());
-    let mut band = q.len().abs_diff(p.len()).max(1);
     let (pq, pp) = (PackedSeq::from_seq(q), PackedSeq::from_seq(p));
-    let mut engine = AlignEngine::new(AlignConfig::new(weights));
+    let mut engine = AlignEngine::new(AlignConfig::new(weights).with_mode(mode));
+    if !matches!(mode, AlignMode::Global | AlignMode::GlobalAffine(_)) {
+        let raced = engine.align(&pq, &pp);
+        return BandedOutcome {
+            score: raced.score,
+            band: full,
+            cells_built: raced.cells_computed as usize,
+            rows: q.len(),
+            cols: p.len(),
+        };
+    }
+    let mut band = q.len().abs_diff(p.len()).max(1);
     loop {
-        engine.set_config(AlignConfig::new(weights).with_band(band));
+        engine.set_config(AlignConfig::new(weights).with_mode(mode).with_band(band));
         let raced = engine.align(&pq, &pp);
         let out = BandedOutcome {
             score: raced.score,

@@ -257,11 +257,31 @@ pub fn scan_database_topk_with_workers<S: Symbol>(
     threshold: Option<u64>,
     workers: Option<usize>,
 ) -> TopKScan {
+    let mut cfg = AlignConfig::new(weights);
+    cfg.threshold = threshold;
+    scan_database_topk_with(&cfg, query, database, k, workers)
+}
+
+/// [`scan_database_topk`] under a full [`AlignConfig`] (unpacked
+/// sequences; see [`scan_packed_topk_with`] for the steady-state packed
+/// form and the mode semantics).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or in [`crate::engine::AlignMode::Local`].
+#[must_use]
+pub fn scan_database_topk_with<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &Seq<S>,
+    database: &[Seq<S>],
+    k: usize,
+    workers: Option<usize>,
+) -> TopKScan {
     use rl_bio::PackedSeq;
 
     let q = PackedSeq::from_seq(query);
     let patterns: Vec<PackedSeq<S>> = database.iter().map(PackedSeq::from_seq).collect();
-    scan_packed_topk(&q, &patterns, weights, k, threshold, workers)
+    scan_packed_topk_with(cfg, &q, &patterns, k, workers)
 }
 
 /// [`scan_database_topk`] over an already-packed database — the
@@ -284,9 +304,34 @@ pub fn scan_packed_topk<S: Symbol>(
 ) -> TopKScan {
     let mut cfg = AlignConfig::new(weights);
     cfg.threshold = threshold;
+    scan_packed_topk_with(&cfg, query, database, k, workers)
+}
+
+/// [`scan_packed_topk`] under a full [`AlignConfig`] — mode, band,
+/// packer and threshold included. This is the paper's actual §6
+/// workload once the engine speaks modes: a **semi-global** ratcheted
+/// top-k scan (`cfg.with_mode(AlignMode::SemiGlobal)`) races "does Q
+/// occur anywhere in this entry?" across the database on the striped
+/// batch kernel, the ratchet tightening on the best window scores. The
+/// determinism guarantee is mode-independent: every min-plus mode's
+/// abandon is a strict lower-bound proof.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, or for [`crate::engine::AlignMode::Local`]
+/// (max-plus best-hit scans have no sound frontier abandon — run
+/// [`crate::engine::align_batch`] in local mode and select instead).
+#[must_use]
+pub fn scan_packed_topk_with<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    k: usize,
+    workers: Option<usize>,
+) -> TopKScan {
     let pairs: Vec<_> = database.iter().map(|p| (query, p)).collect();
     let mut scratch = crate::striped::BatchScratch::default();
-    let outcomes = crate::striped::scan_topk_impl(&cfg, &pairs, k, workers, &mut scratch);
+    let outcomes = crate::striped::scan_topk_impl(cfg, &pairs, k, workers, &mut scratch);
 
     let mut hits: Vec<(usize, u64)> = Vec::new();
     let mut abandoned = 0_usize;

@@ -207,6 +207,119 @@ impl std::fmt::Display for PackerPolicy {
     }
 }
 
+/// Similarity scores of the **local** ([`AlignMode::Local`]) mode —
+/// classic Smith–Waterman parameters as magnitudes: a match adds
+/// `matched`, a mismatch subtracts `mismatched`, a gap column subtracts
+/// `gap`, and every cell clamps at zero (the empty local alignment).
+///
+/// Local mode is the engine's **max-plus dual**: a pure min-plus local
+/// race is degenerate (with non-negative delays the empty alignment
+/// always wins at cost 0 — free start *and* free end means shorter is
+/// always cheaper), so local alignment rides the paper's AND-type race
+/// (max instead of min) with unsigned *saturating subtraction* as the
+/// zero-reset. The same kernel words, buffers and traversal orders
+/// apply; only the per-cell arithmetic flips
+/// ([`crate::simd::diag_update_local`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalScores {
+    /// Bonus added on a matching diagonal step.
+    pub matched: u64,
+    /// Penalty subtracted on a mismatching diagonal step.
+    pub mismatched: u64,
+    /// Penalty subtracted per gap column.
+    pub gap: u64,
+}
+
+impl LocalScores {
+    /// Unit scores: match +1, mismatch −1, gap −1.
+    #[must_use]
+    pub fn unit() -> Self {
+        LocalScores {
+            matched: 1,
+            mismatched: 1,
+            gap: 1,
+        }
+    }
+
+    /// BLAST-flavoured DNA defaults: match +2, mismatch −3, gap −5.
+    #[must_use]
+    pub fn blast() -> Self {
+        LocalScores {
+            matched: 2,
+            mismatched: 3,
+            gap: 5,
+        }
+    }
+}
+
+/// Affine-gap weights of the [`AlignMode::GlobalAffine`] mode, in delay
+/// units: a gap of length `L` costs `open + L · indel` (Gotoh). `open`
+/// is the one-time gap-opening surcharge on top of the configured
+/// linear indel weight; `open = 0` reduces exactly to linear global
+/// alignment (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AffineWeights {
+    /// One-time gap-opening surcharge (delay units, ≥ 0).
+    pub open: u64,
+}
+
+/// Which alignment problem the engine races — the boundary conditions
+/// and readout rule wrapped around the one shared recurrence.
+///
+/// | mode | injection | readout | arithmetic |
+/// |---|---|---|---|
+/// | `Global` | cell (0, 0) | sink (n, m) | min-plus |
+/// | `SemiGlobal` | whole top row (free leading gaps in P) | min over bottom row (free trailing gaps in P) | min-plus |
+/// | `Local` | every cell (zero-reset) | max over all cells | **max-plus** ([`LocalScores`]) |
+/// | `GlobalAffine` | cell (0, 0), three planes | min over planes at (n, m) | min-plus, M/Ix/Iy |
+///
+/// Every mode runs on the same kernels ([`KernelStrategy`], lane
+/// widths, banding; early termination for the min-plus modes) and the
+/// same striped batch planner — see `docs/KERNELS.md` § *Alignment
+/// modes* for the boundary-condition details and the soundness
+/// arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AlignMode {
+    /// Global (Needleman–Wunsch) alignment: the paper's Fig. 4 array.
+    /// The default.
+    #[default]
+    Global,
+    /// Semi-global ("does Q occur anywhere in P?"): free leading and
+    /// trailing gaps in the pattern — the §6 database-scan shape. The
+    /// score is the best alignment of all of `q` against any window of
+    /// `p`; uses the configured [`RaceWeights`].
+    SemiGlobal,
+    /// Local (Smith–Waterman) similarity on the max-plus dual; ignores
+    /// the configured [`RaceWeights`] in favour of its own
+    /// [`LocalScores`]. Early-termination thresholds are not supported
+    /// (they are lower-bound proofs, which max-plus inverts).
+    Local(LocalScores),
+    /// Global alignment with affine gap costs (`open + L · indel`,
+    /// Gotoh's three-plane recurrence) on top of the configured
+    /// [`RaceWeights`].
+    GlobalAffine(AffineWeights),
+}
+
+impl AlignMode {
+    /// `true` for the min-plus (distance-racing) modes — everything but
+    /// [`AlignMode::Local`].
+    #[must_use]
+    pub fn is_min_plus(&self) -> bool {
+        !matches!(self, AlignMode::Local(_))
+    }
+}
+
+impl std::fmt::Display for AlignMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignMode::Global => write!(f, "global"),
+            AlignMode::SemiGlobal => write!(f, "semi-global"),
+            AlignMode::Local(_) => write!(f, "local"),
+            AlignMode::GlobalAffine(a) => write!(f, "global-affine(open={})", a.open),
+        }
+    }
+}
+
 /// Alignment weights lowered to raw saturating-`u64` form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct RawWeights {
@@ -295,29 +408,45 @@ pub struct KernelPlan {
     pub lanes: LaneWidth,
 }
 
-/// `true` when no finite cell value of an `n × m` race under `w` can
-/// reach a kernel word whose `+∞` sentinel is `inf`, so the wavefront
-/// kernel may run in that word with exactly the same scores.
+/// `true` when no finite cell value of an `n × m` race whose costliest
+/// single step is `max_step` can reach a kernel word whose `+∞`
+/// sentinel is `inf`, so the wavefront kernel may run in that word with
+/// exactly the same scores.
 ///
 /// Bound: every finite cell value is the cost of a path with at most
-/// `n + m` steps, each costing at most the largest finite weight; the
-/// `+ 2` leaves headroom for the one add performed on a value before it
-/// is clamped.
-fn fits_word(n: usize, m: usize, w: RawWeights, inf: u64) -> bool {
+/// `n + m` steps, each costing at most `max_step`; the `+ 2` leaves
+/// headroom for the one add performed on a value before it is clamped.
+/// The same bound covers every mode: semi-global only *lowers* values
+/// (free injections), local values are sums of at most `min(n, m)`
+/// match bonuses, and an affine step costs at most
+/// `max_finite_weight + open` (each gap column charges its open at most
+/// once).
+fn fits_word(n: usize, m: usize, max_step: u64, inf: u64) -> bool {
+    ((n + m + 2) as u64)
+        .checked_mul(max_step)
+        .is_some_and(|v| v < inf)
+}
+
+/// The costliest single path step a mode can take under `w` — the
+/// per-step factor of the lane-width eligibility bound.
+fn mode_max_step(mode: AlignMode, w: RawWeights) -> u64 {
     let max_finite = w.indel.max(w.matched).max(if w.mismatched == NEVER {
         0
     } else {
         w.mismatched
     });
-    ((n + m + 2) as u64)
-        .checked_mul(max_finite)
-        .is_some_and(|v| v < inf)
+    match mode {
+        AlignMode::Global | AlignMode::SemiGlobal => max_finite,
+        AlignMode::GlobalAffine(a) => max_finite.saturating_add(a.open),
+        // Local values only grow by the match bonus; penalties shrink.
+        AlignMode::Local(s) => s.matched,
+    }
 }
 
-/// The narrowest exact lane word an `n × m` problem admits under `w`,
-/// clamped from below by `floor` — eligibility only, no profitability
-/// heuristics (the striped batch kernel uses this directly;
-/// [`AlignConfig::resolve_kernel`] layers the per-pair
+/// The narrowest exact lane word an `n × m` problem admits under `w`
+/// and `mode`, clamped from below by `floor` — eligibility only, no
+/// profitability heuristics (the striped batch kernel uses this
+/// directly; [`AlignConfig::resolve_kernel`] layers the per-pair
 /// [`U16_MIN_LEN`] gate on top).
 ///
 /// A configured early-termination `threshold` is part of the
@@ -329,11 +458,13 @@ fn fits_word(n: usize, m: usize, w: RawWeights, inf: u64) -> bool {
 pub(crate) fn exact_lane_width(
     n: usize,
     m: usize,
+    mode: AlignMode,
     w: RawWeights,
     threshold: Option<u64>,
     floor: LaneWidth,
 ) -> LaneWidth {
-    let admits = |inf: u64| fits_word(n, m, w, inf) && threshold.is_none_or(|t| t < inf);
+    let max_step = mode_max_step(mode, w);
+    let admits = |inf: u64| fits_word(n, m, max_step, inf) && threshold.is_none_or(|t| t < inf);
     if floor <= LaneWidth::U16 && admits(u64::from(<u16 as KernelWord>::INF)) {
         LaneWidth::U16
     } else if floor <= LaneWidth::U32 && admits(u64::from(<u32 as KernelWord>::INF)) {
@@ -370,6 +501,10 @@ pub struct AlignConfig {
     /// [`PackerPolicy::ExactBucket`] is the benchmarking ruler). Pure
     /// throughput knob — outcomes are identical under either policy.
     pub packer: PackerPolicy,
+    /// Which alignment problem the kernels race
+    /// ([`AlignMode::Global`] by default): boundary injection, readout
+    /// rule, and — for [`AlignMode::Local`] — the max-plus arithmetic.
+    pub mode: AlignMode,
 }
 
 impl AlignConfig {
@@ -388,6 +523,7 @@ impl AlignConfig {
             strategy: KernelStrategy::Auto,
             lane_floor: LaneWidth::U16,
             packer: PackerPolicy::default(),
+            mode: AlignMode::Global,
         }
     }
 
@@ -430,6 +566,27 @@ impl AlignConfig {
         self
     }
 
+    /// Selects the alignment mode (boundary conditions + readout rule;
+    /// see [`AlignMode`]). [`AlignMode::Local`] does not support a
+    /// fused early-termination threshold — engines panic on that
+    /// combination (the abandon rule is a lower-bound proof, which the
+    /// max-plus dual inverts).
+    #[must_use]
+    pub fn with_mode(mut self, mode: AlignMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Panics on configurations no kernel can execute; every engine
+    /// entry point calls this once up front.
+    pub(crate) fn assert_valid(&self) {
+        assert!(self.weights.indel > 0, "indel weight must be positive");
+        assert!(
+            self.mode.is_min_plus() || self.threshold.is_none(),
+            "early-termination thresholds are not supported in local (max-plus) mode"
+        );
+    }
+
     /// The complete execution recipe for an `n × m` alignment under this
     /// configuration — strategy, diagonal layout, and lane width:
     ///
@@ -467,6 +624,7 @@ impl AlignConfig {
         let mut lanes = exact_lane_width(
             n,
             m,
+            self.mode,
             RawWeights::from_weights(self.weights),
             self.threshold,
             self.lane_floor,
@@ -480,9 +638,13 @@ impl AlignConfig {
             // call.
             lanes = LaneWidth::U32;
         }
+        // The compacted layout exists only for the linear min-plus
+        // recurrence; local and affine narrow bands keep the absolute
+        // layout (O(rows) buffers — still cheap, just not O(band)).
+        let linear_min_plus = matches!(self.mode, AlignMode::Global | AlignMode::SemiGlobal);
         KernelPlan {
             strategy,
-            compact: self.band.is_some_and(|k| k < WAVEFRONT_MIN_BAND),
+            compact: linear_min_plus && self.band.is_some_and(|k| k < WAVEFRONT_MIN_BAND),
             lanes,
         }
     }
@@ -505,6 +667,7 @@ impl AlignConfig {
         exact_lane_width(
             n,
             m,
+            self.mode,
             RawWeights::from_weights(self.weights),
             self.threshold,
             self.lane_floor,
@@ -747,6 +910,65 @@ pub fn fill_grid_with(
     cells
 }
 
+/// [`fill_grid`] with a mode-aware boundary: fills the row-major grid
+/// with the arrival fixed point under `mode`'s injection rule —
+/// [`AlignMode::Global`] charges the top row as an indel chain,
+/// [`AlignMode::SemiGlobal`] injects the race signal along the entire
+/// top row for free (the "query anywhere in the reference" wiring).
+/// Runs in rolling-row order (materializing a row-major grid is the
+/// workload that order is cache-optimal for); the score-only fast paths
+/// live on [`AlignEngine::align`]. Returns the number of cells
+/// computed. [`crate::semi_global::semi_global_race`] is a thin wrapper
+/// over this fill.
+///
+/// # Panics
+///
+/// Panics if `weights.indel == 0`, or for [`AlignMode::Local`] /
+/// [`AlignMode::GlobalAffine`] (their grids are max-plus / three-plane —
+/// use the score-only engine for those modes).
+pub fn fill_grid_mode(
+    q_codes: &[u8],
+    p_codes: &[u8],
+    weights: RaceWeights,
+    band: Option<usize>,
+    mode: AlignMode,
+    grid: &mut Vec<u64>,
+) -> u64 {
+    assert!(weights.indel > 0, "indel weight must be positive");
+    assert!(
+        matches!(mode, AlignMode::Global | AlignMode::SemiGlobal),
+        "fill_grid_mode covers the linear min-plus modes; \
+         local/affine grids have no single-plane u64 representation"
+    );
+    if mode == AlignMode::Global {
+        return fill_grid(q_codes, p_codes, weights, band, grid);
+    }
+    let w = RawWeights::from_weights(weights);
+    let (n, m) = (q_codes.len(), p_codes.len());
+    let cols = m + 1;
+    grid.clear();
+    grid.resize((n + 1) * cols, NEVER);
+    let mut cells = 0_u64;
+
+    // Row 0: the free-injection row, clipped to the band.
+    let (lo0, hi0) = band_range(0, m, band);
+    grid[..=hi0].fill(0);
+    cells += (hi0 - lo0 + 1) as u64;
+
+    for i in 1..=n {
+        let (lo, hi) = band_range(i, m, band);
+        if lo > hi {
+            continue;
+        }
+        let (prev_rows, curr_rows) = grid.split_at_mut(i * cols);
+        let prev = &prev_rows[(i - 1) * cols..];
+        let curr = &mut curr_rows[..cols];
+        row_update(i, q_codes[i - 1], p_codes, w, prev, curr, (lo, hi));
+        cells += (hi - lo + 1) as u64;
+    }
+    cells
+}
+
 /// Converts a raw kernel value to a [`Time`].
 #[inline]
 #[must_use]
@@ -774,12 +996,26 @@ pub fn raw_to_time(raw: u64) -> Time {
 /// every such read lands in `lo(d) − 1 ..= hi(d) + 1` — so it suffices
 /// to reset that one-cell padding around the written span to `+∞`
 /// (stale values further out are never read).
+///
+/// **Semi-global** (`semi = true`) changes three things: top-row
+/// boundary cells `(0, d)` are injected at `0` instead of `d · indel`
+/// (free leading gaps in P), a running best over bottom-row cells
+/// `(n, d − n)` replaces the sink readout (free trailing gaps — each
+/// diagonal intersects the bottom row in exactly one cell, so the
+/// tracking is one extra read per diagonal), and the abandon rule also
+/// folds in that best (an already-seen bottom-row value within the
+/// threshold must block abandoning). The abandon stays sound for the
+/// free injections *ahead* of the frontier automatically: while any
+/// remain (`d − 1 ≤ m` in band), the cell `(0, d − 1)` contributes `0`
+/// to `min1`, so the rule cannot fire until every injection point is
+/// behind the frontier.
 fn wavefront_score<W: KernelWord>(
     q_codes: &[u8],
     p_rev: &[u8],
     w: RawWeights,
     band: Option<usize>,
     threshold: Option<u64>,
+    semi: bool,
     bufs: &mut [Vec<W>; 3],
 ) -> EngineOutcome {
     let (n, m) = (q_codes.len(), p_rev.len());
@@ -795,6 +1031,9 @@ fn wavefront_score<W: KernelWord>(
     let mut cells = 1_u64;
     let mut min1 = W::ZERO; // min over diagonal d − 1
     let mut min2 = W::INF; // min over diagonal d − 2
+                           // Best bottom-row value so far (semi-global readout); for n == 0
+                           // the root cell itself is on the bottom row.
+    let mut best = if semi && n == 0 { W::ZERO } else { W::INF };
 
     for d in 1..=(n + m) {
         // Sound abandon: a root→sink path's cell indices i + j step by 1
@@ -802,7 +1041,12 @@ fn wavefront_score<W: KernelWord>(
         // on diagonal d − 1 or d − 2; with non-negative weights its cost
         // is at least that cell's value ≥ min(min1, min2).
         if let Some(t) = t_w {
-            if min1.min(min2) > t {
+            let floor = if semi {
+                min1.min(min2).min(best)
+            } else {
+                min1.min(min2)
+            };
+            if floor > t {
                 return EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
@@ -833,11 +1077,13 @@ fn wavefront_score<W: KernelWord>(
         }
 
         let mut dmin = W::INF;
-        // Boundary cells: pure indel chains from the root.
+        // Boundary cells: indel chains from the root — except the
+        // semi-global top row, which is a free injection point.
         let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        let top_boundary = if semi { W::ZERO } else { boundary };
         if lo == 0 {
-            cur[0] = boundary; // cell (0, d), d ≤ m guaranteed by lo == 0
-            dmin = dmin.min(boundary);
+            cur[0] = top_boundary; // cell (0, d), d ≤ m guaranteed by lo == 0
+            dmin = dmin.min(top_boundary);
         }
         if hi == d {
             cur[d] = boundary; // cell (d, 0), d ≤ n guaranteed by hi == d
@@ -859,16 +1105,25 @@ fn wavefront_score<W: KernelWord>(
             );
             dmin = dmin.min(seg_min);
         }
+        if semi && lo <= n && n <= hi {
+            best = best.min(cur[n]); // bottom-row cell (n, d − n)
+        }
         cells += (hi - lo + 1) as u64;
         min2 = min1;
         min1 = dmin;
     }
 
-    let (flo, fhi) = diag_range(n + m, n, m, band);
-    let score_raw = if flo <= fhi {
-        bufs[(n + m) % 3][n].to_raw()
+    let score_raw = if semi {
+        // The running bottom-row best is the whole readout; a band that
+        // excludes every bottom-row cell leaves it at +∞ naturally.
+        best.to_raw()
     } else {
-        NEVER // the band excludes the sink cell itself
+        let (flo, fhi) = diag_range(n + m, n, m, band);
+        if flo <= fhi {
+            bufs[(n + m) % 3][n].to_raw()
+        } else {
+            NEVER // the band excludes the sink cell itself
+        }
     };
     classify_outcome(score_raw, threshold, cells)
 }
@@ -919,6 +1174,7 @@ fn wavefront_score_compact<W: KernelWord>(
     w: RawWeights,
     k: usize,
     threshold: Option<u64>,
+    semi: bool,
     bufs: &mut [Vec<W>; 3],
 ) -> EngineOutcome {
     let (n, m) = (q_codes.len(), p_rev.len());
@@ -938,6 +1194,10 @@ fn wavefront_score_compact<W: KernelWord>(
     let mut cells = 1_u64;
     let mut min1 = W::ZERO;
     let mut min2 = W::INF;
+    // Semi-global: running best over bottom-row cells (see the absolute
+    // kernel for the injection/readout/abandon reasoning — identical
+    // here, only the indexing is span-relative).
+    let mut best = if semi && n == 0 { W::ZERO } else { W::INF };
     // lo of the two previous diagonals, tracked even across band-empty
     // diagonals (the formula stays monotone there, keeping the shifts
     // in range).
@@ -946,7 +1206,12 @@ fn wavefront_score_compact<W: KernelWord>(
     for d in 1..=(n + m) {
         // Identical abandon rule to the absolute kernel.
         if let Some(t) = t_w {
-            if min1.min(min2) > t {
+            let floor = if semi {
+                min1.min(min2).min(best)
+            } else {
+                min1.min(min2)
+            };
+            if floor > t {
                 return EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
@@ -976,9 +1241,10 @@ fn wavefront_score_compact<W: KernelWord>(
 
         let mut dmin = W::INF;
         let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        let top_boundary = if semi { W::ZERO } else { boundary };
         if lo == 0 {
-            cur[1] = boundary; // cell (0, d)
-            dmin = dmin.min(boundary);
+            cur[1] = top_boundary; // cell (0, d)
+            dmin = dmin.min(top_boundary);
         }
         if hi == d {
             cur[d - lo + 1] = boundary; // cell (d, 0)
@@ -1000,17 +1266,262 @@ fn wavefront_score_compact<W: KernelWord>(
             );
             dmin = dmin.min(seg_min);
         }
+        if semi && lo <= n && n <= hi {
+            best = best.min(cur[n - lo + 1]); // bottom-row cell (n, d − n)
+        }
         cells += span as u64;
         min2 = min1;
         min1 = dmin;
         (lo_prev2, lo_prev1) = (lo_prev1, lo);
     }
 
+    let score_raw = if semi {
+        best.to_raw()
+    } else {
+        let (flo, fhi) = diag_range(n + m, n, m, band);
+        if flo <= fhi {
+            bufs[(n + m) % 3][n - flo + 1].to_raw()
+        } else {
+            NEVER // the band excludes the sink cell itself
+        }
+    };
+    classify_outcome(score_raw, threshold, cells)
+}
+
+/// The score-only **local** (max-plus Smith–Waterman) wavefront kernel:
+/// the same three-buffer anti-diagonal sweep as [`wavefront_score`],
+/// racing the AND-type dual — max instead of min, saturating
+/// subtraction as the zero-reset ([`crate::simd::diag_update_local`]).
+///
+/// Boundary and padding values are `0`, not `+∞`: in Smith–Waterman a
+/// missing neighbour *is* a fresh start (`H ≥ 0` everywhere, and
+/// reading an out-of-band cell as `0` is exactly the textbook banded
+/// convention of treating unbuilt cells as empty alignments), so the
+/// same one-cell padding discipline holds with `ZERO` in `INF`'s place.
+/// The readout is the running **maximum** over every computed cell —
+/// the best-cell register the hardware's paper-§6 threshold comparator
+/// would watch, accumulated per segment by `diag_update_local`. No
+/// early termination: an abandon is a lower-bound proof, which the
+/// max-plus dual has no analogue of (callers gate on the returned best
+/// instead).
+fn wavefront_local<W: KernelWord>(
+    q_codes: &[u8],
+    p_rev: &[u8],
+    s: LocalScores,
+    band: Option<usize>,
+    bufs: &mut [Vec<W>; 3],
+) -> EngineOutcome {
+    let (n, m) = (q_codes.len(), p_rev.len());
+    let lw = LaneWeights {
+        matched: W::clamp_raw(s.matched),
+        mismatched: W::clamp_raw(s.mismatched),
+        indel: W::clamp_raw(s.gap),
+    };
+    for b in bufs.iter_mut() {
+        b.clear();
+        b.resize(n + 1, W::ZERO);
+    }
+
+    let mut cells = 1_u64; // the root cell (0, 0), value 0
+    let mut best = W::ZERO;
+
+    for d in 1..=(n + m) {
+        let (cur, d1, d2) = rotate_bufs(bufs, d);
+        let (lo, hi) = diag_range(d, n, m, band);
+        if lo > hi {
+            // Band-empty diagonal: later reads must see fresh starts.
+            let clo = lo.saturating_sub(1).min(n);
+            let chi = (hi + 1).min(n);
+            if clo <= chi {
+                cur[clo..=chi].fill(W::ZERO);
+            }
+            continue;
+        }
+        // One-cell zero padding around the written span.
+        if lo > 0 {
+            cur[lo - 1] = W::ZERO;
+        }
+        if hi < n {
+            cur[hi + 1] = W::ZERO;
+        }
+        // Boundary cells: empty local alignments, value 0.
+        if lo == 0 {
+            cur[0] = W::ZERO;
+        }
+        if hi == d {
+            cur[d] = W::ZERO;
+        }
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        if ilo <= ihi {
+            let len = ihi - ilo + 1;
+            let seg_max = simd::diag_update_local(
+                &d1[ilo - 1..ilo - 1 + len],
+                &d1[ilo..ilo + len],
+                &d2[ilo - 1..ilo - 1 + len],
+                &q_codes[ilo - 1..ilo - 1 + len],
+                &p_rev[m + ilo - d..m + ilo - d + len],
+                lw,
+                &mut cur[ilo..ilo + len],
+            );
+            best = best.max(seg_max);
+        }
+        cells += (hi - lo + 1) as u64;
+    }
+
+    EngineOutcome {
+        score: raw_to_time(best.to_raw()),
+        cells_computed: cells,
+        early_terminated: false,
+    }
+}
+
+/// Per-plane diagonal scratch of the affine wavefront kernel: three
+/// rotating buffers for each of the M / Ix / Iy planes at one lane
+/// width.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AffineDiagScratch<W> {
+    m: [Vec<W>; 3],
+    x: [Vec<W>; 3],
+    y: [Vec<W>; 3],
+}
+
+/// The score-only **affine-gap** (Gotoh) wavefront kernel: the "three
+/// racing planes with cross-plane edges" layout — three diagonal-buffer
+/// rotations (one per plane) advanced in lockstep, with the cross-plane
+/// mins fused into one pass per diagonal
+/// ([`crate::simd::affine_diag_update`]). Every plane follows the same
+/// indexing, padding and hygiene rules as [`wavefront_score`]; the
+/// frontier minimum for early termination is taken across all three
+/// planes (sound: an alignment path visits exactly one plane state per
+/// crossed cell, and all weights including `open` are non-negative).
+/// `cells_computed` counts grid *positions*, not plane states, so
+/// affine cell counts are comparable with the linear modes'.
+fn wavefront_affine<W: KernelWord>(
+    q_codes: &[u8],
+    p_rev: &[u8],
+    w: RawWeights,
+    open: u64,
+    band: Option<usize>,
+    threshold: Option<u64>,
+    scratch: &mut AffineDiagScratch<W>,
+) -> EngineOutcome {
+    let (n, m) = (q_codes.len(), p_rev.len());
+    let lw = simd::AffineLaneWeights {
+        matched: W::clamp_raw(w.matched),
+        mismatched: W::clamp_raw(w.mismatched),
+        indel: W::clamp_raw(w.indel),
+        open: W::clamp_raw(open),
+    };
+    let t_w = threshold.map(W::clamp_raw);
+    for b in scratch
+        .m
+        .iter_mut()
+        .chain(scratch.x.iter_mut())
+        .chain(scratch.y.iter_mut())
+    {
+        b.clear();
+        b.resize(n + 1, W::INF);
+    }
+
+    // Diagonal 0: only the substitution plane holds the root.
+    scratch.m[0][0] = W::ZERO;
+    let mut cells = 1_u64;
+    let mut min1 = W::ZERO;
+    let mut min2 = W::INF;
+
+    for d in 1..=(n + m) {
+        if let Some(t) = t_w {
+            if min1.min(min2) > t {
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    early_terminated: true,
+                };
+            }
+        }
+        let (mc, m1, m2) = rotate_bufs(&mut scratch.m, d);
+        let (xc, x1, x2) = rotate_bufs(&mut scratch.x, d);
+        let (yc, y1, y2) = rotate_bufs(&mut scratch.y, d);
+        let (lo, hi) = diag_range(d, n, m, band);
+        if lo > hi {
+            let clo = lo.saturating_sub(1).min(n);
+            let chi = (hi + 1).min(n);
+            if clo <= chi {
+                mc[clo..=chi].fill(W::INF);
+                xc[clo..=chi].fill(W::INF);
+                yc[clo..=chi].fill(W::INF);
+            }
+            min2 = min1;
+            min1 = W::INF;
+            continue;
+        }
+        for plane in [&mut *mc, &mut *xc, &mut *yc] {
+            if lo > 0 {
+                plane[lo - 1] = W::INF;
+            }
+            if hi < n {
+                plane[hi + 1] = W::INF;
+            }
+        }
+
+        let mut dmin = W::INF;
+        // Boundary cells: a single gap run from the root — one open
+        // plus d extensions, in the plane that gap lives in.
+        let boundary = W::clamp_raw(open.saturating_add((d as u64).saturating_mul(w.indel)));
+        if lo == 0 {
+            // Cell (0, d): a run of horizontal gaps (Iy consumes P).
+            mc[0] = W::INF;
+            xc[0] = W::INF;
+            yc[0] = boundary;
+            dmin = dmin.min(boundary);
+        }
+        if hi == d {
+            // Cell (d, 0): a run of vertical gaps (Ix consumes Q).
+            mc[d] = W::INF;
+            xc[d] = boundary;
+            yc[d] = W::INF;
+            dmin = dmin.min(boundary);
+        }
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        if ilo <= ihi {
+            let len = ihi - ilo + 1;
+            let (ua, ub) = (ilo - 1, ilo - 1 + len); // up neighbours on d − 1
+            let (la, lb) = (ilo, ilo + len); // left neighbours on d − 1
+            let seg_min = simd::affine_diag_update(
+                &m1[ua..ub],
+                &x1[ua..ub],
+                &y1[ua..ub],
+                &m1[la..lb],
+                &x1[la..lb],
+                &y1[la..lb],
+                &m2[ua..ub],
+                &x2[ua..ub],
+                &y2[ua..ub],
+                &q_codes[ilo - 1..ilo - 1 + len],
+                &p_rev[m + ilo - d..m + ilo - d + len],
+                lw,
+                &mut mc[ilo..ilo + len],
+                &mut xc[ilo..ilo + len],
+                &mut yc[ilo..ilo + len],
+            );
+            dmin = dmin.min(seg_min);
+        }
+        cells += (hi - lo + 1) as u64;
+        min2 = min1;
+        min1 = dmin;
+    }
+
     let (flo, fhi) = diag_range(n + m, n, m, band);
     let score_raw = if flo <= fhi {
-        bufs[(n + m) % 3][n - flo + 1].to_raw()
+        let r = (n + m) % 3;
+        scratch.m[r][n]
+            .min(scratch.x[r][n])
+            .min(scratch.y[r][n])
+            .to_raw()
     } else {
-        NEVER // the band excludes the sink cell itself
+        NEVER
     };
     classify_outcome(score_raw, threshold, cells)
 }
@@ -1019,39 +1530,60 @@ fn wavefront_score_compact<W: KernelWord>(
 /// buffers. Create once, call [`AlignEngine::align`] many times — after
 /// warm-up no call allocates.
 ///
-/// The scratch covers both kernels: two rolling rows plus forward code
-/// buffers for [`KernelStrategy::RollingRow`]; three anti-diagonal
-/// buffers (in `u64`, `u32` and `u16` widths, shared between the
-/// absolute and compacted layouts) plus a reversed-`p` code buffer for
-/// [`KernelStrategy::Wavefront`]. Only the buffers of the kernel
-/// actually selected for a call are touched.
+/// The scratch covers every kernel: two rolling rows (plus four more
+/// for the affine planes) and forward code buffers for
+/// [`KernelStrategy::RollingRow`]; three anti-diagonal buffers per lane
+/// width (shared between the absolute and compacted layouts, and by
+/// the local kernel) plus per-width three-plane affine buffers and a
+/// reversed-`p` code buffer for [`KernelStrategy::Wavefront`]. Only
+/// the buffers of the kernel actually selected for a call are touched.
 #[derive(Debug, Clone)]
 pub struct AlignEngine {
     cfg: AlignConfig,
     prev: Vec<u64>,
     curr: Vec<u64>,
+    xprev: Vec<u64>,
+    xcurr: Vec<u64>,
+    yprev: Vec<u64>,
+    ycurr: Vec<u64>,
     q_codes: Vec<u8>,
     p_codes: Vec<u8>,
     p_rev: Vec<u8>,
     diag64: [Vec<u64>; 3],
     diag32: [Vec<u32>; 3],
     diag16: [Vec<u16>; 3],
+    aff64: AffineDiagScratch<u64>,
+    aff32: AffineDiagScratch<u32>,
+    aff16: AffineDiagScratch<u16>,
 }
 
 impl AlignEngine {
     /// An engine with the given configuration and empty scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.weights.indel == 0`, or if a threshold is
+    /// configured in [`AlignMode::Local`].
     #[must_use]
     pub fn new(cfg: AlignConfig) -> Self {
+        cfg.assert_valid();
         AlignEngine {
             cfg,
             prev: Vec::new(),
             curr: Vec::new(),
+            xprev: Vec::new(),
+            xcurr: Vec::new(),
+            yprev: Vec::new(),
+            ycurr: Vec::new(),
             q_codes: Vec::new(),
             p_codes: Vec::new(),
             p_rev: Vec::new(),
             diag64: [Vec::new(), Vec::new(), Vec::new()],
             diag32: [Vec::new(), Vec::new(), Vec::new()],
             diag16: [Vec::new(), Vec::new(), Vec::new()],
+            aff64: AffineDiagScratch::default(),
+            aff32: AffineDiagScratch::default(),
+            aff16: AffineDiagScratch::default(),
         }
     }
 
@@ -1067,7 +1599,7 @@ impl AlignEngine {
     /// follow-up alignments at the same problem size stay
     /// allocation-free.
     pub fn set_config(&mut self, cfg: AlignConfig) {
-        assert!(cfg.weights.indel > 0, "indel weight must be positive");
+        cfg.assert_valid();
         self.cfg = cfg;
     }
 
@@ -1080,6 +1612,10 @@ impl AlignEngine {
         let mut caps = vec![
             self.prev.capacity(),
             self.curr.capacity(),
+            self.xprev.capacity(),
+            self.xcurr.capacity(),
+            self.yprev.capacity(),
+            self.ycurr.capacity(),
             self.q_codes.capacity(),
             self.p_codes.capacity(),
             self.p_rev.capacity(),
@@ -1087,6 +1623,15 @@ impl AlignEngine {
         caps.extend(self.diag64.iter().map(Vec::capacity));
         caps.extend(self.diag32.iter().map(Vec::capacity));
         caps.extend(self.diag16.iter().map(Vec::capacity));
+        caps.extend(self.aff64.m.iter().map(Vec::capacity));
+        caps.extend(self.aff64.x.iter().map(Vec::capacity));
+        caps.extend(self.aff64.y.iter().map(Vec::capacity));
+        caps.extend(self.aff32.m.iter().map(Vec::capacity));
+        caps.extend(self.aff32.x.iter().map(Vec::capacity));
+        caps.extend(self.aff32.y.iter().map(Vec::capacity));
+        caps.extend(self.aff16.m.iter().map(Vec::capacity));
+        caps.extend(self.aff16.x.iter().map(Vec::capacity));
+        caps.extend(self.aff16.y.iter().map(Vec::capacity));
         caps
     }
 
@@ -1137,57 +1682,122 @@ impl AlignEngine {
         }
     }
 
-    /// Dispatches the wavefront kernel at the planned lane width and
-    /// diagonal layout.
+    /// Dispatches the wavefront kernel at the planned lane width,
+    /// diagonal layout and alignment mode.
     fn wavefront_codes(&mut self, plan: KernelPlan) -> EngineOutcome {
         let w = RawWeights::from_weights(self.cfg.weights);
         let (band, threshold) = (self.cfg.band, self.cfg.threshold);
-        fn run<W: KernelWord>(
-            q: &[u8],
-            p_rev: &[u8],
-            w: RawWeights,
-            band: Option<usize>,
-            threshold: Option<u64>,
-            compact: bool,
-            bufs: &mut [Vec<W>; 3],
-        ) -> EngineOutcome {
-            match (compact, band) {
-                (true, Some(k)) => wavefront_score_compact(q, p_rev, w, k, threshold, bufs),
-                _ => wavefront_score(q, p_rev, w, band, threshold, bufs),
+        match self.cfg.mode {
+            AlignMode::Local(s) => match plan.lanes {
+                LaneWidth::U16 => {
+                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag16)
+                }
+                LaneWidth::U32 => {
+                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag32)
+                }
+                LaneWidth::U64 => {
+                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag64)
+                }
+            },
+            AlignMode::GlobalAffine(a) => match plan.lanes {
+                LaneWidth::U16 => wavefront_affine(
+                    &self.q_codes,
+                    &self.p_rev,
+                    w,
+                    a.open,
+                    band,
+                    threshold,
+                    &mut self.aff16,
+                ),
+                LaneWidth::U32 => wavefront_affine(
+                    &self.q_codes,
+                    &self.p_rev,
+                    w,
+                    a.open,
+                    band,
+                    threshold,
+                    &mut self.aff32,
+                ),
+                LaneWidth::U64 => wavefront_affine(
+                    &self.q_codes,
+                    &self.p_rev,
+                    w,
+                    a.open,
+                    band,
+                    threshold,
+                    &mut self.aff64,
+                ),
+            },
+            AlignMode::Global | AlignMode::SemiGlobal => {
+                let semi = self.cfg.mode == AlignMode::SemiGlobal;
+                #[allow(clippy::too_many_arguments)]
+                fn run<W: KernelWord>(
+                    q: &[u8],
+                    p_rev: &[u8],
+                    w: RawWeights,
+                    band: Option<usize>,
+                    threshold: Option<u64>,
+                    semi: bool,
+                    compact: bool,
+                    bufs: &mut [Vec<W>; 3],
+                ) -> EngineOutcome {
+                    match (compact, band) {
+                        (true, Some(k)) => {
+                            wavefront_score_compact(q, p_rev, w, k, threshold, semi, bufs)
+                        }
+                        _ => wavefront_score(q, p_rev, w, band, threshold, semi, bufs),
+                    }
+                }
+                match plan.lanes {
+                    LaneWidth::U16 => run(
+                        &self.q_codes,
+                        &self.p_rev,
+                        w,
+                        band,
+                        threshold,
+                        semi,
+                        plan.compact,
+                        &mut self.diag16,
+                    ),
+                    LaneWidth::U32 => run(
+                        &self.q_codes,
+                        &self.p_rev,
+                        w,
+                        band,
+                        threshold,
+                        semi,
+                        plan.compact,
+                        &mut self.diag32,
+                    ),
+                    LaneWidth::U64 => run(
+                        &self.q_codes,
+                        &self.p_rev,
+                        w,
+                        band,
+                        threshold,
+                        semi,
+                        plan.compact,
+                        &mut self.diag64,
+                    ),
+                }
             }
-        }
-        match plan.lanes {
-            LaneWidth::U16 => run(
-                &self.q_codes,
-                &self.p_rev,
-                w,
-                band,
-                threshold,
-                plan.compact,
-                &mut self.diag16,
-            ),
-            LaneWidth::U32 => run(
-                &self.q_codes,
-                &self.p_rev,
-                w,
-                band,
-                threshold,
-                plan.compact,
-                &mut self.diag32,
-            ),
-            LaneWidth::U64 => run(
-                &self.q_codes,
-                &self.p_rev,
-                w,
-                band,
-                threshold,
-                plan.compact,
-                &mut self.diag64,
-            ),
         }
     }
 
     fn rolling_row_codes(&mut self) -> EngineOutcome {
+        match self.cfg.mode {
+            AlignMode::Global | AlignMode::SemiGlobal => self.rolling_row_linear(),
+            AlignMode::Local(s) => self.rolling_row_local(s),
+            AlignMode::GlobalAffine(a) => self.rolling_row_affine(a.open),
+        }
+    }
+
+    /// The linear min-plus rolling row, covering [`AlignMode::Global`]
+    /// and [`AlignMode::SemiGlobal`]: the modes share the interior
+    /// recurrence and differ only in the row-0 injection (indel chain
+    /// vs free) and the readout (sink cell vs bottom-row minimum).
+    fn rolling_row_linear(&mut self) -> EngineOutcome {
+        let semi = self.cfg.mode == AlignMode::SemiGlobal;
         let w = RawWeights::from_weights(self.cfg.weights);
         let (n, m) = (self.q_codes.len(), self.p_codes.len());
         let cols = m + 1;
@@ -1197,18 +1807,25 @@ impl AlignEngine {
         self.curr.resize(cols, NEVER);
         let mut cells = 0_u64;
 
-        // Row 0.
+        // Row 0: an indel chain (global) or the free-injection row
+        // (semi-global), clipped to the band.
         let (lo0, hi0) = band_range(0, m, self.cfg.band);
         for (j, cell) in self.prev.iter_mut().enumerate().take(hi0 + 1) {
-            *cell = (j as u64).saturating_mul(w.indel);
+            *cell = if semi {
+                0
+            } else {
+                (j as u64).saturating_mul(w.indel)
+            };
         }
         cells += (hi0 - lo0 + 1) as u64;
         let mut frontier_min = self.prev[lo0];
         let threshold = self.cfg.threshold.unwrap_or(NEVER);
 
         for i in 1..=n {
-            // Sound abandon: every root→sink path crosses each computed
-            // row, and all weights are ≥ 0, so score ≥ min(frontier).
+            // Sound abandon: every injection→readout path crosses each
+            // computed row (all injections live on row 0, all readouts
+            // on row n), and all weights are ≥ 0, so score ≥
+            // min(frontier).
             if frontier_min > threshold {
                 return EngineOutcome {
                     score: Time::NEVER,
@@ -1219,7 +1836,7 @@ impl AlignEngine {
             let (lo, hi) = band_range(i, m, self.cfg.band);
             if lo > hi {
                 // The band excludes this whole row, and `lo` only grows
-                // with `i`: no in-band path can reach the sink.
+                // with `i`: no in-band path can reach any readout cell.
                 return EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
@@ -1247,7 +1864,13 @@ impl AlignEngine {
             std::mem::swap(&mut self.prev, &mut self.curr);
         }
 
-        let score_raw = self.prev[m];
+        let score_raw = if semi {
+            // Free trailing gaps: the best bottom-row cell. Out-of-band
+            // cells hold NEVER and cannot win the min.
+            self.prev.iter().copied().min().unwrap_or(NEVER)
+        } else {
+            self.prev[m]
+        };
         let exceeded = match self.cfg.threshold {
             Some(t) => score_raw > t,
             None => false,
@@ -1261,6 +1884,157 @@ impl AlignEngine {
             cells_computed: cells,
             early_terminated: exceeded,
         }
+    }
+
+    /// The max-plus (Smith–Waterman) rolling row: zero boundaries, the
+    /// [`crate::simd::diag_update_local`] arithmetic one cell at a time
+    /// (the rolling row is serial either way), best-cell maximum
+    /// readout. Banded rows treat out-of-band neighbours as fresh
+    /// starts (value 0), matching the wavefront local kernel.
+    fn rolling_row_local(&mut self, s: LocalScores) -> EngineOutcome {
+        let (n, m) = (self.q_codes.len(), self.p_codes.len());
+        let cols = m + 1;
+        self.prev.clear();
+        self.prev.resize(cols, 0);
+        self.curr.clear();
+        self.curr.resize(cols, 0);
+        let mut cells = 0_u64;
+        let mut best = 0_u64;
+
+        let (lo0, hi0) = band_range(0, m, self.cfg.band);
+        cells += (hi0 - lo0 + 1) as u64;
+
+        for i in 1..=n {
+            let (lo, hi) = band_range(i, m, self.cfg.band);
+            if lo > hi {
+                break; // rows below are band-empty too; best is final
+            }
+            if self.cfg.band.is_some() {
+                self.curr.fill(0);
+            }
+            let mut j = lo;
+            if j == 0 {
+                self.curr[0] = 0;
+                j = 1;
+            }
+            let mut left = self.curr[j - 1];
+            for jj in j..=hi {
+                let diag = if self.q_codes[i - 1] == self.p_codes[jj - 1] {
+                    self.prev[jj - 1].saturating_add(s.matched)
+                } else {
+                    self.prev[jj - 1].saturating_sub(s.mismatched)
+                };
+                let cell = self.prev[jj]
+                    .saturating_sub(s.gap)
+                    .max(left.saturating_sub(s.gap))
+                    .max(diag);
+                self.curr[jj] = cell;
+                left = cell;
+                best = best.max(cell);
+            }
+            cells += (hi - lo + 1) as u64;
+            std::mem::swap(&mut self.prev, &mut self.curr);
+        }
+
+        EngineOutcome {
+            score: raw_to_time(best),
+            cells_computed: cells,
+            early_terminated: false,
+        }
+    }
+
+    /// The affine-gap (Gotoh) rolling row: three rolling row pairs, one
+    /// per plane, native `u64`. The abandon rule tests the row minimum
+    /// across all three planes — sound for the same reason as the
+    /// linear row (every path crosses every row, one plane state per
+    /// cell, non-negative weights).
+    fn rolling_row_affine(&mut self, open: u64) -> EngineOutcome {
+        let w = RawWeights::from_weights(self.cfg.weights);
+        let (n, m) = (self.q_codes.len(), self.p_codes.len());
+        let cols = m + 1;
+        for row in [
+            &mut self.prev,
+            &mut self.curr,
+            &mut self.xprev,
+            &mut self.xcurr,
+            &mut self.yprev,
+            &mut self.ycurr,
+        ] {
+            row.clear();
+            row.resize(cols, NEVER);
+        }
+        let mut cells = 0_u64;
+
+        // Row 0: M holds the root; Iy holds the horizontal gap run.
+        let (lo0, hi0) = band_range(0, m, self.cfg.band);
+        self.prev[0] = 0;
+        for j in 1..=hi0 {
+            self.yprev[j] = open.saturating_add((j as u64).saturating_mul(w.indel));
+        }
+        cells += (hi0 - lo0 + 1) as u64;
+        let mut frontier_min = 0_u64;
+        let threshold = self.cfg.threshold.unwrap_or(NEVER);
+        let open_ext = open.saturating_add(w.indel);
+
+        for i in 1..=n {
+            if frontier_min > threshold {
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    early_terminated: true,
+                };
+            }
+            let (lo, hi) = band_range(i, m, self.cfg.band);
+            if lo > hi {
+                return EngineOutcome {
+                    score: Time::NEVER,
+                    cells_computed: cells,
+                    early_terminated: self.cfg.threshold.is_some(),
+                };
+            }
+            if self.cfg.band.is_some() {
+                self.curr.fill(NEVER);
+                self.xcurr.fill(NEVER);
+                self.ycurr.fill(NEVER);
+            }
+            let mut row_min = NEVER;
+            let mut j = lo;
+            if j == 0 {
+                self.curr[0] = NEVER;
+                self.ycurr[0] = NEVER;
+                self.xcurr[0] = open.saturating_add((i as u64).saturating_mul(w.indel));
+                row_min = self.xcurr[0];
+                j = 1;
+            }
+            for jj in j..=hi {
+                let eq = self.q_codes[i - 1] == self.p_codes[jj - 1];
+                let dw = if eq { w.matched } else { w.mismatched };
+                let mcell = self.prev[jj - 1]
+                    .min(self.xprev[jj - 1])
+                    .min(self.yprev[jj - 1])
+                    .saturating_add(dw);
+                let xcell = self.prev[jj]
+                    .min(self.yprev[jj])
+                    .saturating_add(open_ext)
+                    .min(self.xprev[jj].saturating_add(w.indel));
+                let ycell = self.curr[jj - 1]
+                    .min(self.xcurr[jj - 1])
+                    .saturating_add(open_ext)
+                    .min(self.ycurr[jj - 1].saturating_add(w.indel));
+                self.curr[jj] = mcell;
+                self.xcurr[jj] = xcell;
+                self.ycurr[jj] = ycell;
+                row_min = row_min.min(mcell).min(xcell).min(ycell);
+            }
+            frontier_min = row_min;
+            cells += (hi - lo + 1) as u64;
+            std::mem::swap(&mut self.prev, &mut self.curr);
+            std::mem::swap(&mut self.xprev, &mut self.xcurr);
+            std::mem::swap(&mut self.yprev, &mut self.ycurr);
+        }
+
+        let score_raw = self.prev[m].min(self.xprev[m]).min(self.yprev[m]);
+        classify_outcome(score_raw, self.cfg.threshold, cells)
     }
 }
 
@@ -1287,7 +2061,7 @@ impl BatchEngine {
     /// Panics if `cfg.weights.indel == 0` (see [`RaceWeights`]).
     #[must_use]
     pub fn new(cfg: AlignConfig) -> Self {
-        assert!(cfg.weights.indel > 0, "indel weight must be positive");
+        cfg.assert_valid();
         BatchEngine {
             cfg,
             scratch: crate::striped::BatchScratch::default(),
@@ -1303,7 +2077,7 @@ impl BatchEngine {
     /// Swaps the configuration while keeping every scratch buffer (the
     /// batch analogue of [`AlignEngine::set_config`]).
     pub fn set_config(&mut self, cfg: AlignConfig) {
-        assert!(cfg.weights.indel > 0, "indel weight must be positive");
+        cfg.assert_valid();
         self.cfg = cfg;
     }
 
@@ -1350,6 +2124,10 @@ pub struct BatchPlanStats {
     pub striped_pairs: usize,
     /// Planned stripe count.
     pub stripes: usize,
+    /// Stripes running the half-width `u16` monomorphization (8 lanes
+    /// instead of 16 — under-filled tails that no longer sweep empty
+    /// lanes; see `docs/KERNELS.md`).
+    pub half_width_stripes: usize,
     /// Σ over striped pairs of each pair's own (banded) cell count.
     pub useful_cells: u64,
     /// Σ over stripes of the union shape's (banded) cell count × the
@@ -1552,6 +2330,7 @@ mod tests {
             exact_lane_width(
                 64,
                 64,
+                AlignMode::Global,
                 RawWeights::from_weights(RaceWeights::fig4()),
                 None,
                 LaneWidth::U16
@@ -1606,6 +2385,65 @@ mod tests {
         assert_eq!(
             plan(base.with_lane_floor(LaneWidth::U64), 256, 256).lanes,
             LaneWidth::U64
+        );
+    }
+
+    #[test]
+    fn mode_semantics_on_hand_picked_pairs() {
+        // Semi-global: an exact occurrence is free under Levenshtein
+        // weights, and ends where the occurrence ends.
+        let cfg = AlignConfig::new(RaceWeights::levenshtein()).with_mode(AlignMode::SemiGlobal);
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let out = AlignEngine::new(cfg.with_strategy(s))
+                .align(&packed("ACGT"), &packed("TTTTACGTTTTT"));
+            assert_eq!(out.score, Time::ZERO, "{s}: exact occurrence is free");
+        }
+
+        // Local: the embedded 4-match region wins 4 · bonus.
+        let local =
+            AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(LocalScores::blast()));
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let out = AlignEngine::new(local.with_strategy(s))
+                .align(&packed("TTTTACGTTTTT"), &packed("CCCCACGTCCCC"));
+            assert_eq!(out.score.cycles(), Some(8), "{s}: 4 matches × bonus 2");
+        }
+
+        // Affine: one length-4 gap costs open + 4, not 4 separate opens
+        // (the rl_bio Gotoh example, raced).
+        let affine = AlignConfig::new(RaceWeights::levenshtein())
+            .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 3 }));
+        for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+            let out = AlignEngine::new(affine.with_strategy(s))
+                .align(&packed("AAAATTTT"), &packed("AAAA"));
+            assert_eq!(out.score.cycles(), Some(7), "{s}: open 3 + 4 extends");
+        }
+
+        // Empty operands in every mode.
+        for mode in [
+            AlignMode::SemiGlobal,
+            AlignMode::Local(LocalScores::unit()),
+            AlignMode::GlobalAffine(AffineWeights { open: 5 }),
+        ] {
+            let cfg = AlignConfig::new(RaceWeights::levenshtein()).with_mode(mode);
+            let out = AlignEngine::new(cfg).align(&packed(""), &packed(""));
+            assert_eq!(out.score, Time::ZERO, "{mode}: empty vs empty");
+        }
+        // Empty query in semi-global matches anywhere for free; an
+        // empty pattern forces |q| pure insertions (+ one open, affine).
+        let semi = AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::SemiGlobal);
+        assert_eq!(
+            AlignEngine::new(semi)
+                .align(&packed(""), &packed("ACGT"))
+                .score,
+            Time::ZERO
+        );
+        let aff = AlignConfig::new(RaceWeights::levenshtein())
+            .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 5 }));
+        assert_eq!(
+            AlignEngine::new(aff)
+                .align(&packed("ACG"), &packed(""))
+                .score,
+            Time::from_cycles(8)
         );
     }
 
@@ -1695,7 +2533,7 @@ mod tests {
         assert!(!fits_word(
             16,
             16,
-            RawWeights::from_weights(w),
+            mode_max_step(AlignMode::Global, RawWeights::from_weights(w)),
             u64::from(<u32 as KernelWord>::INF)
         ));
         let q = packed("GATTCGAGATTCGAGA");

@@ -20,7 +20,7 @@
 //! | [`compiler`] | §3, Fig. 3 | weighted DAG → gate-level race circuit (OR/AND type), plus execution |
 //! | [`functional`] | §3 | fast event-driven race simulation (no gates), the race as a discrete-event process |
 //! | [`alignment`] | §4, Fig. 4 | the DNA global-alignment race array, gate-level and functional |
-//! | [`engine`] | throughput | the batched zero-allocation alignment engine: fused kernels (rolling-row; SIMD wavefront in absolute and compacted-band layouts; banding + early termination) over packed sequences, plus `align_batch` with its inter-pair striped batch kernel |
+//! | [`engine`] | throughput | the batched zero-allocation alignment engine: four alignment modes (global, semi-global, local max-plus, three-plane affine) on fused kernels (rolling-row; SIMD wavefront in absolute and compacted-band layouts; banding + early termination) over packed sequences, plus `align_batch` with its inter-pair striped batch kernel |
 //! | [`simd`] | throughput | portable lane operations (`u16`/`u32`/`u64` kernel words) behind the wavefront kernels' inner loops |
 //! | [`wavefront`] | §4.3, Fig. 6 | per-cycle wavefront traces of the propagating signal |
 //! | [`gating`] | §4.3, Fig. 7 | data-dependent clock gating over m×m multi-cell regions |
@@ -29,7 +29,7 @@
 //! | [`early_termination`] | §6 | thresholded races that abandon dissimilar pairs early |
 //! | [`asynchronous`] | §6, Fig. 3d | continuous-time races with analog delay variation (extension) |
 //! | [`banded`] | design space | Ukkonen-banded arrays with certified exactness (extension) |
-//! | [`semi_global`] | §6 scans | query-in-reference races via multi-point injection (extension) |
+//! | [`semi_global`] | §6 scans | query-in-reference races via multi-point injection — thin wrapper over the engine's semi-global mode (extension) |
 //! | [`traceback`] | §2.3 refs 21–22 | recovering the winning alignment from arrival times (extension) |
 //!
 //! ## Quick start

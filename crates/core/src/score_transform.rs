@@ -177,6 +177,32 @@ impl<S: Symbol> TransformedWeights<S> {
         (&self.substitution, self.indel)
     }
 
+    /// The transformed weights as engine [`crate::alignment::RaceWeights`], if the
+    /// original scheme was **uniform** (one match score, one mismatch
+    /// score or uniformly forbidden — see
+    /// [`rl_bio::ScoreScheme::as_uniform`]). Uniform schemes are the
+    /// ones the engine's code-equality kernels can race directly;
+    /// matrix-valued schemes need the generalized per-symbol cell.
+    #[must_use]
+    pub fn uniform_race_weights(
+        &self,
+        scheme: &ScoreScheme<S>,
+    ) -> Option<crate::alignment::RaceWeights> {
+        let (matched_s, mismatched_s) = scheme.as_uniform()?;
+        let delay = |s: i32| -> u64 {
+            let w = match self.original_objective {
+                Objective::Maximize => 2 * self.bias - i64::from(s),
+                Objective::Minimize => i64::from(s) + 2 * self.bias,
+            };
+            u64::try_from(w).expect("bias guarantees positivity")
+        };
+        Some(crate::alignment::RaceWeights {
+            matched: delay(matched_s),
+            mismatched: mismatched_s.map(delay),
+            indel: self.indel,
+        })
+    }
+
     /// Prices a raced alignment of `q` vs `p` directly in delay space
     /// with the reference DP — used by tests and by the functional
     /// generalized array.
@@ -203,6 +229,47 @@ impl<S: Symbol> TransformedWeights<S> {
         }
         dp[n * cols + m]
     }
+}
+
+/// Global **affine-gap** alignment score raced on the engine — the thin
+/// validated wrapper that retires `rl_bio::affine`'s bespoke scalar
+/// loop for every scheme the race array can express.
+///
+/// The §5 transform extends to affine gaps because the per-alignment
+/// identity `2 · #substitutions + #indels = n + m` holds for *any*
+/// global alignment regardless of how its gaps are grouped into runs:
+/// biasing substitution and indel delays shifts every alignment's cost
+/// by exactly `B · (n + m)`, while the per-run opening term maps
+/// unshifted (`race open = −open` for maximizing schemes, `open` for
+/// minimizing ones), so [`TransformedWeights::recover_score`] inverts
+/// the raced affine cost just as it does the linear one.
+///
+/// Returns `None` when the engine cannot express the problem — a
+/// matrix-valued (non-uniform) scheme, an opening score of the wrong
+/// sign (a gap-opening *bonus*), a transform failure, or a pair with no
+/// legal alignment. Callers needing the matrix-valued cases fall back
+/// to the scalar Gotoh ([`rl_bio::affine::global_affine_score`], which
+/// doubles as this wrapper's property-test oracle).
+#[must_use]
+pub fn global_affine_race<S: Symbol>(
+    q: &Seq<S>,
+    p: &Seq<S>,
+    scheme: &ScoreScheme<S>,
+    gap: rl_bio::affine::AffineGap,
+) -> Option<i64> {
+    use crate::engine::{AffineWeights, AlignConfig, AlignEngine, AlignMode};
+
+    let t = TransformedWeights::from_scheme(scheme).ok()?;
+    let weights = t.uniform_race_weights(scheme)?;
+    let open = match scheme.objective() {
+        // A maximizing scheme penalizes opens with a negative score;
+        // the race charges its magnitude as extra delay.
+        Objective::Maximize => u64::try_from(i64::from(gap.open).checked_neg()?).ok()?,
+        Objective::Minimize => u64::try_from(i64::from(gap.open)).ok()?,
+    };
+    let cfg = AlignConfig::new(weights).with_mode(AlignMode::GlobalAffine(AffineWeights { open }));
+    let raced = AlignEngine::new(cfg).align_seqs(q, p);
+    t.recover_score(raced.score, q.len(), p.len())
 }
 
 #[cfg(test)]
@@ -315,5 +382,57 @@ mod tests {
             let reference = align::global_score(&q, &p, &scheme).unwrap();
             prop_assert_eq!(raced, t.bias() * (q.len() + p.len()) as i64 - reference);
         }
+
+        /// The engine-raced affine wrapper recovers exactly the scalar
+        /// Gotoh score, for maximizing (dna_longest, dna_shortest is
+        /// minimizing) and minimizing uniform schemes alike.
+        #[test]
+        fn global_affine_race_matches_gotoh(
+            qs in "[ACGT]{0,16}", ps in "[ACGT]{0,16}", open_mag in 0_i32..6
+        ) {
+            let q: Seq<Dna> = qs.parse().unwrap();
+            let p: Seq<Dna> = ps.parse().unwrap();
+            for scheme in [matrix::dna_longest(), matrix::dna_shortest(), matrix::levenshtein_scheme()] {
+                // Opens penalize: negative for maximizers, positive for
+                // minimizers.
+                let open = match scheme.objective() {
+                    Objective::Maximize => -open_mag,
+                    Objective::Minimize => open_mag,
+                };
+                let gap = rl_bio::affine::AffineGap { open };
+                let raced = global_affine_race(&q, &p, &scheme, gap);
+                let reference = rl_bio::affine::global_affine_score(&q, &p, &scheme, gap).unwrap();
+                prop_assert_eq!(raced, Some(reference), "{}", scheme.name());
+            }
+        }
+    }
+
+    /// The wrapper declines what the engine cannot express: matrix
+    /// schemes and gap-opening bonuses.
+    #[test]
+    fn global_affine_race_declines_inexpressible() {
+        let a: Seq<AminoAcid> = "VHLTPEEK".parse().unwrap();
+        let b: Seq<AminoAcid> = "VHLPEEK".parse().unwrap();
+        assert_eq!(
+            global_affine_race(
+                &a,
+                &b,
+                &matrix::blosum62(),
+                rl_bio::affine::AffineGap { open: -6 }
+            ),
+            None,
+            "matrix-valued schemes are not uniform"
+        );
+        let q: Seq<Dna> = "ACGT".parse().unwrap();
+        assert_eq!(
+            global_affine_race(
+                &q,
+                &q,
+                &matrix::dna_longest(),
+                rl_bio::affine::AffineGap { open: 2 }
+            ),
+            None,
+            "a gap-opening bonus has no non-negative delay"
+        );
     }
 }

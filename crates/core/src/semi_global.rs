@@ -10,13 +10,24 @@
 //! is one more OR gate — whereas the systolic baseline would need a
 //! different dataflow entirely.
 //!
-//! The functional simulator here is validated against the textbook
-//! semi-global DP (free leading/trailing gaps in P).
+//! Since the engine grew [`crate::engine::AlignMode::SemiGlobal`],
+//! this module is a **thin wrapper over the engine**:
+//! [`semi_global_race`] runs the engine's mode-aware grid fill
+//! ([`crate::engine::fill_grid_mode`] — the same `row_update` kernel
+//! every rolling-row path shares) and derives the score, end column and
+//! bottom-row profile from the filled grid. Score-only callers (scans,
+//! batches) should configure the engine directly:
+//! `AlignConfig::new(w).with_mode(AlignMode::SemiGlobal)` rides the
+//! SIMD wavefront and the striped batch kernel. Everything is validated
+//! against the independent textbook DP ([`semi_global_reference`],
+//! kept deliberately engine-free) — property-tested here and in
+//! `tests/engine.rs`.
 
 use rl_bio::{alphabet::Symbol, Seq};
 use rl_temporal::Time;
 
 use crate::alignment::RaceWeights;
+use crate::engine::{fill_grid_mode, raw_to_time, AlignMode};
 
 /// The outcome of a semi-global race.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,27 +57,23 @@ pub fn semi_global_race<S: Symbol>(
     assert!(weights.indel > 0, "indel weight must be positive");
     let (n, m) = (q.len(), p.len());
     let cols = m + 1;
-    let mut arrival = vec![Time::NEVER; (n + 1) * cols];
-    // Free leading gaps: the whole top row is a source.
-    arrival[..=m].fill(Time::ZERO);
-    for i in 1..=n {
-        arrival[i * cols] = arrival[(i - 1) * cols].delay_by(weights.indel);
-        for j in 1..=m {
-            let up = arrival[(i - 1) * cols + j].delay_by(weights.indel);
-            let left = arrival[i * cols + j - 1].delay_by(weights.indel);
-            let dw = if q[i - 1] == p[j - 1] {
-                Some(weights.matched)
-            } else {
-                weights.mismatched
-            };
-            let diag = match dw {
-                Some(d) => arrival[(i - 1) * cols + j - 1].delay_by(d),
-                None => Time::NEVER,
-            };
-            arrival[i * cols + j] = up.earlier(left).earlier(diag);
-        }
-    }
-    let bottom_row: Vec<Time> = (0..=m).map(|j| arrival[n * cols + j]).collect();
+    let q_codes: Vec<u8> = q.codes().collect();
+    let p_codes: Vec<u8> = p.codes().collect();
+    // The engine's mode-aware grid fill: free top-row injection, the
+    // shared rolling-row kernel for the interior.
+    let mut grid = Vec::new();
+    fill_grid_mode(
+        &q_codes,
+        &p_codes,
+        weights,
+        None,
+        AlignMode::SemiGlobal,
+        &mut grid,
+    );
+    let bottom_row: Vec<Time> = grid[n * cols..(n + 1) * cols]
+        .iter()
+        .map(|&raw| raw_to_time(raw))
+        .collect();
     let (end_column, &score) = bottom_row
         .iter()
         .enumerate()
@@ -187,6 +194,24 @@ mod tests {
                 let race = semi_global_race(&q, &p, w);
                 let reference = semi_global_reference(&q, &p, w);
                 prop_assert_eq!(race.score.cycles(), reference);
+            }
+        }
+
+        /// The score-only engine in semi-global mode — both traversal
+        /// orders — agrees with this module's grid-backed wrapper.
+        #[test]
+        fn engine_mode_equals_wrapper(qs in "[ACGT]{0,12}", ps in "[ACGT]{0,20}") {
+            use crate::engine::{AlignConfig, AlignEngine, AlignMode, KernelStrategy};
+            let (q, p) = (dna(&qs), dna(&ps));
+            for w in [RaceWeights::fig4(), RaceWeights::levenshtein()] {
+                let wrapper = semi_global_race(&q, &p, w).score;
+                for s in [KernelStrategy::RollingRow, KernelStrategy::Wavefront] {
+                    let cfg = AlignConfig::new(w)
+                        .with_mode(AlignMode::SemiGlobal)
+                        .with_strategy(s);
+                    let out = AlignEngine::new(cfg).align_seqs(&q, &p);
+                    prop_assert_eq!(out.score, wrapper, "{}", s);
+                }
             }
         }
 

@@ -52,9 +52,9 @@ use rl_bio::{alphabet::Symbol, PackedSeq, StripedCodes};
 use rl_temporal::Time;
 
 use crate::engine::{
-    classify_outcome, diag_range, rotate_bufs, AlignConfig, AlignEngine, BatchPlanStats,
-    EngineOutcome, KernelStrategy, LaneWidth, PackerPolicy, RawWeights, COHORT_LEN_BUCKET, NEVER,
-    STRIPE_MIN_PAIRS, STRIPE_PAD_BUDGET_PCT,
+    classify_outcome, diag_range, raw_to_time, rotate_bufs, AlignConfig, AlignEngine, AlignMode,
+    BatchPlanStats, EngineOutcome, KernelStrategy, LaneWidth, LocalScores, PackerPolicy,
+    RawWeights, COHORT_LEN_BUCKET, NEVER, STRIPE_MIN_PAIRS, STRIPE_PAD_BUDGET_PCT,
 };
 use crate::simd::{self, KernelWord, LaneWeights};
 
@@ -72,6 +72,24 @@ const fn stripe_lanes(width: LaneWidth) -> usize {
     match width {
         LaneWidth::U16 => 16,
         LaneWidth::U32 | LaneWidth::U64 => 8,
+    }
+}
+
+/// Lane count of the **half-width** `u16` stripe monomorphization: a
+/// partially filled `u16` stripe with at most this many members sweeps
+/// 8 lanes instead of 16, so the sparse tails the ragged workload's
+/// plan exposes (e.g. a 5-member leftover) stop paying for 11 empty
+/// lanes. 8 `u16` words still fill a 128-bit register, so the vector
+/// body stays full-width on the x86-64-v2 floor.
+pub(crate) const HALF_STRIPE_LANES: usize = 8;
+
+/// The lane count a stripe of `members` pairs actually sweeps at
+/// `width` — [`stripe_lanes`], halved for under-filled `u16` stripes.
+pub(crate) const fn effective_stripe_lanes(width: LaneWidth, members: usize) -> usize {
+    if matches!(width, LaneWidth::U16) && members <= HALF_STRIPE_LANES {
+        HALF_STRIPE_LANES
+    } else {
+        stripe_lanes(width)
     }
 }
 
@@ -181,6 +199,11 @@ pub(crate) fn scan_topk_impl<S: Symbol>(
     scratch: &mut BatchScratch,
 ) -> Vec<EngineOutcome> {
     assert!(k > 0, "top-k scan needs k >= 1");
+    assert!(
+        cfg.mode.is_min_plus(),
+        "the ratcheted top-k scan races min-plus modes (global/semi-global/affine); \
+         local (max-plus) best-hit scans have no sound frontier abandon"
+    );
     let mut out = vec![EngineOutcome::default(); pairs.len()];
     if pairs.is_empty() {
         return out;
@@ -400,9 +423,14 @@ fn plan_units<S: Symbol>(
 ) -> Vec<WorkUnit> {
     let mut eligible: Vec<(usize, usize, usize)> = Vec::new();
     let mut singles: Vec<usize> = Vec::new();
+    // The striped sweep covers the single-plane modes; affine's three
+    // planes run per pair (tripling the stripe's buffer traffic would
+    // need its own tuning — an open item, not a silent fallback:
+    // `docs/KERNELS.md` documents the boundary).
+    let stripeable = !matches!(cfg.mode, AlignMode::GlobalAffine(_));
     for (i, (q, p)) in pairs.iter().enumerate() {
         let plan = cfg.resolve_kernel(q.len(), p.len());
-        if plan.strategy == KernelStrategy::Wavefront {
+        if stripeable && plan.strategy == KernelStrategy::Wavefront {
             eligible.push((q.len(), p.len(), i));
         } else {
             singles.push(i);
@@ -556,10 +584,16 @@ pub(crate) fn plan_stats_impl<S: Symbol>(
             mm = mm.max(p.len());
             stats.useful_cells += grid_cells(q.len(), p.len(), cfg.band);
         }
-        // Swept cells count every lane of the stripe, members or not:
-        // the sweep's vector ops are full-width regardless, so empty
-        // lanes are honest waste.
-        stats.swept_cells += grid_cells(nn, mm, cfg.band) * stripe_lanes(unit.width) as u64;
+        // Swept cells count every lane the sweep will actually run,
+        // members or not: vector ops are full-width regardless, so
+        // empty lanes are honest waste. Under-filled u16 stripes run
+        // the half-width (8-lane) monomorphization, which is exactly
+        // what lifts their occupancy.
+        let lanes = effective_stripe_lanes(unit.width, unit.members.len());
+        if unit.width == LaneWidth::U16 && lanes == HALF_STRIPE_LANES {
+            stats.half_width_stripes += 1;
+        }
+        stats.swept_cells += grid_cells(nn, mm, cfg.band) * lanes as u64;
     }
     stats
 }
@@ -618,7 +652,7 @@ fn run_stripe<S: Symbol>(
         nn = nn.max(q.len());
         mm = mm.max(p.len());
     }
-    let lanes = stripe_lanes(width);
+    let lanes = effective_stripe_lanes(width, members.len());
     debug_assert!(members.len() <= lanes, "stripe wider than its lane count");
     let q0 = pairs[members[0]].0;
     if members.iter().all(|&i| std::ptr::eq(pairs[i].0, q0)) {
@@ -643,8 +677,54 @@ fn run_stripe<S: Symbol>(
         .p_plane
         .pack_lanes_reversed(members.iter().map(|&i| pairs[i].1), lanes, mm, P_PAD);
     let w = RawWeights::from_weights(cfg.weights);
-    match width {
-        LaneWidth::U16 => stripe_sweep::<u16, 16>(
+    let semi = cfg.mode == AlignMode::SemiGlobal;
+    if let AlignMode::Local(s) = cfg.mode {
+        match (width, lanes) {
+            (LaneWidth::U16, HALF_STRIPE_LANES) => stripe_sweep_local::<u16, HALF_STRIPE_LANES>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                s,
+                cfg.band,
+                &mut scratch.b16,
+                results,
+            ),
+            (LaneWidth::U16, _) => stripe_sweep_local::<u16, 16>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                s,
+                cfg.band,
+                &mut scratch.b16,
+                results,
+            ),
+            (LaneWidth::U32, _) => stripe_sweep_local::<u32, 8>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                s,
+                cfg.band,
+                &mut scratch.b32,
+                results,
+            ),
+            (LaneWidth::U64, _) => stripe_sweep_local::<u64, 8>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                s,
+                cfg.band,
+                &mut scratch.b64,
+                results,
+            ),
+        }
+        return;
+    }
+    match (width, lanes) {
+        (LaneWidth::U16, HALF_STRIPE_LANES) => stripe_sweep::<u16, HALF_STRIPE_LANES>(
             &scratch.shapes,
             scratch.q_plane.as_slice(),
             scratch.p_plane.as_slice(),
@@ -652,10 +732,11 @@ fn run_stripe<S: Symbol>(
             w,
             cfg.band,
             threshold,
+            semi,
             &mut scratch.b16,
             results,
         ),
-        LaneWidth::U32 => stripe_sweep::<u32, 8>(
+        (LaneWidth::U16, _) => stripe_sweep::<u16, 16>(
             &scratch.shapes,
             scratch.q_plane.as_slice(),
             scratch.p_plane.as_slice(),
@@ -663,10 +744,23 @@ fn run_stripe<S: Symbol>(
             w,
             cfg.band,
             threshold,
+            semi,
+            &mut scratch.b16,
+            results,
+        ),
+        (LaneWidth::U32, _) => stripe_sweep::<u32, 8>(
+            &scratch.shapes,
+            scratch.q_plane.as_slice(),
+            scratch.p_plane.as_slice(),
+            (nn, mm),
+            w,
+            cfg.band,
+            threshold,
+            semi,
             &mut scratch.b32,
             results,
         ),
-        LaneWidth::U64 => stripe_sweep::<u64, 8>(
+        (LaneWidth::U64, _) => stripe_sweep::<u64, 8>(
             &scratch.shapes,
             scratch.q_plane.as_slice(),
             scratch.p_plane.as_slice(),
@@ -674,6 +768,7 @@ fn run_stripe<S: Symbol>(
             w,
             cfg.band,
             threshold,
+            semi,
             &mut scratch.b64,
             results,
         ),
@@ -710,6 +805,16 @@ fn run_stripe<S: Symbol>(
 /// widths with the threshold folded into eligibility; the ratcheted
 /// scan instead starts from `+∞` and relies on this conservative
 /// clamping until the ratchet tightens into range.
+///
+/// **Semi-global** (`semi = true`) mirrors the per-pair kernel's
+/// free-end semantics lane by lane: top-row boundary cells inject `0`,
+/// a per-lane **best-score register** tracks each lane's bottom-row
+/// minimum (one extra read per live lane per diagonal — the bottom row
+/// meets each diagonal in exactly one cell), every abandon rule folds
+/// the lane's best in (an in-threshold hit already seen must block the
+/// abandon), and lanes retire on their best register instead of the
+/// sink cell — which also gives band-excluded sinks the right verdict
+/// for free.
 #[allow(clippy::too_many_arguments)]
 fn stripe_sweep<W: KernelWord, const L: usize>(
     shapes: &[(usize, usize)],
@@ -719,6 +824,7 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
     w: RawWeights,
     band: Option<usize>,
     threshold: StripeThreshold,
+    semi: bool,
     bufs: &mut [Vec<W>; 3],
     out: &mut [EngineOutcome],
 ) {
@@ -756,8 +862,15 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
     let mut gmin2 = W::INF; // whole-stripe lower bound, diagonal d − 2
     let mut cells = [1_u64; L];
     let mut done = [true; L];
+    // Per-lane best-score registers (semi-global readout): the running
+    // minimum over the lane's bottom-row cells. For n = 0 the root cell
+    // itself sits on the bottom row.
+    let mut best = [W::INF; L];
     let mut live = 0_usize;
     for (l, &(n, m)) in shapes.iter().enumerate() {
+        if semi && n == 0 {
+            best[l] = W::ZERO;
+        }
         if n + m == 0 {
             // Root-only pair: the per-pair kernel's loop body never runs.
             out[l] = classify_outcome(0, t_raw, 1);
@@ -772,10 +885,15 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             break; // every lane retired — nothing left to sweep
         }
         // Per-lane abandon check, before computing diagonal d (the
-        // per-pair kernel's order).
+        // per-pair kernel's order). Semi-global folds the lane's best
+        // bottom-row value in, exactly like the per-pair kernel.
         if let Some(t) = t_w {
             for l in 0..lanes {
-                if !done[l] && min1[l].min(min2[l]) > t {
+                let mut floor = min1[l].min(min2[l]);
+                if semi {
+                    floor = floor.min(best[l]);
+                }
+                if !done[l] && floor > t {
                     out[l] = EngineOutcome {
                         score: Time::NEVER,
                         cells_computed: cells[l],
@@ -791,9 +909,19 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
         }
         // Coarse whole-stripe abandon: the two-diagonal lower bound is
         // ≤ every live lane's true frontier minimum, so exceeding the
-        // threshold proves score > t for every lane at once.
+        // threshold proves score > t for every lane at once — provided
+        // no live lane has already banked a bottom-row value within the
+        // threshold (semi-global), hence the fold over best registers.
         if let Some(t) = t_c {
-            if gmin1.min(gmin2) > t {
+            let mut floor = gmin1.min(gmin2);
+            if semi {
+                for l in 0..lanes {
+                    if !done[l] {
+                        floor = floor.min(best[l]);
+                    }
+                }
+            }
+            if floor > t {
                 for l in 0..lanes {
                     if !done[l] {
                         out[l] = EngineOutcome {
@@ -824,12 +952,17 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             (gmin2, gmin1) = (gmin1, W::INF);
             // A lane whose final diagonal this was still retires: its
             // sink range is empty too, so its score is the per-pair
-            // kernel's band-excluded-sink verdict.
+            // kernel's band-excluded-sink verdict — or, semi-global,
+            // whatever its best register already holds.
             for (l, &(n, m)) in shapes.iter().enumerate() {
                 if !done[l] && d == n + m {
-                    out[l] = classify_outcome(NEVER, t_raw, cells[l]);
+                    let raw = if semi { best[l].to_raw() } else { NEVER };
+                    out[l] = classify_outcome(raw, t_raw, cells[l]);
                     done[l] = true;
                     live -= 1;
+                    if t_c.is_some() {
+                        retire_lane_residue(l, nn, cur, d1, d2);
+                    }
                 }
             }
             continue;
@@ -843,8 +976,9 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
         }
 
         let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        let top_boundary = if semi { W::ZERO } else { boundary };
         if lo == 0 {
-            cur[..L].fill(boundary); // cell (0, d) — real where d ≤ m_l
+            cur[..L].fill(top_boundary); // cell (0, d) — real where d ≤ m_l
         }
         if hi == d {
             cur[d * L..(d + 1) * L].fill(boundary); // cell (d, 0) — real where d ≤ n_l
@@ -873,11 +1007,15 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
         }
         if t_c.is_some() {
             // The whole-stripe bound: the unmasked interior minimum
-            // (padding, out-of-shape cells and retired-lane residue
-            // included — a superset, so only ever conservative) plus
-            // the shared boundary value when any boundary cell exists.
+            // (padding and out-of-shape cells included — a superset, so
+            // only ever conservative; retired lanes are reset to +∞ at
+            // retirement so their residue cannot stall the bound) plus
+            // the shared boundary values when any boundary cell exists.
             let mut gdmin = interior_min;
-            if lo == 0 || hi == d {
+            if lo == 0 {
+                gdmin = gdmin.min(top_boundary);
+            }
+            if hi == d {
                 gdmin = gdmin.min(boundary);
             }
             (gmin2, gmin1) = (gmin1, gdmin);
@@ -891,7 +1029,7 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             if lo == 0 {
                 for l in 0..L {
                     if du <= m_arr[l] {
-                        dmin[l] = dmin[l].min(boundary);
+                        dmin[l] = dmin[l].min(top_boundary);
                     }
                 }
             }
@@ -949,6 +1087,19 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             min1 = dmin;
         }
 
+        // Per-lane best-score registers (semi-global): each live lane's
+        // bottom-row cell on this diagonal, if its own band admits one.
+        if semi {
+            for (l, &(n, m)) in shapes.iter().enumerate() {
+                if !done[l] && d >= n && d <= n + m {
+                    let (llo, lhi) = diag_range(d, n, m, band);
+                    if llo <= n && n <= lhi {
+                        best[l] = best[l].min(cur[n * L + l]);
+                    }
+                }
+            }
+        }
+
         // Per-lane cell accounting over the lane's *own* band range.
         for (l, &(n, m)) in shapes.iter().enumerate() {
             if !done[l] && d <= n + m {
@@ -959,16 +1110,196 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             }
         }
 
-        // Retire lanes whose final diagonal this was.
+        // Retire lanes whose final diagonal this was. Semi-global lanes
+        // read their best register (which has already folded this
+        // diagonal's sink cell in); global lanes read the sink itself.
         for (l, &(n, m)) in shapes.iter().enumerate() {
             if !done[l] && d == n + m {
-                let (flo, fhi) = diag_range(d, n, m, band);
-                let raw = if flo <= fhi {
-                    cur[n * L + l].to_raw()
+                let raw = if semi {
+                    best[l].to_raw()
                 } else {
-                    NEVER // the band excludes the lane's sink cell
+                    let (flo, fhi) = diag_range(d, n, m, band);
+                    if flo <= fhi {
+                        cur[n * L + l].to_raw()
+                    } else {
+                        NEVER // the band excludes the lane's sink cell
+                    }
                 };
                 out[l] = classify_outcome(raw, t_raw, cells[l]);
+                done[l] = true;
+                live -= 1;
+                if t_c.is_some() {
+                    // Coarse-bound hygiene: a retired lane's cells keep
+                    // evolving from stale values, and under a zero
+                    // matched weight that residue stops growing — which
+                    // would freeze the whole-stripe lower bound below
+                    // the live lanes' true frontiers forever. Resetting
+                    // the lane's columns to +∞ drops it out of the
+                    // unmasked minimum, keeping the coarse abandon
+                    // tight for levenshtein-style weights too.
+                    retire_lane_residue(l, nn, cur, d1, d2);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(live, 0, "every lane must retire by the last diagonal");
+}
+
+/// Fills lane `l`'s column in all three diagonal buffers with `+∞` —
+/// called at lane retirement in [`StripeThreshold::Coarse`] mode so the
+/// whole-stripe lower bound (an *unmasked* minimum over the interior)
+/// no longer sees the retired lane. `+∞` is absorbing under every lane
+/// word's clamped arithmetic, so the lane's cells stay at `+∞` for the
+/// rest of the sweep.
+fn retire_lane_residue<W: KernelWord>(
+    l: usize,
+    nn: usize,
+    cur: &mut [W],
+    d1: &mut [W],
+    d2: &mut [W],
+) {
+    let lanes = cur.len() / (nn + 1);
+    for buf in [cur, d1, d2] {
+        for i in 0..=nn {
+            buf[i * lanes + l] = W::INF;
+        }
+    }
+}
+
+/// The **local** (max-plus Smith–Waterman) striped sweep: the same
+/// lane-interleaved anti-diagonal layout as [`stripe_sweep`], racing
+/// the AND-type dual with per-lane **best-score (maximum) registers**.
+///
+/// Boundary and padding values are `0` (fresh local starts — see the
+/// per-pair local kernel), and the per-lane maxima are accumulated
+/// **unmasked**: a lane's out-of-shape and padded cells can never
+/// exceed its true in-shape best, because padding sentinels never
+/// compare equal to any code (no match bonus is reachable) and every
+/// other operation is non-increasing — so by induction every
+/// out-of-shape value is bounded by an earlier in-shape value already
+/// folded into the register. That makes the unmasked per-diagonal max
+/// pass exact, not just conservative (property-tested: striped local
+/// == sequential per-pair local, byte-identical). No thresholds: local
+/// mode has no sound frontier abandon, so lanes only retire at their
+/// final diagonal.
+#[allow(clippy::too_many_arguments)]
+fn stripe_sweep_local<W: KernelWord, const L: usize>(
+    shapes: &[(usize, usize)],
+    q_plane: &[u8],
+    p_plane: &[u8],
+    (nn, mm): (usize, usize),
+    s: LocalScores,
+    band: Option<usize>,
+    bufs: &mut [Vec<W>; 3],
+    out: &mut [EngineOutcome],
+) {
+    let lanes = shapes.len();
+    assert!(lanes <= L && lanes == out.len());
+    let lw = LaneWeights {
+        matched: W::clamp_raw(s.matched),
+        mismatched: W::clamp_raw(s.mismatched),
+        indel: W::clamp_raw(s.gap),
+    };
+    for b in bufs.iter_mut() {
+        b.clear();
+        b.resize((nn + 1) * L, W::ZERO);
+    }
+
+    let mut best = [W::ZERO; L];
+    let mut cells = [1_u64; L];
+    let mut done = [true; L];
+    let mut live = 0_usize;
+    for (l, &(n, m)) in shapes.iter().enumerate() {
+        if n + m == 0 {
+            out[l] = EngineOutcome {
+                score: Time::ZERO,
+                cells_computed: 1,
+                early_terminated: false,
+            };
+        } else {
+            done[l] = false;
+            live += 1;
+        }
+    }
+
+    for d in 1..=(nn + mm) {
+        if live == 0 {
+            break;
+        }
+        let (cur, d1, d2) = rotate_bufs(bufs, d);
+        let (lo, hi) = diag_range(d, nn, mm, band);
+        if lo > hi {
+            // Band-empty union diagonal: later reads see fresh starts.
+            let clo = lo.saturating_sub(1).min(nn);
+            let chi = (hi + 1).min(nn);
+            if clo <= chi {
+                cur[clo * L..(chi + 1) * L].fill(W::ZERO);
+            }
+            for (l, &(n, m)) in shapes.iter().enumerate() {
+                if !done[l] && d == n + m {
+                    out[l] = EngineOutcome {
+                        score: raw_to_time(best[l].to_raw()),
+                        cells_computed: cells[l],
+                        early_terminated: false,
+                    };
+                    done[l] = true;
+                    live -= 1;
+                }
+            }
+            continue;
+        }
+        // One-row zero padding around the written span.
+        if lo > 0 {
+            cur[(lo - 1) * L..lo * L].fill(W::ZERO);
+        }
+        if hi < nn {
+            cur[(hi + 1) * L..(hi + 2) * L].fill(W::ZERO);
+        }
+        // Boundary rows: empty local alignments.
+        if lo == 0 {
+            cur[..L].fill(W::ZERO);
+        }
+        if hi == d {
+            cur[d * L..(d + 1) * L].fill(W::ZERO);
+        }
+
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        if ilo <= ihi {
+            let (a, b) = (ilo * L, (ihi + 1) * L);
+            // Unmasked per-lane maxima are fused into the update
+            // (exact — see above). Retired lanes keep accumulating
+            // junk; their registers are never read again.
+            simd::diag_update_local_lanes::<W, L>(
+                &d1[a - L..b - L],
+                &d1[a..b],
+                &d2[a - L..b - L],
+                &q_plane[a - L..b - L],
+                &p_plane[(mm + ilo - d) * L..(mm + ihi + 1 - d) * L],
+                lw,
+                &mut cur[a..b],
+                &mut best,
+            );
+        }
+
+        // Per-lane cell accounting over the lane's own band range.
+        for (l, &(n, m)) in shapes.iter().enumerate() {
+            if !done[l] && d <= n + m {
+                let (llo, lhi) = diag_range(d, n, m, band);
+                if llo <= lhi {
+                    cells[l] += (lhi - llo + 1) as u64;
+                }
+            }
+        }
+
+        // Retire lanes at their final diagonal.
+        for (l, &(n, m)) in shapes.iter().enumerate() {
+            if !done[l] && d == n + m {
+                out[l] = EngineOutcome {
+                    score: raw_to_time(best[l].to_raw()),
+                    cells_computed: cells[l],
+                    early_terminated: false,
+                };
                 done[l] = true;
                 live -= 1;
             }
@@ -1252,6 +1583,98 @@ mod tests {
         ] {
             assert_batch_matches_sequential(&cfg, &pairs);
         }
+    }
+
+    #[test]
+    fn modes_stripe_and_match_sequential() {
+        use crate::engine::{AffineWeights, AlignMode, LocalScores};
+        let pairs = random_pairs(21, 40, 72);
+        let w = RaceWeights::fig4();
+        for mode in [
+            AlignMode::SemiGlobal,
+            AlignMode::Local(LocalScores::blast()),
+            AlignMode::GlobalAffine(AffineWeights { open: 2 }),
+        ] {
+            assert_batch_matches_sequential(&AlignConfig::new(w).with_mode(mode), &pairs);
+            assert_batch_matches_sequential(
+                &AlignConfig::new(w).with_mode(mode).with_band(6),
+                &pairs,
+            );
+        }
+        // Semi-global with a fused threshold, exact per-lane mode.
+        assert_batch_matches_sequential(
+            &AlignConfig::new(w)
+                .with_mode(AlignMode::SemiGlobal)
+                .with_threshold(12),
+            &pairs,
+        );
+    }
+
+    #[test]
+    fn affine_mode_plans_no_stripes() {
+        use crate::engine::{AffineWeights, AlignMode};
+        let pairs = random_pairs(16, 64, 64);
+        let cfg = AlignConfig::new(RaceWeights::fig4())
+            .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 1 }));
+        assert!(plan_units(&cfg, &ref_pairs(&pairs))
+            .iter()
+            .all(|u| !u.striped));
+    }
+
+    #[test]
+    fn half_width_u16_stripes_lift_tail_occupancy() {
+        // 21 same-shape u16-eligible pairs → one full 16-lane stripe and
+        // a 5-member tail. The tail must plan as a half-width (8-lane)
+        // stripe, halving its swept cells, and stay byte-identical.
+        let pairs = random_pairs(21, 64, 64);
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let units = plan_units(&cfg, &ref_pairs(&pairs));
+        let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
+        assert_eq!(striped.len(), 2);
+        assert_eq!(striped[0].width, LaneWidth::U16);
+        assert_eq!(
+            effective_stripe_lanes(striped[1].width, striped[1].members.len()),
+            HALF_STRIPE_LANES
+        );
+        let stats = plan_stats_impl(&cfg, &ref_pairs(&pairs));
+        assert_eq!(stats.half_width_stripes, 1);
+        // Swept = 16 full lanes + 8 half lanes of the 65×65 grid.
+        assert_eq!(stats.swept_cells, 65 * 65 * (16 + 8));
+        assert_batch_matches_sequential(&cfg, &pairs);
+
+        // Forcing u32 keeps full 8-lane stripes (no half form there).
+        let u32_stats = plan_stats_impl(&cfg.with_lane_floor(LaneWidth::U32), &ref_pairs(&pairs));
+        assert_eq!(u32_stats.half_width_stripes, 0);
+    }
+
+    #[test]
+    fn coarse_scan_abandons_under_zero_matched_weight() {
+        // The ROADMAP stall scenario: Levenshtein weights (matched = 0),
+        // mixed-length stripes whose shorter lanes retire mid-sweep. The
+        // per-lane residue reset at retirement keeps the whole-stripe
+        // coarse bound growing, so the ratchet (tightened to the planted
+        // exact match's score 0) can still abandon the noise.
+        let mut rng = rl_dag::generate::seeded_rng(0x1E5);
+        let query = Seq::<Dna>::random(&mut rng, 64);
+        let mut db: Vec<PackedSeq<Dna>> = vec![pack(&query)]; // exact hit, score 0
+        for i in 0..24 {
+            let len = 56 + (i * 5) % 17; // mixed lengths, shared stripes
+            db.push(pack(&Seq::random(&mut rng, len)));
+        }
+        let scan = crate::early_termination::scan_packed_topk(
+            &pack(&query),
+            &db,
+            RaceWeights::levenshtein(),
+            1,
+            None,
+            Some(1),
+        );
+        assert_eq!(scan.hits, vec![(0, 0)], "the exact copy wins at distance 0");
+        assert!(
+            scan.abandoned > 0,
+            "the coarse bound must outgrow the ratchet's 0 threshold \
+             despite mid-sweep lane retirements"
+        );
     }
 
     #[test]

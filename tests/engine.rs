@@ -808,3 +808,378 @@ fn lane_floor_does_not_change_outcomes() {
         assert_eq!(out, reference, "{floor}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Alignment modes: semi-global, local (max-plus), affine — every kernel.
+// ---------------------------------------------------------------------------
+
+use race_logic::early_termination::scan_database_topk_with;
+use race_logic::engine::{AffineWeights, AlignMode, LocalScores};
+use race_logic::semi_global::semi_global_reference;
+
+/// A maximizing Smith–Waterman scheme equivalent to `LocalScores`, for
+/// any alphabet — the textbook oracle the local mode is tested against.
+fn local_scheme<S: Symbol>(s: LocalScores) -> ScoreScheme<S> {
+    ScoreScheme::from_fn(
+        "local-scores",
+        Objective::Maximize,
+        -(s.gap as i32),
+        move |a, b| {
+            Some(if a == b {
+                s.matched as i32
+            } else {
+                -(s.mismatched as i32)
+            })
+        },
+    )
+}
+
+proptest! {
+    /// Semi-global engine == the textbook semi-global DP, on both
+    /// traversal orders, DNA and every weight scheme.
+    #[test]
+    fn semi_global_mode_matches_reference_dna(
+        qs in "[ACGT]{0,40}", ps in "[ACGT]{0,56}"
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        for w in [RaceWeights::fig4(), RaceWeights::fig2b(), RaceWeights::levenshtein()] {
+            let reference = semi_global_reference(&q, &p, w);
+            for cfg in both_strategies(AlignConfig::new(w).with_mode(AlignMode::SemiGlobal)) {
+                let out = engine_score(cfg, &q, &p);
+                prop_assert_eq!(out.score.cycles(), reference, "{}", cfg.strategy);
+            }
+        }
+    }
+
+    /// Semi-global engine == reference on protein codes.
+    #[test]
+    fn semi_global_mode_matches_reference_protein(
+        qs in "[ARNDCQEGHILKMFPSTWYV]{0,14}",
+        ps in "[ARNDCQEGHILKMFPSTWYV]{0,24}"
+    ) {
+        let (q, p): (Seq<AminoAcid>, Seq<AminoAcid>) =
+            (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig2b();
+        let reference = semi_global_reference(&q, &p, w);
+        for cfg in both_strategies(AlignConfig::new(w).with_mode(AlignMode::SemiGlobal)) {
+            let out = AlignEngine::new(cfg).align_seqs(&q, &p);
+            prop_assert_eq!(out.score.cycles(), reference, "{}", cfg.strategy);
+        }
+    }
+
+    /// Banded and thresholded semi-global: wavefront (compacted below
+    /// band 8, absolute above) == rolling row, score and verdict — the
+    /// cross-kernel contract in the mode where no standalone banded
+    /// reference exists.
+    #[test]
+    fn semi_global_banded_thresholded_cross_kernel(
+        qs in "[ACGT]{0,40}", ps in "[ACGT]{0,48}", band in 0_usize..20, t in 0_u64..40
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::levenshtein();
+        for base in [
+            AlignConfig::new(w).with_mode(AlignMode::SemiGlobal).with_band(band),
+            AlignConfig::new(w).with_mode(AlignMode::SemiGlobal).with_threshold(t),
+            AlignConfig::new(w).with_mode(AlignMode::SemiGlobal).with_band(band).with_threshold(t),
+        ] {
+            let [row_cfg, wave_cfg] = both_strategies(base);
+            let rolling = engine_score(row_cfg, &q, &p);
+            let wave = engine_score(wave_cfg, &q, &p);
+            prop_assert_eq!(rolling.score, wave.score, "band {} t {}", band, t);
+            prop_assert_eq!(rolling.early_terminated, wave.early_terminated);
+        }
+    }
+
+    /// Local (max-plus) engine == textbook Smith–Waterman, both
+    /// traversal orders, DNA, several score shapes.
+    #[test]
+    fn local_mode_matches_smith_waterman_dna(
+        qs in "[ACGT]{0,40}", ps in "[ACGT]{0,48}"
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        for s in [LocalScores::unit(), LocalScores::blast(), LocalScores { matched: 3, mismatched: 2, gap: 1 }] {
+            let reference = align::local_score(&q, &p, &local_scheme(s)).unwrap();
+            for cfg in both_strategies(
+                AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(s)),
+            ) {
+                let out = engine_score(cfg, &q, &p);
+                prop_assert_eq!(out.score.cycles(), Some(reference as u64), "{}", cfg.strategy);
+                prop_assert!(!out.early_terminated);
+            }
+        }
+    }
+
+    /// Local engine == Smith–Waterman on protein codes.
+    #[test]
+    fn local_mode_matches_smith_waterman_protein(
+        qs in "[ARNDCQEGHILKMFPSTWYV]{0,16}",
+        ps in "[ARNDCQEGHILKMFPSTWYV]{0,20}"
+    ) {
+        let (q, p): (Seq<AminoAcid>, Seq<AminoAcid>) =
+            (qs.parse().unwrap(), ps.parse().unwrap());
+        let s = LocalScores::blast();
+        let reference = align::local_score(&q, &p, &local_scheme(s)).unwrap();
+        for cfg in both_strategies(
+            AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(s)),
+        ) {
+            let out = AlignEngine::new(cfg).align_seqs(&q, &p);
+            prop_assert_eq!(out.score.cycles(), Some(reference as u64), "{}", cfg.strategy);
+        }
+    }
+
+    /// Banded local: wavefront == rolling row (no textbook banded-SW
+    /// reference exists; the cross-kernel agreement IS the contract,
+    /// with out-of-band cells reading as fresh starts in both orders).
+    #[test]
+    fn local_banded_cross_kernel(
+        qs in "[ACGT]{0,40}", ps in "[ACGT]{0,40}", band in 0_usize..16
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let s = LocalScores::blast();
+        let [row_cfg, wave_cfg] = both_strategies(
+            AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(s)).with_band(band),
+        );
+        let rolling = engine_score(row_cfg, &q, &p);
+        let wave = engine_score(wave_cfg, &q, &p);
+        prop_assert_eq!(rolling.score, wave.score, "band {}", band);
+    }
+
+    /// Affine engine == the scalar Gotoh oracle (minimizing uniform
+    /// scheme), both traversal orders; open = 0 reduces to the linear
+    /// global engine.
+    #[test]
+    fn affine_mode_matches_gotoh_dna(
+        qs in "[ACGT]{0,36}", ps in "[ACGT]{0,40}", open in 0_u64..7
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::levenshtein();
+        let scheme = rl_bio::matrix::levenshtein_scheme();
+        let reference = rl_bio::affine::global_affine_score(
+            &q, &p, &scheme, rl_bio::affine::AffineGap { open: open as i32 },
+        ).unwrap();
+        let mode = AlignMode::GlobalAffine(AffineWeights { open });
+        for cfg in both_strategies(AlignConfig::new(w).with_mode(mode)) {
+            let out = engine_score(cfg, &q, &p);
+            prop_assert_eq!(out.score.cycles(), Some(reference as u64), "{}", cfg.strategy);
+        }
+        if open == 0 {
+            let linear = engine_score(AlignConfig::new(w), &q, &p);
+            let affine = engine_score(AlignConfig::new(w).with_mode(mode), &q, &p);
+            prop_assert_eq!(linear.score, affine.score);
+        }
+    }
+
+    /// Affine engine == Gotoh on protein codes (fig2b-style weights
+    /// with a mismatch cost, exercising the M-plane select).
+    #[test]
+    fn affine_mode_matches_gotoh_protein(
+        qs in "[ARNDCQEGHILKMFPSTWYV]{0,14}",
+        ps in "[ARNDCQEGHILKMFPSTWYV]{0,16}",
+        open in 0_u64..5
+    ) {
+        let (q, p): (Seq<AminoAcid>, Seq<AminoAcid>) =
+            (qs.parse().unwrap(), ps.parse().unwrap());
+        let w = RaceWeights::fig2b();
+        let reference = rl_bio::affine::global_affine_score(
+            &q, &p, &race_scheme(w), rl_bio::affine::AffineGap { open: open as i32 },
+        ).unwrap();
+        let mode = AlignMode::GlobalAffine(AffineWeights { open });
+        for cfg in both_strategies(AlignConfig::new(w).with_mode(mode)) {
+            let out = AlignEngine::new(cfg).align_seqs(&q, &p);
+            prop_assert_eq!(out.score.cycles(), Some(reference as u64), "{}", cfg.strategy);
+        }
+    }
+
+    /// Banded + thresholded affine: wavefront == rolling row across
+    /// both planes' boundary interactions.
+    #[test]
+    fn affine_banded_thresholded_cross_kernel(
+        qs in "[ACGT]{0,36}", ps in "[ACGT]{0,36}", band in 0_usize..14,
+        t in 0_u64..50, open in 0_u64..6
+    ) {
+        let (q, p): (Seq<Dna>, Seq<Dna>) = (qs.parse().unwrap(), ps.parse().unwrap());
+        let mode = AlignMode::GlobalAffine(AffineWeights { open });
+        let w = RaceWeights::levenshtein();
+        for base in [
+            AlignConfig::new(w).with_mode(mode).with_band(band),
+            AlignConfig::new(w).with_mode(mode).with_threshold(t),
+            AlignConfig::new(w).with_mode(mode).with_band(band).with_threshold(t),
+        ] {
+            let [row_cfg, wave_cfg] = both_strategies(base);
+            let rolling = engine_score(row_cfg, &q, &p);
+            let wave = engine_score(wave_cfg, &q, &p);
+            prop_assert_eq!(rolling.score, wave.score, "band {} t {} open {}", band, t, open);
+            prop_assert_eq!(rolling.early_terminated, wave.early_terminated);
+        }
+    }
+
+    /// The striped batch kernel is byte-identical to the sequential
+    /// engine loop **in every mode** — semi-global and local stripes
+    /// run the inter-pair SIMD sweep; affine routes per-pair inside the
+    /// same batch plan; all must mirror the sequential loop exactly.
+    #[test]
+    fn striped_batch_equals_sequential_every_mode(
+        seqs in collection::vec("[ACGT]{32,72}", 5..18),
+        band in 4_usize..16,
+        t in 20_u64..90
+    ) {
+        let packed: Vec<PackedSeq<Dna>> = seqs
+            .iter()
+            .map(|s| PackedSeq::from_seq(&s.parse::<Seq<Dna>>().unwrap()))
+            .collect();
+        let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..packed.len())
+            .map(|i| (packed[i].clone(), packed[(i + 1) % packed.len()].clone()))
+            .collect();
+        let w = RaceWeights::fig4();
+        let modes = [
+            AlignMode::SemiGlobal,
+            AlignMode::Local(LocalScores::blast()),
+            AlignMode::GlobalAffine(AffineWeights { open: 2 }),
+        ];
+        for mode in modes {
+            let mut cfgs = vec![
+                AlignConfig::new(w).with_mode(mode),
+                AlignConfig::new(w).with_mode(mode).with_band(band),
+            ];
+            if mode.is_min_plus() {
+                cfgs.push(AlignConfig::new(w).with_mode(mode).with_threshold(t));
+            }
+            for cfg in cfgs {
+                let batch = align_batch(&cfg, &pairs);
+                let mut engine = AlignEngine::new(cfg);
+                let sequential: Vec<EngineOutcome> =
+                    pairs.iter().map(|(q, p)| engine.align(q, p)).collect();
+                prop_assert_eq!(&batch, &sequential, "mode {}", cfg.mode);
+            }
+        }
+    }
+
+    /// The semi-global ratcheted top-k scan — the paper's §6 workload —
+    /// returns exactly the k best window scores a sequential full scan
+    /// selects, identically for every worker count.
+    #[test]
+    fn semi_global_topk_equals_sequential_selection(
+        seed in 0_u64..400, k in 1_usize..10
+    ) {
+        use rand::Rng;
+        let mut rng = rl_dag::generate::seeded_rng(seed.wrapping_mul(0xA5A5) ^ 0x5E111);
+        let query = Seq::<Dna>::random(&mut rng, 36);
+        let db: Vec<Seq<Dna>> = (0..28)
+            .map(|_| {
+                let len = rng.random_range(40_usize..=96);
+                Seq::<Dna>::random(&mut rng, len)
+            })
+            .collect();
+        let cfg = AlignConfig::new(RaceWeights::levenshtein()).with_mode(AlignMode::SemiGlobal);
+
+        let mut engine = AlignEngine::new(cfg);
+        let qp = PackedSeq::from_seq(&query);
+        let mut expected: Vec<(usize, u64)> = db
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                engine.align(&qp, &PackedSeq::from_seq(p)).score.cycles().map(|s| (i, s))
+            })
+            .collect();
+        expected.sort_unstable_by_key(|&(idx, score)| (score, idx));
+        expected.truncate(k);
+
+        for workers in [Some(1), Some(4)] {
+            let scan = scan_database_topk_with(&cfg, &query, &db, k, workers);
+            prop_assert_eq!(&scan.hits, &expected, "workers {:?}", workers);
+        }
+    }
+}
+
+/// End-to-end §6 scenario in semi-global mode: a query planted inside
+/// longer references is found (score 0 under Levenshtein weights), the
+/// ratcheted scan ranks the planted entries first, deterministically for
+/// 1 and 4 workers, and the ratchet abandons the noise early — the
+/// retired-lane residue reset keeps the coarse bound live under the
+/// zero matched weight.
+#[test]
+fn semi_global_scan_finds_planted_occurrences() {
+    use rand::Rng;
+    let mut rng = rl_dag::generate::seeded_rng(0x0CC0);
+    let query = Seq::<Dna>::random(&mut rng, 32);
+    let plant = |rng: &mut _, total: usize| -> Seq<Dna> {
+        let mut s = String::new();
+        let lead = total - 32;
+        let left: Seq<Dna> = Seq::random(rng, lead / 2);
+        let right: Seq<Dna> = Seq::random(rng, lead - lead / 2);
+        s.push_str(&left.to_string());
+        s.push_str(&query.to_string());
+        s.push_str(&right.to_string());
+        s.parse().unwrap()
+    };
+    // 3 entries contain the query verbatim; 40 are random noise of
+    // assorted lengths (mixed-length stripes ⇒ mid-sweep retirements).
+    let mut db: Vec<Seq<Dna>> = (0..3).map(|i| plant(&mut rng, 96 + 7 * i)).collect();
+    for _ in 0..40 {
+        let len = rng.random_range(72_usize..=128);
+        db.push(Seq::<Dna>::random(&mut rng, len));
+    }
+    let cfg = AlignConfig::new(RaceWeights::levenshtein()).with_mode(AlignMode::SemiGlobal);
+
+    let single = scan_database_topk_with(&cfg, &query, &db, 3, Some(1));
+    let quad = scan_database_topk_with(&cfg, &query, &db, 3, Some(4));
+    assert_eq!(single.hits, quad.hits, "worker-count determinism");
+    assert_eq!(
+        single.hits.iter().map(|&(i, s)| (i, s)).collect::<Vec<_>>(),
+        vec![(0, 0), (1, 0), (2, 0)],
+        "planted exact occurrences must score 0 and rank first"
+    );
+    assert!(
+        single.abandoned > 0,
+        "the tightened ratchet (k-th best = 0) must abandon noise entries"
+    );
+}
+
+/// Modes obey the auto decision table too: affine never compacts, local
+/// lane eligibility follows the match bonus, semi-global thresholds
+/// fold into lane eligibility.
+#[test]
+fn mode_resolution_rules_are_pinned() {
+    let w = RaceWeights::fig4();
+    let affine = AlignConfig::new(w)
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 3 }))
+        .with_band(4);
+    assert!(
+        !affine.resolve_kernel(256, 256).compact,
+        "affine keeps the absolute layout on narrow bands"
+    );
+    assert_eq!(
+        affine.resolve_strategy(256, 256),
+        KernelStrategy::Wavefront,
+        "affine still rides the wavefront"
+    );
+    let local = AlignConfig::new(w).with_mode(AlignMode::Local(LocalScores {
+        matched: 40,
+        mismatched: 1,
+        gap: 1,
+    }));
+    // (n + m + 2) · 40 at 600 × 600 exceeds u16::INF ⇒ u32 stripe lanes.
+    assert_eq!(local.resolve_stripe_lanes(600, 600), LaneWidth::U32);
+    assert_eq!(
+        local
+            .with_mode(AlignMode::Local(LocalScores::unit()))
+            .resolve_stripe_lanes(600, 600),
+        LaneWidth::U16,
+        "unit bonuses keep u16 stripes"
+    );
+    // Affine opens widen the eligibility bound.
+    let heavy_open =
+        AlignConfig::new(w).with_mode(AlignMode::GlobalAffine(AffineWeights { open: 40_000 }));
+    assert_eq!(heavy_open.resolve_stripe_lanes(64, 64), LaneWidth::U32);
+}
+
+/// Local mode rejects thresholds loudly (the abandon rule is a
+/// lower-bound proof, which max-plus inverts).
+#[test]
+#[should_panic(expected = "local")]
+fn local_mode_rejects_thresholds() {
+    let cfg = AlignConfig::new(RaceWeights::fig4())
+        .with_mode(AlignMode::Local(LocalScores::unit()))
+        .with_threshold(10);
+    let _ = AlignEngine::new(cfg);
+}
