@@ -21,6 +21,11 @@
 //! - `engine_align_batch_exact_bucket` — the same batch under the
 //!   legacy PR 3 exact-bucket planner: the packer ruler (only emitted
 //!   on ragged workloads, where the planners differ).
+//! - `engine_align_batch_supervised` — the same batch through
+//!   `BatchEngine::align_batch_supervised` under an unconstrained
+//!   `ScanControl`: the supervisor tax (unit-boundary stop checks,
+//!   `catch_unwind` per work unit, the fault ledger) on record as
+//!   `supervisor_overhead_pct`.
 //! - `engine_align_batch_mt` — `align_batch` with `RAYON_NUM_THREADS`
 //!   forced to 4: rayon scaling on record (honest on a 1-core host —
 //!   compare against `host_cores`).
@@ -33,7 +38,7 @@
 //!
 //! ```text
 //! engine_baseline [--pairs N] [--length N] [--band K] [--ragged]
-//!                 [--occupancy] [--scan K]
+//!                 [--occupancy] [--scan K] [--deadline-ms N]
 //!                 [--mode global|semi|local|affine]
 //!                 [--strategy rolling-row|wavefront|batch|all]
 //! ```
@@ -43,7 +48,11 @@
 //! instead of fixed lengths; `--occupancy` adds the batch planner's
 //! stripe occupancy and striped-vs-fallback counts (for both packer
 //! policies) to the JSON; `--scan K` benchmarks the threshold-ratcheted
-//! top-k database scan against the unratcheted batch scan; `--mode`
+//! top-k database scan against the unratcheted batch scan;
+//! `--deadline-ms N` replaces the sweep with a supervised deadline demo:
+//! a ratcheted scan raced against an `N`-millisecond wall-clock budget,
+//! reporting the typed partial outcome (stop reason, per-pair
+//! accounting, cells charged) instead of throughput; `--mode`
 //! runs the whole workload (scan included) in an alignment mode —
 //! `semi` and `affine` race the configured weights with free ends /
 //! affine gaps, `local` races BLAST-ish similarity scores
@@ -53,14 +62,15 @@
 //! code or the machine does.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use race_logic::alignment::{AlignmentRace, RaceWeights};
-use race_logic::early_termination::scan_packed_topk_with;
+use race_logic::early_termination::{scan_packed_topk_supervised, scan_packed_topk_with};
 use race_logic::engine::{
-    align_batch, batch_plan_stats, AffineWeights, AlignConfig, AlignEngine, AlignMode,
+    align_batch, batch_plan_stats, AffineWeights, AlignConfig, AlignEngine, AlignMode, BatchEngine,
     BatchPlanStats, KernelStrategy, LaneWidth, LocalScores, PackerPolicy,
 };
+use race_logic::supervisor::ScanControl;
 use rl_bench::lognormal_len;
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
 use rl_dag::generate::seeded_rng;
@@ -278,6 +288,31 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
                 checksum: sum,
             });
         }
+        // The supervisor tax: the identical batch through the
+        // supervised entry point with nothing armed and no constraints,
+        // so the delta is pure checkpoint + catch_unwind + ledger cost.
+        let (t, sum) = time_reps(|| {
+            let ctrl = ScanControl::new();
+            let report = BatchEngine::new(cfg).align_batch_supervised(&packed, &ctrl);
+            assert!(
+                report.is_complete(),
+                "an unconstrained supervised batch must complete every pair"
+            );
+            report
+                .outcomes
+                .iter()
+                .flatten()
+                .map(|o| o.score.cycles().unwrap_or(0))
+                .sum()
+        });
+        entries.push(Entry {
+            key: "engine_align_batch_supervised",
+            strategy: "striped-batch (supervised)".into(),
+            lane_width: cfg.resolve_stripe_lanes(wl.len, wl.len).to_string(),
+            threads,
+            seconds: t,
+            checksum: sum,
+        });
         // Rayon scaling on record: force 4 workers (honest on a 1-core
         // host — the entry carries its own thread count). Restore any
         // caller-set override afterwards.
@@ -365,6 +400,17 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
         by_key("run_functional_loop"),
         by_key("engine_align_batch"),
     );
+    // Not a speedup: the supervised entry's cost over the plain batch,
+    // as a percentage (negative values are timer noise).
+    if let (Some(sup), Some(plain)) = (
+        by_key("engine_align_batch_supervised"),
+        by_key("engine_align_batch"),
+    ) {
+        speedups.push((
+            "supervisor_overhead_pct".into(),
+            (sup.seconds / plain.seconds - 1.0) * 100.0,
+        ));
+    }
     let _ = writeln!(json, "      \"entries\": {{");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -479,10 +525,57 @@ fn run_scan(
     json
 }
 
+/// The `--deadline-ms` demo: a supervised ratcheted scan raced against
+/// a wall-clock deadline. Prints the typed partial outcome — stop
+/// reason, per-pair accounting, cells charged — as JSON; never touches
+/// `BENCH_engine.json` (a deadline-truncated run is not a throughput
+/// number).
+fn run_deadline_demo(db_size: usize, median_len: usize, k: usize, mode: AlignMode, ms: u64) {
+    let mut rng = seeded_rng(SEED ^ 0x5CA9);
+    let query = PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, median_len));
+    let database: Vec<PackedSeq<Dna>> = (0..db_size)
+        .map(|_| {
+            let len = lognormal_len(&mut rng, median_len as f64, 0.5, 8, median_len * 4);
+            PackedSeq::from_seq(&Seq::random(&mut rng, len))
+        })
+        .collect();
+    let cfg = AlignConfig::new(RaceWeights::fig4()).with_mode(mode);
+
+    let ctrl = ScanControl::new().with_deadline_after(Duration::from_millis(ms));
+    let start = Instant::now();
+    let outcome = scan_packed_topk_supervised(&cfg, &query, &database, k, None, &ctrl)
+        .expect("the demo workload is valid");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stop = outcome.stop.map_or("null".into(), |s| format!("\"{s}\""));
+    println!("{{");
+    println!(
+        "  \"deadline_demo\": {{\"database\": {db_size}, \"query_len\": {median_len}, \"k\": {k}, \"mode\": \"{mode}\", \"deadline_ms\": {ms}}},"
+    );
+    println!("  \"elapsed_seconds\": {elapsed:.6},");
+    println!("  \"stop\": {stop},");
+    println!(
+        "  \"completed_pairs\": {}, \"faulted_pairs\": {}, \"remaining_pairs\": {}, \"total_pairs\": {},",
+        outcome.completed_pairs,
+        outcome.faulted_pairs,
+        outcome.remaining_pairs(),
+        outcome.total_pairs
+    );
+    println!(
+        "  \"abandoned\": {}, \"cells_computed\": {}, \"hits\": {}",
+        outcome.abandoned,
+        outcome.cells_computed,
+        outcome.hits.len()
+    );
+    println!("}}");
+    eprintln!("deadline demo: BENCH_engine.json left untouched");
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: engine_baseline [--pairs N] [--length N] [--band K] [--ragged] \
-         [--occupancy] [--scan K] [--mode global|semi|local|affine] \
+         [--occupancy] [--scan K] [--deadline-ms N] \
+         [--mode global|semi|local|affine] \
          [--strategy rolling-row|wavefront|batch|all]"
     );
     std::process::exit(2);
@@ -495,6 +588,7 @@ fn main() {
     let mut ragged = false;
     let mut occupancy = false;
     let mut scan_k: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut mode = AlignMode::Global;
     let mut filter = StrategyFilter::All;
     let mut custom = false;
@@ -509,6 +603,7 @@ fn main() {
             "--ragged" => ragged = true,
             "--occupancy" => occupancy = true,
             "--scan" => scan_k = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--mode" => {
                 mode = match value().as_str() {
                     "global" => AlignMode::Global,
@@ -530,9 +625,19 @@ fn main() {
             _ => usage(),
         }
     }
-    if scan_k.is_some() && !mode.is_min_plus() {
-        eprintln!("--scan races min-plus modes only (local has no ratchet)");
+    if (scan_k.is_some() || deadline_ms.is_some()) && !mode.is_min_plus() {
+        eprintln!("--scan/--deadline-ms race min-plus modes only (local has no ratchet)");
         std::process::exit(2);
+    }
+    if let Some(ms) = deadline_ms {
+        run_deadline_demo(
+            pairs.unwrap_or(1_000),
+            length.unwrap_or(192),
+            scan_k.unwrap_or(10),
+            mode,
+            ms,
+        );
+        return;
     }
 
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);

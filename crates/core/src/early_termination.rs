@@ -13,7 +13,9 @@ use rl_bio::{alphabet::Symbol, Seq};
 
 use crate::alignment::RaceWeights;
 use crate::engine::{AlignConfig, AlignEngine};
+use crate::error::AlignError;
 use crate::score_transform::TransformedWeights;
+use crate::supervisor::{ScanControl, ScanOutcome};
 
 /// The outcome of a thresholded race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -353,6 +355,162 @@ pub fn scan_packed_topk_with<S: Symbol>(
         abandoned,
         cells_computed,
     }
+}
+
+/// Validates a top-k scan request before any racing: the configuration
+/// itself ([`AlignConfig::validate`]'s rules), the min-plus
+/// requirement, `1 ≤ k ≤ database.len()`, non-empty sequences, and
+/// kernel-word eligibility for the scan's largest shape.
+fn validate_scan<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    k: usize,
+) -> Result<(), AlignError> {
+    cfg.validate()?;
+    if !cfg.mode.is_min_plus() {
+        return Err(AlignError::InvalidConfig {
+            reason: "the ratcheted top-k scan races min-plus modes \
+                     (global/semi-global/affine); local (max-plus) best-hit scans \
+                     have no sound frontier abandon"
+                .into(),
+        });
+    }
+    if k == 0 {
+        return Err(AlignError::InvalidConfig {
+            reason: "top-k scan needs k >= 1".into(),
+        });
+    }
+    if k > database.len() {
+        return Err(AlignError::InvalidConfig {
+            reason: format!(
+                "k = {k} exceeds the database size {}: every entry would be a hit \
+                 and the ratchet could never tighten",
+                database.len()
+            ),
+        });
+    }
+    if query.is_empty() {
+        return Err(AlignError::InvalidConfig {
+            reason: "empty query: a zero-length race has no cells to time".into(),
+        });
+    }
+    if let Some(i) = database.iter().position(rl_bio::PackedSeq::is_empty) {
+        return Err(AlignError::InvalidConfig {
+            reason: format!("database entry {i} is empty"),
+        });
+    }
+    let m_max = database
+        .iter()
+        .map(rl_bio::PackedSeq::len)
+        .max()
+        .unwrap_or(0);
+    cfg.checked_lane_width(query.len(), m_max)?;
+    Ok(())
+}
+
+/// Fallible form of [`scan_database_topk_with`]: rejects a bad request
+/// (`k = 0`, `k` beyond the database, empty sequences, a degenerate
+/// weight scheme, a max-plus mode, or a shape no kernel word fits)
+/// with a typed [`AlignError`] instead of panicking.
+pub fn try_scan_database_topk_with<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &Seq<S>,
+    database: &[Seq<S>],
+    k: usize,
+    workers: Option<usize>,
+) -> Result<TopKScan, AlignError> {
+    use rl_bio::PackedSeq;
+
+    let q = PackedSeq::from_seq(query);
+    let patterns: Vec<PackedSeq<S>> = database.iter().map(PackedSeq::from_seq).collect();
+    try_scan_packed_topk_with(cfg, &q, &patterns, k, workers)
+}
+
+/// Fallible form of [`scan_packed_topk_with`] — same validation as
+/// [`try_scan_database_topk_with`], over an already-packed database.
+pub fn try_scan_packed_topk_with<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    k: usize,
+    workers: Option<usize>,
+) -> Result<TopKScan, AlignError> {
+    validate_scan(cfg, query, database, k)?;
+    Ok(scan_packed_topk_with(cfg, query, database, k, workers))
+}
+
+/// Supervised form of [`scan_database_topk_with`]: validates the
+/// request, then runs the ratcheted scan under `ctrl` — cooperative
+/// cancellation, deadline and cell-budget stops, per-stripe panic
+/// isolation with per-pair fallback retry, and the fault ledger
+/// ([`crate::supervisor`]).
+///
+/// An early stop returns `Ok` with a *partial* [`ScanOutcome`]
+/// (`stop` set, accounting invariant `completed + faulted + remaining
+/// == total`); `Err` is reserved for requests rejected up front. When
+/// the scan completes with every fault recovered, [`ScanOutcome::hits`]
+/// is byte-identical to the unsupervised [`TopKScan::hits`].
+pub fn scan_database_topk_supervised<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &Seq<S>,
+    database: &[Seq<S>],
+    k: usize,
+    workers: Option<usize>,
+    ctrl: &ScanControl,
+) -> Result<ScanOutcome, AlignError> {
+    use rl_bio::PackedSeq;
+
+    let q = PackedSeq::from_seq(query);
+    let patterns: Vec<PackedSeq<S>> = database.iter().map(PackedSeq::from_seq).collect();
+    scan_packed_topk_supervised(cfg, &q, &patterns, k, workers, ctrl)
+}
+
+/// Supervised form of [`scan_packed_topk_with`]; see
+/// [`scan_database_topk_supervised`] for the semantics.
+pub fn scan_packed_topk_supervised<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    k: usize,
+    workers: Option<usize>,
+    ctrl: &ScanControl,
+) -> Result<ScanOutcome, AlignError> {
+    validate_scan(cfg, query, database, k)?;
+    let pairs: Vec<_> = database.iter().map(|p| (query, p)).collect();
+    let mut scratch = crate::striped::BatchScratch::default();
+    let (slots, report) =
+        crate::striped::scan_topk_supervised_impl(cfg, &pairs, k, workers, &mut scratch, ctrl);
+
+    let mut hits: Vec<(usize, u64)> = Vec::new();
+    let mut completed_pairs = 0_usize;
+    let mut faulted_pairs = 0_usize;
+    let mut abandoned = 0_usize;
+    let mut cells_computed = 0_u64;
+    for (idx, slot) in slots.iter().enumerate() {
+        if let Some(outcome) = slot.outcome() {
+            completed_pairs += 1;
+            cells_computed += outcome.cells_computed;
+            match outcome.finished_score() {
+                Some(score) => hits.push((idx, score)),
+                None => abandoned += 1,
+            }
+        } else if matches!(slot, crate::striped::Slot::Faulted) {
+            faulted_pairs += 1;
+        }
+    }
+    hits.sort_unstable_by_key(|&(idx, score)| (score, idx));
+    hits.truncate(k);
+    Ok(ScanOutcome {
+        hits,
+        completed_pairs,
+        faulted_pairs,
+        total_pairs: database.len(),
+        abandoned,
+        cells_computed,
+        faults: report.faults,
+        stop: report.stop,
+    })
 }
 
 #[cfg(test)]

@@ -77,7 +77,9 @@ use rl_bio::{alphabet::Symbol, PackedSeq};
 use rl_temporal::Time;
 
 use crate::alignment::RaceWeights;
+use crate::error::AlignError;
 use crate::simd::{self, KernelWord, LaneWeights};
+use crate::supervisor::{ScanControl, StopReason, SupCursor};
 
 /// `+∞` in the kernel's raw representation (identical to the bit pattern
 /// of [`Time::NEVER`]).
@@ -515,8 +517,19 @@ impl AlignConfig {
     /// Panics if `weights.indel == 0` (see [`RaceWeights`]).
     #[must_use]
     pub fn new(weights: RaceWeights) -> Self {
-        assert!(weights.indel > 0, "indel weight must be positive");
-        AlignConfig {
+        match Self::try_new(weights) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`AlignConfig::new`] with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::InvalidConfig`] if `weights.indel == 0`.
+    pub fn try_new(weights: RaceWeights) -> Result<Self, AlignError> {
+        let cfg = AlignConfig {
             weights,
             band: None,
             threshold: None,
@@ -524,7 +537,9 @@ impl AlignConfig {
             lane_floor: LaneWidth::U16,
             packer: PackerPolicy::default(),
             mode: AlignMode::Global,
-        }
+        };
+        cfg.validate()?;
+        Ok(cfg)
     }
 
     /// Fuses a Ukkonen band of half-width `band` into the kernel.
@@ -577,14 +592,79 @@ impl AlignConfig {
         self
     }
 
-    /// Panics on configurations no kernel can execute; every engine
-    /// entry point calls this once up front.
+    /// Checks every configuration invariant the kernels rely on,
+    /// returning the typed [`AlignError::InvalidConfig`] on violation.
+    /// The panicking entry points (`new`, `AlignEngine::new`, …) raise
+    /// exactly these messages as panics via `assert_valid`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::InvalidConfig`] when `weights.indel == 0`, when a
+    /// fused threshold is combined with the local (max-plus) mode, or
+    /// when a local scheme has a zero match bonus (an all-mismatch
+    /// scheme whose best score is always the empty alignment's `0`).
+    pub fn validate(&self) -> Result<(), AlignError> {
+        let invalid = |reason: &str| {
+            Err(AlignError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if self.weights.indel == 0 {
+            return invalid("indel weight must be positive");
+        }
+        if !self.mode.is_min_plus() && self.threshold.is_some() {
+            return invalid(
+                "early-termination thresholds are not supported in local (max-plus) mode",
+            );
+        }
+        if let AlignMode::Local(s) = self.mode {
+            if s.matched == 0 {
+                return invalid(
+                    "local match bonus must be positive: an all-mismatch scheme \
+                     degenerates to the empty alignment's score of 0",
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics on configurations no kernel can execute; every panicking
+    /// engine entry point calls this once up front. The `try_*` surface
+    /// uses [`AlignConfig::validate`] instead.
     pub(crate) fn assert_valid(&self) {
-        assert!(self.weights.indel > 0, "indel weight must be positive");
-        assert!(
-            self.mode.is_min_plus() || self.threshold.is_none(),
-            "early-termination thresholds are not supported in local (max-plus) mode"
-        );
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// The narrowest lane word an `n × m` alignment under this
+    /// configuration admits, as a typed result: unlike the internal
+    /// planner (which silently falls through to `u64` and saturates),
+    /// this reports [`AlignError::EligibilityOverflow`] when even the
+    /// `u64` bound `(n + m + 2) · max_step < u64::MAX` fails — the one
+    /// case where exact scores are unrepresentable in any kernel word.
+    ///
+    /// Weights within one step of a word's ceiling deterministically
+    /// route to the next wider word (boundary-tested at exactly-at-bound
+    /// and one-past-bound for all three widths).
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EligibilityOverflow`] when no kernel word fits.
+    pub fn checked_lane_width(&self, n: usize, m: usize) -> Result<LaneWidth, AlignError> {
+        let w = RawWeights::from_weights(self.weights);
+        let max_step = mode_max_step(self.mode, w);
+        if !fits_word(n, m, max_step, u64::MAX) {
+            return Err(AlignError::EligibilityOverflow { n, m, max_step });
+        }
+        Ok(exact_lane_width(
+            n,
+            m,
+            self.mode,
+            w,
+            self.threshold,
+            self.lane_floor,
+        ))
     }
 
     /// The complete execution recipe for an `n × m` alignment under this
@@ -1009,6 +1089,7 @@ pub fn raw_to_time(raw: u64) -> Time {
 /// remain (`d − 1 ≤ m` in band), the cell `(0, d − 1)` contributes `0`
 /// to `min1`, so the rule cannot fire until every injection point is
 /// behind the frontier.
+#[allow(clippy::too_many_arguments)]
 fn wavefront_score<W: KernelWord>(
     q_codes: &[u8],
     p_rev: &[u8],
@@ -1017,7 +1098,8 @@ fn wavefront_score<W: KernelWord>(
     threshold: Option<u64>,
     semi: bool,
     bufs: &mut [Vec<W>; 3],
-) -> EngineOutcome {
+    sup: &mut SupCursor<'_>,
+) -> Result<EngineOutcome, StopReason> {
     let (n, m) = (q_codes.len(), p_rev.len());
     let lw: LaneWeights<W> = w.lanes();
     let t_w = threshold.map(W::clamp_raw);
@@ -1047,11 +1129,11 @@ fn wavefront_score<W: KernelWord>(
                 min1.min(min2)
             };
             if floor > t {
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     early_terminated: true,
-                };
+                });
             }
         }
         let (cur, d1, d2) = rotate_bufs(bufs, d);
@@ -1066,6 +1148,7 @@ fn wavefront_score<W: KernelWord>(
             }
             min2 = min1;
             min1 = W::INF;
+            sup.tick(0)?;
             continue;
         }
         // One-cell +∞ padding around the written span (see above).
@@ -1111,6 +1194,7 @@ fn wavefront_score<W: KernelWord>(
         cells += (hi - lo + 1) as u64;
         min2 = min1;
         min1 = dmin;
+        sup.tick((hi - lo + 1) as u64)?;
     }
 
     let score_raw = if semi {
@@ -1125,7 +1209,7 @@ fn wavefront_score<W: KernelWord>(
             NEVER // the band excludes the sink cell itself
         }
     };
-    classify_outcome(score_raw, threshold, cells)
+    Ok(classify_outcome(score_raw, threshold, cells))
 }
 
 /// The end-of-sweep classification every kernel shares: a raw sink value
@@ -1168,6 +1252,7 @@ pub(crate) fn classify_outcome(
 /// inside the previous spans or on their guards (proof mirrors the
 /// absolute kernel's hygiene argument, shifted into span space).
 /// Band-empty diagonals reset their whole (tiny) buffer to `+∞`.
+#[allow(clippy::too_many_arguments)]
 fn wavefront_score_compact<W: KernelWord>(
     q_codes: &[u8],
     p_rev: &[u8],
@@ -1176,7 +1261,8 @@ fn wavefront_score_compact<W: KernelWord>(
     threshold: Option<u64>,
     semi: bool,
     bufs: &mut [Vec<W>; 3],
-) -> EngineOutcome {
+    sup: &mut SupCursor<'_>,
+) -> Result<EngineOutcome, StopReason> {
     let (n, m) = (q_codes.len(), p_rev.len());
     let band = Some(k);
     let lw: LaneWeights<W> = w.lanes();
@@ -1212,11 +1298,11 @@ fn wavefront_score_compact<W: KernelWord>(
                 min1.min(min2)
             };
             if floor > t {
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     early_terminated: true,
-                };
+                });
             }
         }
         let (cur, d1, d2) = rotate_bufs(bufs, d);
@@ -1229,6 +1315,7 @@ fn wavefront_score_compact<W: KernelWord>(
             min2 = min1;
             min1 = W::INF;
             (lo_prev2, lo_prev1) = (lo_prev1, lo);
+            sup.tick(0)?;
             continue;
         }
         let span = hi - lo + 1;
@@ -1273,6 +1360,7 @@ fn wavefront_score_compact<W: KernelWord>(
         min2 = min1;
         min1 = dmin;
         (lo_prev2, lo_prev1) = (lo_prev1, lo);
+        sup.tick(span as u64)?;
     }
 
     let score_raw = if semi {
@@ -1285,7 +1373,7 @@ fn wavefront_score_compact<W: KernelWord>(
             NEVER // the band excludes the sink cell itself
         }
     };
-    classify_outcome(score_raw, threshold, cells)
+    Ok(classify_outcome(score_raw, threshold, cells))
 }
 
 /// The score-only **local** (max-plus Smith–Waterman) wavefront kernel:
@@ -1310,7 +1398,8 @@ fn wavefront_local<W: KernelWord>(
     s: LocalScores,
     band: Option<usize>,
     bufs: &mut [Vec<W>; 3],
-) -> EngineOutcome {
+    sup: &mut SupCursor<'_>,
+) -> Result<EngineOutcome, StopReason> {
     let (n, m) = (q_codes.len(), p_rev.len());
     let lw = LaneWeights {
         matched: W::clamp_raw(s.matched),
@@ -1335,6 +1424,7 @@ fn wavefront_local<W: KernelWord>(
             if clo <= chi {
                 cur[clo..=chi].fill(W::ZERO);
             }
+            sup.tick(0)?;
             continue;
         }
         // One-cell zero padding around the written span.
@@ -1367,13 +1457,14 @@ fn wavefront_local<W: KernelWord>(
             best = best.max(seg_max);
         }
         cells += (hi - lo + 1) as u64;
+        sup.tick((hi - lo + 1) as u64)?;
     }
 
-    EngineOutcome {
+    Ok(EngineOutcome {
         score: raw_to_time(best.to_raw()),
         cells_computed: cells,
         early_terminated: false,
-    }
+    })
 }
 
 /// Per-plane diagonal scratch of the affine wavefront kernel: three
@@ -1397,6 +1488,7 @@ pub(crate) struct AffineDiagScratch<W> {
 /// crossed cell, and all weights including `open` are non-negative).
 /// `cells_computed` counts grid *positions*, not plane states, so
 /// affine cell counts are comparable with the linear modes'.
+#[allow(clippy::too_many_arguments)]
 fn wavefront_affine<W: KernelWord>(
     q_codes: &[u8],
     p_rev: &[u8],
@@ -1405,7 +1497,9 @@ fn wavefront_affine<W: KernelWord>(
     band: Option<usize>,
     threshold: Option<u64>,
     scratch: &mut AffineDiagScratch<W>,
-) -> EngineOutcome {
+    sup: &mut SupCursor<'_>,
+) -> Result<EngineOutcome, StopReason> {
+    crate::supervisor::fp_hit("affine");
     let (n, m) = (q_codes.len(), p_rev.len());
     let lw = simd::AffineLaneWeights {
         matched: W::clamp_raw(w.matched),
@@ -1433,11 +1527,11 @@ fn wavefront_affine<W: KernelWord>(
     for d in 1..=(n + m) {
         if let Some(t) = t_w {
             if min1.min(min2) > t {
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     early_terminated: true,
-                };
+                });
             }
         }
         let (mc, m1, m2) = rotate_bufs(&mut scratch.m, d);
@@ -1454,6 +1548,7 @@ fn wavefront_affine<W: KernelWord>(
             }
             min2 = min1;
             min1 = W::INF;
+            sup.tick(0)?;
             continue;
         }
         for plane in [&mut *mc, &mut *xc, &mut *yc] {
@@ -1511,6 +1606,7 @@ fn wavefront_affine<W: KernelWord>(
         cells += (hi - lo + 1) as u64;
         min2 = min1;
         min1 = dmin;
+        sup.tick((hi - lo + 1) as u64)?;
     }
 
     let (flo, fhi) = diag_range(n + m, n, m, band);
@@ -1523,7 +1619,7 @@ fn wavefront_affine<W: KernelWord>(
     } else {
         NEVER
     };
-    classify_outcome(score_raw, threshold, cells)
+    Ok(classify_outcome(score_raw, threshold, cells))
 }
 
 /// A reusable alignment engine: configuration plus owned scratch
@@ -1567,6 +1663,20 @@ impl AlignEngine {
     #[must_use]
     pub fn new(cfg: AlignConfig) -> Self {
         cfg.assert_valid();
+        Self::build(cfg)
+    }
+
+    /// [`AlignEngine::new`] with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::InvalidConfig`] (see [`AlignConfig::validate`]).
+    pub fn try_new(cfg: AlignConfig) -> Result<Self, AlignError> {
+        cfg.validate()?;
+        Ok(Self::build(cfg))
+    }
+
+    fn build(cfg: AlignConfig) -> Self {
         AlignEngine {
             cfg,
             prev: Vec::new(),
@@ -1635,11 +1745,82 @@ impl AlignEngine {
         caps
     }
 
+    /// Total bytes of scratch the engine currently holds, across every
+    /// kernel's buffers — the per-worker figure the supervisor's
+    /// scratch-arena budget accounts against (see
+    /// [`ScanControl::with_scratch_budget`]).
+    #[must_use]
+    pub fn scratch_bytes(&self) -> usize {
+        let u64s = [
+            &self.prev,
+            &self.curr,
+            &self.xprev,
+            &self.xcurr,
+            &self.yprev,
+            &self.ycurr,
+        ]
+        .iter()
+        .map(|v| v.capacity())
+        .sum::<usize>()
+            + self.diag64.iter().map(Vec::capacity).sum::<usize>()
+            + [&self.aff64.m, &self.aff64.x, &self.aff64.y]
+                .iter()
+                .flat_map(|p| p.iter().map(Vec::capacity))
+                .sum::<usize>();
+        let u32s = self.diag32.iter().map(Vec::capacity).sum::<usize>()
+            + [&self.aff32.m, &self.aff32.x, &self.aff32.y]
+                .iter()
+                .flat_map(|p| p.iter().map(Vec::capacity))
+                .sum::<usize>();
+        let u16s = self.diag16.iter().map(Vec::capacity).sum::<usize>()
+            + [&self.aff16.m, &self.aff16.x, &self.aff16.y]
+                .iter()
+                .flat_map(|p| p.iter().map(Vec::capacity))
+                .sum::<usize>();
+        let u8s = self.q_codes.capacity() + self.p_codes.capacity() + self.p_rev.capacity();
+        u64s * 8 + u32s * 4 + u16s * 2 + u8s
+    }
+
     /// Aligns packed `q` (rows) against packed `p` (columns) on the
     /// kernel [`AlignConfig::resolve_kernel`] selects: banding and
     /// early termination are applied inside the sweep, and only O(rows)
     /// (or, compacted, O(band)) state exists.
     pub fn align<S: Symbol>(&mut self, q: &PackedSeq<S>, p: &PackedSeq<S>) -> EngineOutcome {
+        match self.align_ctrl(q, p, None) {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("an unsupervised alignment cannot stop early"),
+        }
+    }
+
+    /// [`AlignEngine::align`] under a [`ScanControl`]: the kernel loops
+    /// checkpoint the control at anti-diagonal (wavefront) or row
+    /// (rolling-row) granularity, charging computed cells as they go.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::BudgetExhausted`] / [`AlignError::Interrupted`]
+    /// when the control stops the sweep; the partially computed grid is
+    /// discarded (single alignments have no useful partial result —
+    /// batch callers get typed partial ledgers instead, see
+    /// [`BatchEngine::align_batch_supervised`]).
+    pub fn align_supervised<S: Symbol>(
+        &mut self,
+        q: &PackedSeq<S>,
+        p: &PackedSeq<S>,
+        ctrl: &ScanControl,
+    ) -> Result<EngineOutcome, AlignError> {
+        self.align_ctrl(q, p, Some(ctrl)).map_err(AlignError::from)
+    }
+
+    /// The control-threaded core of [`AlignEngine::align`]: `None` runs
+    /// free (and cannot fail), `Some` checkpoints cooperatively.
+    pub(crate) fn align_ctrl<S: Symbol>(
+        &mut self,
+        q: &PackedSeq<S>,
+        p: &PackedSeq<S>,
+        ctrl: Option<&ScanControl>,
+    ) -> Result<EngineOutcome, StopReason> {
+        let mut sup = SupCursor::new(ctrl);
         let plan = self.cfg.resolve_kernel(q.len(), p.len());
         match plan.strategy {
             KernelStrategy::Wavefront => {
@@ -1647,12 +1828,12 @@ impl AlignEngine {
                 // The wavefront kernel wants p backwards (contiguous
                 // anti-diagonal reads); unpack it reversed directly.
                 p.unpack_reversed_into(&mut self.p_rev);
-                self.wavefront_codes(plan)
+                self.wavefront_codes(plan, &mut sup)
             }
             _ => {
                 q.unpack_into(&mut self.q_codes);
                 p.unpack_into(&mut self.p_codes);
-                self.rolling_row_codes()
+                self.rolling_row_codes(&mut sup)
             }
         }
     }
@@ -1664,39 +1845,48 @@ impl AlignEngine {
         q: &rl_bio::Seq<S>,
         p: &rl_bio::Seq<S>,
     ) -> EngineOutcome {
+        let mut sup = SupCursor::new(None);
         self.q_codes.clear();
         self.q_codes.extend(q.codes());
         let plan = self.cfg.resolve_kernel(q.len(), p.len());
-        match plan.strategy {
+        let outcome = match plan.strategy {
             KernelStrategy::Wavefront => {
                 self.p_rev.clear();
                 self.p_rev.extend(p.codes());
                 self.p_rev.reverse();
-                self.wavefront_codes(plan)
+                self.wavefront_codes(plan, &mut sup)
             }
             _ => {
                 self.p_codes.clear();
                 self.p_codes.extend(p.codes());
-                self.rolling_row_codes()
+                self.rolling_row_codes(&mut sup)
             }
+        };
+        match outcome {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("an unsupervised alignment cannot stop early"),
         }
     }
 
     /// Dispatches the wavefront kernel at the planned lane width,
     /// diagonal layout and alignment mode.
-    fn wavefront_codes(&mut self, plan: KernelPlan) -> EngineOutcome {
+    fn wavefront_codes(
+        &mut self,
+        plan: KernelPlan,
+        sup: &mut SupCursor<'_>,
+    ) -> Result<EngineOutcome, StopReason> {
         let w = RawWeights::from_weights(self.cfg.weights);
         let (band, threshold) = (self.cfg.band, self.cfg.threshold);
         match self.cfg.mode {
             AlignMode::Local(s) => match plan.lanes {
                 LaneWidth::U16 => {
-                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag16)
+                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag16, sup)
                 }
                 LaneWidth::U32 => {
-                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag32)
+                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag32, sup)
                 }
                 LaneWidth::U64 => {
-                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag64)
+                    wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag64, sup)
                 }
             },
             AlignMode::GlobalAffine(a) => match plan.lanes {
@@ -1708,6 +1898,7 @@ impl AlignEngine {
                     band,
                     threshold,
                     &mut self.aff16,
+                    sup,
                 ),
                 LaneWidth::U32 => wavefront_affine(
                     &self.q_codes,
@@ -1717,6 +1908,7 @@ impl AlignEngine {
                     band,
                     threshold,
                     &mut self.aff32,
+                    sup,
                 ),
                 LaneWidth::U64 => wavefront_affine(
                     &self.q_codes,
@@ -1726,6 +1918,7 @@ impl AlignEngine {
                     band,
                     threshold,
                     &mut self.aff64,
+                    sup,
                 ),
             },
             AlignMode::Global | AlignMode::SemiGlobal => {
@@ -1740,12 +1933,13 @@ impl AlignEngine {
                     semi: bool,
                     compact: bool,
                     bufs: &mut [Vec<W>; 3],
-                ) -> EngineOutcome {
+                    sup: &mut SupCursor<'_>,
+                ) -> Result<EngineOutcome, StopReason> {
                     match (compact, band) {
                         (true, Some(k)) => {
-                            wavefront_score_compact(q, p_rev, w, k, threshold, semi, bufs)
+                            wavefront_score_compact(q, p_rev, w, k, threshold, semi, bufs, sup)
                         }
-                        _ => wavefront_score(q, p_rev, w, band, threshold, semi, bufs),
+                        _ => wavefront_score(q, p_rev, w, band, threshold, semi, bufs, sup),
                     }
                 }
                 match plan.lanes {
@@ -1758,6 +1952,7 @@ impl AlignEngine {
                         semi,
                         plan.compact,
                         &mut self.diag16,
+                        sup,
                     ),
                     LaneWidth::U32 => run(
                         &self.q_codes,
@@ -1768,6 +1963,7 @@ impl AlignEngine {
                         semi,
                         plan.compact,
                         &mut self.diag32,
+                        sup,
                     ),
                     LaneWidth::U64 => run(
                         &self.q_codes,
@@ -1778,17 +1974,18 @@ impl AlignEngine {
                         semi,
                         plan.compact,
                         &mut self.diag64,
+                        sup,
                     ),
                 }
             }
         }
     }
 
-    fn rolling_row_codes(&mut self) -> EngineOutcome {
+    fn rolling_row_codes(&mut self, sup: &mut SupCursor<'_>) -> Result<EngineOutcome, StopReason> {
         match self.cfg.mode {
-            AlignMode::Global | AlignMode::SemiGlobal => self.rolling_row_linear(),
-            AlignMode::Local(s) => self.rolling_row_local(s),
-            AlignMode::GlobalAffine(a) => self.rolling_row_affine(a.open),
+            AlignMode::Global | AlignMode::SemiGlobal => self.rolling_row_linear(sup),
+            AlignMode::Local(s) => self.rolling_row_local(s, sup),
+            AlignMode::GlobalAffine(a) => self.rolling_row_affine(a.open, sup),
         }
     }
 
@@ -1796,7 +1993,7 @@ impl AlignEngine {
     /// and [`AlignMode::SemiGlobal`]: the modes share the interior
     /// recurrence and differ only in the row-0 injection (indel chain
     /// vs free) and the readout (sink cell vs bottom-row minimum).
-    fn rolling_row_linear(&mut self) -> EngineOutcome {
+    fn rolling_row_linear(&mut self, sup: &mut SupCursor<'_>) -> Result<EngineOutcome, StopReason> {
         let semi = self.cfg.mode == AlignMode::SemiGlobal;
         let w = RawWeights::from_weights(self.cfg.weights);
         let (n, m) = (self.q_codes.len(), self.p_codes.len());
@@ -1827,23 +2024,23 @@ impl AlignEngine {
             // on row n), and all weights are ≥ 0, so score ≥
             // min(frontier).
             if frontier_min > threshold {
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     early_terminated: true,
-                };
+                });
             }
             let (lo, hi) = band_range(i, m, self.cfg.band);
             if lo > hi {
                 // The band excludes this whole row, and `lo` only grows
                 // with `i`: no in-band path can reach any readout cell.
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     // With a threshold configured, `∞ > threshold` is the
                     // same verdict the end-of-run classification gives.
                     early_terminated: self.cfg.threshold.is_some(),
-                };
+                });
             }
             // Reset the incoming row only when banded: cells outside the
             // band must read as +∞ to the next sweep. Unbanded sweeps
@@ -1862,6 +2059,7 @@ impl AlignEngine {
             );
             cells += (hi - lo + 1) as u64;
             std::mem::swap(&mut self.prev, &mut self.curr);
+            sup.tick((hi - lo + 1) as u64)?;
         }
 
         let score_raw = if semi {
@@ -1875,7 +2073,7 @@ impl AlignEngine {
             Some(t) => score_raw > t,
             None => false,
         };
-        EngineOutcome {
+        Ok(EngineOutcome {
             score: if exceeded {
                 Time::NEVER
             } else {
@@ -1883,7 +2081,7 @@ impl AlignEngine {
             },
             cells_computed: cells,
             early_terminated: exceeded,
-        }
+        })
     }
 
     /// The max-plus (Smith–Waterman) rolling row: zero boundaries, the
@@ -1891,7 +2089,11 @@ impl AlignEngine {
     /// (the rolling row is serial either way), best-cell maximum
     /// readout. Banded rows treat out-of-band neighbours as fresh
     /// starts (value 0), matching the wavefront local kernel.
-    fn rolling_row_local(&mut self, s: LocalScores) -> EngineOutcome {
+    fn rolling_row_local(
+        &mut self,
+        s: LocalScores,
+        sup: &mut SupCursor<'_>,
+    ) -> Result<EngineOutcome, StopReason> {
         let (n, m) = (self.q_codes.len(), self.p_codes.len());
         let cols = m + 1;
         self.prev.clear();
@@ -1934,13 +2136,14 @@ impl AlignEngine {
             }
             cells += (hi - lo + 1) as u64;
             std::mem::swap(&mut self.prev, &mut self.curr);
+            sup.tick((hi - lo + 1) as u64)?;
         }
 
-        EngineOutcome {
+        Ok(EngineOutcome {
             score: raw_to_time(best),
             cells_computed: cells,
             early_terminated: false,
-        }
+        })
     }
 
     /// The affine-gap (Gotoh) rolling row: three rolling row pairs, one
@@ -1948,7 +2151,11 @@ impl AlignEngine {
     /// across all three planes — sound for the same reason as the
     /// linear row (every path crosses every row, one plane state per
     /// cell, non-negative weights).
-    fn rolling_row_affine(&mut self, open: u64) -> EngineOutcome {
+    fn rolling_row_affine(
+        &mut self,
+        open: u64,
+        sup: &mut SupCursor<'_>,
+    ) -> Result<EngineOutcome, StopReason> {
         let w = RawWeights::from_weights(self.cfg.weights);
         let (n, m) = (self.q_codes.len(), self.p_codes.len());
         let cols = m + 1;
@@ -1978,19 +2185,19 @@ impl AlignEngine {
 
         for i in 1..=n {
             if frontier_min > threshold {
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     early_terminated: true,
-                };
+                });
             }
             let (lo, hi) = band_range(i, m, self.cfg.band);
             if lo > hi {
-                return EngineOutcome {
+                return Ok(EngineOutcome {
                     score: Time::NEVER,
                     cells_computed: cells,
                     early_terminated: self.cfg.threshold.is_some(),
-                };
+                });
             }
             if self.cfg.band.is_some() {
                 self.curr.fill(NEVER);
@@ -2031,10 +2238,11 @@ impl AlignEngine {
             std::mem::swap(&mut self.prev, &mut self.curr);
             std::mem::swap(&mut self.xprev, &mut self.xcurr);
             std::mem::swap(&mut self.yprev, &mut self.ycurr);
+            sup.tick((hi - lo + 1) as u64)?;
         }
 
         let score_raw = self.prev[m].min(self.xprev[m]).min(self.yprev[m]);
-        classify_outcome(score_raw, self.cfg.threshold, cells)
+        Ok(classify_outcome(score_raw, self.cfg.threshold, cells))
     }
 }
 
@@ -2105,6 +2313,44 @@ impl BatchEngine {
         pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
     ) -> Vec<EngineOutcome> {
         crate::striped::align_batch_impl(&self.cfg, pairs, &mut self.scratch)
+    }
+
+    /// [`BatchEngine::align_batch`] under a [`ScanControl`]: the batch
+    /// checkpoints the control between work units (and inside the
+    /// per-pair kernels), isolates worker panics per unit, retries a
+    /// quarantined stripe's members on the per-pair fallback kernel,
+    /// and returns a typed partial ledger instead of crashing or
+    /// blocking. When nothing stops or faults, `outcomes` equals the
+    /// plain [`BatchEngine::align_batch`] result, entry for entry.
+    pub fn align_batch_supervised<S: Symbol>(
+        &mut self,
+        pairs: &[(PackedSeq<S>, PackedSeq<S>)],
+        ctrl: &ScanControl,
+    ) -> crate::supervisor::BatchReport {
+        let refs: Vec<(&PackedSeq<S>, &PackedSeq<S>)> = pairs.iter().map(|(q, p)| (q, p)).collect();
+        self.align_batch_refs_supervised(&refs, ctrl)
+    }
+
+    /// [`BatchEngine::align_batch_supervised`] over borrowed operands.
+    pub fn align_batch_refs_supervised<S: Symbol>(
+        &mut self,
+        pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+        ctrl: &ScanControl,
+    ) -> crate::supervisor::BatchReport {
+        crate::striped::align_batch_supervised_impl(&self.cfg, pairs, &mut self.scratch, ctrl)
+    }
+
+    /// [`BatchEngine::new`] with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::InvalidConfig`] (see [`AlignConfig::validate`]).
+    pub fn try_new(cfg: AlignConfig) -> Result<Self, AlignError> {
+        cfg.validate()?;
+        Ok(BatchEngine {
+            cfg,
+            scratch: crate::striped::BatchScratch::default(),
+        })
     }
 }
 

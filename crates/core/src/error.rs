@@ -1,6 +1,84 @@
-//! The crate-wide error type.
+//! The crate-wide error types: [`RaceError`] for the gate-level and
+//! graph races, [`AlignError`] for the alignment engine's validated
+//! entry points.
 
 use std::fmt;
+
+use crate::supervisor::StopReason;
+
+/// Typed errors from the alignment engine's validated entry points
+/// (`try_*` constructors, supervised scans). The legacy panicking
+/// surface (`AlignConfig::new`, `scan_database_topk`, …) raises the
+/// same conditions as panics whose messages match these displays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// A configuration or input was rejected before any racing began:
+    /// zero indel weight, a degenerate local scheme, a threshold in a
+    /// max-plus mode, `k = 0` or `k` beyond the database, an empty
+    /// query or database entry.
+    InvalidConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+    /// No kernel word is wide enough for this shape and weight scheme:
+    /// even `u64` cannot bound `(n + m + 2) · max_step` without
+    /// saturating, so exact scores are unrepresentable.
+    EligibilityOverflow {
+        /// Query length.
+        n: usize,
+        /// Longest pattern length.
+        m: usize,
+        /// The scheme's largest per-step weight.
+        max_step: u64,
+    },
+    /// A supervised run spent its grid-cell budget before completing.
+    BudgetExhausted,
+    /// A supervised run stopped early for a non-budget reason
+    /// (cancellation or an expired deadline).
+    Interrupted {
+        /// Why the run stopped.
+        reason: StopReason,
+    },
+    /// A worker panicked and at least one pair could not be recovered
+    /// by the per-pair fallback kernel.
+    WorkerFault {
+        /// The failing site (see `docs/ROBUSTNESS.md` for the catalog).
+        site: String,
+        /// The panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::InvalidConfig { reason } => {
+                write!(f, "invalid alignment configuration: {reason}")
+            }
+            AlignError::EligibilityOverflow { n, m, max_step } => write!(
+                f,
+                "no kernel word fits a {n} x {m} alignment with max step weight {max_step}: \
+                 (n + m + 2) * max_step overflows u64"
+            ),
+            AlignError::BudgetExhausted => write!(f, "cell budget exhausted"),
+            AlignError::Interrupted { reason } => write!(f, "scan interrupted: {reason}"),
+            AlignError::WorkerFault { site, message } => {
+                write!(f, "unrecovered worker fault at {site}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+impl From<StopReason> for AlignError {
+    fn from(reason: StopReason) -> Self {
+        match reason {
+            StopReason::BudgetExhausted => AlignError::BudgetExhausted,
+            _ => AlignError::Interrupted { reason },
+        }
+    }
+}
 
 /// Errors from compiling or running races.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +150,30 @@ impl From<crate::score_transform::TransformError> for RaceError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn align_error_display_and_from_stop() {
+        let e = AlignError::InvalidConfig {
+            reason: "indel weight must be positive".into(),
+        };
+        assert!(e.to_string().contains("indel weight must be positive"));
+        let e = AlignError::EligibilityOverflow {
+            n: 3,
+            m: 4,
+            max_step: u64::MAX,
+        };
+        assert!(e.to_string().contains("overflows u64"));
+        assert_eq!(
+            AlignError::from(StopReason::BudgetExhausted),
+            AlignError::BudgetExhausted
+        );
+        assert_eq!(
+            AlignError::from(StopReason::Cancelled),
+            AlignError::Interrupted {
+                reason: StopReason::Cancelled
+            }
+        );
+    }
 
     #[test]
     fn display_and_source() {

@@ -27,6 +27,7 @@
 //! | [`score_transform`] | §5 | arbitrary score matrices (BLOSUM62…) → positive delay weights, and exact score recovery |
 //! | [`generalized`] | §5, Fig. 8 | the generalized cell: saturating counter + weight taps + set-on-arrival |
 //! | [`early_termination`] | §6 | thresholded races that abandon dissimilar pairs early |
+//! | [`supervisor`] | robustness | supervised scan execution: cancellation, deadlines, cell budgets, per-stripe panic isolation with fallback retry, and a feature-gated fault-injection harness |
 //! | [`asynchronous`] | §6, Fig. 3d | continuous-time races with analog delay variation (extension) |
 //! | [`banded`] | design space | Ukkonen-banded arrays with certified exactness (extension) |
 //! | [`semi_global`] | §6 scans | query-in-reference races via multi-point injection — thin wrapper over the engine's semi-global mode (extension) |
@@ -64,10 +65,11 @@ pub mod score_transform;
 pub mod semi_global;
 pub mod simd;
 mod striped;
+pub mod supervisor;
 pub mod traceback;
 pub mod wavefront;
 
-pub use error::RaceError;
+pub use error::{AlignError, RaceError};
 
 /// The two race types of the paper: OR gates race for the *first* arrival
 /// (shortest path), AND gates wait for the *last* (longest path).

@@ -285,6 +285,7 @@ pub fn diag_update<W: KernelWord>(
     w: LaneWeights<W>,
     out: &mut [W],
 ) -> W {
+    crate::supervisor::fp_hit("simd-diag");
     let LaneWeights {
         matched,
         mismatched,

@@ -44,6 +44,7 @@
 //! padding codes are sentinels outside every alphabet, and padded
 //! positions are masked out of the lane's minima and counts.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -57,6 +58,7 @@ use crate::engine::{
     RawWeights, COHORT_LEN_BUCKET, NEVER, STRIPE_MIN_PAIRS, STRIPE_PAD_BUDGET_PCT,
 };
 use crate::simd::{self, KernelWord, LaneWeights};
+use crate::supervisor::{fp_hit, panic_message, BatchReport, Fault, ScanControl, StopReason};
 
 /// Sentinel code for padded query-plane cells; outside every alphabet's
 /// code range, and distinct from [`P_PAD`] so a padded position can
@@ -115,7 +117,8 @@ fn grid_cells(n: usize, m: usize, band: Option<usize>) -> u64 {
 
 /// One schedulable unit of batch work: either a striped cohort sweep or
 /// a run of per-pair alignments. `members` are indices into the batch;
-/// `results` is filled by the worker and scattered back afterwards.
+/// `results`/`states` are filled by the worker and scattered back
+/// afterwards.
 struct WorkUnit {
     striped: bool,
     /// Stripe lane width, resolved **once** by the planner from the
@@ -125,6 +128,101 @@ struct WorkUnit {
     width: LaneWidth,
     members: Vec<usize>,
     results: Vec<EngineOutcome>,
+    states: Vec<SlotState>,
+}
+
+/// Completion state of one pair inside a work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Never reached: an early stop drained the queue first.
+    Pending,
+    /// Finished; the matching `results` entry is valid.
+    Done,
+    /// Lost to an unrecovered worker fault.
+    Faulted,
+}
+
+/// Per-pair result slot of a supervised run: `Done` carries the
+/// outcome; `Pending` marks pairs an early stop never reached;
+/// `Faulted` marks pairs lost to an unrecovered worker panic.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) enum Slot {
+    /// Never reached before an early stop.
+    #[default]
+    Pending,
+    /// Completed with this outcome.
+    Done(EngineOutcome),
+    /// Lost to an unrecovered worker fault.
+    Faulted,
+}
+
+impl Slot {
+    /// The outcome of a completed pair.
+    pub(crate) fn outcome(&self) -> Option<&EngineOutcome> {
+        match self {
+            Slot::Done(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Shared fault/stop ledger of one `run_units` execution. Poison-
+/// tolerant locks: a worker panic between lock and unlock (possible
+/// only via injected failpoints) must not wedge the other workers'
+/// accounting.
+struct ExecLedger {
+    faults: Mutex<Vec<Fault>>,
+    stop: Mutex<Option<StopReason>>,
+}
+
+impl ExecLedger {
+    fn new() -> Self {
+        ExecLedger {
+            faults: Mutex::new(Vec::new()),
+            stop: Mutex::new(None),
+        }
+    }
+
+    fn note_fault(&self, fault: Fault) {
+        self.faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(fault);
+    }
+
+    /// First stop wins: later workers noticing the same (or a different)
+    /// condition do not overwrite the original reason.
+    fn note_stop(&self, stop: StopReason) {
+        let mut slot = self
+            .stop
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slot.get_or_insert(stop);
+    }
+
+    fn into_report(self) -> RunReport {
+        let mut faults = self
+            .faults
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Worker interleaving scrambles ledger order; sort it into a
+        // deterministic (site, first pair) presentation.
+        faults.sort_by(|a, b| (a.pairs.first(), &a.site).cmp(&(b.pairs.first(), &b.site)));
+        RunReport {
+            faults,
+            stop: self
+                .stop
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        }
+    }
+}
+
+/// What a supervised `run_units` pass absorbed: the fault ledger and
+/// the first stop reason any worker hit.
+pub(crate) struct RunReport {
+    pub(crate) faults: Vec<Fault>,
+    pub(crate) stop: Option<StopReason>,
 }
 
 /// Reusable per-worker scratch: a per-pair fallback engine plus the
@@ -173,8 +271,59 @@ pub(crate) fn align_batch_impl<S: Symbol>(
         return out;
     }
     let units = plan_units(cfg, pairs);
-    run_units(cfg, pairs, units, scratch, None, None, &mut out);
+    let mut slots = vec![Slot::Pending; pairs.len()];
+    run_units(
+        cfg, pairs, units, scratch, None, None, None, true, &mut slots,
+    );
+    for (o, slot) in out.iter_mut().zip(&slots) {
+        match slot {
+            Slot::Done(r) => *o = *r,
+            _ => unreachable!("an unsupervised batch run completes every pair"),
+        }
+    }
     out
+}
+
+/// The supervised batch entry point behind
+/// [`crate::engine::BatchEngine::align_batch_supervised`]: same plan
+/// and kernels as [`align_batch_impl`], but worker panics are isolated
+/// (quarantine + per-pair fallback retry) and the [`ScanControl`] is
+/// honored between work units and inside the per-pair kernels.
+pub(crate) fn align_batch_supervised_impl<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    scratch: &mut BatchScratch,
+    ctrl: &ScanControl,
+) -> BatchReport {
+    let mut faults = Vec::new();
+    let mut slots = vec![Slot::Pending; pairs.len()];
+    let mut stop = None;
+    if !pairs.is_empty() {
+        let units = plan_units_guarded(cfg, pairs, &mut faults);
+        let mut report = run_units(
+            cfg,
+            pairs,
+            units,
+            scratch,
+            None,
+            None,
+            Some(ctrl),
+            false,
+            &mut slots,
+        );
+        faults.append(&mut report.faults);
+        stop = report.stop;
+    }
+    let outcomes: Vec<Option<EngineOutcome>> = slots.iter().map(|s| s.outcome().copied()).collect();
+    let completed_pairs = outcomes.iter().filter(|o| o.is_some()).count();
+    let faulted_pairs = slots.iter().filter(|s| matches!(s, Slot::Faulted)).count();
+    BatchReport {
+        outcomes,
+        completed_pairs,
+        faulted_pairs,
+        faults,
+        stop,
+    }
 }
 
 /// The ratcheted scan pipeline behind
@@ -210,6 +359,7 @@ pub(crate) fn scan_topk_impl<S: Symbol>(
     }
     let units = plan_units(cfg, pairs);
     let ratchet = Ratchet::new(k, cfg.threshold);
+    let mut slots = vec![Slot::Pending; pairs.len()];
     run_units(
         cfg,
         pairs,
@@ -217,9 +367,58 @@ pub(crate) fn scan_topk_impl<S: Symbol>(
         scratch,
         Some(&ratchet),
         workers,
-        &mut out,
+        None,
+        true,
+        &mut slots,
     );
+    for (o, slot) in out.iter_mut().zip(&slots) {
+        match slot {
+            Slot::Done(r) => *o = *r,
+            _ => unreachable!("an unsupervised scan completes every pair"),
+        }
+    }
     out
+}
+
+/// The supervised ratcheted scan behind
+/// [`crate::early_termination::scan_database_topk_supervised`]: the
+/// [`scan_topk_impl`] pipeline with panic isolation and cooperative
+/// stops. Returns the per-pair slots plus the fault/stop report; the
+/// caller assembles the [`crate::supervisor::ScanOutcome`].
+pub(crate) fn scan_topk_supervised_impl<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    k: usize,
+    workers: Option<usize>,
+    scratch: &mut BatchScratch,
+    ctrl: &ScanControl,
+) -> (Vec<Slot>, RunReport) {
+    let mut faults = Vec::new();
+    let mut slots = vec![Slot::Pending; pairs.len()];
+    if pairs.is_empty() {
+        return (slots, RunReport { faults, stop: None });
+    }
+    let units = plan_units_guarded(cfg, pairs, &mut faults);
+    let ratchet = Ratchet::new(k, cfg.threshold);
+    let mut report = run_units(
+        cfg,
+        pairs,
+        units,
+        scratch,
+        Some(&ratchet),
+        workers,
+        Some(ctrl),
+        false,
+        &mut slots,
+    );
+    faults.append(&mut report.faults);
+    (
+        slots,
+        RunReport {
+            faults,
+            stop: report.stop,
+        },
+    )
 }
 
 /// Shared top-k score ratchet: a bounded worst-first heap of the best
@@ -254,9 +453,16 @@ impl Ratchet {
     }
 
     /// Folds a finished entry into the best-k and tightens the cached
-    /// threshold when the k-th best improves.
+    /// threshold when the k-th best improves. The lock is
+    /// poison-tolerant: the heap is only ever mutated through this
+    /// method, whose critical section cannot panic partway, so a
+    /// poisoned heap (an injected failpoint panic) is still consistent.
     fn observe(&self, score: u64, index: usize) {
-        let mut heap = self.heap.lock().expect("ratchet heap poisoned");
+        fp_hit("ratchet");
+        let mut heap = self
+            .heap
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if heap.len() < self.k {
             heap.push((score, index));
         } else if let Some(&worst) = heap.peek() {
@@ -312,6 +518,16 @@ impl StripeThreshold {
 /// per worker) and scatters results back into input order. With a
 /// `ratchet`, each unit runs under the ratchet's threshold at the
 /// moment the unit starts, and finished scores feed back into it.
+///
+/// With a [`ScanControl`], the control is consulted before every work
+/// unit (and inside the per-pair kernels at row/diagonal granularity);
+/// units an early stop never reaches leave their slots `Pending`. With
+/// `propagate` false, worker panics are additionally isolated per unit:
+/// a poisoned stripe is quarantined and its members retried on the
+/// scalar fallback kernel (see [`run_striped_unit`]); with `propagate`
+/// true (the unsupervised entry points), panics unwind to the caller
+/// exactly as before this layer existed.
+#[allow(clippy::too_many_arguments)]
 fn run_units<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
@@ -319,13 +535,16 @@ fn run_units<S: Symbol>(
     scratch: &mut BatchScratch,
     ratchet: Option<&Ratchet>,
     workers: Option<usize>,
-    out: &mut [EngineOutcome],
-) {
+    ctrl: Option<&ScanControl>,
+    propagate: bool,
+    out: &mut [Slot],
+) -> RunReport {
     let n_workers = workers
         .unwrap_or_else(rayon::current_num_threads)
         .min(units.len())
         .max(1);
     scratch.ensure(n_workers, cfg);
+    let ledger = ExecLedger::new();
     // Round-robin units across workers: the planner emits all striped
     // units first and the (at most one-per-worker) per-pair units last,
     // so contiguous chunking would pile every per-pair unit onto the
@@ -350,6 +569,11 @@ fn run_units<S: Symbol>(
         for unit in &mut slot.units {
             unit.results
                 .resize(unit.members.len(), EngineOutcome::default());
+            unit.states.resize(unit.members.len(), SlotState::Pending);
+            if let Some(stop) = ctrl.and_then(ScanControl::should_stop) {
+                ledger.note_stop(stop);
+                break;
+            }
             let threshold = match ratchet {
                 Some(r) => match r.current() {
                     Some(t) => StripeThreshold::Coarse(t),
@@ -360,57 +584,303 @@ fn run_units<S: Symbol>(
                     None => StripeThreshold::None,
                 },
             };
-            // Every finished score is observed exactly once — a repeat
-            // observation of the same (score, index) would occupy two
-            // of the heap's k slots and tighten the ratchet below the
-            // true k-th best, which would break the abandon proof.
             if unit.striped {
-                run_stripe(
-                    cfg,
-                    pairs,
-                    &unit.members,
-                    unit.width,
-                    threshold,
-                    &mut worker.stripe,
-                    &mut unit.results,
+                run_striped_unit(
+                    cfg, pairs, unit, threshold, worker, ratchet, ctrl, propagate, &ledger,
                 );
-                if let Some(r) = ratchet {
-                    for (&i, res) in unit.members.iter().zip(&unit.results) {
-                        if let Some(score) = res.finished_score() {
-                            r.observe(score, i);
-                        }
-                    }
-                }
-            } else if let Some(r) = ratchet {
-                // Per-pair units can hold a large share of the batch
-                // (e.g. short-read databases where nothing stripes), so
-                // the ratchet is re-read per pair, not per unit — the
-                // threshold keeps tightening while the unit drains. The
-                // per-pair plan re-resolves lane width from the live
-                // threshold, so the fused abandon stays exact.
-                for (slot, &i) in unit.results.iter_mut().zip(&unit.members) {
-                    let mut tuned = *cfg;
-                    tuned.threshold = r.current();
-                    worker.engine.set_config(tuned);
-                    let (q, p) = &pairs[i];
-                    *slot = worker.engine.align(q, p);
-                    if let Some(score) = slot.finished_score() {
-                        r.observe(score, i);
-                    }
-                }
             } else {
-                for (slot, &i) in unit.results.iter_mut().zip(&unit.members) {
-                    let (q, p) = &pairs[i];
-                    *slot = worker.engine.align(q, p);
-                }
+                run_per_pair_unit(cfg, pairs, unit, worker, ratchet, ctrl, propagate, &ledger);
             }
         }
     });
     for unit in slots.iter().flat_map(|s| &s.units) {
-        for (&i, &r) in unit.members.iter().zip(&unit.results) {
-            out[i] = r;
+        for ((&i, &r), &state) in unit.members.iter().zip(&unit.results).zip(&unit.states) {
+            out[i] = match state {
+                SlotState::Done => Slot::Done(r),
+                SlotState::Pending => Slot::Pending,
+                SlotState::Faulted => Slot::Faulted,
+            };
         }
     }
+    ledger.into_report()
+}
+
+/// Executes one striped unit: scratch-budget gate, `catch_unwind`
+/// isolation around the sweep, quarantine + per-pair fallback retry on
+/// a panic.
+///
+/// Every finished score is observed by the ratchet **exactly once** —
+/// a repeat observation of the same `(score, index)` would occupy two
+/// of the heap's k slots and tighten the ratchet below the true k-th
+/// best, breaking the abandon proof. A panicked sweep skips the
+/// observation loop entirely; retried members observe only on retry
+/// success.
+#[allow(clippy::too_many_arguments)]
+fn run_striped_unit<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    unit: &mut WorkUnit,
+    threshold: StripeThreshold,
+    worker: &mut WorkerScratch,
+    ratchet: Option<&Ratchet>,
+    ctrl: Option<&ScanControl>,
+    propagate: bool,
+    ledger: &ExecLedger,
+) {
+    if let Some(budget) = ctrl.and_then(ScanControl::scratch_budget) {
+        let (mut nn, mut mm) = (0_usize, 0_usize);
+        for &i in &unit.members {
+            let (q, p) = &pairs[i];
+            nn = nn.max(q.len());
+            mm = mm.max(p.len());
+        }
+        let lanes = effective_stripe_lanes(unit.width, unit.members.len());
+        let need = stripe_scratch_bytes(nn, mm, lanes, unit.width);
+        if need > budget {
+            ledger.note_fault(Fault {
+                site: "scratch-budget".into(),
+                pairs: unit.members.clone(),
+                recovered: true,
+                message: format!(
+                    "stripe scratch estimate {need} B exceeds budget {budget} B; \
+                     members degraded to the per-pair kernel"
+                ),
+            });
+            run_per_pair_unit(cfg, pairs, unit, worker, ratchet, ctrl, propagate, ledger);
+            return;
+        }
+    }
+    // AssertUnwindSafe: on panic the stripe scratch holds stale sweep
+    // state, but every field is re-packed or re-sized from scratch by
+    // the next sweep, so no torn state can leak into later results.
+    let sweep = catch_unwind(AssertUnwindSafe(|| {
+        run_stripe(
+            cfg,
+            pairs,
+            &unit.members,
+            unit.width,
+            threshold,
+            &mut worker.stripe,
+            &mut unit.results,
+        );
+    }));
+    match sweep {
+        Ok(()) => {
+            unit.states.fill(SlotState::Done);
+            if let Some(c) = ctrl {
+                c.charge(unit.results.iter().map(|r| r.cells_computed).sum());
+            }
+            if let Some(r) = ratchet {
+                for (&i, res) in unit.members.iter().zip(&unit.results) {
+                    if let Some(score) = res.finished_score() {
+                        observe_guarded(r, score, i, ledger);
+                    }
+                }
+            }
+        }
+        Err(payload) => {
+            if propagate {
+                resume_unwind(payload);
+            }
+            quarantine_and_retry(
+                cfg,
+                pairs,
+                unit,
+                worker,
+                ratchet,
+                ctrl,
+                ledger,
+                "stripe-sweep",
+                panic_message(&*payload),
+            );
+        }
+    }
+}
+
+/// Quarantines a poisoned stripe: records the fault and retries every
+/// member on the scalar rolling-row fallback kernel, each retry under
+/// its own `catch_unwind`. The retry threshold is the ratchet's
+/// *current* value (or the configured threshold) — always at least the
+/// true k-th best score, so a retried true-top-k entry still finishes
+/// with its exact score and the final top-k stays byte-identical to
+/// the unfaulted run (property-tested in `tests/failpoints.rs`).
+#[allow(clippy::too_many_arguments)]
+fn quarantine_and_retry<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    unit: &mut WorkUnit,
+    worker: &mut WorkerScratch,
+    ratchet: Option<&Ratchet>,
+    ctrl: Option<&ScanControl>,
+    ledger: &ExecLedger,
+    site: &str,
+    message: String,
+) {
+    let mut recovered = true;
+    for idx in 0..unit.members.len() {
+        if unit.states[idx] == SlotState::Done {
+            continue;
+        }
+        let i = unit.members[idx];
+        if let Some(stop) = ctrl.and_then(ScanControl::should_stop) {
+            ledger.note_stop(stop);
+            recovered = false;
+            break;
+        }
+        let mut fallback = *cfg;
+        fallback.strategy = KernelStrategy::RollingRow;
+        if let Some(r) = ratchet {
+            fallback.threshold = r.current().or(cfg.threshold);
+        }
+        worker.engine.set_config(fallback);
+        let (q, p) = &pairs[i];
+        match catch_unwind(AssertUnwindSafe(|| worker.engine.align_ctrl(q, p, ctrl))) {
+            Ok(Ok(o)) => {
+                unit.results[idx] = o;
+                unit.states[idx] = SlotState::Done;
+                if let Some(r) = ratchet {
+                    if let Some(score) = o.finished_score() {
+                        observe_guarded(r, score, i, ledger);
+                    }
+                }
+            }
+            Ok(Err(stop)) => {
+                ledger.note_stop(stop);
+                recovered = false;
+                break;
+            }
+            Err(retry_payload) => {
+                unit.states[idx] = SlotState::Faulted;
+                recovered = false;
+                ledger.note_fault(Fault {
+                    site: "per-pair".into(),
+                    pairs: vec![i],
+                    recovered: false,
+                    message: panic_message(&*retry_payload),
+                });
+            }
+        }
+    }
+    worker.engine.set_config(*cfg);
+    ledger.note_fault(Fault {
+        site: site.into(),
+        pairs: unit.members.clone(),
+        recovered,
+        message,
+    });
+}
+
+/// Executes one per-pair unit: each alignment under its own
+/// `catch_unwind` (unless `propagate`); a panicked pair is retried
+/// once on the rolling-row fallback kernel before being declared lost.
+///
+/// With a ratchet, the threshold is re-read per pair, not per unit —
+/// per-pair units can hold a large share of the batch (e.g. short-read
+/// databases where nothing stripes), so the threshold keeps tightening
+/// while the unit drains; the per-pair plan re-resolves lane width
+/// from the live threshold, so the fused abandon stays exact. Every
+/// finished score observes the ratchet exactly once.
+#[allow(clippy::too_many_arguments)]
+fn run_per_pair_unit<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    unit: &mut WorkUnit,
+    worker: &mut WorkerScratch,
+    ratchet: Option<&Ratchet>,
+    ctrl: Option<&ScanControl>,
+    propagate: bool,
+    ledger: &ExecLedger,
+) {
+    for idx in 0..unit.members.len() {
+        let i = unit.members[idx];
+        if let Some(stop) = ctrl.and_then(ScanControl::should_stop) {
+            ledger.note_stop(stop);
+            break;
+        }
+        let mut run_cfg = *cfg;
+        if let Some(r) = ratchet {
+            run_cfg.threshold = r.current();
+        }
+        worker.engine.set_config(run_cfg);
+        let (q, p) = &pairs[i];
+        let first = catch_unwind(AssertUnwindSafe(|| worker.engine.align_ctrl(q, p, ctrl)));
+        let result = match first {
+            Ok(res) => res,
+            Err(payload) => {
+                if propagate {
+                    resume_unwind(payload);
+                }
+                let mut fallback = run_cfg;
+                fallback.strategy = KernelStrategy::RollingRow;
+                worker.engine.set_config(fallback);
+                match catch_unwind(AssertUnwindSafe(|| worker.engine.align_ctrl(q, p, ctrl))) {
+                    Ok(res) => {
+                        ledger.note_fault(Fault {
+                            site: "per-pair".into(),
+                            pairs: vec![i],
+                            recovered: true,
+                            message: panic_message(&*payload),
+                        });
+                        res
+                    }
+                    Err(retry_payload) => {
+                        unit.states[idx] = SlotState::Faulted;
+                        ledger.note_fault(Fault {
+                            site: "per-pair".into(),
+                            pairs: vec![i],
+                            recovered: false,
+                            message: panic_message(&*retry_payload),
+                        });
+                        continue;
+                    }
+                }
+            }
+        };
+        match result {
+            Ok(o) => {
+                unit.results[idx] = o;
+                unit.states[idx] = SlotState::Done;
+                if let Some(r) = ratchet {
+                    if let Some(score) = o.finished_score() {
+                        observe_guarded(r, score, i, ledger);
+                    }
+                }
+            }
+            Err(stop) => {
+                ledger.note_stop(stop);
+                break;
+            }
+        }
+    }
+}
+
+/// Feeds a finished score into the ratchet under `catch_unwind`: an
+/// injected `ratchet` failpoint panic loses the observation, which is
+/// sound — a missed observation only leaves the ratchet looser than it
+/// could be, and abandons stay strict `score > threshold` proofs.
+fn observe_guarded(r: &Ratchet, score: u64, index: usize, ledger: &ExecLedger) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| r.observe(score, index))) {
+        ledger.note_fault(Fault {
+            site: "ratchet".into(),
+            pairs: vec![index],
+            recovered: true,
+            message: panic_message(&*payload),
+        });
+    }
+}
+
+/// Estimated bytes of striped-sweep scratch a `(nn, mm)` union shape
+/// claims at `lanes` lanes of `width`-word diagonals: three rotating
+/// diagonal buffers of `(nn + 1) · lanes` words plus the two
+/// interleaved `u8` code planes. A gating estimate for
+/// [`ScanControl::with_scratch_budget`], not an allocator contract.
+fn stripe_scratch_bytes(nn: usize, mm: usize, lanes: usize, width: LaneWidth) -> usize {
+    let word = match width {
+        LaneWidth::U16 => 2,
+        LaneWidth::U32 => 4,
+        LaneWidth::U64 => 8,
+    };
+    3 * (nn + 1) * lanes * word + (nn + mm) * lanes
 }
 
 /// Groups the batch into work units under the configured
@@ -421,6 +891,7 @@ fn plan_units<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
 ) -> Vec<WorkUnit> {
+    fp_hit("packer");
     let mut eligible: Vec<(usize, usize, usize)> = Vec::new();
     let mut singles: Vec<usize> = Vec::new();
     // The striped sweep covers the single-plane modes; affine's three
@@ -449,10 +920,44 @@ fn plan_units<S: Symbol>(
                 width: LaneWidth::U64,
                 members: chunk.to_vec(),
                 results: Vec::new(),
+                states: Vec::new(),
             });
         }
     }
     units
+}
+
+/// Plans units under `catch_unwind`: an injected `packer` panic
+/// degrades to an all-per-pair plan (recorded as a recovered fault in
+/// `faults`) instead of killing a supervised scan.
+fn plan_units_guarded<S: Symbol>(
+    cfg: &AlignConfig,
+    pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    faults: &mut Vec<Fault>,
+) -> Vec<WorkUnit> {
+    match catch_unwind(AssertUnwindSafe(|| plan_units(cfg, pairs))) {
+        Ok(units) => units,
+        Err(payload) => {
+            faults.push(Fault {
+                site: "packer".into(),
+                pairs: (0..pairs.len()).collect(),
+                recovered: true,
+                message: panic_message(&*payload),
+            });
+            let per = pairs.len().div_ceil(rayon::current_num_threads());
+            let indices: Vec<usize> = (0..pairs.len()).collect();
+            indices
+                .chunks(per)
+                .map(|chunk| WorkUnit {
+                    striped: false,
+                    width: LaneWidth::U64,
+                    members: chunk.to_vec(),
+                    results: Vec::new(),
+                    states: Vec::new(),
+                })
+                .collect()
+        }
+    }
 }
 
 /// The length-aware greedy packer (the default). Pairs sorted by
@@ -512,6 +1017,7 @@ fn pack_length_aware(
                 width,
                 members,
                 results: Vec::new(),
+                states: Vec::new(),
             });
         } else {
             singles.extend(members);
@@ -546,6 +1052,7 @@ fn pack_exact_bucket(
                     width,
                     members: chunk.to_vec(),
                     results: Vec::new(),
+                    states: Vec::new(),
                 });
             } else {
                 singles.extend_from_slice(chunk);
@@ -644,6 +1151,7 @@ fn run_stripe<S: Symbol>(
     scratch: &mut StripeScratch,
     results: &mut [EngineOutcome],
 ) {
+    fp_hit("stripe-sweep");
     scratch.shapes.clear();
     let (mut nn, mut mm) = (0_usize, 0_usize);
     for &i in members {

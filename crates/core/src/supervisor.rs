@@ -1,0 +1,576 @@
+//! Supervised scan execution: cancellation, deadlines, budgets, panic
+//! isolation, and a deterministic fault-injection harness.
+//!
+//! The batch and scan pipelines ([`crate::engine::BatchEngine`],
+//! [`crate::early_termination::scan_database_topk`]) are built to run as
+//! long-lived services over co-batched tenants. This module is the
+//! robustness substrate that makes that safe:
+//!
+//! - [`ScanControl`] — a shared handle carrying a cancellation flag, a
+//!   wall-clock deadline, a grid-cell budget, and an optional scratch
+//!   memory budget. Supervised entry points check it cooperatively: at
+//!   **anti-diagonal granularity** inside the per-pair kernels and at
+//!   **stripe-sweep granularity** in the batch pipeline.
+//! - [`StopReason`] / [`Fault`] / [`ScanOutcome`] / [`BatchReport`] — the
+//!   typed partial-result surface. A stopped or faulted scan returns a
+//!   ledger of what completed, what faulted, and why, instead of
+//!   panicking or blocking. Invariant (tested): `completed_pairs +
+//!   faulted_pairs + remaining_pairs() == total_pairs`.
+//! - **Panic isolation** — every work unit (a stripe or a per-pair chunk)
+//!   runs under `catch_unwind`. A poisoned stripe is quarantined and its
+//!   member pairs are retried one by one on the scalar rolling-row
+//!   fallback kernel; when every retry succeeds the scan's output is
+//!   byte-identical to the unfaulted run (tested under injected panics).
+//! - `failpoint` — a feature-gated (`failpoints`), zero-cost-when-off
+//!   registry of named injection sites (`packer`, `stripe-sweep`,
+//!   `ratchet`, `affine`, `simd-diag`) so the fault paths above are
+//!   deterministically testable.
+//!
+//! See `docs/ROBUSTNESS.md` for the full semantics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::engine::EngineOutcome;
+
+/// Why a supervised run stopped before completing all pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// [`ScanControl::cancel`] was called.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExpired,
+    /// The grid-cell budget was spent.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Cancelled => write!(f, "cancelled"),
+            StopReason::DeadlineExpired => write!(f, "deadline expired"),
+            StopReason::BudgetExhausted => write!(f, "cell budget exhausted"),
+        }
+    }
+}
+
+/// A shared control handle for supervised batch and scan execution.
+///
+/// Construct one, optionally bound it with the `with_*` builders, and
+/// pass it to a `*_supervised` entry point. The handle can be shared
+/// across threads (`&ScanControl` is `Sync`); calling [`cancel`] from
+/// another thread stops the run at its next checkpoint.
+///
+/// Checkpoints are cooperative: per-pair kernels check between
+/// anti-diagonals (rows, for the rolling-row kernels), the batch
+/// pipeline checks between work units. Cancellation and the cell budget
+/// are checked at every checkpoint; the deadline clock is read every
+/// [`DEADLINE_CHECK_INTERVAL`] checkpoints — except the *first*, which
+/// always reads it, so a deadline already in the past (e.g. 0 ms) stops
+/// the run deterministically before any real work.
+///
+/// [`cancel`]: ScanControl::cancel
+#[derive(Debug, Default)]
+pub struct ScanControl {
+    cancel: AtomicBool,
+    deadline: Option<Instant>,
+    cells_budget: Option<u64>,
+    scratch_budget: Option<usize>,
+    cells_spent: AtomicU64,
+}
+
+/// How many supervision checkpoints pass between deadline clock reads
+/// (the first checkpoint always reads it).
+pub const DEADLINE_CHECK_INTERVAL: u32 = 16;
+
+impl ScanControl {
+    /// An unconstrained control: never stops on its own, still counts
+    /// cells and still isolates worker panics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the run by an absolute wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the run by a timeout from now.
+    #[must_use]
+    pub fn with_deadline_after(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Bounds the run by a total grid-cell budget across all pairs.
+    #[must_use]
+    pub fn with_cells_budget(mut self, cells: u64) -> Self {
+        self.cells_budget = Some(cells);
+        self
+    }
+
+    /// Bounds the scratch arena a single striped work unit may claim, in
+    /// bytes. Stripes whose estimated scratch exceeds the budget are not
+    /// swept; their members degrade to the per-pair fallback kernel
+    /// (recorded in the fault ledger as a recovered `scratch-budget`
+    /// fault).
+    #[must_use]
+    pub fn with_scratch_budget(mut self, bytes: usize) -> Self {
+        self.scratch_budget = Some(bytes);
+        self
+    }
+
+    /// Requests cancellation: the run stops at its next checkpoint.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](ScanControl::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Grid cells charged so far across every worker.
+    #[must_use]
+    pub fn cells_spent(&self) -> u64 {
+        self.cells_spent.load(Ordering::Relaxed)
+    }
+
+    /// The per-stripe scratch budget, if any.
+    pub(crate) fn scratch_budget(&self) -> Option<usize> {
+        self.scratch_budget
+    }
+
+    /// Charges `cells` against the budget (always counted, budget or not).
+    pub(crate) fn charge(&self, cells: u64) {
+        self.cells_spent.fetch_add(cells, Ordering::Relaxed);
+    }
+
+    /// Checks every stop condition, including an immediate deadline
+    /// clock read. Used at work-unit granularity; the hot kernel loops
+    /// go through `SupCursor::tick` instead, which amortizes the
+    /// clock read.
+    #[must_use]
+    pub fn should_stop(&self) -> Option<StopReason> {
+        if self.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(budget) = self.cells_budget {
+            if self.cells_spent() >= budget {
+                return Some(StopReason::BudgetExhausted);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        None
+    }
+}
+
+/// A per-kernel-invocation supervision cursor: wraps an optional
+/// [`ScanControl`] and amortizes the deadline clock read over
+/// [`DEADLINE_CHECK_INTERVAL`] ticks. With no control attached, a tick
+/// is a single branch.
+pub(crate) struct SupCursor<'c> {
+    ctrl: Option<&'c ScanControl>,
+    countdown: u32,
+}
+
+impl<'c> SupCursor<'c> {
+    /// A cursor over `ctrl` (or a free-running cursor for `None`). The
+    /// countdown starts at 1 so the first tick reads the deadline clock.
+    pub(crate) fn new(ctrl: Option<&'c ScanControl>) -> Self {
+        SupCursor { ctrl, countdown: 1 }
+    }
+
+    /// One checkpoint: charge `cells`, then stop on cancellation, a
+    /// spent budget, or (every [`DEADLINE_CHECK_INTERVAL`] ticks, and
+    /// always on the first) an expired deadline.
+    #[inline]
+    pub(crate) fn tick(&mut self, cells: u64) -> Result<(), StopReason> {
+        let Some(ctrl) = self.ctrl else {
+            return Ok(());
+        };
+        ctrl.charge(cells);
+        if ctrl.is_cancelled() {
+            return Err(StopReason::Cancelled);
+        }
+        if let Some(budget) = ctrl.cells_budget {
+            if ctrl.cells_spent() >= budget {
+                return Err(StopReason::BudgetExhausted);
+            }
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = DEADLINE_CHECK_INTERVAL;
+            if let Some(deadline) = ctrl.deadline {
+                if Instant::now() >= deadline {
+                    return Err(StopReason::DeadlineExpired);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One entry in the fault ledger: a worker panic (or budget-driven
+/// degradation) that the supervisor absorbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Where the fault surfaced: `packer`, `stripe-sweep`, `ratchet`,
+    /// `scratch-budget`, or `per-pair`.
+    pub site: String,
+    /// The database/batch indices of the pairs the fault touched.
+    pub pairs: Vec<usize>,
+    /// Whether every touched pair still produced its result (via the
+    /// per-pair fallback kernel, or because the fault was harmless).
+    pub recovered: bool,
+    /// The panic payload (or a description of the degradation).
+    pub message: String,
+}
+
+/// The typed partial result of a supervised top-k scan
+/// ([`crate::early_termination::scan_database_topk_supervised`]).
+///
+/// Accounting invariant: `completed_pairs + faulted_pairs +
+/// remaining_pairs() == total_pairs`, with no pair counted twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// The best `(index, score)` hits among **completed** pairs, sorted
+    /// by `(score, index)` ascending, at most `k`. When the scan ran to
+    /// completion with every fault recovered, this is byte-identical to
+    /// the unsupervised [`crate::early_termination::TopKScan::hits`].
+    pub hits: Vec<(usize, u64)>,
+    /// Pairs that finished (scored or soundly abandoned by the ratchet).
+    pub completed_pairs: usize,
+    /// Pairs lost to an unrecovered worker fault.
+    pub faulted_pairs: usize,
+    /// Total pairs submitted.
+    pub total_pairs: usize,
+    /// Completed pairs the ratchet abandoned early (advisory, like
+    /// [`crate::early_termination::TopKScan::abandoned`]).
+    pub abandoned: usize,
+    /// Grid cells computed by completed pairs.
+    pub cells_computed: u64,
+    /// Every fault the supervisor absorbed, recovered or not.
+    pub faults: Vec<Fault>,
+    /// Why the scan stopped early, if it did.
+    pub stop: Option<StopReason>,
+}
+
+impl ScanOutcome {
+    /// Pairs never started or abandoned mid-flight by an early stop.
+    #[must_use]
+    pub fn remaining_pairs(&self) -> usize {
+        self.total_pairs - self.completed_pairs - self.faulted_pairs
+    }
+
+    /// Whether the scan stopped because its cell budget ran out.
+    #[must_use]
+    pub fn budget_exhausted(&self) -> bool {
+        self.stop == Some(StopReason::BudgetExhausted)
+    }
+
+    /// Whether every pair completed (the hits are then the exact top-k).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed_pairs == self.total_pairs
+    }
+}
+
+/// The typed partial result of a supervised batch alignment
+/// ([`crate::engine::BatchEngine::align_batch_supervised`]). Same
+/// accounting invariant as [`ScanOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per-pair outcomes in input order: `Some` for completed pairs,
+    /// `None` for pairs that faulted or were never reached.
+    pub outcomes: Vec<Option<EngineOutcome>>,
+    /// Pairs that finished.
+    pub completed_pairs: usize,
+    /// Pairs lost to an unrecovered worker fault.
+    pub faulted_pairs: usize,
+    /// Every fault the supervisor absorbed, recovered or not.
+    pub faults: Vec<Fault>,
+    /// Why the batch stopped early, if it did.
+    pub stop: Option<StopReason>,
+}
+
+impl BatchReport {
+    /// Total pairs submitted.
+    #[must_use]
+    pub fn total_pairs(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Pairs never reached before an early stop.
+    #[must_use]
+    pub fn remaining_pairs(&self) -> usize {
+        self.total_pairs() - self.completed_pairs - self.faulted_pairs
+    }
+
+    /// Whether every pair completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed_pairs == self.total_pairs()
+    }
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub mod failpoint {
+    //! Deterministic fault injection (compiled only under the
+    //! `failpoints` feature; the crate-internal `fp_hit` site hook is an
+    //! empty inline stub
+    //! otherwise, so production builds pay nothing).
+    //!
+    //! The engine compiles named sites into its failure-critical paths:
+    //!
+    //! | site | location | what an injected panic exercises |
+    //! |------|----------|----------------------------------|
+    //! | `packer` | top of the batch planner | degraded all-per-pair plan |
+    //! | `stripe-sweep` | top of a striped work unit | stripe quarantine + per-pair retry |
+    //! | `ratchet` | top-k observation, before the heap lock | lost observation (sound: only loosens the ratchet) |
+    //! | `affine` | top of the affine wavefront kernel | per-pair fallback on the rolling-row kernel |
+    //! | `simd-diag` | top of the wavefront diagonal update | per-pair fallback on the rolling-row kernel |
+    //!
+    //! The registry is process-global: tests that arm sites must
+    //! serialize on [`lock_for_test`] and disarm in every exit path
+    //! (or use [`arm_times`] so the site disarms itself).
+
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::time::Duration;
+
+    /// What an armed failpoint does when execution reaches it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Action {
+        /// Panic with a `failpoint: <site>` payload.
+        Panic,
+        /// Sleep for the given duration (deadline-expiry injection).
+        Sleep(Duration),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Armed {
+        action: Action,
+        left: Option<usize>,
+    }
+
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+    fn registry() -> &'static Mutex<HashMap<&'static str, Armed>> {
+        static REG: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn reg_lock() -> MutexGuard<'static, HashMap<&'static str, Armed>> {
+        // Poison-tolerant: a failpoint panic while holding the lock must
+        // not wedge the registry for the rest of the process.
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arms `site` to run `action` on every hit until disarmed.
+    pub fn arm(site: &'static str, action: Action) {
+        reg_lock().insert(site, Armed { action, left: None });
+        ANY_ARMED.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms `site` for exactly `n` hits, then self-disarms.
+    pub fn arm_times(site: &'static str, action: Action, n: usize) {
+        if n == 0 {
+            return;
+        }
+        reg_lock().insert(
+            site,
+            Armed {
+                action,
+                left: Some(n),
+            },
+        );
+        ANY_ARMED.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms `site` (no-op if it was not armed).
+    pub fn disarm(site: &'static str) {
+        let mut reg = reg_lock();
+        reg.remove(site);
+        if reg.is_empty() {
+            ANY_ARMED.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Disarms every site.
+    pub fn disarm_all() {
+        reg_lock().clear();
+        ANY_ARMED.store(false, Ordering::Relaxed);
+    }
+
+    /// Serializes failpoint tests: the registry is process-global, so
+    /// concurrent tests arming sites would interfere. Hold the guard for
+    /// the whole arm → run → disarm span.
+    pub fn lock_for_test() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Installs (once) a panic hook that silences the default backtrace
+    /// spew for expected `failpoint: …` panics, keeping fault-path test
+    /// output readable. All other panics still print normally.
+    pub fn quiet_failpoint_panics() {
+        static ONCE: OnceLock<()> = OnceLock::new();
+        ONCE.get_or_init(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+                if msg.is_some_and(|m| m.contains("failpoint")) {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    /// The compiled-in site hook. One relaxed atomic load when nothing
+    /// is armed.
+    pub(crate) fn fp_hit(site: &str) {
+        if !ANY_ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let action = {
+            let mut reg = reg_lock();
+            let Some(armed) = reg.get_mut(site) else {
+                return;
+            };
+            let action = armed.action;
+            if let Some(left) = &mut armed.left {
+                *left -= 1;
+                if *left == 0 {
+                    reg.remove(site);
+                    if reg.is_empty() {
+                        ANY_ARMED.store(false, Ordering::Relaxed);
+                    }
+                }
+            }
+            action
+        };
+        match action {
+            Action::Panic => panic!("failpoint: {site}"),
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub(crate) use failpoint::fp_hit;
+
+/// No-op stub compiled when the `failpoints` feature is off.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn fp_hit(_site: &str) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_control_never_stops() {
+        let ctrl = ScanControl::new();
+        assert_eq!(ctrl.should_stop(), None);
+        ctrl.charge(1 << 40);
+        assert_eq!(ctrl.should_stop(), None);
+        let mut cursor = SupCursor::new(Some(&ctrl));
+        for _ in 0..100 {
+            assert!(cursor.tick(17).is_ok());
+        }
+        assert_eq!(ctrl.cells_spent(), (1 << 40) + 1700);
+    }
+
+    #[test]
+    fn cancel_and_budget_stop_immediately() {
+        let ctrl = ScanControl::new();
+        ctrl.cancel();
+        assert_eq!(ctrl.should_stop(), Some(StopReason::Cancelled));
+
+        let ctrl = ScanControl::new().with_cells_budget(10);
+        let mut cursor = SupCursor::new(Some(&ctrl));
+        assert!(cursor.tick(4).is_ok());
+        assert_eq!(cursor.tick(6), Err(StopReason::BudgetExhausted));
+        assert_eq!(ctrl.should_stop(), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_deadline_stops_on_first_tick() {
+        let ctrl = ScanControl::new().with_deadline(Instant::now());
+        let mut cursor = SupCursor::new(Some(&ctrl));
+        assert_eq!(cursor.tick(1), Err(StopReason::DeadlineExpired));
+        assert_eq!(ctrl.should_stop(), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn detached_cursor_is_free_running() {
+        let mut cursor = SupCursor::new(None);
+        for _ in 0..1000 {
+            assert!(cursor.tick(u64::MAX).is_ok());
+        }
+    }
+
+    #[test]
+    fn outcome_accounting_helpers() {
+        let o = ScanOutcome {
+            hits: vec![(3, 7)],
+            completed_pairs: 5,
+            faulted_pairs: 1,
+            total_pairs: 9,
+            abandoned: 2,
+            cells_computed: 123,
+            faults: vec![],
+            stop: Some(StopReason::BudgetExhausted),
+        };
+        assert_eq!(o.remaining_pairs(), 3);
+        assert!(o.budget_exhausted());
+        assert!(!o.is_complete());
+        let r = BatchReport {
+            outcomes: vec![None, Some(EngineOutcome::default())],
+            completed_pairs: 1,
+            faulted_pairs: 0,
+            faults: vec![],
+            stop: Some(StopReason::Cancelled),
+        };
+        assert_eq!(r.total_pairs(), 2);
+        assert_eq!(r.remaining_pairs(), 1);
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn stop_reason_displays() {
+        assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
+        assert!(StopReason::DeadlineExpired.to_string().contains("deadline"));
+        assert!(StopReason::BudgetExhausted.to_string().contains("budget"));
+    }
+}

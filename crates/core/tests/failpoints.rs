@@ -1,0 +1,190 @@
+//! Fault-injection tests (feature `failpoints`): deterministic panics
+//! and delays injected into the engine's failure-critical sites must be
+//! absorbed by the supervisor — quarantined, retried on the per-pair
+//! fallback kernel, and ledgered — without ever changing the final
+//! top-k or the batch outcomes.
+//!
+//! The failpoint registry is process-global, so every test holds
+//! [`failpoint::lock_for_test`] for its whole arm → run → disarm span.
+#![cfg(feature = "failpoints")]
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use race_logic::alignment::RaceWeights;
+use race_logic::early_termination::{scan_packed_topk_supervised, scan_packed_topk_with};
+use race_logic::engine::{AffineWeights, AlignConfig, AlignMode, BatchEngine};
+use race_logic::supervisor::failpoint::{self, Action};
+use race_logic::supervisor::{ScanControl, StopReason};
+use rl_bio::{Dna, PackedSeq, Seq};
+use rl_dag::generate::seeded_rng;
+
+fn db(seed: u64, entries: usize, len: usize) -> (PackedSeq<Dna>, Vec<PackedSeq<Dna>>) {
+    let mut rng = seeded_rng(seed);
+    let query = PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, len));
+    let database = (0..entries)
+        .map(|_| PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, len)))
+        .collect();
+    (query, database)
+}
+
+/// Runs a supervised scan with `site` armed to panic once, and asserts
+/// the scan completes with the baseline's exact hits plus a recovered
+/// fault in the ledger.
+fn assert_recovered_identical(site: &'static str, seed: u64, workers: usize) {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(seed, 24, 64);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+
+    failpoint::arm_times(site, Action::Panic, 1);
+    let ctrl = ScanControl::new();
+    let outcome =
+        scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(workers), &ctrl).unwrap();
+    failpoint::disarm_all();
+
+    assert_eq!(
+        outcome.hits, baseline.hits,
+        "site {site}, workers {workers}"
+    );
+    assert!(
+        outcome.is_complete(),
+        "site {site}: every pair must recover"
+    );
+    assert_eq!(outcome.faulted_pairs, 0);
+    assert!(
+        outcome.faults.iter().any(|f| f.recovered),
+        "site {site}: the injected fault must appear in the ledger: {:?}",
+        outcome.faults
+    );
+    assert!(
+        outcome
+            .faults
+            .iter()
+            .all(|f| f.message.contains("failpoint") || f.site == "scratch-budget"),
+        "unexpected fault messages: {:?}",
+        outcome.faults
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A panic injected into any single stripe sweep never changes the
+    /// final top-k: the stripe is quarantined and its members retried on
+    /// the scalar rolling-row kernel, whose scores are byte-identical.
+    #[test]
+    fn stripe_panic_preserves_topk(seed in 0_u64..10_000) {
+        let _guard = failpoint::lock_for_test();
+        failpoint::quiet_failpoint_panics();
+        for workers in [1, 4] {
+            assert_recovered_identical("stripe-sweep", seed, workers);
+        }
+    }
+}
+
+#[test]
+fn packer_panic_degrades_to_per_pair_plan() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+    assert_recovered_identical("packer", 42, 2);
+}
+
+#[test]
+fn ratchet_panic_loses_only_an_observation() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+    // A lost observation leaves the ratchet looser (fewer abandons) but
+    // can never change which entries win.
+    assert_recovered_identical("ratchet", 7, 2);
+}
+
+#[test]
+fn simd_diag_panic_recovers_on_rolling_row() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+    assert_recovered_identical("simd-diag", 99, 1);
+}
+
+#[test]
+fn affine_panic_falls_back_per_pair() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4())
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }));
+    let mut rng = seeded_rng(5);
+    let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..6)
+        .map(|_| {
+            (
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)),
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)),
+            )
+        })
+        .collect();
+    let mut engine = BatchEngine::new(cfg);
+    let baseline = engine.align_batch(&pairs);
+
+    failpoint::arm_times("affine", Action::Panic, 1);
+    let ctrl = ScanControl::new();
+    let report = engine.align_batch_supervised(&pairs, &ctrl);
+    failpoint::disarm_all();
+
+    assert!(report.is_complete());
+    for (supervised, unsupervised) in report.outcomes.iter().zip(&baseline) {
+        assert_eq!(supervised.as_ref(), Some(unsupervised));
+    }
+    assert!(
+        report
+            .faults
+            .iter()
+            .any(|f| f.site == "per-pair" && f.recovered),
+        "expected a recovered per-pair fault: {:?}",
+        report.faults
+    );
+}
+
+#[test]
+fn sleep_injection_expires_the_deadline() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(3, 24, 64);
+    failpoint::arm("stripe-sweep", Action::Sleep(Duration::from_millis(50)));
+    let ctrl = ScanControl::new().with_deadline_after(Duration::from_millis(10));
+    let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(1), &ctrl).unwrap();
+    failpoint::disarm_all();
+
+    assert_eq!(outcome.stop, Some(StopReason::DeadlineExpired));
+    assert!(
+        outcome.remaining_pairs() > 0,
+        "the delay must cut the scan short"
+    );
+    assert_eq!(
+        outcome.completed_pairs + outcome.faulted_pairs + outcome.remaining_pairs(),
+        outcome.total_pairs,
+        "no pair may be lost or double-counted"
+    );
+    assert_eq!(outcome.faulted_pairs, 0);
+}
+
+#[test]
+fn persistent_stripe_panics_still_complete_the_scan() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    // Arm (not arm_times): EVERY stripe sweep panics; the whole striped
+    // tier degrades to rolling-row retries and the scan still finishes
+    // with the exact top-k.
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(12, 24, 64);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+    failpoint::arm("stripe-sweep", Action::Panic);
+    let ctrl = ScanControl::new();
+    let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(2), &ctrl).unwrap();
+    failpoint::disarm_all();
+
+    assert_eq!(outcome.hits, baseline.hits);
+    assert!(outcome.is_complete());
+    assert!(outcome.faults.iter().all(|f| f.recovered));
+}

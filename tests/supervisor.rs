@@ -1,0 +1,332 @@
+//! Integration tests for the supervised execution layer
+//! (`race_logic::supervisor`): typed validation errors on the scan
+//! surface, eligibility-bound routing, cancellation / deadline / budget
+//! stops with exact pair accounting, and byte-identical supervised
+//! results when nothing goes wrong. The injected-fault paths live in
+//! `crates/core/tests/failpoints.rs` (feature `failpoints`).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use race_logic::alignment::RaceWeights;
+use race_logic::early_termination::{
+    scan_packed_topk_supervised, scan_packed_topk_with, try_scan_database_topk_with,
+    try_scan_packed_topk_with,
+};
+use race_logic::engine::{
+    AlignConfig, AlignEngine, AlignMode, BatchEngine, LaneWidth, LocalScores,
+};
+use race_logic::supervisor::{ScanControl, StopReason};
+use race_logic::AlignError;
+use rl_bio::{Dna, PackedSeq, Seq};
+use rl_dag::generate::seeded_rng;
+
+fn db(seed: u64, entries: usize, len: usize) -> (PackedSeq<Dna>, Vec<PackedSeq<Dna>>) {
+    let mut rng = seeded_rng(seed);
+    let query = PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, len));
+    let database = (0..entries)
+        .map(|_| PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, len)))
+        .collect();
+    (query, database)
+}
+
+fn invalid(result: Result<impl std::fmt::Debug, AlignError>, needle: &str) {
+    match result {
+        Err(AlignError::InvalidConfig { reason }) => {
+            assert!(
+                reason.contains(needle),
+                "reason {reason:?} lacks {needle:?}"
+            );
+        }
+        other => panic!("expected InvalidConfig({needle:?}), got {other:?}"),
+    }
+}
+
+#[test]
+fn scan_validation_rejects_bad_requests() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(1, 4, 16);
+
+    invalid(
+        try_scan_packed_topk_with(&cfg, &q, &database, 0, None),
+        "k >= 1",
+    );
+    invalid(
+        try_scan_packed_topk_with(&cfg, &q, &database, 5, None),
+        "exceeds the database size",
+    );
+
+    let empty = PackedSeq::from_seq(&"".parse::<Seq<Dna>>().unwrap());
+    invalid(
+        try_scan_packed_topk_with(&cfg, &empty, &database, 2, None),
+        "empty query",
+    );
+    let mut holed = database.clone();
+    holed[2] = empty;
+    invalid(
+        try_scan_packed_topk_with(&cfg, &q, &holed, 2, None),
+        "entry 2 is empty",
+    );
+
+    // Degenerate weight scheme: a zero indel weight would let a race
+    // stall forever on a free gap ladder.
+    let mut zero_indel = cfg;
+    zero_indel.weights.indel = 0;
+    invalid(
+        try_scan_packed_topk_with(&zero_indel, &q, &database, 2, None),
+        "indel weight must be positive",
+    );
+
+    // Max-plus local mode has no sound frontier abandon.
+    let local =
+        AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(LocalScores::unit()));
+    invalid(
+        try_scan_packed_topk_with(&local, &q, &database, 2, None),
+        "min-plus",
+    );
+
+    // The unpacked wrapper routes through the same validation.
+    let seqs: Vec<Seq<Dna>> = vec!["ACGT".parse().unwrap()];
+    let query: Seq<Dna> = "ACGT".parse().unwrap();
+    invalid(
+        try_scan_database_topk_with(&cfg, &query, &seqs, 0, None),
+        "k >= 1",
+    );
+
+    // The supervised entry point validates before touching the control.
+    let ctrl = ScanControl::new();
+    invalid(
+        scan_packed_topk_supervised(&cfg, &q, &database, 0, None, &ctrl),
+        "k >= 1",
+    );
+}
+
+#[test]
+fn config_validation_surfaces_typed_errors() {
+    invalid(
+        AlignConfig::try_new(RaceWeights {
+            matched: 1,
+            mismatched: None,
+            indel: 0,
+        }),
+        "indel weight must be positive",
+    );
+
+    let mut local =
+        AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(LocalScores::unit()));
+    local.threshold = Some(5);
+    invalid(local.validate(), "not supported in local");
+
+    let degenerate =
+        AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(LocalScores {
+            matched: 0,
+            mismatched: 1,
+            gap: 1,
+        }));
+    invalid(degenerate.validate(), "match bonus must be positive");
+}
+
+#[test]
+fn eligibility_boundaries_route_to_wider_words() {
+    // Unit weights (max step 1): the u16 ceiling is
+    // (n + m + 2) * 1 < 32767.
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    assert_eq!(cfg.checked_lane_width(16_382, 16_382), Ok(LaneWidth::U16)); // 32766: at bound
+    assert_eq!(cfg.checked_lane_width(16_382, 16_383), Ok(LaneWidth::U32)); // 32767: one past
+
+    // u32 ceiling, driven by weight magnitude: 2 * max_step < 2^31 - 1.
+    let heavy = |indel: u64| {
+        AlignConfig::new(RaceWeights {
+            matched: 1,
+            mismatched: None,
+            indel,
+        })
+    };
+    assert_eq!(
+        heavy(1_073_741_823).checked_lane_width(0, 0),
+        Ok(LaneWidth::U32)
+    );
+    assert_eq!(
+        heavy(1_073_741_824).checked_lane_width(0, 0),
+        Ok(LaneWidth::U64)
+    );
+
+    // u64 ceiling: 3 * max_step must stay strictly below u64::MAX.
+    let third = u64::MAX / 3; // 3 * third == u64::MAX exactly
+    assert_eq!(
+        heavy(third - 1).checked_lane_width(1, 0),
+        Ok(LaneWidth::U64)
+    );
+    assert_eq!(
+        heavy(third).checked_lane_width(1, 0),
+        Err(AlignError::EligibilityOverflow {
+            n: 1,
+            m: 0,
+            max_step: third
+        })
+    );
+}
+
+#[test]
+fn try_scan_matches_unsupervised_scan() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(7, 20, 48);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 5, Some(1));
+    let tried = try_scan_packed_topk_with(&cfg, &q, &database, 5, Some(1)).unwrap();
+    assert_eq!(tried, baseline);
+}
+
+#[test]
+fn unconstrained_supervised_scan_is_byte_identical() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(11, 30, 64);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 4, Some(1));
+    for workers in [Some(1), Some(4), None] {
+        let ctrl = ScanControl::new();
+        let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 4, workers, &ctrl).unwrap();
+        assert_eq!(outcome.hits, baseline.hits, "workers {workers:?}");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.faulted_pairs, 0);
+        assert_eq!(outcome.remaining_pairs(), 0);
+        assert!(outcome.faults.is_empty());
+        assert_eq!(outcome.stop, None);
+        assert!(outcome.cells_computed > 0);
+        assert!(ctrl.cells_spent() > 0);
+    }
+}
+
+#[test]
+fn pre_cancelled_scan_stops_before_any_work() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(13, 24, 64);
+    let ctrl = ScanControl::new();
+    ctrl.cancel();
+    let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(2), &ctrl).unwrap();
+    assert_eq!(outcome.stop, Some(StopReason::Cancelled));
+    assert_eq!(outcome.completed_pairs, 0);
+    assert_eq!(outcome.remaining_pairs(), outcome.total_pairs);
+    assert!(outcome.hits.is_empty());
+}
+
+#[test]
+fn zero_deadline_yields_partial_outcome_not_panic() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(17, 24, 64);
+    let ctrl = ScanControl::new().with_deadline_after(Duration::ZERO);
+    let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(2), &ctrl).unwrap();
+    assert_eq!(outcome.stop, Some(StopReason::DeadlineExpired));
+    assert_eq!(outcome.completed_pairs, 0);
+    assert_eq!(outcome.remaining_pairs(), outcome.total_pairs);
+
+    // The per-pair kernels hit the same wall on their very first
+    // checkpoint: a typed error, never a panic.
+    let mut engine = AlignEngine::new(cfg);
+    let expired = ScanControl::new().with_deadline_after(Duration::ZERO);
+    assert_eq!(
+        engine.align_supervised(&q, &database[0], &expired),
+        Err(AlignError::Interrupted {
+            reason: StopReason::DeadlineExpired
+        })
+    );
+}
+
+#[test]
+fn cells_budget_stops_mid_scan_with_exact_accounting() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(19, 40, 64);
+    let ctrl = ScanControl::new().with_cells_budget(5_000);
+    let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(1), &ctrl).unwrap();
+    assert_eq!(outcome.stop, Some(StopReason::BudgetExhausted));
+    assert!(outcome.budget_exhausted());
+    assert!(
+        outcome.remaining_pairs() > 0,
+        "budget should cut the scan short"
+    );
+    assert!(ctrl.cells_spent() >= 5_000);
+    assert_eq!(
+        outcome.completed_pairs + outcome.faulted_pairs + outcome.remaining_pairs(),
+        outcome.total_pairs
+    );
+}
+
+#[test]
+fn supervised_batch_matches_unsupervised_batch() {
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let mut rng = seeded_rng(23);
+    // Mixed lengths: short pairs run per-pair, long ones stripe.
+    let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..24)
+        .map(|i| {
+            let len = if i % 3 == 0 { 12 } else { 64 };
+            (
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, len)),
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, len)),
+            )
+        })
+        .collect();
+    let mut engine = BatchEngine::new(cfg);
+    let plain = engine.align_batch(&pairs);
+    let ctrl = ScanControl::new();
+    let report = engine.align_batch_supervised(&pairs, &ctrl);
+    assert!(report.is_complete());
+    assert_eq!(report.total_pairs(), pairs.len());
+    assert_eq!(report.remaining_pairs(), 0);
+    assert!(report.faults.is_empty());
+    assert_eq!(report.stop, None);
+    for (supervised, unsupervised) in report.outcomes.iter().zip(&plain) {
+        assert_eq!(supervised.as_ref(), Some(unsupervised));
+    }
+
+    // A cancelled batch reports everything as remaining, typed, no panic.
+    let cancelled = ScanControl::new();
+    cancelled.cancel();
+    let report = engine.align_batch_supervised(&pairs, &cancelled);
+    assert_eq!(report.stop, Some(StopReason::Cancelled));
+    assert_eq!(report.completed_pairs, 0);
+    assert_eq!(report.remaining_pairs(), pairs.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever mixture of deadline and budget cuts a scan short, the
+    /// pair accounting is exact (no pair double-counted or lost), every
+    /// reported hit carries its true score, and a scan that ran to
+    /// completion reproduces the unsupervised top-k bit for bit.
+    #[test]
+    fn interrupted_scans_account_for_every_pair(
+        seed in 0_u64..1_000,
+        budget in 500_u64..40_000,
+        deadline_us in 0_u64..300,
+        constraint in 0_u32..3,
+        workers in 1_usize..3,
+    ) {
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let (q, database) = db(seed, 20, 48);
+        let mut ctrl = ScanControl::new();
+        if constraint != 1 {
+            ctrl = ctrl.with_cells_budget(budget);
+        }
+        if constraint != 0 {
+            ctrl = ctrl.with_deadline_after(Duration::from_micros(deadline_us));
+        }
+        let outcome =
+            scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(workers * 2), &ctrl).unwrap();
+        prop_assert_eq!(outcome.total_pairs, database.len());
+        prop_assert_eq!(outcome.faulted_pairs, 0);
+        prop_assert_eq!(
+            outcome.completed_pairs + outcome.remaining_pairs(),
+            outcome.total_pairs
+        );
+        prop_assert!(outcome.hits.len() <= 3);
+        let mut engine = AlignEngine::new(cfg);
+        for &(idx, score) in &outcome.hits {
+            let truth = engine.align(&q, &database[idx]);
+            prop_assert_eq!(truth.finished_score(), Some(score));
+        }
+        if outcome.stop.is_none() {
+            prop_assert!(outcome.is_complete());
+            let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+            prop_assert_eq!(&outcome.hits, &baseline.hits);
+        }
+    }
+}
