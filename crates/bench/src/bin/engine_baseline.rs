@@ -18,6 +18,10 @@
 //! - `engine_align_batch` — `align_batch`: the inter-pair **striped
 //!   batch kernel** (each SIMD lane a different pair) under the
 //!   length-aware packer, plus rayon across cores.
+//! - `engine_align_batch_u16` — the same batch with the lane floor
+//!   pinned at `u16`: the byte-lane ruler, emitted when the stripe
+//!   width auto-resolves to the biased 32-lane `u8` kernel (the
+//!   short-read rows), recorded as `speedup_u8_vs_u16`.
 //! - `engine_align_batch_exact_bucket` — the same batch under the
 //!   legacy PR 3 exact-bucket planner: the packer ruler (only emitted
 //!   on ragged workloads, where the planners differ).
@@ -267,15 +271,33 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
             })
         };
         let threads = rayon::current_num_threads();
+        let stripe_lanes = cfg.resolve_stripe_lanes(wl.len, wl.len);
         let (t, sum) = time_batch(cfg);
         entries.push(Entry {
             key: "engine_align_batch",
             strategy: "striped-batch (length-aware)".into(),
-            lane_width: cfg.resolve_stripe_lanes(wl.len, wl.len).to_string(),
+            lane_width: stripe_lanes.to_string(),
             threads,
             seconds: t,
             checksum: sum,
         });
+        if stripe_lanes == LaneWidth::U8 {
+            // The byte-lane ruler: the identical batch with the lane
+            // floor pinned at u16, emitted when auto rides the biased
+            // 32-lane u8 stripes. On record so the u8-vs-u16 call is
+            // auditable per row: the three-plane affine sweep is where
+            // byte lanes win outright; the linear sweep runs at parity
+            // (same bytes per diagonal on 128-bit vectors).
+            let (t, sum) = time_batch(cfg.with_lane_floor(LaneWidth::U16));
+            entries.push(Entry {
+                key: "engine_align_batch_u16",
+                strategy: "striped-batch (length-aware)".into(),
+                lane_width: "u16".into(),
+                threads,
+                seconds: t,
+                checksum: sum,
+            });
+        }
         if wl.ragged {
             // The packer ruler: identical batch under the PR 3 planner.
             let (t, sum) = time_batch(cfg.with_packer(PackerPolicy::ExactBucket));
@@ -388,6 +410,11 @@ fn run_workload(wl: Workload, filter: StrategyFilter, occupancy: bool) -> String
     speedup(
         "speedup_batch_vs_wavefront",
         by_key("engine_wavefront"),
+        by_key("engine_align_batch"),
+    );
+    speedup(
+        "speedup_u8_vs_u16",
+        by_key("engine_align_batch_u16"),
         by_key("engine_align_batch"),
     );
     speedup(

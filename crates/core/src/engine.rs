@@ -351,19 +351,29 @@ impl RawWeights {
 }
 
 /// The SIMD lane word a wavefront-family kernel runs in. Narrower words
-/// mean more lanes per vector register — `U16` updates twice the cells
-/// per instruction of `U32`, which updates twice those of `U64` — and
-/// every width is **exact**: a width is only eligible when the
-/// `(n + m + 2) · max_finite_weight` bound proves no finite cell value
-/// can reach that word's `+∞` sentinel (see [`crate::simd::KernelWord`]).
+/// mean more lanes per vector register — `U8` updates twice the cells
+/// per instruction of `U16`, which updates twice those of `U32`, which
+/// updates twice those of `U64` — and every width is **exact**: `U16`
+/// and up are eligible when the `(n + m + 2) · max_finite_weight` bound
+/// proves no finite cell value can reach that word's `+∞` sentinel (see
+/// [`crate::simd::KernelWord`]); `U8`'s 127-value ceiling is too small
+/// for that static bound, so it runs under a **running bias** (a
+/// deterministic per-diagonal subtraction, re-added at readout) and is
+/// eligible when the exact per-diagonal simulation `u8_admits` proves
+/// every value that must stay exact fits the byte at every diagonal.
 ///
-/// The `Ord` instance orders by width (`U16 < U32 < U64`), which is
-/// what [`AlignConfig::with_lane_floor`] clamps against.
+/// The `Ord` instance orders by width (`U8 < U16 < U32 < U64`), which
+/// is what [`AlignConfig::with_lane_floor`] clamps against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum LaneWidth {
+    /// 8-bit biased lanes: short reads (≤ ~100 bp of combined length at
+    /// unit weights) on the striped batch kernel; the per-pair planner
+    /// bumps it to the next eligible width ([`U16_MIN_LEN`] territory —
+    /// a single pair never fills 32 lanes).
+    #[default]
+    U8,
     /// 16-bit lanes: short-read workloads (up to ~16 kbp of combined
     /// length at unit weights).
-    #[default]
     U16,
     /// 32-bit lanes: every realistic biological workload.
     U32,
@@ -376,6 +386,7 @@ impl LaneWidth {
     #[must_use]
     pub fn bits(self) -> u32 {
         match self {
+            LaneWidth::U8 => 8,
             LaneWidth::U16 => 16,
             LaneWidth::U32 => 32,
             LaneWidth::U64 => 64,
@@ -386,6 +397,7 @@ impl LaneWidth {
 impl std::fmt::Display for LaneWidth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            LaneWidth::U8 => write!(f, "u8"),
             LaneWidth::U16 => write!(f, "u16"),
             LaneWidth::U32 => write!(f, "u32"),
             LaneWidth::U64 => write!(f, "u64"),
@@ -445,6 +457,120 @@ fn mode_max_step(mode: AlignMode, w: RawWeights) -> u64 {
     }
 }
 
+/// Diagonals per u8 bias window: the running bias is constant within a
+/// window and rebased (one uniform subtraction from the live frontier
+/// buffers) at each window boundary.
+pub(crate) const BIAS_WINDOW: u64 = 16;
+
+/// The u8 path's per-two-diagonals lower-bound rate `m2`: every cell
+/// value on anti-diagonal `d` is provably `≥ ⌊d · m2 / 2⌋`, because any
+/// path reaching diagonal `d` takes `v` indel steps (cost ≥ `indel`
+/// each, advancing `d` by 1) and `g` diagonal steps (cost ≥
+/// `min(matched, mismatched)` each, advancing `d` by 2) with
+/// `v + 2g = d` — so its cost is at least `d/2 · min(2·indel, dmin)`.
+/// Zero for semi-global (free top-row injections void the bound) and
+/// local (max-plus — no bias); capped at 15 so one window's rebase
+/// delta (`(BIAS_WINDOW / 2) · m2` = `8 · m2` ≤ 120) always fits the
+/// byte. Affine opens only *add* cost, so the same bound holds for
+/// [`AlignMode::GlobalAffine`].
+pub(crate) fn u8_bias_rate(mode: AlignMode, w: RawWeights) -> u64 {
+    match mode {
+        AlignMode::SemiGlobal | AlignMode::Local(_) => 0,
+        AlignMode::Global | AlignMode::GlobalAffine(_) => {
+            let dmin = w.matched.min(w.mismatched);
+            w.indel.saturating_mul(2).min(dmin).min(15)
+        }
+    }
+}
+
+/// The bias in force while anti-diagonal `d` is computed under rate
+/// `m2`: `⌊(BIAS_WINDOW · (⌊d / 16⌋ − 1)) · m2 / 2⌋`, i.e. the
+/// lower bound of the diagonal **one full window back**. Lagging a
+/// window (rather than using the current window's own lower bound)
+/// guarantees the rebase subtraction can never underflow a live value:
+/// at a window boundary `d`, the frontier buffers hold diagonals
+/// `d − 1` and `d − 2`, whose values are `≥ ⌊(d − 2) · m2 / 2⌋ ≥` the
+/// new bias `(d − BIAS_WINDOW)/2 · m2` with `7 · m2` to spare. A pure
+/// function of `d`, so lane retirement re-adds it without any per-lane
+/// bias bookkeeping.
+pub(crate) fn applied_bias(d: usize, m2: u64) -> u64 {
+    let window = (d as u64) / BIAS_WINDOW;
+    (BIAS_WINDOW * window.saturating_sub(1)).saturating_mul(m2) / 2
+}
+
+/// Upper bound on every cell value the u8 sweep must keep exact for an
+/// **unbanded** min-plus race: the cost of the mode's trivial full-gap
+/// path. Every cell on an optimal path carries a value `≤` the optimal
+/// score (weights are non-negative, so path values are monotone), the
+/// optimal score is `≤` this trivial path's cost, and the true frontier
+/// minimum at any diagonal is `≤` the trivial path's prefix there — so
+/// any cell whose value exceeds this bound may clamp to the byte `+∞`
+/// without perturbing the score, the per-lane/coarse abandon decisions,
+/// or the saturated-threshold rule (a frontier whose minimum cell is
+/// exact never reads all-`+∞` while finite paths remain). A band voids
+/// the argument (the trivial path leaves the band), so banded races get
+/// no such ceiling.
+fn unbanded_path_bound(mode: AlignMode, w: RawWeights, n: usize, m: usize) -> u64 {
+    let gaps = ((n + m) as u64).saturating_mul(w.indel);
+    match mode {
+        // Delete all of `q`, insert all of `p`.
+        AlignMode::Global => gaps,
+        // The same path, opening two gaps.
+        AlignMode::GlobalAffine(a) => gaps.saturating_add(a.open.saturating_mul(2)),
+        // Free top row: enter above the sink column, go straight down.
+        AlignMode::SemiGlobal => (n as u64).saturating_mul(w.indel),
+        AlignMode::Local(_) => unreachable!("local mode has its own max-plus bound"),
+    }
+}
+
+/// Exact u8 eligibility: `true` when, at **every** anti-diagonal `d` of
+/// an `n × m` race, each value that must stay exact — anything
+/// `≤ min(threshold, d · max_step)`, further capped by
+/// [`unbanded_path_bound`] when no band is configured — fits strictly
+/// below the byte `+∞` (127) after the running bias
+/// [`applied_bias`]`(d, m2)` is subtracted. Values above the ceiling
+/// may clamp to the byte `+∞`; the sweep's abandon and classification
+/// rules are exact under that clamp (scores above a fused threshold are
+/// reported as abandoned at every width, and clamped cells above the
+/// path bound can never sit on an optimal path or be a frontier
+/// minimum). Monotone in `(n, m)`: growing a cohort's ceiling shape
+/// only adds diagonals to check and loosens the path bound, so the
+/// greedy packer's width re-resolution stays sound.
+///
+/// A threshold of `u64::MAX` (= `NEVER`) is rejected: the byte sweep's
+/// saturated-threshold abandon rule ("all-`+∞` frontier ⇒ above
+/// threshold") needs `threshold < NEVER` to match the `u64` kernel.
+pub(crate) fn u8_admits(
+    n: usize,
+    m: usize,
+    mode: AlignMode,
+    w: RawWeights,
+    threshold: Option<u64>,
+    band: Option<usize>,
+) -> bool {
+    let inf = u64::from(<u8 as KernelWord>::INF);
+    if threshold.is_some_and(|t| t == NEVER) {
+        return false;
+    }
+    if let AlignMode::Local(s) = mode {
+        // Max-plus values only grow by the match bonus and start at
+        // zero — no bias needed or applicable.
+        return fits_word(n, m, s.matched, inf);
+    }
+    let max_step = mode_max_step(mode, w);
+    let m2 = u8_bias_rate(mode, w);
+    let t = threshold.unwrap_or(u64::MAX);
+    let path_bound = if band.is_none() {
+        unbanded_path_bound(mode, w, n, m)
+    } else {
+        u64::MAX
+    };
+    (0..=(n + m)).all(|d| {
+        let ceiling = t.min((d as u64).saturating_mul(max_step)).min(path_bound);
+        ceiling.saturating_sub(applied_bias(d, m2)) < inf
+    })
+}
+
 /// The narrowest exact lane word an `n × m` problem admits under `w`
 /// and `mode`, clamped from below by `floor` — eligibility only, no
 /// profitability heuristics (the striped batch kernel uses this
@@ -456,18 +582,23 @@ fn mode_max_step(mode: AlignMode, w: RawWeights) -> u64 {
 /// the threshold *in the lane word*, so the threshold itself must sit
 /// strictly below the word's `+∞` sentinel — otherwise the clamped
 /// comparison `min > INF` could never fire and a width-dependent sweep
-/// would abandon later than the `u64` semantics require.
+/// would abandon later than the `u64` semantics require. (`u8` runs
+/// biased, so its rule is the per-diagonal [`u8_admits`] simulation
+/// instead of the static bound.)
 pub(crate) fn exact_lane_width(
     n: usize,
     m: usize,
     mode: AlignMode,
     w: RawWeights,
     threshold: Option<u64>,
+    band: Option<usize>,
     floor: LaneWidth,
 ) -> LaneWidth {
     let max_step = mode_max_step(mode, w);
     let admits = |inf: u64| fits_word(n, m, max_step, inf) && threshold.is_none_or(|t| t < inf);
-    if floor <= LaneWidth::U16 && admits(u64::from(<u16 as KernelWord>::INF)) {
+    if floor <= LaneWidth::U8 && u8_admits(n, m, mode, w, threshold, band) {
+        LaneWidth::U8
+    } else if floor <= LaneWidth::U16 && admits(u64::from(<u16 as KernelWord>::INF)) {
         LaneWidth::U16
     } else if floor <= LaneWidth::U32 && admits(u64::from(<u32 as KernelWord>::INF)) {
         LaneWidth::U32
@@ -493,7 +624,7 @@ pub struct AlignConfig {
     /// resolves per pair via [`AlignConfig::resolve_kernel`].
     pub strategy: KernelStrategy,
     /// Narrowest SIMD lane word the wavefront kernels may pick. The
-    /// default ([`LaneWidth::U16`]) means "narrowest exact width";
+    /// default ([`LaneWidth::U8`]) means "narrowest exact width";
     /// raising the floor forces wider lanes — an A/B knob for
     /// benchmarking the lane-width win, never needed for correctness
     /// (every eligible width computes identical scores).
@@ -534,7 +665,7 @@ impl AlignConfig {
             band: None,
             threshold: None,
             strategy: KernelStrategy::Auto,
-            lane_floor: LaneWidth::U16,
+            lane_floor: LaneWidth::U8,
             packer: PackerPolicy::default(),
             mode: AlignMode::Global,
         };
@@ -663,6 +794,7 @@ impl AlignConfig {
             self.mode,
             w,
             self.threshold,
+            self.band,
             self.lane_floor,
         ))
     }
@@ -707,8 +839,25 @@ impl AlignConfig {
             self.mode,
             RawWeights::from_weights(self.weights),
             self.threshold,
+            self.band,
             self.lane_floor,
         );
+        if lanes == LaneWidth::U8 {
+            // The biased byte kernel exists only in the striped batch
+            // layout (a single pair never fills 32 lanes); re-resolve
+            // at the next floor. Falls through the width ladder rather
+            // than assuming u16: a threshold-admitted u8 pair can be
+            // too long for the static u16 bound.
+            lanes = exact_lane_width(
+                n,
+                m,
+                self.mode,
+                RawWeights::from_weights(self.weights),
+                self.threshold,
+                self.band,
+                LaneWidth::U16.max(self.lane_floor),
+            );
+        }
         // A band caps the anti-diagonal span at k + 1 cells, so the
         // per-pair SIMD segments are never longer than that.
         let eff_len = n.min(m).min(self.band.map_or(usize::MAX, |k| k + 1));
@@ -750,6 +899,7 @@ impl AlignConfig {
             self.mode,
             RawWeights::from_weights(self.weights),
             self.threshold,
+            self.band,
             self.lane_floor,
         )
     }
@@ -1877,8 +2027,12 @@ impl AlignEngine {
     ) -> Result<EngineOutcome, StopReason> {
         let w = RawWeights::from_weights(self.cfg.weights);
         let (band, threshold) = (self.cfg.band, self.cfg.threshold);
+        // `LaneWidth::U8` exists only in the striped batch layout;
+        // `resolve_kernel` bumps per-pair plans to a wider word.
+        let unreachable_u8 = || unreachable!("per-pair planner bumps u8 to a wider word");
         match self.cfg.mode {
             AlignMode::Local(s) => match plan.lanes {
+                LaneWidth::U8 => unreachable_u8(),
                 LaneWidth::U16 => {
                     wavefront_local(&self.q_codes, &self.p_rev, s, band, &mut self.diag16, sup)
                 }
@@ -1890,6 +2044,7 @@ impl AlignEngine {
                 }
             },
             AlignMode::GlobalAffine(a) => match plan.lanes {
+                LaneWidth::U8 => unreachable_u8(),
                 LaneWidth::U16 => wavefront_affine(
                     &self.q_codes,
                     &self.p_rev,
@@ -1943,6 +2098,7 @@ impl AlignEngine {
                     }
                 }
                 match plan.lanes {
+                    LaneWidth::U8 => unreachable_u8(),
                     LaneWidth::U16 => run(
                         &self.q_codes,
                         &self.p_rev,
@@ -2579,6 +2735,7 @@ mod tests {
                 AlignMode::Global,
                 RawWeights::from_weights(RaceWeights::fig4()),
                 None,
+                None,
                 LaneWidth::U16
             ),
             LaneWidth::U16,
@@ -2617,10 +2774,63 @@ mod tests {
             LaneWidth::U64,
             "t ≥ u32::INF must exclude u32 lanes"
         );
+        // Stripes take the ungated narrowest width, which for short
+        // small-weight pairs is now u8 — the biased byte kernel stores
+        // min(t, d·max_step) − applied_bias(d) exactly, so even a large
+        // representable threshold keeps 64×64 fig4 inside the byte.
+        assert_eq!(base.resolve_stripe_lanes(64, 64), LaneWidth::U8);
         assert_eq!(
             base.with_threshold(32_767).resolve_stripe_lanes(64, 64),
+            LaneWidth::U8,
+            "the u8 bound clamps the threshold by d·max_step"
+        );
+        assert_eq!(
+            base.with_threshold(u64::MAX).resolve_stripe_lanes(64, 64),
+            LaneWidth::U64,
+            "t ≥ NEVER disables the clamp and excludes every finite word"
+        );
+        assert_eq!(
+            base.with_lane_floor(LaneWidth::U16)
+                .resolve_stripe_lanes(64, 64),
+            LaneWidth::U16,
+            "the lane floor still clamps striped widths from below"
+        );
+        assert_eq!(
+            base.resolve_stripe_lanes(600, 600),
+            LaneWidth::U16,
+            "stripes obey the per-word bound: 600 + 600 exceeds the byte"
+        );
+        assert_eq!(
+            base.with_threshold(32_767).resolve_stripe_lanes(600, 600),
             LaneWidth::U32,
             "stripes obey the threshold bound too"
+        );
+        // The unbanded path-bound ceiling: the trivial delete-all /
+        // insert-all path costs (n + m)·indel (+ 2·open under affine
+        // gaps), no optimal-path cell exceeds it, and everything above
+        // it may clamp to the byte +∞ — so short affine and
+        // short-query semi-global stripes now ride u8 too.
+        let affine = base.with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }));
+        assert_eq!(
+            affine.resolve_stripe_lanes(64, 64),
+            LaneWidth::U8,
+            "affine 64×64 fig4: path bound 132, biased into the byte"
+        );
+        assert_eq!(
+            affine.with_band(4).resolve_stripe_lanes(64, 64),
+            LaneWidth::U16,
+            "a band voids the trivial-path bound (the path leaves it)"
+        );
+        let semi = base.with_mode(AlignMode::SemiGlobal);
+        assert_eq!(
+            semi.resolve_stripe_lanes(100, 600),
+            LaneWidth::U8,
+            "semi-global's bound is query-only: n·indel < 127 suffices"
+        );
+        assert_eq!(
+            semi.resolve_stripe_lanes(600, 600),
+            LaneWidth::U16,
+            "a 600-row query overflows the unbiased byte frontier"
         );
 
         // The lane floor clamps from below (A/B benchmarking knob).

@@ -12,7 +12,7 @@
 //! intrinsics) stays green by construction. If/when `std::simd`
 //! stabilizes, only the bodies of the block helpers below need to change.
 //!
-//! Three kernel word types implement [`KernelWord`]:
+//! Four kernel word types implement [`KernelWord`]:
 //!
 //! - [`u64`] — the engine's native representation: `+∞` is `u64::MAX`
 //!   (the bit pattern of `rl_temporal::Time::NEVER`) and every add
@@ -30,6 +30,16 @@
 //!   read-length workload up to ~16 kbp at unit weights. Like the `u32`
 //!   path it is exact, not an approximation — the eligibility bound
 //!   guarantees no finite cell value ever meets the clamp.
+//! - [`u8`] — the Farrar-style byte representation, `+∞` at
+//!   `u8::MAX / 2 = 127` with saturating adds: 32 pairs per 256-bit op
+//!   in the striped batch layout. The 127-value headroom is far too
+//!   small for raw scores, so the striped kernel runs it under a
+//!   **running bias**: a deterministic per-diagonal amount (a pure
+//!   function of the diagonal index and the weights' lower-bound rate)
+//!   is subtracted from every stored value and re-added at readout.
+//!   Eligibility is the exact per-diagonal simulation in
+//!   `race_logic::engine` (`u8_admits`), which proves every value that
+//!   must stay exact fits below the byte ceiling at every diagonal.
 //!
 //! The only compound operation kernels need is [`diag_update`]: one
 //! anti-diagonal segment of the min-plus alignment recurrence, reading
@@ -201,6 +211,49 @@ impl KernelWord for u16 {
     }
 }
 
+impl KernelWord for u8 {
+    const INF: Self = u8::MAX / 2;
+    const ZERO: Self = 0;
+    const FLAT_LOOP: bool = true;
+
+    #[inline(always)]
+    fn clamp_raw(raw: u64) -> Self {
+        if raw >= u64::from(Self::INF) {
+            Self::INF
+        } else {
+            // Cast is lossless: the value is below u8::MAX / 2.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                raw as u8
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        if self >= Self::INF {
+            u64::MAX
+        } else {
+            u64::from(self)
+        }
+    }
+
+    #[inline(always)]
+    fn add_weight(self, weight: Self) -> Self {
+        // Saturating byte add (`paddusb`-shaped on x86). With both
+        // operands ≤ INF = 127 the sum fits in u8 and saturation never
+        // actually triggers, but the saturating form keeps the
+        // invariant unconditional; the caller clamps results back to
+        // INF before storing them.
+        self.saturating_add(weight)
+    }
+
+    #[inline(always)]
+    fn sub_weight(self, weight: Self) -> Self {
+        self.saturating_sub(weight)
+    }
+}
+
 /// Lane-wise minimum of two blocks.
 #[inline(always)]
 fn min_block<W: KernelWord>(a: Block<W>, b: Block<W>) -> Block<W> {
@@ -351,6 +404,74 @@ pub fn diag_update<W: KernelWord>(
             .min(W::INF);
         out[i] = cell;
         seg_min = seg_min.min(cell);
+    }
+    seg_min
+}
+
+/// [`diag_update`] for the **striped** (lane-interleaved) layout: the
+/// segment is `rows × L` cells with lane `l` of every row at offset
+/// `t ≡ l (mod L)`.
+///
+/// Arithmetic is identical to [`diag_update`]; only the codegen shape
+/// differs, and on the striped layout the shape is the whole game. The
+/// linear striped sweep originally reused [`diag_update`], whose
+/// flat-loop form vectorizes cleanly *standalone* — but inlined into
+/// the (large, fully-flattened) sweep body LLVM's loop vectorizer gave
+/// the u8 copy a much worse lowering, and 32-lane byte stripes ran
+/// ~40% slower than 16-lane u16 stripes on the same workload. Like
+/// [`diag_update_local_lanes`], iterating the row dimension via
+/// `chunks_exact(L)` with a branch-free inner lane loop over exactly
+/// `L`-sized chunks survives inlining at every width: the bound checks
+/// drop and the inner loop vectorizes whole. The per-lane running
+/// minima accumulate into a fixed-`L` block with a single horizontal
+/// reduction at the end, fusing the frontier-minimum pass the fused
+/// early termination needs.
+#[inline]
+pub fn diag_update_lanes<W: KernelWord, const L: usize>(
+    up: &[W],
+    left: &[W],
+    diag: &[W],
+    q: &[u8],
+    p: &[u8],
+    w: LaneWeights<W>,
+    out: &mut [W],
+) -> W {
+    crate::supervisor::fp_hit("simd-diag");
+    let LaneWeights {
+        matched,
+        mismatched,
+        indel,
+    } = w;
+    let len = out.len();
+    debug_assert_eq!(len % L, 0);
+    debug_assert_eq!(up.len(), len);
+    debug_assert_eq!(left.len(), len);
+    debug_assert_eq!(diag.len(), len);
+    debug_assert_eq!(q.len(), len);
+    debug_assert_eq!(p.len(), len);
+
+    let mut acc = [W::INF; L];
+    for ((((o, u), lf), dg), (qq, pp)) in out
+        .chunks_exact_mut(L)
+        .zip(up.chunks_exact(L))
+        .zip(left.chunks_exact(L))
+        .zip(diag.chunks_exact(L))
+        .zip(q.chunks_exact(L).zip(p.chunks_exact(L)))
+    {
+        for l in 0..L {
+            let dw = if qq[l] == pp[l] { matched } else { mismatched };
+            let cell = u[l]
+                .add_weight(indel)
+                .min(lf[l].add_weight(indel))
+                .min(dg[l].add_weight(dw))
+                .min(W::INF);
+            o[l] = cell;
+            acc[l] = acc[l].min(cell);
+        }
+    }
+    let mut seg_min = W::INF;
+    for &x in &acc {
+        seg_min = seg_min.min(x);
     }
     seg_min
 }
@@ -580,6 +701,108 @@ pub fn affine_diag_update<W: KernelWord>(
         x_out[i] = x;
         y_out[i] = y;
         seg_min = seg_min.min(m).min(x).min(y);
+    }
+    seg_min
+}
+
+/// [`affine_diag_update`] for the **striped** (lane-interleaved) layout:
+/// the segment is `rows × L` cells per plane with lane `l` of every row
+/// at offset `t ≡ l (mod L)`. Identical recurrence, identical clamp
+/// discipline; returns the minimum written across all three planes (the
+/// stripe's coarse frontier minimum).
+///
+/// Codegen shape: the row dimension advances in exact `L`-sized array
+/// chunks (`try_into` per row, like [`diag_update`]'s block form) so the
+/// branch-free inner lane loop carries no bounds checks and the loop
+/// vectorizer lowers it whole — the same lesson as
+/// [`diag_update_local_lanes`], where the indexed form stayed scalar and
+/// ran ~9× slower.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn affine_diag_update_lanes<W: KernelWord, const L: usize>(
+    m1_up: &[W],
+    x1_up: &[W],
+    y1_up: &[W],
+    m1_left: &[W],
+    x1_left: &[W],
+    y1_left: &[W],
+    m2: &[W],
+    x2: &[W],
+    y2: &[W],
+    q: &[u8],
+    p: &[u8],
+    w: AffineLaneWeights<W>,
+    m_out: &mut [W],
+    x_out: &mut [W],
+    y_out: &mut [W],
+) -> W {
+    let len = m_out.len();
+    debug_assert_eq!(len % L, 0);
+    debug_assert!(
+        [
+            m1_up.len(),
+            x1_up.len(),
+            y1_up.len(),
+            m1_left.len(),
+            x1_left.len(),
+            y1_left.len(),
+            m2.len(),
+            x2.len(),
+            y2.len(),
+            q.len(),
+            p.len(),
+            x_out.len(),
+            y_out.len(),
+        ]
+        .iter()
+        .all(|&l| l == len),
+        "striped affine segment slices must agree"
+    );
+    let open_ext = w.open.add_weight(w.indel).min(W::INF);
+    let mut acc = [W::INF; L];
+    let rows = len / L;
+    for r in 0..rows {
+        let b = r * L;
+        let mu: &[W; L] = m1_up[b..b + L].try_into().expect("lane block");
+        let xu: &[W; L] = x1_up[b..b + L].try_into().expect("lane block");
+        let yu: &[W; L] = y1_up[b..b + L].try_into().expect("lane block");
+        let ml: &[W; L] = m1_left[b..b + L].try_into().expect("lane block");
+        let xl: &[W; L] = x1_left[b..b + L].try_into().expect("lane block");
+        let yl: &[W; L] = y1_left[b..b + L].try_into().expect("lane block");
+        let md: &[W; L] = m2[b..b + L].try_into().expect("lane block");
+        let xd: &[W; L] = x2[b..b + L].try_into().expect("lane block");
+        let yd: &[W; L] = y2[b..b + L].try_into().expect("lane block");
+        let qq: &[u8; L] = q[b..b + L].try_into().expect("lane block");
+        let pp: &[u8; L] = p[b..b + L].try_into().expect("lane block");
+        let mo: &mut [W; L] = (&mut m_out[b..b + L]).try_into().expect("lane block");
+        let xo: &mut [W; L] = (&mut x_out[b..b + L]).try_into().expect("lane block");
+        let yo: &mut [W; L] = (&mut y_out[b..b + L]).try_into().expect("lane block");
+        for l in 0..L {
+            let dw = if qq[l] == pp[l] {
+                w.matched
+            } else {
+                w.mismatched
+            };
+            let m = md[l].min(xd[l]).min(yd[l]).add_weight(dw).min(W::INF);
+            let x = mu[l]
+                .min(yu[l])
+                .add_weight(open_ext)
+                .min(xu[l].add_weight(w.indel))
+                .min(W::INF);
+            let y = ml[l]
+                .min(xl[l])
+                .add_weight(open_ext)
+                .min(yl[l].add_weight(w.indel))
+                .min(W::INF);
+            mo[l] = m;
+            xo[l] = x;
+            yo[l] = y;
+            acc[l] = acc[l].min(m).min(x).min(y);
+        }
+    }
+    let mut seg_min = W::INF;
+    for &x in &acc {
+        seg_min = seg_min.min(x);
     }
     seg_min
 }
@@ -865,5 +1088,133 @@ mod tests {
         let raised: Vec<u64> = out32.iter().map(|&x| x.to_raw()).collect();
         assert_eq!(raised, out64);
         assert_eq!(m32.to_raw(), m64.to_raw());
+    }
+
+    #[test]
+    fn u8_roundtrip_clamp_and_absorption() {
+        assert_eq!(<u8 as KernelWord>::INF, 127);
+        assert_eq!(u8::clamp_raw(0), 0);
+        assert_eq!(u8::clamp_raw(41), 41);
+        assert_eq!(u8::clamp_raw(u64::MAX), <u8 as KernelWord>::INF);
+        assert_eq!(u8::clamp_raw(127), <u8 as KernelWord>::INF);
+        assert_eq!(u8::clamp_raw(126), 126);
+        assert_eq!(<u8 as KernelWord>::INF.to_raw(), u64::MAX);
+        assert_eq!(77_u8.to_raw(), 77);
+        // INF + INF saturates (no wrap) and min(·, INF) restores the
+        // invariant — the byte path's whole safety argument.
+        let x = <u8 as KernelWord>::INF.add_weight(<u8 as KernelWord>::INF);
+        assert!(x >= <u8 as KernelWord>::INF);
+        assert_eq!(x.min(<u8 as KernelWord>::INF), <u8 as KernelWord>::INF);
+    }
+
+    #[test]
+    fn diag_update_u8_matches_u64_in_domain() {
+        // Values kept far below 127 so the byte path needs no bias:
+        // in-domain the two representations must agree cell for cell.
+        let len = 2 * LANES + 3;
+        let up: Vec<u64> = (0..len).map(|i| i as u64).collect();
+        let left: Vec<u64> = (0..len).map(|i| (i as u64 * 2) % 31).collect();
+        let diag: Vec<u64> = (0..len).map(|i| (i as u64 * 5) % 29).collect();
+        let q: Vec<u8> = (0..len).map(|i| (i % 4) as u8).collect();
+        let p: Vec<u8> = (0..len).map(|i| ((i * 3) % 4) as u8).collect();
+
+        let w64 = LaneWeights {
+            matched: 1_u64,
+            mismatched: 2,
+            indel: 1,
+        };
+        let mut out64 = vec![0_u64; len];
+        let m64 = diag_update(&up, &left, &diag, &q, &p, w64, &mut out64);
+
+        let up8: Vec<u8> = up.iter().map(|&x| u8::clamp_raw(x)).collect();
+        let left8: Vec<u8> = left.iter().map(|&x| u8::clamp_raw(x)).collect();
+        let diag8: Vec<u8> = diag.iter().map(|&x| u8::clamp_raw(x)).collect();
+        let w8 = LaneWeights {
+            matched: 1_u8,
+            mismatched: 2,
+            indel: 1,
+        };
+        let mut out8 = vec![0_u8; len];
+        let m8 = diag_update(&up8, &left8, &diag8, &q, &p, w8, &mut out8);
+
+        let raised: Vec<u64> = out8.iter().map(|&x| x.to_raw()).collect();
+        assert_eq!(raised, out64);
+        assert_eq!(m8.to_raw(), m64.to_raw());
+    }
+
+    #[test]
+    fn affine_diag_update_lanes_matches_unstriped() {
+        // The striped form over rows × L cells must agree with the
+        // per-row unstriped kernel on every plane and on the seg min.
+        const L: usize = 4;
+        let rows = 5;
+        let len = rows * L;
+        let gen = |k: u64, m: u64| -> Vec<u64> {
+            (0..len)
+                .map(|i| {
+                    if i % 6 == 4 {
+                        <u64 as KernelWord>::INF
+                    } else {
+                        (i as u64 * k) % m
+                    }
+                })
+                .collect()
+        };
+        let (m1u, x1u, y1u) = (gen(7, 23), gen(5, 19), gen(3, 29));
+        let (m1l, x1l, y1l) = (gen(11, 31), gen(13, 17), gen(2, 13));
+        let (m2, x2, y2) = (gen(9, 27), gen(4, 21), gen(6, 25));
+        let q: Vec<u8> = (0..len).map(|i| (i % 4) as u8).collect();
+        let p: Vec<u8> = (0..len).map(|i| ((i * 3) % 4) as u8).collect();
+        let w = AffineLaneWeights {
+            matched: 1_u64,
+            mismatched: 2,
+            indel: 1,
+            open: 3,
+        };
+
+        let (mut mo, mut xo, mut yo) = (vec![0_u64; len], vec![0_u64; len], vec![0_u64; len]);
+        let got_min = affine_diag_update_lanes::<u64, L>(
+            &m1u, &x1u, &y1u, &m1l, &x1l, &y1l, &m2, &x2, &y2, &q, &p, w, &mut mo, &mut xo, &mut yo,
+        );
+
+        let (mut mw, mut xw, mut yw) = (vec![0_u64; len], vec![0_u64; len], vec![0_u64; len]);
+        let want_min = affine_diag_update(
+            &m1u, &x1u, &y1u, &m1l, &x1l, &y1l, &m2, &x2, &y2, &q, &p, w, &mut mw, &mut xw, &mut yw,
+        );
+        assert_eq!(mo, mw);
+        assert_eq!(xo, xw);
+        assert_eq!(yo, yw);
+        assert_eq!(got_min, want_min);
+
+        // Same agreement in the u16 representation.
+        let to16 = |v: &[u64]| -> Vec<u16> { v.iter().map(|&x| u16::clamp_raw(x)).collect() };
+        let w16 = AffineLaneWeights {
+            matched: 1_u16,
+            mismatched: 2,
+            indel: 1,
+            open: 3,
+        };
+        let (mut mo16, mut xo16, mut yo16) = (vec![0_u16; len], vec![0_u16; len], vec![0_u16; len]);
+        let min16 = affine_diag_update_lanes::<u16, L>(
+            &to16(&m1u),
+            &to16(&x1u),
+            &to16(&y1u),
+            &to16(&m1l),
+            &to16(&x1l),
+            &to16(&y1l),
+            &to16(&m2),
+            &to16(&x2),
+            &to16(&y2),
+            &q,
+            &p,
+            w16,
+            &mut mo16,
+            &mut xo16,
+            &mut yo16,
+        );
+        assert_eq!(mo16.iter().map(|&x| x.to_raw()).collect::<Vec<_>>(), mw);
+        assert_eq!(xo16.iter().map(|&x| x.to_raw()).collect::<Vec<_>>(), xw);
+        assert_eq!(yo16.iter().map(|&x| x.to_raw()).collect::<Vec<_>>(), yw);
+        assert_eq!(min16.to_raw(), want_min.to_raw());
     }
 }

@@ -53,9 +53,10 @@ use rl_bio::{alphabet::Symbol, PackedSeq, StripedCodes};
 use rl_temporal::Time;
 
 use crate::engine::{
-    classify_outcome, diag_range, raw_to_time, rotate_bufs, AlignConfig, AlignEngine, AlignMode,
-    BatchPlanStats, EngineOutcome, KernelStrategy, LaneWidth, LocalScores, PackerPolicy,
-    RawWeights, COHORT_LEN_BUCKET, NEVER, STRIPE_MIN_PAIRS, STRIPE_PAD_BUDGET_PCT,
+    applied_bias, classify_outcome, diag_range, raw_to_time, rotate_bufs, u8_bias_rate,
+    AlignConfig, AlignEngine, AlignMode, BatchPlanStats, EngineOutcome, KernelStrategy, LaneWidth,
+    LocalScores, PackerPolicy, RawWeights, COHORT_LEN_BUCKET, NEVER, STRIPE_MIN_PAIRS,
+    STRIPE_PAD_BUDGET_PCT,
 };
 use crate::simd::{self, KernelWord, LaneWeights};
 use crate::supervisor::{fp_hit, panic_message, BatchReport, Fault, ScanControl, StopReason};
@@ -68,10 +69,11 @@ const Q_PAD: u8 = 0xFE;
 const P_PAD: u8 = 0xFF;
 
 /// Lanes per stripe at each kernel word width: one stripe fills vector
-/// registers at every width (16 × u16 = 8 × u32 = 256 bits), so the
-/// narrower the word, the more pairs ride one sweep.
+/// registers at every width (32 × u8 = 16 × u16 = 8 × u32 = 256 bits),
+/// so the narrower the word, the more pairs ride one sweep.
 const fn stripe_lanes(width: LaneWidth) -> usize {
     match width {
+        LaneWidth::U8 => 32,
         LaneWidth::U16 => 16,
         LaneWidth::U32 | LaneWidth::U64 => 8,
     }
@@ -85,11 +87,19 @@ const fn stripe_lanes(width: LaneWidth) -> usize {
 /// body stays full-width on the x86-64-v2 floor.
 pub(crate) const HALF_STRIPE_LANES: usize = 8;
 
+/// Lane count of the half-width `u8` stripe monomorphization — the same
+/// tail-occupancy trick one rung down: a `u8` stripe with at most 16
+/// members sweeps 16 lanes (a full 128-bit register) instead of 32.
+pub(crate) const HALF_U8_STRIPE_LANES: usize = 16;
+
 /// The lane count a stripe of `members` pairs actually sweeps at
-/// `width` — [`stripe_lanes`], halved for under-filled `u16` stripes.
+/// `width` — [`stripe_lanes`], halved for under-filled `u8`/`u16`
+/// stripes.
 pub(crate) const fn effective_stripe_lanes(width: LaneWidth, members: usize) -> usize {
     if matches!(width, LaneWidth::U16) && members <= HALF_STRIPE_LANES {
         HALF_STRIPE_LANES
+    } else if matches!(width, LaneWidth::U8) && members <= HALF_U8_STRIPE_LANES {
+        HALF_U8_STRIPE_LANES
     } else {
         stripe_lanes(width)
     }
@@ -635,7 +645,12 @@ fn run_striped_unit<S: Symbol>(
             mm = mm.max(p.len());
         }
         let lanes = effective_stripe_lanes(unit.width, unit.members.len());
-        let need = stripe_scratch_bytes(nn, mm, lanes, unit.width);
+        let planes = if matches!(cfg.mode, AlignMode::GlobalAffine(_)) {
+            3
+        } else {
+            1
+        };
+        let need = stripe_scratch_bytes(nn, mm, lanes, unit.width, planes);
         if need > budget {
             ledger.note_fault(Fault {
                 site: "scratch-budget".into(),
@@ -871,16 +886,24 @@ fn observe_guarded(r: &Ratchet, score: u64, index: usize, ledger: &ExecLedger) {
 
 /// Estimated bytes of striped-sweep scratch a `(nn, mm)` union shape
 /// claims at `lanes` lanes of `width`-word diagonals: three rotating
-/// diagonal buffers of `(nn + 1) · lanes` words plus the two
+/// diagonal buffers of `(nn + 1) · lanes` words per plane (`planes` is
+/// 1 for the linear modes, 3 for affine's M/Ix/Iy) plus the two
 /// interleaved `u8` code planes. A gating estimate for
 /// [`ScanControl::with_scratch_budget`], not an allocator contract.
-fn stripe_scratch_bytes(nn: usize, mm: usize, lanes: usize, width: LaneWidth) -> usize {
+fn stripe_scratch_bytes(
+    nn: usize,
+    mm: usize,
+    lanes: usize,
+    width: LaneWidth,
+    planes: usize,
+) -> usize {
     let word = match width {
+        LaneWidth::U8 => 1,
         LaneWidth::U16 => 2,
         LaneWidth::U32 => 4,
         LaneWidth::U64 => 8,
     };
-    3 * (nn + 1) * lanes * word + (nn + mm) * lanes
+    3 * planes * (nn + 1) * lanes * word + (nn + mm) * lanes
 }
 
 /// Groups the batch into work units under the configured
@@ -894,14 +917,9 @@ fn plan_units<S: Symbol>(
     fp_hit("packer");
     let mut eligible: Vec<(usize, usize, usize)> = Vec::new();
     let mut singles: Vec<usize> = Vec::new();
-    // The striped sweep covers the single-plane modes; affine's three
-    // planes run per pair (tripling the stripe's buffer traffic would
-    // need its own tuning — an open item, not a silent fallback:
-    // `docs/KERNELS.md` documents the boundary).
-    let stripeable = !matches!(cfg.mode, AlignMode::GlobalAffine(_));
     for (i, (q, p)) in pairs.iter().enumerate() {
         let plan = cfg.resolve_kernel(q.len(), p.len());
-        if stripeable && plan.strategy == KernelStrategy::Wavefront {
+        if plan.strategy == KernelStrategy::Wavefront {
             eligible.push((q.len(), p.len(), i));
         } else {
             singles.push(i);
@@ -1121,9 +1139,24 @@ struct StripeScratch {
     /// across calls).
     q_key: Option<(usize, usize, usize)>,
     shapes: Vec<(usize, usize)>,
+    b8: [Vec<u8>; 3],
     b16: [Vec<u16>; 3],
     b32: [Vec<u32>; 3],
     b64: [Vec<u64>; 3],
+    a8: AffinePlanes<u8>,
+    a16: AffinePlanes<u16>,
+    a32: AffinePlanes<u32>,
+    a64: AffinePlanes<u64>,
+}
+
+/// The striped affine sweep's nine rotating diagonal buffers: three
+/// rotations for each of the M / Ix / Iy planes, lane-interleaved like
+/// the linear sweep's buffers.
+#[derive(Default)]
+struct AffinePlanes<W> {
+    m: [Vec<W>; 3],
+    x: [Vec<W>; 3],
+    y: [Vec<W>; 3],
 }
 
 impl StripeScratch {
@@ -1133,9 +1166,14 @@ impl StripeScratch {
             p_plane: StripedCodes::new(),
             q_key: None,
             shapes: Vec::new(),
+            b8: Default::default(),
             b16: Default::default(),
             b32: Default::default(),
             b64: Default::default(),
+            a8: AffinePlanes::default(),
+            a16: AffinePlanes::default(),
+            a32: AffinePlanes::default(),
+            a64: AffinePlanes::default(),
         }
     }
 }
@@ -1186,8 +1224,37 @@ fn run_stripe<S: Symbol>(
         .pack_lanes_reversed(members.iter().map(|&i| pairs[i].1), lanes, mm, P_PAD);
     let w = RawWeights::from_weights(cfg.weights);
     let semi = cfg.mode == AlignMode::SemiGlobal;
+    // The u8 sweep runs biased (see `engine::u8_bias_rate`); wider words
+    // store raw values and the bias machinery compiles out at rate 0.
+    let bias_m2 = if width == LaneWidth::U8 {
+        u8_bias_rate(cfg.mode, w)
+    } else {
+        0
+    };
     if let AlignMode::Local(s) = cfg.mode {
         match (width, lanes) {
+            (LaneWidth::U8, HALF_U8_STRIPE_LANES) => {
+                stripe_sweep_local::<u8, HALF_U8_STRIPE_LANES>(
+                    &scratch.shapes,
+                    scratch.q_plane.as_slice(),
+                    scratch.p_plane.as_slice(),
+                    (nn, mm),
+                    s,
+                    cfg.band,
+                    &mut scratch.b8,
+                    results,
+                );
+            }
+            (LaneWidth::U8, _) => stripe_sweep_local::<u8, 32>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                s,
+                cfg.band,
+                &mut scratch.b8,
+                results,
+            ),
             (LaneWidth::U16, HALF_STRIPE_LANES) => stripe_sweep_local::<u16, HALF_STRIPE_LANES>(
                 &scratch.shapes,
                 scratch.q_plane.as_slice(),
@@ -1231,7 +1298,118 @@ fn run_stripe<S: Symbol>(
         }
         return;
     }
+    if let AlignMode::GlobalAffine(a) = cfg.mode {
+        match (width, lanes) {
+            (LaneWidth::U8, HALF_U8_STRIPE_LANES) => {
+                stripe_sweep_affine::<u8, HALF_U8_STRIPE_LANES>(
+                    &scratch.shapes,
+                    scratch.q_plane.as_slice(),
+                    scratch.p_plane.as_slice(),
+                    (nn, mm),
+                    w,
+                    a.open,
+                    cfg.band,
+                    threshold,
+                    bias_m2,
+                    &mut scratch.a8,
+                    results,
+                );
+            }
+            (LaneWidth::U8, _) => stripe_sweep_affine::<u8, 32>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                w,
+                a.open,
+                cfg.band,
+                threshold,
+                bias_m2,
+                &mut scratch.a8,
+                results,
+            ),
+            (LaneWidth::U16, HALF_STRIPE_LANES) => stripe_sweep_affine::<u16, HALF_STRIPE_LANES>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                w,
+                a.open,
+                cfg.band,
+                threshold,
+                0,
+                &mut scratch.a16,
+                results,
+            ),
+            (LaneWidth::U16, _) => stripe_sweep_affine::<u16, 16>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                w,
+                a.open,
+                cfg.band,
+                threshold,
+                0,
+                &mut scratch.a16,
+                results,
+            ),
+            (LaneWidth::U32, _) => stripe_sweep_affine::<u32, 8>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                w,
+                a.open,
+                cfg.band,
+                threshold,
+                0,
+                &mut scratch.a32,
+                results,
+            ),
+            (LaneWidth::U64, _) => stripe_sweep_affine::<u64, 8>(
+                &scratch.shapes,
+                scratch.q_plane.as_slice(),
+                scratch.p_plane.as_slice(),
+                (nn, mm),
+                w,
+                a.open,
+                cfg.band,
+                threshold,
+                0,
+                &mut scratch.a64,
+                results,
+            ),
+        }
+        return;
+    }
     match (width, lanes) {
+        (LaneWidth::U8, HALF_U8_STRIPE_LANES) => stripe_sweep::<u8, HALF_U8_STRIPE_LANES>(
+            &scratch.shapes,
+            scratch.q_plane.as_slice(),
+            scratch.p_plane.as_slice(),
+            (nn, mm),
+            w,
+            cfg.band,
+            threshold,
+            semi,
+            bias_m2,
+            &mut scratch.b8,
+            results,
+        ),
+        (LaneWidth::U8, _) => stripe_sweep::<u8, 32>(
+            &scratch.shapes,
+            scratch.q_plane.as_slice(),
+            scratch.p_plane.as_slice(),
+            (nn, mm),
+            w,
+            cfg.band,
+            threshold,
+            semi,
+            bias_m2,
+            &mut scratch.b8,
+            results,
+        ),
         (LaneWidth::U16, HALF_STRIPE_LANES) => stripe_sweep::<u16, HALF_STRIPE_LANES>(
             &scratch.shapes,
             scratch.q_plane.as_slice(),
@@ -1241,6 +1419,7 @@ fn run_stripe<S: Symbol>(
             cfg.band,
             threshold,
             semi,
+            0,
             &mut scratch.b16,
             results,
         ),
@@ -1253,6 +1432,7 @@ fn run_stripe<S: Symbol>(
             cfg.band,
             threshold,
             semi,
+            0,
             &mut scratch.b16,
             results,
         ),
@@ -1265,6 +1445,7 @@ fn run_stripe<S: Symbol>(
             cfg.band,
             threshold,
             semi,
+            0,
             &mut scratch.b32,
             results,
         ),
@@ -1277,6 +1458,7 @@ fn run_stripe<S: Symbol>(
             cfg.band,
             threshold,
             semi,
+            0,
             &mut scratch.b64,
             results,
         ),
@@ -1333,18 +1515,29 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
     band: Option<usize>,
     threshold: StripeThreshold,
     semi: bool,
+    bias_m2: u64,
     bufs: &mut [Vec<W>; 3],
     out: &mut [EngineOutcome],
 ) {
     let lanes = shapes.len();
     assert!(lanes <= L && lanes == out.len());
+    debug_assert!(
+        bias_m2 == 0 || !semi,
+        "the bias rate is zero for semi-global"
+    );
     let lw: LaneWeights<W> = w.lanes();
     let t_raw = threshold.classify_raw();
-    let t_w = match threshold {
+    // `u8` is the only biased monomorphization, and the only one whose
+    // plan can admit a threshold at/above the lane word's `+∞`
+    // (`engine::u8_admits` proves the saturated-threshold abandon rule
+    // exact there — see the abandon check below).
+    let byte = std::mem::size_of::<W>() == 1;
+    let mut bias = 0_u64;
+    let mut t_w = match threshold {
         StripeThreshold::Exact(t) => Some(W::clamp_raw(t)),
         _ => None,
     };
-    let t_c = match threshold {
+    let mut t_c = match threshold {
         StripeThreshold::Coarse(t) => Some(W::clamp_raw(t)),
         _ => None,
     };
@@ -1392,16 +1585,65 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
         if live == 0 {
             break; // every lane retired — nothing left to sweep
         }
+        // u8 bias rebase at a window boundary: subtract the constant
+        // window delta from every stored value so the live range stays
+        // inside the byte. `+∞` is preserved (a clamped or NEVER cell
+        // must keep reading as `+∞`), and live in-band values cannot
+        // underflow (they carry ≥ 15·m2 of slack at a boundary — see
+        // [`crate::engine::applied_bias`]). The registers and
+        // thresholds shift here, before the abandon checks read them;
+        // the frontier buffers shift after rotation (see `rebase_buf`),
+        // so only the two readable diagonals pay the pass.
+        let mut rebase_delta: Option<W> = None;
+        if bias_m2 > 0 {
+            let new_bias = applied_bias(d, bias_m2);
+            if new_bias != bias {
+                let delta = W::clamp_raw(new_bias - bias);
+                rebase_delta = Some(delta);
+                for l in 0..L {
+                    if min1[l] != W::INF {
+                        min1[l] = min1[l].sub_weight(delta);
+                    }
+                    if min2[l] != W::INF {
+                        min2[l] = min2[l].sub_weight(delta);
+                    }
+                }
+                if gmin1 != W::INF {
+                    gmin1 = gmin1.sub_weight(delta);
+                }
+                if gmin2 != W::INF {
+                    gmin2 = gmin2.sub_weight(delta);
+                }
+                bias = new_bias;
+                if let StripeThreshold::Exact(t) = threshold {
+                    t_w = Some(W::clamp_raw(t.saturating_sub(bias)));
+                }
+                if let StripeThreshold::Coarse(t) = threshold {
+                    t_c = Some(W::clamp_raw(t.saturating_sub(bias)));
+                }
+            }
+        }
         // Per-lane abandon check, before computing diagonal d (the
         // per-pair kernel's order). Semi-global folds the lane's best
-        // bottom-row value in, exactly like the per-pair kernel.
+        // bottom-row value in, exactly like the per-pair kernel. When
+        // the (bias-adjusted) threshold saturates the lane word, the
+        // byte kernel abandons on an all-`+∞` frontier: `u8_admits`
+        // guarantees every value `≤ min(threshold, d·max_step)` is
+        // stored exactly then, so an all-`+∞` lane frontier proves the
+        // lane's true frontier minimum exceeds the threshold — the
+        // same diagonal the per-pair `u64` kernel abandons at.
         if let Some(t) = t_w {
             for l in 0..lanes {
                 let mut floor = min1[l].min(min2[l]);
                 if semi {
                     floor = floor.min(best[l]);
                 }
-                if !done[l] && floor > t {
+                let abandon = if t < W::INF {
+                    floor > t
+                } else {
+                    byte && floor >= W::INF
+                };
+                if !done[l] && abandon {
                     out[l] = EngineOutcome {
                         score: Time::NEVER,
                         cells_computed: cells[l],
@@ -1445,6 +1687,10 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             }
         }
         let (cur, d1, d2) = rotate_bufs(bufs, d);
+        if let Some(delta) = rebase_delta {
+            rebase_buf(d1, delta);
+            rebase_buf(d2, delta);
+        }
         let (lo, hi) = diag_range(d, nn, mm, band);
         if lo > hi {
             // Band-empty union diagonal (empty for every lane, since
@@ -1483,7 +1729,7 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
             cur[(hi + 1) * L..(hi + 2) * L].fill(W::INF);
         }
 
-        let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel));
+        let boundary = W::clamp_raw((d as u64).saturating_mul(w.indel).saturating_sub(bias));
         let top_boundary = if semi { W::ZERO } else { boundary };
         if lo == 0 {
             cur[..L].fill(top_boundary); // cell (0, d) — real where d ≤ m_l
@@ -1496,14 +1742,15 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
         // `t = i·L + l` — every operand of cell `t` sits at a fixed
         // offset (`up`/`diag`/`q` at `t − L`, `left` at `t`, `p` at
         // `t + (mm − d)·L`), so the interior is literally one
-        // [`crate::simd::diag_update`] call over `(ihi − ilo + 1)·L`
-        // lanes, with no per-row temporaries and no tails.
+        // [`crate::simd::diag_update_lanes`] call over
+        // `(ihi − ilo + 1)·L` lanes, with no per-row temporaries and no
+        // tails.
         let ilo = lo.max(1);
         let ihi = hi.min(d - 1);
         let mut interior_min = W::INF;
         if ilo <= ihi {
             let (a, b) = (ilo * L, (ihi + 1) * L);
-            interior_min = simd::diag_update(
+            interior_min = simd::diag_update_lanes::<W, L>(
                 &d1[a - L..b - L],                                    // up: (i − 1, j)
                 &d1[a..b],                                            // left: (i, j − 1)
                 &d2[a - L..b - L],                                    // diag: (i − 1, j − 1)
@@ -1628,7 +1875,7 @@ fn stripe_sweep<W: KernelWord, const L: usize>(
                 } else {
                     let (flo, fhi) = diag_range(d, n, m, band);
                     if flo <= fhi {
-                        cur[n * L + l].to_raw()
+                        raise_raw(cur[n * L + l], bias)
                     } else {
                         NEVER // the band excludes the lane's sink cell
                     }
@@ -1672,6 +1919,409 @@ fn retire_lane_residue<W: KernelWord>(
             buf[i * lanes + l] = W::INF;
         }
     }
+}
+
+/// Subtracts a u8 rebase `delta` from every finite value in one
+/// diagonal buffer, preserving `+∞` (a clamped or [`NEVER`] cell must
+/// keep reading as `+∞`). Written as an unconditional select-store so
+/// LLVM vectorizes it — the `if`-guarded in-place form compiles to a
+/// per-element branch, and at one rebase per [`BIAS_WINDOW`] diagonals
+/// that scalar pass dominated the whole byte sweep. Only the two
+/// *readable* diagonal buffers (`d − 1`, `d − 2`) need the pass: the
+/// buffer about to be overwritten holds stale diagonal `d − 3` values
+/// that are never read before being rewritten.
+///
+/// [`BIAS_WINDOW`]: crate::engine::BIAS_WINDOW
+#[inline]
+fn rebase_buf<W: KernelWord>(buf: &mut [W], delta: W) {
+    for v in buf.iter_mut() {
+        let x = *v;
+        *v = if x >= W::INF { x } else { x.sub_weight(delta) };
+    }
+}
+
+/// Re-adds the running u8 bias to a stored lane word at lane readout:
+/// finite stored values are exact biased representations of the true
+/// race time; `+∞` stays [`NEVER`] — a genuinely unreachable cell, or
+/// a value that clamped because it exceeded the plan's threshold (in
+/// which case `classify_outcome` reports the same abandon verdict the
+/// per-pair kernel's exact score would). With `bias = 0` this is
+/// exactly [`KernelWord::to_raw`].
+fn raise_raw<W: KernelWord>(s: W, bias: u64) -> u64 {
+    if s >= W::INF {
+        NEVER
+    } else {
+        s.to_raw().saturating_add(bias)
+    }
+}
+
+/// The **striped three-plane affine** (Gotoh) sweep: the
+/// [`stripe_sweep`] lane-interleaved layout applied to the M / Ix / Iy
+/// planes of [`crate::simd::affine_diag_update_lanes`] — nine rotating
+/// diagonal buffers advanced in lockstep, each lane mirroring the
+/// per-pair affine wavefront kernel over its own `(n_l, m_l)` geometry.
+///
+/// Everything lane-shaped is inherited from the linear sweep: per-lane
+/// frontier minima masked to each lane's own in-band cells (taken
+/// across all three planes — sound and exact for the same reason the
+/// per-pair affine frontier minimum is), per-lane abandon at exactly
+/// the per-pair kernel's diagonal, per-lane cell accounting over grid
+/// *positions* (not plane states, keeping counts comparable across
+/// modes), independent lane retirement reading `min(M, Ix, Iy)` at the
+/// lane's sink, and the coarse-mode residue reset — which here must
+/// cover **all nine** buffers, or a retired lane's Ix/Iy residue could
+/// stall the whole-stripe lower bound exactly like the PR 5 M-plane
+/// bug. Affine is global-only (no `semi` readout), and the u8 `bias`
+/// schedule applies unchanged: gap opens only *add* cost, so the
+/// per-diagonal lower bound behind [`crate::engine::applied_bias`]
+/// holds on every plane.
+#[allow(clippy::too_many_arguments)]
+fn stripe_sweep_affine<W: KernelWord, const L: usize>(
+    shapes: &[(usize, usize)],
+    q_plane: &[u8],
+    p_plane: &[u8],
+    (nn, mm): (usize, usize),
+    w: RawWeights,
+    open: u64,
+    band: Option<usize>,
+    threshold: StripeThreshold,
+    bias_m2: u64,
+    planes: &mut AffinePlanes<W>,
+    out: &mut [EngineOutcome],
+) {
+    fp_hit("affine-stripe");
+    let lanes = shapes.len();
+    assert!(lanes <= L && lanes == out.len());
+    let lw = simd::AffineLaneWeights {
+        matched: W::clamp_raw(w.matched),
+        mismatched: W::clamp_raw(w.mismatched),
+        indel: W::clamp_raw(w.indel),
+        open: W::clamp_raw(open),
+    };
+    let t_raw = threshold.classify_raw();
+    let byte = std::mem::size_of::<W>() == 1;
+    let mut bias = 0_u64;
+    let mut t_w = match threshold {
+        StripeThreshold::Exact(t) => Some(W::clamp_raw(t)),
+        _ => None,
+    };
+    let mut t_c = match threshold {
+        StripeThreshold::Coarse(t) => Some(W::clamp_raw(t)),
+        _ => None,
+    };
+    for b in planes
+        .m
+        .iter_mut()
+        .chain(planes.x.iter_mut())
+        .chain(planes.y.iter_mut())
+    {
+        b.clear();
+        b.resize((nn + 1) * L, W::INF);
+    }
+
+    let mut n_arr = [0_u32; L];
+    let mut m_arr = [0_u32; L];
+    for (l, &(n, m)) in shapes.iter().enumerate() {
+        n_arr[l] = u32::try_from(n).expect("sequence fits u32");
+        m_arr[l] = u32::try_from(m).expect("sequence fits u32");
+    }
+
+    // Diagonal 0: only the substitution plane holds the root.
+    planes.m[0][..L].fill(W::ZERO);
+    let mut min1 = [W::ZERO; L];
+    let mut min2 = [W::INF; L];
+    let mut gmin1 = W::ZERO;
+    let mut gmin2 = W::INF;
+    let mut cells = [1_u64; L];
+    let mut done = [true; L];
+    let mut live = 0_usize;
+    for (l, &(n, m)) in shapes.iter().enumerate() {
+        if n + m == 0 {
+            out[l] = classify_outcome(0, t_raw, 1);
+        } else {
+            done[l] = false;
+            live += 1;
+        }
+    }
+
+    for d in 1..=(nn + mm) {
+        if live == 0 {
+            break;
+        }
+        // u8 bias rebase — identical to the linear sweep's split form:
+        // registers and thresholds shift here, the six readable
+        // diagonal buffers (every plane stores biased values) shift
+        // after rotation via the vectorized `rebase_buf` pass.
+        let mut rebase_delta: Option<W> = None;
+        if bias_m2 > 0 {
+            let new_bias = applied_bias(d, bias_m2);
+            if new_bias != bias {
+                let delta = W::clamp_raw(new_bias - bias);
+                rebase_delta = Some(delta);
+                for l in 0..L {
+                    if min1[l] != W::INF {
+                        min1[l] = min1[l].sub_weight(delta);
+                    }
+                    if min2[l] != W::INF {
+                        min2[l] = min2[l].sub_weight(delta);
+                    }
+                }
+                if gmin1 != W::INF {
+                    gmin1 = gmin1.sub_weight(delta);
+                }
+                if gmin2 != W::INF {
+                    gmin2 = gmin2.sub_weight(delta);
+                }
+                bias = new_bias;
+                if let StripeThreshold::Exact(t) = threshold {
+                    t_w = Some(W::clamp_raw(t.saturating_sub(bias)));
+                }
+                if let StripeThreshold::Coarse(t) = threshold {
+                    t_c = Some(W::clamp_raw(t.saturating_sub(bias)));
+                }
+            }
+        }
+        // Per-lane abandon, before computing diagonal d — the per-pair
+        // affine kernel's order and rule (cross-plane frontier minima;
+        // saturated-threshold byte rule as in the linear sweep).
+        if let Some(t) = t_w {
+            for l in 0..lanes {
+                let floor = min1[l].min(min2[l]);
+                let abandon = if t < W::INF {
+                    floor > t
+                } else {
+                    byte && floor >= W::INF
+                };
+                if !done[l] && abandon {
+                    out[l] = EngineOutcome {
+                        score: Time::NEVER,
+                        cells_computed: cells[l],
+                        early_terminated: true,
+                    };
+                    done[l] = true;
+                    live -= 1;
+                }
+            }
+            if live == 0 {
+                break;
+            }
+        }
+        // Coarse whole-stripe abandon: the unmasked cross-plane lower
+        // bound, exactly as in the linear sweep.
+        if let Some(t) = t_c {
+            if gmin1.min(gmin2) > t {
+                for l in 0..lanes {
+                    if !done[l] {
+                        out[l] = EngineOutcome {
+                            score: Time::NEVER,
+                            cells_computed: cells[l],
+                            early_terminated: true,
+                        };
+                        done[l] = true;
+                        live -= 1;
+                    }
+                }
+                break;
+            }
+        }
+        let (mc, m1, m2) = rotate_bufs(&mut planes.m, d);
+        let (xc, x1, x2) = rotate_bufs(&mut planes.x, d);
+        let (yc, y1, y2) = rotate_bufs(&mut planes.y, d);
+        if let Some(delta) = rebase_delta {
+            for buf in [&mut *m1, &mut *m2, &mut *x1, &mut *x2, &mut *y1, &mut *y2] {
+                rebase_buf(buf, delta);
+            }
+        }
+        let (lo, hi) = diag_range(d, nn, mm, band);
+        if lo > hi {
+            // Band-empty union diagonal: reset the cells later
+            // diagonals may read, in every plane.
+            let clo = lo.saturating_sub(1).min(nn);
+            let chi = (hi + 1).min(nn);
+            if clo <= chi {
+                mc[clo * L..(chi + 1) * L].fill(W::INF);
+                xc[clo * L..(chi + 1) * L].fill(W::INF);
+                yc[clo * L..(chi + 1) * L].fill(W::INF);
+            }
+            min2 = min1;
+            min1 = [W::INF; L];
+            (gmin2, gmin1) = (gmin1, W::INF);
+            for (l, &(n, m)) in shapes.iter().enumerate() {
+                if !done[l] && d == n + m {
+                    // The lane's sink range is empty too: the per-pair
+                    // kernel's band-excluded-sink verdict.
+                    out[l] = classify_outcome(NEVER, t_raw, cells[l]);
+                    done[l] = true;
+                    live -= 1;
+                    if t_c.is_some() {
+                        retire_lane_residue(l, nn, mc, m1, m2);
+                        retire_lane_residue(l, nn, xc, x1, x2);
+                        retire_lane_residue(l, nn, yc, y1, y2);
+                    }
+                }
+            }
+            continue;
+        }
+        // One-row +∞ padding around the written span, per plane.
+        for plane in [&mut *mc, &mut *xc, &mut *yc] {
+            if lo > 0 {
+                plane[(lo - 1) * L..lo * L].fill(W::INF);
+            }
+            if hi < nn {
+                plane[(hi + 1) * L..(hi + 2) * L].fill(W::INF);
+            }
+        }
+
+        // Boundary cells: a single gap run from the root — one open
+        // plus d extensions, in the plane that gap lives in.
+        let boundary = W::clamp_raw(
+            open.saturating_add((d as u64).saturating_mul(w.indel))
+                .saturating_sub(bias),
+        );
+        if lo == 0 {
+            // Cell (0, d): a run of horizontal gaps (Iy consumes P).
+            mc[..L].fill(W::INF);
+            xc[..L].fill(W::INF);
+            yc[..L].fill(boundary);
+        }
+        if hi == d {
+            // Cell (d, 0): a run of vertical gaps (Ix consumes Q).
+            mc[d * L..(d + 1) * L].fill(W::INF);
+            xc[d * L..(d + 1) * L].fill(boundary);
+            yc[d * L..(d + 1) * L].fill(W::INF);
+        }
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        let mut interior_min = W::INF;
+        if ilo <= ihi {
+            let (a, b) = (ilo * L, (ihi + 1) * L);
+            interior_min = simd::affine_diag_update_lanes::<W, L>(
+                &m1[a - L..b - L], // up: (i − 1, j)
+                &x1[a - L..b - L],
+                &y1[a - L..b - L],
+                &m1[a..b], // left: (i, j − 1)
+                &x1[a..b],
+                &y1[a..b],
+                &m2[a - L..b - L], // diag: (i − 1, j − 1)
+                &x2[a - L..b - L],
+                &y2[a - L..b - L],
+                &q_plane[a - L..b - L], // q[i − 1], lane-major
+                &p_plane[(mm + ilo - d) * L..(mm + ihi + 1 - d) * L], // p[j − 1], reversed
+                lw,
+                &mut mc[a..b],
+                &mut xc[a..b],
+                &mut yc[a..b],
+            );
+        }
+        if t_c.is_some() {
+            let mut gdmin = interior_min;
+            if lo == 0 || hi == d {
+                gdmin = gdmin.min(boundary);
+            }
+            (gmin2, gmin1) = (gmin1, gdmin);
+        }
+
+        // Per-lane frontier minima across the three planes, masked to
+        // each lane's own in-band cells — consumed only by the exact
+        // abandon rule.
+        if t_w.is_some() {
+            let mut dmin = [W::INF; L];
+            let du = u32::try_from(d).expect("diagonal fits u32");
+            if lo == 0 {
+                for l in 0..L {
+                    if du <= m_arr[l] {
+                        dmin[l] = dmin[l].min(boundary); // Iy boundary
+                    }
+                }
+            }
+            if hi == d {
+                for l in 0..L {
+                    if du <= n_arr[l] {
+                        dmin[l] = dmin[l].min(boundary); // Ix boundary
+                    }
+                }
+            }
+            let mut core_lo = ilo;
+            let mut core_hi = ihi;
+            for (l, &(n, m)) in shapes.iter().enumerate() {
+                if !done[l] {
+                    core_lo = core_lo.max(d.saturating_sub(m));
+                    core_hi = core_hi.min(n);
+                }
+            }
+            let masked = |rows: std::ops::RangeInclusive<usize>, dmin: &mut [W; L]| {
+                for i in rows {
+                    let mb = &mc[i * L..(i + 1) * L];
+                    let xb = &xc[i * L..(i + 1) * L];
+                    let yb = &yc[i * L..(i + 1) * L];
+                    let iu = i as u32;
+                    let ju = (d - i) as u32;
+                    for l in 0..L {
+                        let v = if iu <= n_arr[l] && ju <= m_arr[l] {
+                            mb[l].min(xb[l]).min(yb[l])
+                        } else {
+                            W::INF
+                        };
+                        dmin[l] = dmin[l].min(v);
+                    }
+                }
+            };
+            if core_lo <= core_hi {
+                masked(ilo..=core_lo.saturating_sub(1).min(ihi), &mut dmin);
+                for i in core_lo..=core_hi {
+                    let mb = &mc[i * L..(i + 1) * L];
+                    let xb = &xc[i * L..(i + 1) * L];
+                    let yb = &yc[i * L..(i + 1) * L];
+                    for l in 0..L {
+                        dmin[l] = dmin[l].min(mb[l]).min(xb[l]).min(yb[l]);
+                    }
+                }
+                masked((core_hi + 1).max(ilo)..=ihi, &mut dmin);
+            } else {
+                masked(ilo..=ihi, &mut dmin);
+            }
+            min2 = min1;
+            min1 = dmin;
+        }
+
+        // Per-lane cell accounting over the lane's own band range
+        // (grid positions, like the per-pair affine kernel).
+        for (l, &(n, m)) in shapes.iter().enumerate() {
+            if !done[l] && d <= n + m {
+                let (llo, lhi) = diag_range(d, n, m, band);
+                if llo <= lhi {
+                    cells[l] += (lhi - llo + 1) as u64;
+                }
+            }
+        }
+
+        // Retire lanes whose final diagonal this was: the sink value is
+        // the minimum across all three planes, raised by the bias.
+        for (l, &(n, m)) in shapes.iter().enumerate() {
+            if !done[l] && d == n + m {
+                let (flo, fhi) = diag_range(d, n, m, band);
+                let raw = if flo <= fhi {
+                    let s = mc[n * L + l].min(xc[n * L + l]).min(yc[n * L + l]);
+                    raise_raw(s, bias)
+                } else {
+                    NEVER // the band excludes the lane's sink cell
+                };
+                out[l] = classify_outcome(raw, t_raw, cells[l]);
+                done[l] = true;
+                live -= 1;
+                if t_c.is_some() {
+                    // Coarse-bound hygiene across *all three* planes: a
+                    // retired lane's Ix/Iy residue can stall the
+                    // whole-stripe bound exactly like the M plane's
+                    // (the PR 5 bug class).
+                    retire_lane_residue(l, nn, mc, m1, m2);
+                    retire_lane_residue(l, nn, xc, x1, x2);
+                    retire_lane_residue(l, nn, yc, y1, y2);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(live, 0, "every lane must retire by the last diagonal");
 }
 
 /// The **local** (max-plus Smith–Waterman) striped sweep: the same
@@ -1924,12 +2574,19 @@ mod tests {
 
     #[test]
     fn planner_buckets_and_stripes() {
-        // 20 pairs of one shape at u16 width → one full 16-lane stripe +
-        // 4 leftovers (≥ STRIPE_MIN_PAIRS → second stripe), under both
-        // packers — identical lengths are the degenerate case where the
-        // length-aware packer reduces to the PR 3 plan.
+        // 20 pairs of one shape at u16 width (floor-pinned: unfloored
+        // 64×64 fig4 now rides u8's 32 lanes and packs a single stripe)
+        // → one full 16-lane stripe + 4 leftovers (≥ STRIPE_MIN_PAIRS →
+        // second stripe), under both packers — identical lengths are the
+        // degenerate case where the length-aware packer reduces to the
+        // PR 3 plan.
         let pairs = random_pairs(20, 64, 64);
-        let base = AlignConfig::new(RaceWeights::fig4());
+        let base = AlignConfig::new(RaceWeights::fig4()).with_lane_floor(LaneWidth::U16);
+        let u8_units = plan_units(&AlignConfig::new(RaceWeights::fig4()), &ref_pairs(&pairs));
+        let u8_striped: Vec<_> = u8_units.iter().filter(|u| u.striped).collect();
+        assert_eq!(u8_striped.len(), 1, "u8's 32 lanes hold all 20 pairs");
+        assert_eq!(u8_striped[0].width, LaneWidth::U8);
+        assert_eq!(u8_striped[0].members.len(), 20);
         for cfg in [base, base.with_packer(PackerPolicy::ExactBucket)] {
             let units = plan_units(&cfg, &ref_pairs(&pairs));
             let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
@@ -2119,14 +2776,17 @@ mod tests {
     }
 
     #[test]
-    fn affine_mode_plans_no_stripes() {
+    fn affine_mode_plans_stripes() {
+        // Affine pairs stripe like any other wavefront-eligible pairs
+        // since the three-plane Gotoh sweep landed — and stay
+        // byte-identical to the sequential per-pair Gotoh path.
         use crate::engine::{AffineWeights, AlignMode};
         let pairs = random_pairs(16, 64, 64);
         let cfg = AlignConfig::new(RaceWeights::fig4())
             .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 1 }));
-        assert!(plan_units(&cfg, &ref_pairs(&pairs))
-            .iter()
-            .all(|u| !u.striped));
+        let units = plan_units(&cfg, &ref_pairs(&pairs));
+        assert!(units.iter().any(|u| u.striped), "affine must stripe now");
+        assert_batch_matches_sequential(&cfg, &pairs);
     }
 
     #[test]
@@ -2135,7 +2795,7 @@ mod tests {
         // a 5-member tail. The tail must plan as a half-width (8-lane)
         // stripe, halving its swept cells, and stay byte-identical.
         let pairs = random_pairs(21, 64, 64);
-        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let cfg = AlignConfig::new(RaceWeights::fig4()).with_lane_floor(LaneWidth::U16);
         let units = plan_units(&cfg, &ref_pairs(&pairs));
         let striped: Vec<_> = units.iter().filter(|u| u.striped).collect();
         assert_eq!(striped.len(), 2);
@@ -2182,6 +2842,64 @@ mod tests {
             scan.abandoned > 0,
             "the coarse bound must outgrow the ratchet's 0 threshold \
              despite mid-sweep lane retirements"
+        );
+    }
+
+    #[test]
+    fn retired_affine_lane_cannot_loosen_coarse_bound() {
+        // The PR 5 bug class, transposed to the three-plane kernel: a
+        // retired affine lane must have its residue cleared in *all
+        // three* planes. Lane 0 is an 8 bp exact self-match (retires at
+        // d = 16 with M residue 0 and Ix/Iy residue as low as
+        // open + indel = 2); lane 1 is a 10 bp all-mismatch pair whose
+        // frontier is ≥ 8 from d = 17 on. Under Coarse(6) the stripe
+        // must abandon lane 1 right after lane 0 retires — residue left
+        // in *any* plane (M: 0, Ix/Iy: 2, growing ~1/diagonal through
+        // the padded column) would hold the whole-stripe bound ≤ 6
+        // until the sweep ends at d = 20 and lane 1 would finish
+        // normally instead.
+        use crate::engine::AffineWeights;
+        let q0 = pack(&Seq::repeated(Dna::A, 8));
+        let q1 = pack(&Seq::repeated(Dna::A, 10));
+        let p1 = pack(&Seq::repeated(Dna::C, 10));
+        let pairs: Vec<(&PackedSeq<Dna>, &PackedSeq<Dna>)> = vec![(&q0, &q0), (&q1, &p1)];
+        let cfg = AlignConfig::new(RaceWeights {
+            matched: 0,
+            mismatched: Some(1),
+            indel: 1,
+        })
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 1 }));
+        let mut scratch = StripeScratch::new();
+        let mut results = [EngineOutcome::default(); 2];
+        run_stripe(
+            &cfg,
+            &pairs,
+            &[0, 1],
+            LaneWidth::U16,
+            StripeThreshold::Coarse(6),
+            &mut scratch,
+            &mut results,
+        );
+        assert_eq!(
+            results[0].score.cycles(),
+            Some(0),
+            "the exact lane retires normally at cost 0"
+        );
+        assert!(
+            results[1].early_terminated,
+            "the all-mismatch lane is over threshold: {:?}",
+            results[1]
+        );
+        // The discriminating pin: a genuine mid-sweep abandon stops
+        // lane 1 before its last diagonals. Residue left in any plane
+        // would hold the coarse bound ≤ 6 to the end of the sweep, and
+        // the lane would compute its full 11 × 11 grid (121 cells; a
+        // completed over-threshold lane classifies as terminated too,
+        // so the flag alone cannot tell the difference).
+        assert!(
+            results[1].cells_computed < grid_cells(10, 10, None),
+            "lane 1 must be abandoned mid-sweep, not at its sink: {:?}",
+            results[1]
         );
     }
 

@@ -347,6 +347,7 @@ pub mod failpoint {
     //! | `stripe-sweep` | top of a striped work unit | stripe quarantine + per-pair retry |
     //! | `ratchet` | top-k observation, before the heap lock | lost observation (sound: only loosens the ratchet) |
     //! | `affine` | top of the affine wavefront kernel | per-pair fallback on the rolling-row kernel |
+    //! | `affine-stripe` | top of the striped three-plane affine sweep | stripe quarantine + per-pair Gotoh retry |
     //! | `simd-diag` | top of the wavefront diagonal update | per-pair fallback on the rolling-row kernel |
     //!
     //! The registry is process-global: tests that arm sites must

@@ -110,10 +110,13 @@ fn affine_panic_falls_back_per_pair() {
     let _guard = failpoint::lock_for_test();
     failpoint::quiet_failpoint_panics();
 
+    // 3 pairs < STRIPE_MIN_PAIRS: the planner leaves them per-pair, so
+    // the per-pair affine kernel (site `affine`) still runs and its
+    // fallback path stays covered now that larger affine cohorts stripe.
     let cfg = AlignConfig::new(RaceWeights::fig4())
         .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }));
     let mut rng = seeded_rng(5);
-    let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..6)
+    let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..3)
         .map(|_| {
             (
                 PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)),
@@ -143,13 +146,83 @@ fn affine_panic_falls_back_per_pair() {
     );
 }
 
+/// A panic injected into the striped three-plane affine sweep (site
+/// `affine-stripe`) never changes the affine top-k: the stripe is
+/// quarantined and its members retried per-pair on the scalar Gotoh
+/// path, byte-identically — at 1 and 4 workers.
+#[test]
+fn affine_stripe_panic_preserves_topk() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4())
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }));
+    let (q, database) = db(31, 24, 64);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+    for workers in [1, 4] {
+        failpoint::arm_times("affine-stripe", Action::Panic, 1);
+        let ctrl = ScanControl::new();
+        let outcome =
+            scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(workers), &ctrl).unwrap();
+        failpoint::disarm_all();
+
+        assert_eq!(outcome.hits, baseline.hits, "workers {workers}");
+        assert!(outcome.is_complete(), "workers {workers}");
+        assert_eq!(outcome.faulted_pairs, 0);
+        assert!(
+            outcome.faults.iter().any(|f| f.recovered),
+            "workers {workers}: the injected stripe fault must be ledgered: {:?}",
+            outcome.faults
+        );
+    }
+}
+
+/// The batch path recovers from an affine stripe panic the same way:
+/// quarantine, per-pair Gotoh retry, outcomes byte-identical.
+#[test]
+fn affine_stripe_panic_recovers_in_batches() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4())
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }));
+    let mut rng = seeded_rng(32);
+    let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..8)
+        .map(|_| {
+            (
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)),
+                PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)),
+            )
+        })
+        .collect();
+    let mut engine = BatchEngine::new(cfg);
+    let baseline = engine.align_batch(&pairs);
+
+    failpoint::arm_times("affine-stripe", Action::Panic, 1);
+    let ctrl = ScanControl::new();
+    let report = engine.align_batch_supervised(&pairs, &ctrl);
+    failpoint::disarm_all();
+
+    assert!(report.is_complete());
+    for (supervised, unsupervised) in report.outcomes.iter().zip(&baseline) {
+        assert_eq!(supervised.as_ref(), Some(unsupervised));
+    }
+    assert!(
+        report.faults.iter().any(|f| f.recovered),
+        "expected a recovered stripe fault: {:?}",
+        report.faults
+    );
+}
+
 #[test]
 fn sleep_injection_expires_the_deadline() {
     let _guard = failpoint::lock_for_test();
     failpoint::quiet_failpoint_panics();
 
+    // 40 pairs split across two u8 stripes (32 + 8), so at least one
+    // unit remains when the first sleeping sweep blows the deadline.
     let cfg = AlignConfig::new(RaceWeights::fig4());
-    let (q, database) = db(3, 24, 64);
+    let (q, database) = db(3, 40, 64);
     failpoint::arm("stripe-sweep", Action::Sleep(Duration::from_millis(50)));
     let ctrl = ScanControl::new().with_deadline_after(Duration::from_millis(10));
     let outcome = scan_packed_topk_supervised(&cfg, &q, &database, 3, Some(1), &ctrl).unwrap();

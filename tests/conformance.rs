@@ -1,0 +1,280 @@
+//! The differential conformance suite: the single oracle every kernel
+//! must pass. One parameterized harness asserts that the striped batch
+//! path, the per-pair wavefront path, and the scalar rolling-row
+//! reference produce identical verdicts for every `AlignMode` × lane
+//! floor × `PackerPolicy`, on DNA and protein, plain, banded, and
+//! thresholded — and that ratcheted top-k scans are byte-identical
+//! across worker counts and agree with the per-pair reference
+//! selection.
+//!
+//! Future kernels (new lane widths, new mode sweeps, new packers) plug
+//! into this matrix instead of growing bespoke tests: if a
+//! configuration is expressible, it is conformance-checked here.
+
+use race_logic::alignment::RaceWeights;
+use race_logic::early_termination::scan_packed_topk_with;
+use race_logic::engine::{
+    align_batch, AffineWeights, AlignConfig, AlignEngine, AlignMode, KernelStrategy, LaneWidth,
+    LocalScores, PackerPolicy,
+};
+use rl_bio::alphabet::Symbol;
+use rl_bio::{AminoAcid, Dna, PackedSeq, Seq};
+use rl_dag::generate::seeded_rng;
+
+const LANE_FLOORS: [LaneWidth; 4] = [
+    LaneWidth::U8,
+    LaneWidth::U16,
+    LaneWidth::U32,
+    LaneWidth::U64,
+];
+const PACKERS: [PackerPolicy; 2] = [PackerPolicy::LengthAware, PackerPolicy::ExactBucket];
+
+/// Mixed-length pairs in `lo..=hi` bp — long enough to stripe, ragged
+/// enough to exercise the length-aware packer's cross-length stripes,
+/// plus two short pairs that resolve to the per-pair rolling row so
+/// every batch plan mixes striped and per-pair units.
+fn pairs<S: Symbol>(
+    seed: u64,
+    count: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<(PackedSeq<S>, PackedSeq<S>)> {
+    let mut rng = seeded_rng(seed);
+    let mut out: Vec<(PackedSeq<S>, PackedSeq<S>)> = (0..count)
+        .map(|i| {
+            let n = lo + (i * 7) % (hi - lo + 1);
+            let m = lo + (i * 11 + 3) % (hi - lo + 1);
+            (
+                PackedSeq::from_seq(&Seq::random(&mut rng, n)),
+                PackedSeq::from_seq(&Seq::random(&mut rng, m)),
+            )
+        })
+        .collect();
+    out.push((
+        PackedSeq::from_seq(&Seq::random(&mut rng, 8)),
+        PackedSeq::from_seq(&Seq::random(&mut rng, 9)),
+    ));
+    out.push((
+        PackedSeq::from_seq(&Seq::random(&mut rng, 12)),
+        PackedSeq::from_seq(&Seq::random(&mut rng, 7)),
+    ));
+    out
+}
+
+/// The conformance core: for one mode/band/threshold configuration,
+/// assert striped == per-pair == scalar-reference across every lane
+/// floor and packer policy.
+fn assert_conformance<S: Symbol>(
+    label: &str,
+    cfg: AlignConfig,
+    pairs: &[(PackedSeq<S>, PackedSeq<S>)],
+) {
+    // Scalar reference: the per-pair rolling row computes in plain u64
+    // with no SIMD, no striping, no lane clamping.
+    let mut scalar_engine = AlignEngine::new(cfg.with_strategy(KernelStrategy::RollingRow));
+    let scalar: Vec<_> = pairs
+        .iter()
+        .map(|(q, p)| scalar_engine.align(q, p))
+        .collect();
+
+    for floor in LANE_FLOORS {
+        let fcfg = cfg.with_lane_floor(floor);
+
+        // Per-pair wavefront at this floor: same verdicts as scalar.
+        let mut wf_engine = AlignEngine::new(fcfg.with_strategy(KernelStrategy::Wavefront));
+        for ((q, p), reference) in pairs.iter().zip(&scalar) {
+            let out = wf_engine.align(q, p);
+            assert_eq!(
+                (out.score, out.early_terminated),
+                (reference.score, reference.early_terminated),
+                "{label}: per-pair wavefront diverges from scalar at floor {floor:?} \
+                 ({} x {})",
+                q.len(),
+                p.len()
+            );
+        }
+
+        // Sequential per-pair loop under the batch's own (Auto)
+        // strategy resolution: the byte-identity baseline for batches.
+        let mut auto_engine = AlignEngine::new(fcfg);
+        let sequential: Vec<_> = pairs.iter().map(|(q, p)| auto_engine.align(q, p)).collect();
+
+        for packer in PACKERS {
+            let pcfg = fcfg.with_packer(packer);
+            let batch = align_batch(&pcfg, pairs);
+            assert_eq!(
+                batch, sequential,
+                "{label}: striped batch diverges from the sequential per-pair loop \
+                 at floor {floor:?}, packer {packer}"
+            );
+            for (out, reference) in batch.iter().zip(&scalar) {
+                assert_eq!(
+                    (out.score, out.early_terminated),
+                    (reference.score, reference.early_terminated),
+                    "{label}: striped batch diverges from scalar at floor {floor:?}, \
+                     packer {packer}"
+                );
+            }
+        }
+    }
+}
+
+/// The worker axis: ratcheted top-k scans must be byte-identical at 1
+/// and 4 workers, and every reported hit must carry the scalar
+/// reference's exact score. (Local mode is excluded by the scan API
+/// itself: max-plus scans have no sound frontier abandon.)
+fn assert_scan_conformance<S: Symbol>(label: &str, cfg: AlignConfig, seed: u64, len: usize) {
+    let mut rng = seeded_rng(seed);
+    let query = PackedSeq::from_seq(&Seq::<S>::random(&mut rng, len));
+    let database: Vec<PackedSeq<S>> = (0..20)
+        .map(|i| PackedSeq::from_seq(&Seq::random(&mut rng, len - 6 + (i % 13))))
+        .collect();
+
+    let mut scalar_engine = AlignEngine::new(cfg.with_strategy(KernelStrategy::RollingRow));
+    let scalar: Vec<_> = database
+        .iter()
+        .map(|p| scalar_engine.align(&query, p))
+        .collect();
+
+    for floor in LANE_FLOORS {
+        for packer in PACKERS {
+            let pcfg = cfg.with_lane_floor(floor).with_packer(packer);
+            let one = scan_packed_topk_with(&pcfg, &query, &database, 5, Some(1));
+            let four = scan_packed_topk_with(&pcfg, &query, &database, 5, Some(4));
+            assert_eq!(
+                one.hits, four.hits,
+                "{label}: scan hits diverge across worker counts at floor {floor:?}, \
+                 packer {packer}"
+            );
+            for &(idx, score) in &one.hits {
+                assert_eq!(
+                    Some(score),
+                    scalar[idx].score.cycles(),
+                    "{label}: hit {idx} disagrees with the scalar reference at \
+                     floor {floor:?}, packer {packer}"
+                );
+            }
+        }
+    }
+}
+
+/// The banded + thresholded variants layered onto one base mode.
+fn mode_variants(base: AlignConfig, threshold: Option<u64>) -> Vec<(&'static str, AlignConfig)> {
+    let mut v = vec![("plain", base), ("banded", base.with_band(6))];
+    if let Some(t) = threshold {
+        v.push(("thresholded", base.with_threshold(t)));
+        v.push(("banded+thresholded", base.with_band(6).with_threshold(t)));
+    }
+    v
+}
+
+#[test]
+fn conformance_dna_global() {
+    let pairs = pairs::<Dna>(0xC0F0, 14, 40, 64);
+    for (variant, cfg) in mode_variants(AlignConfig::new(RaceWeights::fig4()), Some(18)) {
+        assert_conformance(&format!("dna/global/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn conformance_dna_semi_global() {
+    let pairs = pairs::<Dna>(0xC0F1, 14, 40, 60);
+    let base = AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::SemiGlobal);
+    for (variant, cfg) in mode_variants(base, Some(10)) {
+        assert_conformance(&format!("dna/semi-global/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn conformance_dna_local() {
+    let pairs = pairs::<Dna>(0xC0F2, 14, 40, 56);
+    let base =
+        AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::Local(LocalScores::blast()));
+    for (variant, cfg) in mode_variants(base, None) {
+        assert_conformance(&format!("dna/local/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn conformance_dna_affine() {
+    let pairs = pairs::<Dna>(0xC0F3, 14, 40, 64);
+    let base = AlignConfig::new(RaceWeights::fig4())
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }));
+    for (variant, cfg) in mode_variants(base, Some(22)) {
+        assert_conformance(&format!("dna/affine/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn conformance_dna_affine_u8_stripes() {
+    // Short pairs under unit weights: the affine stripe width itself
+    // resolves to u8 (verified below), so the biased byte three-plane
+    // sweep — not just the u8-floored planner — is conformance-covered.
+    let w = RaceWeights {
+        matched: 1,
+        mismatched: Some(1),
+        indel: 1,
+    };
+    let base = AlignConfig::new(w).with_mode(AlignMode::GlobalAffine(AffineWeights { open: 1 }));
+    assert_eq!(
+        base.resolve_stripe_lanes(36, 36),
+        LaneWidth::U8,
+        "the workload must actually ride u8 lanes for this test to bite"
+    );
+    let pairs = pairs::<Dna>(0xC0F4, 14, 32, 36);
+    for (variant, cfg) in mode_variants(base, Some(14)) {
+        assert_conformance(&format!("dna/affine-u8/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn conformance_protein_global_and_affine() {
+    let pairs = pairs::<AminoAcid>(0xC0F5, 12, 36, 52);
+    for (variant, cfg) in mode_variants(AlignConfig::new(RaceWeights::fig2b()), Some(40)) {
+        assert_conformance(&format!("protein/global/{variant}"), cfg, &pairs);
+    }
+    let affine = AlignConfig::new(RaceWeights::fig2b())
+        .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 3 }));
+    for (variant, cfg) in mode_variants(affine, Some(48)) {
+        assert_conformance(&format!("protein/affine/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn conformance_protein_local() {
+    let pairs = pairs::<AminoAcid>(0xC0F6, 12, 36, 48);
+    let base =
+        AlignConfig::new(RaceWeights::fig2b()).with_mode(AlignMode::Local(LocalScores::blast()));
+    for (variant, cfg) in mode_variants(base, None) {
+        assert_conformance(&format!("protein/local/{variant}"), cfg, &pairs);
+    }
+}
+
+#[test]
+fn scan_conformance_across_workers() {
+    assert_scan_conformance::<Dna>(
+        "dna/global",
+        AlignConfig::new(RaceWeights::fig4()),
+        0x5CA0,
+        64,
+    );
+    assert_scan_conformance::<Dna>(
+        "dna/semi-global",
+        AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::SemiGlobal),
+        0x5CA1,
+        56,
+    );
+    assert_scan_conformance::<Dna>(
+        "dna/affine",
+        AlignConfig::new(RaceWeights::fig4())
+            .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 })),
+        0x5CA2,
+        60,
+    );
+    assert_scan_conformance::<AminoAcid>(
+        "protein/global",
+        AlignConfig::new(RaceWeights::fig2b()),
+        0x5CA3,
+        48,
+    );
+}

@@ -494,6 +494,100 @@ fn u16_u32_eligibility_boundary_regression() {
     }
 }
 
+/// Deterministic regression pinning the u8/u16 stripe eligibility
+/// cut-over, mirroring `u16_u32_eligibility_boundary_regression` one
+/// rung down. Under fig4 (max step 1, bias rate 1) the biased byte
+/// kernel's per-diagonal bound `d − applied_bias(d)` crosses the byte
+/// `+∞` (127) exactly at `n + m = 223`, so 111×111 is the last u8
+/// shape and 111×112 the first u16 one — and striped races on both
+/// sides must stay byte-identical to the scalar rolling row.
+#[test]
+fn u8_u16_eligibility_boundary_regression() {
+    use race_logic::engine::align_batch;
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    assert_eq!(cfg.resolve_stripe_lanes(111, 111), LaneWidth::U8);
+    assert_eq!(cfg.resolve_stripe_lanes(111, 112), LaneWidth::U16);
+    // A threshold at or above NEVER disables the u8 rule's clamped
+    // abandon semantics and must exclude the byte entirely.
+    assert_eq!(
+        cfg.with_threshold(u64::MAX).resolve_stripe_lanes(64, 64),
+        LaneWidth::U64
+    );
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+    for (n, m) in [(111_usize, 111_usize), (111, 112)] {
+        let pairs: Vec<(PackedSeq<Dna>, PackedSeq<Dna>)> = (0..6)
+            .map(|_| {
+                (
+                    PackedSeq::from_seq(&Seq::random(&mut rng, n)),
+                    PackedSeq::from_seq(&Seq::random(&mut rng, m)),
+                )
+            })
+            .collect();
+        let batch = align_batch(&cfg, &pairs);
+        let mut scalar = AlignEngine::new(cfg.with_strategy(KernelStrategy::RollingRow));
+        for (out, (q, p)) in batch.iter().zip(&pairs) {
+            assert_eq!(out.score, scalar.align(q, p).score, "{n}x{m}");
+        }
+    }
+}
+
+/// The running-bias regression: raw scores at the byte ceiling − 1,
+/// the ceiling, and the ceiling + 1 (126 / 127 / 128) must all come
+/// out exact from u8 stripes. Disjoint-alphabet pairs under fig4 score
+/// exactly `n + m` (mismatch is disallowed, so the only path is all
+/// indels), which crosses u8's `+∞` sentinel — representable only
+/// because the sweep's running bias keeps stored frontier values small
+/// (first rebase at d = 32, well inside these races). The thresholded
+/// rows pin the abandon verdict at the same scores.
+#[test]
+fn u8_bias_holds_scores_across_byte_ceiling() {
+    use race_logic::engine::align_batch;
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let a = |len: usize| -> PackedSeq<Dna> {
+        PackedSeq::from_seq(&Seq::repeated(rl_bio::alphabet::Dna::A, len))
+    };
+    let c = |len: usize| -> PackedSeq<Dna> {
+        PackedSeq::from_seq(&Seq::repeated(rl_bio::alphabet::Dna::C, len))
+    };
+
+    for total in [126_usize, 127, 128] {
+        let (n, m) = (63, total - 63);
+        assert_eq!(cfg.resolve_stripe_lanes(n, m), LaneWidth::U8, "{total}");
+        let pairs: Vec<_> = (0..6).map(|_| (a(n), c(m))).collect();
+        for out in align_batch(&cfg, &pairs) {
+            assert_eq!(
+                out.score.cycles(),
+                Some(total as u64),
+                "disjoint alphabets must cost exactly n + m = {total}"
+            );
+        }
+        // Threshold exactly at the score finishes; one below abandons —
+        // u8's clamped threshold comparison must agree with u64 exactly
+        // astride the ceiling.
+        for (t, finishes) in [(total as u64, true), (total as u64 - 1, false)] {
+            let tcfg = cfg.with_threshold(t);
+            assert_eq!(
+                tcfg.resolve_stripe_lanes(n, m),
+                LaneWidth::U8,
+                "{total} t {t}"
+            );
+            let pairs: Vec<_> = (0..6).map(|_| (a(n), c(m))).collect();
+            for out in align_batch(&tcfg, &pairs) {
+                assert_eq!(
+                    out.finished_score().is_some(),
+                    finishes,
+                    "threshold {t} against score {total}"
+                );
+                assert_eq!(out.early_terminated, !finishes, "threshold {t}");
+            }
+        }
+    }
+}
+
 /// Deterministic regression for the band-compaction edge: every band
 /// half-width from 0 through just past the compaction threshold
 /// (`WAVEFRONT_MIN_BAND`), on shapes that exercise empty diagonals,
@@ -803,7 +897,12 @@ fn lane_floor_does_not_change_outcomes() {
     let p = Seq::<Dna>::random(&mut rng, 90);
     let base = AlignConfig::new(RaceWeights::fig2b());
     let reference = engine_score(base, &q, &p);
-    for floor in [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64] {
+    for floor in [
+        LaneWidth::U8,
+        LaneWidth::U16,
+        LaneWidth::U32,
+        LaneWidth::U64,
+    ] {
         let out = engine_score(base.with_lane_floor(floor), &q, &p);
         assert_eq!(out, reference, "{floor}");
     }

@@ -135,12 +135,16 @@ fn eligibility_boundaries_route_to_wider_words() {
     assert_eq!(cfg.checked_lane_width(16_382, 16_383), Ok(LaneWidth::U32)); // 32767: one past
 
     // u32 ceiling, driven by weight magnitude: 2 * max_step < 2^31 - 1.
+    // The degenerate 0×0 race is now admitted by the biased u8 rung at
+    // any weight (its only value is 0), so the u32/u64 boundary is
+    // pinned under a u16 floor — the ladder above u8 is unchanged.
     let heavy = |indel: u64| {
         AlignConfig::new(RaceWeights {
             matched: 1,
             mismatched: None,
             indel,
         })
+        .with_lane_floor(LaneWidth::U16)
     };
     assert_eq!(
         heavy(1_073_741_823).checked_lane_width(0, 0),
@@ -149,6 +153,13 @@ fn eligibility_boundaries_route_to_wider_words() {
     assert_eq!(
         heavy(1_073_741_824).checked_lane_width(0, 0),
         Ok(LaneWidth::U64)
+    );
+    assert_eq!(
+        heavy(1_073_741_824)
+            .with_lane_floor(LaneWidth::U8)
+            .checked_lane_width(0, 0),
+        Ok(LaneWidth::U8),
+        "0×0 fits the byte at any weight: its only value is 0"
     );
 
     // u64 ceiling: 3 * max_step must stay strictly below u64::MAX.
