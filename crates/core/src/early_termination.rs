@@ -15,7 +15,7 @@ use crate::alignment::RaceWeights;
 use crate::engine::{AlignConfig, AlignEngine};
 use crate::error::AlignError;
 use crate::score_transform::TransformedWeights;
-use crate::supervisor::{ScanControl, ScanOutcome};
+use crate::supervisor::{ResumeToken, ScanControl, ScanOutcome};
 
 /// The outcome of a thresholded race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -361,7 +361,7 @@ pub fn scan_packed_topk_with<S: Symbol>(
 /// itself ([`AlignConfig::validate`]'s rules), the min-plus
 /// requirement, `1 ≤ k ≤ database.len()`, non-empty sequences, and
 /// kernel-word eligibility for the scan's largest shape.
-fn validate_scan<S: Symbol>(
+pub(crate) fn validate_scan<S: Symbol>(
     cfg: &AlignConfig,
     query: &rl_bio::PackedSeq<S>,
     database: &[rl_bio::PackedSeq<S>],
@@ -467,7 +467,8 @@ pub fn scan_database_topk_supervised<S: Symbol>(
 }
 
 /// Supervised form of [`scan_packed_topk_with`]; see
-/// [`scan_database_topk_supervised`] for the semantics.
+/// [`scan_database_topk_supervised`] for the semantics. A thin wrapper
+/// over [`scan_packed_topk_resumable`] that drops the resume token.
 pub fn scan_packed_topk_supervised<S: Symbol>(
     cfg: &AlignConfig,
     query: &rl_bio::PackedSeq<S>,
@@ -476,41 +477,193 @@ pub fn scan_packed_topk_supervised<S: Symbol>(
     workers: Option<usize>,
     ctrl: &ScanControl,
 ) -> Result<ScanOutcome, AlignError> {
-    validate_scan(cfg, query, database, k)?;
-    let pairs: Vec<_> = database.iter().map(|p| (query, p)).collect();
-    let mut scratch = crate::striped::BatchScratch::default();
-    let (slots, report) =
-        crate::striped::scan_topk_supervised_impl(cfg, &pairs, k, workers, &mut scratch, ctrl);
+    scan_packed_topk_resumable(cfg, query, database, k, workers, ctrl)
+        .map(|(outcome, _token)| outcome)
+}
 
-    let mut hits: Vec<(usize, u64)> = Vec::new();
-    let mut completed_pairs = 0_usize;
-    let mut faulted_pairs = 0_usize;
-    let mut abandoned = 0_usize;
-    let mut cells_computed = 0_u64;
-    for (idx, slot) in slots.iter().enumerate() {
+/// [`scan_packed_topk_supervised`] with a checkpoint: alongside the
+/// (possibly partial) [`ScanOutcome`], returns a [`ResumeToken`]
+/// whenever pairs are still unfinished — remaining after an early stop,
+/// or lost to unrecovered faults. Feed the token to
+/// [`scan_packed_topk_resume`] to continue the scan; however many times
+/// a scan is interrupted and resumed, the final top-k is byte-identical
+/// to an uninterrupted [`scan_packed_topk_with`] run (property-tested).
+/// `None` means nothing is left to resume.
+pub fn scan_packed_topk_resumable<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    k: usize,
+    workers: Option<usize>,
+    ctrl: &ScanControl,
+) -> Result<(ScanOutcome, Option<ResumeToken>), AlignError> {
+    validate_scan(cfg, query, database, k)?;
+    let fresh = ResumeToken {
+        k,
+        total_pairs: database.len(),
+        remaining: (0..database.len()).collect(),
+        retryable: Vec::new(),
+        hits: Vec::new(),
+        completed_pairs: 0,
+        abandoned: 0,
+        cells_computed: 0,
+        faults: Vec::new(),
+        attempt: 0,
+    };
+    Ok(run_resume_segment(
+        cfg, query, database, fresh, workers, ctrl,
+    ))
+}
+
+/// Continues an interrupted scan from its [`ResumeToken`]: runs only
+/// the token's remaining pairs, with the ratchet re-seeded from the
+/// carried hits (see [`ResumeToken`] for the soundness argument), and
+/// merges the segment into the cumulative ledger. The returned
+/// [`ScanOutcome`] accounts for the *whole* scan — every earlier
+/// segment included — so the invariant `completed + faulted +
+/// remaining == total` keeps holding across any number of resumes.
+///
+/// The token must come from a scan of this same `query`/`database`
+/// (same `cfg`); a token sized for a different database is rejected.
+pub fn scan_packed_topk_resume<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    token: ResumeToken,
+    workers: Option<usize>,
+    ctrl: &ScanControl,
+) -> Result<(ScanOutcome, Option<ResumeToken>), AlignError> {
+    validate_scan(cfg, query, database, token.k)?;
+    if token.total_pairs != database.len() {
+        return Err(AlignError::InvalidConfig {
+            reason: format!(
+                "resume token was issued for a database of {} entries, not {}",
+                token.total_pairs,
+                database.len()
+            ),
+        });
+    }
+    if let Some(&bad) = token
+        .remaining
+        .iter()
+        .chain(&token.retryable)
+        .find(|&&i| i >= database.len())
+    {
+        return Err(AlignError::InvalidConfig {
+            reason: format!("resume token references pair {bad} beyond the database"),
+        });
+    }
+    Ok(run_resume_segment(
+        cfg, query, database, token, workers, ctrl,
+    ))
+}
+
+/// Runs one segment of a (possibly resumed) scan — the token's
+/// remaining pairs — and merges the result with the token's carried
+/// state into a cumulative [`ScanOutcome`] plus the next checkpoint.
+/// Segment-local slot positions and fault indices are remapped to
+/// original database indices here; the remap is monotone (the
+/// remaining set is kept ascending), so ledger ordering is preserved.
+fn run_resume_segment<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+    carried: ResumeToken,
+    workers: Option<usize>,
+    ctrl: &ScanControl,
+) -> (ScanOutcome, Option<ResumeToken>) {
+    let ResumeToken {
+        k,
+        total_pairs,
+        remaining: ids,
+        retryable: mut faulted,
+        hits: mut all_hits,
+        completed_pairs: mut completed,
+        abandoned: mut abandoned_count,
+        cells_computed: mut cells,
+        faults: mut all_faults,
+        attempt,
+    } = carried;
+    let pairs: Vec<_> = ids.iter().map(|&i| (query, &database[i])).collect();
+    let mut scratch = crate::striped::BatchScratch::default();
+    let (slots, report) = crate::striped::scan_topk_resume_impl(
+        cfg,
+        &pairs,
+        &ids,
+        k,
+        &all_hits,
+        workers,
+        &mut scratch,
+        ctrl,
+    );
+
+    let mut remaining = Vec::new();
+    for (pos, slot) in slots.iter().enumerate() {
+        let idx = ids[pos];
         if let Some(outcome) = slot.outcome() {
-            completed_pairs += 1;
-            cells_computed += outcome.cells_computed;
+            completed += 1;
+            cells += outcome.cells_computed;
             match outcome.finished_score() {
-                Some(score) => hits.push((idx, score)),
-                None => abandoned += 1,
+                Some(score) => all_hits.push((idx, score)),
+                None => abandoned_count += 1,
             }
         } else if matches!(slot, crate::striped::Slot::Faulted) {
-            faulted_pairs += 1;
+            faulted.push(idx);
+        } else {
+            remaining.push(idx);
         }
     }
-    hits.sort_unstable_by_key(|&(idx, score)| (score, idx));
-    hits.truncate(k);
-    Ok(ScanOutcome {
-        hits,
-        completed_pairs,
-        faulted_pairs,
-        total_pairs: database.len(),
-        abandoned,
-        cells_computed,
-        faults: report.faults,
+    all_hits.sort_unstable_by_key(|&(idx, score)| (score, idx));
+    all_hits.truncate(k);
+    faulted.sort_unstable();
+    all_faults.extend(report.faults.into_iter().map(|mut f| {
+        for p in &mut f.pairs {
+            *p = ids[*p];
+        }
+        f.attempt = attempt;
+        f
+    }));
+
+    let outcome = ScanOutcome {
+        hits: all_hits.clone(),
+        completed_pairs: completed,
+        faulted_pairs: faulted.len(),
+        total_pairs,
+        abandoned: abandoned_count,
+        cells_computed: cells,
+        faults: all_faults.clone(),
         stop: report.stop,
-    })
+    };
+    let token = (!remaining.is_empty() || !faulted.is_empty()).then_some(ResumeToken {
+        k,
+        total_pairs,
+        remaining,
+        retryable: faulted,
+        hits: all_hits,
+        completed_pairs: completed,
+        abandoned: abandoned_count,
+        cells_computed: cells,
+        faults: all_faults,
+        attempt,
+    });
+    (outcome, token)
+}
+
+/// The admission-control cost estimate of a scan: total banded DP cells
+/// ([`crate::engine::BatchPlanStats::useful_cells`]'s currency) the
+/// query would race across the database under `cfg`'s band, assuming no
+/// early abandons. The [`crate::service::ScanService`] keys its bounded
+/// queue on this.
+#[must_use]
+pub fn estimate_scan_cells<S: Symbol>(
+    cfg: &AlignConfig,
+    query: &rl_bio::PackedSeq<S>,
+    database: &[rl_bio::PackedSeq<S>],
+) -> u64 {
+    database
+        .iter()
+        .map(|p| crate::striped::grid_cells(query.len(), p.len(), cfg.band))
+        .sum()
 }
 
 #[cfg(test)]

@@ -27,7 +27,8 @@
 //! | [`score_transform`] | §5 | arbitrary score matrices (BLOSUM62…) → positive delay weights, and exact score recovery |
 //! | [`generalized`] | §5, Fig. 8 | the generalized cell: saturating counter + weight taps + set-on-arrival |
 //! | [`early_termination`] | §6 | thresholded races that abandon dissimilar pairs early |
-//! | [`supervisor`] | robustness | supervised scan execution: cancellation, deadlines, cell budgets, per-stripe panic isolation with fallback retry, and a feature-gated fault-injection harness |
+//! | [`supervisor`] | robustness | supervised scan execution: cancellation, deadlines, cell budgets, per-stripe panic isolation with fallback retry, resume tokens, and a feature-gated fault-injection harness |
+//! | [`service`] | robustness | the long-lived scan service: bounded admission by estimated cells, overload shedding, retry with exponential backoff, resumable queries, and a heartbeat watchdog |
 //! | [`asynchronous`] | §6, Fig. 3d | continuous-time races with analog delay variation (extension) |
 //! | [`banded`] | design space | Ukkonen-banded arrays with certified exactness (extension) |
 //! | [`semi_global`] | §6 scans | query-in-reference races via multi-point injection — thin wrapper over the engine's semi-global mode (extension) |
@@ -63,6 +64,7 @@ pub mod gating;
 pub mod generalized;
 pub mod score_transform;
 pub mod semi_global;
+pub mod service;
 pub mod simd;
 mod striped;
 pub mod supervisor;

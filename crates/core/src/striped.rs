@@ -110,7 +110,7 @@ pub(crate) const fn effective_stripe_lanes(width: LaneWidth, members: usize) -> 
 /// currency. Matches the engine's `band_range` row clipping exactly
 /// (tested against the per-diagonal sum), in O(1): the full grid minus
 /// the two clipped corner triangles `j − i > k` and `i − j > k`.
-fn grid_cells(n: usize, m: usize, band: Option<usize>) -> u64 {
+pub(crate) fn grid_cells(n: usize, m: usize, band: Option<usize>) -> u64 {
     let full = (n as u64 + 1) * (m as u64 + 1);
     let Some(k) = band else { return full };
     // Σ_{r=0}^{rows} max(0, excess − r): the corner triangle, clipped
@@ -391,25 +391,36 @@ pub(crate) fn scan_topk_impl<S: Symbol>(
 }
 
 /// The supervised ratcheted scan behind
-/// [`crate::early_termination::scan_database_topk_supervised`]: the
-/// [`scan_topk_impl`] pipeline with panic isolation and cooperative
-/// stops. Returns the per-pair slots plus the fault/stop report; the
-/// caller assembles the [`crate::supervisor::ScanOutcome`].
-pub(crate) fn scan_topk_supervised_impl<S: Symbol>(
+/// [`crate::early_termination::scan_database_topk_supervised`] and its
+/// resumable forms: the [`scan_topk_impl`] pipeline with panic
+/// isolation and cooperative stops, over a pair *subset* (`pairs[pos]`
+/// is original database entry `ids[pos]`; a fresh scan passes the
+/// identity) under a ratchet pre-seeded with `seed`, the carried best
+/// hits of every pair completed by earlier segments. All slot positions
+/// and ledger fault `pairs` in the return are **subset positions**; the
+/// caller ([`crate::early_termination`]) remaps them through `ids` when
+/// it merges the segment into the cumulative
+/// [`crate::supervisor::ScanOutcome`]. The ratchet itself remaps
+/// internally so score tie-breaks match the uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_topk_resume_impl<S: Symbol>(
     cfg: &AlignConfig,
     pairs: &[(&PackedSeq<S>, &PackedSeq<S>)],
+    ids: &[usize],
     k: usize,
+    seed: &[(usize, u64)],
     workers: Option<usize>,
     scratch: &mut BatchScratch,
     ctrl: &ScanControl,
 ) -> (Vec<Slot>, RunReport) {
+    debug_assert_eq!(pairs.len(), ids.len());
     let mut faults = Vec::new();
     let mut slots = vec![Slot::Pending; pairs.len()];
     if pairs.is_empty() {
         return (slots, RunReport { faults, stop: None });
     }
     let units = plan_units_guarded(cfg, pairs, &mut faults);
-    let ratchet = Ratchet::new(k, cfg.threshold);
+    let ratchet = Ratchet::seeded(k, cfg.threshold, seed, ids.to_vec());
     let mut report = run_units(
         cfg,
         pairs,
@@ -444,6 +455,12 @@ struct Ratchet {
     /// Max-heap on `(score, index)`: the root is the *worst* of the
     /// current best-k, i.e. exactly the entry the next hit must beat.
     heap: Mutex<std::collections::BinaryHeap<(u64, usize)>>,
+    /// Position → original-database-index remap for resumed scans
+    /// running over a pair *subset*: tie-breaks and reported hits must
+    /// use original indices or a resumed run's `(score, index)` order —
+    /// and therefore its top-k at score ties — would diverge from the
+    /// uninterrupted run. `None` = identity (a fresh full scan).
+    ids: Option<Vec<usize>>,
 }
 
 impl Ratchet {
@@ -452,7 +469,27 @@ impl Ratchet {
             k,
             limit: AtomicU64::new(initial.unwrap_or(NEVER)),
             heap: Mutex::new(std::collections::BinaryHeap::with_capacity(k + 1)),
+            ids: None,
         }
+    }
+
+    /// A ratchet for a resumed scan: pre-folds the carried hits of every
+    /// completed pair (original indices), so the bound starts exactly as
+    /// tight as the interrupted run left it, and remaps subsequent
+    /// observations through `ids`. Sound because the carried k-th best
+    /// among completed pairs is ≥ the true final k-th best — the bound
+    /// only ever tightens from there.
+    fn seeded(k: usize, initial: Option<u64>, seed: &[(usize, u64)], ids: Vec<usize>) -> Self {
+        let r = Ratchet {
+            k,
+            limit: AtomicU64::new(initial.unwrap_or(NEVER)),
+            heap: Mutex::new(std::collections::BinaryHeap::with_capacity(k + 1)),
+            ids: Some(ids),
+        };
+        for &(index, score) in seed {
+            r.fold(score, index);
+        }
+        r
     }
 
     /// The threshold units should currently run under (`None` = no
@@ -469,6 +506,14 @@ impl Ratchet {
     /// poisoned heap (an injected failpoint panic) is still consistent.
     fn observe(&self, score: u64, index: usize) {
         fp_hit("ratchet");
+        let index = self.ids.as_ref().map_or(index, |ids| ids[index]);
+        self.fold(score, index);
+    }
+
+    /// The lock-and-fold half of [`observe`](Ratchet::observe), in
+    /// original-index space (seeding calls it directly, bypassing the
+    /// failpoint and the remap).
+    fn fold(&self, score: u64, index: usize) {
         let mut heap = self
             .heap
             .lock()
@@ -652,15 +697,15 @@ fn run_striped_unit<S: Symbol>(
         };
         let need = stripe_scratch_bytes(nn, mm, lanes, unit.width, planes);
         if need > budget {
-            ledger.note_fault(Fault {
-                site: "scratch-budget".into(),
-                pairs: unit.members.clone(),
-                recovered: true,
-                message: format!(
+            ledger.note_fault(Fault::new(
+                "scratch-budget",
+                unit.members.clone(),
+                true,
+                format!(
                     "stripe scratch estimate {need} B exceeds budget {budget} B; \
                      members degraded to the per-pair kernel"
                 ),
-            });
+            ));
             run_per_pair_unit(cfg, pairs, unit, worker, ratchet, ctrl, propagate, ledger);
             return;
         }
@@ -719,6 +764,13 @@ fn run_striped_unit<S: Symbol>(
 /// true k-th best score, so a retried true-top-k entry still finishes
 /// with its exact score and the final top-k stays byte-identical to
 /// the unfaulted run (property-tested in `tests/failpoints.rs`).
+///
+/// A deadline/cancel/budget/watchdog trip *during* the fallback is an
+/// interruption, not a loss: the untouched members stay `Pending`
+/// (resumable) and the stripe's ledger entry carries the stop in
+/// [`Fault::interrupted`] instead of folding it into the worker-fault
+/// message. `recovered` then still reflects only the pairs the
+/// fallback actually reached.
 #[allow(clippy::too_many_arguments)]
 fn quarantine_and_retry<S: Symbol>(
     cfg: &AlignConfig,
@@ -731,7 +783,8 @@ fn quarantine_and_retry<S: Symbol>(
     site: &str,
     message: String,
 ) {
-    let mut recovered = true;
+    let mut lost = false;
+    let mut interrupted = None;
     for idx in 0..unit.members.len() {
         if unit.states[idx] == SlotState::Done {
             continue;
@@ -739,7 +792,7 @@ fn quarantine_and_retry<S: Symbol>(
         let i = unit.members[idx];
         if let Some(stop) = ctrl.and_then(ScanControl::should_stop) {
             ledger.note_stop(stop);
-            recovered = false;
+            interrupted = Some(stop);
             break;
         }
         let mut fallback = *cfg;
@@ -761,27 +814,25 @@ fn quarantine_and_retry<S: Symbol>(
             }
             Ok(Err(stop)) => {
                 ledger.note_stop(stop);
-                recovered = false;
+                interrupted = Some(stop);
                 break;
             }
             Err(retry_payload) => {
                 unit.states[idx] = SlotState::Faulted;
-                recovered = false;
-                ledger.note_fault(Fault {
-                    site: "per-pair".into(),
-                    pairs: vec![i],
-                    recovered: false,
-                    message: panic_message(&*retry_payload),
-                });
+                lost = true;
+                ledger.note_fault(Fault::new(
+                    "per-pair",
+                    vec![i],
+                    false,
+                    panic_message(&*retry_payload),
+                ));
             }
         }
     }
     worker.engine.set_config(*cfg);
     ledger.note_fault(Fault {
-        site: site.into(),
-        pairs: unit.members.clone(),
-        recovered,
-        message,
+        interrupted,
+        ..Fault::new(site, unit.members.clone(), !lost, message)
     });
 }
 
@@ -830,22 +881,22 @@ fn run_per_pair_unit<S: Symbol>(
                 worker.engine.set_config(fallback);
                 match catch_unwind(AssertUnwindSafe(|| worker.engine.align_ctrl(q, p, ctrl))) {
                     Ok(res) => {
-                        ledger.note_fault(Fault {
-                            site: "per-pair".into(),
-                            pairs: vec![i],
-                            recovered: true,
-                            message: panic_message(&*payload),
-                        });
+                        ledger.note_fault(Fault::new(
+                            "per-pair",
+                            vec![i],
+                            true,
+                            panic_message(&*payload),
+                        ));
                         res
                     }
                     Err(retry_payload) => {
                         unit.states[idx] = SlotState::Faulted;
-                        ledger.note_fault(Fault {
-                            site: "per-pair".into(),
-                            pairs: vec![i],
-                            recovered: false,
-                            message: panic_message(&*retry_payload),
-                        });
+                        ledger.note_fault(Fault::new(
+                            "per-pair",
+                            vec![i],
+                            false,
+                            panic_message(&*retry_payload),
+                        ));
                         continue;
                     }
                 }
@@ -875,12 +926,12 @@ fn run_per_pair_unit<S: Symbol>(
 /// could be, and abandons stay strict `score > threshold` proofs.
 fn observe_guarded(r: &Ratchet, score: u64, index: usize, ledger: &ExecLedger) {
     if let Err(payload) = catch_unwind(AssertUnwindSafe(|| r.observe(score, index))) {
-        ledger.note_fault(Fault {
-            site: "ratchet".into(),
-            pairs: vec![index],
-            recovered: true,
-            message: panic_message(&*payload),
-        });
+        ledger.note_fault(Fault::new(
+            "ratchet",
+            vec![index],
+            true,
+            panic_message(&*payload),
+        ));
     }
 }
 
@@ -956,12 +1007,12 @@ fn plan_units_guarded<S: Symbol>(
     match catch_unwind(AssertUnwindSafe(|| plan_units(cfg, pairs))) {
         Ok(units) => units,
         Err(payload) => {
-            faults.push(Fault {
-                site: "packer".into(),
-                pairs: (0..pairs.len()).collect(),
-                recovered: true,
-                message: panic_message(&*payload),
-            });
+            faults.push(Fault::new(
+                "packer",
+                (0..pairs.len()).collect::<Vec<_>>(),
+                true,
+                panic_message(&*payload),
+            ));
             let per = pairs.len().div_ceil(rayon::current_num_threads());
             let indices: Vec<usize> = (0..pairs.len()).collect();
             indices

@@ -21,10 +21,16 @@
 //!   member pairs are retried one by one on the scalar rolling-row
 //!   fallback kernel; when every retry succeeds the scan's output is
 //!   byte-identical to the unfaulted run (tested under injected panics).
+//! - [`ResumeToken`] — the checkpoint of an interrupted scan: remaining
+//!   pairs plus the carried top-k bound, consumed by
+//!   [`crate::early_termination::scan_packed_topk_resume`] so a stopped
+//!   scan continues to a final top-k byte-identical to an uninterrupted
+//!   run.
 //! - `failpoint` — a feature-gated (`failpoints`), zero-cost-when-off
 //!   registry of named injection sites (`packer`, `stripe-sweep`,
-//!   `ratchet`, `affine`, `simd-diag`) so the fault paths above are
-//!   deterministically testable.
+//!   `ratchet`, `affine`, `simd-diag`, `service-*`) so the fault paths
+//!   above — and the [`crate::service`] control plane on top of them —
+//!   are deterministically testable.
 //!
 //! See `docs/ROBUSTNESS.md` for the full semantics.
 
@@ -42,6 +48,10 @@ pub enum StopReason {
     DeadlineExpired,
     /// The grid-cell budget was spent.
     BudgetExhausted,
+    /// A watchdog observed a stalled worker heartbeat and tripped the
+    /// control (see [`ScanControl::trip_watchdog`] and
+    /// [`crate::service::ScanService`]).
+    Watchdog,
 }
 
 impl std::fmt::Display for StopReason {
@@ -50,6 +60,7 @@ impl std::fmt::Display for StopReason {
             StopReason::Cancelled => write!(f, "cancelled"),
             StopReason::DeadlineExpired => write!(f, "deadline expired"),
             StopReason::BudgetExhausted => write!(f, "cell budget exhausted"),
+            StopReason::Watchdog => write!(f, "watchdog tripped"),
         }
     }
 }
@@ -73,6 +84,7 @@ impl std::fmt::Display for StopReason {
 #[derive(Debug, Default)]
 pub struct ScanControl {
     cancel: AtomicBool,
+    watchdog: AtomicBool,
     deadline: Option<Instant>,
     cells_budget: Option<u64>,
     scratch_budget: Option<usize>,
@@ -133,6 +145,25 @@ impl ScanControl {
         self.cancel.load(Ordering::Relaxed)
     }
 
+    /// Trips the watchdog flag: the run stops at its next checkpoint
+    /// with [`StopReason::Watchdog`]. Called by a supervising thread
+    /// when the progress heartbeat — the [`cells_spent`] counter of the
+    /// published control — stalls; like [`cancel`], the flag is sticky
+    /// for the lifetime of this control.
+    ///
+    /// [`cells_spent`]: ScanControl::cells_spent
+    ///
+    /// [`cancel`]: ScanControl::cancel
+    pub fn trip_watchdog(&self) {
+        self.watchdog.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`trip_watchdog`](ScanControl::trip_watchdog) was called.
+    #[must_use]
+    pub fn watchdog_tripped(&self) -> bool {
+        self.watchdog.load(Ordering::Relaxed)
+    }
+
     /// Grid cells charged so far across every worker.
     #[must_use]
     pub fn cells_spent(&self) -> u64 {
@@ -144,7 +175,9 @@ impl ScanControl {
         self.scratch_budget
     }
 
-    /// Charges `cells` against the budget (always counted, budget or not).
+    /// Charges `cells` against the budget (always counted, budget or
+    /// not). The counter doubles as the progress heartbeat an external
+    /// watchdog polls, at zero extra cost on this hot path.
     pub(crate) fn charge(&self, cells: u64) {
         self.cells_spent.fetch_add(cells, Ordering::Relaxed);
     }
@@ -157,6 +190,9 @@ impl ScanControl {
     pub fn should_stop(&self) -> Option<StopReason> {
         if self.is_cancelled() {
             return Some(StopReason::Cancelled);
+        }
+        if self.watchdog_tripped() {
+            return Some(StopReason::Watchdog);
         }
         if let Some(budget) = self.cells_budget {
             if self.cells_spent() >= budget {
@@ -200,6 +236,9 @@ impl<'c> SupCursor<'c> {
         if ctrl.is_cancelled() {
             return Err(StopReason::Cancelled);
         }
+        if ctrl.watchdog_tripped() {
+            return Err(StopReason::Watchdog);
+        }
         if let Some(budget) = ctrl.cells_budget {
             if ctrl.cells_spent() >= budget {
                 return Err(StopReason::BudgetExhausted);
@@ -223,15 +262,51 @@ impl<'c> SupCursor<'c> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fault {
     /// Where the fault surfaced: `packer`, `stripe-sweep`, `ratchet`,
-    /// `scratch-budget`, or `per-pair`.
+    /// `scratch-budget`, `per-pair`, or a `service-*` control-plane
+    /// site.
     pub site: String,
     /// The database/batch indices of the pairs the fault touched.
     pub pairs: Vec<usize>,
-    /// Whether every touched pair still produced its result (via the
-    /// per-pair fallback kernel, or because the fault was harmless).
+    /// Whether every touched pair that the fallback *reached* still
+    /// produced its result (via the per-pair fallback kernel, or
+    /// because the fault was harmless). Pairs the fallback never
+    /// reached because the run was interrupted are reported through
+    /// [`interrupted`](Fault::interrupted), not counted as lost.
     pub recovered: bool,
     /// The panic payload (or a description of the degradation).
     pub message: String,
+    /// Which retry attempt recorded this fault: `0` for the in-scan
+    /// immediate fallback, `1..` for service-level backoff retries.
+    pub attempt: u32,
+    /// The backoff pause the service slept before the retry that
+    /// recorded this fault (`0` for in-scan faults).
+    pub backoff: Duration,
+    /// Set when a deadline/cancel/budget/watchdog trip cut the fallback
+    /// short mid-stripe: the untouched member pairs stay *remaining*
+    /// (resumable), and the stop surfaces here instead of being folded
+    /// into the worker-fault message.
+    pub interrupted: Option<StopReason>,
+}
+
+impl Fault {
+    /// A ledger entry with no retry history: attempt 0, zero backoff,
+    /// not interrupted.
+    pub(crate) fn new(
+        site: impl Into<String>,
+        pairs: Vec<usize>,
+        recovered: bool,
+        message: impl Into<String>,
+    ) -> Self {
+        Fault {
+            site: site.into(),
+            pairs,
+            recovered,
+            message: message.into(),
+            attempt: 0,
+            backoff: Duration::ZERO,
+            interrupted: None,
+        }
+    }
 }
 
 /// The typed partial result of a supervised top-k scan
@@ -280,6 +355,119 @@ impl ScanOutcome {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.completed_pairs == self.total_pairs
+    }
+}
+
+/// A checkpoint of an interrupted top-k scan, produced by
+/// [`crate::early_termination::scan_packed_topk_resumable`] alongside a
+/// partial [`ScanOutcome`] and consumed by
+/// [`crate::early_termination::scan_packed_topk_resume`].
+///
+/// The token carries the pair indices still to run, the cumulative
+/// accounting of every earlier segment, and the carried top-k hits that
+/// re-seed the ratchet. Re-seeding is sound because the ratchet bound
+/// only ever tightens: the k-th best score among *completed* pairs is an
+/// upper bound on the k-th best among *all* pairs, so any pair a resumed
+/// segment abandons against the carried bound is provably outside the
+/// final top-k. See `docs/ROBUSTNESS.md`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeToken {
+    pub(crate) k: usize,
+    pub(crate) total_pairs: usize,
+    /// Original database indices never started (or interrupted
+    /// mid-flight before scoring), ascending.
+    pub(crate) remaining: Vec<usize>,
+    /// Original database indices lost to unrecovered worker faults;
+    /// eligible for a service-level retry via
+    /// [`retry_faulted`](ResumeToken::retry_faulted).
+    pub(crate) retryable: Vec<usize>,
+    /// Carried best hits among completed pairs: `(index, score)` sorted
+    /// ascending, at most `k`.
+    pub(crate) hits: Vec<(usize, u64)>,
+    pub(crate) completed_pairs: usize,
+    pub(crate) abandoned: usize,
+    pub(crate) cells_computed: u64,
+    pub(crate) faults: Vec<Fault>,
+    pub(crate) attempt: u32,
+}
+
+impl ResumeToken {
+    /// The `k` the interrupted scan was submitted with.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total pairs in the scanned database.
+    #[must_use]
+    pub fn total_pairs(&self) -> usize {
+        self.total_pairs
+    }
+
+    /// Pairs still to run on resume.
+    #[must_use]
+    pub fn remaining_pairs(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Pairs lost to unrecovered faults, not yet requeued.
+    #[must_use]
+    pub fn retryable_pairs(&self) -> usize {
+        self.retryable.len()
+    }
+
+    /// How many times the faulted set has been requeued so far.
+    #[must_use]
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Original indices of every pair still to run: remaining, then
+    /// retryable. The service's admission estimate for a resumed query.
+    pub(crate) fn pending_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.remaining.iter().chain(&self.retryable).copied()
+    }
+
+    /// Original indices of the pairs lost to unrecovered faults.
+    pub(crate) fn retryable_indices(&self) -> &[usize] {
+        &self.retryable
+    }
+
+    /// Records a service-level retry decision in the cumulative ledger,
+    /// stamped with the attempt about to run (`attempt + 1`) and its
+    /// backoff pause. Call before [`retry_faulted`](Self::retry_faulted).
+    pub(crate) fn push_service_fault(
+        &mut self,
+        site: &str,
+        pairs: Vec<usize>,
+        message: &str,
+        backoff: Duration,
+        interrupted: Option<StopReason>,
+    ) {
+        self.faults.push(Fault {
+            site: site.into(),
+            pairs,
+            recovered: true,
+            message: message.into(),
+            attempt: self.attempt + 1,
+            backoff,
+            interrupted,
+        });
+    }
+
+    /// Moves the faulted pairs back into the remaining set so the next
+    /// resume retries them, bumps the attempt counter, and returns how
+    /// many pairs were requeued. Safe to call repeatedly. Sound because
+    /// faulted pairs never contributed a hit or an observation: running
+    /// them again cannot double-count.
+    pub fn retry_faulted(&mut self) -> usize {
+        let n = self.retryable.len();
+        if n > 0 {
+            self.remaining.append(&mut self.retryable);
+            self.remaining.sort_unstable();
+        }
+        self.attempt += 1;
+        n
     }
 }
 
@@ -349,6 +537,10 @@ pub mod failpoint {
     //! | `affine` | top of the affine wavefront kernel | per-pair fallback on the rolling-row kernel |
     //! | `affine-stripe` | top of the striped three-plane affine sweep | stripe quarantine + per-pair Gotoh retry |
     //! | `simd-diag` | top of the wavefront diagonal update | per-pair fallback on the rolling-row kernel |
+    //! | `service-enqueue` | service admission, before validation | typed `Rejected` backpressure, queue stays intact |
+    //! | `service-retry` | service retry decision, before the backoff | finalize-with-partial instead of a wedged query |
+    //! | `service-resume` | service resume segment, before the scan | failed attempt → backoff → clean re-resume |
+    //! | `watchdog-heartbeat` | service worker, before each segment | heartbeat stall → watchdog trip → `StopReason::Watchdog` |
     //!
     //! The registry is process-global: tests that arm sites must
     //! serialize on [`lock_for_test`] and disarm in every exit path
@@ -573,5 +765,62 @@ mod tests {
         assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
         assert!(StopReason::DeadlineExpired.to_string().contains("deadline"));
         assert!(StopReason::BudgetExhausted.to_string().contains("budget"));
+        assert!(StopReason::Watchdog.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn watchdog_trip_stops_at_next_checkpoint() {
+        let ctrl = ScanControl::new();
+        assert!(!ctrl.watchdog_tripped());
+        assert_eq!(ctrl.should_stop(), None);
+        ctrl.trip_watchdog();
+        assert!(ctrl.watchdog_tripped());
+        assert_eq!(ctrl.should_stop(), Some(StopReason::Watchdog));
+        let mut cursor = SupCursor::new(Some(&ctrl));
+        assert_eq!(cursor.tick(1), Err(StopReason::Watchdog));
+        // Cancellation outranks the watchdog at a checkpoint.
+        ctrl.cancel();
+        assert_eq!(ctrl.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn cells_spent_is_the_progress_heartbeat() {
+        // The watchdog polls `cells_spent` for progress: every charging
+        // checkpoint advances it, so only a genuinely wedged worker
+        // (no charges) reads as stalled.
+        let ctrl = ScanControl::new();
+        let mut cursor = SupCursor::new(Some(&ctrl));
+        let mut last = ctrl.cells_spent();
+        for _ in 0..5 {
+            cursor.tick(3).unwrap();
+            assert!(ctrl.cells_spent() > last);
+            last = ctrl.cells_spent();
+        }
+    }
+
+    #[test]
+    fn resume_token_retry_faulted_requeues_and_bumps_attempt() {
+        let mut tok = ResumeToken {
+            k: 3,
+            total_pairs: 10,
+            remaining: vec![4, 7],
+            retryable: vec![2, 9],
+            hits: vec![(1, 5)],
+            completed_pairs: 6,
+            abandoned: 1,
+            cells_computed: 99,
+            faults: vec![Fault::new("stripe-sweep", vec![2, 9], false, "boom")],
+            attempt: 0,
+        };
+        assert_eq!(tok.remaining_pairs(), 2);
+        assert_eq!(tok.retryable_pairs(), 2);
+        assert_eq!(tok.retry_faulted(), 2);
+        assert_eq!(tok.remaining, vec![2, 4, 7, 9]);
+        assert_eq!(tok.retryable_pairs(), 0);
+        assert_eq!(tok.attempt(), 1);
+        assert_eq!(tok.retry_faulted(), 0);
+        assert_eq!(tok.attempt(), 2);
+        assert_eq!(tok.k(), 3);
+        assert_eq!(tok.total_pairs(), 10);
     }
 }

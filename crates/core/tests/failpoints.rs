@@ -261,3 +261,298 @@ fn persistent_stripe_panics_still_complete_the_scan() {
     assert!(outcome.is_complete());
     assert!(outcome.faults.iter().all(|f| f.recovered));
 }
+
+// ---------------------------------------------------------------------
+// Service-layer sites and interruption attribution (PR 8).
+
+use std::sync::{Arc, Mutex};
+
+use race_logic::early_termination::{scan_packed_topk_resumable, scan_packed_topk_resume};
+use race_logic::service::{BackoffTimer, ScanRequest, ScanService, ServiceConfig, SubmitError};
+use race_logic::AlignError;
+
+/// A test timer that records every backoff pause instead of sleeping,
+/// keeping retry tests deterministic and instant.
+struct RecordingTimer(Mutex<Vec<Duration>>);
+
+impl BackoffTimer for RecordingTimer {
+    fn pause(&self, delay: Duration) {
+        self.0.lock().unwrap().push(delay);
+    }
+}
+
+/// Satellite: a budget trip *during* a quarantined stripe's per-pair
+/// fallback is attributed as an interruption on the fault, and the
+/// unreached members stay `remaining` — they are not folded into
+/// `faulted_pairs` as if the worker had lost them.
+#[test]
+fn budget_trip_during_quarantine_is_interrupted_not_lost() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(21, 24, 64);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+
+    // The sweep panics, then the very first fallback row exhausts the
+    // 1-cell budget: the fallback is cut off before recovering anyone.
+    failpoint::arm_times("stripe-sweep", Action::Panic, 1);
+    let ctrl = ScanControl::new().with_cells_budget(1);
+    let (outcome, token) =
+        scan_packed_topk_resumable(&cfg, &q, &database, 3, Some(1), &ctrl).unwrap();
+    failpoint::disarm_all();
+
+    assert_eq!(outcome.stop, Some(StopReason::BudgetExhausted));
+    let fault = outcome
+        .faults
+        .iter()
+        .find(|f| f.site == "stripe-sweep")
+        .expect("the injected stripe fault must be ledgered");
+    assert_eq!(
+        fault.interrupted,
+        Some(StopReason::BudgetExhausted),
+        "the cut-off fallback must carry the stop reason"
+    );
+    assert!(fault.recovered, "an interrupted fallback is not a loss");
+    assert_eq!(
+        outcome.faulted_pairs, 0,
+        "interrupted members stay remaining, not lost: {outcome:?}"
+    );
+    assert_eq!(
+        outcome.completed_pairs + outcome.faulted_pairs + outcome.remaining_pairs(),
+        outcome.total_pairs
+    );
+
+    // The token resumes the interrupted members to the exact baseline.
+    let token = token.expect("an interrupted scan must be resumable");
+    let (full, none) =
+        scan_packed_topk_resume(&cfg, &q, &database, token, Some(1), &ScanControl::new()).unwrap();
+    assert!(none.is_none());
+    assert!(full.is_complete());
+    assert_eq!(full.hits, baseline.hits);
+}
+
+/// Site `service-enqueue`: a control-plane panic at admission surfaces
+/// as a typed rejection and leaves the service healthy.
+#[test]
+fn service_enqueue_panic_rejects_then_recovers() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(23, 16, 48);
+    let database = Arc::new(database);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+
+    let service = ScanService::new(ServiceConfig::default());
+    failpoint::arm_times("service-enqueue", Action::Panic, 1);
+    match service.try_submit(ScanRequest::new(cfg, q.clone(), Arc::clone(&database), 3)) {
+        Err(SubmitError::Rejected {
+            reason: AlignError::WorkerFault { site, .. },
+        }) => assert_eq!(site, "service-enqueue"),
+        other => panic!("expected a WorkerFault rejection, got {other:?}"),
+    }
+    failpoint::disarm_all();
+
+    let handle = service
+        .try_submit(ScanRequest::new(cfg, q, database, 3))
+        .expect("the service must stay healthy after the rejection");
+    let report = handle.wait().expect("completes");
+    assert_eq!(report.outcome.hits, baseline.hits);
+    assert_eq!(service.stats().completed, 1);
+}
+
+/// Site `service-resume`: a panic in the resume control plane is a
+/// failed attempt — backed off (recorded, not slept) and re-run clean,
+/// with the retry history ledgered on the final outcome.
+#[test]
+fn service_resume_panic_backs_off_and_recovers() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(25, 96, 48);
+    let database = Arc::new(database);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+
+    let timer = Arc::new(RecordingTimer(Mutex::new(Vec::new())));
+    let base = Duration::from_millis(10);
+    let service = ScanService::with_timer(
+        ServiceConfig::default().with_backoff(base, Duration::from_secs(1)),
+        Arc::clone(&timer) as Arc<dyn BackoffTimer>,
+    );
+
+    // First run under a budget: a partial outcome plus a resume token.
+    let handle = service
+        .try_submit(
+            ScanRequest::new(cfg, q.clone(), Arc::clone(&database), 3).with_cells_budget(6_000),
+        )
+        .expect("admitted");
+    let partial = handle.wait().expect("partial");
+    assert_eq!(partial.outcome.stop, Some(StopReason::BudgetExhausted));
+    let token = partial.resume.expect("resumable");
+
+    failpoint::arm_times("service-resume", Action::Panic, 1);
+    let handle = service
+        .resume(ScanRequest::new(cfg, q, database, 3), token)
+        .expect("resume admitted");
+    let report = handle.wait().expect("recovers");
+    failpoint::disarm_all();
+
+    assert_eq!(report.attempts, 2, "one failed attempt, one clean");
+    assert!(report.outcome.is_complete());
+    assert_eq!(report.outcome.hits, baseline.hits);
+    assert_eq!(*timer.0.lock().unwrap(), vec![base], "attempt 1 backoff");
+    let fault = report
+        .outcome
+        .faults
+        .iter()
+        .find(|f| f.site == "service-resume")
+        .expect("the failed attempt must be ledgered");
+    assert_eq!(fault.attempt, 1, "stamped with the attempt that failed");
+    assert_eq!(fault.backoff, base);
+}
+
+/// Site `service-retry`: a panic at the retry decision finalizes the
+/// query with its partial outcome and resume token instead of wedging
+/// it; a later resume still completes byte-identically.
+#[test]
+fn service_retry_panic_finalizes_partial_after_watchdog() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    // 40 pairs = two u8 stripes: the first sweep sleeps through the
+    // watchdog timeout, the second unit observes the trip and stops.
+    let (q, database) = db(3, 40, 64);
+    let database = Arc::new(database);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+
+    let service = ScanService::new(
+        ServiceConfig::default()
+            .with_watchdog(Duration::from_millis(30))
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    failpoint::arm_times("stripe-sweep", Action::Sleep(Duration::from_millis(250)), 1);
+    failpoint::arm_times("service-retry", Action::Panic, 1);
+    let handle = service
+        .try_submit(ScanRequest::new(cfg, q.clone(), Arc::clone(&database), 3))
+        .expect("admitted");
+    let report = handle.wait().expect("finalized, not wedged");
+    failpoint::disarm_all();
+
+    assert_eq!(report.outcome.stop, Some(StopReason::Watchdog));
+    assert!(report.watchdog_trips >= 1);
+    assert_eq!(report.attempts, 1, "the retry was abandoned");
+    let token = report.resume.expect("partial outcome keeps its token");
+
+    let handle = service
+        .resume(ScanRequest::new(cfg, q, database, 3), token)
+        .expect("resume admitted");
+    let full = handle.wait().expect("completes");
+    assert!(full.outcome.is_complete());
+    assert_eq!(full.outcome.hits, baseline.hits);
+}
+
+/// Site `watchdog-heartbeat`: a worker stuck *outside* the kernels (the
+/// heartbeat epoch stalls with a segment published) is tripped by the
+/// watchdog thread and the query is retried to the exact baseline.
+#[test]
+fn watchdog_trips_stalled_heartbeat_and_retries() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(27, 24, 48);
+    let database = Arc::new(database);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+
+    let service = ScanService::new(
+        ServiceConfig::default()
+            .with_watchdog(Duration::from_millis(25))
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    failpoint::arm_times(
+        "watchdog-heartbeat",
+        Action::Sleep(Duration::from_millis(200)),
+        1,
+    );
+    let handle = service
+        .try_submit(ScanRequest::new(cfg, q, database, 3))
+        .expect("admitted");
+    let report = handle.wait().expect("retried to completion");
+    failpoint::disarm_all();
+
+    assert!(
+        report.watchdog_trips >= 1,
+        "the stall must trip: {report:?}"
+    );
+    assert_eq!(report.attempts, 2, "one tripped attempt, one clean");
+    assert!(report.outcome.is_complete());
+    assert_eq!(report.outcome.hits, baseline.hits);
+    let fault = report
+        .outcome
+        .faults
+        .iter()
+        .find(|f| f.site == "service-retry")
+        .expect("the watchdog retry must be ledgered");
+    assert_eq!(fault.interrupted, Some(StopReason::Watchdog));
+    assert!(fault.backoff >= Duration::from_millis(1));
+    assert_eq!(service.stats().watchdog_trips, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite: resume determinism holds even when EVERY stripe sweep
+    /// panics — each budget-bounded segment degrades to the per-pair
+    /// fallback (sometimes cut off mid-quarantine), and the chained
+    /// resume still lands on the uninterrupted baseline top-k.
+    #[test]
+    fn resume_chain_under_stripe_panics_matches_baseline(
+        seed in 0_u64..1_000,
+        budget_step in 12_000_u64..40_000,
+        wide in 0_u32..2,
+        affine in 0_u32..2,
+    ) {
+        let _guard = failpoint::lock_for_test();
+        failpoint::quiet_failpoint_panics();
+
+        let workers = Some(if wide == 1 { 4 } else { 1 });
+        let cfg = if affine == 1 {
+            AlignConfig::new(RaceWeights::fig4())
+                .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }))
+        } else {
+            AlignConfig::new(RaceWeights::fig4())
+        };
+        let entries = 40_usize;
+        let (q, database) = db(seed, entries, 48);
+        let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, workers);
+
+        failpoint::arm("stripe-sweep", Action::Panic);
+        failpoint::arm("affine-stripe", Action::Panic);
+        let ctrl = ScanControl::new().with_cells_budget(budget_step);
+        let (mut outcome, mut token) =
+            scan_packed_topk_resumable(&cfg, &q, &database, 3, workers, &ctrl).unwrap();
+        let mut segments = 1_usize;
+        while let Some(tok) = token {
+            prop_assert!(segments <= entries, "chain stopped making progress");
+            let ctrl = ScanControl::new().with_cells_budget(budget_step);
+            let (next, next_token) =
+                scan_packed_topk_resume(&cfg, &q, &database, tok, workers, &ctrl).unwrap();
+            prop_assert_eq!(
+                next.completed_pairs + next.faulted_pairs + next.remaining_pairs(),
+                entries
+            );
+            outcome = next;
+            token = next_token;
+            segments += 1;
+        }
+        failpoint::disarm_all();
+
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(outcome.faulted_pairs, 0);
+        prop_assert!(outcome.faults.iter().all(|f| f.recovered));
+        prop_assert_eq!(&outcome.hits, &baseline.hits);
+    }
+}

@@ -10,11 +10,11 @@ use std::time::Duration;
 use proptest::prelude::*;
 use race_logic::alignment::RaceWeights;
 use race_logic::early_termination::{
-    scan_packed_topk_supervised, scan_packed_topk_with, try_scan_database_topk_with,
-    try_scan_packed_topk_with,
+    scan_packed_topk_resumable, scan_packed_topk_resume, scan_packed_topk_supervised,
+    scan_packed_topk_with, try_scan_database_topk_with, try_scan_packed_topk_with,
 };
 use race_logic::engine::{
-    AlignConfig, AlignEngine, AlignMode, BatchEngine, LaneWidth, LocalScores,
+    AffineWeights, AlignConfig, AlignEngine, AlignMode, BatchEngine, LaneWidth, LocalScores,
 };
 use race_logic::supervisor::{ScanControl, StopReason};
 use race_logic::AlignError;
@@ -339,5 +339,64 @@ proptest! {
             let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
             prop_assert_eq!(&outcome.hits, &baseline.hits);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Resume soundness (satellite of PR 8): a scan interrupted at an
+    /// arbitrary budget boundary — possibly many times — and resumed
+    /// from its token produces the *byte-identical* top-k of an
+    /// uninterrupted run, across alignment modes and worker counts.
+    /// Sound because the carried bound only ever tightens (see
+    /// docs/ROBUSTNESS.md).
+    #[test]
+    fn interrupted_resume_chain_matches_uninterrupted(
+        seed in 0_u64..1_000,
+        entries in 12_usize..48,
+        len in 24_usize..56,
+        k in 1_usize..6,
+        budget_step in 12_000_u64..60_000,
+        wide in 0_u32..2,
+        mode in 0_u32..3,
+    ) {
+        let workers = Some(if wide == 1 { 4 } else { 1 });
+        let cfg = match mode {
+            0 => AlignConfig::new(RaceWeights::fig4()),
+            1 => AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::SemiGlobal),
+            _ => AlignConfig::new(RaceWeights::fig4())
+                .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 })),
+        };
+        let (q, database) = db(seed, entries, len);
+        let baseline = scan_packed_topk_with(&cfg, &q, &database, k, workers);
+
+        // Fresh budget each segment: every segment completes at least
+        // one unit (budget_step exceeds any single pair's grid), so the
+        // chain terminates in at most `entries` segments.
+        let ctrl = ScanControl::new().with_cells_budget(budget_step);
+        let (mut outcome, mut token) =
+            scan_packed_topk_resumable(&cfg, &q, &database, k, workers, &ctrl).unwrap();
+        let mut segments = 1_usize;
+        while let Some(tok) = token {
+            prop_assert!(tok.remaining_pairs() > 0);
+            prop_assert!(segments <= entries, "chain stopped making progress");
+            let ctrl = ScanControl::new().with_cells_budget(budget_step);
+            let (next, next_token) =
+                scan_packed_topk_resume(&cfg, &q, &database, tok, workers, &ctrl).unwrap();
+            // The cumulative ledger accounts for every pair at every
+            // interruption point, not just at the end.
+            prop_assert_eq!(
+                next.completed_pairs + next.faulted_pairs + next.remaining_pairs(),
+                entries
+            );
+            prop_assert!(next.completed_pairs >= outcome.completed_pairs);
+            outcome = next;
+            token = next_token;
+            segments += 1;
+        }
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(outcome.faulted_pairs, 0);
+        prop_assert_eq!(&outcome.hits, &baseline.hits);
     }
 }
