@@ -43,6 +43,7 @@
 //! ```text
 //! engine_baseline [--pairs N] [--length N] [--band K] [--ragged]
 //!                 [--occupancy] [--scan K] [--deadline-ms N]
+//!                 [--service] [--store]
 //!                 [--mode global|semi|local|affine]
 //!                 [--strategy rolling-row|wavefront|batch|all]
 //! ```
@@ -76,6 +77,9 @@ use race_logic::engine::{
     BatchPlanStats, KernelStrategy, LaneWidth, LocalScores, PackerPolicy,
 };
 use race_logic::service::{ScanRequest, ScanService, ServiceConfig};
+use race_logic::store::{
+    build_store, scan_store_topk_resumable, PackedStore, StoreParams, StoreTarget,
+};
 use race_logic::supervisor::ScanControl;
 use rl_bench::lognormal_len;
 use rl_bio::{alphabet::Dna, PackedSeq, Seq};
@@ -809,10 +813,308 @@ fn run_soak() -> String {
     String::new()
 }
 
+/// The `--store` section: the persistent packed-shard store on record.
+/// The same ragged database as `--service`, built into an on-disk store,
+/// then measured three ways — cold open (full header + manifest
+/// validation, zero payload touches), cold scan (first touch verifies
+/// every chunk checksum), warm scan (verified cache) — against the
+/// in-memory scan, all asserting byte-identical hits. With the
+/// `failpoints` feature (the CI corruption soak), a second stage
+/// bit-flips random chunks and drives concurrent store-backed service
+/// queries through the quarantine ladder.
+fn run_store(db_size: usize, median_len: usize, k: usize) -> String {
+    let mut rng = seeded_rng(SEED ^ 0x570E);
+    let query = PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, median_len));
+    let database: Vec<PackedSeq<Dna>> = (0..db_size)
+        .map(|_| {
+            let len = lognormal_len(&mut rng, median_len as f64, 0.5, 8, median_len * 4);
+            PackedSeq::from_seq(&Seq::random(&mut rng, len))
+        })
+        .collect();
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let baseline = scan_packed_topk_with(&cfg, &query, &database, k, None);
+
+    let path = std::env::temp_dir().join(format!("rl_bench_store_{}.rlp", std::process::id()));
+    let params = StoreParams::default();
+    let t_build = median_secs(
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                build_store(&path, &database, &params).expect("build store");
+                start.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+
+    // Cold open: eager header + manifest verification. The accounting
+    // contract — admission prices queries without touching payload — is
+    // asserted, not just documented.
+    let t_open = median_secs(
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                let store = PackedStore::<Dna>::open_validated(&path).expect("open store");
+                let secs = start.elapsed().as_secs_f64();
+                assert_eq!(store.chunks_loaded(), 0, "open must not touch payload");
+                secs
+            })
+            .collect(),
+    );
+
+    let scan_store = |target: &StoreTarget<Dna>| {
+        let start = Instant::now();
+        let (outcome, token) =
+            scan_store_topk_resumable(&cfg, &query, target, k, None, &ScanControl::new())
+                .expect("valid store scan");
+        let secs = start.elapsed().as_secs_f64();
+        assert!(outcome.is_complete() && token.is_none());
+        assert_eq!(
+            outcome.hits, baseline.hits,
+            "the store scan must be byte-identical to the in-memory scan"
+        );
+        secs
+    };
+    // Cold store scan: a fresh open per rep, so every chunk checksum is
+    // re-verified on first touch. Warm: one open, cache populated by the
+    // first rep (not timed), then the steady state.
+    let t_cold = median_secs(
+        (0..REPS)
+            .map(|_| {
+                let target = StoreTarget::new(Arc::new(
+                    PackedStore::<Dna>::open_validated(&path).expect("open store"),
+                ));
+                scan_store(&target)
+            })
+            .collect(),
+    );
+    let warm_target = StoreTarget::new(Arc::new(
+        PackedStore::<Dna>::open_validated(&path).expect("open store"),
+    ));
+    scan_store(&warm_target);
+    let t_warm = median_secs((0..REPS).map(|_| scan_store(&warm_target)).collect());
+    let t_mem = median_secs(
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                let direct = scan_packed_topk_with(&cfg, &query, &database, k, None);
+                assert_eq!(direct.hits, baseline.hits);
+                start.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&path);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "  \"store\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": {{\"database\": {db_size}, \"query_len\": {median_len}, \"lengths\": \"lognormal(median={median_len}, sigma=0.5)\", \"k\": {k}, \"mode\": \"global\", \"weights\": \"fig4\", \"seed\": \"0xBA7C4^0x570E\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"file_bytes\": {file_len}, \"chunk_size\": {}, \"shard_entries\": {},",
+        params.chunk_size, params.shard_entries
+    );
+    let _ = writeln!(
+        json,
+        "    \"build_seconds\": {t_build:.6}, \"cold_open_seconds\": {t_open:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"memory_scan_seconds\": {t_mem:.6}, \"store_scan_cold_seconds\": {t_cold:.6}, \"store_scan_warm_seconds\": {t_warm:.6},"
+    );
+    let soak = run_store_soak();
+    let comma = if soak.is_empty() { "" } else { "," };
+    let _ = writeln!(
+        json,
+        "    \"store_warm_overhead_pct\": {:.2}{comma}",
+        (t_warm / t_mem - 1.0) * 100.0
+    );
+    if !soak.is_empty() {
+        let _ = writeln!(json, "{soak}");
+    }
+    let _ = write!(json, "  }}");
+    json
+}
+
+/// The corruption soak stage of `--store`: random chunks of an on-disk
+/// store are bit-flipped, a read-delay failpoint widens the race
+/// windows, and concurrent store-backed service queries must all
+/// finalize with typed, attributed quarantines — the accounting
+/// invariant `completed + faulted + remaining == total` intact, never a
+/// panic — while a pristine replica restores byte-identical hits.
+#[cfg(feature = "failpoints")]
+fn run_store_soak() -> String {
+    use race_logic::supervisor::failpoint::{self, Action};
+    use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+
+    const QUERIES: usize = 8;
+    const FLIPS: usize = 4;
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let mut rng = seeded_rng(SEED ^ 0x50BE);
+    let database: Vec<PackedSeq<Dna>> = (0..96)
+        .map(|_| PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)))
+        .collect();
+    let queries: Vec<PackedSeq<Dna>> = (0..QUERIES)
+        .map(|_| PackedSeq::from_seq(&Seq::<Dna>::random(&mut rng, 64)))
+        .collect();
+    let baselines: Vec<_> = queries
+        .iter()
+        .map(|q| scan_packed_topk_with(&cfg, q, &database, 3, None))
+        .collect();
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rl_bench_store_soak_{}.rlp", std::process::id()));
+    let rpath = dir.join(format!(
+        "rl_bench_store_soak_{}_replica.rlp",
+        std::process::id()
+    ));
+    let params = StoreParams {
+        chunk_size: 256,
+        shard_entries: 8,
+    };
+    build_store(&path, &database, &params).expect("build soak store");
+    std::fs::copy(&path, &rpath).expect("copy replica");
+
+    // Bit-flip FLIPS random chunks (deterministically chosen) in the
+    // primary; the replica stays pristine.
+    let probe = PackedStore::<Dna>::open_validated(&path).expect("open for corruption");
+    let shards = probe.shard_count();
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .expect("open for corruption");
+    let mut corrupted_shards = std::collections::BTreeSet::new();
+    let mut pick = seeded_rng(SEED ^ 0xF11B);
+    use rand::Rng as _;
+    while corrupted_shards.len() < FLIPS.min(shards.saturating_sub(1)) {
+        let shard = pick.random_range(0..shards);
+        let chunk = pick.random_range(0..probe.shard_chunk_count(shard));
+        let (off, len) = probe.chunk_file_range(shard, chunk);
+        let byte = off + pick.random_range(0..len as u64);
+        file.seek(SeekFrom::Start(byte)).expect("seek");
+        let mut b = [0_u8; 1];
+        file.read_exact(&mut b).expect("read");
+        b[0] ^= 1 << pick.random_range(0..8_u8);
+        file.seek(SeekFrom::Start(byte)).expect("seek");
+        file.write_all(&b).expect("write flip");
+        corrupted_shards.insert(shard);
+    }
+    drop(file);
+    drop(probe);
+
+    // Stage 1: no replica. Every query must finalize typed and
+    // accounted; the corrupted shards quarantine, everything else
+    // completes.
+    let corrupt_only = Arc::new(StoreTarget::new(Arc::new(
+        PackedStore::<Dna>::open_validated(&path).expect("reopen corrupted"),
+    )));
+    let service: ScanService<Dna> = ScanService::new(
+        ServiceConfig::default()
+            .with_max_attempts(2)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    failpoint::arm("store-chunk-read", Action::Sleep(Duration::from_micros(50)));
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service
+                .try_submit(ScanRequest::from_store(
+                    cfg,
+                    q.clone(),
+                    Arc::clone(&corrupt_only),
+                    3,
+                ))
+                .expect("soak query admitted")
+        })
+        .collect();
+    let mut quarantined_pairs = 0_usize;
+    for (i, handle) in handles.iter().enumerate() {
+        let report = handle
+            .wait()
+            .expect("soak query finalizes without panicking");
+        let o = &report.outcome;
+        assert_eq!(
+            o.completed_pairs + o.faulted_pairs + o.remaining_pairs(),
+            o.total_pairs,
+            "soak query {i}: accounting invariant under corruption"
+        );
+        assert!(
+            o.faulted_pairs > 0,
+            "soak query {i}: corruption must surface"
+        );
+        assert!(
+            o.faults
+                .iter()
+                .any(|f| f.site == "store-chunk-read" && !f.recovered),
+            "soak query {i}: quarantine must be attributed"
+        );
+        quarantined_pairs += o.faulted_pairs;
+    }
+    failpoint::disarm_all();
+
+    // Stage 2: same corrupted primary, pristine replica attached — the
+    // ladder recovers every query to the exact in-memory hits.
+    let with_replica = Arc::new(
+        StoreTarget::new(Arc::new(
+            PackedStore::<Dna>::open_validated(&path).expect("reopen corrupted"),
+        ))
+        .with_replica(Arc::new(
+            PackedStore::<Dna>::open_validated(&rpath).expect("open replica"),
+        ))
+        .expect("replica content matches"),
+    );
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service
+                .try_submit(ScanRequest::from_store(
+                    cfg,
+                    q.clone(),
+                    Arc::clone(&with_replica),
+                    3,
+                ))
+                .expect("replica query admitted")
+        })
+        .collect();
+    let mut recovered_faults = 0_usize;
+    for (i, handle) in handles.iter().enumerate() {
+        let report = handle.wait().expect("replica query finalizes");
+        let o = &report.outcome;
+        assert!(o.is_complete(), "replica query {i} must complete");
+        assert_eq!(
+            o.hits, baselines[i].hits,
+            "replica query {i}: hits must match the in-memory scan"
+        );
+        recovered_faults += o.faults.iter().filter(|f| f.recovered).count();
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&rpath);
+
+    let mut json = String::new();
+    let _ = writeln!(
+        json,
+        "    \"soak\": {{\"queries\": {QUERIES}, \"corrupted_shards\": {}, \"injected\": \"random chunk bit-flips + store-chunk-read sleep 50us\", \"quarantined_pairs\": {quarantined_pairs}, \"replica_recovered_faults\": {recovered_faults}, \"topk_identical_via_replica\": true}}",
+        corrupted_shards.len()
+    );
+    json.pop();
+    json
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn run_store_soak() -> String {
+    String::new()
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: engine_baseline [--pairs N] [--length N] [--band K] [--ragged] \
-         [--occupancy] [--scan K] [--deadline-ms N] [--service] \
+         [--occupancy] [--scan K] [--deadline-ms N] [--service] [--store] \
          [--mode global|semi|local|affine] \
          [--strategy rolling-row|wavefront|batch|all]"
     );
@@ -828,6 +1130,7 @@ fn main() {
     let mut scan_k: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut service = false;
+    let mut store = false;
     let mut mode = AlignMode::Global;
     let mut filter = StrategyFilter::All;
     let mut custom = false;
@@ -844,6 +1147,7 @@ fn main() {
             "--scan" => scan_k = Some(value().parse().unwrap_or_else(|_| usage())),
             "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--service" => service = true,
+            "--store" => store = true,
             "--mode" => {
                 mode = match value().as_str() {
                     "global" => AlignMode::Global,
@@ -894,6 +1198,21 @@ fn main() {
         let _ = writeln!(json, "}}");
         print!("{json}");
         eprintln!("service configuration: BENCH_engine.json left untouched ({host_cores} core(s))");
+        return;
+    }
+    if store {
+        // `--store` alone: just the store section (plus the corruption
+        // soak when the failpoints feature is on), stdout only — the
+        // committed sweep re-measures it for BENCH_engine.json.
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"engine_baseline\",");
+        let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+        let _ = writeln!(json, "  \"reps_median_of\": {REPS},");
+        let _ = writeln!(json, "{}", run_store(1_000, 192, 10));
+        let _ = writeln!(json, "}}");
+        print!("{json}");
+        eprintln!("store configuration: BENCH_engine.json left untouched ({host_cores} core(s))");
         return;
     }
     let workloads: Vec<Workload> = if custom {
@@ -977,6 +1296,7 @@ fn main() {
                 AlignMode::SemiGlobal,
             ),
             run_service(1_000, 192, 10),
+            run_store(1_000, 192, 10),
         ]
     };
     if scan_sections.is_empty() {

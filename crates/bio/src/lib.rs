@@ -53,5 +53,5 @@ mod seq;
 pub use align::{AlignOp, Alignment, AlignmentResult};
 pub use alphabet::{AminoAcid, Dna, Symbol};
 pub use matrix::{Objective, ScoreScheme};
-pub use packed::{PackedSeq, StripedCodes};
+pub use packed::{PackedSeq, PackedWordsError, StripedCodes};
 pub use seq::{ParseSeqError, Seq};

@@ -16,6 +16,53 @@ use std::marker::PhantomData;
 use crate::alphabet::Symbol;
 use crate::Seq;
 
+/// Why a word buffer was rejected by [`PackedSeq::try_from_words`]: the
+/// typed-error counterpart of [`PackedSeq::from_codes`]'s panics, for
+/// deserializers reconstructing packed sequences from untrusted bytes
+/// (e.g. `race_logic::store`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedWordsError {
+    /// `words.len()` does not match `⌈len / symbols_per_word⌉`.
+    WordCountMismatch {
+        /// Symbols the caller claimed.
+        len: usize,
+        /// Words the buffer holds.
+        got: usize,
+        /// Words a `len`-symbol sequence needs.
+        want: usize,
+    },
+    /// A symbol code at `index` is outside the alphabet
+    /// (`code >= S::COUNT`).
+    CodeOutOfRange {
+        /// The offending symbol position.
+        index: usize,
+        /// The out-of-range code.
+        code: u8,
+    },
+    /// Bits past the last symbol of the last word are not zero — the
+    /// buffer was not produced by this packer (or was corrupted).
+    DirtyPadding,
+}
+
+impl std::fmt::Display for PackedWordsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackedWordsError::WordCountMismatch { len, got, want } => write!(
+                f,
+                "packed word count mismatch: {len} symbols need {want} words, got {got}"
+            ),
+            PackedWordsError::CodeOutOfRange { index, code } => {
+                write!(f, "symbol code {code} at position {index} is out of range")
+            }
+            PackedWordsError::DirtyPadding => {
+                write!(f, "non-zero padding bits after the last symbol")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackedWordsError {}
+
 /// A bit-packed, immutable view of a sequence: `S::bits()` bits per
 /// symbol, little-endian within each `u64` word.
 ///
@@ -77,6 +124,59 @@ impl<S: Symbol> PackedSeq<S> {
             len,
             _marker: PhantomData,
         }
+    }
+
+    /// Reconstructs a packed sequence from raw words — the validated
+    /// inverse of [`PackedSeq::words`] for deserializers. Every claim a
+    /// byte source could get wrong is checked with a typed error
+    /// instead of a panic: word count vs `len`, every code in alphabet
+    /// range, and clean (all-zero) padding bits, so a round trip through
+    /// `words().to_vec()` is the identity and no other buffer aliases a
+    /// valid sequence.
+    ///
+    /// ```
+    /// use rl_bio::{PackedSeq, Seq, alphabet::Dna};
+    ///
+    /// let s: Seq<Dna> = "ACTGAGA".parse()?;
+    /// let p = PackedSeq::from_seq(&s);
+    /// let back = PackedSeq::<Dna>::try_from_words(p.words().to_vec(), p.len()).unwrap();
+    /// assert_eq!(back, p);
+    /// assert!(PackedSeq::<Dna>::try_from_words(vec![u64::MAX], 1).is_err());
+    /// # Ok::<(), rl_bio::ParseSeqError>(())
+    /// ```
+    pub fn try_from_words(words: Vec<u64>, len: usize) -> Result<Self, PackedWordsError> {
+        let bits = S::bits();
+        let per_word = Self::symbols_per_word();
+        let want = len.div_ceil(per_word);
+        if words.len() != want {
+            return Err(PackedWordsError::WordCountMismatch {
+                len,
+                got: words.len(),
+                want,
+            });
+        }
+        let mask = (1_u64 << bits) - 1;
+        for i in 0..len {
+            let code = ((words[i / per_word] >> ((i % per_word) as u32 * bits)) & mask) as u8;
+            if (code as usize) >= S::COUNT {
+                return Err(PackedWordsError::CodeOutOfRange { index: i, code });
+            }
+        }
+        // Dead bits must be zero: the tail of the last word past `len`,
+        // and — for alphabets where `bits × per_word < 64` (amino
+        // acids: 5 × 12 = 60) — the top bits of *every* word.
+        for (wi, &w) in words.iter().enumerate() {
+            let syms = (len - wi * per_word).min(per_word);
+            let used_bits = syms as u32 * bits;
+            if used_bits < 64 && w >> used_bits != 0 {
+                return Err(PackedWordsError::DirtyPadding);
+            }
+        }
+        Ok(PackedSeq {
+            words,
+            len,
+            _marker: PhantomData,
+        })
     }
 
     /// Number of symbols.

@@ -509,6 +509,7 @@ pub fn scan_packed_topk_resumable<S: Symbol>(
         cells_computed: 0,
         faults: Vec::new(),
         attempt: 0,
+        db_hash: None,
     };
     Ok(run_resume_segment(
         cfg, query, database, fresh, workers, ctrl,
@@ -534,6 +535,14 @@ pub fn scan_packed_topk_resume<S: Symbol>(
     ctrl: &ScanControl,
 ) -> Result<(ScanOutcome, Option<ResumeToken>), AlignError> {
     validate_scan(cfg, query, database, token.k)?;
+    if let Some(hash) = token.db_hash {
+        return Err(AlignError::InvalidConfig {
+            reason: format!(
+                "resume token is bound to persistent store content {hash:#018x}; \
+                 resume it through the store scan, not the in-memory one"
+            ),
+        });
+    }
     if token.total_pairs != database.len() {
         return Err(AlignError::InvalidConfig {
             reason: format!(
@@ -583,6 +592,7 @@ fn run_resume_segment<S: Symbol>(
         cells_computed: mut cells,
         faults: mut all_faults,
         attempt,
+        db_hash,
     } = carried;
     let pairs: Vec<_> = ids.iter().map(|&i| (query, &database[i])).collect();
     let mut scratch = crate::striped::BatchScratch::default();
@@ -645,6 +655,7 @@ fn run_resume_segment<S: Symbol>(
         cells_computed: cells,
         faults: all_faults,
         attempt,
+        db_hash,
     });
     (outcome, token)
 }

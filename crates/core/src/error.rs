@@ -47,6 +47,23 @@ pub enum AlignError {
         /// The panic payload.
         message: String,
     },
+    /// A store-layer I/O failure (open, read, or commit) — the scan
+    /// equivalent of EIO. Carries the [`crate::store::StoreError`]
+    /// rendering; retrying may succeed (transient I/O), unlike
+    /// [`AlignError::Corrupt`].
+    Io {
+        /// What the store was doing when the I/O failed.
+        context: String,
+    },
+    /// A persisted shard failed integrity verification: chunk `chunk`
+    /// of shard `shard` did not match its manifest checksum. The scan
+    /// layer quarantines the shard; see `docs/ROBUSTNESS.md`.
+    Corrupt {
+        /// The shard whose payload failed verification.
+        shard: usize,
+        /// The failing chunk within that shard.
+        chunk: usize,
+    },
 }
 
 impl fmt::Display for AlignError {
@@ -65,6 +82,11 @@ impl fmt::Display for AlignError {
             AlignError::WorkerFault { site, message } => {
                 write!(f, "unrecovered worker fault at {site}: {message}")
             }
+            AlignError::Io { context } => write!(f, "store I/O failure: {context}"),
+            AlignError::Corrupt { shard, chunk } => write!(
+                f,
+                "store corruption: shard {shard}, chunk {chunk} failed integrity verification"
+            ),
         }
     }
 }
@@ -76,6 +98,19 @@ impl From<StopReason> for AlignError {
         match reason {
             StopReason::BudgetExhausted => AlignError::BudgetExhausted,
             _ => AlignError::Interrupted { reason },
+        }
+    }
+}
+
+impl From<crate::store::StoreError> for AlignError {
+    fn from(e: crate::store::StoreError) -> Self {
+        match e {
+            crate::store::StoreError::Corrupt { shard, chunk } => {
+                AlignError::Corrupt { shard, chunk }
+            }
+            other => AlignError::Io {
+                context: other.to_string(),
+            },
         }
     }
 }
@@ -173,6 +208,25 @@ mod tests {
                 reason: StopReason::Cancelled
             }
         );
+    }
+
+    #[test]
+    fn store_errors_map_to_typed_align_errors() {
+        assert_eq!(
+            AlignError::from(crate::store::StoreError::Corrupt { shard: 2, chunk: 5 }),
+            AlignError::Corrupt { shard: 2, chunk: 5 }
+        );
+        let io = AlignError::from(crate::store::StoreError::Truncated {
+            context: "manifest region".into(),
+        });
+        match &io {
+            AlignError::Io { context } => assert!(context.contains("manifest region")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(io.to_string().contains("store I/O failure"));
+        assert!(AlignError::Corrupt { shard: 1, chunk: 0 }
+            .to_string()
+            .contains("shard 1"));
     }
 
     #[test]

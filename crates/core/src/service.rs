@@ -75,6 +75,10 @@ use crate::early_termination::{
 };
 use crate::engine::AlignConfig;
 use crate::error::AlignError;
+use crate::store::{
+    estimate_store_scan_cells, scan_store_topk_resumable, scan_store_topk_resume,
+    validate_store_scan, StoreTarget,
+};
 use crate::supervisor::{fp_hit, panic_message, ResumeToken, ScanControl, ScanOutcome, StopReason};
 
 /// Tuning knobs of a [`ScanService`]. The defaults admit generously and
@@ -200,17 +204,55 @@ impl BackoffTimer for SleepTimer {
     }
 }
 
+/// What a scan query races against: an in-memory packed database, or a
+/// persistent [`StoreTarget`] (a validated [`crate::store::PackedStore`]
+/// plus optional replicas). Both are shared (`Arc`) so many queries can
+/// race the same corpus without cloning it per submission.
+#[derive(Debug, Clone)]
+pub enum ScanSource<S: Symbol> {
+    /// An in-memory packed database.
+    Memory(Arc<Vec<PackedSeq<S>>>),
+    /// A persistent store target: lazily verified chunks, corruption
+    /// quarantine, replica fallback, token↔DB content-hash binding.
+    Store(Arc<StoreTarget<S>>),
+}
+
+impl<S: Symbol> ScanSource<S> {
+    /// Entries in the source.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            ScanSource::Memory(db) => db.len(),
+            ScanSource::Store(target) => target.store().len(),
+        }
+    }
+
+    /// `true` when the source holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The length of entry `i` — from the manifest for a store source,
+    /// so admission costing never touches a payload chunk.
+    fn entry_len(&self, i: usize) -> usize {
+        match self {
+            ScanSource::Memory(db) => db[i].len(),
+            ScanSource::Store(target) => target.store().entry_len(i),
+        }
+    }
+}
+
 /// One scan query: the full configuration plus optional per-query
-/// bounds. The database is shared (`Arc`) so many queries can race the
-/// same corpus without cloning it per submission.
+/// bounds.
 #[derive(Debug, Clone)]
 pub struct ScanRequest<S: Symbol> {
     /// Alignment configuration (mode, band, weights, threshold).
     pub cfg: AlignConfig,
     /// The packed query sequence.
     pub query: PackedSeq<S>,
-    /// The packed database to scan.
-    pub database: Arc<Vec<PackedSeq<S>>>,
+    /// What to scan: an in-memory database or a persistent store.
+    pub source: ScanSource<S>,
     /// How many best hits to keep.
     pub k: usize,
     /// Wall-clock bound, measured from execution start (queue wait does
@@ -221,7 +263,7 @@ pub struct ScanRequest<S: Symbol> {
 }
 
 impl<S: Symbol> ScanRequest<S> {
-    /// An unbounded request.
+    /// An unbounded request over an in-memory database.
     #[must_use]
     pub fn new(
         cfg: AlignConfig,
@@ -232,7 +274,25 @@ impl<S: Symbol> ScanRequest<S> {
         ScanRequest {
             cfg,
             query,
-            database,
+            source: ScanSource::Memory(database),
+            k,
+            deadline: None,
+            cells_budget: None,
+        }
+    }
+
+    /// An unbounded request over a persistent store target.
+    #[must_use]
+    pub fn from_store(
+        cfg: AlignConfig,
+        query: PackedSeq<S>,
+        target: Arc<StoreTarget<S>>,
+        k: usize,
+    ) -> Self {
+        ScanRequest {
+            cfg,
+            query,
+            source: ScanSource::Store(target),
             k,
             deadline: None,
             cells_budget: None,
@@ -581,22 +641,48 @@ impl<S: Symbol> ScanService<S> {
     /// Enqueues the continuation of an interrupted query from its
     /// [`ResumeToken`] (carried hits, cumulative ledger, remaining
     /// pairs). The request must address the same database the token was
-    /// issued for. The admission cost is estimated over the *remaining*
-    /// pairs only.
+    /// issued for — for a store source the token's content hash must
+    /// match the target's, so a token can never resume against a
+    /// rebuilt or corrupted DB. The admission cost is estimated over
+    /// the *remaining* pairs only.
     pub fn resume(
         &self,
         req: ScanRequest<S>,
         token: ResumeToken,
     ) -> Result<QueryHandle, SubmitError> {
-        if token.total_pairs() != req.database.len() {
+        if token.total_pairs() != req.source.len() {
             return Err(SubmitError::Rejected {
                 reason: AlignError::InvalidConfig {
                     reason: format!(
                         "resume token was issued for a database of {} entries, not {}",
                         token.total_pairs(),
-                        req.database.len()
+                        req.source.len()
                     ),
                 },
+            });
+        }
+        // Token↔source binding: an in-memory token must not resume
+        // against a store (or vice versa), and a store token only
+        // against identical content.
+        let bound = match (&req.source, token.db_hash()) {
+            (ScanSource::Memory(_), None) => Ok(()),
+            (ScanSource::Memory(_), Some(hash)) => Err(format!(
+                "resume token is bound to persistent store content {hash:#018x}; \
+                 resume it against that store, not an in-memory database"
+            )),
+            (ScanSource::Store(target), Some(hash)) if hash == target.content_hash() => Ok(()),
+            (ScanSource::Store(target), Some(hash)) => Err(format!(
+                "resume token is bound to store content {hash:#018x}, but this store's \
+                 content hash is {:#018x} — the database was rebuilt or differs",
+                target.content_hash()
+            )),
+            (ScanSource::Store(_), None) => {
+                Err("resume token was issued by an in-memory scan, not this store".to_string())
+            }
+        };
+        if let Err(reason) = bound {
+            return Err(SubmitError::Rejected {
+                reason: AlignError::InvalidConfig { reason },
             });
         }
         self.submit_inner(req, Some(token))
@@ -617,15 +703,27 @@ impl<S: Symbol> ScanService<S> {
                 },
             });
         }
-        if let Err(reason) = validate_scan(&req.cfg, &req.query, &req.database, req.k) {
+        let validated = match &req.source {
+            ScanSource::Memory(db) => validate_scan(&req.cfg, &req.query, db, req.k),
+            ScanSource::Store(target) => {
+                validate_store_scan(&req.cfg, &req.query, target.store(), req.k)
+            }
+        };
+        if let Err(reason) = validated {
             return Err(SubmitError::Rejected { reason });
         }
-        let est_cells = match &resume {
-            None => estimate_scan_cells(&req.cfg, &req.query, &req.database),
-            Some(token) => token
+        // Admission costing: for a store source every length comes from
+        // the manifest, so a cold (just-opened) DB is priced without a
+        // single payload chunk touch (regression-tested).
+        let est_cells = match (&req.source, &resume) {
+            (ScanSource::Memory(db), None) => estimate_scan_cells(&req.cfg, &req.query, db),
+            (ScanSource::Store(target), None) => {
+                estimate_store_scan_cells(&req.cfg, &req.query, target.store(), None)
+            }
+            (source, Some(token)) => token
                 .pending_indices()
                 .map(|i| {
-                    crate::striped::grid_cells(req.query.len(), req.database[i].len(), req.cfg.band)
+                    crate::striped::grid_cells(req.query.len(), source.entry_len(i), req.cfg.band)
                 })
                 .sum(),
         };
@@ -775,21 +873,40 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
         // runs.
         let segment = catch_unwind(AssertUnwindSafe(|| {
             fp_hit("watchdog-heartbeat");
-            match token.clone() {
-                None => scan_packed_topk_resumable(
+            match (&req.source, token.clone()) {
+                (ScanSource::Memory(db), None) => scan_packed_topk_resumable(
                     &req.cfg,
                     &req.query,
-                    &req.database,
+                    db,
                     req.k,
                     service_cfg.workers,
                     ctrl.as_ref(),
                 ),
-                Some(tok) => {
+                (ScanSource::Memory(db), Some(tok)) => {
                     fp_hit("service-resume");
                     scan_packed_topk_resume(
                         &req.cfg,
                         &req.query,
-                        &req.database,
+                        db,
+                        tok,
+                        service_cfg.workers,
+                        ctrl.as_ref(),
+                    )
+                }
+                (ScanSource::Store(target), None) => scan_store_topk_resumable(
+                    &req.cfg,
+                    &req.query,
+                    target,
+                    req.k,
+                    service_cfg.workers,
+                    ctrl.as_ref(),
+                ),
+                (ScanSource::Store(target), Some(tok)) => {
+                    fp_hit("service-resume");
+                    scan_store_topk_resume(
+                        &req.cfg,
+                        &req.query,
+                        target,
                         tok,
                         service_cfg.workers,
                         ctrl.as_ref(),

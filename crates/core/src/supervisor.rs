@@ -389,6 +389,12 @@ pub struct ResumeToken {
     pub(crate) cells_computed: u64,
     pub(crate) faults: Vec<Fault>,
     pub(crate) attempt: u32,
+    /// The content hash of the [`crate::store`] database this token was
+    /// issued against (`None` for in-memory scans). A token can only
+    /// resume against a store with identical content: a rebuilt or
+    /// corrupted database gets a typed rejection, never a silently
+    /// inconsistent merge.
+    pub(crate) db_hash: Option<u64>,
 }
 
 impl ResumeToken {
@@ -420,6 +426,14 @@ impl ResumeToken {
     #[must_use]
     pub fn attempt(&self) -> u32 {
         self.attempt
+    }
+
+    /// The content hash of the persistent store this token is bound to,
+    /// or `None` for a token issued by an in-memory scan. See
+    /// [`crate::store::PackedStore::content_hash`].
+    #[must_use]
+    pub fn db_hash(&self) -> Option<u64> {
+        self.db_hash
     }
 
     /// Original indices of every pair still to run: remaining, then
@@ -541,6 +555,10 @@ pub mod failpoint {
     //! | `service-retry` | service retry decision, before the backoff | finalize-with-partial instead of a wedged query |
     //! | `service-resume` | service resume segment, before the scan | failed attempt → backoff → clean re-resume |
     //! | `watchdog-heartbeat` | service worker, before each segment | heartbeat stall → watchdog trip → `StopReason::Watchdog` |
+    //! | `store-write` | store build, between payload and manifest write | torn write: temp file abandoned, destination untouched |
+    //! | `store-open` | top of `PackedStore::open_validated` | EIO on open → typed `StoreError::Io` |
+    //! | `store-chunk-read` | lazy chunk load, before the file read | EIO on read → shard quarantine → replica/retry ladder |
+    //! | `store-mmap` | entry materialization, before chunk mapping | mapping failure → shard quarantine → replica/retry ladder |
     //!
     //! The registry is process-global: tests that arm sites must
     //! serialize on [`lock_for_test`] and disarm in every exit path
@@ -811,6 +829,7 @@ mod tests {
             cells_computed: 99,
             faults: vec![Fault::new("stripe-sweep", vec![2, 9], false, "boom")],
             attempt: 0,
+            db_hash: None,
         };
         assert_eq!(tok.remaining_pairs(), 2);
         assert_eq!(tok.retryable_pairs(), 2);

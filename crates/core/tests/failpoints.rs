@@ -556,3 +556,257 @@ proptest! {
         prop_assert_eq!(&outcome.hits, &baseline.hits);
     }
 }
+
+// ---------------------------------------------------------------------
+// Store sites (PR 9): injected I/O faults on the persistent packed-shard
+// store must surface as typed errors, quarantine at shard granularity,
+// and stay retryable through the same token/backoff machinery.
+
+use std::path::PathBuf;
+
+use race_logic::store::{
+    build_store, scan_store_topk_resumable, scan_store_topk_resume, PackedStore, StoreError,
+    StoreParams, StoreTarget,
+};
+
+fn fp_store_path(tag: &str) -> (PathBuf, StoreFileGuard) {
+    let path = std::env::temp_dir().join(format!("rl_store_fp_{}_{tag}.rlp", std::process::id()));
+    let guard = StoreFileGuard(path.clone());
+    (path, guard)
+}
+
+struct StoreFileGuard(PathBuf);
+
+impl Drop for StoreFileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Site `store-write`: a crash injected between the payload and manifest
+/// writes must never publish a partial database — the previous file (if
+/// any) survives intact and the temp sibling is cleaned up.
+#[test]
+fn store_write_panic_publishes_nothing_and_keeps_the_old_db() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let (_q, database) = db(61, 10, 40);
+    let (path, _fguard) = fp_store_path("write");
+
+    // Crash on a fresh build: no destination file may appear.
+    failpoint::arm_times("store-write", Action::Panic, 1);
+    match build_store(&path, &database, &StoreParams::default()) {
+        Err(StoreError::Io { context }) => assert!(context.contains("store-write")),
+        other => panic!("expected a typed Io error, got {other:?}"),
+    }
+    failpoint::disarm_all();
+    assert!(!path.exists(), "a torn build must not be openable");
+
+    // Publish a good DB, then crash a rebuild over it: the old file
+    // still opens with its original content hash.
+    let hash = build_store(&path, &database, &StoreParams::default()).expect("build");
+    let (_q2, other_db) = db(62, 10, 40);
+    failpoint::arm_times("store-write", Action::Panic, 1);
+    assert!(build_store(&path, &other_db, &StoreParams::default()).is_err());
+    failpoint::disarm_all();
+    let store = PackedStore::<Dna>::open_validated(&path).expect("old DB intact");
+    assert_eq!(store.content_hash(), hash);
+
+    // No temp droppings next to the destination.
+    let dir = path.parent().unwrap();
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let leftovers: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(&name) && *n != name)
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+}
+
+/// Site `store-open`: a transient open-time fault is a typed I/O error,
+/// not a panic, and the very next open succeeds.
+#[test]
+fn store_open_panic_is_typed_and_transient() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let (_q, database) = db(63, 8, 32);
+    let (path, _fguard) = fp_store_path("open");
+    build_store(&path, &database, &StoreParams::default()).expect("build");
+
+    failpoint::arm_times("store-open", Action::Panic, 1);
+    match PackedStore::<Dna>::open_validated(&path) {
+        Err(StoreError::Io { context }) => assert!(context.contains("store-open")),
+        other => panic!("expected a typed Io error, got {other:?}"),
+    }
+    failpoint::disarm_all();
+    PackedStore::<Dna>::open_validated(&path).expect("transient fault clears");
+}
+
+/// Sites `store-chunk-read` / `store-mmap`: a transient read fault
+/// quarantines exactly one shard group as retryable; the resume (fault
+/// cleared) completes byte-identical to the in-memory baseline.
+#[test]
+fn store_read_panic_quarantines_then_resume_completes() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    for site in ["store-chunk-read", "store-mmap"] {
+        let cfg = AlignConfig::new(RaceWeights::fig4());
+        let (q, database) = db(64, 18, 40);
+        let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+        let (path, _fguard) = fp_store_path(site);
+        build_store(
+            &path,
+            &database,
+            &StoreParams {
+                chunk_size: 64,
+                shard_entries: 4,
+            },
+        )
+        .expect("build");
+        let target = StoreTarget::new(Arc::new(
+            PackedStore::<Dna>::open_validated(&path).expect("open"),
+        ));
+
+        failpoint::arm_times(site, Action::Panic, 1);
+        let (outcome, token) =
+            scan_store_topk_resumable(&cfg, &q, &target, 3, Some(2), &ScanControl::new())
+                .expect("valid request");
+        failpoint::disarm_all();
+
+        assert!(outcome.faulted_pairs > 0, "site {site}: shard quarantined");
+        assert!(
+            outcome.faulted_pairs <= 4,
+            "site {site}: at most one shard group lost, got {}",
+            outcome.faulted_pairs
+        );
+        let fault = outcome
+            .faults
+            .iter()
+            .find(|f| f.site == "store-chunk-read")
+            .expect("store fault ledgered");
+        assert!(!fault.recovered);
+        assert!(fault.message.contains(site), "message: {}", fault.message);
+        assert_eq!(
+            outcome.completed_pairs + outcome.faulted_pairs + outcome.remaining_pairs(),
+            outcome.total_pairs
+        );
+
+        let mut tok = token.expect("quarantined pairs are retryable");
+        assert_eq!(tok.retryable_pairs(), outcome.faulted_pairs);
+        tok.retry_faulted();
+        let (full, none) =
+            scan_store_topk_resume(&cfg, &q, &target, tok, Some(2), &ScanControl::new())
+                .expect("resume accepted");
+        assert!(none.is_none());
+        assert!(full.is_complete(), "site {site}: retry completes");
+        assert_eq!(full.hits, baseline.hits, "site {site}");
+    }
+}
+
+/// A transient chunk fault with a healthy replica attached never loses a
+/// pair at all: the replica serves the quarantined shard in-flight and
+/// the recovered fault lands in the ledger.
+#[test]
+fn store_read_panic_recovers_via_replica_in_flight() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(65, 15, 36);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+    let (path, _fguard) = fp_store_path("replica_primary");
+    let (rpath, _rguard) = fp_store_path("replica_copy");
+    let params = StoreParams {
+        chunk_size: 64,
+        shard_entries: 3,
+    };
+    build_store(&path, &database, &params).expect("build");
+    std::fs::copy(&path, &rpath).expect("copy");
+    let target = StoreTarget::new(Arc::new(
+        PackedStore::<Dna>::open_validated(&path).expect("open"),
+    ))
+    .with_replica(Arc::new(
+        PackedStore::<Dna>::open_validated(&rpath).expect("open replica"),
+    ))
+    .expect("same content");
+
+    // One injected fault: the primary's read fails, the replica's
+    // succeeds (arm_times(1) is consumed by the primary).
+    failpoint::arm_times("store-chunk-read", Action::Panic, 1);
+    let (outcome, token) =
+        scan_store_topk_resumable(&cfg, &q, &target, 3, Some(2), &ScanControl::new())
+            .expect("valid request");
+    failpoint::disarm_all();
+
+    assert!(outcome.is_complete(), "replica absorbs the fault");
+    assert!(token.is_none());
+    assert_eq!(outcome.hits, baseline.hits);
+    let fault = outcome
+        .faults
+        .iter()
+        .find(|f| f.site == "store-chunk-read")
+        .expect("recovered fault ledgered");
+    assert!(fault.recovered);
+    assert!(fault.message.contains("served by replica 0"));
+}
+
+/// End-to-end: a store-backed service query hit by a transient chunk
+/// fault retries through the existing backoff machinery and finishes
+/// byte-identical, with the failed attempt ledgered.
+#[test]
+fn service_store_chunk_fault_backs_off_and_completes() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(66, 20, 40);
+    let baseline = scan_packed_topk_with(&cfg, &q, &database, 3, Some(1));
+    let (path, _fguard) = fp_store_path("service");
+    build_store(
+        &path,
+        &database,
+        &StoreParams {
+            chunk_size: 64,
+            shard_entries: 5,
+        },
+    )
+    .expect("build");
+    let target = Arc::new(StoreTarget::new(Arc::new(
+        PackedStore::<Dna>::open_validated(&path).expect("open"),
+    )));
+
+    let timer = Arc::new(RecordingTimer(Mutex::new(Vec::new())));
+    let base = Duration::from_millis(10);
+    let service: ScanService<Dna> = ScanService::with_timer(
+        ServiceConfig::default().with_backoff(base, Duration::from_secs(1)),
+        Arc::clone(&timer) as Arc<dyn BackoffTimer>,
+    );
+
+    failpoint::arm_times("store-chunk-read", Action::Panic, 1);
+    let handle = service
+        .try_submit(ScanRequest::from_store(cfg, q, Arc::clone(&target), 3))
+        .expect("admitted");
+    let report = handle.wait().expect("completes");
+    failpoint::disarm_all();
+
+    assert_eq!(report.attempts, 2, "one quarantined attempt, one clean");
+    assert!(report.outcome.is_complete());
+    assert_eq!(report.outcome.hits, baseline.hits);
+    assert_eq!(*timer.0.lock().unwrap(), vec![base]);
+    assert!(
+        report
+            .outcome
+            .faults
+            .iter()
+            .any(|f| f.site == "store-chunk-read" && !f.recovered),
+        "the quarantined attempt must stay in the cumulative ledger: {:?}",
+        report.outcome.faults
+    );
+}

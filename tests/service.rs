@@ -293,3 +293,143 @@ fn entry_point_resume_merges_exact_accounting() {
     // resumed subset stripes differently than the full database.
     assert_eq!(full.hits, baseline.hits);
 }
+
+// ---------------------------------------------------------------------
+// Store-backed requests (PR 9): a `ScanSource::Store` query rides the
+// same admission, budget, and resume machinery as an in-memory one, and
+// its results are byte-identical to the in-memory scan.
+
+use race_logic::store::{build_store, PackedStore, StoreParams, StoreTarget};
+
+/// Builds the database into a temp store file and opens it; the guard
+/// removes the file on drop.
+fn store_target(
+    tag: &str,
+    database: &[PackedSeq<Dna>],
+) -> (Arc<StoreTarget<Dna>>, ServiceStoreGuard) {
+    let path =
+        std::env::temp_dir().join(format!("rl_service_store_{}_{tag}.rlp", std::process::id()));
+    build_store(&path, database, &StoreParams::default()).expect("build store");
+    let target = Arc::new(StoreTarget::new(Arc::new(
+        PackedStore::<Dna>::open_validated(&path).expect("open store"),
+    )));
+    (target, ServiceStoreGuard(path))
+}
+
+struct ServiceStoreGuard(std::path::PathBuf);
+
+impl Drop for ServiceStoreGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn store_backed_service_is_byte_identical_to_memory_backed() {
+    let (query, database) = db(31, 24, 48);
+    let (target, _guard) = store_target("identical", &database);
+    let service: ScanService<Dna> = ScanService::new(ServiceConfig::default());
+    for (name, cfg) in [
+        ("global", AlignConfig::new(RaceWeights::fig4())),
+        (
+            "semi",
+            AlignConfig::new(RaceWeights::fig4()).with_mode(AlignMode::SemiGlobal),
+        ),
+        (
+            "affine",
+            AlignConfig::new(RaceWeights::fig4())
+                .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 })),
+        ),
+    ] {
+        let mem = service
+            .try_submit(ScanRequest::new(
+                cfg,
+                query.clone(),
+                Arc::clone(&database),
+                4,
+            ))
+            .expect("admitted")
+            .wait()
+            .expect("memory run completes");
+        let store = service
+            .try_submit(ScanRequest::from_store(
+                cfg,
+                query.clone(),
+                Arc::clone(&target),
+                4,
+            ))
+            .expect("admitted")
+            .wait()
+            .expect("store run completes");
+        assert!(store.outcome.is_complete(), "{name}");
+        assert_eq!(store.outcome.hits, mem.outcome.hits, "{name}");
+        assert_eq!(store.outcome.total_pairs, mem.outcome.total_pairs, "{name}");
+    }
+    assert_eq!(service.stats().completed, 6);
+}
+
+#[test]
+fn store_backed_budget_stop_resumes_through_the_service() {
+    let (query, database) = db(32, 40, 48);
+    let (target, _guard) = store_target("resume", &database);
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let baseline = scan_packed_topk_with(&cfg, &query, &database, 3, Some(1));
+
+    let service: ScanService<Dna> = ScanService::new(ServiceConfig::default());
+    let partial = service
+        .try_submit(
+            ScanRequest::from_store(cfg, query.clone(), Arc::clone(&target), 3)
+                .with_cells_budget(4_000),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("partial");
+    assert_eq!(partial.outcome.stop, Some(StopReason::BudgetExhausted));
+    let token = partial.resume.expect("budget stop leaves a token");
+    assert_eq!(token.db_hash(), Some(target.content_hash()));
+
+    let full = service
+        .resume(
+            ScanRequest::from_store(cfg, query, Arc::clone(&target), 3),
+            token,
+        )
+        .expect("resume admitted")
+        .wait()
+        .expect("completes");
+    assert!(full.outcome.is_complete());
+    assert_eq!(full.outcome.hits, baseline.hits);
+    assert_eq!(
+        full.outcome.completed_pairs + full.outcome.faulted_pairs,
+        full.outcome.total_pairs
+    );
+}
+
+#[test]
+fn store_backed_admission_prices_from_the_manifest() {
+    let (query, database) = db(33, 30, 48);
+    let (target, _guard) = store_target("pricing", &database);
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let expected = estimate_scan_cells(&cfg, &query, &database);
+
+    // A service whose cell ceiling sits below the estimate rejects the
+    // store-backed request, quoting the exact manifest-derived estimate
+    // — without touching a single payload chunk.
+    let service: ScanService<Dna> =
+        ScanService::new(ServiceConfig::default().with_max_queued_cells(expected - 1));
+    match service.try_submit(ScanRequest::from_store(
+        cfg,
+        query.clone(),
+        Arc::clone(&target),
+        3,
+    )) {
+        Err(SubmitError::Overloaded {
+            estimated_cells, ..
+        }) => assert_eq!(estimated_cells, expected),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(
+        target.store().chunks_loaded(),
+        0,
+        "admission must price store queries from the manifest alone"
+    );
+}
