@@ -30,6 +30,7 @@
 //! | [`supervisor`] | robustness | supervised scan execution: cancellation, deadlines, cell budgets, per-stripe panic isolation with fallback retry, resume tokens, and a feature-gated fault-injection harness |
 //! | [`service`] | robustness | the long-lived scan service: bounded admission by estimated cells, overload shedding, retry with exponential backoff, resumable queries, and a heartbeat watchdog |
 //! | [`store`] | robustness | the crash-safe persistent packed-shard store: versioned checksummed on-disk format, lazy integrity verification, corruption quarantine with replica fallback, and content-hash-bound resume tokens |
+//! | [`telemetry`] | observability | lock-free metrics registry, per-query trace timelines, global flight recorder, Prometheus/JSON exposition |
 //! | [`asynchronous`] | §6, Fig. 3d | continuous-time races with analog delay variation (extension) |
 //! | [`banded`] | design space | Ukkonen-banded arrays with certified exactness (extension) |
 //! | [`semi_global`] | §6 scans | query-in-reference races via multi-point injection — thin wrapper over the engine's semi-global mode (extension) |
@@ -70,6 +71,7 @@ pub mod simd;
 pub mod store;
 mod striped;
 pub mod supervisor;
+pub mod telemetry;
 pub mod traceback;
 pub mod wavefront;
 

@@ -80,6 +80,7 @@ use crate::store::{
     validate_store_scan, StoreTarget,
 };
 use crate::supervisor::{fp_hit, panic_message, ResumeToken, ScanControl, ScanOutcome, StopReason};
+use crate::telemetry::{self, flight, Counter, Gauge, QueryTrace, TraceEvent, TraceHandle};
 
 /// Tuning knobs of a [`ScanService`]. The defaults admit generously and
 /// never shed; production deployments should bound
@@ -418,6 +419,10 @@ pub struct QueryReport {
     pub attempts: u32,
     /// Watchdog trips absorbed while this query ran.
     pub watchdog_trips: u32,
+    /// The query's event timeline: admission, queueing, every segment
+    /// start/stop, quarantines, retries, store loads — see
+    /// `docs/OBSERVABILITY.md` for the schema.
+    pub trace: QueryTrace,
 }
 
 enum QueryState {
@@ -434,6 +439,8 @@ struct QueryShared {
     cancelled: AtomicBool,
     state: Mutex<QueryState>,
     cv: Condvar,
+    /// The query's live timeline; snapshotted into the final report.
+    trace: TraceHandle,
 }
 
 impl QueryShared {
@@ -536,6 +543,10 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Watchdog trips since startup.
     pub watchdog_trips: u64,
+    /// The deepest the queue has ever been since startup.
+    pub queue_depth_hwm: usize,
+    /// Total backoff delay requested between retries since startup.
+    pub cumulative_backoff: Duration,
 }
 
 struct Job<S: Symbol> {
@@ -558,15 +569,39 @@ struct ServiceState<S: Symbol> {
     shutdown: bool,
 }
 
+/// The service's lifetime counters, held as telemetry instruments so
+/// [`ScanService::stats`] is a registry-backed view: every field is a
+/// [`Counter`]/[`Gauge`] of the same kind the global catalog exposes,
+/// kept per-instance so concurrent services (tests) don't share state.
+/// Each recording also mirrors into the global catalog (gated by
+/// [`telemetry::enabled`]).
+struct ServiceMetrics {
+    completed: Counter,
+    shed: Counter,
+    watchdog_trips: Counter,
+    backoff_nanos: Counter,
+    queue_depth_hwm: Gauge,
+}
+
+impl ServiceMetrics {
+    const fn new() -> Self {
+        ServiceMetrics {
+            completed: Counter::new("service_completed", "queries completed"),
+            shed: Counter::new("service_shed", "queries shed"),
+            watchdog_trips: Counter::new("service_watchdog_trips", "watchdog trips"),
+            backoff_nanos: Counter::new("service_backoff_nanos", "cumulative backoff ns"),
+            queue_depth_hwm: Gauge::new("service_queue_depth_hwm", "queue depth high-water"),
+        }
+    }
+}
+
 struct Inner<S: Symbol> {
     cfg: ServiceConfig,
     timer: Arc<dyn BackoffTimer>,
     state: Mutex<ServiceState<S>>,
     work_cv: Condvar,
     next_id: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    watchdog_trips: AtomicU64,
+    metrics: ServiceMetrics,
 }
 
 impl<S: Symbol> Inner<S> {
@@ -611,9 +646,7 @@ impl<S: Symbol> ScanService<S> {
             }),
             work_cv: Condvar::new(),
             next_id: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            watchdog_trips: AtomicU64::new(0),
+            metrics: ServiceMetrics::new(),
         });
         let worker = {
             let inner = Arc::clone(&inner);
@@ -696,6 +729,8 @@ impl<S: Symbol> ScanService<S> {
         // An injected `service-enqueue` panic surfaces as typed
         // backpressure; the queue and counters are untouched.
         if let Err(payload) = catch_unwind(|| fp_hit("service-enqueue")) {
+            telemetry::count(&telemetry::metrics::SERVICE_REJECTED, 1);
+            flight::dump("worker-fault");
             return Err(SubmitError::Rejected {
                 reason: AlignError::WorkerFault {
                     site: "service-enqueue".into(),
@@ -710,6 +745,7 @@ impl<S: Symbol> ScanService<S> {
             }
         };
         if let Err(reason) = validated {
+            telemetry::count(&telemetry::metrics::SERVICE_REJECTED, 1);
             return Err(SubmitError::Rejected { reason });
         }
         // Admission costing: for a store source every length comes from
@@ -734,18 +770,25 @@ impl<S: Symbol> ScanService<S> {
         if state.queue.len() >= self.inner.cfg.max_queue
             || state.queued_cells.saturating_add(est_cells) > self.inner.cfg.max_queued_cells
         {
+            telemetry::count(&telemetry::metrics::SERVICE_OVERLOADED, 1);
             return Err(SubmitError::Overloaded {
                 queued: state.queue.len(),
                 queued_cells: state.queued_cells,
                 estimated_cells: est_cells,
             });
         }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace = TraceHandle::new(id);
+        trace.record(TraceEvent::AdmissionPriced {
+            estimated_cells: est_cells,
+        });
         let shared = Arc::new(QueryShared {
-            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            id,
             est_cells,
             cancelled: AtomicBool::new(false),
             state: Mutex::new(QueryState::Queued),
             cv: Condvar::new(),
+            trace,
         });
         state.queue.push_back(Job {
             req,
@@ -753,7 +796,36 @@ impl<S: Symbol> ScanService<S> {
             shared: Arc::clone(&shared),
         });
         state.queued_cells += est_cells;
+        shared.trace.record(TraceEvent::Queued {
+            depth: state.queue.len() as u64,
+        });
+        telemetry::count(&telemetry::metrics::SERVICE_SUBMITTED, 1);
+        self.inner
+            .metrics
+            .queue_depth_hwm
+            .set_max(state.queue.len() as u64);
+        telemetry::gauge_set(
+            &telemetry::metrics::SERVICE_QUEUE_DEPTH,
+            state.queue.len() as u64,
+        );
+        telemetry::gauge_set_max(
+            &telemetry::metrics::SERVICE_QUEUE_DEPTH_HWM,
+            state.queue.len() as u64,
+        );
+        let cells_at_admission = state.queued_cells;
+        let considered = cells_at_admission > self.inner.cfg.shed_watermark_cells;
+        let shed_before = self.inner.metrics.shed.get();
         self.shed_over_watermark(&mut state);
+        if considered {
+            shared.trace.record(TraceEvent::ShedConsidered {
+                queued_cells: cells_at_admission,
+                victims: self.inner.metrics.shed.get() - shed_before,
+            });
+        }
+        telemetry::gauge_set(
+            &telemetry::metrics::SERVICE_QUEUED_CELLS,
+            state.queued_cells,
+        );
         drop(state);
         self.inner.work_cv.notify_one();
         Ok(QueryHandle { shared })
@@ -775,7 +847,11 @@ impl<S: Symbol> ScanService<S> {
                 .expect("len > 1");
             let job = state.queue.remove(victim).expect("victim in range");
             state.queued_cells -= job.shared.est_cells;
-            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.shed.inc();
+            telemetry::count(&telemetry::metrics::SERVICE_SHED, 1);
+            job.shared.trace.record(TraceEvent::Shed {
+                estimated_cells: job.shared.est_cells,
+            });
             job.shared.finish(QueryState::Shed);
         }
     }
@@ -784,12 +860,15 @@ impl<S: Symbol> ScanService<S> {
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let state = self.inner.lock();
+        let m = &self.inner.metrics;
         ServiceStats {
             queued: state.queue.len(),
             queued_cells: state.queued_cells,
-            completed: self.inner.completed.load(Ordering::Relaxed),
-            shed: self.inner.shed.load(Ordering::Relaxed),
-            watchdog_trips: self.inner.watchdog_trips.load(Ordering::Relaxed),
+            completed: m.completed.get(),
+            shed: m.shed.get(),
+            watchdog_trips: m.watchdog_trips.get(),
+            queue_depth_hwm: m.queue_depth_hwm.get() as usize,
+            cumulative_backoff: Duration::from_nanos(m.backoff_nanos.get()),
         }
     }
 
@@ -846,11 +925,11 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
     let mut token = resume;
     let mut spent = 0_u64;
     let mut attempts = 0_u32;
-    let mut trips_before = inner.watchdog_trips.load(Ordering::Relaxed);
+    let mut trips_before = inner.metrics.watchdog_trips.get();
     let mut trips = 0_u32;
 
     let result: Result<QueryReport, QueryError> = loop {
-        let mut ctrl = ScanControl::new();
+        let mut ctrl = ScanControl::new().with_tracer(shared.trace.clone());
         if let Some(d) = deadline {
             ctrl = ctrl.with_deadline(d);
         }
@@ -867,6 +946,14 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
             st.current = Some(Arc::clone(&ctrl));
         }
         shared.finish(QueryState::Running(Arc::clone(&ctrl)));
+        if let Some(tok) = &token {
+            shared.trace.record(TraceEvent::ResumeTokenConsumed {
+                pending: tok.pending_indices().count() as u64,
+            });
+        }
+        shared.trace.record(TraceEvent::SegmentStart {
+            attempt: u64::from(attempts) + 1,
+        });
         // `watchdog-heartbeat` models a worker stuck *outside* the
         // kernels: a Sleep here leaves `cells_spent` frozen at zero with
         // a segment published, so the watchdog trips it before any pair
@@ -915,9 +1002,11 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
             }
         }));
         inner.lock().current = None;
-        spent += ctrl.cells_spent();
+        let segment_cells = ctrl.cells_spent();
+        spent += segment_cells;
         attempts += 1;
-        let trips_now = inner.watchdog_trips.load(Ordering::Relaxed);
+        telemetry::observe(&telemetry::metrics::QUERY_SEGMENT_CELLS, segment_cells);
+        let trips_now = inner.metrics.watchdog_trips.get();
         trips += (trips_now - trips_before) as u32;
         trips_before = trips_now;
 
@@ -944,21 +1033,37 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
                     tok.push_service_fault("service-resume", Vec::new(), &message, delay, None);
                     tok.retry_faulted();
                 }
+                shared.trace.record(TraceEvent::Retry {
+                    attempt: u64::from(attempts) + 1,
+                    backoff: delay,
+                });
+                telemetry::count(&telemetry::metrics::SERVICE_RETRIES, 1);
+                note_backoff(inner, delay);
                 inner.timer.pause(delay);
                 continue;
             }
         };
+        shared.trace.record(TraceEvent::SegmentStop {
+            stop: outcome.stop,
+            cells: segment_cells,
+        });
 
         let retryable = next_token.as_ref().is_some_and(|t| t.retryable_pairs() > 0)
             || outcome.stop == Some(StopReason::Watchdog);
         if !retryable || attempts >= service_cfg.max_attempts {
             // Complete, or stopped by deadline/budget/cancel (the
             // caller's bound — honor it), or out of attempts.
+            if let Some(tok) = &next_token {
+                shared.trace.record(TraceEvent::ResumeTokenIssued {
+                    pending: tok.pending_indices().count() as u64,
+                });
+            }
             break Ok(QueryReport {
                 outcome,
                 resume: next_token,
                 attempts,
                 watchdog_trips: trips,
+                trace: QueryTrace::default(),
             });
         }
         let Some(mut tok) = next_token else {
@@ -968,16 +1073,21 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
                 resume: None,
                 attempts,
                 watchdog_trips: trips,
+                trace: QueryTrace::default(),
             });
         };
         // An injected `service-retry` panic abandons the retry and
         // finalizes with the partial outcome instead of wedging.
         if catch_unwind(|| fp_hit("service-retry")).is_err() {
+            shared.trace.record(TraceEvent::ResumeTokenIssued {
+                pending: tok.pending_indices().count() as u64,
+            });
             break Ok(QueryReport {
                 outcome,
                 resume: Some(tok),
                 attempts,
                 watchdog_trips: trips,
+                trace: QueryTrace::default(),
             });
         }
         let requeued = tok.retryable_indices().to_vec();
@@ -995,12 +1105,33 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
         );
         tok.retry_faulted();
         token = Some(tok);
+        shared.trace.record(TraceEvent::Retry {
+            attempt: u64::from(attempts) + 1,
+            backoff: delay,
+        });
+        telemetry::count(&telemetry::metrics::SERVICE_RETRIES, 1);
+        note_backoff(inner, delay);
         inner.timer.pause(delay);
     };
 
+    // Snapshot the timeline into the report after its final event.
+    let result = result.map(|mut report| {
+        report.trace = shared.trace.finish();
+        report
+    });
+    telemetry::observe(&telemetry::metrics::QUERY_ATTEMPTS, u64::from(attempts));
     // Count before publishing so `stats()` is consistent with `wait()`.
-    inner.completed.fetch_add(1, Ordering::Relaxed);
+    inner.metrics.completed.inc();
+    telemetry::count(&telemetry::metrics::SERVICE_COMPLETED, 1);
     shared.finish(QueryState::Done(Box::new(result)));
+}
+
+/// Accounts one backoff pause in the service's cumulative-backoff view
+/// and the global registry.
+fn note_backoff<S: Symbol>(inner: &Inner<S>, delay: Duration) {
+    let nanos = delay.as_nanos() as u64;
+    inner.metrics.backoff_nanos.add(nanos);
+    telemetry::count(&telemetry::metrics::SERVICE_BACKOFF_NANOS, nanos);
 }
 
 /// Polls the published segment's `cells_spent` counter — the kernels
@@ -1010,23 +1141,30 @@ fn run_job<S: Symbol>(inner: &Inner<S>, job: Job<S>) {
 /// fresh segment from the previous one even when the allocator reuses
 /// the control's address.
 fn watchdog_loop<S: Symbol>(inner: &Inner<S>, timeout: Duration) {
+    // The poll interval is computed once for the thread's lifetime — not
+    // per published segment — and every poll is counted, so an armed but
+    // idle watchdog is visible in the telemetry snapshot.
     let poll = (timeout / 4).max(Duration::from_millis(1));
     let mut last_progress: Option<(u64, u64)> = None;
     let mut stalled_since: Option<Instant> = None;
     loop {
         std::thread::sleep(poll);
+        telemetry::count(&telemetry::metrics::SERVICE_WATCHDOG_POLLS, 1);
         let (shutdown, seq, current) = {
             let state = inner.lock();
             (state.shutdown, state.segment_seq, state.current.clone())
         };
         if shutdown {
+            telemetry::gauge_set(&telemetry::metrics::SERVICE_WATCHDOG_ARMED, 0);
             return;
         }
         let Some(ctrl) = current else {
+            telemetry::gauge_set(&telemetry::metrics::SERVICE_WATCHDOG_ARMED, 0);
             last_progress = None;
             stalled_since = None;
             continue;
         };
+        telemetry::gauge_set(&telemetry::metrics::SERVICE_WATCHDOG_ARMED, 1);
         let progress = (seq, ctrl.cells_spent());
         if last_progress != Some(progress) {
             last_progress = Some(progress);
@@ -1036,7 +1174,10 @@ fn watchdog_loop<S: Symbol>(inner: &Inner<S>, timeout: Duration) {
         let since = *stalled_since.get_or_insert_with(Instant::now);
         if since.elapsed() >= timeout && !ctrl.watchdog_tripped() {
             ctrl.trip_watchdog();
-            inner.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+            ctrl.trace(|| TraceEvent::WatchdogTrip);
+            inner.metrics.watchdog_trips.inc();
+            telemetry::count(&telemetry::metrics::SERVICE_WATCHDOG_TRIPS, 1);
+            flight::dump("watchdog");
             stalled_since = None;
         }
     }

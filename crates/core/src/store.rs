@@ -80,6 +80,7 @@ use rl_bio::{alphabet::Symbol, PackedSeq};
 use crate::engine::AlignConfig;
 use crate::error::AlignError;
 use crate::supervisor::{fp_hit, panic_message, Fault, ResumeToken, ScanControl, ScanOutcome};
+use crate::telemetry::{self, flight, TraceEvent};
 
 /// Magic bytes opening every store file (`RLPKDB01` little-endian).
 pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"RLPKDB01");
@@ -609,6 +610,8 @@ pub struct PackedStore<S: Symbol> {
     /// Lazily verified chunk cache, `[shard][chunk]`.
     cache: Vec<Vec<ChunkSlot>>,
     chunks_loaded: AtomicU64,
+    chunk_cache_hits: AtomicU64,
+    verify_failures: AtomicU64,
     _marker: std::marker::PhantomData<S>,
 }
 
@@ -620,6 +623,8 @@ impl<S: Symbol> std::fmt::Debug for PackedStore<S> {
             .field("shards", &self.shards.len())
             .field("content_hash", &format_args!("{:#018x}", self.content_hash))
             .field("chunks_loaded", &self.chunks_loaded())
+            .field("chunk_cache_hits", &self.chunk_cache_hits())
+            .field("verify_failures", &self.verify_failures())
             .finish()
     }
 }
@@ -905,6 +910,8 @@ impl<S: Symbol> PackedStore<S> {
             content_hash,
             cache,
             chunks_loaded: AtomicU64::new(0),
+            chunk_cache_hits: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
             _marker: std::marker::PhantomData,
         })
     }
@@ -997,6 +1004,22 @@ impl<S: Symbol> PackedStore<S> {
         self.chunks_loaded.load(Ordering::Relaxed)
     }
 
+    /// Chunk reads served from the in-memory verified cache — the warm
+    /// complement of [`chunks_loaded`](PackedStore::chunks_loaded),
+    /// asserted by the cold-vs-warm store bench.
+    #[must_use]
+    pub fn chunk_cache_hits(&self) -> u64 {
+        self.chunk_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Chunk checksum (or decode) verification failures observed so far.
+    /// Each failure also lands in the global telemetry registry and
+    /// triggers a flight-recorder dump.
+    #[must_use]
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures.load(Ordering::Relaxed)
+    }
+
     /// The absolute file byte range of chunk `chunk` of shard `shard` —
     /// the corruption-injection surface for tests and the soak bench
     /// (flip a byte inside the range, the next first-touch read of that
@@ -1024,6 +1047,8 @@ impl<S: Symbol> PackedStore<S> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(data) = &*slot {
+            self.chunk_cache_hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::count(&telemetry::metrics::STORE_CHUNK_CACHE_HITS, 1);
             return Ok(Arc::clone(data));
         }
         let (off, len) = self.chunk_file_range(shard, chunk);
@@ -1050,9 +1075,11 @@ impl<S: Symbol> PackedStore<S> {
             }
         };
         if xxh64(&buf, CHUNK_SEED) != self.shards[shard].chunk_sums[chunk] {
+            self.note_verify_failure(shard, chunk);
             return Err(StoreError::Corrupt { shard, chunk });
         }
         self.chunks_loaded.fetch_add(1, Ordering::Relaxed);
+        telemetry::count(&telemetry::metrics::STORE_CHUNKS_LOADED, 1);
         let data = Arc::new(buf);
         *slot = Some(Arc::clone(&data));
         Ok(data)
@@ -1092,11 +1119,20 @@ impl<S: Symbol> PackedStore<S> {
             // A checksum-clean chunk decoding to invalid codes means the
             // manifest and payload disagree: attribute it to the entry's
             // first chunk like any other payload corruption.
-            StoreError::Corrupt {
-                shard,
-                chunk: start / self.chunk_size,
-            }
+            let chunk = start / self.chunk_size;
+            self.note_verify_failure(shard, chunk);
+            StoreError::Corrupt { shard, chunk }
         })
+    }
+
+    /// Accounts one integrity failure: the per-store counter, the global
+    /// registry, the flight ring, and an automatic `"corrupt"` dump so the
+    /// post-mortem window is captured at detection time.
+    fn note_verify_failure(&self, shard: usize, chunk: usize) {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        telemetry::count(&telemetry::metrics::STORE_VERIFY_FAILURES, 1);
+        flight::record_corrupt(shard as u64, chunk as u64);
+        flight::dump("corrupt");
     }
 }
 
@@ -1321,8 +1357,14 @@ type Materialized<S> = (Vec<(usize, PackedSeq<S>)>, Vec<Fault>, Vec<usize>);
 
 /// Materializes the pending entries of one scan segment, shard group by
 /// shard group, applying the quarantine ladder: primary → first healthy
-/// replica → faulted (retryable).
-fn materialize_pending<S: Symbol>(target: &StoreTarget<S>, ids: &[usize]) -> Materialized<S> {
+/// replica → faulted (retryable). Each group's load is traced (with the
+/// chunk-load / cache-hit deltas it caused) into `ctrl`'s timeline, and
+/// an unrecovered quarantine triggers a flight-recorder dump.
+fn materialize_pending<S: Symbol>(
+    target: &StoreTarget<S>,
+    ids: &[usize],
+    ctrl: &ScanControl,
+) -> Materialized<S> {
     let mut out: Vec<(usize, PackedSeq<S>)> = Vec::with_capacity(ids.len());
     let mut faults: Vec<Fault> = Vec::new();
     let mut lost: Vec<usize> = Vec::new();
@@ -1340,6 +1382,8 @@ fn materialize_pending<S: Symbol>(target: &StoreTarget<S>, ids: &[usize]) -> Mat
     }
 
     for (shard, members) in groups {
+        let loads_before = target.store().chunks_loaded();
+        let hits_before = target.store().chunk_cache_hits();
         let mut group_out = Vec::with_capacity(members.len());
         let mut primary_err = None;
         for &id in &members {
@@ -1352,9 +1396,16 @@ fn materialize_pending<S: Symbol>(target: &StoreTarget<S>, ids: &[usize]) -> Mat
             }
         }
         let Some(err) = primary_err else {
+            ctrl.trace(|| TraceEvent::StoreShardLoaded {
+                shard: shard as u64,
+                entries: group_out.len() as u64,
+                chunks_loaded: target.store().chunks_loaded() - loads_before,
+                cache_hits: target.store().chunk_cache_hits() - hits_before,
+            });
             out.append(&mut group_out);
             continue;
         };
+        telemetry::count(&telemetry::metrics::STORE_QUARANTINES, 1);
         // Quarantine: discard everything this shard already yielded
         // (its payload is suspect as a unit) and try each replica for
         // the whole group.
@@ -1371,6 +1422,10 @@ fn materialize_pending<S: Symbol>(target: &StoreTarget<S>, ids: &[usize]) -> Mat
         }
         match served {
             Some((ri, mut seqs)) => {
+                ctrl.trace(|| TraceEvent::StoreQuarantine {
+                    shard: shard as u64,
+                    recovered: true,
+                });
                 faults.push(Fault::new(
                     "store-chunk-read",
                     members.clone(),
@@ -1380,6 +1435,11 @@ fn materialize_pending<S: Symbol>(target: &StoreTarget<S>, ids: &[usize]) -> Mat
                 out.append(&mut seqs);
             }
             None => {
+                ctrl.trace(|| TraceEvent::StoreQuarantine {
+                    shard: shard as u64,
+                    recovered: false,
+                });
+                telemetry::count(&telemetry::metrics::WORKER_FAULTS, members.len() as u64);
                 faults.push(Fault::new(
                     "store-chunk-read",
                     members.clone(),
@@ -1387,6 +1447,7 @@ fn materialize_pending<S: Symbol>(target: &StoreTarget<S>, ids: &[usize]) -> Mat
                     format!("shard {shard} quarantined ({err}); no healthy replica"),
                 ));
                 lost.extend(members);
+                flight::dump("worker-fault");
             }
         }
     }
@@ -1420,7 +1481,7 @@ fn run_store_segment<S: Symbol>(
         db_hash,
     } = carried;
 
-    let (materialized, store_faults, lost) = materialize_pending(target, &pending);
+    let (materialized, store_faults, lost) = materialize_pending(target, &pending, ctrl);
     all_faults.extend(store_faults.into_iter().map(|mut f| {
         f.attempt = attempt;
         f

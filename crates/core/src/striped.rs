@@ -60,6 +60,7 @@ use crate::engine::{
 };
 use crate::simd::{self, KernelWord, LaneWeights};
 use crate::supervisor::{fp_hit, panic_message, BatchReport, Fault, ScanControl, StopReason};
+use crate::telemetry::{self, flight, TraceEvent};
 
 /// Sentinel code for padded query-plane cells; outside every alphabet's
 /// code range, and distinct from [`P_PAD`] so a padded position can
@@ -506,6 +507,7 @@ impl Ratchet {
     /// poisoned heap (an injected failpoint panic) is still consistent.
     fn observe(&self, score: u64, index: usize) {
         fp_hit("ratchet");
+        telemetry::count(&telemetry::metrics::RATCHET_OBSERVATIONS, 1);
         let index = self.ids.as_ref().map_or(index, |ids| ids[index]);
         self.fold(score, index);
     }
@@ -625,6 +627,12 @@ fn run_units<S: Symbol>(
             unit.results
                 .resize(unit.members.len(), EngineOutcome::default());
             unit.states.resize(unit.members.len(), SlotState::Pending);
+            if ctrl.is_some() {
+                // The striped driver's unit boundary is its checkpoint:
+                // the only place a supervised batch evaluates stop
+                // conditions between whole work units.
+                telemetry::count(&telemetry::metrics::CHECKPOINTS, 1);
+            }
             if let Some(stop) = ctrl.and_then(ScanControl::should_stop) {
                 ledger.note_stop(stop);
                 break;
@@ -727,9 +735,13 @@ fn run_striped_unit<S: Symbol>(
     match sweep {
         Ok(()) => {
             unit.states.fill(SlotState::Done);
+            let cells: u64 = unit.results.iter().map(|r| r.cells_computed).sum();
             if let Some(c) = ctrl {
-                c.charge(unit.results.iter().map(|r| r.cells_computed).sum());
+                c.charge(cells);
             }
+            telemetry::count(&telemetry::metrics::STRIPE_UNITS, 1);
+            telemetry::count(&telemetry::metrics::UNIT_PAIRS, unit.members.len() as u64);
+            telemetry::observe(&telemetry::metrics::UNIT_CELLS, cells);
             if let Some(r) = ratchet {
                 for (&i, res) in unit.members.iter().zip(&unit.results) {
                     if let Some(score) = res.finished_score() {
@@ -783,6 +795,12 @@ fn quarantine_and_retry<S: Symbol>(
     site: &str,
     message: String,
 ) {
+    telemetry::count(&telemetry::metrics::QUARANTINES, 1);
+    if let Some(c) = ctrl {
+        c.trace(|| TraceEvent::StripeQuarantined {
+            members: unit.members.len() as u64,
+        });
+    }
     let mut lost = false;
     let mut interrupted = None;
     for idx in 0..unit.members.len() {
@@ -802,10 +820,17 @@ fn quarantine_and_retry<S: Symbol>(
         }
         worker.engine.set_config(fallback);
         let (q, p) = &pairs[i];
+        telemetry::count(&telemetry::metrics::PAIR_FALLBACKS, 1);
         match catch_unwind(AssertUnwindSafe(|| worker.engine.align_ctrl(q, p, ctrl))) {
             Ok(Ok(o)) => {
                 unit.results[idx] = o;
                 unit.states[idx] = SlotState::Done;
+                if let Some(c) = ctrl {
+                    c.trace(|| TraceEvent::PairFallback {
+                        pair: i as u64,
+                        recovered: true,
+                    });
+                }
                 if let Some(r) = ratchet {
                     if let Some(score) = o.finished_score() {
                         observe_guarded(r, score, i, ledger);
@@ -820,6 +845,13 @@ fn quarantine_and_retry<S: Symbol>(
             Err(retry_payload) => {
                 unit.states[idx] = SlotState::Faulted;
                 lost = true;
+                telemetry::count(&telemetry::metrics::WORKER_FAULTS, 1);
+                if let Some(c) = ctrl {
+                    c.trace(|| TraceEvent::PairFallback {
+                        pair: i as u64,
+                        recovered: false,
+                    });
+                }
                 ledger.note_fault(Fault::new(
                     "per-pair",
                     vec![i],
@@ -834,6 +866,9 @@ fn quarantine_and_retry<S: Symbol>(
         interrupted,
         ..Fault::new(site, unit.members.clone(), !lost, message)
     });
+    if lost {
+        flight::dump("worker-fault");
+    }
 }
 
 /// Executes one per-pair unit: each alignment under its own
@@ -879,8 +914,15 @@ fn run_per_pair_unit<S: Symbol>(
                 let mut fallback = run_cfg;
                 fallback.strategy = KernelStrategy::RollingRow;
                 worker.engine.set_config(fallback);
+                telemetry::count(&telemetry::metrics::PAIR_FALLBACKS, 1);
                 match catch_unwind(AssertUnwindSafe(|| worker.engine.align_ctrl(q, p, ctrl))) {
                     Ok(res) => {
+                        if let Some(c) = ctrl {
+                            c.trace(|| TraceEvent::PairFallback {
+                                pair: i as u64,
+                                recovered: true,
+                            });
+                        }
                         ledger.note_fault(Fault::new(
                             "per-pair",
                             vec![i],
@@ -891,12 +933,20 @@ fn run_per_pair_unit<S: Symbol>(
                     }
                     Err(retry_payload) => {
                         unit.states[idx] = SlotState::Faulted;
+                        telemetry::count(&telemetry::metrics::WORKER_FAULTS, 1);
+                        if let Some(c) = ctrl {
+                            c.trace(|| TraceEvent::PairFallback {
+                                pair: i as u64,
+                                recovered: false,
+                            });
+                        }
                         ledger.note_fault(Fault::new(
                             "per-pair",
                             vec![i],
                             false,
                             panic_message(&*retry_payload),
                         ));
+                        flight::dump("worker-fault");
                         continue;
                     }
                 }

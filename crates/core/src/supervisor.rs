@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::engine::EngineOutcome;
+use crate::telemetry::{self, TraceEvent, TraceHandle};
 
 /// Why a supervised run stopped before completing all pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,7 @@ pub struct ScanControl {
     cells_budget: Option<u64>,
     scratch_budget: Option<usize>,
     cells_spent: AtomicU64,
+    tracer: Option<TraceHandle>,
 }
 
 /// How many supervision checkpoints pass between deadline clock reads
@@ -132,6 +134,29 @@ impl ScanControl {
     pub fn with_scratch_budget(mut self, bytes: usize) -> Self {
         self.scratch_budget = Some(bytes);
         self
+    }
+
+    /// Attaches a per-query trace: supervised layers below (the striped
+    /// kernel and the store) record [`TraceEvent`]s into the same timeline
+    /// the service uses for its `QueryReport`.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached trace handle, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
+    }
+
+    /// Records a trace event if a tracer is attached (the closure is not
+    /// evaluated otherwise, keeping untraced runs free of event building).
+    pub(crate) fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(event());
+        }
     }
 
     /// Requests cancellation: the run stops at its next checkpoint.
@@ -233,6 +258,7 @@ impl<'c> SupCursor<'c> {
             return Ok(());
         };
         ctrl.charge(cells);
+        telemetry::count(&telemetry::metrics::CHECKPOINTS, 1);
         if ctrl.is_cancelled() {
             return Err(StopReason::Cancelled);
         }

@@ -810,3 +810,314 @@ fn service_store_chunk_fault_backs_off_and_completes() {
         report.outcome.faults
     );
 }
+
+// ---------------------------------------------------------------------
+// Telemetry (PR 10): the observability plane must never change results,
+// and its timelines/flight dumps must be exactly pinnable under a
+// deterministic clock.
+
+use race_logic::supervisor::ScanOutcome;
+use race_logic::telemetry::{self, flight, ManualClock, TraceEvent, TraceHandle};
+
+/// A normalized, scheduling-insensitive view of a scan's fault ledger:
+/// the multiset of `(site, pairs, recovered, message)` entries. With
+/// multiple OS workers the *order* faults land in the ledger depends on
+/// thread interleaving (independently of telemetry), so identity
+/// comparisons sort first.
+fn sorted_fault_keys(outcome: &ScanOutcome) -> Vec<(String, Vec<usize>, bool, String)> {
+    let mut keys: Vec<_> = outcome
+        .faults
+        .iter()
+        .map(|f| {
+            (
+                f.site.clone(),
+                f.pairs.clone(),
+                f.recovered,
+                f.message.clone(),
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Tentpole invariant: a telemetry-enabled scan (registry recording
+    /// on, a tracer attached) returns hits/ledger/tokens byte-identical
+    /// to the telemetry-off run, across modes × workers {1, 4} × injected
+    /// stripe panics. At one worker the whole (outcome, token) pair is
+    /// compared strictly; at four, order-insensitively (thread
+    /// interleaving reorders the ledger and retunes the ratchet's
+    /// abandon timing run-to-run, with or without telemetry).
+    #[test]
+    fn telemetry_toggle_is_result_invariant(
+        seed in 0_u64..1_000,
+        affine in 0_u32..2,
+        use_budget in 0_u32..2,
+        budget_cells in 10_000_u64..30_000,
+    ) {
+        let _guard = failpoint::lock_for_test();
+        failpoint::quiet_failpoint_panics();
+
+        let cfg = if affine == 1 {
+            AlignConfig::new(RaceWeights::fig4())
+                .with_mode(AlignMode::GlobalAffine(AffineWeights { open: 2 }))
+        } else {
+            AlignConfig::new(RaceWeights::fig4())
+        };
+        let (q, database) = db(seed, 40, 48);
+
+        for workers in [1_usize, 4] {
+            // A budget-interrupted prefix is only deterministic on one
+            // worker; multi-worker runs race to the budget line.
+            let budget = (use_budget == 1 && workers == 1).then_some(budget_cells);
+            let run = |on: bool| {
+                let prior = telemetry::set_enabled(on);
+                failpoint::arm("stripe-sweep", Action::Panic);
+                failpoint::arm("affine-stripe", Action::Panic);
+                let mut ctrl = ScanControl::new();
+                if on {
+                    ctrl = ctrl.with_tracer(TraceHandle::new(seed));
+                }
+                if let Some(b) = budget {
+                    ctrl = ctrl.with_cells_budget(b);
+                }
+                let res = scan_packed_topk_resumable(&cfg, &q, &database, 3, Some(workers), &ctrl)
+                    .expect("valid request");
+                failpoint::disarm_all();
+                telemetry::set_enabled(prior);
+                res
+            };
+            let (off_out, off_tok) = run(false);
+            let (on_out, on_tok) = run(true);
+
+            if workers == 1 {
+                prop_assert_eq!(&off_out, &on_out, "single-worker outcome must be byte-identical");
+                prop_assert_eq!(&off_tok, &on_tok, "single-worker token must be byte-identical");
+            } else {
+                prop_assert_eq!(&off_out.hits, &on_out.hits);
+                prop_assert_eq!(off_out.completed_pairs, on_out.completed_pairs);
+                prop_assert_eq!(off_out.faulted_pairs, on_out.faulted_pairs);
+                prop_assert_eq!(off_out.total_pairs, on_out.total_pairs);
+                prop_assert_eq!(sorted_fault_keys(&off_out), sorted_fault_keys(&on_out));
+                prop_assert_eq!(off_tok.is_none(), on_tok.is_none());
+            }
+        }
+    }
+}
+
+/// A test timer that advances the pinned telemetry clock by each backoff
+/// delay instead of sleeping, so retried segments land at exactly
+/// `T + backoff` in the timeline.
+struct ClockTimer {
+    clock: Arc<ManualClock>,
+    log: Mutex<Vec<Duration>>,
+}
+
+impl BackoffTimer for ClockTimer {
+    fn pause(&self, delay: Duration) {
+        self.clock.advance(delay);
+        self.log.lock().unwrap().push(delay);
+    }
+}
+
+/// Satellite: the deterministic-clock timeline pin for a
+/// budget → resume → retry chain. Every event kind, stop reason, and
+/// timestamp in both `QueryReport` timelines is asserted exactly.
+#[test]
+fn deterministic_clock_pins_budget_resume_retry_timeline() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    const T0: u64 = 1_000_000;
+    let clock = Arc::new(ManualClock::at(T0));
+    telemetry::set_clock_override(Some(Arc::clone(&clock) as Arc<_>));
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(25, 96, 48);
+    let database = Arc::new(database);
+
+    let timer = Arc::new(ClockTimer {
+        clock: Arc::clone(&clock),
+        log: Mutex::new(Vec::new()),
+    });
+    let base = Duration::from_millis(10);
+    let service = ScanService::with_timer(
+        ServiceConfig::default().with_backoff(base, Duration::from_secs(1)),
+        Arc::clone(&timer) as Arc<dyn BackoffTimer>,
+    );
+
+    // Segment 1: a cell budget stops the scan partway and issues a token.
+    let handle = service
+        .try_submit(
+            ScanRequest::new(cfg, q.clone(), Arc::clone(&database), 3).with_cells_budget(6_000),
+        )
+        .expect("admitted");
+    let partial = handle.wait().expect("partial");
+    assert_eq!(partial.outcome.stop, Some(StopReason::BudgetExhausted));
+    let token = partial.resume.clone().expect("resumable");
+
+    assert_eq!(
+        partial.trace.kinds(),
+        vec![
+            "admission-priced",
+            "queued",
+            "segment-start",
+            "segment-stop",
+            "resume-token-issued",
+        ],
+        "budget segment timeline: {:?}",
+        partial.trace
+    );
+    // No timer pause ran, so every event sits at the pinned origin.
+    assert!(
+        partial.trace.events.iter().all(|e| e.at_nanos == T0),
+        "untouched clock pins every timestamp at T0: {:?}",
+        partial.trace
+    );
+    match &partial.trace.events[3].event {
+        TraceEvent::SegmentStop { stop, cells } => {
+            assert_eq!(*stop, Some(StopReason::BudgetExhausted));
+            assert!(*cells >= 6_000, "budget overshoot is bounded by one unit");
+        }
+        other => panic!("expected SegmentStop, got {other:?}"),
+    }
+    let pending = (token.remaining_pairs() + token.retryable_pairs()) as u64;
+    assert!(pending > 0);
+    assert_eq!(
+        partial.trace.events[4].event,
+        TraceEvent::ResumeTokenIssued { pending }
+    );
+
+    // Segment 2 + 3: resume, with one injected control-plane panic — the
+    // retry backs off through the clock-advancing timer.
+    failpoint::arm_times("service-resume", Action::Panic, 1);
+    let handle = service
+        .resume(ScanRequest::new(cfg, q, database, 3), token)
+        .expect("resume admitted");
+    let report = handle.wait().expect("recovers");
+    failpoint::disarm_all();
+    telemetry::set_clock_override(None);
+
+    assert_eq!(report.attempts, 2);
+    assert!(report.outcome.is_complete());
+    assert_eq!(
+        report.trace.kinds(),
+        vec![
+            "admission-priced",
+            "queued",
+            "resume-token-consumed",
+            "segment-start",
+            "retry",
+            "resume-token-consumed",
+            "segment-start",
+            "segment-stop",
+        ],
+        "resume/retry timeline: {:?}",
+        report.trace
+    );
+    assert_eq!(
+        report.trace.events[4].event,
+        TraceEvent::Retry {
+            attempt: 2,
+            backoff: base
+        }
+    );
+    // The panic consumed no cells, and the clean rerun stops on nothing.
+    match &report.trace.events[7].event {
+        TraceEvent::SegmentStop { stop, .. } => assert_eq!(*stop, None),
+        other => panic!("expected SegmentStop, got {other:?}"),
+    }
+    // Everything through the retry decision happened at T0; the backoff
+    // pause advanced the pinned clock, so the rerun lands at exactly
+    // T0 + base.
+    let nanos: Vec<u64> = report.trace.events.iter().map(|e| e.at_nanos).collect();
+    let after = T0 + base.as_nanos() as u64;
+    assert_eq!(nanos, vec![T0, T0, T0, T0, T0, after, after, after]);
+    assert_eq!(*timer.log.lock().unwrap(), vec![base]);
+
+    // Satellite: the new ServiceStats fields are live views.
+    let stats = service.stats();
+    assert_eq!(stats.cumulative_backoff, base, "one backoff pause total");
+    assert!(stats.queue_depth_hwm >= 1);
+    assert_eq!(stats.completed, 2);
+}
+
+/// Acceptance criterion: a failpoint-injected unrecovered `WorkerFault`
+/// (a store shard with no replica) produces a flight-recorder dump whose
+/// event sequence is pinned under the deterministic clock.
+#[test]
+fn flight_dump_pins_worker_fault_sequence() {
+    let _guard = failpoint::lock_for_test();
+    failpoint::quiet_failpoint_panics();
+
+    const T0: u64 = 5_000_000;
+    let clock = Arc::new(ManualClock::at(T0));
+    telemetry::set_clock_override(Some(Arc::clone(&clock) as Arc<_>));
+    flight::reset_for_test();
+
+    let cfg = AlignConfig::new(RaceWeights::fig4());
+    let (q, database) = db(64, 18, 40);
+    let (path, _fguard) = fp_store_path("flight");
+    build_store(
+        &path,
+        &database,
+        &StoreParams {
+            chunk_size: 64,
+            shard_entries: 4,
+        },
+    )
+    .expect("build");
+    let target = StoreTarget::new(Arc::new(
+        PackedStore::<Dna>::open_validated(&path).expect("open"),
+    ));
+
+    const QUERY: u64 = 0xF11E;
+    let ctrl = ScanControl::new().with_tracer(TraceHandle::new(QUERY));
+    failpoint::arm_times("store-chunk-read", Action::Panic, 1);
+    let (outcome, token) =
+        scan_store_topk_resumable(&cfg, &q, &target, 3, Some(1), &ctrl).expect("valid request");
+    failpoint::disarm_all();
+    telemetry::set_clock_override(None);
+
+    // The injected fault is an unrecovered WorkerFault: a whole shard
+    // group is lost (no replica) and stays retryable.
+    assert!(outcome.faulted_pairs > 0);
+    assert!(token.is_some());
+
+    let dump = flight::take_last_dump().expect("unrecovered fault must dump");
+    assert_eq!(dump.reason, "worker-fault");
+    assert_eq!(dump.at_nanos, T0, "dump taken under the pinned clock");
+    // Pin this query's event sequence inside the dump: the failing shard
+    // is quarantined unrecovered before any later shard loads (shard 0
+    // reads first, groups iterate in shard order), so the dump holds
+    // exactly one event for this query.
+    let ours: Vec<_> = dump.records.iter().filter(|r| r.query == QUERY).collect();
+    assert_eq!(ours.len(), 1, "dump records: {:?}", dump.records);
+    assert_eq!(ours[0].kind, "store-quarantine");
+    assert_eq!(ours[0].at_nanos, T0);
+    assert_eq!(ours[0].a, 0, "shard 0 is the quarantined shard");
+    assert_eq!(ours[0].b, 0, "recovered = false");
+
+    // The trace ring carries the same pinned sequence plus the healthy
+    // shard loads that followed the dump.
+    let trace = ctrl.tracer().expect("attached").finish();
+    assert_eq!(
+        trace.events[0].event,
+        TraceEvent::StoreQuarantine {
+            shard: 0,
+            recovered: false
+        }
+    );
+    assert!(
+        trace
+            .kinds()
+            .iter()
+            .skip(1)
+            .all(|k| *k == "store-shard-loaded"),
+        "remaining shards load healthily: {:?}",
+        trace.kinds()
+    );
+}
